@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 10 (§5.2): Q4 head scans (all branches,
+//! non-selective predicate) per strategy and engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decibel_bench::experiments::build_loaded;
+use decibel_bench::queries::{all_heads, q4};
+use decibel_bench::{Strategy, WorkloadSpec};
+use decibel_core::types::EngineKind;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_q4");
+    group.sample_size(10);
+    for strategy in Strategy::all() {
+        let spec = WorkloadSpec::scaled(strategy, 10, 0.2);
+        for kind in EngineKind::headline() {
+            let dir = tempfile::tempdir().unwrap();
+            let (store, _report) = build_loaded(kind, &spec, dir.path()).unwrap();
+            let heads = all_heads(store.as_ref());
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), strategy.label()),
+                &strategy,
+                |b, _| b.iter(|| q4(store.as_ref(), &heads, true).unwrap().rows),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

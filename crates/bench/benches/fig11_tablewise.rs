@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 11 (§5.5): Q1 latency before and after a
+//! table-wise update, per engine (deep strategy shown; the harness prints
+//! all four strategies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decibel_bench::experiments::build_loaded;
+use decibel_bench::experiments::tablewise::table_wise_update;
+use decibel_bench::queries::{pick_branch, q1, Pick};
+use decibel_bench::{Strategy, WorkloadSpec};
+use decibel_common::rng::DetRng;
+use decibel_core::types::EngineKind;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_tablewise");
+    group.sample_size(10);
+    let spec = WorkloadSpec::scaled(Strategy::Deep, 10, 0.2);
+    for kind in EngineKind::headline() {
+        let dir = tempfile::tempdir().unwrap();
+        let (mut store, report) = build_loaded(kind, &spec, dir.path()).unwrap();
+        let mut rng = DetRng::seed_from_u64(3);
+        let target = pick_branch(&report, Pick::DeepTail, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new(kind.label(), "pre"), &kind, |b, _| {
+            b.iter(|| q1(store.as_ref(), target.into(), true).unwrap().rows)
+        });
+        table_wise_update(store.as_mut(), target, spec.cols, 99).unwrap();
+        group.bench_with_input(BenchmarkId::new(kind.label(), "post"), &kind, |b, _| {
+            b.iter(|| q1(store.as_ref(), target.into(), true).unwrap().rows)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 6 (§5.1): Q1 and Q4 latency on the flat
+//! strategy as the branch count scales. `decibel-bench fig6a`/`fig6b`
+//! print the full paper-style table; this bench tracks the same cells at
+//! a fixed small scale for regression monitoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decibel_bench::experiments::build_loaded;
+use decibel_bench::queries::{all_heads, pick_branch, q1, q4, Pick};
+use decibel_bench::{Strategy, WorkloadSpec};
+use decibel_common::rng::DetRng;
+use decibel_core::types::EngineKind;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for &branches in &[10usize, 50] {
+        let total = 4_000u64;
+        let mut spec = WorkloadSpec::scaled(Strategy::Flat, branches, 0.2);
+        spec.ops_per_branch = (total / branches as u64).max(20);
+        for kind in EngineKind::headline() {
+            let dir = tempfile::tempdir().unwrap();
+            let (store, report) = build_loaded(kind, &spec, dir.path()).unwrap();
+            let mut rng = DetRng::seed_from_u64(7);
+            let child = pick_branch(&report, Pick::FlatChild, &mut rng).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("q1_{}", kind.label()), branches),
+                &branches,
+                |b, _| b.iter(|| q1(store.as_ref(), child.into(), true).unwrap().rows),
+            );
+            let heads = all_heads(store.as_ref());
+            group.bench_with_input(
+                BenchmarkId::new(format!("q4_{}", kind.label()), branches),
+                &branches,
+                |b, _| b.iter(|| q4(store.as_ref(), &heads, true).unwrap().rows),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

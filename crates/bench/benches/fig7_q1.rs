@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 7 (§5.2): Q1 single-branch scans across the
+//! four branching strategies and three engines (plus clustered TF via
+//! `decibel-bench fig7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decibel_bench::experiments::build_loaded;
+use decibel_bench::queries::{pick_branch, q1, Pick};
+use decibel_bench::{Strategy, WorkloadSpec};
+use decibel_common::rng::DetRng;
+use decibel_core::types::EngineKind;
+
+fn pick_for(strategy: Strategy) -> Pick {
+    match strategy {
+        Strategy::Deep => Pick::DeepTail,
+        Strategy::Flat => Pick::FlatChild,
+        Strategy::Science => Pick::SciYoungest,
+        Strategy::Curation => Pick::CurDev,
+    }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_q1");
+    group.sample_size(10);
+    for strategy in Strategy::all() {
+        let spec = WorkloadSpec::scaled(strategy, 10, 0.2);
+        for kind in EngineKind::headline() {
+            let dir = tempfile::tempdir().unwrap();
+            let (store, report) = build_loaded(kind, &spec, dir.path()).unwrap();
+            let mut rng = DetRng::seed_from_u64(11);
+            let target = pick_branch(&report, pick_for(strategy), &mut rng).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), strategy.label()),
+                &strategy,
+                |b, _| b.iter(|| q1(store.as_ref(), target.into(), true).unwrap().rows),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

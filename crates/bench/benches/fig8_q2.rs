@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 8 (§5.2): Q2 positive diffs between the
+//! paper's version pairs, per engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decibel_bench::experiments::build_loaded;
+use decibel_bench::experiments::queries::PAIR_CASES;
+use decibel_bench::queries::{pick_branch, q2};
+use decibel_bench::WorkloadSpec;
+use decibel_common::rng::DetRng;
+use decibel_core::types::EngineKind;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_q2");
+    group.sample_size(10);
+    for &(label, strategy, left, right) in &PAIR_CASES {
+        let spec = WorkloadSpec::scaled(strategy, 10, 0.2);
+        for kind in EngineKind::headline() {
+            let dir = tempfile::tempdir().unwrap();
+            let (store, report) = build_loaded(kind, &spec, dir.path()).unwrap();
+            let mut rng = DetRng::seed_from_u64(13);
+            let l = pick_branch(&report, left, &mut rng).unwrap();
+            let r = pick_branch(&report, right, &mut rng).unwrap();
+            group.bench_with_input(BenchmarkId::new(kind.label(), label), &label, |b, _| {
+                b.iter(|| q2(store.as_ref(), l.into(), r.into(), true).unwrap().rows)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

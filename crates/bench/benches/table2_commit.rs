@@ -1,0 +1,46 @@
+//! Criterion bench for Table 2 (§5.3): commit creation and checkout
+//! latency for tuple-first vs hybrid on a loaded curation dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decibel_bench::experiments::build_loaded;
+use decibel_bench::{Strategy, WorkloadSpec};
+use decibel_common::ids::CommitId;
+use decibel_common::record::Record;
+use decibel_common::rng::DetRng;
+use decibel_core::types::EngineKind;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_commit");
+    group.sample_size(10);
+    let spec = WorkloadSpec::scaled(Strategy::Curation, 10, 0.2);
+    for kind in [EngineKind::TupleFirstBranch, EngineKind::Hybrid] {
+        let dir = tempfile::tempdir().unwrap();
+        let (mut store, _report) = build_loaded(kind, &spec, dir.path()).unwrap();
+        let mut rng = DetRng::seed_from_u64(21);
+        let mut next_key = 1u64 << 40;
+        group.bench_with_input(BenchmarkId::new("commit", kind.label()), &kind, |b, _| {
+            b.iter(|| {
+                // A handful of fresh ops, then the timed commit.
+                for _ in 0..5 {
+                    let fields = (0..spec.cols).map(|_| rng.next_u32() as u64).collect();
+                    store
+                        .insert(decibel_common::ids::BranchId::MASTER, Record::new(next_key, fields))
+                        .unwrap();
+                    next_key += 1;
+                }
+                store.commit(decibel_common::ids::BranchId::MASTER).unwrap()
+            })
+        });
+        let n = store.graph().num_commits();
+        group.bench_with_input(BenchmarkId::new("checkout", kind.label()), &kind, |b, _| {
+            b.iter(|| {
+                let target = CommitId(rng.below(n));
+                store.checkout_version(target).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench for Table 3 (§5.4): merge cost per engine and policy.
+//!
+//! Each iteration creates a fresh fork pair with divergent modifications
+//! and merges it (merges mutate the store, so setup happens per batch).
+//! The harness (`decibel-bench table3`) reports the aggregate MB/s over
+//! the curation build's ~dozens of merges.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use decibel_bench::experiments::build_store;
+use decibel_bench::{Strategy, WorkloadSpec};
+use decibel_common::ids::BranchId;
+use decibel_common::record::Record;
+use decibel_common::rng::DetRng;
+use decibel_core::store::VersionedStore;
+use decibel_core::types::{EngineKind, MergePolicy};
+
+fn setup(kind: EngineKind, spec: &WorkloadSpec, tag: u64) -> (tempfile::TempDir, Box<dyn VersionedStore>, BranchId) {
+    let dir = tempfile::tempdir().unwrap();
+    let mut store = build_store(kind, spec, dir.path()).unwrap();
+    let mut rng = DetRng::seed_from_u64(tag);
+    for k in 0..400u64 {
+        let fields = (0..spec.cols).map(|_| rng.next_u32() as u64).collect();
+        store.insert(BranchId::MASTER, Record::new(k, fields)).unwrap();
+    }
+    let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
+    // Divergent updates on both sides plus fresh inserts on dev.
+    for k in 0..100u64 {
+        let fields = (0..spec.cols).map(|_| rng.next_u32() as u64).collect();
+        store.update(BranchId::MASTER, Record::new(k, fields)).unwrap();
+    }
+    for k in 50..150u64 {
+        let fields = (0..spec.cols).map(|_| rng.next_u32() as u64).collect();
+        store.update(dev, Record::new(k, fields)).unwrap();
+    }
+    for k in 400..450u64 {
+        let fields = (0..spec.cols).map(|_| rng.next_u32() as u64).collect();
+        store.insert(dev, Record::new(k, fields)).unwrap();
+    }
+    (dir, store, dev)
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_merge");
+    group.sample_size(10);
+    let spec = WorkloadSpec::scaled(Strategy::Curation, 10, 0.2);
+    for kind in [EngineKind::VersionFirst, EngineKind::TupleFirstBranch, EngineKind::Hybrid] {
+        for (policy_label, policy) in [
+            ("two-way", MergePolicy::TwoWay { prefer_left: false }),
+            ("three-way", MergePolicy::ThreeWay { prefer_left: false }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(policy_label, kind.label()),
+                &kind,
+                |b, _| {
+                    b.iter_batched(
+                        || setup(kind, &spec, 101),
+                        |(dir, mut store, dev)| {
+                            let res = store.merge(BranchId::MASTER, dev, policy).unwrap();
+                            drop(store);
+                            drop(dir);
+                            res.records_changed
+                        },
+                        BatchSize::PerIteration,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

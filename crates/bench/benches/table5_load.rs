@@ -1,0 +1,42 @@
+//! Criterion bench for Table 5 (§5.6): full build (load) time per strategy
+//! and engine at a small fixed scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use decibel_bench::experiments::build_store;
+use decibel_bench::loader::load;
+use decibel_bench::{Strategy, WorkloadSpec};
+use decibel_core::types::EngineKind;
+
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_load");
+    group.sample_size(10);
+    for strategy in Strategy::all() {
+        let spec = WorkloadSpec::scaled(strategy, 10, 0.1);
+        for kind in EngineKind::headline() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), strategy.label()),
+                &kind,
+                |b, _| {
+                    b.iter_batched(
+                        || {
+                            let dir = tempfile::tempdir().unwrap();
+                            let store = build_store(kind, &spec, dir.path()).unwrap();
+                            (dir, store)
+                        },
+                        |(dir, mut store)| {
+                            let report = load(store.as_mut(), &spec).unwrap();
+                            drop(store);
+                            drop(dir);
+                            report.inserts
+                        },
+                        BatchSize::PerIteration,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Tables 6 & 7 (§5.7): the full git-vs-Decibel
+//! comparison run (deep structure) at small scale. One iteration = one
+//! complete load + repack + checkout-sampling run, so the per-iteration
+//! time tracks the end-to-end cost the paper tabulates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use decibel_bench::experiments::gitcmp::{run_decibel, run_git, GitCmpParams};
+use gitlike::table::{TableEncoding, TableLayout};
+
+fn bench_table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_git");
+    group.sample_size(10);
+    let p = GitCmpParams { records: 400, commits: 10, update_pct: 0, cols: 8 };
+    for (label, layout, encoding) in [
+        ("git_1file_bin", Some(TableLayout::OneFile), TableEncoding::Binary),
+        ("git_1file_csv", Some(TableLayout::OneFile), TableEncoding::Csv),
+        ("git_tup_bin", Some(TableLayout::FilePerTuple), TableEncoding::Binary),
+        ("decibel_hy", None, TableEncoding::Binary),
+    ] {
+        group.bench_with_input(BenchmarkId::new("run", label), &label, |b, _| {
+            b.iter_batched(
+                tempfile::tempdir,
+                |dir| {
+                    let dir = dir.unwrap();
+                    let row = match layout {
+                        Some(l) => run_git(l, encoding, &p, dir.path()).unwrap(),
+                        None => run_decibel(&p, dir.path()).unwrap(),
+                    };
+                    drop(dir);
+                    row.data_bytes
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Table 2: bitmap commit data (§5.3).
+//!
+//! For tuple-first and hybrid: aggregate compressed commit-history ("pack
+//! file") size, average commit creation time, and average checkout time
+//! over a random set of commits "agnostic to any branch or location".
+//! Hybrid's per-(branch, segment) stores yield more, smaller files and
+//! faster checkouts; tuple-first's interleaved inserts disperse bits and
+//! compress worse.
+
+use decibel_common::ids::CommitId;
+use decibel_common::record::Record;
+use decibel_common::rng::DetRng;
+use decibel_common::Result;
+use decibel_core::store::VersionedStore;
+use decibel_core::types::EngineKind;
+
+use crate::experiments::{build_loaded, Ctx};
+use crate::report::{mb, ms, Table};
+use crate::spec::WorkloadSpec;
+use crate::strategy::Strategy;
+
+/// Branch count (50 in the paper).
+pub const BRANCHES: usize = 50;
+/// Commits sampled for create/checkout timing (1000 in the paper).
+pub const SAMPLES: usize = 100;
+
+struct CommitStats {
+    store_bytes: u64,
+    avg_commit_ms: f64,
+    avg_checkout_ms: f64,
+}
+
+fn measure(store: &mut dyn VersionedStore, spec: &WorkloadSpec, samples: usize) -> Result<CommitStats> {
+    let mut rng = DetRng::seed_from_u64(21);
+    // Commit timing: a few fresh ops on a random branch, then a timed
+    // commit (the paper times the commits its driver creates).
+    let branches: Vec<_> = store.graph().heads(false);
+    let mut next_key = 1u64 << 40; // away from the loader's key space
+    let mut commit_total = 0.0;
+    for _ in 0..samples {
+        let (b, _) = branches[rng.below_usize(branches.len())];
+        for _ in 0..5 {
+            let fields = (0..spec.cols).map(|_| rng.next_u32() as u64).collect();
+            store.insert(b, Record::new(next_key, fields))?;
+            next_key += 1;
+        }
+        let t = std::time::Instant::now();
+        store.commit(b)?;
+        commit_total += t.elapsed().as_secs_f64() * 1e3;
+    }
+    // Checkout timing: random historical commits.
+    let n_commits = store.graph().num_commits();
+    let mut checkout_total = 0.0;
+    for _ in 0..samples {
+        let c = CommitId(rng.below(n_commits));
+        let t = std::time::Instant::now();
+        store.checkout_version(c)?;
+        checkout_total += t.elapsed().as_secs_f64() * 1e3;
+    }
+    Ok(CommitStats {
+        store_bytes: store.stats().commit_store_bytes,
+        avg_commit_ms: commit_total / samples as f64,
+        avg_checkout_ms: checkout_total / samples as f64,
+    })
+}
+
+/// Table 2: commit-history sizes and commit/checkout latency for TF vs HY.
+pub fn table2(ctx: &Ctx) -> Result<Table> {
+    let mut table = Table::new(
+        format!("Table 2: bitmap commit data ({BRANCHES} branches, scale={})", ctx.scale),
+        &["strategy", "engine", "pack files (MB)", "avg commit (ms)", "avg checkout (ms)"],
+    );
+    let samples = ((SAMPLES as f64) * ctx.scale.min(1.0)).max(10.0) as usize;
+    for strategy in Strategy::all() {
+        let spec = WorkloadSpec::scaled(strategy, BRANCHES, ctx.scale);
+        for kind in [EngineKind::TupleFirstBranch, EngineKind::Hybrid] {
+            let dir = tempfile::tempdir().expect("tempdir");
+            let (mut store, _report) = build_loaded(kind, &spec, dir.path())?;
+            let stats = measure(store.as_mut(), &spec, samples)?;
+            table.row(vec![
+                strategy.label().to_string(),
+                kind.label().to_string(),
+                mb(stats.store_bytes),
+                ms(stats.avg_commit_ms),
+                ms(stats.avg_checkout_ms),
+            ]);
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_smoke() {
+        let t = table2(&Ctx::smoke()).unwrap();
+        let r = t.render();
+        assert!(r.contains("TF"));
+        assert!(r.contains("HY"));
+        // 4 strategies x 2 engines = 8 data rows.
+        assert_eq!(r.lines().count(), 3 + 8);
+    }
+}

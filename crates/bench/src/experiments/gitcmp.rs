@@ -1,0 +1,281 @@
+//! Tables 6 & 7: git vs Decibel (§5.7).
+//!
+//! Deep structure, 10 branches, commits evenly spaced over the dataset.
+//! Four git-like modes (1-file vs file-per-tuple × binary vs CSV) against
+//! Decibel's hybrid engine. Table 6 is 100% inserts; Table 7 is 50%
+//! updates. Reported per mode: data size, repository size, repack time,
+//! and mean ± stddev commit and checkout latencies.
+
+use std::time::Instant;
+
+use decibel_common::ids::CommitId;
+use decibel_common::record::Record;
+use decibel_common::rng::DetRng;
+use decibel_common::Result;
+use decibel_core::engine::HybridEngine;
+use decibel_core::store::VersionedStore;
+use gitlike::table::{GitTable, TableEncoding, TableLayout};
+use gitlike::sha1::Sha1;
+
+use crate::experiments::Ctx;
+use crate::report::{mb, Table};
+use crate::spec::WorkloadSpec;
+use crate::strategy::Strategy;
+
+/// Branch count (10 in the paper).
+pub const BRANCHES: usize = 10;
+
+/// Parameters of one comparison run.
+#[derive(Debug, Clone, Copy)]
+pub struct GitCmpParams {
+    /// Total records to insert.
+    pub records: u64,
+    /// Number of commits, evenly spaced over the operations.
+    pub commits: u64,
+    /// Percentage of operations that are updates (0 for Table 6, 50 for
+    /// Table 7).
+    pub update_pct: u32,
+    /// Data columns per record.
+    pub cols: usize,
+}
+
+/// One row of Table 6/7.
+#[derive(Debug, Clone)]
+pub struct CmpRow {
+    /// Mode label ("git 1 file (bin)", ..., "Decibel (HY)").
+    pub mode: String,
+    /// Bytes of live table data.
+    pub data_bytes: u64,
+    /// Bytes of version-store metadata + history.
+    pub repo_bytes: u64,
+    /// Repack wall time (git modes only).
+    pub repack_secs: Option<f64>,
+    /// Mean / stddev commit latency (ms).
+    pub commit_ms: (f64, f64),
+    /// Mean / stddev checkout latency (ms).
+    pub checkout_ms: (f64, f64),
+}
+
+fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var =
+        samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+    (mean, var.sqrt())
+}
+
+fn gen_fields(rng: &mut DetRng, cols: usize) -> Vec<u64> {
+    (0..cols).map(|_| rng.next_u32() as u64).collect()
+}
+
+/// Drives one git-like mode through the deep workload.
+pub fn run_git(
+    layout: TableLayout,
+    encoding: TableEncoding,
+    p: &GitCmpParams,
+    dir: &std::path::Path,
+) -> Result<CmpRow> {
+    let schema = decibel_common::schema::Schema::new(p.cols, decibel_common::schema::ColumnType::U32);
+    let mut t = GitTable::create(dir, layout, encoding, schema)?;
+    let mut rng = DetRng::seed_from_u64(0x617);
+    let total_ops = p.records;
+    let ops_per_commit = (total_ops / p.commits).max(1);
+    let ops_per_branch = total_ops / BRANCHES as u64;
+    let mut keys: Vec<u64> = Vec::new();
+    let mut next_key = 0u64;
+    let mut commit_times = Vec::new();
+    let mut commit_ids: Vec<Sha1> = Vec::new();
+    let mut ops_on_branch = 0u64;
+    let mut since_commit = 0u64;
+    let mut branch_no = 0usize;
+    for _ in 0..total_ops {
+        if ops_on_branch >= ops_per_branch && branch_no + 1 < BRANCHES {
+            // Deep: fork the next link from the current head.
+            branch_no += 1;
+            let name = format!("deep{branch_no}");
+            t.branch(&name)?;
+            t.checkout_branch(&name)?;
+            ops_on_branch = 0;
+        }
+        let update = !keys.is_empty() && rng.below(100) < p.update_pct as u64;
+        if update {
+            let key = keys[rng.below_usize(keys.len())];
+            let fields = gen_fields(&mut rng, p.cols);
+            t.update(Record::new(key, fields))?;
+        } else {
+            let fields = gen_fields(&mut rng, p.cols);
+            t.insert(Record::new(next_key, fields))?;
+            keys.push(next_key);
+            next_key += 1;
+        }
+        ops_on_branch += 1;
+        since_commit += 1;
+        if since_commit >= ops_per_commit {
+            let start = Instant::now();
+            commit_ids.push(t.commit("batch")?);
+            commit_times.push(start.elapsed().as_secs_f64() * 1e3);
+            since_commit = 0;
+        }
+    }
+    if since_commit > 0 {
+        commit_ids.push(t.commit("tail")?);
+    }
+    let data_bytes = t.repo().data_size()?;
+    // The paper repacks once after loading.
+    let (repack, _stats) = t.repo_mut().repack()?;
+    // Checkout sampling over random historical commits.
+    let mut checkout_times = Vec::new();
+    let samples = commit_ids.len().min(50);
+    for _ in 0..samples {
+        let id = commit_ids[rng.below_usize(commit_ids.len())];
+        let start = Instant::now();
+        t.checkout_commit(id)?;
+        checkout_times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let mode = format!(
+        "git {} ({})",
+        match layout {
+            TableLayout::OneFile => "1 file",
+            TableLayout::FilePerTuple => "file/tup",
+        },
+        match encoding {
+            TableEncoding::Binary => "bin",
+            TableEncoding::Csv => "csv",
+        }
+    );
+    Ok(CmpRow {
+        mode,
+        data_bytes,
+        repo_bytes: t.repo().repo_size(),
+        repack_secs: Some(repack.as_secs_f64()),
+        commit_ms: mean_std(&commit_times),
+        checkout_ms: mean_std(&checkout_times),
+    })
+}
+
+/// Drives Decibel's hybrid engine through the identical workload.
+pub fn run_decibel(p: &GitCmpParams, dir: &std::path::Path) -> Result<CmpRow> {
+    let spec = {
+        let mut s = WorkloadSpec::scaled(Strategy::Deep, BRANCHES, 1.0);
+        s.cols = p.cols;
+        s
+    };
+    let mut store = HybridEngine::init(dir, spec.schema(), &spec.store_config())?;
+    let mut rng = DetRng::seed_from_u64(0x17 + 0x47);
+    let total_ops = p.records;
+    let ops_per_commit = (total_ops / p.commits).max(1);
+    let ops_per_branch = total_ops / BRANCHES as u64;
+    let mut keys: Vec<u64> = Vec::new();
+    let mut next_key = 0u64;
+    let mut commit_times = Vec::new();
+    let mut commit_ids: Vec<CommitId> = Vec::new();
+    let mut branch = decibel_common::ids::BranchId::MASTER;
+    let mut ops_on_branch = 0u64;
+    let mut since_commit = 0u64;
+    let mut branch_no = 0usize;
+    for _ in 0..total_ops {
+        if ops_on_branch >= ops_per_branch && branch_no + 1 < BRANCHES {
+            branch_no += 1;
+            branch = store.create_branch(&format!("deep{branch_no}"), branch.into())?;
+            ops_on_branch = 0;
+        }
+        let update = !keys.is_empty() && rng.below(100) < p.update_pct as u64;
+        if update {
+            let key = keys[rng.below_usize(keys.len())];
+            store.update(branch, Record::new(key, gen_fields(&mut rng, p.cols)))?;
+        } else {
+            store.insert(branch, Record::new(next_key, gen_fields(&mut rng, p.cols)))?;
+            keys.push(next_key);
+            next_key += 1;
+        }
+        ops_on_branch += 1;
+        since_commit += 1;
+        if since_commit >= ops_per_commit {
+            let start = Instant::now();
+            commit_ids.push(store.commit(branch)?);
+            commit_times.push(start.elapsed().as_secs_f64() * 1e3);
+            since_commit = 0;
+        }
+    }
+    let mut checkout_times = Vec::new();
+    let samples = commit_ids.len().min(50);
+    for _ in 0..samples {
+        let id = commit_ids[rng.below_usize(commit_ids.len())];
+        let start = Instant::now();
+        store.checkout_version(id)?;
+        checkout_times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let stats = store.stats();
+    Ok(CmpRow {
+        mode: "Decibel (HY)".to_string(),
+        data_bytes: stats.data_bytes,
+        repo_bytes: stats.commit_store_bytes,
+        repack_secs: None,
+        commit_ms: mean_std(&commit_times),
+        checkout_ms: mean_std(&checkout_times),
+    })
+}
+
+fn run_table(ctx: &Ctx, update_pct: u32, title: &str) -> Result<Table> {
+    let p = GitCmpParams {
+        records: (4_000.0 * ctx.scale) as u64,
+        commits: ((100.0 * ctx.scale) as u64).max(10),
+        update_pct,
+        cols: 20,
+    };
+    let mut table = Table::new(
+        format!("{title} (deep, {BRANCHES} branches, {} records, {} commits)", p.records, p.commits),
+        &["mode", "data MB", "repo MB", "repack s", "commit ms (μ±σ)", "checkout ms (μ±σ)"],
+    );
+    let modes = [
+        (TableLayout::OneFile, TableEncoding::Binary),
+        (TableLayout::OneFile, TableEncoding::Csv),
+        (TableLayout::FilePerTuple, TableEncoding::Binary),
+        (TableLayout::FilePerTuple, TableEncoding::Csv),
+    ];
+    let mut rows = Vec::new();
+    for (layout, encoding) in modes {
+        let dir = tempfile::tempdir().expect("tempdir");
+        rows.push(run_git(layout, encoding, &p, dir.path())?);
+    }
+    let dir = tempfile::tempdir().expect("tempdir");
+    rows.push(run_decibel(&p, dir.path())?);
+    for r in rows {
+        table.row(vec![
+            r.mode,
+            mb(r.data_bytes),
+            mb(r.repo_bytes),
+            r.repack_secs.map(|s| format!("{s:.2}")).unwrap_or_else(|| "N/A".to_string()),
+            format!("{:.1} ± {:.1}", r.commit_ms.0, r.commit_ms.1),
+            format!("{:.1} ± {:.1}", r.checkout_ms.0, r.checkout_ms.1),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Table 6: git vs Decibel, 100% inserts.
+pub fn table6(ctx: &Ctx) -> Result<Table> {
+    run_table(ctx, 0, "Table 6: git vs Decibel, 100% inserts")
+}
+
+/// Table 7: git vs Decibel, 50% updates.
+pub fn table7(ctx: &Ctx) -> Result<Table> {
+    run_table(ctx, 50, "Table 7: git vs Decibel, 50% updates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gitcmp_smoke() {
+        let ctx = Ctx::smoke();
+        let t = table6(&ctx).unwrap();
+        let r = t.render();
+        assert!(r.contains("git 1 file (bin)"));
+        assert!(r.contains("Decibel (HY)"));
+        assert_eq!(r.lines().count(), 3 + 5);
+    }
+}

@@ -1,0 +1,57 @@
+//! Table 5: build (load) times (§5.6).
+//!
+//! "This time includes inserting records, creating branches, updating
+//! records, merging branches, and creating commits." All strategies, 10
+//! and 50 branches, per engine, with the deterministic seed so each engine
+//! performs identical operations.
+
+use decibel_common::Result;
+use decibel_core::types::EngineKind;
+
+use crate::experiments::{build_loaded, Ctx};
+use crate::report::{mb, Table};
+use crate::spec::WorkloadSpec;
+use crate::strategy::Strategy;
+
+/// Branch counts (10 and 50 in the paper).
+pub const BRANCH_COUNTS: [usize; 2] = [10, 50];
+
+/// Table 5: load duration per strategy × branch count × engine, plus the
+/// dataset size actually produced (the paper's science/curation sizes vary
+/// with the random generation, as do ours).
+pub fn table5(ctx: &Ctx) -> Result<Table> {
+    let mut table = Table::new(
+        format!("Table 5: build times (seconds, scale={})", ctx.scale),
+        &["strategy", "branches", "TF", "VF", "HY", "data (MB)"],
+    );
+    for strategy in Strategy::all() {
+        for &branches in &BRANCH_COUNTS {
+            let spec = WorkloadSpec::scaled(strategy, branches, ctx.scale);
+            let mut cells = vec![strategy.label().to_string(), branches.to_string()];
+            let mut size = 0u64;
+            for kind in EngineKind::headline() {
+                let dir = tempfile::tempdir().expect("tempdir");
+                let (store, report) = build_loaded(kind, &spec, dir.path())?;
+                cells.push(format!("{:.2}", report.duration.as_secs_f64()));
+                if kind == EngineKind::Hybrid {
+                    size = store.stats().data_bytes;
+                }
+            }
+            cells.push(mb(size));
+            table.row(cells);
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_smoke() {
+        let t = table5(&Ctx::smoke()).unwrap();
+        // 4 strategies x 2 branch counts.
+        assert_eq!(t.render().lines().count(), 3 + 8);
+    }
+}

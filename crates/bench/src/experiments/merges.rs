@@ -1,0 +1,63 @@
+//! Table 3: merge performance (§5.4).
+//!
+//! Curation workload, 50 branches; merge throughput (MB/s) "relative to
+//! the size of the diff between each pair of branches being merged", in
+//! aggregate over the merges of the build phase, for both two-way
+//! (tuple-level) and three-way (field-level) merge strategies.
+
+use decibel_common::Result;
+use decibel_core::types::{EngineKind, MergePolicy};
+
+use crate::experiments::{build_loaded, Ctx};
+use crate::report::Table;
+use crate::spec::WorkloadSpec;
+use crate::strategy::Strategy;
+
+/// Branch count (50 in the paper).
+pub const BRANCHES: usize = 50;
+
+fn throughput(ctx: &Ctx, policy: MergePolicy, kind: EngineKind) -> Result<(f64, u64)> {
+    let mut spec = WorkloadSpec::scaled(Strategy::Curation, BRANCHES, ctx.scale);
+    spec.merge_policy = policy;
+    let dir = tempfile::tempdir().expect("tempdir");
+    let (_store, report) = build_loaded(kind, &spec, dir.path())?;
+    let secs = report.merge_time.as_secs_f64();
+    let mbps = if secs > 0.0 {
+        report.merge_bytes as f64 / (1024.0 * 1024.0) / secs
+    } else {
+        0.0
+    };
+    Ok((mbps, report.merges))
+}
+
+/// Table 3: merge throughput (MB/s) by engine and merge strategy.
+pub fn table3(ctx: &Ctx) -> Result<Table> {
+    let mut table = Table::new(
+        format!("Table 3: merge throughput (MB/s, CUR, {BRANCHES} branches, scale={})", ctx.scale),
+        &["engine", "two-way MB/s", "three-way MB/s", "merges"],
+    );
+    for kind in [EngineKind::VersionFirst, EngineKind::TupleFirstBranch, EngineKind::Hybrid] {
+        let (two, merges) = throughput(ctx, MergePolicy::TwoWay { prefer_left: false }, kind)?;
+        let (three, _) = throughput(ctx, MergePolicy::ThreeWay { prefer_left: false }, kind)?;
+        table.row(vec![
+            kind.label().to_string(),
+            format!("{two:.1}"),
+            format!("{three:.1}"),
+            merges.to_string(),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_smoke() {
+        let t = table3(&Ctx::smoke()).unwrap();
+        let r = t.render();
+        assert!(r.contains("VF"));
+        assert!(r.contains("HY"));
+    }
+}

@@ -1,0 +1,86 @@
+//! One module per paper table/figure (see DESIGN.md's experiment index).
+
+pub mod ablate;
+pub mod commits;
+pub mod gitcmp;
+pub mod load;
+pub mod merges;
+pub mod queries;
+pub mod scaling;
+pub mod tablewise;
+
+use std::path::Path;
+
+use decibel_common::Result;
+use decibel_core::engine::{
+    HybridEngine, TupleFirstBranchEngine, TupleFirstTupleEngine, VersionFirstEngine,
+};
+use decibel_core::store::VersionedStore;
+use decibel_core::types::EngineKind;
+
+use crate::loader::{load, LoadReport};
+use crate::spec::WorkloadSpec;
+
+/// Run-wide knobs shared by every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx {
+    /// Dataset volume multiplier (1.0 ≈ seconds per experiment).
+    pub scale: f64,
+    /// Measured repetitions per cell (means are reported).
+    pub repeats: usize,
+    /// Drop page caches before each measured query (§5's methodology).
+    pub cold: bool,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx { scale: 1.0, repeats: 3, cold: true }
+    }
+}
+
+impl Ctx {
+    /// A tiny context for tests and criterion benches.
+    pub fn smoke() -> Ctx {
+        Ctx { scale: 0.05, repeats: 1, cold: true }
+    }
+}
+
+/// Builds a fresh store of the given kind under `dir`.
+pub fn build_store(
+    kind: EngineKind,
+    spec: &WorkloadSpec,
+    dir: &Path,
+) -> Result<Box<dyn VersionedStore>> {
+    let sub = dir.join(format!("{}-{}", kind.label().replace(['(', ')'], "_"), spec.strategy));
+    let cfg = spec.store_config();
+    Ok(match kind {
+        EngineKind::TupleFirstBranch => {
+            Box::new(TupleFirstBranchEngine::init(sub, spec.schema(), &cfg)?)
+        }
+        EngineKind::TupleFirstTuple => {
+            Box::new(TupleFirstTupleEngine::init(sub, spec.schema(), &cfg)?)
+        }
+        EngineKind::VersionFirst => Box::new(VersionFirstEngine::init(sub, spec.schema(), &cfg)?),
+        EngineKind::Hybrid => Box::new(HybridEngine::init(sub, spec.schema(), &cfg)?),
+    })
+}
+
+/// Builds and loads a store, returning it with its load report.
+pub fn build_loaded(
+    kind: EngineKind,
+    spec: &WorkloadSpec,
+    dir: &Path,
+) -> Result<(Box<dyn VersionedStore>, LoadReport)> {
+    let mut store = build_store(kind, spec, dir)?;
+    let report = load(store.as_mut(), spec)?;
+    Ok((store, report))
+}
+
+/// Mean of a sampling closure run `repeats` times, in milliseconds.
+pub fn mean_ms(repeats: usize, mut f: impl FnMut() -> Result<f64>) -> Result<f64> {
+    let mut total = 0.0;
+    for _ in 0..repeats.max(1) {
+        total += f()?;
+    }
+    Ok(total / repeats.max(1) as f64)
+}

@@ -1,0 +1,90 @@
+//! Figure 6: "The Impact of Scaling Branches" (§5.1).
+//!
+//! Fixed total dataset volume spread over 10/50/100 branches of the flat
+//! strategy. Figure 6a runs Q1 (scan one child): tuple-first deteriorates
+//! with branch count (bigger bitmap, same interleaved heap) while
+//! version-first and hybrid *improve* (each child holds less data).
+//! Figure 6b runs Q4 (scan all branches): version-first pays full
+//! multi-pass reconstruction while the bitmap engines answer from their
+//! indexes.
+
+use decibel_common::rng::DetRng;
+use decibel_common::Result;
+use decibel_core::types::EngineKind;
+
+use crate::experiments::{build_loaded, mean_ms, Ctx};
+use crate::queries::{all_heads, pick_branch, q1, q4, Pick};
+use crate::report::{ms, Table};
+use crate::spec::WorkloadSpec;
+use crate::strategy::Strategy;
+
+/// Branch counts used by Figure 6.
+pub const BRANCH_COUNTS: [usize; 3] = [10, 50, 100];
+
+fn spec_for(branches: usize, ctx: &Ctx) -> WorkloadSpec {
+    // Fixed total volume: ops_per_branch shrinks as branches grow, like
+    // the paper's fixed 100 GB.
+    let total = (40_000.0 * ctx.scale) as u64;
+    let mut spec = WorkloadSpec::scaled(Strategy::Flat, branches, ctx.scale);
+    spec.ops_per_branch = (total / branches as u64).max(20);
+    spec
+}
+
+/// Figure 6a: Q1 (single-child scan) latency vs branch count.
+pub fn fig6a(ctx: &Ctx) -> Result<Table> {
+    let mut table = Table::new(
+        format!("Figure 6a: Q1 on FLAT vs #branches (ms, scale={})", ctx.scale),
+        &["branches", "TF", "VF", "HY"],
+    );
+    for &branches in &BRANCH_COUNTS {
+        let spec = spec_for(branches, ctx);
+        let mut cells = vec![branches.to_string()];
+        for kind in EngineKind::headline() {
+            let dir = tempfile::tempdir().expect("tempdir");
+            let (store, report) = build_loaded(kind, &spec, dir.path())?;
+            let mut rng = DetRng::seed_from_u64(7);
+            let v = mean_ms(ctx.repeats, || {
+                let child = pick_branch(&report, Pick::FlatChild, &mut rng)?;
+                Ok(q1(store.as_ref(), child.into(), ctx.cold)?.ms())
+            })?;
+            cells.push(ms(v));
+        }
+        table.row(cells);
+    }
+    Ok(table)
+}
+
+/// Figure 6b: Q4 (all-branch scan) latency vs branch count.
+pub fn fig6b(ctx: &Ctx) -> Result<Table> {
+    let mut table = Table::new(
+        format!("Figure 6b: Q4 on FLAT vs #branches (ms, scale={})", ctx.scale),
+        &["branches", "TF", "VF", "HY"],
+    );
+    for &branches in &BRANCH_COUNTS {
+        let spec = spec_for(branches, ctx);
+        let mut cells = vec![branches.to_string()];
+        for kind in EngineKind::headline() {
+            let dir = tempfile::tempdir().expect("tempdir");
+            let (store, _report) = build_loaded(kind, &spec, dir.path())?;
+            let heads = all_heads(store.as_ref());
+            let v = mean_ms(ctx.repeats, || Ok(q4(store.as_ref(), &heads, ctx.cold)?.ms()))?;
+            cells.push(ms(v));
+        }
+        table.row(cells);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_smoke() {
+        let ctx = Ctx::smoke();
+        let a = fig6a(&ctx).unwrap();
+        assert_eq!(a.render().lines().count(), 3 + BRANCH_COUNTS.len());
+        let b = fig6b(&ctx).unwrap();
+        assert!(b.render().contains("100"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Figure 11 + Table 4: table-wise updates (§5.5).
+//!
+//! "Since Decibel copies complete records on each update, a table-wise
+//! update to a branch will tend \[to\] increase the data set size by the
+//! current size of that branch, and also effectively cluster records into
+//! a new heap file." Figure 11 shows Q1 before/after such an update (10
+//! branches); Table 4 shows the dataset growth.
+
+use decibel_common::ids::BranchId;
+use decibel_common::record::Record;
+use decibel_common::rng::DetRng;
+use decibel_common::Result;
+use decibel_core::store::VersionedStore;
+use decibel_core::types::{EngineKind, VersionRef};
+
+use crate::experiments::{build_loaded, mean_ms, Ctx};
+use crate::queries::{pick_branch, q1, Pick};
+use crate::report::{mb, ms, Table};
+use crate::spec::WorkloadSpec;
+use crate::strategy::Strategy;
+
+/// Branch count for the table-wise experiments (10 in the paper, "to more
+/// clearly display the effects").
+pub const BRANCHES: usize = 10;
+
+/// The branch each strategy updates and scans.
+fn scan_pick(strategy: Strategy) -> Pick {
+    match strategy {
+        Strategy::Deep => Pick::DeepTail,
+        Strategy::Flat => Pick::FlatChild,
+        Strategy::Science => Pick::SciYoungest,
+        Strategy::Curation => Pick::Mainline,
+    }
+}
+
+/// Updates every live record of `branch` with a fresh copy.
+pub fn table_wise_update(
+    store: &mut dyn VersionedStore,
+    branch: BranchId,
+    cols: usize,
+    seed: u64,
+) -> Result<u64> {
+    let keys: Vec<u64> = store
+        .scan(VersionRef::Branch(branch))?
+        .map(|r| r.map(|rec| rec.key()))
+        .collect::<Result<_>>()?;
+    let mut rng = DetRng::seed_from_u64(seed);
+    for &key in &keys {
+        let fields = (0..cols).map(|_| rng.next_u32() as u64).collect();
+        store.update(branch, Record::new(key, fields))?;
+    }
+    store.commit(branch)?;
+    Ok(keys.len() as u64)
+}
+
+/// One strategy's measurements across engines.
+struct Row {
+    strategy: Strategy,
+    before_ms: Vec<f64>,
+    after_ms: Vec<f64>,
+    before_bytes: u64,
+    after_bytes: u64,
+}
+
+fn run_strategy(strategy: Strategy, ctx: &Ctx) -> Result<Row> {
+    let spec = WorkloadSpec::scaled(strategy, BRANCHES, ctx.scale);
+    let mut before_ms = Vec::new();
+    let mut after_ms = Vec::new();
+    let mut before_bytes = 0;
+    let mut after_bytes = 0;
+    for kind in EngineKind::headline() {
+        let dir = tempfile::tempdir().expect("tempdir");
+        let (mut store, report) = build_loaded(kind, &spec, dir.path())?;
+        let mut rng = DetRng::seed_from_u64(3);
+        let target = pick_branch(&report, scan_pick(strategy), &mut rng)?;
+        let b = mean_ms(ctx.repeats, || Ok(q1(store.as_ref(), target.into(), ctx.cold)?.ms()))?;
+        before_ms.push(b);
+        if kind == EngineKind::Hybrid {
+            before_bytes = store.stats().data_bytes;
+        }
+        table_wise_update(store.as_mut(), target, spec.cols, 99)?;
+        let a = mean_ms(ctx.repeats, || Ok(q1(store.as_ref(), target.into(), ctx.cold)?.ms()))?;
+        after_ms.push(a);
+        if kind == EngineKind::Hybrid {
+            after_bytes = store.stats().data_bytes;
+        }
+    }
+    Ok(Row { strategy, before_ms, after_ms, before_bytes, after_bytes })
+}
+
+fn run_all(ctx: &Ctx) -> Result<Vec<Row>> {
+    Strategy::all().into_iter().map(|s| run_strategy(s, ctx)).collect()
+}
+
+/// Figure 11: Q1 before/after a table-wise update, per engine.
+pub fn fig11(ctx: &Ctx) -> Result<Table> {
+    let rows = run_all(ctx)?;
+    let mut table = Table::new(
+        format!("Figure 11: Q1 before/after table-wise update (ms, {BRANCHES} branches, scale={})", ctx.scale),
+        &["strategy", "TF pre", "TF post", "VF pre", "VF post", "HY pre", "HY post"],
+    );
+    for r in rows {
+        table.row(vec![
+            r.strategy.label().to_string(),
+            ms(r.before_ms[0]),
+            ms(r.after_ms[0]),
+            ms(r.before_ms[1]),
+            ms(r.after_ms[1]),
+            ms(r.before_ms[2]),
+            ms(r.after_ms[2]),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Table 4: dataset size before/after the table-wise updates (hybrid's
+/// heap bytes, matching the paper's single pre/post size pair).
+pub fn table4(ctx: &Ctx) -> Result<Table> {
+    let rows = run_all(ctx)?;
+    let mut table = Table::new(
+        format!("Table 4: storage impact of table-wise updates (MB, scale={})", ctx.scale),
+        &["strategy", "pre-size", "post-size"],
+    );
+    for r in rows {
+        table.row(vec![
+            r.strategy.label().to_string(),
+            mb(r.before_bytes),
+            mb(r.after_bytes),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shows_growth() {
+        let ctx = Ctx::smoke();
+        let rows = run_all(&ctx).unwrap();
+        for r in rows {
+            assert!(
+                r.after_bytes > r.before_bytes,
+                "{}: table-wise update must grow the dataset",
+                r.strategy
+            );
+        }
+    }
+}

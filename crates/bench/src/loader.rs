@@ -1,0 +1,619 @@
+//! The deterministic workload driver (§4.2).
+//!
+//! "The benchmark is designed as a single-threaded client that loads and
+//! updates data according to branching strategy, and measures query
+//! latency." The loader issues an 80/20 insert/update mix per branch,
+//! commits at fixed per-branch intervals, creates/merges branches per the
+//! strategy, and supports the two loading modes: *interleaved* ("each
+//! insert is performed to a randomly selected branch in line with the
+//! selected branching strategy" — the evaluation default) and *clustered*
+//! ("inserts into a particular branch are batched together").
+//!
+//! Updates must target keys visible in the chosen branch; visibility is
+//! tracked generator-side with per-branch key views (own inserts plus
+//! prefix references into ancestors' key lists), so the same operation
+//! stream drives every engine identically (§5.6's determinism requirement).
+
+use std::time::{Duration, Instant};
+
+use decibel_common::ids::BranchId;
+use decibel_common::record::Record;
+use decibel_common::rng::DetRng;
+use decibel_common::Result;
+use decibel_core::store::VersionedStore;
+
+use crate::spec::WorkloadSpec;
+use crate::strategy::Strategy;
+
+/// What part a branch plays in its strategy (query selectors key off this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BranchRole {
+    /// The master/mainline branch.
+    Mainline,
+    /// A link in the deep chain (0 = master ... highest = tail).
+    DeepLink(u32),
+    /// One of the flat strategy's children.
+    FlatChild,
+    /// A science working branch (creation order; retired when its lifetime
+    /// elapsed).
+    Science {
+        /// Creation order among science branches.
+        order: u32,
+        /// Whether the branch reached its lifetime and was retired.
+        retired: bool,
+    },
+    /// A curation development branch.
+    CurationDev {
+        /// Whether it has been merged back into mainline.
+        merged: bool,
+    },
+    /// A curation feature/fix branch.
+    CurationFeature {
+        /// The branch it forked from and merges back into.
+        parent: BranchId,
+        /// Whether it has been merged back.
+        merged: bool,
+    },
+}
+
+/// Metadata about one branch created during loading.
+#[derive(Debug, Clone)]
+pub struct BranchInfo {
+    /// The branch id in the store.
+    pub id: BranchId,
+    /// The branch name.
+    pub name: String,
+    /// Its role in the strategy.
+    pub role: BranchRole,
+}
+
+/// Everything the experiments need to know about a loaded dataset.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Branch roster with roles.
+    pub branches: Vec<BranchInfo>,
+    /// Wall-clock load duration (Table 5's "build time").
+    pub duration: Duration,
+    /// Operation counts.
+    pub inserts: u64,
+    /// Number of updates issued.
+    pub updates: u64,
+    /// Commits made (explicit cadence commits only).
+    pub commits: u64,
+    /// Merges performed (curation only).
+    pub merges: u64,
+    /// Aggregate MB/s throughput of merges, by diff bytes (Table 3).
+    pub merge_bytes: u64,
+    /// Total wall time spent inside merge calls.
+    pub merge_time: Duration,
+}
+
+impl LoadReport {
+    /// Branches matching a predicate on their role.
+    pub fn with_role(&self, f: impl Fn(&BranchRole) -> bool) -> Vec<&BranchInfo> {
+        self.branches.iter().filter(|b| f(&b.role)).collect()
+    }
+}
+
+/// Generator-side view of the keys visible in a branch: prefixes of
+/// ancestors' own-key lists plus the branch's own inserts.
+#[derive(Clone, Default)]
+struct KeyView {
+    /// `(branch index, prefix length)` — inherited visibility.
+    inherited: Vec<(usize, usize)>,
+    /// Total inherited key count (sum of prefix lengths).
+    inherited_total: u64,
+}
+
+struct BranchState {
+    id: BranchId,
+    view: KeyView,
+    /// Keys inserted on this branch, in order.
+    own: Vec<u64>,
+    /// Ops applied since the last commit.
+    since_commit: u64,
+    /// Total ops applied to this branch.
+    ops: u64,
+}
+
+struct Loader<'a> {
+    store: &'a mut dyn VersionedStore,
+    spec: &'a WorkloadSpec,
+    rng: DetRng,
+    next_key: u64,
+    branches: Vec<BranchState>,
+    infos: Vec<BranchInfo>,
+    inserts: u64,
+    updates: u64,
+    commits: u64,
+    merges: u64,
+    merge_bytes: u64,
+    merge_time: Duration,
+}
+
+/// Loads `store` according to `spec`; the store must be freshly
+/// initialized (only master, no data).
+pub fn load(store: &mut dyn VersionedStore, spec: &WorkloadSpec) -> Result<LoadReport> {
+    let start = Instant::now();
+    let mut loader = Loader {
+        store,
+        spec,
+        rng: DetRng::seed_from_u64(spec.seed),
+        next_key: 0,
+        branches: vec![BranchState {
+            id: BranchId::MASTER,
+            view: KeyView::default(),
+            own: Vec::new(),
+            since_commit: 0,
+            ops: 0,
+        }],
+        infos: vec![BranchInfo {
+            id: BranchId::MASTER,
+            name: "master".to_string(),
+            role: BranchRole::Mainline,
+        }],
+        inserts: 0,
+        updates: 0,
+        commits: 0,
+        merges: 0,
+        merge_bytes: 0,
+        merge_time: Duration::ZERO,
+    };
+    match spec.strategy {
+        Strategy::Deep => loader.load_deep()?,
+        Strategy::Flat => loader.load_flat()?,
+        Strategy::Science => loader.load_science()?,
+        Strategy::Curation => loader.load_curation()?,
+    }
+    // Final commit on every branch so heads are recorded versions.
+    for i in 0..loader.branches.len() {
+        if loader.branches[i].since_commit > 0 {
+            let id = loader.branches[i].id;
+            loader.store.commit(id)?;
+            loader.branches[i].since_commit = 0;
+            loader.commits += 1;
+        }
+    }
+    loader.store.flush()?;
+    Ok(LoadReport {
+        branches: loader.infos,
+        duration: start.elapsed(),
+        inserts: loader.inserts,
+        updates: loader.updates,
+        commits: loader.commits,
+        merges: loader.merges,
+        merge_bytes: loader.merge_bytes,
+        merge_time: loader.merge_time,
+    })
+}
+
+impl Loader<'_> {
+    fn gen_record(&mut self, key: u64) -> Record {
+        let fields = (0..self.spec.cols).map(|_| self.rng.next_u32() as u64).collect();
+        Record::new(key, fields)
+    }
+
+    /// Applies one operation (insert or update, per the configured mix) to
+    /// branch `idx` and handles the commit cadence.
+    fn one_op(&mut self, idx: usize) -> Result<()> {
+        let total_visible =
+            self.branches[idx].view.inherited_total + self.branches[idx].own.len() as u64;
+        let do_update =
+            total_visible > 0 && self.rng.below(100) < self.spec.update_pct as u64;
+        let branch_id = self.branches[idx].id;
+        if do_update {
+            let key = self.pick_visible_key(idx);
+            let rec = self.gen_record(key);
+            self.store.update(branch_id, rec)?;
+            self.updates += 1;
+        } else {
+            let key = self.next_key;
+            self.next_key += 1;
+            let rec = self.gen_record(key);
+            self.store.insert(branch_id, rec)?;
+            self.branches[idx].own.push(key);
+            self.inserts += 1;
+        }
+        self.branches[idx].ops += 1;
+        self.branches[idx].since_commit += 1;
+        if self.branches[idx].since_commit >= self.spec.commit_every {
+            self.store.commit(branch_id)?;
+            self.branches[idx].since_commit = 0;
+            self.commits += 1;
+        }
+        Ok(())
+    }
+
+    /// Uniformly samples a key visible in branch `idx`.
+    fn pick_visible_key(&mut self, idx: usize) -> u64 {
+        let b = &self.branches[idx];
+        let total = b.view.inherited_total + b.own.len() as u64;
+        let mut pos = self.rng.below(total);
+        if pos >= b.view.inherited_total {
+            return b.own[(pos - b.view.inherited_total) as usize];
+        }
+        for &(anc, prefix) in &b.view.inherited {
+            if pos < prefix as u64 {
+                return self.branches[anc].own[pos as usize];
+            }
+            pos -= prefix as u64;
+        }
+        unreachable!("inherited_total matches prefix sum");
+    }
+
+    /// Creates a branch in the store and registers generator-side state.
+    fn fork(&mut self, name: &str, parent_idx: usize, role: BranchRole) -> Result<usize> {
+        let parent_id = self.branches[parent_idx].id;
+        let id = self.store.create_branch(name, parent_id.into())?;
+        self.commits += 1; // forking commits the parent's working state
+        let mut view = self.branches[parent_idx].view.clone();
+        view.inherited.push((parent_idx, self.branches[parent_idx].own.len()));
+        view.inherited_total += self.branches[parent_idx].own.len() as u64;
+        self.branches.push(BranchState {
+            id,
+            view,
+            own: Vec::new(),
+            since_commit: 0,
+            ops: 0,
+        });
+        self.infos.push(BranchInfo { id, name: name.to_string(), role });
+        Ok(self.branches.len() - 1)
+    }
+
+    /// Merges branch `from_idx` into `into_idx` (three-way, source wins
+    /// conflicting fields — curation "applies fixes back").
+    fn merge(&mut self, into_idx: usize, from_idx: usize) -> Result<()> {
+        let into = self.branches[into_idx].id;
+        let from = self.branches[from_idx].id;
+        let t = Instant::now();
+        let res = self.store.merge(into, from, self.spec.merge_policy)?;
+        self.merge_time += t.elapsed();
+        self.merge_bytes += res.bytes_compared;
+        self.merges += 1;
+        // The destination now sees the source's inserts.
+        let from_own = self.branches[from_idx].own.len();
+        let (head, tail) = self.branches.split_at_mut(from_idx.max(into_idx));
+        let _ = (head, tail);
+        let view_add = (from_idx, from_own);
+        self.branches[into_idx].view.inherited.push(view_add);
+        self.branches[into_idx].view.inherited_total += from_own as u64;
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Strategies
+    // ----------------------------------------------------------------
+
+    /// Deep: a linear chain; ops always go to the newest link.
+    fn load_deep(&mut self) -> Result<()> {
+        let mut tail = 0usize;
+        for level in 0..self.spec.branches {
+            if level > 0 {
+                tail = self.fork(
+                    &format!("deep{level}"),
+                    tail,
+                    BranchRole::DeepLink(level as u32),
+                )?;
+            } else {
+                self.infos[0].role = BranchRole::DeepLink(0);
+            }
+            for _ in 0..self.spec.ops_per_branch {
+                self.one_op(tail)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flat: one parent, many children, ops spread across the children.
+    fn load_flat(&mut self) -> Result<()> {
+        // The common parent's data first.
+        for _ in 0..self.spec.ops_per_branch {
+            self.one_op(0)?;
+        }
+        let n_children = self.spec.branches.saturating_sub(1).max(1);
+        let mut children = Vec::with_capacity(n_children);
+        for c in 0..n_children {
+            children.push(self.fork(&format!("flat{c}"), 0, BranchRole::FlatChild)?);
+        }
+        let total = n_children as u64 * self.spec.ops_per_branch;
+        if self.spec.clustered {
+            // Clustered: each child's ops batched together.
+            for &c in &children {
+                for _ in 0..self.spec.ops_per_branch {
+                    self.one_op(c)?;
+                }
+            }
+        } else {
+            // Interleaved: "all child branches are selected uniformly at
+            // random".
+            for _ in 0..total {
+                let c = children[self.rng.below_usize(children.len())];
+                self.one_op(c)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Science: evolving mainline, working branches with a fixed lifetime,
+    /// no merges, 2:1 insert skew to mainline.
+    fn load_science(&mut self) -> Result<()> {
+        let n_branches = self.spec.branches;
+        let total_ops = self.spec.total_ops();
+        // Space branch creations evenly through the op stream.
+        let create_every = (total_ops / (n_branches as u64 + 1)).max(1);
+        let mut created = 0usize;
+        let mut active: Vec<usize> = Vec::new();
+        let mut issued = 0u64;
+        while issued < total_ops {
+            if created < n_branches && issued >= (created as u64 + 1) * create_every {
+                // "each new branch either starts from some commit of the
+                // master branch ('mainline'), or from the head of some
+                // existing active working branch."
+                let parent = if active.is_empty() || self.rng.chance(7, 10) {
+                    0
+                } else {
+                    *self.rng.choose(&active)
+                };
+                let idx = self.fork(
+                    &format!("sci{created}"),
+                    parent,
+                    BranchRole::Science { order: created as u32, retired: false },
+                )?;
+                active.push(idx);
+                created += 1;
+            }
+            // Retire branches past their lifetime.
+            let lifetime = self.spec.science_lifetime;
+            let mut i = 0;
+            while i < active.len() {
+                let idx = active[i];
+                if self.branches[idx].ops >= lifetime {
+                    active.swap_remove(i);
+                    let id = self.branches[idx].id;
+                    if self.branches[idx].since_commit > 0 {
+                        self.store.commit(id)?;
+                        self.branches[idx].since_commit = 0;
+                        self.commits += 1;
+                    }
+                    if let BranchRole::Science { retired, .. } = &mut self.infos[idx].role {
+                        *retired = true;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            // Weighted target choice: mainline counts `mainline_weight`.
+            let weight_total = self.spec.mainline_weight + active.len() as u64;
+            let pick = self.rng.below(weight_total);
+            let target = if pick < self.spec.mainline_weight {
+                0
+            } else {
+                active[(pick - self.spec.mainline_weight) as usize]
+            };
+            self.one_op(target)?;
+            issued += 1;
+        }
+        Ok(())
+    }
+
+    /// Curation: mainline + dev branches merged back, short feature/fix
+    /// branches off mainline or dev merged back into their parents.
+    fn load_curation(&mut self) -> Result<()> {
+        let n_branches = self.spec.branches;
+        let mut created = 0usize;
+        let mut active_devs: Vec<usize> = Vec::new();
+        let mut active_feats: Vec<(usize, usize)> = Vec::new(); // (idx, parent idx)
+        loop {
+            // Create branches while budget remains: keep one or two devs
+            // and up to two features in flight.
+            while created < n_branches
+                && (active_devs.len() < 2 || active_feats.len() < 2)
+            {
+                if active_devs.len() < 2 && (active_feats.len() >= 2 || self.rng.chance(3, 5)) {
+                    let idx = self.fork(
+                        &format!("dev{created}"),
+                        0,
+                        BranchRole::CurationDev { merged: false },
+                    )?;
+                    active_devs.push(idx);
+                } else {
+                    // "short-lived 'feature' or 'fix' branches may be
+                    // created off the mainline or a development branch".
+                    let parent = if active_devs.is_empty() || self.rng.chance(1, 2) {
+                        0
+                    } else {
+                        *self.rng.choose(&active_devs)
+                    };
+                    let idx = self.fork(
+                        &format!("feat{created}"),
+                        parent,
+                        BranchRole::CurationFeature {
+                            parent: self.branches[parent].id,
+                            merged: false,
+                        },
+                    )?;
+                    active_feats.push((idx, parent));
+                }
+                created += 1;
+            }
+            // Merge branches that reached their lifetimes — unless they
+            // are the last of their kind, kept active so post-load queries
+            // have dev/feature targets (§5.2 reads active branches).
+            let last_generation = created >= n_branches;
+            let mut f = 0;
+            while f < active_feats.len() {
+                let (idx, parent) = active_feats[f];
+                let done = self.branches[idx].ops >= self.spec.feature_lifetime;
+                if done && !(last_generation && active_feats.len() == 1) {
+                    active_feats.swap_remove(f);
+                    self.merge(parent, idx)?;
+                    if let BranchRole::CurationFeature { merged, .. } = &mut self.infos[idx].role
+                    {
+                        *merged = true;
+                    }
+                } else {
+                    f += 1;
+                }
+            }
+            let mut d = 0;
+            while d < active_devs.len() {
+                let idx = active_devs[d];
+                let done = self.branches[idx].ops >= self.spec.dev_lifetime;
+                // A dev with an unmerged feature child must wait for it.
+                let has_child = active_feats.iter().any(|&(_, p)| p == idx);
+                if done && !has_child && !(last_generation && active_devs.len() == 1) {
+                    active_devs.swap_remove(d);
+                    self.merge(0, idx)?;
+                    if let BranchRole::CurationDev { merged } = &mut self.infos[idx].role {
+                        *merged = true;
+                    }
+                } else {
+                    d += 1;
+                }
+            }
+            // Stop once every branch is created and in-flight work is
+            // down to the kept-active survivors.
+            if last_generation {
+                let feats_busy = active_feats
+                    .iter()
+                    .any(|&(idx, _)| self.branches[idx].ops < self.spec.feature_lifetime);
+                let devs_busy = active_devs
+                    .iter()
+                    .any(|&idx| self.branches[idx].ops < self.spec.dev_lifetime);
+                if !feats_busy && !devs_busy && active_devs.len() <= 1 && active_feats.len() <= 1
+                {
+                    break;
+                }
+            }
+            // "Data modifications are done randomly across the heads of
+            // the mainline branch or any of the active ... branches."
+            let mut heads = vec![0usize];
+            heads.extend(active_devs.iter().copied());
+            heads.extend(active_feats.iter().map(|&(i, _)| i));
+            let target = *self.rng.choose(&heads);
+            self.one_op(target)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use decibel_core::engine::{HybridEngine, TupleFirstBranchEngine, VersionFirstEngine};
+    use decibel_core::types::VersionRef;
+
+    fn spec(strategy: Strategy, branches: usize) -> WorkloadSpec {
+        let mut s = WorkloadSpec::scaled(strategy, branches, 0.05);
+        s.cols = 4;
+        s
+    }
+
+    fn tf(dir: &std::path::Path, spec: &WorkloadSpec) -> TupleFirstBranchEngine {
+        TupleFirstBranchEngine::init(dir.join("tf"), spec.schema(), &spec.store_config()).unwrap()
+    }
+
+    #[test]
+    fn deep_builds_a_chain() {
+        let dir = tempfile::tempdir().unwrap();
+        let spec = spec(Strategy::Deep, 5);
+        let mut store = tf(dir.path(), &spec);
+        let report = load(&mut store, &spec).unwrap();
+        assert_eq!(report.branches.len(), 5);
+        assert_eq!(report.merges, 0);
+        // Tail sees everything inserted anywhere in the chain.
+        let tail = report.branches.last().unwrap().id;
+        let live = store.live_count(VersionRef::Branch(tail)).unwrap();
+        assert_eq!(live, report.inserts);
+        // Root sees only its own inserts (~ops_per_branch at 80% inserts).
+        let root_live = store.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap();
+        assert!(root_live < live);
+        assert!(report.inserts + report.updates >= 5 * spec.ops_per_branch);
+    }
+
+    #[test]
+    fn flat_children_share_the_parent_data() {
+        let dir = tempfile::tempdir().unwrap();
+        let spec = spec(Strategy::Flat, 5);
+        let mut store = tf(dir.path(), &spec);
+        let report = load(&mut store, &spec).unwrap();
+        let children = report.with_role(|r| matches!(r, BranchRole::FlatChild));
+        assert_eq!(children.len(), 4);
+        let parent_live = store.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap();
+        for c in &children {
+            let live = store.live_count(VersionRef::Branch(c.id)).unwrap();
+            assert!(live >= parent_live * 8 / 10, "child inherits parent data");
+        }
+    }
+
+    #[test]
+    fn science_retires_branches_without_merging() {
+        let dir = tempfile::tempdir().unwrap();
+        let spec = spec(Strategy::Science, 6);
+        let mut store = tf(dir.path(), &spec);
+        let report = load(&mut store, &spec).unwrap();
+        assert_eq!(report.merges, 0);
+        let sci = report.with_role(|r| matches!(r, BranchRole::Science { .. }));
+        assert_eq!(sci.len(), 6);
+        let retired = report
+            .with_role(|r| matches!(r, BranchRole::Science { retired: true, .. }))
+            .len();
+        assert!(retired >= 1, "some branches retire");
+    }
+
+    #[test]
+    fn curation_merges_back() {
+        let dir = tempfile::tempdir().unwrap();
+        let spec = spec(Strategy::Curation, 8);
+        let mut store = tf(dir.path(), &spec);
+        let report = load(&mut store, &spec).unwrap();
+        assert!(report.merges >= 4, "most branches merge back (got {})", report.merges);
+        assert!(report.merge_bytes > 0);
+        // At least one dev and one feature stay active for queries.
+        assert!(!report
+            .with_role(|r| matches!(r, BranchRole::CurationDev { merged: false }))
+            .is_empty());
+        assert!(!report
+            .with_role(|r| matches!(r, BranchRole::CurationFeature { merged: false, .. }))
+            .is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_stream_across_engines() {
+        let dir = tempfile::tempdir().unwrap();
+        let spec = spec(Strategy::Curation, 6);
+        let mut a = tf(dir.path(), &spec);
+        let ra = load(&mut a, &spec).unwrap();
+        let mut b =
+            VersionFirstEngine::init(dir.path().join("vf"), spec.schema(), &spec.store_config())
+                .unwrap();
+        let rb = load(&mut b, &spec).unwrap();
+        let mut c =
+            HybridEngine::init(dir.path().join("hy"), spec.schema(), &spec.store_config())
+                .unwrap();
+        let rc = load(&mut c, &spec).unwrap();
+        assert_eq!(ra.inserts, rb.inserts);
+        assert_eq!(ra.updates, rb.updates);
+        assert_eq!(ra.merges, rb.merges);
+        assert_eq!(ra.inserts, rc.inserts);
+        // All engines agree on every branch's live set.
+        for info in &ra.branches {
+            let la = a.live_count(VersionRef::Branch(info.id)).unwrap();
+            let lb = b.live_count(VersionRef::Branch(info.id)).unwrap();
+            let lc = c.live_count(VersionRef::Branch(info.id)).unwrap();
+            assert_eq!(la, lb, "TF vs VF live count on {}", info.name);
+            assert_eq!(la, lc, "TF vs HY live count on {}", info.name);
+        }
+    }
+
+    #[test]
+    fn clustered_flat_loads_equivalent_data() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut spec_c = spec(Strategy::Flat, 4);
+        spec_c.clustered = true;
+        let mut store = tf(dir.path(), &spec_c);
+        let report = load(&mut store, &spec_c).unwrap();
+        assert_eq!(report.inserts + report.updates, 4 * spec_c.ops_per_branch);
+    }
+}

@@ -1,0 +1,280 @@
+//! Timed runners for the benchmark's four query classes (§4.3) and the
+//! branch selectors the evaluation uses (§5.2).
+
+use std::time::{Duration, Instant};
+
+use decibel_common::ids::BranchId;
+use decibel_common::rng::DetRng;
+use decibel_common::{DbError, Result};
+use decibel_core::query::Predicate;
+use decibel_core::store::VersionedStore;
+use decibel_core::types::VersionRef;
+
+use crate::loader::{BranchRole, LoadReport};
+
+/// Which branch a measured query targets — the selections §5.2 describes
+/// per strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pick {
+    /// Master / the mainline.
+    Mainline,
+    /// Deep: the latest link ("the tail").
+    DeepTail,
+    /// Deep: the tail's parent link.
+    DeepParent,
+    /// Flat: a random child ("this choice is arbitrary as all children are
+    /// equivalent").
+    FlatChild,
+    /// Flat: the single common parent.
+    FlatParent,
+    /// Science: the youngest still-active working branch.
+    SciYoungest,
+    /// Science: the oldest still-active working branch.
+    SciOldest,
+    /// Curation: an active development branch.
+    CurDev,
+    /// Curation: an active feature branch.
+    CurFeature,
+}
+
+/// Resolves a [`Pick`] against a load report.
+pub fn pick_branch(report: &LoadReport, pick: Pick, rng: &mut DetRng) -> Result<BranchId> {
+    let missing = |what: &str| DbError::Invalid(format!("no {what} branch in this workload"));
+    match pick {
+        Pick::Mainline => Ok(BranchId::MASTER),
+        Pick::DeepTail => report
+            .branches
+            .iter()
+            .filter_map(|b| match b.role {
+                BranchRole::DeepLink(l) => Some((l, b.id)),
+                _ => None,
+            })
+            .max_by_key(|&(l, _)| l)
+            .map(|(_, id)| id)
+            .ok_or_else(|| missing("deep tail")),
+        Pick::DeepParent => {
+            let mut links: Vec<(u32, BranchId)> = report
+                .branches
+                .iter()
+                .filter_map(|b| match b.role {
+                    BranchRole::DeepLink(l) => Some((l, b.id)),
+                    _ => None,
+                })
+                .collect();
+            links.sort_unstable();
+            if links.len() < 2 {
+                return Err(missing("deep parent"));
+            }
+            Ok(links[links.len() - 2].1)
+        }
+        Pick::FlatChild => {
+            let children = report.with_role(|r| matches!(r, BranchRole::FlatChild));
+            if children.is_empty() {
+                return Err(missing("flat child"));
+            }
+            Ok(children[rng.below_usize(children.len())].id)
+        }
+        Pick::FlatParent => Ok(BranchId::MASTER),
+        Pick::SciYoungest | Pick::SciOldest => {
+            let mut active: Vec<(u32, BranchId)> = report
+                .branches
+                .iter()
+                .filter_map(|b| match b.role {
+                    BranchRole::Science { order, retired: false } => Some((order, b.id)),
+                    _ => None,
+                })
+                .collect();
+            // Fall back to retired branches if none stayed active.
+            if active.is_empty() {
+                active = report
+                    .branches
+                    .iter()
+                    .filter_map(|b| match b.role {
+                        BranchRole::Science { order, .. } => Some((order, b.id)),
+                        _ => None,
+                    })
+                    .collect();
+            }
+            active.sort_unstable();
+            let picked = match pick {
+                Pick::SciYoungest => active.last(),
+                _ => active.first(),
+            };
+            picked.map(|&(_, id)| id).ok_or_else(|| missing("science"))
+        }
+        Pick::CurDev => {
+            let devs = report.with_role(|r| matches!(r, BranchRole::CurationDev { merged: false }));
+            let devs = if devs.is_empty() {
+                report.with_role(|r| matches!(r, BranchRole::CurationDev { .. }))
+            } else {
+                devs
+            };
+            if devs.is_empty() {
+                return Err(missing("curation dev"));
+            }
+            Ok(devs[rng.below_usize(devs.len())].id)
+        }
+        Pick::CurFeature => {
+            let feats = report
+                .with_role(|r| matches!(r, BranchRole::CurationFeature { merged: false, .. }));
+            let feats = if feats.is_empty() {
+                report.with_role(|r| matches!(r, BranchRole::CurationFeature { .. }))
+            } else {
+                feats
+            };
+            if feats.is_empty() {
+                return Err(missing("curation feature"));
+            }
+            Ok(feats[rng.below_usize(feats.len())].id)
+        }
+    }
+}
+
+/// Result of a timed query run.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Wall-clock duration.
+    pub wall: Duration,
+    /// Output rows (integrity check across engines).
+    pub rows: u64,
+}
+
+impl Timing {
+    /// Milliseconds as f64.
+    pub fn ms(&self) -> f64 {
+        self.wall.as_secs_f64() * 1e3
+    }
+}
+
+fn maybe_cold(store: &dyn VersionedStore, cold: bool) {
+    if cold {
+        // "We flush disk caches prior to each operation" (§5).
+        store.drop_caches();
+    }
+}
+
+/// Q1: "Scan and emit the active records in a single branch."
+pub fn q1(store: &dyn VersionedStore, version: VersionRef, cold: bool) -> Result<Timing> {
+    maybe_cold(store, cold);
+    let start = Instant::now();
+    let mut rows = 0u64;
+    for item in store.scan(version)? {
+        let _rec = item?;
+        rows += 1;
+    }
+    Ok(Timing { wall: start.elapsed(), rows })
+}
+
+/// Q2: "Compute the difference between two branches ... Emit the records
+/// in B1 that do not appear in B2."
+pub fn q2(store: &dyn VersionedStore, b1: VersionRef, b2: VersionRef, cold: bool) -> Result<Timing> {
+    maybe_cold(store, cold);
+    let start = Instant::now();
+    let diff = store.diff(b1, b2)?;
+    Ok(Timing { wall: start.elapsed(), rows: diff.left_only.len() as u64 })
+}
+
+/// Q3: "Scan and emit the active records in a primary-key join of two
+/// branches ... that satisfy some predicate." The predicate keeps ~50% of
+/// rows, matching the paper's non-selective setting.
+pub fn q3(store: &dyn VersionedStore, b1: VersionRef, b2: VersionRef, cold: bool) -> Result<Timing> {
+    maybe_cold(store, cold);
+    let predicate = Predicate::ColMod(0, 2, 0);
+    let start = Instant::now();
+    // Hash join: build on b2, probe with filtered b1 (§5.2).
+    let mut build = decibel_common::hash::FxHashMap::default();
+    for item in store.scan(b2)? {
+        let rec = item?;
+        build.insert(rec.key(), rec);
+    }
+    let mut rows = 0u64;
+    for item in store.scan(b1)? {
+        let rec = item?;
+        if predicate.eval(&rec) && build.contains_key(&rec.key()) {
+            rows += 1;
+        }
+    }
+    Ok(Timing { wall: start.elapsed(), rows })
+}
+
+/// Q4: "A full dataset scan that emits all records in the head of any
+/// branch that satisfy a predicate", with "a very non-selective predicate".
+pub fn q4(store: &dyn VersionedStore, branches: &[BranchId], cold: bool) -> Result<Timing> {
+    maybe_cold(store, cold);
+    let predicate = Predicate::ColNe(0, u64::MAX); // passes everything real
+    let start = Instant::now();
+    let mut rows = 0u64;
+    for item in store.multi_scan(branches)? {
+        let (rec, live) = item?;
+        if !live.is_empty() && predicate.eval(&rec) {
+            rows += 1;
+        }
+    }
+    Ok(Timing { wall: start.elapsed(), rows })
+}
+
+/// Every head branch in the store (Q4's default target set).
+pub fn all_heads(store: &dyn VersionedStore) -> Vec<BranchId> {
+    store.graph().heads(false).into_iter().map(|(b, _)| b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::load;
+    use crate::spec::WorkloadSpec;
+    use crate::strategy::Strategy;
+    use decibel_core::engine::HybridEngine;
+
+    fn loaded(strategy: Strategy) -> (tempfile::TempDir, HybridEngine, LoadReport) {
+        let dir = tempfile::tempdir().unwrap();
+        let mut spec = WorkloadSpec::scaled(strategy, 5, 0.05);
+        spec.cols = 4;
+        let mut store =
+            HybridEngine::init(dir.path().join("hy"), spec.schema(), &spec.store_config())
+                .unwrap();
+        let report = load(&mut store, &spec).unwrap();
+        (dir, store, report)
+    }
+
+    #[test]
+    fn picks_resolve_per_strategy() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let (_d, _s, deep) = loaded(Strategy::Deep);
+        let tail = pick_branch(&deep, Pick::DeepTail, &mut rng).unwrap();
+        let parent = pick_branch(&deep, Pick::DeepParent, &mut rng).unwrap();
+        assert_ne!(tail, parent);
+
+        let (_d, _s, flat) = loaded(Strategy::Flat);
+        pick_branch(&flat, Pick::FlatChild, &mut rng).unwrap();
+        assert_eq!(pick_branch(&flat, Pick::FlatParent, &mut rng).unwrap(), BranchId::MASTER);
+
+        let (_d, _s, sci) = loaded(Strategy::Science);
+        pick_branch(&sci, Pick::SciYoungest, &mut rng).unwrap();
+        pick_branch(&sci, Pick::SciOldest, &mut rng).unwrap();
+
+        let (_d, _s, cur) = loaded(Strategy::Curation);
+        pick_branch(&cur, Pick::CurDev, &mut rng).unwrap();
+        pick_branch(&cur, Pick::CurFeature, &mut rng).unwrap();
+        // Mismatched picks error.
+        assert!(pick_branch(&deep, Pick::FlatChild, &mut rng).is_err());
+    }
+
+    #[test]
+    fn queries_run_and_count_rows() {
+        let (_d, store, report) = loaded(Strategy::Flat);
+        let mut rng = DetRng::seed_from_u64(2);
+        let child = pick_branch(&report, Pick::FlatChild, &mut rng).unwrap();
+        let t1 = q1(&store, child.into(), true).unwrap();
+        assert!(t1.rows > 0);
+        let t2 = q2(&store, child.into(), BranchId::MASTER.into(), true).unwrap();
+        // The child has its own inserts not in the parent.
+        assert!(t2.rows > 0);
+        let t3 = q3(&store, child.into(), BranchId::MASTER.into(), true).unwrap();
+        assert!(t3.rows > 0);
+        assert!(t3.rows <= t1.rows);
+        let heads = all_heads(&store);
+        let t4 = q4(&store, &heads, true).unwrap();
+        assert!(t4.rows >= t1.rows);
+    }
+}

@@ -1,0 +1,138 @@
+//! Workload parameters (§4.2 "Data Generation and Loading").
+
+use decibel_common::schema::{ColumnType, Schema};
+use decibel_core::types::MergePolicy;
+use decibel_pagestore::StoreConfig;
+
+use crate::strategy::Strategy;
+
+/// Full parameterization of one benchmark dataset.
+///
+/// Paper defaults: 1 KB records (250 × 4-byte columns), 4 MB pages, commits
+/// every 10,000 operations per branch, 20% updates / 80% inserts, 100 GB
+/// datasets. The reproduction keeps every ratio but scales absolute sizes
+/// with [`WorkloadSpec::scaled`] so the full suite runs on a laptop; the
+/// paper geometry is available via [`WorkloadSpec::paper`].
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// The branching strategy.
+    pub strategy: Strategy,
+    /// Number of branches to create (beyond master for flat/sci/cur;
+    /// including the chain links for deep).
+    pub branches: usize,
+    /// Insert/update operations charged to each branch.
+    pub ops_per_branch: u64,
+    /// Number of integer data columns per record.
+    pub cols: usize,
+    /// Percentage of operations that are updates (paper: 20).
+    pub update_pct: u32,
+    /// Operations per branch between commits (paper: 10,000).
+    pub commit_every: u64,
+    /// RNG seed — "we deterministically seed the random number generator
+    /// to ensure each scheme performs the same set of operations in the
+    /// same order" (§5.6).
+    pub seed: u64,
+    /// Clustered loading batches each branch's ops; interleaved (the
+    /// evaluation default) mixes branches op by op.
+    pub clustered: bool,
+    /// Science: ops a working branch stays active for before retiring.
+    pub science_lifetime: u64,
+    /// Science: mainline weight for the 2:1 insert skew.
+    pub mainline_weight: u64,
+    /// Curation: ops a development branch receives before merging back.
+    pub dev_lifetime: u64,
+    /// Curation: ops a feature/fix branch receives before merging back.
+    pub feature_lifetime: u64,
+    /// Conflict policy for curation merges (Table 3 compares two-way and
+    /// three-way).
+    pub merge_policy: MergePolicy,
+}
+
+impl WorkloadSpec {
+    /// A laptop-scale spec: ratios match the paper, absolute volume scales
+    /// with `scale` (1.0 ≈ a few thousand records per branch).
+    pub fn scaled(strategy: Strategy, branches: usize, scale: f64) -> WorkloadSpec {
+        let ops = ((2_000.0 * scale).max(50.0)) as u64;
+        WorkloadSpec {
+            strategy,
+            branches,
+            ops_per_branch: ops,
+            cols: 60,
+            update_pct: 20,
+            commit_every: (ops / 4).max(25),
+            seed: 0x0DEC_1BE1,
+            clustered: false,
+            science_lifetime: (ops / 2).max(25),
+            mainline_weight: 2,
+            dev_lifetime: ops,
+            feature_lifetime: (ops / 4).max(10),
+            merge_policy: MergePolicy::ThreeWay { prefer_left: false },
+        }
+    }
+
+    /// The paper's geometry (250 columns, commits every 10k ops). Dataset
+    /// volume still comes from `branches × ops_per_branch`.
+    pub fn paper(strategy: Strategy, branches: usize, ops_per_branch: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            strategy,
+            branches,
+            ops_per_branch,
+            cols: 250,
+            update_pct: 20,
+            commit_every: 10_000,
+            seed: 0x0DEC_1BE1,
+            clustered: false,
+            science_lifetime: ops_per_branch,
+            mainline_weight: 2,
+            dev_lifetime: ops_per_branch,
+            feature_lifetime: (ops_per_branch / 4).max(10),
+            merge_policy: MergePolicy::ThreeWay { prefer_left: false },
+        }
+    }
+
+    /// The relation schema this spec generates.
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.cols, ColumnType::U32)
+    }
+
+    /// A store configuration sized for this spec (pages scaled with the
+    /// record size to keep records-per-page near the paper's ~4,000).
+    pub fn store_config(&self) -> StoreConfig {
+        let mut cfg = StoreConfig::bench_default();
+        cfg.page_size = (self.schema().record_size() * 256).next_power_of_two();
+        cfg
+    }
+
+    /// Approximate total operations the load will issue.
+    pub fn total_ops(&self) -> u64 {
+        self.branches as u64 * self.ops_per_branch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_keeps_ratios() {
+        let s = WorkloadSpec::scaled(Strategy::Flat, 10, 1.0);
+        assert_eq!(s.update_pct, 20);
+        assert!(s.commit_every >= 25);
+        assert_eq!(s.total_ops(), 10 * s.ops_per_branch);
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let s = WorkloadSpec::paper(Strategy::Deep, 10, 10_000);
+        assert_eq!(s.cols, 250);
+        assert_eq!(s.schema().record_size(), 1009);
+        assert_eq!(s.commit_every, 10_000);
+    }
+
+    #[test]
+    fn store_config_tracks_record_size() {
+        let small = WorkloadSpec::scaled(Strategy::Flat, 10, 1.0);
+        let big = WorkloadSpec::paper(Strategy::Flat, 10, 100);
+        assert!(big.store_config().page_size > small.store_config().page_size);
+    }
+}

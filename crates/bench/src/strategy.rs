@@ -1,0 +1,64 @@
+//! The four branching strategies (§4.1).
+
+use std::fmt;
+
+/// How the synthetic version graph evolves during loading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// "A single, linear branch chain. Each branch is created from the end
+    /// of the previous branch ... inserts and updates always occur in the
+    /// branch that was created last."
+    Deep,
+    /// "Creates many child branches from a single initial parent" — ops go
+    /// uniformly to the children.
+    Flat,
+    /// The data-science pattern: an evolving mainline; working branches
+    /// fork from mainline commits or other active branches, live a fixed
+    /// lifetime, then retire. No merges. Inserts skew 2:1 to mainline.
+    Science,
+    /// The data-curation pattern: development branches fork from mainline
+    /// and merge back; short-lived feature/fix branches fork from mainline
+    /// or a development branch and merge back into their parents.
+    Curation,
+}
+
+impl Strategy {
+    /// All four strategies in the paper's presentation order.
+    pub fn all() -> [Strategy; 4] {
+        [Strategy::Deep, Strategy::Flat, Strategy::Science, Strategy::Curation]
+    }
+
+    /// The short label used in the paper's tables (DEEP/FLAT/SCI/CUR).
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Deep => "DEEP",
+            Strategy::Flat => "FLAT",
+            Strategy::Science => "SCI",
+            Strategy::Curation => "CUR",
+        }
+    }
+
+    /// Whether this strategy performs merges during loading.
+    pub fn has_merges(self) -> bool {
+        matches!(self, Strategy::Curation)
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_merge_flags() {
+        assert_eq!(Strategy::Deep.label(), "DEEP");
+        assert_eq!(Strategy::all().len(), 4);
+        assert!(Strategy::Curation.has_merges());
+        assert!(!Strategy::Science.has_merges());
+    }
+}

@@ -1,0 +1,330 @@
+//! A growable bitset with word-level bulk operations.
+
+/// A dynamically sized bitset backed by `u64` words.
+///
+/// Used for branch liveness columns, commit snapshots, and diff results.
+/// Bulk operations (`or`, `xor`, `and_not`, ...) work a word at a time —
+/// the property that makes multi-branch queries cheap in the tuple-first
+/// and hybrid schemes ("Bitmaps are space-efficient and can be quickly
+/// intersected for multi-branch operations", §3.1).
+#[derive(Debug, Clone, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    /// Logical length in bits (bits at or past `len` are zero).
+    len: u64,
+}
+
+impl PartialEq for Bitmap {
+    /// Logical equality: same length, same bits. (The backing word vector
+    /// may carry different amounts of zero padding from growth doubling.)
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let n = self.len.div_ceil(64) as usize;
+        (0..n).all(|i| {
+            self.words.get(i).copied().unwrap_or(0) == other.words.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for Bitmap {}
+
+impl Bitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Bitmap::default()
+    }
+
+    /// Creates a bitmap of `len` zero bits.
+    pub fn zeros(len: u64) -> Self {
+        Bitmap { words: vec![0; len.div_ceil(64) as usize], len }
+    }
+
+    /// Logical length in bits.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grows the logical length to at least `len` bits (zero-filled).
+    pub fn grow(&mut self, len: u64) {
+        if len > self.len {
+            self.len = len;
+            let need = len.div_ceil(64) as usize;
+            if need > self.words.len() {
+                // Amortized doubling, as §3.2 prescribes for branch clones.
+                let target = need.max(self.words.len() * 2);
+                self.words.resize(target, 0);
+            }
+        }
+    }
+
+    /// Sets bit `i` to `v`, growing the bitmap if needed.
+    #[inline]
+    pub fn set(&mut self, i: u64, v: bool) {
+        self.grow(i + 1);
+        let word = (i / 64) as usize;
+        let mask = 1u64 << (i % 64);
+        if v {
+            self.words[word] |= mask;
+        } else {
+            self.words[word] &= !mask;
+        }
+    }
+
+    /// Returns bit `i` (bits past the end read as false).
+    #[inline]
+    pub fn get(&self, i: u64) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Returns the index of the first set bit at or after `from`, skipping
+    /// zero words — the primitive owned (self-contained) scan cursors use.
+    pub fn next_one(&self, from: u64) -> Option<u64> {
+        if from >= self.len {
+            return None;
+        }
+        let mut word_idx = (from / 64) as usize;
+        let mut word = self.words[word_idx] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                let idx = word_idx as u64 * 64 + word.trailing_zeros() as u64;
+                return if idx < self.len { Some(idx) } else { None };
+            }
+            word_idx += 1;
+            if word_idx >= self.words.len() {
+                return None;
+            }
+            word = self.words[word_idx];
+        }
+    }
+
+    /// Iterates the indexes of set bits in ascending order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0), len: self.len }
+    }
+
+    fn binary_op(&self, other: &Bitmap, f: impl Fn(u64, u64) -> u64) -> Bitmap {
+        let len = self.len.max(other.len);
+        let nwords = len.div_ceil(64) as usize;
+        let mut words = Vec::with_capacity(nwords);
+        for i in 0..nwords {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            words.push(f(a, b));
+        }
+        Bitmap { words, len }
+    }
+
+    /// Bitwise OR (union of live sets).
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        self.binary_op(other, |a, b| a | b)
+    }
+
+    /// Bitwise AND (records live in both branches).
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        self.binary_op(other, |a, b| a & b)
+    }
+
+    /// Bitwise XOR — the paper's diff primitive ("we simply XOR bitmaps
+    /// together", §3.2) and its commit-delta encoding.
+    pub fn xor(&self, other: &Bitmap) -> Bitmap {
+        self.binary_op(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise AND-NOT: records live in `self` but not `other` (positive
+    /// diff).
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        self.binary_op(other, |a, b| a & !b)
+    }
+
+    /// In-place XOR, used when replaying commit delta chains.
+    pub fn xor_assign(&mut self, other: &Bitmap) {
+        let len = self.len.max(other.len);
+        self.grow(len);
+        for (i, &w) in other.words.iter().enumerate() {
+            if w != 0 {
+                self.words[i] ^= w;
+            }
+        }
+    }
+
+    /// Access to the backing words (for codecs). Trailing words may be zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds from raw words and a logical length.
+    pub fn from_words(words: Vec<u64>, len: u64) -> Bitmap {
+        let mut b = Bitmap { words, len };
+        let need = len.div_ceil(64) as usize;
+        b.words.resize(need.max(b.words.len()), 0);
+        b
+    }
+
+    /// Approximate heap footprint in bytes (for the paper's index-size
+    /// accounting).
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Iterator over set-bit indexes, ascending.
+pub struct OnesIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    len: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as u64;
+                self.current &= self.current - 1;
+                let idx = self.word_idx as u64 * 64 + bit;
+                if idx >= self.len {
+                    return None;
+                }
+                return Some(idx);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_grow() {
+        let mut b = Bitmap::new();
+        assert!(!b.get(100));
+        b.set(100, true);
+        assert!(b.get(100));
+        assert_eq!(b.len(), 101);
+        b.set(100, false);
+        assert!(!b.get(100));
+        assert_eq!(b.len(), 101);
+    }
+
+    #[test]
+    fn count_and_iter() {
+        let mut b = Bitmap::new();
+        for i in [0u64, 63, 64, 65, 1000] {
+            b.set(i, true);
+        }
+        assert_eq!(b.count_ones(), 5);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 1000]);
+    }
+
+    #[test]
+    fn iter_empty() {
+        assert_eq!(Bitmap::new().iter_ones().count(), 0);
+        assert_eq!(Bitmap::zeros(200).iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn binary_ops_on_unequal_lengths() {
+        let mut a = Bitmap::new();
+        a.set(1, true);
+        a.set(200, true);
+        let mut b = Bitmap::new();
+        b.set(1, true);
+        b.set(2, true);
+        assert_eq!(a.or(&b).iter_ones().collect::<Vec<_>>(), vec![1, 2, 200]);
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(a.xor(&b).iter_ones().collect::<Vec<_>>(), vec![2, 200]);
+        assert_eq!(a.and_not(&b).iter_ones().collect::<Vec<_>>(), vec![200]);
+        assert_eq!(b.and_not(&a).iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn xor_assign_matches_xor() {
+        let mut a = Bitmap::new();
+        a.set(5, true);
+        a.set(70, true);
+        let mut b = Bitmap::new();
+        b.set(70, true);
+        b.set(128, true);
+        let expect = a.xor(&b);
+        a.xor_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), expect.iter_ones().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn xor_is_involutive() {
+        let mut a = Bitmap::new();
+        let mut b = Bitmap::new();
+        for i in 0..500 {
+            if i % 3 == 0 {
+                a.set(i, true);
+            }
+            if i % 5 == 0 {
+                b.set(i, true);
+            }
+        }
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        c.xor_assign(&b);
+        for i in 0..500 {
+            assert_eq!(c.get(i), a.get(i));
+        }
+    }
+
+    #[test]
+    fn from_words_roundtrip() {
+        let mut a = Bitmap::new();
+        a.set(3, true);
+        a.set(90, true);
+        let b = Bitmap::from_words(a.words().to_vec(), a.len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn next_one_matches_iter() {
+        let mut b = Bitmap::new();
+        for i in [0u64, 3, 64, 65, 190, 191] {
+            b.set(i, true);
+        }
+        let mut collected = Vec::new();
+        let mut pos = 0;
+        while let Some(i) = b.next_one(pos) {
+            collected.push(i);
+            pos = i + 1;
+        }
+        assert_eq!(collected, b.iter_ones().collect::<Vec<_>>());
+        assert_eq!(b.next_one(192), None);
+        assert_eq!(b.next_one(66), Some(190));
+    }
+
+    #[test]
+    fn grow_is_monotonic() {
+        let mut b = Bitmap::new();
+        b.grow(10);
+        b.grow(5);
+        assert_eq!(b.len(), 10);
+    }
+}

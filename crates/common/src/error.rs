@@ -1,0 +1,155 @@
+//! Crate-wide error and result types.
+
+use std::fmt;
+use std::io;
+
+/// The error type shared by every crate in the workspace.
+///
+/// Storage engines are I/O-heavy, so most variants wrap [`io::Error`] with a
+/// context string; the remaining variants capture violations of the Decibel
+/// versioning model (unknown branches, commits to non-head versions, merge
+/// conflicts surfaced to the caller, ...).
+#[derive(Debug)]
+pub enum DbError {
+    /// An operating-system I/O failure, annotated with what we were doing.
+    Io {
+        /// Human-readable description of the failed operation.
+        context: String,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A branch name or id that is not present in the version graph.
+    UnknownBranch(String),
+    /// A commit id that is not present in the version graph.
+    UnknownCommit(u64),
+    /// The requested operation is only legal on the head of a branch
+    /// (e.g. the paper forbids commits to non-head versions, §2.2.3).
+    NotBranchHead {
+        /// The branch whose head was required.
+        branch: String,
+    },
+    /// An insert used a primary key that is already live in the branch.
+    DuplicateKey {
+        /// The offending primary key.
+        key: u64,
+    },
+    /// An update or delete referenced a primary key not live in the branch.
+    KeyNotFound {
+        /// The missing primary key.
+        key: u64,
+    },
+    /// A record did not match the relation's schema.
+    SchemaMismatch {
+        /// Expected number of values (including the primary key).
+        expected: usize,
+        /// Number of values actually supplied.
+        actual: usize,
+    },
+    /// A merge found conflicting field updates and the chosen resolution
+    /// policy asked for conflicts to be surfaced rather than auto-resolved.
+    MergeConflicts {
+        /// How many conflicting records were found.
+        count: usize,
+    },
+    /// Corrupt or truncated on-disk state.
+    Corrupt {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// A session attempted an operation that its isolation level forbids,
+    /// e.g. writing a branch another session holds exclusively.
+    LockContention {
+        /// Description of the contended resource.
+        what: String,
+    },
+    /// Any other invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            DbError::UnknownBranch(name) => write!(f, "unknown branch: {name}"),
+            DbError::UnknownCommit(id) => write!(f, "unknown commit: {id}"),
+            DbError::NotBranchHead { branch } => {
+                write!(f, "operation requires the head of branch {branch}")
+            }
+            DbError::DuplicateKey { key } => write!(f, "duplicate primary key {key}"),
+            DbError::KeyNotFound { key } => write!(f, "primary key {key} not found"),
+            DbError::SchemaMismatch { expected, actual } => {
+                write!(f, "schema mismatch: expected {expected} values, got {actual}")
+            }
+            DbError::MergeConflicts { count } => {
+                write!(f, "merge produced {count} unresolved conflicts")
+            }
+            DbError::Corrupt { detail } => write!(f, "corrupt storage: {detail}"),
+            DbError::LockContention { what } => write!(f, "lock contention on {what}"),
+            DbError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl DbError {
+    /// Wraps an [`io::Error`] with a description of the failed operation.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        DbError::Io { context: context.into(), source }
+    }
+
+    /// Builds a [`DbError::Corrupt`] from a format-friendly detail string.
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        DbError::Corrupt { detail: detail.into() }
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+/// Extension trait for attaching context to raw [`io::Result`]s.
+pub trait IoResultExt<T> {
+    /// Converts an [`io::Result`] into a [`Result`], attaching `context`.
+    fn ctx(self, context: &str) -> Result<T>;
+}
+
+impl<T> IoResultExt<T> for io::Result<T> {
+    fn ctx(self, context: &str) -> Result<T> {
+        self.map_err(|e| DbError::io(context, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = DbError::io("reading segment", io::Error::other("boom"));
+        let s = e.to_string();
+        assert!(s.contains("reading segment"));
+        assert!(s.contains("boom"));
+    }
+
+    #[test]
+    fn io_source_is_exposed() {
+        let e = DbError::io("x", io::Error::other("inner"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&DbError::UnknownBranch("b".into())).is_none());
+    }
+
+    #[test]
+    fn ctx_converts_io_results() {
+        let r: io::Result<()> = Err(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        let err = r.ctx("opening heap").unwrap_err();
+        assert!(matches!(err, DbError::Io { .. }));
+        assert!(err.to_string().contains("opening heap"));
+    }
+}

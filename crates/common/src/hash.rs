@@ -1,0 +1,117 @@
+//! Fast non-cryptographic hashing for integer keys.
+//!
+//! Primary-key indexes and merge hash-joins hash `u64` primary keys on every
+//! insert/update and on every joined record, so SipHash (std's default) is
+//! measurably wasteful. This module provides an FxHash-style multiplicative
+//! hasher and `HashMap`/`HashSet` aliases built on it. (See the Rust
+//! Performance Book's hashing chapter for the rationale; FxHash is the
+//! rustc-internal algorithm.)
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash's 64-bit multiplier (golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiplicative hasher for small keys (FxHash algorithm).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// `HashMap` keyed with [`FxHasher`] — use for all hot integer-keyed maps.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` hashed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&7], 14);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(12345);
+        b.write_u64(12345);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_keys_usually_differ() {
+        let h = |k: u64| {
+            let mut hh = FxHasher::default();
+            hh.write_u64(k);
+            hh.finish()
+        };
+        let mut set: HashSet<u64> = HashSet::new();
+        for i in 0..10_000 {
+            set.insert(h(i));
+        }
+        assert_eq!(set.len(), 10_000, "no collisions on sequential keys");
+    }
+
+    #[test]
+    fn byte_writes_cover_remainder_path() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,119 @@
+//! Strongly-typed identifiers for the versioning model.
+//!
+//! The Decibel paper (§2.2.2) identifies *versions* (commits) by id,
+//! maintains *branches* as named working copies whose heads are commits, and
+//! (in the version-first / hybrid schemes, §3.3–3.4) stores data in
+//! *segments*. Records within a heap file are addressed by their slot index.
+//! Newtypes keep these id spaces from being confused at compile time.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// Returns the id as a `usize`, for indexing into vectors.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a branch (a live working copy of the dataset).
+    ///
+    /// Branch ids are dense: the `n`-th branch created gets id `n`, so every
+    /// engine can use them to index bitmap columns and per-branch tables.
+    /// Branch 0 is always `master` (the paper's authoritative branch of
+    /// record, §2.2.2).
+    BranchId, u32
+);
+
+id_type!(
+    /// Identifies a committed version (a point-in-time snapshot, §2.2.2).
+    ///
+    /// Commit ids are dense and monotonically increasing in creation order;
+    /// the version graph records the parent edges.
+    CommitId, u64
+);
+
+id_type!(
+    /// Identifies a segment file in the version-first and hybrid schemes.
+    SegmentId, u32
+);
+
+id_type!(
+    /// The slot index of a record inside a heap file (records are fixed
+    /// width, so the index determines the byte offset).
+    RecordIdx, u64
+);
+
+impl BranchId {
+    /// The id of the initial `master` branch.
+    pub const MASTER: BranchId = BranchId(0);
+}
+
+impl CommitId {
+    /// The id of the `init` commit that creates the dataset (§2.2.3).
+    pub const INIT: CommitId = CommitId(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types_with_raw_access() {
+        let b = BranchId(3);
+        let c = CommitId(3);
+        assert_eq!(b.raw(), 3u32);
+        assert_eq!(c.raw(), 3u64);
+        assert_eq!(b.index(), c.index());
+    }
+
+    #[test]
+    fn display_names_the_type() {
+        assert_eq!(BranchId(7).to_string(), "BranchId(7)");
+        assert_eq!(SegmentId(1).to_string(), "SegmentId(1)");
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(RecordIdx(1));
+        set.insert(RecordIdx(1));
+        set.insert(RecordIdx(2));
+        assert_eq!(set.len(), 2);
+        assert!(CommitId(1) < CommitId(2));
+    }
+
+    #[test]
+    fn master_and_init_constants() {
+        assert_eq!(BranchId::MASTER, BranchId(0));
+        assert_eq!(CommitId::INIT, CommitId(0));
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared foundations for the Decibel reproduction.
+//!
+//! This crate holds everything the storage engines, the version graph, the
+//! git-like baseline, and the benchmark harness agree on:
+//!
+//! * the logical data model ([`schema::Schema`], [`record::Record`]) — a
+//!   relation of fixed-width integer columns with an immutable integer
+//!   primary key, exactly the shape the Decibel paper generates in §4.2;
+//! * strongly-typed identifiers ([`ids`]) for branches, commits, segments
+//!   and record slots;
+//! * the crate-wide error type ([`error::DbError`]);
+//! * a deterministic random number generator ([`rng::DetRng`]) — the paper's
+//!   benchmark requires deterministically seeded data generation (§5.6), so
+//!   we implement SplitMix64/xoshiro256** from scratch rather than depend on
+//!   an external RNG whose stream might change between versions;
+//! * small codec helpers ([`varint`]) and a fast non-cryptographic hash
+//!   ([`hash`]) used for primary-key indexes and merge hash-joins.
+
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod record;
+pub mod rng;
+pub mod schema;
+pub mod varint;
+
+pub use error::{DbError, Result};
+pub use ids::{BranchId, CommitId, RecordIdx, SegmentId};
+pub use record::Record;
+pub use rng::DetRng;
+pub use schema::{ColumnType, Schema};

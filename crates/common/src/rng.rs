@@ -1,0 +1,205 @@
+//! Deterministic random number generation.
+//!
+//! The Decibel benchmark deterministically seeds its random number generator
+//! "to ensure each scheme performs the same set of operations in the same
+//! order" (§5.6). To guarantee that property across library versions we
+//! implement the generator ourselves: a SplitMix64 seeder feeding
+//! xoshiro256\*\* (Blackman & Vigna), both public-domain algorithms with
+//! well-known reference outputs.
+
+/// A deterministic xoshiro256\*\* generator seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds produce equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift rejection
+    /// method (unbiased). Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Fast path for powers of two.
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Bernoulli draw: true with probability `num/denom`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Chooses a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below_usize(items.len())]
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Forks a child generator whose stream is independent of (but fully
+    /// determined by) this one — handy for giving each benchmark phase its
+    /// own stream.
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = DetRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit in 1000 draws");
+    }
+
+    #[test]
+    fn below_power_of_two() {
+        let mut rng = DetRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(rng.below(64) < 64);
+        }
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut rng = DetRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.chance(1, 5)).count();
+        // 20% +/- generous slack.
+        assert!((1500..2500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = DetRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = DetRng::seed_from_u64(100);
+        let mut b = DetRng::seed_from_u64(100);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.next_u64(), fb.next_u64());
+    }
+}

@@ -1,0 +1,100 @@
+//! LEB128-style variable-length integer encoding.
+//!
+//! Used by the RLE-compressed commit history files (§3.2: run lengths are
+//! small most of the time but unbounded) and by the git-like baseline's
+//! object and packfile formats.
+
+use crate::error::{DbError, Result};
+
+/// Appends `v` to `out` as an unsigned LEB128 varint (1–10 bytes).
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a varint from `buf[*pos..]`, advancing `*pos`.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| DbError::corrupt("varint truncated"))?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(DbError::corrupt("varint overflows u64"));
+        }
+        result |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DbError::corrupt("varint too long"));
+        }
+    }
+}
+
+/// Encoded length of `v` in bytes without materializing the encoding.
+pub fn encoded_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        assert_eq!(buf.len(), encoded_len(v), "encoded_len mismatch for {v}");
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn roundtrips_edge_values() {
+        for v in [0, 1, 127, 128, 255, 256, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn sequential_decode() {
+        let mut buf = Vec::new();
+        for v in 0..100u64 {
+            write_u64(&mut buf, v * 7919);
+        }
+        let mut pos = 0;
+        for v in 0..100u64 {
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v * 7919);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn overlong_input_errors() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+}

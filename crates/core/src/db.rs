@@ -1,0 +1,165 @@
+//! The `Database`: a versioned store plus sessions, locking, and logging.
+//!
+//! "Users interact with Decibel by opening a connection to the Decibel
+//! server, which creates a session. A session captures the user's state,
+//! i.e., the commit (or the branch) that the operations the user issues
+//! will read or modify. Concurrent transactions by multiple users on the
+//! same version (but different sessions) are isolated from each other
+//! through two-phase locking" (§2.2.3).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use decibel_common::error::{DbError, Result};
+use decibel_common::schema::Schema;
+use decibel_pagestore::{LockManager, StoreConfig, Wal};
+use parking_lot::Mutex;
+
+use crate::engine::{
+    HybridEngine, TupleFirstBranchEngine, TupleFirstTupleEngine, VersionFirstEngine,
+};
+use crate::query::{execute, Query, QueryOutput};
+use crate::session::Session;
+use crate::store::VersionedStore;
+use crate::types::EngineKind;
+
+/// A Decibel database instance: one versioned relation stored under a
+/// directory by the chosen engine, shared by any number of sessions.
+pub struct Database {
+    pub(crate) store: Mutex<Box<dyn VersionedStore>>,
+    pub(crate) locks: LockManager,
+    pub(crate) wal: Wal,
+    pub(crate) next_txn: AtomicU64,
+    dir: PathBuf,
+}
+
+impl Database {
+    /// Creates a fresh database in `dir` using the given storage scheme.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        kind: EngineKind,
+        schema: Schema,
+        config: &StoreConfig,
+    ) -> Result<Database> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating database dir", e))?;
+        let store: Box<dyn VersionedStore> = match kind {
+            EngineKind::TupleFirstBranch => {
+                Box::new(TupleFirstBranchEngine::init(dir.join("data"), schema, config)?)
+            }
+            EngineKind::TupleFirstTuple => {
+                Box::new(TupleFirstTupleEngine::init(dir.join("data"), schema, config)?)
+            }
+            EngineKind::VersionFirst => {
+                Box::new(VersionFirstEngine::init(dir.join("data"), schema, config)?)
+            }
+            EngineKind::Hybrid => Box::new(HybridEngine::init(dir.join("data"), schema, config)?),
+        };
+        let wal = Wal::open(dir.join("wal.log"), config.fsync)?;
+        Ok(Database {
+            store: Mutex::new(store),
+            locks: LockManager::new(Duration::from_secs(2)),
+            wal,
+            next_txn: AtomicU64::new(1),
+            dir,
+        })
+    }
+
+    /// Opens a session, initially checked out at the head of `master`.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// Runs a declarative query (holds the store lock for the duration).
+    pub fn query(&self, query: &Query) -> Result<QueryOutput> {
+        let store = self.store.lock();
+        execute(store.as_ref(), query)
+    }
+
+    /// Runs `f` with shared access to the store (reads, stats, scans that
+    /// are consumed inside the closure).
+    pub fn with_store<T>(&self, f: impl FnOnce(&dyn VersionedStore) -> T) -> T {
+        let store = self.store.lock();
+        f(store.as_ref())
+    }
+
+    /// Runs `f` with exclusive access to the store (administrative
+    /// operations outside session transactions, e.g. merges in examples).
+    pub fn with_store_mut<T>(&self, f: impl FnOnce(&mut dyn VersionedStore) -> T) -> T {
+        let mut store = self.store.lock();
+        f(store.as_mut())
+    }
+
+    /// Allocates a WAL transaction id.
+    pub(crate) fn alloc_txn(&self) -> u64 {
+        self.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Flushes heap tails and persists the version graph.
+    pub fn flush(&self) -> Result<()> {
+        self.store.lock().flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+    use crate::types::VersionRef;
+    use decibel_common::ids::BranchId;
+    use decibel_common::record::Record;
+    use decibel_common::schema::ColumnType;
+
+    fn db(kind: EngineKind) -> (tempfile::TempDir, Database) {
+        let dir = tempfile::tempdir().unwrap();
+        let db = Database::create(
+            dir.path().join("db"),
+            kind,
+            Schema::new(2, ColumnType::U32),
+            &StoreConfig::test_default(),
+        )
+        .unwrap();
+        (dir, db)
+    }
+
+    #[test]
+    fn create_all_engine_kinds() {
+        for kind in EngineKind::all() {
+            let (_d, database) = db(kind);
+            assert_eq!(database.with_store(|s| s.kind()), kind);
+        }
+    }
+
+    #[test]
+    fn query_through_database() {
+        let (_d, database) = db(EngineKind::Hybrid);
+        database.with_store_mut(|s| {
+            for k in 0..5u64 {
+                s.insert(BranchId::MASTER, Record::new(k, vec![k, k])).unwrap();
+            }
+        });
+        let out = database
+            .query(&Query::ScanVersion {
+                version: VersionRef::Branch(BranchId::MASTER),
+                predicate: Predicate::ColGe(0, 3),
+            })
+            .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn flush_succeeds() {
+        let (_d, database) = db(EngineKind::VersionFirst);
+        database.with_store_mut(|s| {
+            s.insert(BranchId::MASTER, Record::new(1, vec![0, 0])).unwrap()
+        });
+        database.flush().unwrap();
+        assert!(database.dir().join("data").join("graph.dvg").exists());
+    }
+}

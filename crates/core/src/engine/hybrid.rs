@@ -1,0 +1,951 @@
+//! The hybrid storage engine (§3.4).
+//!
+//! "Hybrid combines the two storage models ... It operates by managing a
+//! collection of segments, each consisting of a single heap file (as in
+//! version-first) accompanied by a bitmap-based segment index (as in
+//! tuple-first). ... Additionally, a single branch-segment bitmap, external
+//! to all segments, relates a branch to the segments that contain at least
+//! one record alive in the branch."
+//!
+//! Segments come in two classes: *head* segments receiving a branch's fresh
+//! modifications, and *internal* segments frozen by branch operations,
+//! "after which only the segment's bitmap may change". The branch-segment
+//! bitmap lets scans skip segments with no live records and "allows for
+//! parallelization of segment scanning" — see
+//! [`HybridEngine::par_multi_scan`].
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use decibel_bitmap::{Bitmap, BranchBitmapIndex, CommitStore, VersionIndex};
+use decibel_common::error::{DbError, Result};
+use decibel_common::hash::FxHashMap;
+use decibel_common::ids::{BranchId, CommitId, RecordIdx, SegmentId};
+use decibel_common::record::Record;
+use decibel_common::schema::Schema;
+use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
+use decibel_vgraph::VersionGraph;
+
+use crate::engine::scan::BitmapScan;
+use crate::merge::{plan_merge, ChangeSet, MergeAction};
+use crate::store::VersionedStore;
+use crate::types::{
+    AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,
+    VersionRef,
+};
+
+/// One hybrid segment: heap file + local bitmap index + per-branch commit
+/// history stores.
+struct HySegment {
+    heap: HeapFile,
+    /// Local bitmap index: only "the set of branches which inherit records
+    /// contained in that segment" have columns here (§3.4).
+    index: BranchBitmapIndex,
+    /// Head segments accept appends; internal segments are frozen.
+    frozen: bool,
+    /// Per-branch commit stores ("in hybrid, each (branch, segment) has its
+    /// own file", §5.3) plus the branch-commit ordinal at store creation.
+    stores: FxHashMap<BranchId, (CommitStore, u64)>,
+}
+
+/// The hybrid engine.
+pub struct HybridEngine {
+    dir: PathBuf,
+    schema: Schema,
+    pool: Arc<BufferPool>,
+    segments: Vec<HySegment>,
+    /// The global branch-segment bitmap: row = branch, bit = segment id.
+    branch_seg: BranchBitmapIndex,
+    /// Per-branch head segment.
+    head: Vec<SegmentId>,
+    /// Per-branch primary-key index: key → (segment, slot) of the live copy.
+    pk: Vec<FxHashMap<u64, (SegmentId, RecordIdx)>>,
+    graph: VersionGraph,
+    /// Commits made per branch (ordinal source for commit stores).
+    branch_commits: Vec<u64>,
+    /// Global commit id → (branch, branch-commit ordinal).
+    commit_map: FxHashMap<CommitId, (BranchId, u64)>,
+}
+
+impl HybridEngine {
+    /// Initializes a fresh store in `dir` with an empty `master` branch.
+    pub fn init(dir: impl AsRef<Path>, schema: Schema, config: &StoreConfig) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating engine directory", e))?;
+        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        let mut engine = HybridEngine {
+            dir,
+            schema,
+            pool,
+            segments: Vec::new(),
+            branch_seg: BranchBitmapIndex::new(),
+            head: Vec::new(),
+            pk: vec![FxHashMap::default()],
+            graph: VersionGraph::init(),
+            branch_commits: vec![0],
+            commit_map: FxHashMap::default(),
+        };
+        engine.branch_seg.add_branch(BranchId::MASTER, None);
+        let seg = engine.new_segment()?;
+        engine.head.push(seg);
+        engine.mark_branch_segment(BranchId::MASTER, seg);
+        engine.segments[seg.index()].index.add_branch(BranchId::MASTER, None);
+        let init = engine.snapshot_commit(BranchId::MASTER)?;
+        engine.commit_map.insert(CommitId::INIT, (BranchId::MASTER, init));
+        Ok(engine)
+    }
+
+    fn new_segment(&mut self) -> Result<SegmentId> {
+        let id = SegmentId(self.segments.len() as u32);
+        let heap = HeapFile::create(
+            Arc::clone(&self.pool),
+            self.dir.join(format!("seg_{}.dat", id.raw())),
+            self.schema.clone(),
+        )?;
+        self.segments.push(HySegment {
+            heap,
+            index: BranchBitmapIndex::new(),
+            frozen: false,
+            stores: FxHashMap::default(),
+        });
+        self.branch_seg.ensure_rows(self.segments.len() as u64);
+        Ok(id)
+    }
+
+    fn mark_branch_segment(&mut self, branch: BranchId, seg: SegmentId) {
+        self.branch_seg.ensure_rows(self.segments.len() as u64);
+        self.branch_seg.set(branch, seg.raw() as u64, true);
+    }
+
+    /// Segment ids containing records of `branch`, from the global bitmap.
+    fn segments_of(&self, branch: BranchId) -> Vec<SegmentId> {
+        self.branch_seg
+            .branch_bitmap(branch)
+            .iter_ones()
+            .map(|s| SegmentId(s as u32))
+            .collect()
+    }
+
+    /// Appends a commit snapshot of every (branch, segment) bitmap and
+    /// returns the branch-commit ordinal.
+    fn snapshot_commit(&mut self, branch: BranchId) -> Result<u64> {
+        let ord = self.branch_commits[branch.index()];
+        for seg_id in self.segments_of(branch) {
+            let seg = &mut self.segments[seg_id.index()];
+            let col = seg.index.branch_bitmap(branch);
+            if let std::collections::hash_map::Entry::Vacant(e) = seg.stores.entry(branch) {
+                let store = CommitStore::create(
+                    self.dir.join(format!("commits_s{}_b{}.dcl", seg_id.raw(), branch.raw())),
+                    CommitStore::DEFAULT_LAYER_INTERVAL,
+                )?;
+                e.insert((store, ord));
+            }
+            let (store, _) = seg.stores.get_mut(&branch).unwrap();
+            store.append_commit(&col)?;
+        }
+        self.branch_commits[branch.index()] = ord + 1;
+        Ok(ord)
+    }
+
+    fn do_commit(&mut self, branch: BranchId, extra_parents: &[CommitId]) -> Result<CommitId> {
+        let ord = self.snapshot_commit(branch)?;
+        let cid = self.graph.add_commit(branch, extra_parents)?;
+        self.commit_map.insert(cid, (branch, ord));
+        Ok(cid)
+    }
+
+    /// Reconstructs the per-segment liveness bitmaps of a version.
+    fn version_bitmaps(&self, version: VersionRef) -> Result<Vec<(SegmentId, Bitmap)>> {
+        match version {
+            VersionRef::Branch(b) => {
+                self.graph.branch(b)?;
+                Ok(self
+                    .segments_of(b)
+                    .into_iter()
+                    .map(|s| (s, self.segments[s.index()].index.branch_bitmap(b)))
+                    .collect())
+            }
+            VersionRef::Commit(c) => {
+                let &(b, ord) = self
+                    .commit_map
+                    .get(&c)
+                    .ok_or(DbError::UnknownCommit(c.raw()))?;
+                let mut out = Vec::new();
+                for (idx, seg) in self.segments.iter().enumerate() {
+                    if let Some((store, first)) = seg.stores.get(&b) {
+                        if ord >= *first && ord - first < store.commit_count() {
+                            out.push((SegmentId(idx as u32), store.checkout(ord - first)?));
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Ensures `branch` has a bitmap column in `seg`.
+    fn ensure_column(&mut self, seg: SegmentId, branch: BranchId) {
+        let s = &mut self.segments[seg.index()];
+        if !s.index.has_branch(branch) {
+            s.index.add_branch(branch, None);
+        }
+        s.index.ensure_rows(s.heap.len());
+    }
+
+    /// Clears the live bit of a branch's current copy of a key, if any.
+    fn clear_old(&mut self, branch: BranchId, key: u64) -> Option<(SegmentId, RecordIdx)> {
+        let old = self.pk[branch.index()].remove(&key)?;
+        // Internal segments stay frozen for data, "only the segment's
+        // bitmap may change" (§3.4) — exactly this operation.
+        let seg = &mut self.segments[old.0.index()];
+        seg.index.ensure_rows(seg.heap.len());
+        seg.index.set(branch, old.1.raw(), false);
+        Some(old)
+    }
+
+    /// Appends a record to the branch's head segment and marks it live.
+    fn append_live(&mut self, branch: BranchId, record: &Record) -> Result<(SegmentId, RecordIdx)> {
+        let seg_id = self.head[branch.index()];
+        debug_assert!(!self.segments[seg_id.index()].frozen, "head segment must be unfrozen");
+        let idx = self.segments[seg_id.index()].heap.append(record)?;
+        self.ensure_column(seg_id, branch);
+        self.segments[seg_id.index()].index.set(branch, idx.raw(), true);
+        self.mark_branch_segment(branch, seg_id);
+        self.pk[branch.index()].insert(record.key(), (seg_id, idx));
+        Ok((seg_id, idx))
+    }
+
+    /// Builds a change set of `side` relative to `base` per-segment bitmaps.
+    fn change_set(
+        &self,
+        side: &[(SegmentId, Bitmap)],
+        base: &[(SegmentId, Bitmap)],
+    ) -> Result<(ChangeSet, u64)> {
+        let base_map: FxHashMap<SegmentId, &Bitmap> =
+            base.iter().map(|(s, b)| (*s, b)).collect();
+        let side_map: FxHashMap<SegmentId, &Bitmap> =
+            side.iter().map(|(s, b)| (*s, b)).collect();
+        let mut changes = ChangeSet::default();
+        let mut bytes = 0u64;
+        // Rows live on the side but not in the base: inserts/updated copies.
+        for (seg, bm) in side {
+            let added = match base_map.get(seg) {
+                Some(base_bm) => bm.and_not(base_bm),
+                None => bm.clone(),
+            };
+            for item in BitmapScan::new(&self.segments[seg.index()].heap, added) {
+                let (_, rec) = item?;
+                bytes += self.schema.record_size() as u64;
+                changes.insert(rec.key(), Some(rec));
+            }
+        }
+        // Base rows gone from the side: deletions (unless replaced above).
+        for (seg, bm) in base {
+            let removed = match side_map.get(seg) {
+                Some(side_bm) => bm.and_not(side_bm),
+                None => bm.clone(),
+            };
+            for item in BitmapScan::new(&self.segments[seg.index()].heap, removed) {
+                let (_, rec) = item?;
+                bytes += self.schema.record_size() as u64;
+                changes.entry(rec.key()).or_insert(None);
+            }
+        }
+        Ok((changes, bytes))
+    }
+
+    /// Parallel multi-branch scan: segments are scanned concurrently with
+    /// crossbeam scoped threads — the parallelism the branch-segment bitmap
+    /// "allows for" (§3.4). Results are materialized per segment and
+    /// returned in (segment, slot) order.
+    #[allow(clippy::type_complexity)]
+    pub fn par_multi_scan(
+        &self,
+        branches: &[BranchId],
+        threads: usize,
+    ) -> Result<Vec<(Record, Vec<BranchId>)>> {
+        let work = self.multi_scan_plan(branches)?;
+        let threads = threads.max(1);
+        let chunks: Vec<&[(SegmentId, Bitmap, Vec<(BranchId, Bitmap)>)]> =
+            work.chunks(work.len().div_ceil(threads).max(1)).collect();
+        let mut results: Vec<Vec<(SegmentId, Vec<(Record, Vec<BranchId>)>)>> =
+            Vec::with_capacity(chunks.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for (seg, union, cols) in chunk {
+                            let mut rows = Vec::new();
+                            for item in
+                                BitmapScan::new(&self.segments[seg.index()].heap, union.clone())
+                            {
+                                let (idx, rec) = item?;
+                                let live: Vec<BranchId> = cols
+                                    .iter()
+                                    .filter(|(_, c)| c.get(idx.raw()))
+                                    .map(|&(b, _)| b)
+                                    .collect();
+                                rows.push((rec, live));
+                            }
+                            out.push((*seg, rows));
+                        }
+                        Ok::<_, DbError>(out)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("scan thread panicked")?);
+            }
+            Ok::<_, DbError>(())
+        })
+        .expect("crossbeam scope panicked")?;
+        let mut flat: Vec<(SegmentId, Vec<(Record, Vec<BranchId>)>)> =
+            results.into_iter().flatten().collect();
+        flat.sort_by_key(|(seg, _)| *seg);
+        Ok(flat.into_iter().flat_map(|(_, rows)| rows).collect())
+    }
+
+    /// Shared planning for multi-branch scans: per relevant segment, the
+    /// union bitmap and the per-branch columns.
+    #[allow(clippy::type_complexity)]
+    fn multi_scan_plan(
+        &self,
+        branches: &[BranchId],
+    ) -> Result<Vec<(SegmentId, Bitmap, Vec<(BranchId, Bitmap)>)>> {
+        // "to find the set of records represented in either of two
+        // branches, one need only consult the segments identified by the
+        // logical OR of the rows for those branches" (§3.4).
+        let mut seg_union = Bitmap::zeros(self.segments.len() as u64);
+        for &b in branches {
+            self.graph.branch(b)?;
+            seg_union = seg_union.or(&self.branch_seg.branch_bitmap(b));
+        }
+        let mut plan = Vec::new();
+        for s in seg_union.iter_ones() {
+            let seg_id = SegmentId(s as u32);
+            let seg = &self.segments[s as usize];
+            let mut union = Bitmap::zeros(seg.heap.len());
+            let mut cols = Vec::new();
+            for &b in branches {
+                if seg.index.has_branch(b) {
+                    let col = seg.index.branch_bitmap(b);
+                    union = union.or(&col);
+                    cols.push((b, col));
+                }
+            }
+            plan.push((seg_id, union, cols));
+        }
+        Ok(plan)
+    }
+}
+
+impl VersionedStore for HybridEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Hybrid
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn graph(&self) -> &VersionGraph {
+        &self.graph
+    }
+
+    fn create_branch(&mut self, name: &str, from: VersionRef) -> Result<BranchId> {
+        let (from_commit, parent_branch) = match from {
+            VersionRef::Branch(b) => {
+                let cid = self.do_commit(b, &[])?;
+                (cid, Some(b))
+            }
+            VersionRef::Commit(c) => (c, None),
+        };
+        let new_b = self.graph.create_branch(name, from_commit)?;
+        debug_assert_eq!(new_b.index(), self.pk.len());
+        self.branch_commits.push(0);
+        match parent_branch {
+            Some(p) => {
+                // "The branch operation creates two new head segments ...
+                // The old head of the parent becomes an internal segment
+                // that contains records in both branches (note that its
+                // bitmap is expanded)" (§3.4).
+                let old_head = self.head[p.index()];
+                self.segments[old_head.index()].frozen = true;
+                // Child inherits the parent's liveness in every ancestral
+                // segment — "a bitmap scan ... only for those records in
+                // the direct ancestry instead of on the entire bitmap".
+                self.branch_seg.add_branch(new_b, Some(p));
+                for seg_id in self.segments_of(p) {
+                    let seg = &mut self.segments[seg_id.index()];
+                    if seg.index.has_branch(p) {
+                        seg.index.add_branch(new_b, Some(p));
+                    }
+                }
+                self.pk.push(self.pk[p.index()].clone());
+                // Two fresh head segments.
+                let p_head = self.new_segment()?;
+                self.head[p.index()] = p_head;
+                self.mark_branch_segment(p, p_head);
+                self.segments[p_head.index()].index.add_branch(p, None);
+                let c_head = self.new_segment()?;
+                self.head.push(c_head);
+                self.mark_branch_segment(new_b, c_head);
+                self.segments[c_head.index()].index.add_branch(new_b, None);
+            }
+            None => {
+                // Fork from a historical commit: restore its per-segment
+                // bitmaps as the child's columns.
+                let bitmaps = self.version_bitmaps(VersionRef::Commit(from_commit))?;
+                self.branch_seg.add_branch(new_b, None);
+                let mut keys = FxHashMap::default();
+                for (seg_id, bm) in bitmaps {
+                    if bm.count_ones() == 0 {
+                        continue;
+                    }
+                    let seg = &mut self.segments[seg_id.index()];
+                    seg.index.add_branch(new_b, None);
+                    seg.index.ensure_rows(seg.heap.len());
+                    seg.index.restore_branch(new_b, &bm);
+                    self.mark_branch_segment(new_b, seg_id);
+                    let mut pos = 0u64;
+                    while let Some(row) = bm.next_one(pos) {
+                        pos = row + 1;
+                        let (key, _) = self.segments[seg_id.index()]
+                            .heap
+                            .peek_key(RecordIdx(row))?;
+                        keys.insert(key, (seg_id, RecordIdx(row)));
+                    }
+                }
+                self.pk.push(keys);
+                let c_head = self.new_segment()?;
+                self.head.push(c_head);
+                self.mark_branch_segment(new_b, c_head);
+                self.segments[c_head.index()].index.add_branch(new_b, None);
+            }
+        }
+        Ok(new_b)
+    }
+
+    fn commit(&mut self, branch: BranchId) -> Result<CommitId> {
+        self.graph.branch(branch)?;
+        self.do_commit(branch, &[])
+    }
+
+    fn checkout_version(&self, commit: CommitId) -> Result<u64> {
+        Ok(self
+            .version_bitmaps(VersionRef::Commit(commit))?
+            .iter()
+            .map(|(_, bm)| bm.count_ones())
+            .sum())
+    }
+
+    fn insert(&mut self, branch: BranchId, record: Record) -> Result<()> {
+        self.schema.check_arity(record.fields().len())?;
+        self.graph.branch(branch)?;
+        if self.pk[branch.index()].contains_key(&record.key()) {
+            return Err(DbError::DuplicateKey { key: record.key() });
+        }
+        self.append_live(branch, &record)?;
+        Ok(())
+    }
+
+    fn update(&mut self, branch: BranchId, record: Record) -> Result<()> {
+        self.schema.check_arity(record.fields().len())?;
+        self.graph.branch(branch)?;
+        if !self.pk[branch.index()].contains_key(&record.key()) {
+            return Err(DbError::KeyNotFound { key: record.key() });
+        }
+        self.clear_old(branch, record.key());
+        self.append_live(branch, &record)?;
+        Ok(())
+    }
+
+    fn delete(&mut self, branch: BranchId, key: u64) -> Result<bool> {
+        self.graph.branch(branch)?;
+        Ok(self.clear_old(branch, key).is_some())
+    }
+
+    fn get(&self, version: VersionRef, key: u64) -> Result<Option<Record>> {
+        if let VersionRef::Branch(b) = version {
+            self.graph.branch(b)?;
+            return match self.pk[b.index()].get(&key) {
+                Some(&(seg, idx)) => Ok(Some(self.segments[seg.index()].heap.get(idx)?)),
+                None => Ok(None),
+            };
+        }
+        for (seg, bm) in self.version_bitmaps(version)? {
+            let heap = &self.segments[seg.index()].heap;
+            let mut pos = 0u64;
+            while let Some(row) = bm.next_one(pos) {
+                pos = row + 1;
+                let (k, _) = heap.peek_key(RecordIdx(row))?;
+                if k == key {
+                    return Ok(Some(heap.get(RecordIdx(row))?));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn scan(&self, version: VersionRef) -> Result<RecordIter<'_>> {
+        let bitmaps = self.version_bitmaps(version)?;
+        Ok(Box::new(HyScan { engine: self, segs: bitmaps, pos: 0, inner: None }.map(
+            |item| item.map(|(_, _, rec)| rec),
+        )))
+    }
+
+    fn multi_scan(&self, branches: &[BranchId]) -> Result<AnnotatedIter<'_>> {
+        let plan = self.multi_scan_plan(branches)?;
+        let segs: Vec<(SegmentId, Bitmap)> =
+            plan.iter().map(|(s, u, _)| (*s, u.clone())).collect();
+        let cols: FxHashMap<SegmentId, Vec<(BranchId, Bitmap)>> =
+            plan.into_iter().map(|(s, _, c)| (s, c)).collect();
+        Ok(Box::new(HyScan { engine: self, segs, pos: 0, inner: None }.map(move |item| {
+            item.map(|(seg, idx, rec)| {
+                let live: Vec<BranchId> = cols[&seg]
+                    .iter()
+                    .filter(|(_, c)| c.get(idx.raw()))
+                    .map(|&(b, _)| b)
+                    .collect();
+                (rec, live)
+            })
+        })))
+    }
+
+    fn diff(&self, left: VersionRef, right: VersionRef) -> Result<DiffResult> {
+        let lmaps: FxHashMap<SegmentId, Bitmap> =
+            self.version_bitmaps(left)?.into_iter().collect();
+        let rmaps: FxHashMap<SegmentId, Bitmap> =
+            self.version_bitmaps(right)?.into_iter().collect();
+        let mut out = DiffResult::default();
+        let mut segs: Vec<SegmentId> = lmaps.keys().chain(rmaps.keys()).copied().collect();
+        segs.sort_unstable();
+        segs.dedup();
+        let empty = Bitmap::new();
+        for seg in segs {
+            let l = lmaps.get(&seg).unwrap_or(&empty);
+            let r = rmaps.get(&seg).unwrap_or(&empty);
+            let heap = &self.segments[seg.index()].heap;
+            for item in BitmapScan::new(heap, l.and_not(r)) {
+                out.left_only.push(item?.1);
+            }
+            for item in BitmapScan::new(heap, r.and_not(l)) {
+                out.right_only.push(item?.1);
+            }
+        }
+        Ok(out)
+    }
+
+    fn merge(&mut self, into: BranchId, from: BranchId, policy: MergePolicy) -> Result<MergeResult> {
+        self.graph.branch(into)?;
+        self.graph.branch(from)?;
+        self.do_commit(into, &[])?;
+        let from_head = self.do_commit(from, &[])?;
+
+        // "the segment bitmaps can be leveraged (also requiring the lowest
+        // common ancestor commit) to determine where the conflicts are
+        // within the segment" (§3.4).
+        let lca = self.graph.lca(self.graph.head(into)?, from_head)?;
+        let lca_bms = self.version_bitmaps(VersionRef::Commit(lca))?;
+        let into_bms = self.version_bitmaps(VersionRef::Branch(into))?;
+        let from_bms = self.version_bitmaps(VersionRef::Branch(from))?;
+
+        let (left_changes, lbytes) = self.change_set(&into_bms, &lca_bms)?;
+        let (right_changes, rbytes) = self.change_set(&from_bms, &lca_bms)?;
+
+        // Base copies for both-changed keys: LCA rows replaced in `into`.
+        let into_map: FxHashMap<SegmentId, &Bitmap> =
+            into_bms.iter().map(|(s, b)| (*s, b)).collect();
+        let mut base_rows: FxHashMap<u64, (SegmentId, RecordIdx)> = FxHashMap::default();
+        for (seg, bm) in &lca_bms {
+            let gone = match into_map.get(seg) {
+                Some(ib) => bm.and_not(ib),
+                None => bm.clone(),
+            };
+            let heap = &self.segments[seg.index()].heap;
+            let mut pos = 0u64;
+            while let Some(row) = gone.next_one(pos) {
+                pos = row + 1;
+                let (key, _) = heap.peek_key(RecordIdx(row))?;
+                base_rows.insert(key, (*seg, RecordIdx(row)));
+            }
+        }
+
+        let segments = &self.segments;
+        let plan = plan_merge(
+            policy,
+            &left_changes,
+            &right_changes,
+            self.schema.record_size(),
+            |key| match base_rows.get(&key) {
+                Some(&(seg, idx)) => Ok(Some(segments[seg.index()].heap.get(idx)?)),
+                None => Ok(None),
+            },
+        )?;
+
+        let mut changed = 0u64;
+        for (key, action) in &plan.actions {
+            match action {
+                MergeAction::KeepLeft => {}
+                MergeAction::TakeRight(_) => {
+                    // Adopt the source's copy in place: mark it live for
+                    // `into` in its containing segment ("identifying the
+                    // new segments from the second parent that must track
+                    // records for the branch it is being merged into").
+                    let (seg, idx) = self.pk[from.index()][key];
+                    self.clear_old(into, *key);
+                    self.ensure_column(seg, into);
+                    self.segments[seg.index()].index.set(into, idx.raw(), true);
+                    self.mark_branch_segment(into, seg);
+                    self.pk[into.index()].insert(*key, (seg, idx));
+                    changed += 1;
+                }
+                MergeAction::Materialize(rec) => {
+                    self.clear_old(into, *key);
+                    self.append_live(into, rec)?;
+                    changed += 1;
+                }
+                MergeAction::Delete => {
+                    if self.clear_old(into, *key).is_some() {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+
+        let commit = self.do_commit(into, &[from_head])?;
+        Ok(MergeResult {
+            commit,
+            conflicts: plan.conflicts,
+            records_changed: changed,
+            bytes_compared: plan.bytes_compared + lbytes + rbytes,
+        })
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            data_bytes: self.segments.iter().map(|s| s.heap.byte_size()).sum(),
+            index_bytes: (self
+                .segments
+                .iter()
+                .map(|s| s.index.byte_size())
+                .sum::<usize>()
+                + self.branch_seg.byte_size()) as u64,
+            commit_store_bytes: self
+                .segments
+                .iter()
+                .flat_map(|s| s.stores.values())
+                .map(|(store, _)| store.file_size())
+                .sum(),
+            num_segments: self.segments.len() as u32,
+            num_commits: self.graph.num_commits(),
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        for seg in &self.segments {
+            seg.heap.flush()?;
+        }
+        self.graph.save(self.dir.join("graph.dvg"))
+    }
+
+    fn drop_caches(&self) {
+        self.pool.clear();
+    }
+}
+
+/// Streaming scan over a version's per-segment bitmaps.
+struct HyScan<'a> {
+    engine: &'a HybridEngine,
+    segs: Vec<(SegmentId, Bitmap)>,
+    pos: usize,
+    inner: Option<BitmapScan<'a>>,
+}
+
+impl Iterator for HyScan<'_> {
+    type Item = Result<(SegmentId, RecordIdx, Record)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(scan) = &mut self.inner {
+                if let Some(item) = scan.next() {
+                    let seg = self.segs[self.pos - 1].0;
+                    return Some(item.map(|(idx, rec)| (seg, idx, rec)));
+                }
+                self.inner = None;
+            }
+            let (seg, bm) = self.segs.get(self.pos)?;
+            self.pos += 1;
+            self.inner =
+                Some(BitmapScan::new(&self.engine.segments[seg.index()].heap, bm.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> (tempfile::TempDir, HybridEngine) {
+        let dir = tempfile::tempdir().unwrap();
+        let schema = Schema::new(4, decibel_common::schema::ColumnType::U32);
+        let eng = HybridEngine::init(dir.path().join("hy"), schema, &StoreConfig::test_default())
+            .unwrap();
+        (dir, eng)
+    }
+
+    fn rec(key: u64, tag: u64) -> Record {
+        Record::new(key, vec![tag, tag + 1, tag + 2, tag + 3])
+    }
+
+    fn keys(iter: RecordIter<'_>) -> Vec<u64> {
+        let mut v: Vec<u64> = iter.map(|r| r.unwrap().key()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_scan_master() {
+        let (_d, mut eng) = engine();
+        for k in 0..10 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn branching_freezes_head_and_creates_two_heads() {
+        let (_d, mut eng) = engine();
+        for k in 0..5 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        assert_eq!(eng.segments.len(), 1);
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        // Old head frozen; two new heads created.
+        assert_eq!(eng.segments.len(), 3);
+        assert!(eng.segments[0].frozen);
+        assert!(!eng.segments[1].frozen);
+        assert!(!eng.segments[2].frozen);
+        assert_ne!(eng.head[BranchId::MASTER.index()], eng.head[dev.index()]);
+        // Both branches see the inherited records.
+        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), (0..5).collect::<Vec<_>>());
+        assert_eq!(keys(eng.scan(dev.into()).unwrap()), (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn branch_isolation_and_update_across_segments() {
+        let (_d, mut eng) = engine();
+        for k in 0..5 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        // Update an inherited record in dev: clears the bit in the frozen
+        // internal segment, appends to dev's head.
+        eng.update(dev, rec(0, 77)).unwrap();
+        eng.insert(dev, rec(100, 0)).unwrap();
+        eng.insert(BranchId::MASTER, rec(200, 0)).unwrap();
+        assert_eq!(keys(eng.scan(dev.into()).unwrap()), vec![0, 1, 2, 3, 4, 100]);
+        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![0, 1, 2, 3, 4, 200]);
+        assert_eq!(eng.get(dev.into(), 0).unwrap().unwrap().field(0), 77);
+        assert_eq!(eng.get(BranchId::MASTER.into(), 0).unwrap().unwrap().field(0), 0);
+    }
+
+    #[test]
+    fn duplicate_and_missing_keys_are_validated() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        assert!(matches!(
+            eng.insert(BranchId::MASTER, rec(1, 1)),
+            Err(DbError::DuplicateKey { key: 1 })
+        ));
+        assert!(matches!(
+            eng.update(BranchId::MASTER, rec(9, 0)),
+            Err(DbError::KeyNotFound { key: 9 })
+        ));
+        assert!(eng.delete(BranchId::MASTER, 1).unwrap());
+        assert!(!eng.delete(BranchId::MASTER, 1).unwrap());
+    }
+
+    #[test]
+    fn commit_checkout_per_segment_history() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let c1 = eng.commit(BranchId::MASTER).unwrap();
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.insert(dev, rec(2, 0)).unwrap();
+        eng.update(dev, rec(1, 9)).unwrap();
+        let c2 = eng.commit(dev).unwrap();
+        eng.delete(dev, 2).unwrap();
+
+        assert_eq!(eng.checkout_version(c1).unwrap(), 1);
+        assert_eq!(eng.checkout_version(c2).unwrap(), 2);
+        assert_eq!(keys(eng.scan(c1.into()).unwrap()), vec![1]);
+        assert_eq!(keys(eng.scan(c2.into()).unwrap()), vec![1, 2]);
+        assert_eq!(eng.get(c2.into(), 1).unwrap().unwrap().field(0), 9);
+        assert_eq!(keys(eng.scan(dev.into()).unwrap()), vec![1]);
+    }
+
+    #[test]
+    fn branch_from_historical_commit() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let c1 = eng.commit(BranchId::MASTER).unwrap();
+        eng.insert(BranchId::MASTER, rec(2, 0)).unwrap();
+        eng.commit(BranchId::MASTER).unwrap();
+        let old = eng.create_branch("old", c1.into()).unwrap();
+        assert_eq!(keys(eng.scan(old.into()).unwrap()), vec![1]);
+        eng.update(old, rec(1, 5)).unwrap();
+        eng.insert(old, rec(3, 0)).unwrap();
+        assert_eq!(keys(eng.scan(old.into()).unwrap()), vec![1, 3]);
+        assert_eq!(eng.get(old.into(), 1).unwrap().unwrap().field(0), 5);
+    }
+
+    #[test]
+    fn diff_between_branches() {
+        let (_d, mut eng) = engine();
+        for k in 0..4 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.insert(dev, rec(10, 0)).unwrap();
+        eng.update(dev, rec(0, 99)).unwrap();
+        eng.delete(dev, 3).unwrap();
+        let d = eng.diff(dev.into(), BranchId::MASTER.into()).unwrap();
+        let mut l: Vec<u64> = d.left_only.iter().map(|r| r.key()).collect();
+        l.sort_unstable();
+        assert_eq!(l, vec![0, 10]);
+        let mut r: Vec<u64> = d.right_only.iter().map(|r| r.key()).collect();
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 3]);
+    }
+
+    #[test]
+    fn multi_scan_annotates_branches() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.insert(dev, rec(2, 0)).unwrap();
+        eng.insert(BranchId::MASTER, rec(3, 0)).unwrap();
+        let mut rows: Vec<(u64, usize)> = eng
+            .multi_scan(&[BranchId::MASTER, dev])
+            .unwrap()
+            .map(|r| {
+                let (rec, branches) = r.unwrap();
+                (rec.key(), branches.len())
+            })
+            .collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(1, 2), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn parallel_multi_scan_matches_sequential() {
+        let (_d, mut eng) = engine();
+        for k in 0..20 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        for k in 20..30 {
+            eng.insert(dev, rec(k, k)).unwrap();
+        }
+        eng.update(dev, rec(5, 500)).unwrap();
+        let mut seq: Vec<(u64, Vec<BranchId>)> = eng
+            .multi_scan(&[BranchId::MASTER, dev])
+            .unwrap()
+            .map(|r| {
+                let (rec, b) = r.unwrap();
+                (rec.key(), b)
+            })
+            .collect();
+        let mut par: Vec<(u64, Vec<BranchId>)> = eng
+            .par_multi_scan(&[BranchId::MASTER, dev], 4)
+            .unwrap()
+            .into_iter()
+            .map(|(rec, b)| (rec.key(), b))
+            .collect();
+        seq.sort();
+        par.sort();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn three_way_merge_field_level() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 10)).unwrap();
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        let mut l = rec(1, 10);
+        l.set_field(0, 111);
+        eng.update(BranchId::MASTER, l).unwrap();
+        let mut r = rec(1, 10);
+        r.set_field(3, 333);
+        eng.update(dev, r).unwrap();
+
+        let res = eng
+            .merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: true })
+            .unwrap();
+        assert!(res.conflicts.is_empty());
+        let merged = eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap();
+        assert_eq!(merged.field(0), 111);
+        assert_eq!(merged.field(3), 333);
+    }
+
+    #[test]
+    fn merge_adopts_source_copies_in_place() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.insert(dev, rec(5, 50)).unwrap();
+        let data_before = eng.stats().data_bytes;
+        eng.merge(BranchId::MASTER, dev, MergePolicy::TwoWay { prefer_left: true }).unwrap();
+        // The adopted record was not copied: only bitmaps changed.
+        assert_eq!(eng.stats().data_bytes, data_before);
+        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![1, 5]);
+        assert_eq!(eng.get(BranchId::MASTER.into(), 5).unwrap().unwrap().field(0), 50);
+    }
+
+    #[test]
+    fn merge_delete_conflict_respects_precedence() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.delete(BranchId::MASTER, 1).unwrap();
+        eng.update(dev, rec(1, 5)).unwrap();
+        let res = eng
+            .merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false })
+            .unwrap();
+        assert_eq!(res.conflicts.len(), 1);
+        assert_eq!(eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap().field(0), 5);
+    }
+
+    #[test]
+    fn stats_reflect_segmented_layout() {
+        let (_d, mut eng) = engine();
+        for k in 0..10 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        let _dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.commit(BranchId::MASTER).unwrap();
+        let s = eng.stats();
+        assert_eq!(s.num_segments, 3);
+        assert!(s.index_bytes > 0);
+        assert!(s.commit_store_bytes > 0);
+    }
+
+    #[test]
+    fn deep_branch_chain_scans_correctly() {
+        let (_d, mut eng) = engine();
+        let mut branch = BranchId::MASTER;
+        let mut key = 0u64;
+        for level in 0..5 {
+            for _ in 0..3 {
+                eng.insert(branch, rec(key, level)).unwrap();
+                key += 1;
+            }
+            branch = eng.create_branch(&format!("b{level}"), branch.into()).unwrap();
+        }
+        assert_eq!(keys(eng.scan(branch.into()).unwrap()), (0..15).collect::<Vec<_>>());
+        assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 3);
+    }
+}

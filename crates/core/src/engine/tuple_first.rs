@@ -1,0 +1,689 @@
+//! The tuple-first storage engine (§3.2).
+//!
+//! "Tuple-first stores tuples from different branches within a single
+//! shared heap file. ... this approach relies on a bitmap index with one
+//! bit per branch per tuple to annotate the branches a tuple is active in."
+//!
+//! The engine is generic over the bitmap orientation
+//! ([`BranchBitmapIndex`] or [`TupleBitmapIndex`], §3.1), has one
+//! [`CommitStore`] per branch for compressed commit histories, and keeps
+//! the paper's per-branch primary-key index "indicating the most recent
+//! version of each primary key in each branch" for efficient updates and
+//! deletes.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use decibel_bitmap::{Bitmap, BranchBitmapIndex, CommitStore, TupleBitmapIndex, VersionIndex};
+use decibel_common::error::{DbError, Result};
+use decibel_common::hash::FxHashMap;
+use decibel_common::ids::{BranchId, CommitId, RecordIdx};
+use decibel_common::record::Record;
+use decibel_common::schema::Schema;
+use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
+use decibel_vgraph::VersionGraph;
+
+use crate::engine::scan::BitmapScan;
+use crate::merge::{plan_merge, ChangeSet, MergeAction};
+use crate::store::VersionedStore;
+use crate::types::{
+    AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,
+    VersionRef,
+};
+
+/// Maps an index orientation to its [`EngineKind`] label.
+pub trait IndexOrientation: VersionIndex + Default + 'static {
+    /// The engine-kind label for this orientation.
+    const KIND: EngineKind;
+}
+
+impl IndexOrientation for BranchBitmapIndex {
+    const KIND: EngineKind = EngineKind::TupleFirstBranch;
+}
+
+impl IndexOrientation for TupleBitmapIndex {
+    const KIND: EngineKind = EngineKind::TupleFirstTuple;
+}
+
+/// Tuple-first with the paper's evaluation-default branch-oriented bitmap.
+pub type TupleFirstBranchEngine = TupleFirstEngine<BranchBitmapIndex>;
+/// Tuple-first with a tuple-oriented bitmap.
+pub type TupleFirstTupleEngine = TupleFirstEngine<TupleBitmapIndex>;
+
+/// The tuple-first engine: one shared heap file + a bitmap index.
+pub struct TupleFirstEngine<I: IndexOrientation> {
+    dir: PathBuf,
+    schema: Schema,
+    pool: Arc<BufferPool>,
+    heap: HeapFile,
+    index: I,
+    graph: VersionGraph,
+    /// Per-branch primary-key index: key → slot of the live copy.
+    pk: Vec<FxHashMap<u64, RecordIdx>>,
+    /// Per-branch compressed commit history files.
+    commit_stores: Vec<CommitStore>,
+    /// Global commit id → (branch, ordinal within that branch's store).
+    commit_map: FxHashMap<CommitId, (BranchId, u64)>,
+}
+
+impl<I: IndexOrientation> TupleFirstEngine<I> {
+    /// Initializes a fresh store in `dir` (the paper's `init` transaction,
+    /// §2.2.3): a `master` branch holding an empty relation, with the init
+    /// commit recorded.
+    pub fn init(dir: impl AsRef<Path>, schema: Schema, config: &StoreConfig) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| DbError::io("creating engine directory", e))?;
+        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        let heap = HeapFile::create(Arc::clone(&pool), dir.join("heap.dat"), schema.clone())?;
+        let mut index = I::default();
+        index.add_branch(BranchId::MASTER, None);
+        let graph = VersionGraph::init();
+        let mut store =
+            CommitStore::create(dir.join("commits_b0.dcl"), CommitStore::DEFAULT_LAYER_INTERVAL)?;
+        // Ordinal 0 in master's store is the (empty) init commit.
+        let ord = store.append_commit(&Bitmap::new())?;
+        let mut commit_map = FxHashMap::default();
+        commit_map.insert(CommitId::INIT, (BranchId::MASTER, ord));
+        Ok(TupleFirstEngine {
+            dir,
+            schema,
+            pool,
+            heap,
+            index,
+            graph,
+            pk: vec![FxHashMap::default()],
+            commit_stores: vec![store],
+            commit_map,
+        })
+    }
+
+    /// Materializes the liveness bitmap of any version: the index column
+    /// for branch heads, a commit-store checkout for historical commits.
+    fn version_bitmap(&self, version: VersionRef) -> Result<Bitmap> {
+        match version {
+            VersionRef::Branch(b) => {
+                self.graph.branch(b)?;
+                Ok(self.index.branch_bitmap(b))
+            }
+            VersionRef::Commit(c) => {
+                let &(b, ord) = self
+                    .commit_map
+                    .get(&c)
+                    .ok_or(DbError::UnknownCommit(c.raw()))?;
+                self.commit_stores[b.index()].checkout(ord)
+            }
+        }
+    }
+
+    fn pk_of(&self, branch: BranchId) -> Result<&FxHashMap<u64, RecordIdx>> {
+        self.graph.branch(branch)?;
+        Ok(&self.pk[branch.index()])
+    }
+
+    /// Records a commit snapshot of `branch` in its history file and the
+    /// version graph.
+    fn do_commit(&mut self, branch: BranchId, extra_parents: &[CommitId]) -> Result<CommitId> {
+        let col = self.index.branch_bitmap(branch);
+        let ord = self.commit_stores[branch.index()].append_commit(&col)?;
+        let cid = self.graph.add_commit(branch, extra_parents)?;
+        self.commit_map.insert(cid, (branch, ord));
+        Ok(cid)
+    }
+
+    /// Builds `branch`'s change set relative to a base bitmap: for every
+    /// row live in exactly one of the two, classify the key as
+    /// updated/inserted (`Some(copy)`) or deleted (`None`). This is the
+    /// bitmap-driven diff §3.2's merge uses to avoid scanning the whole
+    /// LCA.
+    fn change_set(&self, branch_bm: &Bitmap, base_bm: &Bitmap) -> Result<(ChangeSet, u64)> {
+        let mut changes = ChangeSet::default();
+        let mut bytes = 0u64;
+        let added = branch_bm.and_not(base_bm);
+        for item in BitmapScan::new(&self.heap, added) {
+            let (_, rec) = item?;
+            bytes += self.schema.record_size() as u64;
+            changes.insert(rec.key(), Some(rec));
+        }
+        let removed = base_bm.and_not(branch_bm);
+        for item in BitmapScan::new(&self.heap, removed) {
+            let (_, rec) = item?;
+            bytes += self.schema.record_size() as u64;
+            // A removed base row with no replacement copy is a deletion.
+            changes.entry(rec.key()).or_insert(None);
+        }
+        Ok((changes, bytes))
+    }
+}
+
+impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
+    fn kind(&self) -> EngineKind {
+        I::KIND
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn graph(&self) -> &VersionGraph {
+        &self.graph
+    }
+
+    fn create_branch(&mut self, name: &str, from: VersionRef) -> Result<BranchId> {
+        let (from_commit, parent_branch) = match from {
+            VersionRef::Branch(b) => {
+                // Branches are made from commits (§2.2.3); branching from a
+                // working head implicitly commits it first so the fork
+                // point is a recorded version.
+                let cid = self.do_commit(b, &[])?;
+                (cid, Some(b))
+            }
+            VersionRef::Commit(c) => (c, None),
+        };
+        let new_b = self.graph.create_branch(name, from_commit)?;
+        debug_assert_eq!(new_b.index(), self.pk.len());
+        match parent_branch {
+            Some(p) => {
+                // "A branch operation clones the state of the parent
+                // branch's bitmap" (§3.2) — and its key index.
+                self.index.add_branch(new_b, Some(p));
+                self.pk.push(self.pk[p.index()].clone());
+            }
+            None => {
+                // Historical commit: restore the snapshot, rebuild keys.
+                let bm = self.version_bitmap(VersionRef::Commit(from_commit))?;
+                self.index.add_branch(new_b, None);
+                self.index.restore_branch(new_b, &bm);
+                let mut keys = FxHashMap::default();
+                let mut pos = 0u64;
+                while let Some(row) = bm.next_one(pos) {
+                    pos = row + 1;
+                    let (key, _) = self.heap.peek_key(RecordIdx(row))?;
+                    keys.insert(key, RecordIdx(row));
+                }
+                self.pk.push(keys);
+            }
+        }
+        self.commit_stores.push(CommitStore::create(
+            self.dir.join(format!("commits_b{}.dcl", new_b.raw())),
+            CommitStore::DEFAULT_LAYER_INTERVAL,
+        )?);
+        Ok(new_b)
+    }
+
+    fn commit(&mut self, branch: BranchId) -> Result<CommitId> {
+        self.graph.branch(branch)?;
+        self.do_commit(branch, &[])
+    }
+
+    fn checkout_version(&self, commit: CommitId) -> Result<u64> {
+        Ok(self.version_bitmap(VersionRef::Commit(commit))?.count_ones())
+    }
+
+    fn insert(&mut self, branch: BranchId, record: Record) -> Result<()> {
+        self.schema.check_arity(record.fields().len())?;
+        self.graph.branch(branch)?;
+        if self.pk[branch.index()].contains_key(&record.key()) {
+            return Err(DbError::DuplicateKey { key: record.key() });
+        }
+        let idx = self.heap.append(&record)?;
+        self.index.ensure_rows(idx.raw() + 1);
+        self.index.set(branch, idx.raw(), true);
+        self.pk[branch.index()].insert(record.key(), idx);
+        Ok(())
+    }
+
+    fn update(&mut self, branch: BranchId, record: Record) -> Result<()> {
+        self.schema.check_arity(record.fields().len())?;
+        self.graph.branch(branch)?;
+        let old = *self.pk[branch.index()]
+            .get(&record.key())
+            .ok_or(DbError::KeyNotFound { key: record.key() })?;
+        // "the index bit of the previous version of the record is unset ...
+        // we also set the index bit for the new, updated copy of the record
+        // inserted at the end of the heap file" (§3.2).
+        self.index.set(branch, old.raw(), false);
+        let idx = self.heap.append(&record)?;
+        self.index.ensure_rows(idx.raw() + 1);
+        self.index.set(branch, idx.raw(), true);
+        self.pk[branch.index()].insert(record.key(), idx);
+        Ok(())
+    }
+
+    fn delete(&mut self, branch: BranchId, key: u64) -> Result<bool> {
+        self.graph.branch(branch)?;
+        match self.pk[branch.index()].remove(&key) {
+            Some(old) => {
+                self.index.set(branch, old.raw(), false);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn get(&self, version: VersionRef, key: u64) -> Result<Option<Record>> {
+        if let VersionRef::Branch(b) = version {
+            return match self.pk_of(b)?.get(&key) {
+                Some(&idx) => Ok(Some(self.heap.get(idx)?)),
+                None => Ok(None),
+            };
+        }
+        // Historical commits have no key index; walk the snapshot.
+        let bm = self.version_bitmap(version)?;
+        let mut pos = 0u64;
+        while let Some(row) = bm.next_one(pos) {
+            pos = row + 1;
+            let (k, _) = self.heap.peek_key(RecordIdx(row))?;
+            if k == key {
+                return Ok(Some(self.heap.get(RecordIdx(row))?));
+            }
+        }
+        Ok(None)
+    }
+
+    fn scan(&self, version: VersionRef) -> Result<RecordIter<'_>> {
+        let bm = self.version_bitmap(version)?;
+        Ok(Box::new(BitmapScan::new(&self.heap, bm).map(|r| r.map(|(_, rec)| rec))))
+    }
+
+    fn multi_scan(&self, branches: &[BranchId]) -> Result<AnnotatedIter<'_>> {
+        // "a multi-branch query can quickly emit which branches contain any
+        // tuple without needing to resolve deltas" (§3.2): one pass over
+        // the heap driven by the union bitmap, annotating from the
+        // per-branch columns.
+        let mut union = Bitmap::zeros(self.index.num_rows());
+        let mut columns = Vec::with_capacity(branches.len());
+        for &b in branches {
+            self.graph.branch(b)?;
+            let col = self.index.branch_bitmap(b);
+            union = union.or(&col);
+            columns.push((b, col));
+        }
+        Ok(Box::new(BitmapScan::new(&self.heap, union).map(move |item| {
+            item.map(|(idx, rec)| {
+                let live: Vec<BranchId> = columns
+                    .iter()
+                    .filter(|(_, col)| col.get(idx.raw()))
+                    .map(|&(b, _)| b)
+                    .collect();
+                (rec, live)
+            })
+        })))
+    }
+
+    fn diff(&self, left: VersionRef, right: VersionRef) -> Result<DiffResult> {
+        // "Diff is straightforward to compute in tuple-first: we simply XOR
+        // bitmaps together and emit records on the appropriate output
+        // iterator" (§3.2).
+        let lbm = self.version_bitmap(left)?;
+        let rbm = self.version_bitmap(right)?;
+        let mut out = DiffResult::default();
+        for item in BitmapScan::new(&self.heap, lbm.and_not(&rbm)) {
+            out.left_only.push(item?.1);
+        }
+        for item in BitmapScan::new(&self.heap, rbm.and_not(&lbm)) {
+            out.right_only.push(item?.1);
+        }
+        Ok(out)
+    }
+
+    fn merge(&mut self, into: BranchId, from: BranchId, policy: MergePolicy) -> Result<MergeResult> {
+        self.graph.branch(into)?;
+        self.graph.branch(from)?;
+        // Merge operates on the branch heads (§2.2.3); commit both working
+        // states so the merge inputs are recorded versions.
+        self.do_commit(into, &[])?;
+        let from_head = self.do_commit(from, &[])?;
+
+        // "At the start of the merge process, the lca commit is restored"
+        // (§3.2).
+        let lca = self.graph.lca(self.graph.head(into)?, from_head)?;
+        let lca_bm = self.version_bitmap(VersionRef::Commit(lca))?;
+        let into_bm = self.index.branch_bitmap(into);
+        let from_bm = self.index.branch_bitmap(from);
+
+        let (left_changes, lbytes) = self.change_set(&into_bm, &lca_bm)?;
+        let (right_changes, rbytes) = self.change_set(&from_bm, &lca_bm)?;
+
+        // Base copies for both-changed keys come from LCA rows replaced in
+        // `into` (a key updated on both sides lost its base row in both).
+        let mut base_rows: FxHashMap<u64, RecordIdx> = FxHashMap::default();
+        let gone = lca_bm.and_not(&into_bm);
+        let mut pos = 0u64;
+        while let Some(row) = gone.next_one(pos) {
+            pos = row + 1;
+            let (key, _) = self.heap.peek_key(RecordIdx(row))?;
+            base_rows.insert(key, RecordIdx(row));
+        }
+
+        let heap = &self.heap;
+        let plan = plan_merge(policy, &left_changes, &right_changes, self.schema.record_size(), |key| {
+            match base_rows.get(&key) {
+                Some(&idx) => Ok(Some(heap.get(idx)?)),
+                None => Ok(None),
+            }
+        })?;
+
+        let mut changed = 0u64;
+        for (key, action) in &plan.actions {
+            match action {
+                MergeAction::KeepLeft => {}
+                MergeAction::TakeRight(_) => {
+                    // Adopt the source's physical copy: flip bits, no I/O.
+                    let src_row = self.pk[from.index()][key];
+                    if let Some(old) = self.pk[into.index()].get(key).copied() {
+                        self.index.set(into, old.raw(), false);
+                    }
+                    self.index.set(into, src_row.raw(), true);
+                    self.pk[into.index()].insert(*key, src_row);
+                    changed += 1;
+                }
+                MergeAction::Materialize(rec) => {
+                    if let Some(old) = self.pk[into.index()].get(key).copied() {
+                        self.index.set(into, old.raw(), false);
+                    }
+                    let idx = self.heap.append(rec)?;
+                    self.index.ensure_rows(idx.raw() + 1);
+                    self.index.set(into, idx.raw(), true);
+                    self.pk[into.index()].insert(*key, idx);
+                    changed += 1;
+                }
+                MergeAction::Delete => {
+                    if let Some(old) = self.pk[into.index()].remove(key) {
+                        self.index.set(into, old.raw(), false);
+                        changed += 1;
+                    }
+                }
+            }
+        }
+
+        let commit = self.do_commit(into, &[from_head])?;
+        Ok(MergeResult {
+            commit,
+            conflicts: plan.conflicts,
+            records_changed: changed,
+            bytes_compared: plan.bytes_compared + lbytes + rbytes,
+        })
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            data_bytes: self.heap.byte_size(),
+            index_bytes: self.index.byte_size() as u64,
+            commit_store_bytes: self.commit_stores.iter().map(|s| s.file_size()).sum(),
+            num_segments: 1,
+            num_commits: self.graph.num_commits(),
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.heap.flush()?;
+        self.graph.save(self.dir.join("graph.dvg"))
+    }
+
+    fn drop_caches(&self) {
+        self.pool.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> (tempfile::TempDir, TupleFirstBranchEngine) {
+        let dir = tempfile::tempdir().unwrap();
+        let schema = Schema::new(4, decibel_common::schema::ColumnType::U32);
+        let eng =
+            TupleFirstEngine::init(dir.path().join("tf"), schema, &StoreConfig::test_default())
+                .unwrap();
+        (dir, eng)
+    }
+
+    fn rec(key: u64, tag: u64) -> Record {
+        Record::new(key, vec![tag, tag + 1, tag + 2, tag + 3])
+    }
+
+    fn keys(iter: RecordIter<'_>) -> Vec<u64> {
+        let mut v: Vec<u64> = iter.map(|r| r.unwrap().key()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_scan_master() {
+        let (_d, mut eng) = engine();
+        for k in 0..10 {
+            eng.insert(BranchId::MASTER, rec(k, k * 10)).unwrap();
+        }
+        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), (0..10).collect::<Vec<_>>());
+        assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 10);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        assert!(matches!(
+            eng.insert(BranchId::MASTER, rec(1, 1)),
+            Err(DbError::DuplicateKey { key: 1 })
+        ));
+    }
+
+    #[test]
+    fn update_replaces_and_get_sees_latest() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        eng.update(BranchId::MASTER, rec(1, 99)).unwrap();
+        let got = eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap();
+        assert_eq!(got.field(0), 99);
+        assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 1);
+        assert!(matches!(
+            eng.update(BranchId::MASTER, rec(42, 0)),
+            Err(DbError::KeyNotFound { key: 42 })
+        ));
+    }
+
+    #[test]
+    fn delete_hides_record() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        assert!(eng.delete(BranchId::MASTER, 1).unwrap());
+        assert!(!eng.delete(BranchId::MASTER, 1).unwrap());
+        assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 0);
+        assert_eq!(eng.get(BranchId::MASTER.into(), 1).unwrap(), None);
+    }
+
+    #[test]
+    fn branch_isolation() {
+        let (_d, mut eng) = engine();
+        for k in 0..5 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        // Child sees parent's records.
+        assert_eq!(keys(eng.scan(dev.into()).unwrap()), (0..5).collect::<Vec<_>>());
+        // Changes on each side are invisible to the other.
+        eng.insert(dev, rec(100, 0)).unwrap();
+        eng.update(dev, rec(0, 77)).unwrap();
+        eng.insert(BranchId::MASTER, rec(200, 0)).unwrap();
+        assert_eq!(keys(eng.scan(dev.into()).unwrap()), vec![0, 1, 2, 3, 4, 100]);
+        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![0, 1, 2, 3, 4, 200]);
+        assert_eq!(eng.get(dev.into(), 0).unwrap().unwrap().field(0), 77);
+        assert_eq!(eng.get(BranchId::MASTER.into(), 0).unwrap().unwrap().field(0), 0);
+    }
+
+    #[test]
+    fn commit_checkout_history() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let c1 = eng.commit(BranchId::MASTER).unwrap();
+        eng.insert(BranchId::MASTER, rec(2, 0)).unwrap();
+        eng.update(BranchId::MASTER, rec(1, 50)).unwrap();
+        let c2 = eng.commit(BranchId::MASTER).unwrap();
+        eng.delete(BranchId::MASTER, 1).unwrap();
+
+        assert_eq!(eng.checkout_version(c1).unwrap(), 1);
+        assert_eq!(eng.checkout_version(c2).unwrap(), 2);
+        // Scan at a commit reads the historical state.
+        assert_eq!(keys(eng.scan(c1.into()).unwrap()), vec![1]);
+        let at_c2 = eng.get(c2.into(), 1).unwrap().unwrap();
+        assert_eq!(at_c2.field(0), 50);
+        // Working head has the delete.
+        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![2]);
+    }
+
+    #[test]
+    fn branch_from_historical_commit() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let c1 = eng.commit(BranchId::MASTER).unwrap();
+        eng.insert(BranchId::MASTER, rec(2, 0)).unwrap();
+        eng.commit(BranchId::MASTER).unwrap();
+        let old = eng.create_branch("old", c1.into()).unwrap();
+        assert_eq!(keys(eng.scan(old.into()).unwrap()), vec![1]);
+        // The restored branch is writable with a working key index.
+        eng.update(old, rec(1, 9)).unwrap();
+        eng.insert(old, rec(3, 0)).unwrap();
+        assert_eq!(keys(eng.scan(old.into()).unwrap()), vec![1, 3]);
+    }
+
+    #[test]
+    fn diff_between_branches() {
+        let (_d, mut eng) = engine();
+        for k in 0..4 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.insert(dev, rec(10, 0)).unwrap();
+        eng.update(dev, rec(0, 99)).unwrap();
+        eng.delete(dev, 3).unwrap();
+        let d = eng.diff(dev.into(), BranchId::MASTER.into()).unwrap();
+        let mut l: Vec<u64> = d.left_only.iter().map(|r| r.key()).collect();
+        l.sort_unstable();
+        assert_eq!(l, vec![0, 10], "dev-only copies: new insert + updated copy");
+        let mut r: Vec<u64> = d.right_only.iter().map(|r| r.key()).collect();
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 3], "master-only copies: old copy of 0 + undeleted 3");
+    }
+
+    #[test]
+    fn multi_scan_annotates_branches() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.insert(dev, rec(2, 0)).unwrap();
+        eng.insert(BranchId::MASTER, rec(3, 0)).unwrap();
+        let mut rows: Vec<(u64, usize)> = eng
+            .multi_scan(&[BranchId::MASTER, dev])
+            .unwrap()
+            .map(|r| {
+                let (rec, branches) = r.unwrap();
+                (rec.key(), branches.len())
+            })
+            .collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(1, 2), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn three_way_merge_auto_merges_disjoint_fields() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 10)).unwrap();
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        // Disjoint field edits on either side of the fork.
+        let mut left = rec(1, 10);
+        left.set_field(0, 111);
+        eng.update(BranchId::MASTER, left).unwrap();
+        let mut right = rec(1, 10);
+        right.set_field(3, 333);
+        eng.update(dev, right).unwrap();
+
+        let res = eng
+            .merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: true })
+            .unwrap();
+        assert!(res.conflicts.is_empty());
+        let merged = eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap();
+        assert_eq!(merged.field(0), 111);
+        assert_eq!(merged.field(3), 333);
+        // The merge commit has two parents.
+        let meta = eng.graph().commit(res.commit).unwrap();
+        assert_eq!(meta.parents.len(), 2);
+    }
+
+    #[test]
+    fn merge_precedence_on_overlap() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 10)).unwrap();
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        let mut l = rec(1, 10);
+        l.set_field(0, 111);
+        eng.update(BranchId::MASTER, l).unwrap();
+        let mut r = rec(1, 10);
+        r.set_field(0, 222);
+        eng.update(dev, r).unwrap();
+
+        let res = eng
+            .merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false })
+            .unwrap();
+        assert_eq!(res.conflicts.len(), 1);
+        assert_eq!(res.conflicts[0].fields, vec![0]);
+        assert_eq!(eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap().field(0), 222);
+    }
+
+    #[test]
+    fn merge_adopts_source_inserts_and_deletes() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        eng.insert(BranchId::MASTER, rec(2, 0)).unwrap();
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.insert(dev, rec(5, 0)).unwrap();
+        eng.delete(dev, 2).unwrap();
+        eng.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: true }).unwrap();
+        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![1, 5]);
+    }
+
+    #[test]
+    fn tuple_oriented_variant_behaves_identically() {
+        let dir = tempfile::tempdir().unwrap();
+        let schema = Schema::new(4, decibel_common::schema::ColumnType::U32);
+        let mut eng: TupleFirstTupleEngine =
+            TupleFirstEngine::init(dir.path().join("tft"), schema, &StoreConfig::test_default())
+                .unwrap();
+        assert_eq!(eng.kind(), EngineKind::TupleFirstTuple);
+        for k in 0..20 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.update(dev, rec(7, 700)).unwrap();
+        eng.delete(dev, 8).unwrap();
+        assert_eq!(eng.live_count(dev.into()).unwrap(), 19);
+        assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 20);
+        assert_eq!(eng.get(dev.into(), 7).unwrap().unwrap().field(0), 700);
+        assert_eq!(eng.get(BranchId::MASTER.into(), 7).unwrap().unwrap().field(0), 7);
+    }
+
+    #[test]
+    fn stats_track_growth() {
+        let (_d, mut eng) = engine();
+        let s0 = eng.stats();
+        for k in 0..50 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        eng.commit(BranchId::MASTER).unwrap();
+        let s1 = eng.stats();
+        assert!(s1.data_bytes > s0.data_bytes);
+        assert!(s1.commit_store_bytes > s0.commit_store_bytes);
+        assert_eq!(s1.num_segments, 1);
+        assert_eq!(s1.num_commits, 2); // init + explicit
+    }
+
+    #[test]
+    fn flush_persists_graph() {
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        eng.commit(BranchId::MASTER).unwrap();
+        eng.flush().unwrap();
+        let loaded = VersionGraph::load(eng.dir.join("graph.dvg")).unwrap();
+        assert_eq!(loaded.num_commits(), eng.graph().num_commits());
+    }
+}

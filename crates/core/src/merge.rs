@@ -1,0 +1,354 @@
+//! Engine-agnostic merge planning.
+//!
+//! All three engines detect merge candidates the same way — "we perform a
+//! diff to find modified records in each branch. For each record, we check
+//! to see if its key exists in the other branch's table. If it does, the
+//! record with this key has been modified in both branches and must be
+//! checked for conflict. To do so, we find the common ancestor tuple and do
+//! a three-way merge to identify if overlapping fields have been updated
+//! through field level comparisons" (§3.2) — they differ only in *how* they
+//! obtain the per-branch modified sets (bitmap XOR vs segment scans) and in
+//! how they apply the outcome. This module hosts the shared decision logic,
+//! which also guarantees all engines produce identical merge states — a
+//! property the cross-engine tests assert.
+
+use decibel_common::hash::FxHashMap;
+use decibel_common::record::Record;
+use decibel_common::Result;
+
+use crate::types::{Conflict, MergePolicy};
+
+/// What the merge decides to do with one key in the destination branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeAction {
+    /// Keep the destination branch's current copy (no storage change).
+    KeepLeft,
+    /// Adopt the source branch's live copy.
+    TakeRight(Record),
+    /// Write a freshly merged record (field-level three-way merge output).
+    Materialize(Record),
+    /// Remove the key from the destination (a delete wins).
+    Delete,
+}
+
+/// The full plan for a merge: per-key actions plus resolved conflicts.
+#[derive(Debug, Default)]
+pub struct MergePlan {
+    /// Actions keyed by primary key. Keys absent from the map are
+    /// untouched in the destination.
+    pub actions: Vec<(u64, MergeAction)>,
+    /// Conflicts encountered (already resolved by precedence).
+    pub conflicts: Vec<Conflict>,
+    /// Total record bytes compared while planning (throughput accounting).
+    pub bytes_compared: u64,
+}
+
+/// A branch's change to one key relative to the merge base: the new live
+/// copy, or `None` for a deletion.
+pub type ChangeSet = FxHashMap<u64, Option<Record>>;
+
+/// Computes the merge plan from the two branches' change sets relative to
+/// their lowest common ancestor.
+///
+/// `left` is the destination branch, `right` the source. `fetch_base`
+/// retrieves the LCA's live copy of a key (only called for keys changed on
+/// both sides, mirroring §3.2's "reduces the amount of data that needs to
+/// be scanned from the lca").
+pub fn plan_merge(
+    policy: MergePolicy,
+    left: &ChangeSet,
+    right: &ChangeSet,
+    record_size: usize,
+    mut fetch_base: impl FnMut(u64) -> Result<Option<Record>>,
+) -> Result<MergePlan> {
+    let mut plan = MergePlan::default();
+    let prefer_left = policy.prefer_left();
+
+    // Keys changed only in the source: adopt them wholesale.
+    for (&key, change) in right {
+        if left.contains_key(&key) {
+            continue;
+        }
+        plan.bytes_compared += record_size as u64;
+        match change {
+            Some(rec) => plan.actions.push((key, MergeAction::TakeRight(rec.clone()))),
+            None => plan.actions.push((key, MergeAction::Delete)),
+        }
+    }
+
+    // Keys changed in both: conflict candidates.
+    let mut both: Vec<u64> = left.keys().filter(|k| right.contains_key(k)).copied().collect();
+    both.sort_unstable(); // deterministic plan order across engines
+    for key in both {
+        let l = &left[&key];
+        let r = &right[&key];
+        plan.bytes_compared += 2 * record_size as u64;
+        match (l, r) {
+            (None, None) => {
+                // Deleted on both sides: agreement.
+                plan.actions.push((key, MergeAction::Delete));
+            }
+            (Some(lrec), Some(rrec)) if lrec == rrec => {
+                // Identical copies: agreement, keep what we have.
+                plan.actions.push((key, MergeAction::KeepLeft));
+            }
+            (None, Some(rrec)) => {
+                // Delete/modify conflict ("a record that was deleted in one
+                // version and modified in the other will generate a
+                // conflict", §2.2.3).
+                plan.conflicts.push(Conflict { key, fields: Vec::new(), resolved_left: prefer_left });
+                if prefer_left {
+                    plan.actions.push((key, MergeAction::Delete));
+                } else {
+                    plan.actions.push((key, MergeAction::TakeRight(rrec.clone())));
+                }
+            }
+            (Some(_), None) => {
+                plan.conflicts.push(Conflict { key, fields: Vec::new(), resolved_left: prefer_left });
+                if !prefer_left {
+                    plan.actions.push((key, MergeAction::Delete));
+                } else {
+                    plan.actions.push((key, MergeAction::KeepLeft));
+                }
+            }
+            (Some(lrec), Some(rrec)) => match policy {
+                MergePolicy::TwoWay { prefer_left } => {
+                    // Tuple-level conflict: whole-record precedence.
+                    plan.conflicts.push(Conflict {
+                        key,
+                        fields: Vec::new(),
+                        resolved_left: prefer_left,
+                    });
+                    if prefer_left {
+                        plan.actions.push((key, MergeAction::KeepLeft));
+                    } else {
+                        plan.actions.push((key, MergeAction::TakeRight(rrec.clone())));
+                    }
+                }
+                MergePolicy::ThreeWay { prefer_left } => {
+                    let base = fetch_base(key)?;
+                    plan.bytes_compared += record_size as u64;
+                    match base {
+                        None => {
+                            // Independently inserted on both sides with
+                            // different values: no base to anchor a field
+                            // merge; tuple-level precedence.
+                            plan.conflicts.push(Conflict {
+                                key,
+                                fields: Vec::new(),
+                                resolved_left: prefer_left,
+                            });
+                            if prefer_left {
+                                plan.actions.push((key, MergeAction::KeepLeft));
+                            } else {
+                                plan.actions.push((key, MergeAction::TakeRight(rrec.clone())));
+                            }
+                        }
+                        Some(base) => {
+                            let (merged, overlap) =
+                                three_way_fields(&base, lrec, rrec, prefer_left);
+                            if !overlap.is_empty() {
+                                plan.conflicts.push(Conflict {
+                                    key,
+                                    fields: overlap,
+                                    resolved_left: prefer_left,
+                                });
+                            }
+                            if &merged == lrec {
+                                plan.actions.push((key, MergeAction::KeepLeft));
+                            } else {
+                                plan.actions.push((key, MergeAction::Materialize(merged)));
+                            }
+                        }
+                    }
+                }
+            },
+        }
+    }
+    Ok(plan)
+}
+
+/// Three-way field merge: fields changed on one side only adopt that side;
+/// fields changed on both sides to different values are *overlapping*
+/// conflicts resolved by precedence. Returns the merged record and the
+/// overlapping field indexes.
+pub fn three_way_fields(
+    base: &Record,
+    left: &Record,
+    right: &Record,
+    prefer_left: bool,
+) -> (Record, Vec<usize>) {
+    let mut fields = Vec::with_capacity(base.fields().len());
+    let mut overlap = Vec::new();
+    for i in 0..base.fields().len() {
+        let b = base.field(i);
+        let l = left.field(i);
+        let r = right.field(i);
+        let v = if l == b {
+            r // only right changed (or nobody did)
+        } else if r == b || r == l {
+            l // only left changed, or both agree
+        } else {
+            // Both changed, to different values: overlapping conflict.
+            overlap.push(i);
+            if prefer_left {
+                l
+            } else {
+                r
+            }
+        };
+        fields.push(v);
+    }
+    (Record::new(base.key(), fields), overlap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: u64, fields: &[u64]) -> Record {
+        Record::new(key, fields.to_vec())
+    }
+
+    fn changes(entries: &[(u64, Option<Record>)]) -> ChangeSet {
+        entries.iter().cloned().collect()
+    }
+
+    fn action_for(plan: &MergePlan, key: u64) -> &MergeAction {
+        &plan.actions.iter().find(|(k, _)| *k == key).expect("key has an action").1
+    }
+
+    const THREE_L: MergePolicy = MergePolicy::ThreeWay { prefer_left: true };
+    const THREE_R: MergePolicy = MergePolicy::ThreeWay { prefer_left: false };
+    const TWO_L: MergePolicy = MergePolicy::TwoWay { prefer_left: true };
+
+    #[test]
+    fn right_only_changes_are_adopted() {
+        let left = changes(&[]);
+        let right = changes(&[(1, Some(rec(1, &[9, 9]))), (2, None)]);
+        let plan = plan_merge(THREE_L, &left, &right, 10, |_| Ok(None)).unwrap();
+        assert_eq!(action_for(&plan, 1), &MergeAction::TakeRight(rec(1, &[9, 9])));
+        assert_eq!(action_for(&plan, 2), &MergeAction::Delete);
+        assert!(plan.conflicts.is_empty());
+    }
+
+    #[test]
+    fn left_only_changes_are_untouched() {
+        let left = changes(&[(1, Some(rec(1, &[5])))]);
+        let right = changes(&[]);
+        let plan = plan_merge(THREE_L, &left, &right, 10, |_| Ok(None)).unwrap();
+        assert!(plan.actions.is_empty());
+        assert!(plan.conflicts.is_empty());
+    }
+
+    #[test]
+    fn disjoint_field_updates_auto_merge() {
+        let base = rec(1, &[0, 0, 0]);
+        let left = changes(&[(1, Some(rec(1, &[7, 0, 0])))]);
+        let right = changes(&[(1, Some(rec(1, &[0, 0, 9])))]);
+        let plan = plan_merge(THREE_L, &left, &right, 10, |_| Ok(Some(base.clone()))).unwrap();
+        assert!(plan.conflicts.is_empty());
+        assert_eq!(action_for(&plan, 1), &MergeAction::Materialize(rec(1, &[7, 0, 9])));
+    }
+
+    #[test]
+    fn overlapping_fields_conflict_with_precedence() {
+        let base = rec(1, &[0, 0]);
+        let left = changes(&[(1, Some(rec(1, &[7, 1])))]);
+        let right = changes(&[(1, Some(rec(1, &[9, 0])))]);
+
+        let plan = plan_merge(THREE_L, &left, &right, 10, |_| Ok(Some(base.clone()))).unwrap();
+        assert_eq!(plan.conflicts.len(), 1);
+        assert_eq!(plan.conflicts[0].fields, vec![0]);
+        // Field 0 conflicts → left (7); field 1 changed only left → 1.
+        assert_eq!(action_for(&plan, 1), &MergeAction::KeepLeft);
+
+        let plan = plan_merge(THREE_R, &left, &right, 10, |_| Ok(Some(base.clone()))).unwrap();
+        // Field 0 → right (9); field 1 → left's change still merges (1).
+        assert_eq!(action_for(&plan, 1), &MergeAction::Materialize(rec(1, &[9, 1])));
+    }
+
+    #[test]
+    fn same_value_change_is_not_a_conflict() {
+        let base = rec(1, &[0]);
+        let left = changes(&[(1, Some(rec(1, &[4])))]);
+        let right = changes(&[(1, Some(rec(1, &[4])))]);
+        let plan = plan_merge(THREE_L, &left, &right, 10, |_| Ok(Some(base.clone()))).unwrap();
+        assert!(plan.conflicts.is_empty());
+        assert_eq!(action_for(&plan, 1), &MergeAction::KeepLeft);
+    }
+
+    #[test]
+    fn delete_modify_conflicts() {
+        let left = changes(&[(1, None)]);
+        let right = changes(&[(1, Some(rec(1, &[3])))]);
+        let plan = plan_merge(THREE_L, &left, &right, 10, |_| Ok(Some(rec(1, &[0])))).unwrap();
+        assert_eq!(plan.conflicts.len(), 1);
+        assert_eq!(action_for(&plan, 1), &MergeAction::Delete);
+
+        let plan = plan_merge(THREE_R, &left, &right, 10, |_| Ok(Some(rec(1, &[0])))).unwrap();
+        assert_eq!(action_for(&plan, 1), &MergeAction::TakeRight(rec(1, &[3])));
+    }
+
+    #[test]
+    fn both_deleted_agree() {
+        let left = changes(&[(1, None)]);
+        let right = changes(&[(1, None)]);
+        let plan = plan_merge(THREE_L, &left, &right, 10, |_| Ok(Some(rec(1, &[0])))).unwrap();
+        assert!(plan.conflicts.is_empty());
+        assert_eq!(action_for(&plan, 1), &MergeAction::Delete);
+    }
+
+    #[test]
+    fn independent_identical_inserts_agree() {
+        let left = changes(&[(1, Some(rec(1, &[2])))]);
+        let right = changes(&[(1, Some(rec(1, &[2])))]);
+        let plan = plan_merge(THREE_L, &left, &right, 10, |_| Ok(None)).unwrap();
+        assert!(plan.conflicts.is_empty());
+        assert_eq!(action_for(&plan, 1), &MergeAction::KeepLeft);
+    }
+
+    #[test]
+    fn independent_divergent_inserts_conflict() {
+        let left = changes(&[(1, Some(rec(1, &[2])))]);
+        let right = changes(&[(1, Some(rec(1, &[3])))]);
+        let plan = plan_merge(THREE_R, &left, &right, 10, |_| Ok(None)).unwrap();
+        assert_eq!(plan.conflicts.len(), 1);
+        assert_eq!(action_for(&plan, 1), &MergeAction::TakeRight(rec(1, &[3])));
+    }
+
+    #[test]
+    fn two_way_treats_any_divergence_as_tuple_conflict() {
+        // Even disjoint field updates conflict at tuple level.
+        let left = changes(&[(1, Some(rec(1, &[7, 0])))]);
+        let right = changes(&[(1, Some(rec(1, &[0, 9])))]);
+        let plan = plan_merge(TWO_L, &left, &right, 10, |_| {
+            panic!("two-way must not fetch the base")
+        })
+        .unwrap();
+        assert_eq!(plan.conflicts.len(), 1);
+        assert!(plan.conflicts[0].fields.is_empty());
+        assert_eq!(action_for(&plan, 1), &MergeAction::KeepLeft);
+    }
+
+    #[test]
+    fn three_way_field_merge_unit() {
+        let base = rec(1, &[1, 2, 3, 4]);
+        let left = rec(1, &[9, 2, 3, 5]);
+        let right = rec(1, &[1, 8, 3, 6]);
+        let (merged, overlap) = three_way_fields(&base, &left, &right, true);
+        assert_eq!(overlap, vec![3]);
+        assert_eq!(merged.fields(), &[9, 8, 3, 5]);
+        let (merged, _) = three_way_fields(&base, &left, &right, false);
+        assert_eq!(merged.fields(), &[9, 8, 3, 6]);
+    }
+
+    #[test]
+    fn bytes_compared_accumulates() {
+        let left = changes(&[(1, Some(rec(1, &[1])))]);
+        let right = changes(&[(1, Some(rec(1, &[2]))), (2, Some(rec(2, &[3])))]);
+        let plan = plan_merge(THREE_L, &left, &right, 100, |_| Ok(Some(rec(1, &[0])))).unwrap();
+        // key 2: 100; key 1: 200 + 100 base fetch.
+        assert_eq!(plan.bytes_compared, 400);
+    }
+}

@@ -1,0 +1,312 @@
+//! Query execution against any [`VersionedStore`].
+
+use decibel_common::hash::FxHashMap;
+use decibel_common::ids::BranchId;
+use decibel_common::record::Record;
+use decibel_common::{DbError, Result};
+
+use crate::query::{AggKind, Query};
+use crate::store::VersionedStore;
+
+/// The result of executing a [`Query`].
+#[derive(Debug, Clone)]
+pub enum QueryOutput {
+    /// Plain record rows (Q1, Q2).
+    Records(Vec<Record>),
+    /// Records annotated with their containing branches (Q4).
+    Annotated(Vec<(Record, Vec<BranchId>)>),
+    /// Joined record pairs (Q3).
+    Joined(Vec<(Record, Record)>),
+    /// A single aggregate value.
+    Scalar(f64),
+}
+
+impl QueryOutput {
+    /// Number of output rows (1 for scalars).
+    pub fn len(&self) -> usize {
+        match self {
+            QueryOutput::Records(v) => v.len(),
+            QueryOutput::Annotated(v) => v.len(),
+            QueryOutput::Joined(v) => v.len(),
+            QueryOutput::Scalar(_) => 1,
+        }
+    }
+
+    /// True if no rows qualified.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Unwraps plain records, panicking on other shapes (test helper).
+    pub fn into_records(self) -> Vec<Record> {
+        match self {
+            QueryOutput::Records(v) => v,
+            other => panic!("expected Records, got {other:?}"),
+        }
+    }
+}
+
+/// Executes a query against a store.
+pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput> {
+    match query {
+        Query::ScanVersion { version, predicate } => {
+            let mut out = Vec::new();
+            for item in store.scan(*version)? {
+                let rec = item?;
+                if predicate.eval(&rec) {
+                    out.push(rec);
+                }
+            }
+            Ok(QueryOutput::Records(out))
+        }
+        Query::PositiveDiff { left, right } => {
+            Ok(QueryOutput::Records(store.diff(*left, *right)?.left_only))
+        }
+        Query::VersionJoin { left, right, predicate } => {
+            // Hash join on the primary key: build on the right version,
+            // probe with the (filtered) left version — the shape the paper
+            // uses for Q3 ("we perform a hash join ... and report the
+            // intersection incrementally", §5.2).
+            let mut build: FxHashMap<u64, Record> = FxHashMap::default();
+            for item in store.scan(*right)? {
+                let rec = item?;
+                build.insert(rec.key(), rec);
+            }
+            let mut out = Vec::new();
+            for item in store.scan(*left)? {
+                let rec = item?;
+                if predicate.eval(&rec) {
+                    if let Some(other) = build.get(&rec.key()) {
+                        out.push((rec, other.clone()));
+                    }
+                }
+            }
+            Ok(QueryOutput::Joined(out))
+        }
+        Query::HeadScan { predicate, active_only } => {
+            let branches: Vec<BranchId> =
+                store.graph().heads(*active_only).into_iter().map(|(b, _)| b).collect();
+            let mut out = Vec::new();
+            for item in store.multi_scan(&branches)? {
+                let (rec, live) = item?;
+                if !live.is_empty() && predicate.eval(&rec) {
+                    out.push((rec, live));
+                }
+            }
+            Ok(QueryOutput::Annotated(out))
+        }
+        Query::MultiBranchScan { branches, predicate } => {
+            let mut out = Vec::new();
+            for item in store.multi_scan(branches)? {
+                let (rec, live) = item?;
+                if !live.is_empty() && predicate.eval(&rec) {
+                    out.push((rec, live));
+                }
+            }
+            Ok(QueryOutput::Annotated(out))
+        }
+        Query::Aggregate { version, column, agg, predicate } => {
+            let mut count = 0u64;
+            let mut sum = 0f64;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for item in store.scan(*version)? {
+                let rec = item?;
+                if !predicate.eval(&rec) {
+                    continue;
+                }
+                count += 1;
+                if *agg != AggKind::Count {
+                    if *column >= rec.fields().len() {
+                        return Err(DbError::Invalid(format!(
+                            "aggregate column {column} out of range"
+                        )));
+                    }
+                    let v = rec.field(*column) as f64;
+                    sum += v;
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+            }
+            let value = match agg {
+                AggKind::Count => count as f64,
+                AggKind::Sum => sum,
+                AggKind::Min => {
+                    if count == 0 {
+                        f64::NAN
+                    } else {
+                        min
+                    }
+                }
+                AggKind::Max => {
+                    if count == 0 {
+                        f64::NAN
+                    } else {
+                        max
+                    }
+                }
+                AggKind::Avg => {
+                    if count == 0 {
+                        f64::NAN
+                    } else {
+                        sum / count as f64
+                    }
+                }
+            };
+            Ok(QueryOutput::Scalar(value))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TupleFirstBranchEngine;
+    use crate::query::Predicate;
+    use crate::types::VersionRef;
+    use decibel_common::ids::BranchId;
+    use decibel_common::schema::{ColumnType, Schema};
+    use decibel_pagestore::StoreConfig;
+
+    fn store() -> (tempfile::TempDir, TupleFirstBranchEngine, BranchId) {
+        let dir = tempfile::tempdir().unwrap();
+        let mut eng = TupleFirstBranchEngine::init(
+            dir.path().join("q"),
+            Schema::new(2, ColumnType::U32),
+            &StoreConfig::test_default(),
+        )
+        .unwrap();
+        for k in 0..10u64 {
+            eng.insert(BranchId::MASTER, Record::new(k, vec![k * 10, k % 3])).unwrap();
+        }
+        let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        eng.insert(dev, Record::new(100, vec![1000, 0])).unwrap();
+        eng.update(dev, Record::new(3, vec![999, 9])).unwrap();
+        (dir, eng, dev)
+    }
+
+    #[test]
+    fn q1_scan_with_predicate() {
+        let (_d, eng, _) = store();
+        let out = execute(
+            &eng,
+            &Query::ScanVersion {
+                version: VersionRef::Branch(BranchId::MASTER),
+                predicate: Predicate::ColEq(1, 0),
+            },
+        )
+        .unwrap();
+        // Keys with k % 3 == 0: 0, 3, 6, 9.
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn q2_positive_diff() {
+        let (_d, eng, dev) = store();
+        let out = execute(
+            &eng,
+            &Query::PositiveDiff {
+                left: VersionRef::Branch(dev),
+                right: VersionRef::Branch(BranchId::MASTER),
+            },
+        )
+        .unwrap();
+        let mut keys: Vec<u64> = out.into_records().iter().map(|r| r.key()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![3, 100]);
+    }
+
+    #[test]
+    fn q3_version_join() {
+        let (_d, eng, dev) = store();
+        let out = execute(
+            &eng,
+            &Query::VersionJoin {
+                left: VersionRef::Branch(dev),
+                right: VersionRef::Branch(BranchId::MASTER),
+                predicate: Predicate::ColGe(0, 900),
+            },
+        )
+        .unwrap();
+        match out {
+            QueryOutput::Joined(pairs) => {
+                // Only key 3 passes the predicate on dev AND exists in
+                // master (100 does not exist in master).
+                assert_eq!(pairs.len(), 1);
+                assert_eq!(pairs[0].0.key(), 3);
+                assert_eq!(pairs[0].0.field(0), 999);
+                assert_eq!(pairs[0].1.field(0), 30);
+            }
+            other => panic!("expected join output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q4_head_scan() {
+        let (_d, eng, dev) = store();
+        let out = execute(
+            &eng,
+            &Query::HeadScan { predicate: Predicate::True, active_only: true },
+        )
+        .unwrap();
+        match out {
+            QueryOutput::Annotated(rows) => {
+                // 9 unchanged records live in both branches, key 3 has two
+                // distinct copies, key 100 in dev only: 12 rows.
+                assert_eq!(rows.len(), 12);
+                let both = rows.iter().filter(|(_, b)| b.len() == 2).count();
+                assert_eq!(both, 9);
+                let dev_only: Vec<u64> = rows
+                    .iter()
+                    .filter(|(_, b)| b == &vec![dev])
+                    .map(|(r, _)| r.key())
+                    .collect();
+                assert_eq!(dev_only.len(), 2);
+                assert!(dev_only.contains(&100));
+                assert!(dev_only.contains(&3));
+            }
+            other => panic!("expected annotated output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let (_d, eng, _) = store();
+        let v = VersionRef::Branch(BranchId::MASTER);
+        let run = |agg, column| {
+            match execute(
+                &eng,
+                &Query::Aggregate { version: v, column, agg, predicate: Predicate::True },
+            )
+            .unwrap()
+            {
+                QueryOutput::Scalar(x) => x,
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(run(AggKind::Count, 0), 10.0);
+        assert_eq!(run(AggKind::Sum, 0), 450.0);
+        assert_eq!(run(AggKind::Min, 0), 0.0);
+        assert_eq!(run(AggKind::Max, 0), 90.0);
+        assert_eq!(run(AggKind::Avg, 0), 45.0);
+    }
+
+    #[test]
+    fn aggregate_empty_set_is_nan() {
+        let (_d, eng, _) = store();
+        let out = execute(
+            &eng,
+            &Query::Aggregate {
+                version: VersionRef::Branch(BranchId::MASTER),
+                column: 0,
+                agg: AggKind::Avg,
+                predicate: Predicate::ColGe(0, 1_000_000),
+            },
+        )
+        .unwrap();
+        match out {
+            QueryOutput::Scalar(x) => assert!(x.is_nan()),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Row predicates.
+
+use decibel_common::record::Record;
+
+/// A boolean expression over a record's key and data columns.
+///
+/// Kept deliberately first-order (no subqueries): the paper pushes scans,
+/// diffs and joins into the storage layer and leaves general SQL to the
+/// query planner above it (§2.1); predicates are what the storage layer
+/// itself evaluates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Always true (the paper's Q4 uses "a very non-selective predicate").
+    True,
+    /// Key equality.
+    KeyEq(u64),
+    /// Key in `[lo, hi)`.
+    KeyRange(u64, u64),
+    /// Column equals a constant.
+    ColEq(usize, u64),
+    /// Column not equal to a constant.
+    ColNe(usize, u64),
+    /// Column strictly less than a constant.
+    ColLt(usize, u64),
+    /// Column greater than or equal to a constant.
+    ColGe(usize, u64),
+    /// Column value modulo `m` equals `r` — handy for calibrated
+    /// selectivities in benchmarks.
+    ColMod(usize, u64, u64),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate against a record.
+    pub fn eval(&self, r: &Record) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::KeyEq(k) => r.key() == *k,
+            Predicate::KeyRange(lo, hi) => (*lo..*hi).contains(&r.key()),
+            Predicate::ColEq(c, v) => r.field(*c) == *v,
+            Predicate::ColNe(c, v) => r.field(*c) != *v,
+            Predicate::ColLt(c, v) => r.field(*c) < *v,
+            Predicate::ColGe(c, v) => r.field(*c) >= *v,
+            Predicate::ColMod(c, m, rem) => r.field(*c) % *m == *rem,
+            Predicate::And(a, b) => a.eval(r) && b.eval(r),
+            Predicate::Or(a, b) => a.eval(r) || b.eval(r),
+            Predicate::Not(a) => !a.eval(r),
+        }
+    }
+
+    /// Convenience conjunction.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience disjunction.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> Record {
+        Record::new(42, vec![10, 20, 30])
+    }
+
+    #[test]
+    fn atoms() {
+        let r = rec();
+        assert!(Predicate::True.eval(&r));
+        assert!(Predicate::KeyEq(42).eval(&r));
+        assert!(!Predicate::KeyEq(41).eval(&r));
+        assert!(Predicate::KeyRange(40, 43).eval(&r));
+        assert!(!Predicate::KeyRange(43, 50).eval(&r));
+        assert!(Predicate::ColEq(1, 20).eval(&r));
+        assert!(Predicate::ColNe(1, 21).eval(&r));
+        assert!(Predicate::ColLt(0, 11).eval(&r));
+        assert!(!Predicate::ColLt(0, 10).eval(&r));
+        assert!(Predicate::ColGe(2, 30).eval(&r));
+        assert!(Predicate::ColMod(0, 5, 0).eval(&r));
+        assert!(!Predicate::ColMod(0, 7, 0).eval(&r));
+    }
+
+    #[test]
+    fn combinators() {
+        let r = rec();
+        assert!(Predicate::KeyEq(42).and(Predicate::ColEq(0, 10)).eval(&r));
+        assert!(!Predicate::KeyEq(42).and(Predicate::ColEq(0, 11)).eval(&r));
+        assert!(Predicate::KeyEq(0).or(Predicate::ColEq(0, 10)).eval(&r));
+        assert!(Predicate::KeyEq(0).not().eval(&r));
+    }
+}

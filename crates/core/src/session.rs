@@ -1,0 +1,427 @@
+//! Sessions: per-user checkout state and transactional writes.
+//!
+//! A session buffers its modifications and applies them to the store when
+//! the transaction commits — "Updates made as a part of a commit are issued
+//! as a part of a single transaction, such that they become atomically
+//! visible at the time the commit is made, and are rolled back if the
+//! client crashes or disconnects before committing" (§2.2.3). Buffered
+//! writes are visible to the session itself (read-your-writes) through an
+//! overlay, journaled to the WAL, and guarded by branch-level two-phase
+//! locks: the session takes a shared lock on the branches it reads and an
+//! exclusive lock on the branch it writes, all released when the
+//! transaction ends.
+
+use decibel_common::error::{DbError, Result};
+use decibel_common::hash::FxHashMap;
+use decibel_common::ids::{BranchId, CommitId};
+use decibel_common::record::Record;
+use decibel_common::varint;
+use decibel_pagestore::{LockMode, TxnLocks};
+
+use crate::db::Database;
+use crate::types::VersionRef;
+
+enum Op {
+    Insert(Record),
+    Update(Record),
+    Delete(u64),
+}
+
+/// A user session: a checkout position plus an optional open transaction.
+pub struct Session<'db> {
+    db: &'db Database,
+    /// What the session reads (and, for branches, writes).
+    at: VersionRef,
+    /// Open transaction state.
+    txn: Option<Txn<'db>>,
+}
+
+struct Txn<'db> {
+    id: u64,
+    locks: TxnLocks<'db>,
+    ops: Vec<Op>,
+    /// Read-your-writes overlay: key → pending live copy (`None` =
+    /// pending delete).
+    overlay: FxHashMap<u64, Option<Record>>,
+}
+
+impl<'db> Session<'db> {
+    pub(crate) fn new(db: &'db Database) -> Self {
+        Session { db, at: VersionRef::Branch(BranchId::MASTER), txn: None }
+    }
+
+    /// The session's current checkout position.
+    pub fn current(&self) -> VersionRef {
+        self.at
+    }
+
+    /// Checks out a branch by name ("which simply modifies the user's
+    /// current session state to point to that version", §2.2.3).
+    pub fn checkout_branch(&mut self, name: &str) -> Result<BranchId> {
+        self.require_no_txn("checkout")?;
+        let id = self.db.with_store(|s| s.graph().branch_by_name(name).map(|b| b.id))?;
+        self.at = VersionRef::Branch(id);
+        Ok(id)
+    }
+
+    /// Checks out a historical commit (read-only position).
+    pub fn checkout_commit(&mut self, commit: CommitId) -> Result<()> {
+        self.require_no_txn("checkout")?;
+        self.db.with_store(|s| s.graph().commit(commit).map(|_| ()))?;
+        self.at = VersionRef::Commit(commit);
+        Ok(())
+    }
+
+    /// Creates a branch rooted at the session's current position and checks
+    /// it out.
+    pub fn branch(&mut self, name: &str) -> Result<BranchId> {
+        self.require_no_txn("branch")?;
+        let at = self.at;
+        let id = self.db.with_store_mut(|s| s.create_branch(name, at))?;
+        self.at = VersionRef::Branch(id);
+        Ok(id)
+    }
+
+    fn require_no_txn(&self, what: &str) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(DbError::Invalid(format!(
+                "cannot {what} with an open transaction; commit or rollback first"
+            )));
+        }
+        Ok(())
+    }
+
+    fn write_branch(&self) -> Result<BranchId> {
+        match self.at {
+            VersionRef::Branch(b) => Ok(b),
+            VersionRef::Commit(c) => Err(DbError::Invalid(format!(
+                "session is at commit {c}; writes require a branch checkout \
+                 (commits are immutable, §2.2.2)"
+            ))),
+        }
+    }
+
+    /// Opens a transaction explicitly (writes auto-begin one).
+    pub fn begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Ok(());
+        }
+        let branch = self.write_branch()?;
+        let mut locks = self.db.locks.begin();
+        locks.lock(branch, LockMode::Exclusive)?;
+        self.txn = Some(Txn {
+            id: self.db.alloc_txn(),
+            locks,
+            ops: Vec::new(),
+            overlay: FxHashMap::default(),
+        });
+        Ok(())
+    }
+
+    fn txn_mut(&mut self) -> Result<&mut Txn<'db>> {
+        if self.txn.is_none() {
+            self.begin()?;
+        }
+        Ok(self.txn.as_mut().unwrap())
+    }
+
+    /// Current value of `key` as this session sees it (overlay first).
+    pub fn get(&mut self, key: u64) -> Result<Option<Record>> {
+        if let Some(txn) = &self.txn {
+            if let Some(pending) = txn.overlay.get(&key) {
+                return Ok(pending.clone());
+            }
+        }
+        let at = self.at;
+        if self.txn.is_none() {
+            if let VersionRef::Branch(b) = at {
+                // Plain read outside a transaction: momentary shared lock.
+                let mut locks = self.db.locks.begin();
+                locks.lock(b, LockMode::Shared)?;
+                return self.db.with_store(|s| s.get(at, key));
+            }
+        }
+        self.db.with_store(|s| s.get(at, key))
+    }
+
+    /// Buffers an insert (validated against the session's view).
+    pub fn insert(&mut self, record: Record) -> Result<()> {
+        let key = record.key();
+        if self.get(key)?.is_some() {
+            return Err(DbError::DuplicateKey { key });
+        }
+        let txn = self.txn_mut()?;
+        txn.overlay.insert(key, Some(record.clone()));
+        txn.ops.push(Op::Insert(record));
+        Ok(())
+    }
+
+    /// Buffers an update (the key must be visible to the session).
+    pub fn update(&mut self, record: Record) -> Result<()> {
+        let key = record.key();
+        if self.get(key)?.is_none() {
+            return Err(DbError::KeyNotFound { key });
+        }
+        let txn = self.txn_mut()?;
+        txn.overlay.insert(key, Some(record.clone()));
+        txn.ops.push(Op::Update(record));
+        Ok(())
+    }
+
+    /// Buffers a delete.
+    pub fn delete(&mut self, key: u64) -> Result<bool> {
+        let existed = self.get(key)?.is_some();
+        if existed {
+            let txn = self.txn_mut()?;
+            txn.overlay.insert(key, None);
+            txn.ops.push(Op::Delete(key));
+        }
+        Ok(existed)
+    }
+
+    /// Visits the session's view of every live record (base version merged
+    /// with the transaction overlay).
+    pub fn scan_with(&mut self, mut f: impl FnMut(&Record)) -> Result<u64> {
+        let at = self.at;
+        let overlay: FxHashMap<u64, Option<Record>> = match &self.txn {
+            Some(t) => t.overlay.clone(),
+            None => FxHashMap::default(),
+        };
+        let mut n = 0u64;
+        self.db.with_store(|s| -> Result<()> {
+            for item in s.scan(at)? {
+                let rec = item?;
+                if !overlay.contains_key(&rec.key()) {
+                    f(&rec);
+                    n += 1;
+                }
+                // Keys in the overlay were replaced or deleted there.
+            }
+            Ok(())
+        })?;
+        for pending in overlay.values().flatten() {
+            f(pending);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Materializes the session's view (convenience for tests/examples).
+    pub fn scan_collect(&mut self) -> Result<Vec<Record>> {
+        let mut out = Vec::new();
+        self.scan_with(|r| out.push(r.clone()))?;
+        Ok(out)
+    }
+
+    /// Applies the buffered transaction to the store, journals it, and
+    /// creates a commit — the point of atomic visibility (§2.2.3).
+    pub fn commit(&mut self) -> Result<CommitId> {
+        let branch = self.write_branch()?;
+        let txn = match self.txn.take() {
+            Some(t) => t,
+            None => {
+                // Empty transaction: still a legal commit (snapshot point).
+                return self.db.with_store_mut(|s| s.commit(branch));
+            }
+        };
+        let schema = self.db.with_store(|s| s.schema().clone());
+        for op in &txn.ops {
+            let mut payload = Vec::new();
+            match op {
+                Op::Insert(r) => {
+                    payload.push(1u8);
+                    payload.extend_from_slice(&r.to_bytes(&schema)?);
+                }
+                Op::Update(r) => {
+                    payload.push(2u8);
+                    payload.extend_from_slice(&r.to_bytes(&schema)?);
+                }
+                Op::Delete(k) => {
+                    payload.push(3u8);
+                    varint::write_u64(&mut payload, *k);
+                }
+            }
+            self.db.wal.append(txn.id, &payload)?;
+        }
+        let commit = self.db.with_store_mut(|s| -> Result<CommitId> {
+            for op in &txn.ops {
+                match op {
+                    Op::Insert(r) => s.insert(branch, r.clone())?,
+                    Op::Update(r) => s.update(branch, r.clone())?,
+                    Op::Delete(k) => {
+                        s.delete(branch, *k)?;
+                    }
+                }
+            }
+            s.commit(branch)
+        })?;
+        self.db.wal.commit(txn.id)?;
+        drop(txn.locks); // shrinking phase
+        Ok(commit)
+    }
+
+    /// Discards the buffered transaction ("rolled back if the client
+    /// crashes or disconnects before committing").
+    pub fn rollback(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            self.db.wal.rollback();
+            drop(txn.locks);
+        }
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        // Disconnect without commit: roll back.
+        self.rollback();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EngineKind;
+    use decibel_common::schema::{ColumnType, Schema};
+    use decibel_pagestore::StoreConfig;
+
+    fn db(kind: EngineKind) -> (tempfile::TempDir, Database) {
+        let dir = tempfile::tempdir().unwrap();
+        let db = Database::create(
+            dir.path().join("db"),
+            kind,
+            Schema::new(2, ColumnType::U32),
+            &StoreConfig::test_default(),
+        )
+        .unwrap();
+        (dir, db)
+    }
+
+    fn rec(k: u64, v: u64) -> Record {
+        Record::new(k, vec![v, v])
+    }
+
+    #[test]
+    fn writes_invisible_until_commit() {
+        let (_d, database) = db(EngineKind::Hybrid);
+        let mut writer = database.session();
+        writer.insert(rec(1, 10)).unwrap();
+        // The store itself has nothing yet.
+        assert_eq!(
+            database.with_store(|s| s.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap()),
+            0
+        );
+        // But the writing session reads its own write.
+        assert_eq!(writer.get(1).unwrap().unwrap().field(0), 10);
+        writer.commit().unwrap();
+        assert_eq!(
+            database.with_store(|s| s.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap()),
+            1
+        );
+    }
+
+    #[test]
+    fn rollback_discards_buffered_ops() {
+        let (_d, database) = db(EngineKind::TupleFirstBranch);
+        let mut s = database.session();
+        s.insert(rec(1, 10)).unwrap();
+        s.rollback();
+        assert_eq!(s.get(1).unwrap(), None);
+        s.commit().unwrap(); // empty commit is fine
+        assert_eq!(
+            database.with_store(|st| st.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap()),
+            0
+        );
+    }
+
+    #[test]
+    fn drop_rolls_back_and_releases_locks() {
+        let (_d, database) = db(EngineKind::Hybrid);
+        {
+            let mut s = database.session();
+            s.insert(rec(1, 1)).unwrap();
+            // dropped without commit
+        }
+        let mut s2 = database.session();
+        s2.insert(rec(1, 2)).unwrap(); // lock is free again, key never existed
+        s2.commit().unwrap();
+        assert_eq!(s2.get(1).unwrap().unwrap().field(0), 2);
+    }
+
+    #[test]
+    fn session_scan_merges_overlay() {
+        let (_d, database) = db(EngineKind::VersionFirst);
+        let mut setup = database.session();
+        setup.insert(rec(1, 1)).unwrap();
+        setup.insert(rec(2, 2)).unwrap();
+        setup.commit().unwrap();
+
+        let mut s = database.session();
+        s.update(rec(1, 99)).unwrap();
+        s.delete(2).unwrap();
+        s.insert(rec(3, 3)).unwrap();
+        let mut view = s.scan_collect().unwrap();
+        view.sort_by_key(|r| r.key());
+        assert_eq!(view.len(), 2);
+        assert_eq!(view[0].key(), 1);
+        assert_eq!(view[0].field(0), 99);
+        assert_eq!(view[1].key(), 3);
+    }
+
+    #[test]
+    fn branch_and_checkout_flow() {
+        let (_d, database) = db(EngineKind::Hybrid);
+        let mut s = database.session();
+        s.insert(rec(1, 1)).unwrap();
+        let c1 = s.commit().unwrap();
+        let dev = s.branch("dev").unwrap();
+        assert_eq!(s.current(), VersionRef::Branch(dev));
+        s.insert(rec(2, 2)).unwrap();
+        s.commit().unwrap();
+        // Master is untouched.
+        s.checkout_branch("master").unwrap();
+        assert_eq!(s.scan_collect().unwrap().len(), 1);
+        // Historical checkout is read-only.
+        s.checkout_commit(c1).unwrap();
+        assert!(s.insert(rec(9, 9)).is_err());
+    }
+
+    #[test]
+    fn conflicting_writers_block_or_timeout() {
+        let (_d, database) = db(EngineKind::TupleFirstBranch);
+        let mut a = database.session();
+        a.insert(rec(1, 1)).unwrap(); // holds exclusive lock on master
+        let mut b = database.session();
+        let err = b.insert(rec(2, 2)).unwrap_err();
+        assert!(matches!(err, DbError::LockContention { .. }));
+        a.commit().unwrap();
+        b.insert(rec(2, 2)).unwrap();
+        b.commit().unwrap();
+    }
+
+    #[test]
+    fn duplicate_validation_through_overlay() {
+        let (_d, database) = db(EngineKind::Hybrid);
+        let mut s = database.session();
+        s.insert(rec(1, 1)).unwrap();
+        assert!(matches!(s.insert(rec(1, 2)), Err(DbError::DuplicateKey { key: 1 })));
+        assert!(matches!(s.update(rec(5, 0)), Err(DbError::KeyNotFound { key: 5 })));
+        s.delete(1).unwrap();
+        // Deleted in overlay → reinsert is legal.
+        s.insert(rec(1, 3)).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.get(1).unwrap().unwrap().field(0), 3);
+    }
+
+    #[test]
+    fn wal_records_committed_txns() {
+        let (_d, database) = db(EngineKind::Hybrid);
+        let mut s = database.session();
+        s.insert(rec(1, 1)).unwrap();
+        s.commit().unwrap();
+        drop(s);
+        let txns = decibel_pagestore::Wal::recover(database.dir().join("wal.log")).unwrap();
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].entries.len(), 1);
+        assert_eq!(txns[0].entries[0][0], 1u8); // insert opcode
+    }
+}

@@ -1,0 +1,129 @@
+//! The `VersionedStore` trait — the contract all three storage engines
+//! implement.
+
+use decibel_common::ids::{BranchId, CommitId};
+use decibel_common::record::Record;
+use decibel_common::schema::Schema;
+use decibel_common::Result;
+use decibel_vgraph::VersionGraph;
+
+use crate::types::{
+    AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,
+    VersionRef,
+};
+
+/// A versioned relational storage engine: the operations of §2.2.3
+/// (branch / commit / checkout / diff / merge) plus record modification and
+/// the scan shapes the benchmark queries need (§4.3).
+///
+/// Implementations: [`TupleFirstEngine`](crate::engine::TupleFirstEngine),
+/// [`VersionFirstEngine`](crate::engine::VersionFirstEngine), and
+/// [`HybridEngine`](crate::engine::HybridEngine).
+///
+/// # Semantics shared by every engine
+///
+/// * Records are identified by primary key; updates append a complete new
+///   copy (no-overwrite storage) and deletes never reclaim space, so
+///   historical commits stay readable (§3.2 Data Modification).
+/// * `commit` snapshots a branch's state into an immutable version; only
+///   branch heads accept modifications (§2.2.3).
+/// * `diff`/`merge` compare record *copies*: a record counts as "modified
+///   in a branch" if the branch's live copy differs from the comparison
+///   version's live copy.
+///
+/// # Engine-specific caveats
+///
+/// The version-first engine has no bitmap or key index; per §3.3 its
+/// updates and deletes are *blind appends* (an update of an absent key
+/// behaves as an insert; a delete of an absent key appends an inert
+/// tombstone), whereas tuple-first and hybrid validate keys against their
+/// per-branch primary-key indexes and return
+/// [`DbError`](decibel_common::DbError)`::KeyNotFound` / `::DuplicateKey`.
+pub trait VersionedStore: Send {
+    /// Which storage scheme this engine implements.
+    fn kind(&self) -> EngineKind;
+
+    /// The relation's schema.
+    fn schema(&self) -> &Schema;
+
+    /// The version graph (shared DAG of commits and branches, §2.2.2).
+    fn graph(&self) -> &VersionGraph;
+
+    /// Creates a branch named `name` rooted at `from` and returns its id.
+    fn create_branch(&mut self, name: &str, from: VersionRef) -> Result<BranchId>;
+
+    /// Commits the current state of `branch`, returning the new version id.
+    fn commit(&mut self, branch: BranchId) -> Result<CommitId>;
+
+    /// Reconstructs the state of a committed version (Table 2's "checkout"
+    /// operation), returning its live record count as a cheap integrity
+    /// signal.
+    fn checkout_version(&self, commit: CommitId) -> Result<u64>;
+
+    /// Inserts a new record into a branch's working state.
+    fn insert(&mut self, branch: BranchId, record: Record) -> Result<()>;
+
+    /// Replaces the record with `record.key()` in a branch's working state
+    /// by appending a new copy.
+    fn update(&mut self, branch: BranchId, record: Record) -> Result<()>;
+
+    /// Removes a key from a branch's working state. Returns whether the
+    /// engine can attest the key existed (version-first cannot; it appends
+    /// a tombstone and reports `true` unconditionally).
+    fn delete(&mut self, branch: BranchId, key: u64) -> Result<bool>;
+
+    /// Point lookup of `key` in a version.
+    fn get(&self, version: VersionRef, key: u64) -> Result<Option<Record>>;
+
+    /// Streams the live records of one version (benchmark Query 1).
+    fn scan(&self, version: VersionRef) -> Result<RecordIter<'_>>;
+
+    /// Streams the union of several branches' live records, each annotated
+    /// with the branches containing it (benchmark Query 4).
+    fn multi_scan(&self, branches: &[BranchId]) -> Result<AnnotatedIter<'_>>;
+
+    /// Materializes the symmetric difference of two versions (benchmark
+    /// Query 2 uses one side of it).
+    fn diff(&self, left: VersionRef, right: VersionRef) -> Result<DiffResult>;
+
+    /// Merges `from` into `into`, creating a merge commit on `into`
+    /// (§2.2.3 Merge). Conflicts are resolved by the policy's precedence
+    /// and reported in the result.
+    fn merge(&mut self, into: BranchId, from: BranchId, policy: MergePolicy) -> Result<MergeResult>;
+
+    /// Number of live records in a version.
+    fn live_count(&self, version: VersionRef) -> Result<u64> {
+        let mut n = 0u64;
+        for r in self.scan(version)? {
+            r?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Storage accounting for the experiment harness.
+    fn stats(&self) -> StoreStats;
+
+    /// Flushes buffered heap tails and persists the version graph.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Drops all cached pages (emulates the paper's cold-cache measurement
+    /// discipline, §5).
+    fn drop_caches(&self);
+}
+
+/// Convenience: resolve a [`VersionRef`] naming a branch head to its
+/// branch, or `None` for historical commits.
+pub fn as_branch(graph: &VersionGraph, version: VersionRef) -> Option<BranchId> {
+    match version {
+        VersionRef::Branch(b) => Some(b),
+        VersionRef::Commit(c) => {
+            let meta = graph.commit(c).ok()?;
+            if graph.is_head(c) {
+                Some(meta.branch)
+            } else {
+                None
+            }
+        }
+    }
+}

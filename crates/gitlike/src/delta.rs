@@ -1,0 +1,212 @@
+//! Byte-level binary deltas (the packfile delta encoding).
+//!
+//! git packs store most objects as deltas against a similar base object —
+//! "periodic creation of 'packfiles' to contain several objects, either in
+//! their entirety or using a delta encoding" (§5.7). The encoding here is
+//! git's shape: a stream of *copy* (offset+length from the base) and
+//! *insert* (literal bytes) instructions, computed greedily with a
+//! block-hash index over the base.
+
+use decibel_common::error::{DbError, Result};
+use decibel_common::hash::FxHashMap;
+use decibel_common::varint;
+
+const BLOCK: usize = 16;
+
+/// Computes a delta transforming `base` into `target`.
+///
+/// The result starts with varints of the base and target lengths, then
+/// instruction tokens: `0x01 [off][len]` = copy from base, `0x00 [len]
+/// [bytes]` = insert literals.
+pub fn encode(base: &[u8], target: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, base.len() as u64);
+    varint::write_u64(&mut out, target.len() as u64);
+
+    // Index the base by non-overlapping BLOCK-byte chunks.
+    let mut index: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    let mut off = 0usize;
+    while off + BLOCK <= base.len() {
+        index.entry(block_hash(&base[off..off + BLOCK])).or_default().push(off);
+        off += BLOCK;
+    }
+
+    let mut pending: Vec<u8> = Vec::new();
+    let mut i = 0usize;
+    while i < target.len() {
+        let mut best = (0usize, 0usize); // (base offset, match length)
+        if i + BLOCK <= target.len() {
+            if let Some(candidates) = index.get(&block_hash(&target[i..i + BLOCK])) {
+                for &cand in candidates.iter().take(8) {
+                    if base[cand..cand + BLOCK] != target[i..i + BLOCK] {
+                        continue; // hash collision
+                    }
+                    // Extend the verified match forward as far as it goes.
+                    let mut l = BLOCK;
+                    while cand + l < base.len()
+                        && i + l < target.len()
+                        && base[cand + l] == target[i + l]
+                    {
+                        l += 1;
+                    }
+                    if l > best.1 {
+                        best = (cand, l);
+                    }
+                }
+            }
+        }
+        if best.1 >= BLOCK {
+            flush_insert(&mut out, &mut pending);
+            out.push(0x01);
+            varint::write_u64(&mut out, best.0 as u64);
+            varint::write_u64(&mut out, best.1 as u64);
+            i += best.1;
+        } else {
+            pending.push(target[i]);
+            i += 1;
+        }
+    }
+    flush_insert(&mut out, &mut pending);
+    out
+}
+
+fn block_hash(block: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in block {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn flush_insert(out: &mut Vec<u8>, pending: &mut Vec<u8>) {
+    if pending.is_empty() {
+        return;
+    }
+    out.push(0x00);
+    varint::write_u64(out, pending.len() as u64);
+    out.extend_from_slice(pending);
+    pending.clear();
+}
+
+/// Applies a delta to `base`, reconstructing the target.
+pub fn apply(base: &[u8], delta: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0usize;
+    let base_len = varint::read_u64(delta, &mut pos)? as usize;
+    if base_len != base.len() {
+        return Err(DbError::corrupt(format!(
+            "delta base length {} != supplied base {}",
+            base_len,
+            base.len()
+        )));
+    }
+    let target_len = varint::read_u64(delta, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(target_len);
+    while pos < delta.len() {
+        let op = delta[pos];
+        pos += 1;
+        match op {
+            0x01 => {
+                let off = varint::read_u64(delta, &mut pos)? as usize;
+                let len = varint::read_u64(delta, &mut pos)? as usize;
+                if off + len > base.len() {
+                    return Err(DbError::corrupt("delta copy out of base bounds"));
+                }
+                out.extend_from_slice(&base[off..off + len]);
+            }
+            0x00 => {
+                let len = varint::read_u64(delta, &mut pos)? as usize;
+                if pos + len > delta.len() {
+                    return Err(DbError::corrupt("delta insert truncated"));
+                }
+                out.extend_from_slice(&delta[pos..pos + len]);
+                pos += len;
+            }
+            other => return Err(DbError::corrupt(format!("bad delta opcode {other}"))),
+        }
+    }
+    if out.len() != target_len {
+        return Err(DbError::corrupt("delta target length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decibel_common::rng::DetRng;
+
+    fn roundtrip(base: &[u8], target: &[u8]) -> usize {
+        let d = encode(base, target);
+        assert_eq!(apply(base, &d).unwrap(), target, "delta must reconstruct target");
+        d.len()
+    }
+
+    #[test]
+    fn identical_content_is_one_copy() {
+        let data = b"0123456789abcdef".repeat(64);
+        let dlen = roundtrip(&data, &data);
+        assert!(dlen < 24, "identical content encodes in {dlen} bytes");
+    }
+
+    #[test]
+    fn append_only_change_is_small() {
+        let base = b"row1\nrow2\nrow3\n".repeat(100);
+        let mut target = base.clone();
+        target.extend_from_slice(b"row-new\n");
+        let dlen = roundtrip(&base, &target);
+        assert!(dlen < 64, "append delta is {dlen} bytes");
+    }
+
+    #[test]
+    fn small_edit_in_the_middle() {
+        let base: Vec<u8> = (0..5000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut target = base.clone();
+        target[10_000] ^= 0xFF;
+        let dlen = roundtrip(&base, &target);
+        assert!(dlen < 200, "single-byte edit delta is {dlen} bytes");
+    }
+
+    #[test]
+    fn unrelated_content_degrades_to_insert() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let base: Vec<u8> = (0..2000).map(|_| rng.next_u32() as u8).collect();
+        let target: Vec<u8> = (0..2000).map(|_| rng.next_u32() as u8).collect();
+        let dlen = roundtrip(&base, &target);
+        assert!(dlen >= 2000, "random target cannot be compressed against base");
+    }
+
+    #[test]
+    fn empty_edges() {
+        roundtrip(b"", b"");
+        roundtrip(b"", b"new content here");
+        roundtrip(b"old content here", b"");
+    }
+
+    #[test]
+    fn random_mutations_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(17);
+        let base: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        for _ in 0..10 {
+            let mut target = base.clone();
+            for _ in 0..rng.range(1, 50) {
+                let pos = rng.below_usize(target.len());
+                target[pos] = rng.next_u32() as u8;
+            }
+            // Insertions and truncations too.
+            if rng.chance(1, 2) {
+                let pos = rng.below_usize(target.len());
+                target.splice(pos..pos, (0..rng.range(1, 100)).map(|_| rng.next_u32() as u8));
+            } else {
+                target.truncate(rng.range(1, target.len() as u64) as usize);
+            }
+            roundtrip(&base, &target);
+        }
+    }
+
+    #[test]
+    fn wrong_base_is_rejected() {
+        let d = encode(b"base one", b"target");
+        assert!(apply(b"different", &d).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! The content-addressed object database.
+//!
+//! Objects are git's three kinds — blobs (file contents), trees (name →
+//! object listings), commits (tree + parents + message) — serialized as
+//! `"<type> <len>\0<payload>"`, named by the SHA-1 of that form, and stored
+//! compressed under `objects/ab/cdef...` ("git's poor performance is from
+//! storing each version as a separate object", §5.7).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use decibel_common::error::{DbError, IoResultExt, Result};
+
+use crate::compress;
+use crate::sha1::{self, Sha1};
+
+/// Object kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjKind {
+    /// File contents.
+    Blob,
+    /// A directory listing: `(name, child id)` pairs.
+    Tree,
+    /// A commit: root tree + parent commits + message.
+    Commit,
+}
+
+impl ObjKind {
+    fn tag(self) -> &'static str {
+        match self {
+            ObjKind::Blob => "blob",
+            ObjKind::Tree => "tree",
+            ObjKind::Commit => "commit",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<ObjKind> {
+        match tag {
+            "blob" => Some(ObjKind::Blob),
+            "tree" => Some(ObjKind::Tree),
+            "commit" => Some(ObjKind::Commit),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed tree object.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tree {
+    /// Sorted `(name, object id)` entries.
+    pub entries: Vec<(String, Sha1)>,
+}
+
+impl Tree {
+    /// Serializes to the payload format `name\0<20-byte id>` per entry.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (name, id) in &self.entries {
+            out.extend_from_slice(name.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&id.0);
+        }
+        out
+    }
+
+    /// Parses a tree payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Tree> {
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let nul = bytes[pos..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or_else(|| DbError::corrupt("tree entry missing NUL"))?;
+            let name = String::from_utf8(bytes[pos..pos + nul].to_vec())
+                .map_err(|_| DbError::corrupt("tree entry name not UTF-8"))?;
+            pos += nul + 1;
+            if pos + 20 > bytes.len() {
+                return Err(DbError::corrupt("tree entry truncated"));
+            }
+            let mut id = [0u8; 20];
+            id.copy_from_slice(&bytes[pos..pos + 20]);
+            pos += 20;
+            entries.push((name, Sha1(id)));
+        }
+        Ok(Tree { entries })
+    }
+
+    /// Finds an entry by name (entries are kept sorted).
+    pub fn get(&self, name: &str) -> Option<Sha1> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+}
+
+/// A parsed commit object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Commit {
+    /// Root tree of the snapshot.
+    pub tree: Sha1,
+    /// Parent commits (0 for the root, 2 for merges).
+    pub parents: Vec<Sha1>,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl Commit {
+    /// Serializes in a git-like text format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut s = format!("tree {}\n", self.tree.to_hex());
+        for p in &self.parents {
+            s.push_str(&format!("parent {}\n", p.to_hex()));
+        }
+        s.push('\n');
+        s.push_str(&self.message);
+        s.into_bytes()
+    }
+
+    /// Parses a commit payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Commit> {
+        let text =
+            std::str::from_utf8(bytes).map_err(|_| DbError::corrupt("commit not UTF-8"))?;
+        let mut tree = None;
+        let mut parents = Vec::new();
+        let mut lines = text.lines();
+        for line in lines.by_ref() {
+            if line.is_empty() {
+                break;
+            }
+            if let Some(hex) = line.strip_prefix("tree ") {
+                tree = Sha1::from_hex(hex);
+            } else if let Some(hex) = line.strip_prefix("parent ") {
+                parents.push(
+                    Sha1::from_hex(hex).ok_or_else(|| DbError::corrupt("bad parent id"))?,
+                );
+            }
+        }
+        let message: String = lines.collect::<Vec<_>>().join("\n");
+        Ok(Commit {
+            tree: tree.ok_or_else(|| DbError::corrupt("commit missing tree"))?,
+            parents,
+            message,
+        })
+    }
+}
+
+/// The loose-object store rooted at `<repo>/objects`.
+pub struct ObjectStore {
+    root: PathBuf,
+}
+
+impl ObjectStore {
+    /// Creates/opens the store under `root`.
+    pub fn new(root: impl AsRef<Path>) -> Result<ObjectStore> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root).ctx("creating object store")?;
+        Ok(ObjectStore { root })
+    }
+
+    fn path_of(&self, id: Sha1) -> PathBuf {
+        let hex = id.to_hex();
+        self.root.join(&hex[..2]).join(&hex[2..])
+    }
+
+    /// Computes the id an object would get without writing it.
+    pub fn hash(kind: ObjKind, payload: &[u8]) -> Sha1 {
+        let mut h = sha1::Hasher::new();
+        h.update(format!("{} {}\0", kind.tag(), payload.len()).as_bytes());
+        h.update(payload);
+        h.finalize()
+    }
+
+    /// Writes an object (idempotent), returning its id. The serialized
+    /// form is LZSS-compressed on disk, like git's zlib deflate.
+    pub fn write(&self, kind: ObjKind, payload: &[u8]) -> Result<Sha1> {
+        let id = Self::hash(kind, payload);
+        let path = self.path_of(id);
+        if path.exists() {
+            return Ok(id); // content-addressed: already present
+        }
+        let mut full =
+            Vec::with_capacity(payload.len() + 16);
+        full.extend_from_slice(format!("{} {}\0", kind.tag(), payload.len()).as_bytes());
+        full.extend_from_slice(payload);
+        let compressed = compress::compress(&full);
+        fs::create_dir_all(path.parent().unwrap()).ctx("creating object fan-out dir")?;
+        fs::write(&path, compressed).ctx("writing loose object")?;
+        Ok(id)
+    }
+
+    /// Reads an object, returning its kind and payload.
+    pub fn read(&self, id: Sha1) -> Result<(ObjKind, Vec<u8>)> {
+        let path = self.path_of(id);
+        let compressed = fs::read(&path)
+            .map_err(|e| DbError::io(format!("reading object {}", id.to_hex()), e))?;
+        let full = compress::decompress(&compressed)?;
+        Self::parse(&full)
+    }
+
+    /// Parses the serialized `<type> <len>\0<payload>` form.
+    pub fn parse(full: &[u8]) -> Result<(ObjKind, Vec<u8>)> {
+        let nul = full
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or_else(|| DbError::corrupt("object header missing NUL"))?;
+        let header =
+            std::str::from_utf8(&full[..nul]).map_err(|_| DbError::corrupt("object header"))?;
+        let (tag, len) = header
+            .split_once(' ')
+            .ok_or_else(|| DbError::corrupt("object header shape"))?;
+        let kind =
+            ObjKind::from_tag(tag).ok_or_else(|| DbError::corrupt("unknown object kind"))?;
+        let len: usize =
+            len.parse().map_err(|_| DbError::corrupt("object length not a number"))?;
+        let payload = full[nul + 1..].to_vec();
+        if payload.len() != len {
+            return Err(DbError::corrupt("object length mismatch"));
+        }
+        Ok((kind, payload))
+    }
+
+    /// Whether an object exists as a loose object.
+    pub fn contains(&self, id: Sha1) -> bool {
+        self.path_of(id).exists()
+    }
+
+    /// Removes a loose object (after repack migrates it into a pack).
+    pub fn remove(&self, id: Sha1) -> Result<()> {
+        fs::remove_file(self.path_of(id)).ctx("removing loose object")
+    }
+
+    /// Lists all loose object ids.
+    pub fn list(&self) -> Result<Vec<Sha1>> {
+        let mut out = Vec::new();
+        for fan in fs::read_dir(&self.root).ctx("listing object store")? {
+            let fan = fan.ctx("listing object store")?;
+            if !fan.file_type().ctx("stat fan-out")?.is_dir() {
+                continue;
+            }
+            let prefix = fan.file_name().to_string_lossy().to_string();
+            for obj in fs::read_dir(fan.path()).ctx("listing fan-out")? {
+                let obj = obj.ctx("listing fan-out")?;
+                let rest = obj.file_name().to_string_lossy().to_string();
+                if let Some(id) = Sha1::from_hex(&format!("{prefix}{rest}")) {
+                    out.push(id);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total bytes of loose objects on disk.
+    pub fn disk_size(&self) -> u64 {
+        fn dir_size(path: &Path) -> u64 {
+            let Ok(entries) = fs::read_dir(path) else { return 0 };
+            entries
+                .flatten()
+                .map(|e| {
+                    let p = e.path();
+                    if p.is_dir() {
+                        dir_size(&p)
+                    } else {
+                        e.metadata().map(|m| m.len()).unwrap_or(0)
+                    }
+                })
+                .sum()
+        }
+        dir_size(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (tempfile::TempDir, ObjectStore) {
+        let dir = tempfile::tempdir().unwrap();
+        let s = ObjectStore::new(dir.path().join("objects")).unwrap();
+        (dir, s)
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let (_d, s) = store();
+        let id = s.write(ObjKind::Blob, b"hello world").unwrap();
+        let (kind, payload) = s.read(id).unwrap();
+        assert_eq!(kind, ObjKind::Blob);
+        assert_eq!(payload, b"hello world");
+    }
+
+    #[test]
+    fn write_is_idempotent_and_content_addressed() {
+        let (_d, s) = store();
+        let a = s.write(ObjKind::Blob, b"same").unwrap();
+        let b = s.write(ObjKind::Blob, b"same").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.list().unwrap().len(), 1);
+        let c = s.write(ObjKind::Blob, b"different").unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kind_is_part_of_identity() {
+        let (_d, s) = store();
+        let blob = s.write(ObjKind::Blob, b"x").unwrap();
+        let tree = s.write(ObjKind::Tree, b"x").unwrap();
+        assert_ne!(blob, tree);
+    }
+
+    #[test]
+    fn tree_roundtrip() {
+        let (_d, s) = store();
+        let b1 = s.write(ObjKind::Blob, b"one").unwrap();
+        let b2 = s.write(ObjKind::Blob, b"two").unwrap();
+        let tree = Tree { entries: vec![("a.csv".into(), b1), ("b.csv".into(), b2)] };
+        let id = s.write(ObjKind::Tree, &tree.to_bytes()).unwrap();
+        let (kind, payload) = s.read(id).unwrap();
+        assert_eq!(kind, ObjKind::Tree);
+        let back = Tree::from_bytes(&payload).unwrap();
+        assert_eq!(back, tree);
+        assert_eq!(back.get("a.csv"), Some(b1));
+        assert_eq!(back.get("zzz"), None);
+    }
+
+    #[test]
+    fn commit_roundtrip() {
+        let (_d, s) = store();
+        let tree_id = s.write(ObjKind::Tree, &Tree::default().to_bytes()).unwrap();
+        let c = Commit {
+            tree: tree_id,
+            parents: vec![ObjectStore::hash(ObjKind::Blob, b"p1")],
+            message: "load batch 1\nsecond line".to_string(),
+        };
+        let id = s.write(ObjKind::Commit, &c.to_bytes()).unwrap();
+        let (kind, payload) = s.read(id).unwrap();
+        assert_eq!(kind, ObjKind::Commit);
+        assert_eq!(Commit::from_bytes(&payload).unwrap(), c);
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let (_d, s) = store();
+        assert!(s.read(sha1::digest(b"missing")).is_err());
+        assert!(!s.contains(sha1::digest(b"missing")));
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let (_d, s) = store();
+        let a = s.write(ObjKind::Blob, b"a").unwrap();
+        let b = s.write(ObjKind::Blob, b"b").unwrap();
+        let mut ids = s.list().unwrap();
+        ids.sort();
+        let mut expect = vec![a, b];
+        expect.sort();
+        assert_eq!(ids, expect);
+        s.remove(a).unwrap();
+        assert_eq!(s.list().unwrap(), vec![b]);
+        assert!(s.disk_size() > 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! SHA-1, implemented from scratch (FIPS 180-1).
+//!
+//! git names every object by the SHA-1 of its serialized form; the paper
+//! attributes part of git's commit cost to exactly this hashing
+//! ("compute SHA-1 hashes for each commit (proportional to data set
+//! size)", §5.7). SHA-1 is used here as a *content address*, not for
+//! security — collision weaknesses are irrelevant to the benchmark.
+
+/// A 20-byte SHA-1 digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sha1(pub [u8; 20]);
+
+impl Sha1 {
+    /// Hex rendering (git's object naming).
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses a 40-character hex digest.
+    pub fn from_hex(hex: &str) -> Option<Sha1> {
+        if hex.len() != 40 {
+            return None;
+        }
+        let mut out = [0u8; 20];
+        for i in 0..20 {
+            out[i] = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).ok()?;
+        }
+        Some(Sha1(out))
+    }
+}
+
+/// Incremental SHA-1 hasher.
+pub struct Hasher {
+    h: [u32; 5],
+    /// Bytes processed so far (for the length suffix).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+impl Hasher {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Hasher {
+        Hasher {
+            h: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len += data.len() as u64;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes and returns the digest.
+    pub fn finalize(mut self) -> Sha1 {
+        let bit_len = self.len * 8;
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Length goes in raw (bypass the len counter — it's already fixed).
+        let mut block = self.buf;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&block);
+        let mut out = [0u8; 20];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Sha1(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn digest(data: &[u8]) -> Sha1 {
+    let mut h = Hasher::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-1 / RFC 3174 reference vectors.
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(digest(b"abc").to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(digest(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            digest(&[b'a'; 1_000_000]).to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn git_style_blob_hash() {
+        // `echo -n 'what is up, doc?' | git hash-object --stdin`
+        let content = b"what is up, doc?";
+        let mut h = Hasher::new();
+        h.update(format!("blob {}\0", content.len()).as_bytes());
+        h.update(content);
+        assert_eq!(h.finalize().to_hex(), "bd9dbf5aae1a3862dd1526723246b20206e5fc37");
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let mut h = Hasher::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), digest(&data));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = digest(b"roundtrip");
+        assert_eq!(Sha1::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Sha1::from_hex("nope"), None);
+        assert_eq!(Sha1::from_hex(&"z".repeat(40)), None);
+    }
+}

@@ -1,0 +1,268 @@
+//! A shared page cache with LRU eviction.
+//!
+//! Heap files in this reproduction are append-only: a page becomes immutable
+//! the moment it is full, and only the partial tail page of each file is ever
+//! rewritten (by the owning [`HeapFile`](crate::heap::HeapFile), which keeps
+//! the tail in its own append buffer until the page fills). The pool can
+//! therefore be a read-only cache of immutable full pages — no dirty-page
+//! write-back — which keeps it trivially safe to share across the scan
+//! threads the hybrid engine spawns (§3.4: the branch-segment index "allows
+//! for parallelization of segment scanning").
+
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use decibel_common::error::{IoResultExt, Result};
+use decibel_common::hash::FxHashMap;
+use parking_lot::Mutex;
+
+/// Identifies a file registered with the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub u32);
+
+/// Hit/miss counters, used by tests and by benchmark diagnostics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pages served from the cache.
+    pub hits: u64,
+    /// Pages read from disk.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+struct Frame {
+    data: Arc<Vec<u8>>,
+    last_used: u64,
+}
+
+struct PoolInner {
+    frames: FxHashMap<(FileId, u64), Frame>,
+    files: Vec<Arc<File>>,
+    stats: PoolStats,
+}
+
+/// A process-wide page cache shared by every heap file of an engine.
+///
+/// `capacity` bounds the number of cached pages; eviction is exact LRU
+/// (tracked with a logical clock — adequate at the pool sizes the paper
+/// uses, where eviction is rare compared to page reads).
+pub struct BufferPool {
+    page_size: usize,
+    capacity: usize,
+    clock: AtomicU64,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// Creates a pool caching at most `capacity` pages of `page_size` bytes.
+    pub fn new(page_size: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "pool needs at least one frame");
+        BufferPool {
+            page_size,
+            capacity,
+            clock: AtomicU64::new(0),
+            inner: Mutex::new(PoolInner {
+                frames: FxHashMap::default(),
+                files: Vec::new(),
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// Bytes per page.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Registers a file; subsequent [`BufferPool::get_page`] calls may use
+    /// the returned id.
+    pub fn register(&self, file: Arc<File>) -> FileId {
+        let mut inner = self.inner.lock();
+        let id = FileId(inner.files.len() as u32);
+        inner.files.push(file);
+        id
+    }
+
+    /// Returns page `page_no` of `file`, reading `valid_len` bytes from disk
+    /// on a miss (`valid_len < page_size` only for a file's final page).
+    ///
+    /// The returned buffer is always `valid_len` bytes.
+    pub fn get_page(&self, file: FileId, page_no: u64, valid_len: usize) -> Result<Arc<Vec<u8>>> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inner = self.inner.lock();
+            if let Some(frame) = inner.frames.get_mut(&(file, page_no)) {
+                // A previously-cached partial tail page may have grown on
+                // disk since; serve it only if it still covers the request.
+                if frame.data.len() >= valid_len {
+                    frame.last_used = now;
+                    let data = Arc::clone(&frame.data);
+                    inner.stats.hits += 1;
+                    if data.len() == valid_len {
+                        return Ok(data);
+                    }
+                    return Ok(Arc::new(data[..valid_len].to_vec()));
+                }
+                inner.frames.remove(&(file, page_no));
+            }
+        }
+        // Miss: read outside the lock so concurrent scans overlap their I/O.
+        let handle = {
+            let inner = self.inner.lock();
+            Arc::clone(&inner.files[file.0 as usize])
+        };
+        let mut buf = vec![0u8; valid_len];
+        handle
+            .read_exact_at(&mut buf, page_no * self.page_size as u64)
+            .ctx("reading page from heap file")?;
+        let data = Arc::new(buf);
+        let mut inner = self.inner.lock();
+        inner.stats.misses += 1;
+        if inner.frames.len() >= self.capacity {
+            // Evict the least recently used frame.
+            if let Some((&victim, _)) =
+                inner.frames.iter().min_by_key(|(_, f)| f.last_used)
+            {
+                inner.frames.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner
+            .frames
+            .insert((file, page_no), Frame { data: Arc::clone(&data), last_used: now });
+        Ok(data)
+    }
+
+    /// Inserts a freshly written page (used by heap files when a tail page
+    /// fills, so sequential load-then-scan workloads stay warm).
+    pub fn put_page(&self, file: FileId, page_no: u64, data: Arc<Vec<u8>>) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if inner.frames.len() >= self.capacity {
+            if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.last_used) {
+                inner.frames.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.frames.insert((file, page_no), Frame { data, last_used: now });
+    }
+
+    /// Drops every cached page. Benchmarks call this before measured
+    /// queries to emulate the paper's "flush disk caches prior to each
+    /// operation" methodology (§5).
+    pub fn clear(&self) {
+        self.inner.lock().frames.clear();
+    }
+
+    /// Drops cached pages belonging to `file` (used when a file is deleted).
+    pub fn clear_file(&self, file: FileId) {
+        self.inner.lock().frames.retain(|&(f, _), _| f != file);
+    }
+
+    /// Snapshot of hit/miss/eviction counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn file_with(bytes: &[u8]) -> (tempfile::TempDir, Arc<File>) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("f");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        f.flush().unwrap();
+        (dir, Arc::new(File::open(&path).unwrap()))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (_d, f) = file_with(&[7u8; 64]);
+        let pool = BufferPool::new(32, 4);
+        let id = pool.register(f);
+        let p = pool.get_page(id, 0, 32).unwrap();
+        assert_eq!(&p[..], &[7u8; 32]);
+        let _ = pool.get_page(id, 1, 32).unwrap();
+        let _ = pool.get_page(id, 0, 32).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn eviction_respects_lru() {
+        let (_d, f) = file_with(&[1u8; 4 * 16]);
+        let pool = BufferPool::new(16, 2);
+        let id = pool.register(f);
+        let _ = pool.get_page(id, 0, 16).unwrap();
+        let _ = pool.get_page(id, 1, 16).unwrap();
+        let _ = pool.get_page(id, 0, 16).unwrap(); // touch 0 so 1 is LRU
+        let _ = pool.get_page(id, 2, 16).unwrap(); // evicts 1
+        assert_eq!(pool.stats().evictions, 1);
+        let _ = pool.get_page(id, 0, 16).unwrap(); // still cached
+        assert_eq!(pool.stats().hits, 2);
+    }
+
+    #[test]
+    fn partial_tail_page_grows() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("f");
+        let mut w = File::create(&path).unwrap();
+        w.write_all(&[9u8; 10]).unwrap();
+        let pool = BufferPool::new(32, 4);
+        let id = pool.register(Arc::new(File::open(&path).unwrap()));
+        assert_eq!(pool.get_page(id, 0, 10).unwrap().len(), 10);
+        // File grows; a larger request must re-read, not serve stale bytes.
+        w.write_all(&[8u8; 10]).unwrap();
+        w.flush().unwrap();
+        let p = pool.get_page(id, 0, 20).unwrap();
+        assert_eq!(p.len(), 20);
+        assert_eq!(p[15], 8);
+        // A shorter request may be served from cache, truncated.
+        assert_eq!(pool.get_page(id, 0, 5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let (_d, f) = file_with(&[0u8; 64]);
+        let pool = BufferPool::new(32, 4);
+        let id = pool.register(f);
+        let _ = pool.get_page(id, 0, 32).unwrap();
+        assert_eq!(pool.cached_pages(), 1);
+        pool.clear();
+        assert_eq!(pool.cached_pages(), 0);
+        let _ = pool.get_page(id, 0, 32).unwrap();
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        let (_d, f) = file_with(&[3u8; 1024]);
+        let pool = Arc::new(BufferPool::new(64, 8));
+        let id = pool.register(f);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for page in 0..16u64 {
+                        let p = pool.get_page(id, page, 64).unwrap();
+                        assert_eq!(p[0], 3);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,78 @@
+//! Storage configuration shared by every engine.
+
+/// Tuning knobs for the physical layer.
+///
+/// The paper fixes the page size at 4 MB (§2.1, §4.2); tests and the scaled
+/// benchmark use smaller pages so datasets stay laptop-sized while keeping
+/// the same pages-per-branch ratios.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Bytes per page. Records never straddle pages; the slot count per page
+    /// is `page_size / record_size` (any remainder is padding).
+    pub page_size: usize,
+    /// Number of pages the shared buffer pool may cache.
+    pub pool_pages: usize,
+    /// When true, measured scans drop the buffer pool first, emulating the
+    /// paper's "we flush disk caches prior to each operation" (§5).
+    pub cold_scans: bool,
+    /// When true, `Wal::commit` issues `fsync`. Benchmarks disable this, as
+    /// the paper does not measure durability costs.
+    pub fsync: bool,
+}
+
+impl StoreConfig {
+    /// The paper's geometry: 4 MB pages.
+    pub fn paper_default() -> Self {
+        StoreConfig { page_size: 4 << 20, pool_pages: 256, cold_scans: true, fsync: false }
+    }
+
+    /// Small pages for unit tests: keeps multi-page code paths exercised
+    /// with tiny datasets.
+    pub fn test_default() -> Self {
+        StoreConfig { page_size: 4096, pool_pages: 64, cold_scans: false, fsync: false }
+    }
+
+    /// Benchmark default: 256 KB pages — the paper's 4 MB scaled by the same
+    /// factor as the dataset, preserving records-per-page magnitudes.
+    pub fn bench_default() -> Self {
+        StoreConfig { page_size: 256 << 10, pool_pages: 512, cold_scans: true, fsync: false }
+    }
+
+    /// Number of fixed-width record slots per page.
+    pub fn slots_per_page(&self, record_size: usize) -> usize {
+        assert!(record_size > 0 && record_size <= self.page_size, "record must fit in a page");
+        self.page_size / record_size
+    }
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig::test_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_paper() {
+        let c = StoreConfig::paper_default();
+        assert_eq!(c.page_size, 4 * 1024 * 1024);
+        // ~4k one-KB records per page.
+        assert_eq!(c.slots_per_page(1009), 4156);
+    }
+
+    #[test]
+    fn slots_per_page_floor_division() {
+        let c = StoreConfig { page_size: 100, pool_pages: 1, cold_scans: false, fsync: false };
+        assert_eq!(c.slots_per_page(30), 3);
+        assert_eq!(c.slots_per_page(100), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_record_panics() {
+        StoreConfig::test_default().slots_per_page(1 << 20);
+    }
+}

@@ -1,0 +1,492 @@
+//! Append-only heap files of fixed-width record slots.
+//!
+//! Every physical structure in the paper is one of these: the tuple-first
+//! shared heap file (§3.2, "stores tuples from all branches together in a
+//! single shared heap file"), and the per-branch segment files of the
+//! version-first and hybrid schemes (§3.3–3.4). Records are fixed width
+//! (header + key + columns, see [`decibel_common::record`]), so a record's
+//! slot index determines its byte offset directly:
+//!
+//! ```text
+//! offset(i) = (i / slots_per_page) * page_size + (i % slots_per_page) * record_size
+//! ```
+//!
+//! Records never straddle pages; the tail of each page is padding. Pages are
+//! immutable once full. The partial tail page lives in an in-memory append
+//! buffer owned by the file (flushed on demand), so readers never observe a
+//! torn page.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use decibel_common::error::{DbError, IoResultExt, Result};
+use decibel_common::ids::RecordIdx;
+use decibel_common::record::Record;
+use decibel_common::schema::Schema;
+use parking_lot::Mutex;
+
+use crate::buffer_pool::{BufferPool, FileId};
+
+struct Tail {
+    /// Number of pages fully written to disk.
+    full_pages: u64,
+    /// Serialized records of the current partial page.
+    buf: Vec<u8>,
+    /// Bytes of `buf` already flushed to disk.
+    flushed: usize,
+}
+
+/// An append-only file of fixed-width record slots, cached through a shared
+/// [`BufferPool`].
+pub struct HeapFile {
+    schema: Schema,
+    record_size: usize,
+    slots_per_page: usize,
+    page_size: usize,
+    pool: Arc<BufferPool>,
+    file_id: FileId,
+    file: Arc<File>,
+    path: PathBuf,
+    tail: Mutex<Tail>,
+}
+
+impl HeapFile {
+    /// Creates a new, empty heap file at `path`.
+    pub fn create(pool: Arc<BufferPool>, path: impl AsRef<Path>, schema: Schema) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .ctx("creating heap file")?;
+        Self::from_file(pool, path, schema, file)
+    }
+
+    /// Opens an existing heap file, recovering the record count from the
+    /// file length (full pages are `page_size` bytes; a partial tail page is
+    /// a whole number of record slots).
+    pub fn open(pool: Arc<BufferPool>, path: impl AsRef<Path>, schema: Schema) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .ctx("opening heap file")?;
+        Self::from_file(pool, path, schema, file)
+    }
+
+    fn from_file(pool: Arc<BufferPool>, path: PathBuf, schema: Schema, file: File) -> Result<Self> {
+        let record_size = schema.record_size();
+        let page_size = pool.page_size();
+        let slots_per_page = page_size / record_size;
+        if slots_per_page == 0 {
+            return Err(DbError::Invalid(format!(
+                "record size {record_size} exceeds page size {page_size}"
+            )));
+        }
+        let len = file.metadata().ctx("stat heap file")?.len();
+        let full_pages = len / page_size as u64;
+        let tail_bytes = (len % page_size as u64) as usize;
+        if !tail_bytes.is_multiple_of(record_size) {
+            return Err(DbError::corrupt(format!(
+                "heap file {} has a torn tail ({tail_bytes} bytes, record size {record_size})",
+                path.display()
+            )));
+        }
+        let mut buf = vec![0u8; tail_bytes];
+        if tail_bytes > 0 {
+            file.read_exact_at(&mut buf, full_pages * page_size as u64)
+                .ctx("reading heap tail")?;
+        }
+        let file = Arc::new(file);
+        let file_id = pool.register(Arc::clone(&file));
+        Ok(HeapFile {
+            schema,
+            record_size,
+            slots_per_page,
+            page_size,
+            pool,
+            file_id,
+            file,
+            path,
+            tail: Mutex::new(Tail { full_pages, flushed: buf.len(), buf }),
+        })
+    }
+
+    /// The relation schema records in this file conform to.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Filesystem path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records (live + superseded + tombstones) in the file.
+    pub fn len(&self) -> u64 {
+        let tail = self.tail.lock();
+        tail.full_pages * self.slots_per_page as u64 + (tail.buf.len() / self.record_size) as u64
+    }
+
+    /// True if no records have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// On-disk size in bytes once flushed (used by the storage-size tables).
+    pub fn byte_size(&self) -> u64 {
+        let tail = self.tail.lock();
+        tail.full_pages * self.page_size as u64 + tail.buf.len() as u64
+    }
+
+    /// Appends a record, returning its slot index.
+    pub fn append(&self, record: &Record) -> Result<RecordIdx> {
+        let mut slot = vec![0u8; self.record_size];
+        record.write_to(&self.schema, &mut slot)?;
+        self.append_bytes(&slot)
+    }
+
+    /// Appends a pre-serialized record slot.
+    pub fn append_bytes(&self, slot: &[u8]) -> Result<RecordIdx> {
+        debug_assert_eq!(slot.len(), self.record_size);
+        let mut tail = self.tail.lock();
+        let idx = tail.full_pages * self.slots_per_page as u64
+            + (tail.buf.len() / self.record_size) as u64;
+        tail.buf.extend_from_slice(slot);
+        if tail.buf.len() / self.record_size == self.slots_per_page {
+            self.flush_full_page(&mut tail)?;
+        }
+        Ok(RecordIdx(idx))
+    }
+
+    /// Writes the (now full) tail page, padded to `page_size`, and installs
+    /// it in the buffer pool so load-then-scan stays warm.
+    fn flush_full_page(&self, tail: &mut Tail) -> Result<()> {
+        let mut page = std::mem::take(&mut tail.buf);
+        page.resize(self.page_size, 0);
+        self.file
+            .write_all_at(&page, tail.full_pages * self.page_size as u64)
+            .ctx("writing full heap page")?;
+        self.pool.put_page(self.file_id, tail.full_pages, Arc::new(page));
+        tail.full_pages += 1;
+        tail.flushed = 0;
+        Ok(())
+    }
+
+    /// Flushes any partial tail page to disk (records stay readable either
+    /// way; this is for durability and for size accounting).
+    pub fn flush(&self) -> Result<()> {
+        let mut tail = self.tail.lock();
+        if tail.flushed < tail.buf.len() {
+            let start = tail.flushed;
+            self.file
+                .write_all_at(
+                    &tail.buf[start..],
+                    tail.full_pages * self.page_size as u64 + start as u64,
+                )
+                .ctx("writing heap tail")?;
+            tail.flushed = tail.buf.len();
+        }
+        Ok(())
+    }
+
+    /// Reads the record at `idx`.
+    pub fn get(&self, idx: RecordIdx) -> Result<Record> {
+        self.with_slot(idx, |slot| Record::read_from(&self.schema, slot))?
+    }
+
+    /// Reads only the key and tombstone flag at `idx` (cheaper than
+    /// [`HeapFile::get`] for filters that reject most slots).
+    pub fn peek_key(&self, idx: RecordIdx) -> Result<(u64, bool)> {
+        self.with_slot(idx, Record::peek_key)
+    }
+
+    /// Runs `f` over the raw bytes of slot `idx`.
+    fn with_slot<T>(&self, idx: RecordIdx, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
+        let page_no = idx.0 / self.slots_per_page as u64;
+        let slot_in_page = (idx.0 % self.slots_per_page as u64) as usize;
+        let off = slot_in_page * self.record_size;
+        let tail = self.tail.lock();
+        if page_no == tail.full_pages {
+            // Tail page: serve from the append buffer.
+            if off + self.record_size > tail.buf.len() {
+                return Err(DbError::corrupt(format!("record index {} out of bounds", idx.0)));
+            }
+            return Ok(f(&tail.buf[off..off + self.record_size]));
+        }
+        if page_no > tail.full_pages {
+            return Err(DbError::corrupt(format!("record index {} out of bounds", idx.0)));
+        }
+        drop(tail);
+        let page = self.pool.get_page(self.file_id, page_no, self.page_size)?;
+        Ok(f(&page[off..off + self.record_size]))
+    }
+
+    /// Streams records `[start, end)` in slot order.
+    pub fn scan(&self, start: RecordIdx, end: RecordIdx) -> HeapScan<'_> {
+        let end = end.0.min(self.len());
+        HeapScan {
+            heap: self,
+            next: start.0,
+            end,
+            page: None,
+            page_no: u64::MAX,
+            forward: true,
+        }
+    }
+
+    /// Streams all records in slot order.
+    pub fn scan_all(&self) -> HeapScan<'_> {
+        self.scan(RecordIdx(0), RecordIdx(u64::MAX))
+    }
+
+    /// Streams records `[start, end)` in *reverse* slot order (newest first)
+    /// — the order version-first branch scans consume segments in (§3.3).
+    pub fn scan_rev(&self, start: RecordIdx, end: RecordIdx) -> HeapScan<'_> {
+        let end = end.0.min(self.len());
+        HeapScan {
+            heap: self,
+            next: end,
+            end: start.0,
+            page: None,
+            page_no: u64::MAX,
+            forward: false,
+        }
+    }
+
+    fn load_scan_page(&self, page_no: u64) -> Result<Arc<Vec<u8>>> {
+        let tail = self.tail.lock();
+        if page_no >= tail.full_pages {
+            // Snapshot the tail buffer.
+            return Ok(Arc::new(tail.buf.clone()));
+        }
+        drop(tail);
+        self.pool.get_page(self.file_id, page_no, self.page_size)
+    }
+
+    /// Loads one page for an external filtered scan (engines drive scans by
+    /// liveness bitmaps and cache the returned page across adjacent slots).
+    pub fn page(&self, page_no: u64) -> Result<Arc<Vec<u8>>> {
+        self.load_scan_page(page_no)
+    }
+
+    /// Record slots per page.
+    #[inline]
+    pub fn slots_per_page(&self) -> usize {
+        self.slots_per_page
+    }
+
+    /// Serialized record width in bytes.
+    #[inline]
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+}
+
+/// Streaming iterator over a slot range of a [`HeapFile`].
+///
+/// Yields `(slot index, record)` pairs; I/O errors surface as `Err` items.
+pub struct HeapScan<'a> {
+    heap: &'a HeapFile,
+    /// Forward: next slot to yield. Reverse: one past the next slot.
+    next: u64,
+    /// Forward: exclusive end. Reverse: inclusive start bound.
+    end: u64,
+    page: Option<Arc<Vec<u8>>>,
+    page_no: u64,
+    forward: bool,
+}
+
+impl HeapScan<'_> {
+    fn slot_bytes(&mut self, idx: u64) -> Result<&[u8]> {
+        let spp = self.heap.slots_per_page as u64;
+        let page_no = idx / spp;
+        if self.page.is_none() || self.page_no != page_no {
+            self.page = Some(self.heap.load_scan_page(page_no)?);
+            self.page_no = page_no;
+        }
+        let off = (idx % spp) as usize * self.heap.record_size;
+        let page = self.page.as_ref().unwrap();
+        if off + self.heap.record_size > page.len() {
+            return Err(DbError::corrupt(format!("slot {idx} beyond page bounds")));
+        }
+        Ok(&page[off..off + self.heap.record_size])
+    }
+}
+
+impl Iterator for HeapScan<'_> {
+    type Item = Result<(RecordIdx, Record)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = if self.forward {
+            if self.next >= self.end {
+                return None;
+            }
+            let i = self.next;
+            self.next += 1;
+            i
+        } else {
+            if self.next <= self.end {
+                return None;
+            }
+            self.next -= 1;
+            self.next
+        };
+        let heap = self.heap;
+        let rec = self
+            .slot_bytes(idx)
+            .and_then(|slot| Record::read_from(&heap.schema, slot))
+            .map(|r| (RecordIdx(idx), r));
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decibel_common::schema::ColumnType;
+
+    fn setup(cols: usize) -> (tempfile::TempDir, Arc<BufferPool>, Schema) {
+        let dir = tempfile::tempdir().unwrap();
+        // Tiny pages so a handful of records spans multiple pages.
+        let pool = Arc::new(BufferPool::new(128, 8));
+        let schema = Schema::new(cols, ColumnType::U32);
+        (dir, pool, schema)
+    }
+
+    fn rec(k: u64, cols: usize) -> Record {
+        Record::new(k, (0..cols as u64).map(|c| k * 100 + c).collect())
+    }
+
+    #[test]
+    fn append_get_roundtrip_across_pages() {
+        let (dir, pool, schema) = setup(3);
+        // record_size = 1+8+12 = 21; 128/21 = 6 slots per page.
+        let heap = HeapFile::create(pool, dir.path().join("h"), schema).unwrap();
+        let mut idxs = Vec::new();
+        for k in 0..20 {
+            idxs.push(heap.append(&rec(k, 3)).unwrap());
+        }
+        assert_eq!(heap.len(), 20);
+        for (k, idx) in idxs.iter().enumerate() {
+            let r = heap.get(*idx).unwrap();
+            assert_eq!(r.key(), k as u64);
+            assert_eq!(r.field(1), k as u64 * 100 + 1);
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_sequential() {
+        let (dir, pool, schema) = setup(3);
+        let heap = HeapFile::create(pool, dir.path().join("h"), schema).unwrap();
+        for k in 0..15 {
+            assert_eq!(heap.append(&rec(k, 3)).unwrap(), RecordIdx(k));
+        }
+    }
+
+    #[test]
+    fn forward_scan_yields_all_in_order() {
+        let (dir, pool, schema) = setup(3);
+        let heap = HeapFile::create(pool, dir.path().join("h"), schema).unwrap();
+        for k in 0..25 {
+            heap.append(&rec(k, 3)).unwrap();
+        }
+        let keys: Vec<u64> =
+            heap.scan_all().map(|r| r.unwrap().1.key()).collect();
+        assert_eq!(keys, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reverse_scan_yields_newest_first() {
+        let (dir, pool, schema) = setup(3);
+        let heap = HeapFile::create(pool, dir.path().join("h"), schema).unwrap();
+        for k in 0..25 {
+            heap.append(&rec(k, 3)).unwrap();
+        }
+        let keys: Vec<u64> = heap
+            .scan_rev(RecordIdx(0), RecordIdx(u64::MAX))
+            .map(|r| r.unwrap().1.key())
+            .collect();
+        assert_eq!(keys, (0..25).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scans_respect_bounds() {
+        let (dir, pool, schema) = setup(3);
+        let heap = HeapFile::create(pool, dir.path().join("h"), schema).unwrap();
+        for k in 0..30 {
+            heap.append(&rec(k, 3)).unwrap();
+        }
+        let keys: Vec<u64> =
+            heap.scan(RecordIdx(5), RecordIdx(10)).map(|r| r.unwrap().1.key()).collect();
+        assert_eq!(keys, vec![5, 6, 7, 8, 9]);
+        let keys: Vec<u64> =
+            heap.scan_rev(RecordIdx(5), RecordIdx(10)).map(|r| r.unwrap().1.key()).collect();
+        assert_eq!(keys, vec![9, 8, 7, 6, 5]);
+    }
+
+    #[test]
+    fn reopen_recovers_count_and_content() {
+        let (dir, pool, schema) = setup(3);
+        let path = dir.path().join("h");
+        {
+            let heap = HeapFile::create(Arc::clone(&pool), &path, schema.clone()).unwrap();
+            for k in 0..17 {
+                heap.append(&rec(k, 3)).unwrap();
+            }
+            heap.flush().unwrap();
+        }
+        let heap = HeapFile::open(pool, &path, schema).unwrap();
+        assert_eq!(heap.len(), 17);
+        assert_eq!(heap.get(RecordIdx(16)).unwrap().key(), 16);
+        // Appending after reopen continues the sequence.
+        assert_eq!(heap.append(&rec(17, 3)).unwrap(), RecordIdx(17));
+    }
+
+    #[test]
+    fn unflushed_tail_is_readable() {
+        let (dir, pool, schema) = setup(3);
+        let heap = HeapFile::create(pool, dir.path().join("h"), schema).unwrap();
+        let idx = heap.append(&rec(42, 3)).unwrap();
+        // No flush: record must still be served from the append buffer.
+        assert_eq!(heap.get(idx).unwrap().key(), 42);
+        let all: Vec<_> = heap.scan_all().map(|r| r.unwrap().1.key()).collect();
+        assert_eq!(all, vec![42]);
+    }
+
+    #[test]
+    fn out_of_bounds_get_errors() {
+        let (dir, pool, schema) = setup(3);
+        let heap = HeapFile::create(pool, dir.path().join("h"), schema).unwrap();
+        heap.append(&rec(1, 3)).unwrap();
+        assert!(heap.get(RecordIdx(5)).is_err());
+    }
+
+    #[test]
+    fn tombstones_survive_storage() {
+        let (dir, pool, schema) = setup(3);
+        let heap = HeapFile::create(pool, dir.path().join("h"), schema.clone()).unwrap();
+        let idx = heap.append(&Record::tombstone(9, &schema)).unwrap();
+        assert!(heap.get(idx).unwrap().is_tombstone());
+        assert_eq!(heap.peek_key(idx).unwrap(), (9, true));
+    }
+
+    #[test]
+    fn byte_size_accounts_padding() {
+        let (dir, pool, schema) = setup(3);
+        let heap = HeapFile::create(pool, dir.path().join("h"), schema).unwrap();
+        // 6 slots/page at 21-byte records, 128-byte pages.
+        for k in 0..6 {
+            heap.append(&rec(k, 3)).unwrap();
+        }
+        assert_eq!(heap.byte_size(), 128); // one padded page
+        heap.append(&rec(6, 3)).unwrap();
+        assert_eq!(heap.byte_size(), 128 + 21);
+    }
+}

@@ -1,0 +1,121 @@
+//! The paper's *curation pattern* (§1.1): a team collectively maintains a
+//! canonical dataset (think OpenStreetMap's road network or a product
+//! catalog). Curators "install and test" changes on development branches,
+//! fix branches hang off those, and everything merges back into mainline
+//! once validated — without exposing partial changes to consumers of the
+//! canonical version.
+//!
+//! Run with: `cargo run --example curation_team`
+
+use decibel::common::ids::BranchId;
+use decibel::common::record::Record;
+use decibel::common::rng::DetRng;
+use decibel::common::schema::{ColumnType, Schema};
+use decibel::core::engine::HybridEngine;
+use decibel::core::{MergePolicy, VersionRef, VersionedStore};
+use decibel::pagestore::StoreConfig;
+
+/// "Points of interest" relation: region, category, lat, lon, verified.
+const COLS: usize = 5;
+const C_REGION: usize = 0;
+const C_CATEGORY: usize = 1;
+const C_VERIFIED: usize = 4;
+
+fn main() -> decibel::Result<()> {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let mut store = HybridEngine::init(
+        dir.path(),
+        Schema::new(COLS, ColumnType::U32),
+        &StoreConfig::default(),
+    )?;
+    let mut rng = DetRng::seed_from_u64(44);
+
+    // The canonical map: 400 points of interest across 4 regions.
+    for key in 0..400u64 {
+        let fields = vec![key % 4, rng.range(0, 10), rng.range(0, 90), rng.range(0, 180), 0];
+        store.insert(BranchId::MASTER, Record::new(key, fields))?;
+    }
+    store.commit(BranchId::MASTER)?;
+    println!("canonical dataset: 400 points of interest");
+
+    // A development branch for the region-2 curator's overhaul.
+    let dev = store.create_branch("region2-overhaul", VersionRef::Branch(BranchId::MASTER))?;
+    let region2: Vec<Record> = store
+        .scan(dev.into())?
+        .collect::<decibel::Result<Vec<_>>>()?
+        .into_iter()
+        .filter(|r| r.field(C_REGION) == 2)
+        .collect();
+    for mut rec in region2 {
+        rec.set_field(C_VERIFIED, 1); // curator verifies each entry
+        store.update(dev, rec)?;
+    }
+    store.commit(dev)?;
+    println!("dev branch verified every region-2 entry");
+
+    // A short-lived fix branch off the dev branch: recategorize a handful
+    // of entries, then merge back into the dev branch (its parent).
+    let fix = store.create_branch("fix-categories", VersionRef::Branch(dev))?;
+    for key in [2u64, 6, 10, 14] {
+        let mut rec = store.get(fix.into(), key)?.expect("key exists");
+        rec.set_field(C_CATEGORY, 9);
+        store.update(fix, rec)?;
+    }
+    store.commit(fix)?;
+    let res = store.merge(dev, fix, MergePolicy::ThreeWay { prefer_left: false })?;
+    println!(
+        "fix branch merged into dev: {} records changed, {} conflicts",
+        res.records_changed,
+        res.conflicts.len()
+    );
+
+    // Meanwhile mainline keeps evolving — another curator touches one of
+    // the same records, setting up a field-level conflict.
+    let mut mainline_edit = store.get(VersionRef::Branch(BranchId::MASTER), 2)?.unwrap();
+    mainline_edit.set_field(C_CATEGORY, 5); // conflicting categorization
+    store.update(BranchId::MASTER, mainline_edit)?;
+    let mut disjoint_edit = store.get(VersionRef::Branch(BranchId::MASTER), 3)?.unwrap();
+    disjoint_edit.set_field(C_REGION, 3); // disjoint from dev's edits
+    store.update(BranchId::MASTER, disjoint_edit)?;
+    store.commit(BranchId::MASTER)?;
+
+    // Promote the dev branch into the canonical version. Field-level
+    // three-way merge: disjoint edits auto-merge; the conflicting category
+    // of key 2 resolves in the dev branch's favour (precedence).
+    let res = store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false })?;
+    println!(
+        "dev merged into mainline: {} records changed, {} conflicts",
+        res.records_changed,
+        res.conflicts.len()
+    );
+    for c in &res.conflicts {
+        println!(
+            "  conflict on key {} (fields {:?}), resolved for the {} branch",
+            c.key,
+            c.fields,
+            if c.resolved_left { "mainline" } else { "dev" }
+        );
+    }
+
+    // Validate the merged canonical state.
+    let merged2 = store.get(VersionRef::Branch(BranchId::MASTER), 2)?.unwrap();
+    assert_eq!(merged2.field(C_CATEGORY), 9, "dev's category wins the conflict");
+    assert_eq!(merged2.field(C_VERIFIED), 1, "dev's verification flag survives");
+    let merged3 = store.get(VersionRef::Branch(BranchId::MASTER), 3)?.unwrap();
+    assert_eq!(merged3.field(C_REGION), 3, "mainline's disjoint edit survives");
+
+    let verified = store
+        .scan(VersionRef::Branch(BranchId::MASTER))?
+        .collect::<decibel::Result<Vec<_>>>()?
+        .iter()
+        .filter(|r| r.field(C_VERIFIED) == 1)
+        .count();
+    println!("canonical dataset now has {verified} verified entries");
+
+    // The merge is provenance-tracked: the merge commit has two parents.
+    let head = store.graph().head(BranchId::MASTER)?;
+    let parents = store.graph().commit(head)?.parents.len();
+    println!("mainline head {head} is a merge commit with {parents} parents");
+    assert_eq!(parents, 2);
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! The paper's *science pattern* (§1.1): a data-science team takes private
+//! branches of an evolving dataset, cleans and features them without
+//! copying the data, and can always return to the exact version an
+//! experiment used.
+//!
+//! The cast mirrors the paper's motivating example: one analyst normalizes
+//! a column, another annotates records, while the upstream feed keeps
+//! appending to mainline.
+//!
+//! Run with: `cargo run --example science_team`
+
+use decibel::common::ids::BranchId;
+use decibel::common::record::Record;
+use decibel::common::rng::DetRng;
+use decibel::common::schema::{ColumnType, Schema};
+use decibel::core::engine::HybridEngine;
+use decibel::core::{VersionRef, VersionedStore};
+use decibel::pagestore::StoreConfig;
+
+/// Column layout for the "user activity" relation.
+const COLS: usize = 5;
+const C_REGION: usize = 0;
+const C_SESSIONS: usize = 1;
+const C_SPEND: usize = 2;
+const C_LABEL: usize = 4;
+
+fn feed_record(rng: &mut DetRng, key: u64) -> Record {
+    let mut fields = vec![0u64; COLS];
+    // Region codes arrive un-normalized: 1..=300 with junk above 255.
+    fields[C_REGION] = rng.range(1, 300);
+    fields[C_SESSIONS] = rng.range(1, 50);
+    fields[C_SPEND] = rng.range(0, 10_000);
+    Record::new(key, fields)
+}
+
+fn main() -> decibel::Result<()> {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let mut store = HybridEngine::init(
+        dir.path(),
+        Schema::new(COLS, ColumnType::U32),
+        &StoreConfig::default(),
+    )?;
+    let mut rng = DetRng::seed_from_u64(2016);
+
+    // The upstream feed populates mainline.
+    let mut next_key = 0u64;
+    for _ in 0..500 {
+        store.insert(BranchId::MASTER, feed_record(&mut rng, next_key))?;
+        next_key += 1;
+    }
+    let snapshot = store.commit(BranchId::MASTER)?;
+    println!("mainline snapshot {snapshot}: {} records", store.live_count(snapshot.into())?);
+
+    // Analyst A: region normalization on a private branch. "analysts will
+    // prefer to limit themselves to the subset of data available when
+    // analysis began" — the branch pins that subset.
+    let cleaning = store.create_branch("region-cleaning", VersionRef::Commit(snapshot))?;
+    let mut fixed = 0u64;
+    let to_fix: Vec<Record> = store
+        .scan(cleaning.into())?
+        .collect::<decibel::Result<Vec<_>>>()?
+        .into_iter()
+        .filter(|r| r.field(C_REGION) > 255)
+        .collect();
+    for mut rec in to_fix {
+        rec.set_field(C_REGION, rec.field(C_REGION) % 256);
+        store.update(cleaning, rec)?;
+        fixed += 1;
+    }
+    let cleaned = store.commit(cleaning)?;
+    println!("analyst A normalized {fixed} region codes on branch 'region-cleaning'");
+
+    // Analyst B: labels high-value users, branching from A's result to
+    // build on the cleaned data ("create further branches to test and
+    // compare different ... strategies").
+    let labeling = store.create_branch("hv-labels", VersionRef::Commit(cleaned))?;
+    let to_label: Vec<Record> = store
+        .scan(labeling.into())?
+        .collect::<decibel::Result<Vec<_>>>()?
+        .into_iter()
+        .filter(|r| r.field(C_SPEND) > 7_500)
+        .collect();
+    let labeled = to_label.len();
+    for mut rec in to_label {
+        rec.set_field(C_LABEL, 1);
+        store.update(labeling, rec)?;
+    }
+    store.commit(labeling)?;
+    println!("analyst B labeled {labeled} high-value users on branch 'hv-labels'");
+
+    // Meanwhile the feed keeps writing to mainline — invisible to both
+    // analysts' branches.
+    for _ in 0..250 {
+        store.insert(BranchId::MASTER, feed_record(&mut rng, next_key))?;
+        next_key += 1;
+    }
+    store.commit(BranchId::MASTER)?;
+
+    let mainline_now = store.live_count(VersionRef::Branch(BranchId::MASTER))?;
+    let branch_view = store.live_count(VersionRef::Branch(labeling))?;
+    println!("mainline has grown to {mainline_now} records; 'hv-labels' still sees {branch_view}");
+    assert_eq!(branch_view, 500, "the experiment's data is pinned");
+
+    // Reproducibility: any committed version restores exactly.
+    assert_eq!(store.checkout_version(snapshot)?, 500);
+    let dirty_regions = store
+        .scan(VersionRef::Commit(snapshot))?
+        .collect::<decibel::Result<Vec<_>>>()?
+        .iter()
+        .filter(|r| r.field(C_REGION) > 255)
+        .count();
+    println!(
+        "checking out snapshot {snapshot} reproduces the raw data ({dirty_regions} dirty regions)"
+    );
+    assert!(dirty_regions > 0);
+
+    // Storage stays shared: three logical copies, nowhere near 3x bytes.
+    let stats = store.stats();
+    println!(
+        "storage: {:.1} MB data, {:.1} KB bitmap indexes, {} segments for 3 branches",
+        stats.data_bytes as f64 / 1e6,
+        stats.index_bytes as f64 / 1e3,
+        stats.num_segments
+    );
+    Ok(())
+}

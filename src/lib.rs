@@ -1,0 +1,74 @@
+//! # Decibel — the relational dataset branching system (reproduction)
+//!
+//! A from-scratch Rust implementation of *Decibel: The Relational Dataset
+//! Branching System* (Maddox et al., VLDB 2016): a relational storage
+//! engine with git-like dataset versioning — branch, commit, checkout,
+//! diff, and merge over tables of records tracked by primary key — in
+//! three interchangeable physical storage schemes:
+//!
+//! * **tuple-first** — one shared heap file plus a bitmap index with one
+//!   bit per (branch, tuple), in both branch-oriented and tuple-oriented
+//!   layouts (§3.2);
+//! * **version-first** — per-branch segment files chained by branch
+//!   points (§3.3);
+//! * **hybrid** — segmented storage with per-segment bitmap indexes and a
+//!   global branch-segment bitmap (§3.4) — the paper's winner.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use decibel::core::{Database, EngineKind, MergePolicy};
+//! use decibel::common::record::Record;
+//! use decibel::common::schema::{ColumnType, Schema};
+//! use decibel::pagestore::StoreConfig;
+//!
+//! let dir = tempfile::tempdir().unwrap();
+//! let db = Database::create(
+//!     dir.path(),
+//!     EngineKind::Hybrid,
+//!     Schema::new(4, ColumnType::U32),
+//!     &StoreConfig::default(),
+//! ).unwrap();
+//!
+//! // Sessions capture checkout state; writes are transactional.
+//! let mut session = db.session();
+//! session.insert(Record::new(1, vec![10, 20, 30, 40])).unwrap();
+//! session.commit().unwrap();
+//!
+//! // Branch, diverge, merge back.
+//! session.branch("experiment").unwrap();
+//! session.update(Record::new(1, vec![99, 20, 30, 40])).unwrap();
+//! session.commit().unwrap();
+//! db.with_store_mut(|store| {
+//!     let master = store.graph().branch_by_name("master").unwrap().id;
+//!     let exp = store.graph().branch_by_name("experiment").unwrap().id;
+//!     store.merge(master, exp, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+//! });
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`common`] | schema/record model, ids, errors, deterministic RNG |
+//! | [`pagestore`] | heap files, buffer pool, lock manager, WAL |
+//! | [`bitmap`] | bitmaps, branch/tuple-oriented indexes, commit stores |
+//! | [`vgraph`] | the version graph (commits, branches, LCA) |
+//! | [`core`] | the three engines + database/session/query API |
+//! | [`gitlike`] | the git baseline (SHA-1, objects, packfiles, repack) |
+//!
+//! The benchmark harness lives in the `decibel-bench` crate
+//! (`cargo run -p decibel-bench --release -- all`); every table and figure
+//! from the paper's evaluation has a subcommand and a criterion bench.
+//! See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+//! results.
+
+pub use decibel_bitmap as bitmap;
+pub use decibel_common as common;
+pub use decibel_core as core;
+pub use decibel_pagestore as pagestore;
+pub use decibel_vgraph as vgraph;
+pub use gitlike;
+
+pub use decibel_common::{DbError, Result};
+pub use decibel_core::{Database, EngineKind, MergePolicy, VersionRef, VersionedStore};

@@ -1,0 +1,208 @@
+//! Cross-engine equivalence: the three storage schemes (four counting
+//! both tuple-first orientations) are different *physical* layouts of the
+//! same logical model, so every benchmark workload must produce identical
+//! query answers on all of them. This is the strongest correctness check
+//! in the suite — it exercises branch points, tombstones, bitmaps, merge
+//! planning, and the scan machinery of every engine against each other.
+
+use decibel::common::ids::BranchId;
+use decibel::common::record::Record;
+use decibel::core::types::EngineKind;
+use decibel::core::{VersionRef, VersionedStore};
+use decibel_bench::experiments::build_loaded;
+use decibel_bench::queries::all_heads;
+use decibel_bench::{Strategy, WorkloadSpec};
+
+fn sorted_rows(store: &dyn VersionedStore, v: VersionRef) -> Vec<Record> {
+    let mut rows: Vec<Record> =
+        store.scan(v).unwrap().collect::<decibel::Result<Vec<_>>>().unwrap();
+    rows.sort_by_key(|r| r.key());
+    rows
+}
+
+fn spec(strategy: Strategy, branches: usize) -> WorkloadSpec {
+    let mut s = WorkloadSpec::scaled(strategy, branches, 0.1);
+    s.cols = 6;
+    s
+}
+
+/// Loads the same workload into all four engines and checks every branch's
+/// full scan contents match record-for-record.
+fn assert_engines_agree(strategy: Strategy, branches: usize) {
+    let spec = spec(strategy, branches);
+    let mut loaded = Vec::new();
+    for kind in EngineKind::all() {
+        let dir = tempfile::tempdir().unwrap();
+        let (store, report) = build_loaded(kind, &spec, dir.path()).unwrap();
+        loaded.push((kind, dir, store, report));
+    }
+    let (_, _, reference, ref_report) = &loaded[0];
+    for info in &ref_report.branches {
+        let expect = sorted_rows(reference.as_ref(), info.id.into());
+        for (kind, _, store, _) in &loaded[1..] {
+            let got = sorted_rows(store.as_ref(), info.id.into());
+            assert_eq!(
+                got.len(),
+                expect.len(),
+                "{kind:?} row count on {} ({strategy})",
+                info.name
+            );
+            assert_eq!(got, expect, "{kind:?} content on {} ({strategy})", info.name);
+        }
+    }
+    // Multi-branch scans agree on (key, branch-count) multiset.
+    let heads = all_heads(reference.as_ref());
+    let mut expect: Vec<(u64, usize)> = reference
+        .multi_scan(&heads)
+        .unwrap()
+        .map(|r| {
+            let (rec, b) = r.unwrap();
+            (rec.key(), b.len())
+        })
+        .collect();
+    expect.sort_unstable();
+    for (kind, _, store, _) in &loaded[1..] {
+        let mut got: Vec<(u64, usize)> = store
+            .multi_scan(&heads)
+            .unwrap()
+            .map(|r| {
+                let (rec, b) = r.unwrap();
+                (rec.key(), b.len())
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, expect, "{kind:?} multi-scan ({strategy})");
+    }
+}
+
+#[test]
+fn deep_workload_agrees() {
+    assert_engines_agree(Strategy::Deep, 6);
+}
+
+#[test]
+fn flat_workload_agrees() {
+    assert_engines_agree(Strategy::Flat, 6);
+}
+
+#[test]
+fn science_workload_agrees() {
+    assert_engines_agree(Strategy::Science, 6);
+}
+
+#[test]
+fn curation_workload_with_merges_agrees() {
+    assert_engines_agree(Strategy::Curation, 8);
+}
+
+#[test]
+fn diffs_agree_across_engines() {
+    let spec = spec(Strategy::Curation, 6);
+    let mut loaded = Vec::new();
+    for kind in EngineKind::all() {
+        let dir = tempfile::tempdir().unwrap();
+        let (store, report) = build_loaded(kind, &spec, dir.path()).unwrap();
+        loaded.push((kind, dir, store, report));
+    }
+    let branches: Vec<BranchId> =
+        loaded[0].3.branches.iter().map(|b| b.id).collect();
+    // Diff every branch against master on every engine; compare key sets.
+    for &b in &branches[1..] {
+        let canonical = |store: &dyn VersionedStore| {
+            let d = store.diff(b.into(), BranchId::MASTER.into()).unwrap();
+            let mut l: Vec<u64> = d.left_only.iter().map(|r| r.key()).collect();
+            let mut r: Vec<u64> = d.right_only.iter().map(|r| r.key()).collect();
+            l.sort_unstable();
+            r.sort_unstable();
+            (l, r)
+        };
+        let expect = canonical(loaded[0].2.as_ref());
+        for (kind, _, store, _) in &loaded[1..] {
+            assert_eq!(canonical(store.as_ref()), expect, "{kind:?} diff of {b}");
+        }
+    }
+}
+
+#[test]
+fn historical_checkouts_agree() {
+    let spec = spec(Strategy::Science, 5);
+    let mut loaded = Vec::new();
+    for kind in EngineKind::all() {
+        let dir = tempfile::tempdir().unwrap();
+        let (store, _) = build_loaded(kind, &spec, dir.path()).unwrap();
+        loaded.push((kind, dir, store));
+    }
+    let n = loaded[0].2.graph().num_commits();
+    for c in 0..n {
+        let commit = decibel::common::ids::CommitId(c);
+        let expect = loaded[0].2.checkout_version(commit).unwrap();
+        for (kind, _, store) in &loaded[1..] {
+            assert_eq!(
+                store.checkout_version(commit).unwrap(),
+                expect,
+                "{kind:?} checkout of commit {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_merge_outcomes() {
+    use decibel::core::MergePolicy;
+    // A handcrafted divergence with every conflict class, merged under
+    // both policies and precedence directions on every engine.
+    for policy in [
+        MergePolicy::TwoWay { prefer_left: true },
+        MergePolicy::TwoWay { prefer_left: false },
+        MergePolicy::ThreeWay { prefer_left: true },
+        MergePolicy::ThreeWay { prefer_left: false },
+    ] {
+        let mut outcomes = Vec::new();
+        for kind in EngineKind::all() {
+            let dir = tempfile::tempdir().unwrap();
+            let schema = decibel::common::schema::Schema::new(
+                4,
+                decibel::common::schema::ColumnType::U32,
+            );
+            let spec = spec(Strategy::Flat, 2);
+            let mut store = decibel_bench::experiments::build_store(kind, &spec, dir.path())
+                .unwrap();
+            let _ = schema;
+            let rec = |k: u64, t: u64| Record::new(k, vec![t, t, t, t, t, t]);
+            for k in 0..10 {
+                store.insert(BranchId::MASTER, rec(k, 0)).unwrap();
+            }
+            let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
+            // Disjoint fields on key 0.
+            let mut a = rec(0, 0);
+            a.set_field(0, 100);
+            store.update(BranchId::MASTER, a).unwrap();
+            let mut b = rec(0, 0);
+            b.set_field(5, 500);
+            store.update(dev, b).unwrap();
+            // Overlapping field on key 1.
+            let mut a = rec(1, 0);
+            a.set_field(2, 111);
+            store.update(BranchId::MASTER, a).unwrap();
+            let mut b = rec(1, 0);
+            b.set_field(2, 222);
+            store.update(dev, b).unwrap();
+            // Delete vs modify on key 2.
+            store.delete(BranchId::MASTER, 2).unwrap();
+            store.update(dev, rec(2, 9)).unwrap();
+            // Insert only in dev.
+            store.insert(dev, rec(50, 1)).unwrap();
+            // Delete only in dev.
+            store.delete(dev, 3).unwrap();
+
+            let res = store.merge(BranchId::MASTER, dev, policy).unwrap();
+            let rows = sorted_rows(store.as_ref(), BranchId::MASTER.into());
+            outcomes.push((kind, res.conflicts.len(), rows));
+        }
+        let (_, expect_conflicts, expect_rows) = &outcomes[0];
+        for (kind, conflicts, rows) in &outcomes[1..] {
+            assert_eq!(conflicts, expect_conflicts, "{kind:?} conflict count under {policy:?}");
+            assert_eq!(rows, expect_rows, "{kind:?} merged state under {policy:?}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Merge-topology stress: diamonds, repeated merges, and merge-then-branch
+//! shapes, verified across all engines against each other. These are the
+//! cases where version-first's precedence-topological portion ordering
+//! (§3.3) earns its keep.
+
+use decibel::common::ids::BranchId;
+use decibel::common::record::Record;
+use decibel::core::types::EngineKind;
+use decibel::core::{MergePolicy, VersionedStore};
+use decibel_bench::experiments::build_store;
+use decibel_bench::{Strategy, WorkloadSpec};
+
+fn rec(k: u64, t: u64) -> Record {
+    Record::new(k, vec![t, t, t])
+}
+
+fn engines() -> Vec<(tempfile::TempDir, Box<dyn VersionedStore>)> {
+    EngineKind::all()
+        .into_iter()
+        .map(|kind| {
+            let dir = tempfile::tempdir().unwrap();
+            let mut spec = WorkloadSpec::scaled(Strategy::Flat, 2, 0.05);
+            spec.cols = 3;
+            let store = build_store(kind, &spec, dir.path()).unwrap();
+            (dir, store)
+        })
+        .collect()
+}
+
+fn rows(store: &dyn VersionedStore, b: BranchId) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = store
+        .scan(b.into())
+        .unwrap()
+        .map(|r| r.map(|rec| (rec.key(), rec.field(0))).unwrap())
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn assert_all_agree(stores: &[(tempfile::TempDir, Box<dyn VersionedStore>)], b: BranchId) {
+    let expect = rows(stores[0].1.as_ref(), b);
+    for (_, s) in &stores[1..] {
+        assert_eq!(rows(s.as_ref(), b), expect, "{:?} disagrees on {b}", s.kind());
+    }
+}
+
+/// Diamond: two branches fork from the same base and both merge into
+/// master in sequence. The second merge's LCA is the first merge commit's
+/// ancestor via the merge edge.
+#[test]
+fn diamond_double_merge() {
+    let mut stores = engines();
+    for (_, store) in &mut stores {
+        for k in 0..6 {
+            store.insert(BranchId::MASTER, rec(k, 0)).unwrap();
+        }
+        let left = store.create_branch("left", BranchId::MASTER.into()).unwrap();
+        let right = store.create_branch("right", BranchId::MASTER.into()).unwrap();
+        store.update(left, rec(0, 100)).unwrap();
+        store.insert(left, rec(10, 1)).unwrap();
+        store.update(right, rec(1, 200)).unwrap();
+        store.insert(right, rec(11, 2)).unwrap();
+        store.merge(BranchId::MASTER, left, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        store.merge(BranchId::MASTER, right, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        // Master absorbed both sides.
+        let m = rows(store.as_ref(), BranchId::MASTER);
+        assert!(m.contains(&(0, 100)), "{:?}: left's update", store.kind());
+        assert!(m.contains(&(1, 200)), "{:?}: right's update", store.kind());
+        assert!(m.contains(&(10, 1)) && m.contains(&(11, 2)));
+        assert_eq!(m.len(), 8);
+    }
+    assert_all_agree(&stores, BranchId::MASTER);
+}
+
+/// Branching *from* a merge result: the child of a merged branch sees the
+/// merged state, and its own edits stay isolated.
+#[test]
+fn branch_off_a_merge() {
+    let mut stores = engines();
+    let mut child_id = None;
+    for (_, store) in &mut stores {
+        store.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        store.update(dev, rec(1, 7)).unwrap();
+        store.insert(dev, rec(2, 0)).unwrap();
+        store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        let child = store.create_branch("post-merge", BranchId::MASTER.into()).unwrap();
+        child_id = Some(child);
+        assert_eq!(
+            rows(store.as_ref(), child),
+            vec![(1, 7), (2, 0)],
+            "{:?}: child sees merged state",
+            store.kind()
+        );
+        store.update(child, rec(2, 9)).unwrap();
+        assert_eq!(rows(store.as_ref(), BranchId::MASTER), vec![(1, 7), (2, 0)]);
+    }
+    assert_all_agree(&stores, child_id.unwrap());
+}
+
+/// Repeated merges between the same pair: each round's LCA advances to
+/// the previous merge, so already-merged changes are not re-reported as
+/// conflicts.
+#[test]
+fn repeated_merges_between_same_pair() {
+    let mut stores = engines();
+    for (_, store) in &mut stores {
+        store.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        // Round 1: dev edits key 1; merge.
+        store.update(dev, rec(1, 10)).unwrap();
+        let r1 =
+            store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        assert!(r1.conflicts.is_empty(), "{:?}", store.kind());
+        // Round 2: dev edits again; the round-1 change must not conflict.
+        store.update(dev, rec(1, 20)).unwrap();
+        let r2 =
+            store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        assert!(
+            r2.conflicts.is_empty(),
+            "{:?}: round-2 merge found stale conflicts {:?}",
+            store.kind(),
+            r2.conflicts
+        );
+        assert_eq!(rows(store.as_ref(), BranchId::MASTER), vec![(1, 20)]);
+    }
+    assert_all_agree(&stores, BranchId::MASTER);
+}
+
+/// Merging in both directions: A→B then B→A converges both branches to
+/// the same state.
+#[test]
+fn bidirectional_merge_converges() {
+    let mut stores = engines();
+    let mut dev_id = None;
+    for (_, store) in &mut stores {
+        for k in 0..4 {
+            store.insert(BranchId::MASTER, rec(k, 0)).unwrap();
+        }
+        let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        dev_id = Some(dev);
+        store.update(BranchId::MASTER, rec(0, 1)).unwrap();
+        store.update(dev, rec(1, 2)).unwrap();
+        store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        store.merge(dev, BranchId::MASTER, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        assert_eq!(
+            rows(store.as_ref(), BranchId::MASTER),
+            rows(store.as_ref(), dev),
+            "{:?}: branches converge",
+            store.kind()
+        );
+    }
+    assert_all_agree(&stores, BranchId::MASTER);
+    assert_all_agree(&stores, dev_id.unwrap());
+}
+
+/// A three-generation chain merged bottom-up: feature → dev → master.
+#[test]
+fn nested_merge_chain() {
+    let mut stores = engines();
+    for (_, store) in &mut stores {
+        store.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        store.insert(dev, rec(2, 0)).unwrap();
+        let feat = store.create_branch("feat", dev.into()).unwrap();
+        store.insert(feat, rec(3, 0)).unwrap();
+        store.update(feat, rec(2, 5)).unwrap();
+        store.merge(dev, feat, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        assert_eq!(rows(store.as_ref(), dev), vec![(1, 0), (2, 5), (3, 0)], "{:?}", store.kind());
+        store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        assert_eq!(rows(store.as_ref(), BranchId::MASTER), vec![(1, 0), (2, 5), (3, 0)]);
+    }
+    assert_all_agree(&stores, BranchId::MASTER);
+}

@@ -1,0 +1,217 @@
+//! Model-based property testing: every engine must behave like a simple
+//! in-memory reference model (one `BTreeMap<key, record>` per branch,
+//! cloned on branch creation, snapshotted on commit) under arbitrary
+//! operation sequences. proptest drives hundreds of randomized histories
+//! through all four engines and the model simultaneously.
+
+use std::collections::BTreeMap;
+
+use decibel::common::ids::{BranchId, CommitId};
+use decibel::common::record::Record;
+use decibel::core::types::EngineKind;
+use decibel_bench::experiments::build_store;
+use decibel_bench::WorkloadSpec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u64, tag: u64 },
+    Update { key_choice: usize, tag: u64 },
+    Delete { key_choice: usize },
+    Branch { from_choice: usize },
+    Commit,
+    SwitchBranch { choice: usize },
+}
+
+fn op_strategy() -> impl proptest::strategy::Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..50, 0u64..1000).prop_map(|(key, tag)| Op::Insert { key, tag }),
+        3 => (any::<usize>(), 0u64..1000).prop_map(|(key_choice, tag)| Op::Update { key_choice, tag }),
+        1 => any::<usize>().prop_map(|key_choice| Op::Delete { key_choice }),
+        1 => any::<usize>().prop_map(|from_choice| Op::Branch { from_choice }),
+        2 => Just(Op::Commit),
+        2 => any::<usize>().prop_map(|choice| Op::SwitchBranch { choice }),
+    ]
+}
+
+#[derive(Default)]
+struct Model {
+    /// Live state per branch.
+    branches: Vec<BTreeMap<u64, Record>>,
+    /// Snapshot per commit id.
+    commits: Vec<BTreeMap<u64, Record>>,
+}
+
+fn rec(key: u64, tag: u64) -> Record {
+    Record::new(key, vec![tag, tag.wrapping_mul(3), tag ^ key])
+}
+
+/// Applies an op history to one engine and the model, checking agreement
+/// after every step.
+fn run_history(kind: EngineKind, ops: &[Op]) {
+    let dir = tempfile::tempdir().unwrap();
+    let mut spec = WorkloadSpec::scaled(decibel_bench::Strategy::Flat, 2, 0.05);
+    spec.cols = 3;
+    let mut store = build_store(kind, &spec, dir.path()).unwrap();
+    let mut model = Model::default();
+    model.branches.push(BTreeMap::new()); // master
+    model.commits.push(BTreeMap::new()); // init commit
+    let mut current = BranchId::MASTER;
+    let mut branch_count = 1u32;
+
+    for op in ops {
+        match op {
+            Op::Insert { key, tag } => {
+                let exists = model.branches[current.index()].contains_key(key);
+                let result = store.insert(current, rec(*key, *tag));
+                if exists {
+                    // VF appends blindly (documented); others reject.
+                    if kind == EngineKind::VersionFirst {
+                        // Keep the model in sync with VF's upsert behavior
+                        // by skipping — generator avoids this case below.
+                        assert!(result.is_ok());
+                        model.branches[current.index()].insert(*key, rec(*key, *tag));
+                    } else {
+                        assert!(result.is_err(), "{kind:?} must reject duplicate insert");
+                    }
+                } else {
+                    result.unwrap();
+                    model.branches[current.index()].insert(*key, rec(*key, *tag));
+                }
+            }
+            Op::Update { key_choice, tag } => {
+                let keys: Vec<u64> =
+                    model.branches[current.index()].keys().copied().collect();
+                if keys.is_empty() {
+                    continue;
+                }
+                let key = keys[key_choice % keys.len()];
+                store.update(current, rec(key, *tag)).unwrap();
+                model.branches[current.index()].insert(key, rec(key, *tag));
+            }
+            Op::Delete { key_choice } => {
+                let keys: Vec<u64> =
+                    model.branches[current.index()].keys().copied().collect();
+                if keys.is_empty() {
+                    continue;
+                }
+                let key = keys[key_choice % keys.len()];
+                store.delete(current, key).unwrap();
+                model.branches[current.index()].remove(&key);
+            }
+            Op::Branch { from_choice } => {
+                let from = BranchId(*from_choice as u32 % branch_count);
+                let id = store
+                    .create_branch(&format!("b{}", model.branches.len()), from.into())
+                    .unwrap();
+                assert_eq!(id.index(), model.branches.len());
+                let snapshot = model.branches[from.index()].clone();
+                model.branches.push(snapshot.clone());
+                // Forking from a branch head commits it implicitly.
+                model.commits.push(snapshot);
+                branch_count += 1;
+            }
+            Op::Commit => {
+                let cid = store.commit(current).unwrap();
+                assert_eq!(cid.index(), model.commits.len(), "dense commit ids");
+                model.commits.push(model.branches[current.index()].clone());
+            }
+            Op::SwitchBranch { choice } => {
+                current = BranchId(*choice as u32 % branch_count);
+            }
+        }
+        // Invariant: current branch scan matches the model.
+        let mut got: Vec<Record> = store
+            .scan(current.into())
+            .unwrap()
+            .collect::<decibel::Result<Vec<_>>>()
+            .unwrap();
+        got.sort_by_key(|r| r.key());
+        let expect: Vec<Record> =
+            model.branches[current.index()].values().cloned().collect();
+        assert_eq!(got, expect, "{kind:?} scan of branch {current} after {op:?}");
+    }
+
+    // Final invariant: every commit's live count matches its snapshot.
+    for (i, snapshot) in model.commits.iter().enumerate() {
+        let count = store.checkout_version(CommitId(i as u64)).unwrap();
+        assert_eq!(count, snapshot.len() as u64, "{kind:?} checkout of commit {i}");
+    }
+    // And every branch agrees, not just the current one.
+    for b in 0..branch_count {
+        let branch = BranchId(b);
+        let mut got: Vec<Record> = store
+            .scan(branch.into())
+            .unwrap()
+            .collect::<decibel::Result<Vec<_>>>()
+            .unwrap();
+        got.sort_by_key(|r| r.key());
+        let expect: Vec<Record> = model.branches[b as usize].values().cloned().collect();
+        assert_eq!(got, expect, "{kind:?} final scan of branch {branch}");
+    }
+}
+
+/// Filters histories so duplicate inserts never happen (their semantics
+/// legitimately differ between VF and the indexed engines).
+fn sanitize(ops: Vec<Op>) -> Vec<Op> {
+    // Track per-branch key sets like the model would.
+    let mut branches: Vec<std::collections::BTreeSet<u64>> = vec![Default::default()];
+    let mut current = 0usize;
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        match &op {
+            Op::Insert { key, .. } => {
+                if branches[current].insert(*key) {
+                    out.push(op);
+                }
+            }
+            Op::Update { key_choice, .. } | Op::Delete { key_choice } => {
+                let keys: Vec<u64> = branches[current].iter().copied().collect();
+                if keys.is_empty() {
+                    continue;
+                }
+                if matches!(op, Op::Delete { .. }) {
+                    let key = keys[key_choice % keys.len()];
+                    branches[current].remove(&key);
+                }
+                out.push(op);
+            }
+            Op::Branch { from_choice } => {
+                let from = from_choice % branches.len();
+                let snapshot = branches[from].clone();
+                branches.push(snapshot);
+                out.push(op);
+            }
+            Op::Commit => out.push(op),
+            Op::SwitchBranch { choice } => {
+                current = choice % branches.len();
+                out.push(op);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn tuple_first_branch_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        run_history(EngineKind::TupleFirstBranch, &sanitize(ops));
+    }
+
+    #[test]
+    fn tuple_first_tuple_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        run_history(EngineKind::TupleFirstTuple, &sanitize(ops));
+    }
+
+    #[test]
+    fn version_first_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        run_history(EngineKind::VersionFirst, &sanitize(ops));
+    }
+
+    #[test]
+    fn hybrid_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        run_history(EngineKind::Hybrid, &sanitize(ops));
+    }
+}

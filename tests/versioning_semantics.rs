@@ -1,0 +1,197 @@
+//! Paper-semantics tests: the workflows of Figure 1 and the operational
+//! rules of §2.2.3, exercised on every engine.
+
+use decibel::common::ids::{BranchId, CommitId};
+use decibel::common::record::Record;
+use decibel::common::schema::{ColumnType, Schema};
+use decibel::core::types::EngineKind;
+use decibel::core::{Database, MergePolicy, VersionRef, VersionedStore};
+use decibel::pagestore::StoreConfig;
+use decibel_bench::experiments::build_store;
+use decibel_bench::{Strategy, WorkloadSpec};
+
+fn rec(k: u64, t: u64) -> Record {
+    Record::new(k, vec![t, t + 1])
+}
+
+fn fresh(kind: EngineKind) -> (tempfile::TempDir, Box<dyn VersionedStore>) {
+    let dir = tempfile::tempdir().unwrap();
+    let mut spec = WorkloadSpec::scaled(Strategy::Flat, 2, 0.05);
+    spec.cols = 2;
+    let store = build_store(kind, &spec, dir.path()).unwrap();
+    (dir, store)
+}
+
+/// Figure 1(a): master evolves A→B while Branch 1 forks at A and commits
+/// C; the two lines are isolated and both histories stay readable.
+#[test]
+fn figure_1a_workflow() {
+    for kind in EngineKind::all() {
+        let (_d, mut store) = fresh(kind);
+        // Version A: initial state of R (one record).
+        store.insert(BranchId::MASTER, rec(1, 10)).unwrap();
+        let a = store.commit(BranchId::MASTER).unwrap();
+        // Version B on master: "increments the values of the second column".
+        store.update(BranchId::MASTER, rec(1, 11)).unwrap();
+        let b = store.commit(BranchId::MASTER).unwrap();
+        // Branch 1 from Version A; Version C adds a record.
+        let branch1 = store.create_branch("branch1", VersionRef::Commit(a)).unwrap();
+        store.insert(branch1, rec(2, 20)).unwrap();
+        let c = store.commit(branch1).unwrap();
+
+        // Branch 1 sees A's state + its own insert, not B's update.
+        assert_eq!(store.get(branch1.into(), 1).unwrap().unwrap().field(0), 10, "{kind:?}");
+        assert_eq!(store.live_count(branch1.into()).unwrap(), 2);
+        // Master sees B's update, not C's insert.
+        assert_eq!(store.get(BranchId::MASTER.into(), 1).unwrap().unwrap().field(0), 11);
+        assert_eq!(store.live_count(BranchId::MASTER.into()).unwrap(), 1);
+        // All three versions remain checkout-able.
+        assert_eq!(store.checkout_version(a).unwrap(), 1);
+        assert_eq!(store.checkout_version(b).unwrap(), 1);
+        assert_eq!(store.checkout_version(c).unwrap(), 2);
+        // The version graph records the fork.
+        assert_eq!(store.graph().commit(c).unwrap().parents, vec![a]);
+    }
+}
+
+/// Figure 1(b): D and E diverge, F merges them and becomes master's head
+/// with two parents; work after the merge stays isolated per branch.
+#[test]
+fn figure_1b_merge_workflow() {
+    for kind in EngineKind::all() {
+        let (_d, mut store) = fresh(kind);
+        store.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let a = store.commit(BranchId::MASTER).unwrap();
+        let branch2 = store.create_branch("branch2", VersionRef::Commit(a)).unwrap();
+        store.insert(BranchId::MASTER, rec(2, 0)).unwrap(); // toward D
+        store.insert(branch2, rec(3, 0)).unwrap(); // toward E
+        let res = store
+            .merge(BranchId::MASTER, branch2, MergePolicy::ThreeWay { prefer_left: true })
+            .unwrap();
+        // F = merge commit, head of master, two parents.
+        assert!(store.graph().is_head(res.commit), "{kind:?}");
+        assert_eq!(store.graph().commit(res.commit).unwrap().parents.len(), 2);
+        assert_eq!(store.live_count(BranchId::MASTER.into()).unwrap(), 3);
+        // branch2 is not affected by the merge.
+        assert_eq!(store.live_count(branch2.into()).unwrap(), 2);
+    }
+}
+
+/// "a version ... is immutable and any update to a version conceptually
+/// results in a new version" — historical reads never change, no matter
+/// what happens after.
+#[test]
+fn committed_versions_are_immutable() {
+    for kind in EngineKind::all() {
+        let (_d, mut store) = fresh(kind);
+        store.insert(BranchId::MASTER, rec(1, 100)).unwrap();
+        let v = store.commit(BranchId::MASTER).unwrap();
+        // Mutate heavily afterwards.
+        for i in 0..5 {
+            store.update(BranchId::MASTER, rec(1, 200 + i)).unwrap();
+            store.insert(BranchId::MASTER, rec(10 + i, 0)).unwrap();
+            store.commit(BranchId::MASTER).unwrap();
+        }
+        store.delete(BranchId::MASTER, 1).unwrap();
+        let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
+        store.insert(dev, rec(99, 0)).unwrap();
+        store.merge(BranchId::MASTER, dev, MergePolicy::TwoWay { prefer_left: false }).unwrap();
+
+        // The old version still reads exactly as committed.
+        assert_eq!(store.checkout_version(v).unwrap(), 1, "{kind:?}");
+        assert_eq!(store.get(VersionRef::Commit(v), 1).unwrap().unwrap().field(0), 100);
+    }
+}
+
+/// Unknown branches and commits error cleanly everywhere.
+#[test]
+fn unknown_targets_error() {
+    for kind in EngineKind::all() {
+        let (_d, mut store) = fresh(kind);
+        assert!(store.scan(VersionRef::Branch(BranchId(9))).is_err(), "{kind:?}");
+        assert!(store.scan(VersionRef::Commit(CommitId(9))).is_err());
+        assert!(store.commit(BranchId(9)).is_err());
+        assert!(store.checkout_version(CommitId(9)).is_err());
+        assert!(store.create_branch("x", VersionRef::Commit(CommitId(9))).is_err());
+        store.create_branch("x", BranchId::MASTER.into()).unwrap();
+        assert!(store.create_branch("x", BranchId::MASTER.into()).is_err(), "dup name");
+    }
+}
+
+/// Sessions from multiple threads: branch-level 2PL serializes writers,
+/// and committed work is never lost (§2.2.3).
+#[test]
+fn concurrent_sessions_serialize() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = Database::create(
+        dir.path(),
+        EngineKind::Hybrid,
+        Schema::new(2, ColumnType::U32),
+        &StoreConfig::test_default(),
+    )
+    .unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let db = &db;
+            scope.spawn(move || {
+                for i in 0..20u64 {
+                    loop {
+                        let mut session = db.session();
+                        match session.insert(rec(t * 1000 + i, t)) {
+                            Ok(()) => {
+                                session.commit().unwrap();
+                                break;
+                            }
+                            Err(decibel::DbError::LockContention { .. }) => {
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let total = db.with_store(|s| s.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap());
+    assert_eq!(total, 80);
+}
+
+/// The benchmark queries return identical row counts whether executed via
+/// the query layer or the raw store API.
+#[test]
+fn query_layer_matches_store_api() {
+    use decibel::core::query::{execute, Predicate, Query};
+    for kind in EngineKind::headline() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut spec = WorkloadSpec::scaled(Strategy::Curation, 6, 0.1);
+        spec.cols = 4;
+        let (store, _report) =
+            decibel_bench::experiments::build_loaded(kind, &spec, dir.path()).unwrap();
+        let raw = store.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap();
+        let via_query = execute(
+            store.as_ref(),
+            &Query::ScanVersion {
+                version: VersionRef::Branch(BranchId::MASTER),
+                predicate: Predicate::True,
+            },
+        )
+        .unwrap()
+        .len() as u64;
+        assert_eq!(raw, via_query, "{kind:?}");
+    }
+}
+
+/// HEAD() semantics (Table 1 #4): only branch heads qualify, and retiring
+/// a branch drops it from the active set.
+#[test]
+fn head_scan_respects_heads() {
+    let (_d, mut store) = fresh(EngineKind::Hybrid);
+    store.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+    let c1 = store.commit(BranchId::MASTER).unwrap();
+    store.insert(BranchId::MASTER, rec(2, 0)).unwrap();
+    let c2 = store.commit(BranchId::MASTER).unwrap();
+    assert!(store.graph().is_head(c2));
+    assert!(!store.graph().is_head(c1));
+    let heads = store.graph().heads(true);
+    assert_eq!(heads, vec![(BranchId::MASTER, c2)]);
+}
