@@ -24,7 +24,10 @@ fn bench_table2(c: &mut Criterion) {
                 for _ in 0..5 {
                     let fields = (0..spec.cols).map(|_| rng.next_u32() as u64).collect();
                     store
-                        .insert(decibel_common::ids::BranchId::MASTER, Record::new(next_key, fields))
+                        .insert(
+                            decibel_common::ids::BranchId::MASTER,
+                            Record::new(next_key, fields),
+                        )
                         .unwrap();
                     next_key += 1;
                 }

@@ -14,19 +14,27 @@ use decibel_common::rng::DetRng;
 use decibel_core::store::VersionedStore;
 use decibel_core::types::{EngineKind, MergePolicy};
 
-fn setup(kind: EngineKind, spec: &WorkloadSpec, tag: u64) -> (tempfile::TempDir, Box<dyn VersionedStore>, BranchId) {
+fn setup(
+    kind: EngineKind,
+    spec: &WorkloadSpec,
+    tag: u64,
+) -> (tempfile::TempDir, Box<dyn VersionedStore>, BranchId) {
     let dir = tempfile::tempdir().unwrap();
     let mut store = build_store(kind, spec, dir.path()).unwrap();
     let mut rng = DetRng::seed_from_u64(tag);
     for k in 0..400u64 {
         let fields = (0..spec.cols).map(|_| rng.next_u32() as u64).collect();
-        store.insert(BranchId::MASTER, Record::new(k, fields)).unwrap();
+        store
+            .insert(BranchId::MASTER, Record::new(k, fields))
+            .unwrap();
     }
     let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
     // Divergent updates on both sides plus fresh inserts on dev.
     for k in 0..100u64 {
         let fields = (0..spec.cols).map(|_| rng.next_u32() as u64).collect();
-        store.update(BranchId::MASTER, Record::new(k, fields)).unwrap();
+        store
+            .update(BranchId::MASTER, Record::new(k, fields))
+            .unwrap();
     }
     for k in 50..150u64 {
         let fields = (0..spec.cols).map(|_| rng.next_u32() as u64).collect();
@@ -43,7 +51,11 @@ fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_merge");
     group.sample_size(10);
     let spec = WorkloadSpec::scaled(Strategy::Curation, 10, 0.2);
-    for kind in [EngineKind::VersionFirst, EngineKind::TupleFirstBranch, EngineKind::Hybrid] {
+    for kind in [
+        EngineKind::VersionFirst,
+        EngineKind::TupleFirstBranch,
+        EngineKind::Hybrid,
+    ] {
         for (policy_label, policy) in [
             ("two-way", MergePolicy::TwoWay { prefer_left: false }),
             ("three-way", MergePolicy::ThreeWay { prefer_left: false }),

@@ -10,11 +10,28 @@ use gitlike::table::{TableEncoding, TableLayout};
 fn bench_table6(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6_git");
     group.sample_size(10);
-    let p = GitCmpParams { records: 400, commits: 10, update_pct: 0, cols: 8 };
+    let p = GitCmpParams {
+        records: 400,
+        commits: 10,
+        update_pct: 0,
+        cols: 8,
+    };
     for (label, layout, encoding) in [
-        ("git_1file_bin", Some(TableLayout::OneFile), TableEncoding::Binary),
-        ("git_1file_csv", Some(TableLayout::OneFile), TableEncoding::Csv),
-        ("git_tup_bin", Some(TableLayout::FilePerTuple), TableEncoding::Binary),
+        (
+            "git_1file_bin",
+            Some(TableLayout::OneFile),
+            TableEncoding::Binary,
+        ),
+        (
+            "git_1file_csv",
+            Some(TableLayout::OneFile),
+            TableEncoding::Csv,
+        ),
+        (
+            "git_tup_bin",
+            Some(TableLayout::FilePerTuple),
+            TableEncoding::Binary,
+        ),
         ("decibel_hy", None, TableEncoding::Binary),
     ] {
         group.bench_with_input(BenchmarkId::new("run", label), &label, |b, _| {

@@ -18,7 +18,10 @@ use crate::strategy::Strategy;
 /// tuple-oriented tuple-first on single- and multi-branch scans.
 pub fn ablate_bitmap(ctx: &Ctx) -> Result<Table> {
     let mut table = Table::new(
-        format!("Ablation: bitmap orientation (FLAT, 50 branches, scale={})", ctx.scale),
+        format!(
+            "Ablation: bitmap orientation (FLAT, 50 branches, scale={})",
+            ctx.scale
+        ),
         &["orientation", "Q1 child (ms)", "Q4 heads (ms)"],
     );
     let spec = WorkloadSpec::scaled(Strategy::Flat, 50, ctx.scale);
@@ -31,7 +34,9 @@ pub fn ablate_bitmap(ctx: &Ctx) -> Result<Table> {
             Ok(q1(store.as_ref(), b.into(), ctx.cold)?.ms())
         })?;
         let heads = all_heads(store.as_ref());
-        let q4ms = mean_ms(ctx.repeats, || Ok(q4(store.as_ref(), &heads, ctx.cold)?.ms()))?;
+        let q4ms = mean_ms(ctx.repeats, || {
+            Ok(q4(store.as_ref(), &heads, ctx.cold)?.ms())
+        })?;
         table.row(vec![kind.label().to_string(), ms(q1ms), ms(q4ms)]);
     }
     Ok(table)
@@ -88,7 +93,10 @@ pub fn ablate_commit_layers(ctx: &Ctx) -> Result<Table> {
 /// loading on flat, which Figure 7's TF-clustered bar summarizes.
 pub fn ablate_clustered(ctx: &Ctx) -> Result<Table> {
     let mut table = Table::new(
-        format!("Ablation: clustered vs interleaved TF load (FLAT, scale={})", ctx.scale),
+        format!(
+            "Ablation: clustered vs interleaved TF load (FLAT, scale={})",
+            ctx.scale
+        ),
         &["mode", "Q1 child (ms)", "load (s)"],
     );
     for clustered in [false, true] {
@@ -102,7 +110,12 @@ pub fn ablate_clustered(ctx: &Ctx) -> Result<Table> {
             Ok(q1(store.as_ref(), b.into(), ctx.cold)?.ms())
         })?;
         table.row(vec![
-            if clustered { "clustered" } else { "interleaved" }.to_string(),
+            if clustered {
+                "clustered"
+            } else {
+                "interleaved"
+            }
+            .to_string(),
             ms(q1ms),
             format!("{:.2}", report.duration.as_secs_f64()),
         ]);
@@ -119,6 +132,9 @@ mod tests {
         let ctx = Ctx::smoke();
         assert!(ablate_bitmap(&ctx).unwrap().render().contains("TF(tuple)"));
         assert!(ablate_commit_layers(&ctx).unwrap().render().contains("256"));
-        assert!(ablate_clustered(&ctx).unwrap().render().contains("clustered"));
+        assert!(ablate_clustered(&ctx)
+            .unwrap()
+            .render()
+            .contains("clustered"));
     }
 }

@@ -30,7 +30,11 @@ struct CommitStats {
     avg_checkout_ms: f64,
 }
 
-fn measure(store: &mut dyn VersionedStore, spec: &WorkloadSpec, samples: usize) -> Result<CommitStats> {
+fn measure(
+    store: &mut dyn VersionedStore,
+    spec: &WorkloadSpec,
+    samples: usize,
+) -> Result<CommitStats> {
     let mut rng = DetRng::seed_from_u64(21);
     // Commit timing: a few fresh ops on a random branch, then a timed
     // commit (the paper times the commits its driver creates).
@@ -67,8 +71,17 @@ fn measure(store: &mut dyn VersionedStore, spec: &WorkloadSpec, samples: usize) 
 /// Table 2: commit-history sizes and commit/checkout latency for TF vs HY.
 pub fn table2(ctx: &Ctx) -> Result<Table> {
     let mut table = Table::new(
-        format!("Table 2: bitmap commit data ({BRANCHES} branches, scale={})", ctx.scale),
-        &["strategy", "engine", "pack files (MB)", "avg commit (ms)", "avg checkout (ms)"],
+        format!(
+            "Table 2: bitmap commit data ({BRANCHES} branches, scale={})",
+            ctx.scale
+        ),
+        &[
+            "strategy",
+            "engine",
+            "pack files (MB)",
+            "avg commit (ms)",
+            "avg checkout (ms)",
+        ],
     );
     let samples = ((SAMPLES as f64) * ctx.scale.min(1.0)).max(10.0) as usize;
     for strategy in Strategy::all() {

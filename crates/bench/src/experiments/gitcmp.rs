@@ -14,8 +14,8 @@ use decibel_common::rng::DetRng;
 use decibel_common::Result;
 use decibel_core::engine::HybridEngine;
 use decibel_core::store::VersionedStore;
-use gitlike::table::{GitTable, TableEncoding, TableLayout};
 use gitlike::sha1::Sha1;
+use gitlike::table::{GitTable, TableEncoding, TableLayout};
 
 use crate::experiments::Ctx;
 use crate::report::{mb, Table};
@@ -61,8 +61,7 @@ fn mean_std(samples: &[f64]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let var =
-        samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
     (mean, var.sqrt())
 }
 
@@ -77,7 +76,8 @@ pub fn run_git(
     p: &GitCmpParams,
     dir: &std::path::Path,
 ) -> Result<CmpRow> {
-    let schema = decibel_common::schema::Schema::new(p.cols, decibel_common::schema::ColumnType::U32);
+    let schema =
+        decibel_common::schema::Schema::new(p.cols, decibel_common::schema::ColumnType::U32);
     let mut t = GitTable::create(dir, layout, encoding, schema)?;
     let mut rng = DetRng::seed_from_u64(0x617);
     let total_ops = p.records;
@@ -226,8 +226,18 @@ fn run_table(ctx: &Ctx, update_pct: u32, title: &str) -> Result<Table> {
         cols: 20,
     };
     let mut table = Table::new(
-        format!("{title} (deep, {BRANCHES} branches, {} records, {} commits)", p.records, p.commits),
-        &["mode", "data MB", "repo MB", "repack s", "commit ms (μ±σ)", "checkout ms (μ±σ)"],
+        format!(
+            "{title} (deep, {BRANCHES} branches, {} records, {} commits)",
+            p.records, p.commits
+        ),
+        &[
+            "mode",
+            "data MB",
+            "repo MB",
+            "repack s",
+            "commit ms (μ±σ)",
+            "checkout ms (μ±σ)",
+        ],
     );
     let modes = [
         (TableLayout::OneFile, TableEncoding::Binary),
@@ -247,7 +257,9 @@ fn run_table(ctx: &Ctx, update_pct: u32, title: &str) -> Result<Table> {
             r.mode,
             mb(r.data_bytes),
             mb(r.repo_bytes),
-            r.repack_secs.map(|s| format!("{s:.2}")).unwrap_or_else(|| "N/A".to_string()),
+            r.repack_secs
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "N/A".to_string()),
             format!("{:.1} ± {:.1}", r.commit_ms.0, r.commit_ms.1),
             format!("{:.1} ± {:.1}", r.checkout_ms.0, r.checkout_ms.1),
         ]);

@@ -33,10 +33,17 @@ fn throughput(ctx: &Ctx, policy: MergePolicy, kind: EngineKind) -> Result<(f64, 
 /// Table 3: merge throughput (MB/s) by engine and merge strategy.
 pub fn table3(ctx: &Ctx) -> Result<Table> {
     let mut table = Table::new(
-        format!("Table 3: merge throughput (MB/s, CUR, {BRANCHES} branches, scale={})", ctx.scale),
+        format!(
+            "Table 3: merge throughput (MB/s, CUR, {BRANCHES} branches, scale={})",
+            ctx.scale
+        ),
         &["engine", "two-way MB/s", "three-way MB/s", "merges"],
     );
-    for kind in [EngineKind::VersionFirst, EngineKind::TupleFirstBranch, EngineKind::Hybrid] {
+    for kind in [
+        EngineKind::VersionFirst,
+        EngineKind::TupleFirstBranch,
+        EngineKind::Hybrid,
+    ] {
         let (two, merges) = throughput(ctx, MergePolicy::TwoWay { prefer_left: false }, kind)?;
         let (three, _) = throughput(ctx, MergePolicy::ThreeWay { prefer_left: false }, kind)?;
         table.row(vec![

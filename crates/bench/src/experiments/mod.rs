@@ -34,14 +34,22 @@ pub struct Ctx {
 
 impl Default for Ctx {
     fn default() -> Self {
-        Ctx { scale: 1.0, repeats: 3, cold: true }
+        Ctx {
+            scale: 1.0,
+            repeats: 3,
+            cold: true,
+        }
     }
 }
 
 impl Ctx {
     /// A tiny context for tests and criterion benches.
     pub fn smoke() -> Ctx {
-        Ctx { scale: 0.05, repeats: 1, cold: true }
+        Ctx {
+            scale: 0.05,
+            repeats: 1,
+            cold: true,
+        }
     }
 }
 
@@ -51,7 +59,11 @@ pub fn build_store(
     spec: &WorkloadSpec,
     dir: &Path,
 ) -> Result<Box<dyn VersionedStore>> {
-    let sub = dir.join(format!("{}-{}", kind.label().replace(['(', ')'], "_"), spec.strategy));
+    let sub = dir.join(format!(
+        "{}-{}",
+        kind.label().replace(['(', ')'], "_"),
+        spec.strategy
+    ));
     let cfg = spec.store_config();
     Ok(match kind {
         EngineKind::TupleFirstBranch => {

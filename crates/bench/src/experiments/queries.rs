@@ -29,10 +29,30 @@ pub const Q1_CASES: [(&str, Strategy, Pick); 7] = [
 
 /// The Figure 8/9 version pairs: (label, strategy, left, right).
 pub const PAIR_CASES: [(&str, Strategy, Pick, Pick); 4] = [
-    ("deep tail-parent", Strategy::Deep, Pick::DeepTail, Pick::DeepParent),
-    ("flat child-parent", Strategy::Flat, Pick::FlatChild, Pick::FlatParent),
-    ("sci old-mainline", Strategy::Science, Pick::SciOldest, Pick::Mainline),
-    ("cur mainline-dev", Strategy::Curation, Pick::Mainline, Pick::CurDev),
+    (
+        "deep tail-parent",
+        Strategy::Deep,
+        Pick::DeepTail,
+        Pick::DeepParent,
+    ),
+    (
+        "flat child-parent",
+        Strategy::Flat,
+        Pick::FlatChild,
+        Pick::FlatParent,
+    ),
+    (
+        "sci old-mainline",
+        Strategy::Science,
+        Pick::SciOldest,
+        Pick::Mainline,
+    ),
+    (
+        "cur mainline-dev",
+        Strategy::Curation,
+        Pick::Mainline,
+        Pick::CurDev,
+    ),
 ];
 
 /// Loads one store per engine (plus the clustered tuple-first variant when
@@ -68,10 +88,18 @@ fn load_engines(
 /// including the clustered tuple-first variant.
 pub fn fig7(ctx: &Ctx) -> Result<Table> {
     let mut table = Table::new(
-        format!("Figure 7: Q1 single-branch scan (ms, {BRANCHES} branches, scale={})", ctx.scale),
+        format!(
+            "Figure 7: Q1 single-branch scan (ms, {BRANCHES} branches, scale={})",
+            ctx.scale
+        ),
         &["case", "TF", "VF", "HY", "TF-clust", "rows"],
     );
-    let strategies = [Strategy::Deep, Strategy::Flat, Strategy::Science, Strategy::Curation];
+    let strategies = [
+        Strategy::Deep,
+        Strategy::Flat,
+        Strategy::Science,
+        Strategy::Curation,
+    ];
     for strategy in strategies {
         let dir = tempfile::tempdir().expect("tempdir");
         let loaded = load_engines(strategy, ctx, dir.path(), true)?;
@@ -80,8 +108,11 @@ pub fn fig7(ctx: &Ctx) -> Result<Table> {
             let mut cells = vec![label.to_string()];
             let mut rows = 0u64;
             for name in ["TF", "VF", "HY", "TF-clust"] {
-                let (_, store, report) =
-                    loaded.stores.iter().find(|(n, _, _)| n == name).expect("engine loaded");
+                let (_, store, report) = loaded
+                    .stores
+                    .iter()
+                    .find(|(n, _, _)| n == name)
+                    .expect("engine loaded");
                 let mut rng = DetRng::seed_from_u64(11);
                 let v = mean_ms(ctx.repeats, || {
                     let b = pick_branch(report, pick, &mut rng)?;
@@ -101,7 +132,12 @@ pub fn fig7(ctx: &Ctx) -> Result<Table> {
 fn pair_figure(
     ctx: &Ctx,
     title: String,
-    run: impl Fn(&dyn VersionedStore, decibel_core::types::VersionRef, decibel_core::types::VersionRef, bool) -> Result<crate::queries::Timing>,
+    run: impl Fn(
+        &dyn VersionedStore,
+        decibel_core::types::VersionRef,
+        decibel_core::types::VersionRef,
+        bool,
+    ) -> Result<crate::queries::Timing>,
 ) -> Result<Table> {
     let mut table = Table::new(title, &["case", "TF", "VF", "HY", "rows"]);
     for &(label, strategy, left, right) in &PAIR_CASES {
@@ -130,7 +166,10 @@ fn pair_figure(
 pub fn fig8(ctx: &Ctx) -> Result<Table> {
     pair_figure(
         ctx,
-        format!("Figure 8: Q2 positive diff (ms, {BRANCHES} branches, scale={})", ctx.scale),
+        format!(
+            "Figure 8: Q2 positive diff (ms, {BRANCHES} branches, scale={})",
+            ctx.scale
+        ),
         |s, a, b, cold| q2(s, a, b, cold),
     )
 }
@@ -139,7 +178,10 @@ pub fn fig8(ctx: &Ctx) -> Result<Table> {
 pub fn fig9(ctx: &Ctx) -> Result<Table> {
     pair_figure(
         ctx,
-        format!("Figure 9: Q3 multi-version join (ms, {BRANCHES} branches, scale={})", ctx.scale),
+        format!(
+            "Figure 9: Q3 multi-version join (ms, {BRANCHES} branches, scale={})",
+            ctx.scale
+        ),
         |s, a, b, cold| q3(s, a, b, cold),
     )
 }
@@ -147,7 +189,10 @@ pub fn fig9(ctx: &Ctx) -> Result<Table> {
 /// Figure 10: Q4 (head scan with a non-selective predicate).
 pub fn fig10(ctx: &Ctx) -> Result<Table> {
     let mut table = Table::new(
-        format!("Figure 10: Q4 head scan (ms, {BRANCHES} branches, scale={})", ctx.scale),
+        format!(
+            "Figure 10: Q4 head scan (ms, {BRANCHES} branches, scale={})",
+            ctx.scale
+        ),
         &["strategy", "TF", "VF", "HY", "rows"],
     );
     for strategy in Strategy::all() {

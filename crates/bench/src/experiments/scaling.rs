@@ -33,7 +33,10 @@ fn spec_for(branches: usize, ctx: &Ctx) -> WorkloadSpec {
 /// Figure 6a: Q1 (single-child scan) latency vs branch count.
 pub fn fig6a(ctx: &Ctx) -> Result<Table> {
     let mut table = Table::new(
-        format!("Figure 6a: Q1 on FLAT vs #branches (ms, scale={})", ctx.scale),
+        format!(
+            "Figure 6a: Q1 on FLAT vs #branches (ms, scale={})",
+            ctx.scale
+        ),
         &["branches", "TF", "VF", "HY"],
     );
     for &branches in &BRANCH_COUNTS {
@@ -57,7 +60,10 @@ pub fn fig6a(ctx: &Ctx) -> Result<Table> {
 /// Figure 6b: Q4 (all-branch scan) latency vs branch count.
 pub fn fig6b(ctx: &Ctx) -> Result<Table> {
     let mut table = Table::new(
-        format!("Figure 6b: Q4 on FLAT vs #branches (ms, scale={})", ctx.scale),
+        format!(
+            "Figure 6b: Q4 on FLAT vs #branches (ms, scale={})",
+            ctx.scale
+        ),
         &["branches", "TF", "VF", "HY"],
     );
     for &branches in &BRANCH_COUNTS {
@@ -67,7 +73,9 @@ pub fn fig6b(ctx: &Ctx) -> Result<Table> {
             let dir = tempfile::tempdir().expect("tempdir");
             let (store, _report) = build_loaded(kind, &spec, dir.path())?;
             let heads = all_heads(store.as_ref());
-            let v = mean_ms(ctx.repeats, || Ok(q4(store.as_ref(), &heads, ctx.cold)?.ms()))?;
+            let v = mean_ms(ctx.repeats, || {
+                Ok(q4(store.as_ref(), &heads, ctx.cold)?.ms())
+            })?;
             cells.push(ms(v));
         }
         table.row(cells);

@@ -73,31 +73,49 @@ fn run_strategy(strategy: Strategy, ctx: &Ctx) -> Result<Row> {
         let (mut store, report) = build_loaded(kind, &spec, dir.path())?;
         let mut rng = DetRng::seed_from_u64(3);
         let target = pick_branch(&report, scan_pick(strategy), &mut rng)?;
-        let b = mean_ms(ctx.repeats, || Ok(q1(store.as_ref(), target.into(), ctx.cold)?.ms()))?;
+        let b = mean_ms(ctx.repeats, || {
+            Ok(q1(store.as_ref(), target.into(), ctx.cold)?.ms())
+        })?;
         before_ms.push(b);
         if kind == EngineKind::Hybrid {
             before_bytes = store.stats().data_bytes;
         }
         table_wise_update(store.as_mut(), target, spec.cols, 99)?;
-        let a = mean_ms(ctx.repeats, || Ok(q1(store.as_ref(), target.into(), ctx.cold)?.ms()))?;
+        let a = mean_ms(ctx.repeats, || {
+            Ok(q1(store.as_ref(), target.into(), ctx.cold)?.ms())
+        })?;
         after_ms.push(a);
         if kind == EngineKind::Hybrid {
             after_bytes = store.stats().data_bytes;
         }
     }
-    Ok(Row { strategy, before_ms, after_ms, before_bytes, after_bytes })
+    Ok(Row {
+        strategy,
+        before_ms,
+        after_ms,
+        before_bytes,
+        after_bytes,
+    })
 }
 
 fn run_all(ctx: &Ctx) -> Result<Vec<Row>> {
-    Strategy::all().into_iter().map(|s| run_strategy(s, ctx)).collect()
+    Strategy::all()
+        .into_iter()
+        .map(|s| run_strategy(s, ctx))
+        .collect()
 }
 
 /// Figure 11: Q1 before/after a table-wise update, per engine.
 pub fn fig11(ctx: &Ctx) -> Result<Table> {
     let rows = run_all(ctx)?;
     let mut table = Table::new(
-        format!("Figure 11: Q1 before/after table-wise update (ms, {BRANCHES} branches, scale={})", ctx.scale),
-        &["strategy", "TF pre", "TF post", "VF pre", "VF post", "HY pre", "HY post"],
+        format!(
+            "Figure 11: Q1 before/after table-wise update (ms, {BRANCHES} branches, scale={})",
+            ctx.scale
+        ),
+        &[
+            "strategy", "TF pre", "TF post", "VF pre", "VF post", "HY pre", "HY post",
+        ],
     );
     for r in rows {
         table.row(vec![
@@ -118,7 +136,10 @@ pub fn fig11(ctx: &Ctx) -> Result<Table> {
 pub fn table4(ctx: &Ctx) -> Result<Table> {
     let rows = run_all(ctx)?;
     let mut table = Table::new(
-        format!("Table 4: storage impact of table-wise updates (MB, scale={})", ctx.scale),
+        format!(
+            "Table 4: storage impact of table-wise updates (MB, scale={})",
+            ctx.scale
+        ),
         &["strategy", "pre-size", "post-size"],
     );
     for r in rows {

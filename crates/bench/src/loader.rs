@@ -189,7 +189,9 @@ pub fn load(store: &mut dyn VersionedStore, spec: &WorkloadSpec) -> Result<LoadR
 
 impl Loader<'_> {
     fn gen_record(&mut self, key: u64) -> Record {
-        let fields = (0..self.spec.cols).map(|_| self.rng.next_u32() as u64).collect();
+        let fields = (0..self.spec.cols)
+            .map(|_| self.rng.next_u32() as u64)
+            .collect();
         Record::new(key, fields)
     }
 
@@ -198,8 +200,7 @@ impl Loader<'_> {
     fn one_op(&mut self, idx: usize) -> Result<()> {
         let total_visible =
             self.branches[idx].view.inherited_total + self.branches[idx].own.len() as u64;
-        let do_update =
-            total_visible > 0 && self.rng.below(100) < self.spec.update_pct as u64;
+        let do_update = total_visible > 0 && self.rng.below(100) < self.spec.update_pct as u64;
         let branch_id = self.branches[idx].id;
         if do_update {
             let key = self.pick_visible_key(idx);
@@ -247,7 +248,8 @@ impl Loader<'_> {
         let id = self.store.create_branch(name, parent_id.into())?;
         self.commits += 1; // forking commits the parent's working state
         let mut view = self.branches[parent_idx].view.clone();
-        view.inherited.push((parent_idx, self.branches[parent_idx].own.len()));
+        view.inherited
+            .push((parent_idx, self.branches[parent_idx].own.len()));
         view.inherited_total += self.branches[parent_idx].own.len() as u64;
         self.branches.push(BranchState {
             id,
@@ -256,7 +258,11 @@ impl Loader<'_> {
             since_commit: 0,
             ops: 0,
         });
-        self.infos.push(BranchInfo { id, name: name.to_string(), role });
+        self.infos.push(BranchInfo {
+            id,
+            name: name.to_string(),
+            role,
+        });
         Ok(self.branches.len() - 1)
     }
 
@@ -357,7 +363,10 @@ impl Loader<'_> {
                 let idx = self.fork(
                     &format!("sci{created}"),
                     parent,
-                    BranchRole::Science { order: created as u32, retired: false },
+                    BranchRole::Science {
+                        order: created as u32,
+                        retired: false,
+                    },
                 )?;
                 active.push(idx);
                 created += 1;
@@ -406,9 +415,7 @@ impl Loader<'_> {
         loop {
             // Create branches while budget remains: keep one or two devs
             // and up to two features in flight.
-            while created < n_branches
-                && (active_devs.len() < 2 || active_feats.len() < 2)
-            {
+            while created < n_branches && (active_devs.len() < 2 || active_feats.len() < 2) {
                 if active_devs.len() < 2 && (active_feats.len() >= 2 || self.rng.chance(3, 5)) {
                     let idx = self.fork(
                         &format!("dev{created}"),
@@ -447,8 +454,7 @@ impl Loader<'_> {
                 if done && !(last_generation && active_feats.len() == 1) {
                     active_feats.swap_remove(f);
                     self.merge(parent, idx)?;
-                    if let BranchRole::CurationFeature { merged, .. } = &mut self.infos[idx].role
-                    {
+                    if let BranchRole::CurationFeature { merged, .. } = &mut self.infos[idx].role {
                         *merged = true;
                     }
                 } else {
@@ -480,8 +486,7 @@ impl Loader<'_> {
                 let devs_busy = active_devs
                     .iter()
                     .any(|&idx| self.branches[idx].ops < self.spec.dev_lifetime);
-                if !feats_busy && !devs_busy && active_devs.len() <= 1 && active_feats.len() <= 1
-                {
+                if !feats_busy && !devs_busy && active_devs.len() <= 1 && active_feats.len() <= 1 {
                     break;
                 }
             }
@@ -500,7 +505,7 @@ impl Loader<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use decibel_core::engine::{HybridEngine, TupleFirstBranchEngine, VersionFirstEngine};
     use decibel_core::types::VersionRef;
 
@@ -527,7 +532,9 @@ mod tests {
         let live = store.live_count(VersionRef::Branch(tail)).unwrap();
         assert_eq!(live, report.inserts);
         // Root sees only its own inserts (~ops_per_branch at 80% inserts).
-        let root_live = store.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap();
+        let root_live = store
+            .live_count(VersionRef::Branch(BranchId::MASTER))
+            .unwrap();
         assert!(root_live < live);
         assert!(report.inserts + report.updates >= 5 * spec.ops_per_branch);
     }
@@ -540,7 +547,9 @@ mod tests {
         let report = load(&mut store, &spec).unwrap();
         let children = report.with_role(|r| matches!(r, BranchRole::FlatChild));
         assert_eq!(children.len(), 4);
-        let parent_live = store.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap();
+        let parent_live = store
+            .live_count(VersionRef::Branch(BranchId::MASTER))
+            .unwrap();
         for c in &children {
             let live = store.live_count(VersionRef::Branch(c.id)).unwrap();
             assert!(live >= parent_live * 8 / 10, "child inherits parent data");
@@ -568,7 +577,11 @@ mod tests {
         let spec = spec(Strategy::Curation, 8);
         let mut store = tf(dir.path(), &spec);
         let report = load(&mut store, &spec).unwrap();
-        assert!(report.merges >= 4, "most branches merge back (got {})", report.merges);
+        assert!(
+            report.merges >= 4,
+            "most branches merge back (got {})",
+            report.merges
+        );
         assert!(report.merge_bytes > 0);
         // At least one dev and one feature stay active for queries.
         assert!(!report
@@ -590,8 +603,7 @@ mod tests {
                 .unwrap();
         let rb = load(&mut b, &spec).unwrap();
         let mut c =
-            HybridEngine::init(dir.path().join("hy"), spec.schema(), &spec.store_config())
-                .unwrap();
+            HybridEngine::init(dir.path().join("hy"), spec.schema(), &spec.store_config()).unwrap();
         let rc = load(&mut c, &spec).unwrap();
         assert_eq!(ra.inserts, rb.inserts);
         assert_eq!(ra.updates, rb.updates);

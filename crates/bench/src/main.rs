@@ -16,8 +16,22 @@ use decibel_bench::report::Table;
 use decibel_common::Result;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "table4",
-    "table5", "table6", "table7", "ablate-bitmap", "ablate-commit-layers", "ablate-clustered",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "ablate-bitmap",
+    "ablate-commit-layers",
+    "ablate-clustered",
 ];
 
 fn run_one(name: &str, ctx: &Ctx) -> Result<Table> {
@@ -84,7 +98,10 @@ fn main() {
         match run_one(name, &ctx) {
             Ok(table) => {
                 table.print();
-                eprintln!("[{name} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
+                eprintln!(
+                    "[{name} completed in {:.1}s]\n",
+                    start.elapsed().as_secs_f64()
+                );
             }
             Err(e) => {
                 eprintln!("{name} failed: {e}");

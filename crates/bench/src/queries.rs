@@ -80,7 +80,10 @@ pub fn pick_branch(report: &LoadReport, pick: Pick, rng: &mut DetRng) -> Result<
                 .branches
                 .iter()
                 .filter_map(|b| match b.role {
-                    BranchRole::Science { order, retired: false } => Some((order, b.id)),
+                    BranchRole::Science {
+                        order,
+                        retired: false,
+                    } => Some((order, b.id)),
                     _ => None,
                 })
                 .collect();
@@ -162,22 +165,38 @@ pub fn q1(store: &dyn VersionedStore, version: VersionRef, cold: bool) -> Result
         let _rec = item?;
         rows += 1;
     }
-    Ok(Timing { wall: start.elapsed(), rows })
+    Ok(Timing {
+        wall: start.elapsed(),
+        rows,
+    })
 }
 
 /// Q2: "Compute the difference between two branches ... Emit the records
 /// in B1 that do not appear in B2."
-pub fn q2(store: &dyn VersionedStore, b1: VersionRef, b2: VersionRef, cold: bool) -> Result<Timing> {
+pub fn q2(
+    store: &dyn VersionedStore,
+    b1: VersionRef,
+    b2: VersionRef,
+    cold: bool,
+) -> Result<Timing> {
     maybe_cold(store, cold);
     let start = Instant::now();
     let diff = store.diff(b1, b2)?;
-    Ok(Timing { wall: start.elapsed(), rows: diff.left_only.len() as u64 })
+    Ok(Timing {
+        wall: start.elapsed(),
+        rows: diff.left_only.len() as u64,
+    })
 }
 
 /// Q3: "Scan and emit the active records in a primary-key join of two
 /// branches ... that satisfy some predicate." The predicate keeps ~50% of
 /// rows, matching the paper's non-selective setting.
-pub fn q3(store: &dyn VersionedStore, b1: VersionRef, b2: VersionRef, cold: bool) -> Result<Timing> {
+pub fn q3(
+    store: &dyn VersionedStore,
+    b1: VersionRef,
+    b2: VersionRef,
+    cold: bool,
+) -> Result<Timing> {
     maybe_cold(store, cold);
     let predicate = Predicate::ColMod(0, 2, 0);
     let start = Instant::now();
@@ -194,7 +213,10 @@ pub fn q3(store: &dyn VersionedStore, b1: VersionRef, b2: VersionRef, cold: bool
             rows += 1;
         }
     }
-    Ok(Timing { wall: start.elapsed(), rows })
+    Ok(Timing {
+        wall: start.elapsed(),
+        rows,
+    })
 }
 
 /// Q4: "A full dataset scan that emits all records in the head of any
@@ -210,12 +232,20 @@ pub fn q4(store: &dyn VersionedStore, branches: &[BranchId], cold: bool) -> Resu
             rows += 1;
         }
     }
-    Ok(Timing { wall: start.elapsed(), rows })
+    Ok(Timing {
+        wall: start.elapsed(),
+        rows,
+    })
 }
 
 /// Every head branch in the store (Q4's default target set).
 pub fn all_heads(store: &dyn VersionedStore) -> Vec<BranchId> {
-    store.graph().heads(false).into_iter().map(|(b, _)| b).collect()
+    store
+        .graph()
+        .heads(false)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect()
 }
 
 #[cfg(test)]
@@ -231,8 +261,7 @@ mod tests {
         let mut spec = WorkloadSpec::scaled(strategy, 5, 0.05);
         spec.cols = 4;
         let mut store =
-            HybridEngine::init(dir.path().join("hy"), spec.schema(), &spec.store_config())
-                .unwrap();
+            HybridEngine::init(dir.path().join("hy"), spec.schema(), &spec.store_config()).unwrap();
         let report = load(&mut store, &spec).unwrap();
         (dir, store, report)
     }
@@ -247,7 +276,10 @@ mod tests {
 
         let (_d, _s, flat) = loaded(Strategy::Flat);
         pick_branch(&flat, Pick::FlatChild, &mut rng).unwrap();
-        assert_eq!(pick_branch(&flat, Pick::FlatParent, &mut rng).unwrap(), BranchId::MASTER);
+        assert_eq!(
+            pick_branch(&flat, Pick::FlatParent, &mut rng).unwrap(),
+            BranchId::MASTER
+        );
 
         let (_d, _s, sci) = loaded(Strategy::Science);
         pick_branch(&sci, Pick::SciYoungest, &mut rng).unwrap();

@@ -25,7 +25,12 @@ pub enum Strategy {
 impl Strategy {
     /// All four strategies in the paper's presentation order.
     pub fn all() -> [Strategy; 4] {
-        [Strategy::Deep, Strategy::Flat, Strategy::Science, Strategy::Curation]
+        [
+            Strategy::Deep,
+            Strategy::Flat,
+            Strategy::Science,
+            Strategy::Curation,
+        ]
     }
 
     /// The short label used in the paper's tables (DEEP/FLAT/SCI/CUR).

@@ -38,7 +38,10 @@ impl Bitmap {
 
     /// Creates a bitmap of `len` zero bits.
     pub fn zeros(len: u64) -> Self {
-        Bitmap { words: vec![0; len.div_ceil(64) as usize], len }
+        Bitmap {
+            words: vec![0; len.div_ceil(64) as usize],
+            len,
+        }
     }
 
     /// Logical length in bits.
@@ -115,7 +118,12 @@ impl Bitmap {
 
     /// Iterates the indexes of set bits in ascending order.
     pub fn iter_ones(&self) -> OnesIter<'_> {
-        OnesIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0), len: self.len }
+        OnesIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            len: self.len,
+        }
     }
 
     fn binary_op(&self, other: &Bitmap, f: impl Fn(u64, u64) -> u64) -> Bitmap {
@@ -271,7 +279,10 @@ mod tests {
         b.set(128, true);
         let expect = a.xor(&b);
         a.xor_assign(&b);
-        assert_eq!(a.iter_ones().collect::<Vec<_>>(), expect.iter_ones().collect::<Vec<_>>());
+        assert_eq!(
+            a.iter_ones().collect::<Vec<_>>(),
+            expect.iter_ones().collect::<Vec<_>>()
+        );
     }
 
     #[test]

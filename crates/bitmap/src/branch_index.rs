@@ -78,7 +78,11 @@ impl VersionIndex for BranchBitmapIndex {
     }
 
     fn set(&mut self, b: BranchId, row: u64, v: bool) {
-        debug_assert!(row < self.rows, "row {row} not allocated (rows={})", self.rows);
+        debug_assert!(
+            row < self.rows,
+            "row {row} not allocated (rows={})",
+            self.rows
+        );
         self.columns
             .get_mut(&b)
             .expect("set on unregistered branch")

@@ -83,17 +83,24 @@ impl CommitStore {
     }
 
     fn open_read(&self) -> Result<File> {
-        OpenOptions::new().read(true).open(&self.path).ctx("opening commit store for read")
+        OpenOptions::new()
+            .read(true)
+            .open(&self.path)
+            .ctx("opening commit store for read")
     }
 
     /// Reopens an existing store, rebuilding entry metadata and the tail
     /// state by replaying the delta chain.
     pub fn open(path: impl AsRef<Path>, layer_interval: usize) -> Result<CommitStore> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new().read(true).open(&path).ctx("opening commit store")?;
+        let file = OpenOptions::new()
+            .read(true)
+            .open(&path)
+            .ctx("opening commit store")?;
         let len = file.metadata().ctx("stat commit store")?.len();
         let mut bytes = vec![0u8; len as usize];
-        file.read_exact_at(&mut bytes, 0).ctx("reading commit store")?;
+        file.read_exact_at(&mut bytes, 0)
+            .ctx("reading commit store")?;
         drop(file);
         let mut store = CommitStore {
             path,
@@ -113,7 +120,10 @@ impl CommitStore {
             if p + payload_len > bytes.len() {
                 return Err(DbError::corrupt("commit store truncated"));
             }
-            let meta = EntryMeta { offset: p as u64, len: payload_len as u32 };
+            let meta = EntryMeta {
+                offset: p as u64,
+                len: payload_len as u32,
+            };
             match kind {
                 KIND_BASE => store.base.push(meta),
                 KIND_COMPOSITE => store.composite.push(meta),
@@ -155,14 +165,21 @@ impl CommitStore {
         varint::write_u64(&mut buf, payload.len() as u64);
         let header_end = self.write_pos + buf.len() as u64;
         buf.extend_from_slice(payload);
-        file.write_all_at(&buf, self.write_pos).ctx("writing commit entry")?;
+        file.write_all_at(&buf, self.write_pos)
+            .ctx("writing commit entry")?;
         self.write_pos += buf.len() as u64;
-        Ok(EntryMeta { offset: header_end, len: payload.len() as u32 })
+        Ok(EntryMeta {
+            offset: header_end,
+            len: payload.len() as u32,
+        })
     }
 
     /// An empty delta: recorded in memory, headers owed to disk.
     fn note_empty(&mut self, kind_is_composite: bool) -> EntryMeta {
-        debug_assert!(!kind_is_composite, "composites with empty deltas stay base-aligned");
+        debug_assert!(
+            !kind_is_composite,
+            "composites with empty deltas stay base-aligned"
+        );
         self.pending_empties += 1;
         EntryMeta { offset: 0, len: 0 }
     }
@@ -376,7 +393,10 @@ mod tests {
         store.append_commit(&bm).unwrap();
         let s1 = store.file_size();
         store.append_commit(&bm).unwrap(); // empty delta
-        assert!(store.file_size() - s1 < 32, "empty delta should be bytes, not KBs");
+        assert!(
+            store.file_size() - s1 < 32,
+            "empty delta should be bytes, not KBs"
+        );
         assert_eq!(store.checkout(1).unwrap().count_ones(), bm.count_ones());
     }
 

@@ -60,7 +60,9 @@ fn encode_raw(bm: &Bitmap) -> Vec<u8> {
 
 /// Decodes a payload produced by [`encode`].
 pub fn decode(buf: &[u8]) -> Result<Bitmap> {
-    let tag = *buf.first().ok_or_else(|| DbError::corrupt("empty RLE payload"))?;
+    let tag = *buf
+        .first()
+        .ok_or_else(|| DbError::corrupt("empty RLE payload"))?;
     let mut pos = 1usize;
     let len = varint::read_u64(buf, &mut pos)?;
     match tag {
@@ -95,7 +97,9 @@ pub fn decode(buf: &[u8]) -> Result<Bitmap> {
             }
             Ok(Bitmap::from_words(words, len))
         }
-        other => Err(DbError::corrupt(format!("unknown bitmap payload tag {other}"))),
+        other => Err(DbError::corrupt(format!(
+            "unknown bitmap payload tag {other}"
+        ))),
     }
 }
 

@@ -54,8 +54,7 @@ impl TupleBitmapIndex {
         for row in 0..self.rows as usize {
             let src = row * self.stride;
             let dst = row * new_stride;
-            new_data[dst..dst + self.stride]
-                .copy_from_slice(&self.data[src..src + self.stride]);
+            new_data[dst..dst + self.stride].copy_from_slice(&self.data[src..src + self.stride]);
         }
         self.data = new_data;
         self.stride = new_stride;
@@ -194,7 +193,10 @@ mod tests {
         }
         idx.add_branch(BranchId(64), None); // triggers grow_stride
         for row in 0..100u64 {
-            assert!(idx.get(BranchId((row % 64) as u32), row), "row {row} lost its bit");
+            assert!(
+                idx.get(BranchId((row % 64) as u32), row),
+                "row {row} lost its bit"
+            );
         }
     }
 

@@ -78,7 +78,10 @@ impl fmt::Display for DbError {
             DbError::DuplicateKey { key } => write!(f, "duplicate primary key {key}"),
             DbError::KeyNotFound { key } => write!(f, "primary key {key} not found"),
             DbError::SchemaMismatch { expected, actual } => {
-                write!(f, "schema mismatch: expected {expected} values, got {actual}")
+                write!(
+                    f,
+                    "schema mismatch: expected {expected} values, got {actual}"
+                )
             }
             DbError::MergeConflicts { count } => {
                 write!(f, "merge produced {count} unresolved conflicts")
@@ -102,12 +105,17 @@ impl std::error::Error for DbError {
 impl DbError {
     /// Wraps an [`io::Error`] with a description of the failed operation.
     pub fn io(context: impl Into<String>, source: io::Error) -> Self {
-        DbError::Io { context: context.into(), source }
+        DbError::Io {
+            context: context.into(),
+            source,
+        }
     }
 
     /// Builds a [`DbError::Corrupt`] from a format-friendly detail string.
     pub fn corrupt(detail: impl Into<String>) -> Self {
-        DbError::Corrupt { detail: detail.into() }
+        DbError::Corrupt {
+            detail: detail.into(),
+        }
     }
 }
 

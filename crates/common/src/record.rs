@@ -28,14 +28,22 @@ pub struct Record {
 impl Record {
     /// Creates a live record with the given key and field values.
     pub fn new(key: u64, fields: Vec<u64>) -> Self {
-        Record { key, fields, tombstone: false }
+        Record {
+            key,
+            fields,
+            tombstone: false,
+        }
     }
 
     /// Creates a delete tombstone for `key` under `schema` (tombstones carry
     /// zeroed fields so records stay fixed-width, as in the paper's
     /// version-first segment files).
     pub fn tombstone(key: u64, schema: &Schema) -> Self {
-        Record { key, fields: vec![0; schema.num_columns()], tombstone: true }
+        Record {
+            key,
+            fields: vec![0; schema.num_columns()],
+            tombstone: true,
+        }
     }
 
     /// The immutable primary key that tracks this record across versions.
@@ -113,7 +121,9 @@ impl Record {
         }
         let tombstone = buf[0] & FLAG_TOMBSTONE != 0;
         let key = u64::from_le_bytes(
-            buf[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + KEY_BYTES].try_into().unwrap(),
+            buf[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + KEY_BYTES]
+                .try_into()
+                .unwrap(),
         );
         let mut fields = Vec::with_capacity(schema.num_columns());
         let mut off = RECORD_HEADER_BYTES + KEY_BYTES;
@@ -131,7 +141,11 @@ impl Record {
                 }
             }
         }
-        Ok(Record { key, fields, tombstone })
+        Ok(Record {
+            key,
+            fields,
+            tombstone,
+        })
     }
 
     /// Reads only the header and key of a serialized record — used by scans
@@ -139,7 +153,9 @@ impl Record {
     pub fn peek_key(buf: &[u8]) -> (u64, bool) {
         let tombstone = buf[0] & FLAG_TOMBSTONE != 0;
         let key = u64::from_le_bytes(
-            buf[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + KEY_BYTES].try_into().unwrap(),
+            buf[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + KEY_BYTES]
+                .try_into()
+                .unwrap(),
         );
         (key, tombstone)
     }
@@ -150,7 +166,9 @@ impl Record {
     /// primary key and (b) different field values").
     pub fn changed_fields(&self, other: &Record) -> Vec<usize> {
         debug_assert_eq!(self.fields.len(), other.fields.len());
-        (0..self.fields.len()).filter(|&i| self.fields[i] != other.fields[i]).collect()
+        (0..self.fields.len())
+            .filter(|&i| self.fields[i] != other.fields[i])
+            .collect()
     }
 }
 

@@ -53,7 +53,10 @@ pub const KEY_BYTES: usize = 8;
 impl Schema {
     /// Creates a schema with `num_columns` data columns of type `column_type`.
     pub fn new(num_columns: usize, column_type: ColumnType) -> Self {
-        Schema { num_columns, column_type }
+        Schema {
+            num_columns,
+            column_type,
+        }
     }
 
     /// The paper's benchmark geometry: 250 four-byte integer columns plus an
@@ -115,6 +118,12 @@ mod tests {
         let s = Schema::new(3, ColumnType::U32);
         assert!(s.check_arity(3).is_ok());
         let err = s.check_arity(2).unwrap_err();
-        assert!(matches!(err, DbError::SchemaMismatch { expected: 3, actual: 2 }));
+        assert!(matches!(
+            err,
+            DbError::SchemaMismatch {
+                expected: 3,
+                actual: 2
+            }
+        ));
     }
 }

@@ -65,7 +65,18 @@ mod tests {
 
     #[test]
     fn roundtrips_edge_values() {
-        for v in [0, 1, 127, 128, 255, 256, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            255,
+            256,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             roundtrip(v);
         }
     }

@@ -45,12 +45,16 @@ impl Database {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating database dir", e))?;
         let store: Box<dyn VersionedStore> = match kind {
-            EngineKind::TupleFirstBranch => {
-                Box::new(TupleFirstBranchEngine::init(dir.join("data"), schema, config)?)
-            }
-            EngineKind::TupleFirstTuple => {
-                Box::new(TupleFirstTupleEngine::init(dir.join("data"), schema, config)?)
-            }
+            EngineKind::TupleFirstBranch => Box::new(TupleFirstBranchEngine::init(
+                dir.join("data"),
+                schema,
+                config,
+            )?),
+            EngineKind::TupleFirstTuple => Box::new(TupleFirstTupleEngine::init(
+                dir.join("data"),
+                schema,
+                config,
+            )?),
             EngineKind::VersionFirst => {
                 Box::new(VersionFirstEngine::init(dir.join("data"), schema, config)?)
             }
@@ -141,7 +145,8 @@ mod tests {
         let (_d, database) = db(EngineKind::Hybrid);
         database.with_store_mut(|s| {
             for k in 0..5u64 {
-                s.insert(BranchId::MASTER, Record::new(k, vec![k, k])).unwrap();
+                s.insert(BranchId::MASTER, Record::new(k, vec![k, k]))
+                    .unwrap();
             }
         });
         let out = database
@@ -157,7 +162,8 @@ mod tests {
     fn flush_succeeds() {
         let (_d, database) = db(EngineKind::VersionFirst);
         database.with_store_mut(|s| {
-            s.insert(BranchId::MASTER, Record::new(1, vec![0, 0])).unwrap()
+            s.insert(BranchId::MASTER, Record::new(1, vec![0, 0]))
+                .unwrap()
         });
         database.flush().unwrap();
         assert!(database.dir().join("data").join("graph.dvg").exists());

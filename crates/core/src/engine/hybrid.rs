@@ -89,9 +89,13 @@ impl HybridEngine {
         let seg = engine.new_segment()?;
         engine.head.push(seg);
         engine.mark_branch_segment(BranchId::MASTER, seg);
-        engine.segments[seg.index()].index.add_branch(BranchId::MASTER, None);
+        engine.segments[seg.index()]
+            .index
+            .add_branch(BranchId::MASTER, None);
         let init = engine.snapshot_commit(BranchId::MASTER)?;
-        engine.commit_map.insert(CommitId::INIT, (BranchId::MASTER, init));
+        engine
+            .commit_map
+            .insert(CommitId::INIT, (BranchId::MASTER, init));
         Ok(engine)
     }
 
@@ -135,7 +139,8 @@ impl HybridEngine {
             let col = seg.index.branch_bitmap(branch);
             if let std::collections::hash_map::Entry::Vacant(e) = seg.stores.entry(branch) {
                 let store = CommitStore::create(
-                    self.dir.join(format!("commits_s{}_b{}.dcl", seg_id.raw(), branch.raw())),
+                    self.dir
+                        .join(format!("commits_s{}_b{}.dcl", seg_id.raw(), branch.raw())),
                     CommitStore::DEFAULT_LAYER_INTERVAL,
                 )?;
                 e.insert((store, ord));
@@ -206,10 +211,15 @@ impl HybridEngine {
     /// Appends a record to the branch's head segment and marks it live.
     fn append_live(&mut self, branch: BranchId, record: &Record) -> Result<(SegmentId, RecordIdx)> {
         let seg_id = self.head[branch.index()];
-        debug_assert!(!self.segments[seg_id.index()].frozen, "head segment must be unfrozen");
+        debug_assert!(
+            !self.segments[seg_id.index()].frozen,
+            "head segment must be unfrozen"
+        );
         let idx = self.segments[seg_id.index()].heap.append(record)?;
         self.ensure_column(seg_id, branch);
-        self.segments[seg_id.index()].index.set(branch, idx.raw(), true);
+        self.segments[seg_id.index()]
+            .index
+            .set(branch, idx.raw(), true);
         self.mark_branch_segment(branch, seg_id);
         self.pk[branch.index()].insert(record.key(), (seg_id, idx));
         Ok((seg_id, idx))
@@ -221,10 +231,8 @@ impl HybridEngine {
         side: &[(SegmentId, Bitmap)],
         base: &[(SegmentId, Bitmap)],
     ) -> Result<(ChangeSet, u64)> {
-        let base_map: FxHashMap<SegmentId, &Bitmap> =
-            base.iter().map(|(s, b)| (*s, b)).collect();
-        let side_map: FxHashMap<SegmentId, &Bitmap> =
-            side.iter().map(|(s, b)| (*s, b)).collect();
+        let base_map: FxHashMap<SegmentId, &Bitmap> = base.iter().map(|(s, b)| (*s, b)).collect();
+        let side_map: FxHashMap<SegmentId, &Bitmap> = side.iter().map(|(s, b)| (*s, b)).collect();
         let mut changes = ChangeSet::default();
         let mut bytes = 0u64;
         // Rows live on the side but not in the base: inserts/updated copies.
@@ -491,32 +499,44 @@ impl VersionedStore for HybridEngine {
 
     fn scan(&self, version: VersionRef) -> Result<RecordIter<'_>> {
         let bitmaps = self.version_bitmaps(version)?;
-        Ok(Box::new(HyScan { engine: self, segs: bitmaps, pos: 0, inner: None }.map(
-            |item| item.map(|(_, _, rec)| rec),
-        )))
+        Ok(Box::new(
+            HyScan {
+                engine: self,
+                segs: bitmaps,
+                pos: 0,
+                inner: None,
+            }
+            .map(|item| item.map(|(_, _, rec)| rec)),
+        ))
     }
 
     fn multi_scan(&self, branches: &[BranchId]) -> Result<AnnotatedIter<'_>> {
         let plan = self.multi_scan_plan(branches)?;
-        let segs: Vec<(SegmentId, Bitmap)> =
-            plan.iter().map(|(s, u, _)| (*s, u.clone())).collect();
+        let segs: Vec<(SegmentId, Bitmap)> = plan.iter().map(|(s, u, _)| (*s, u.clone())).collect();
         let cols: FxHashMap<SegmentId, Vec<(BranchId, Bitmap)>> =
             plan.into_iter().map(|(s, _, c)| (s, c)).collect();
-        Ok(Box::new(HyScan { engine: self, segs, pos: 0, inner: None }.map(move |item| {
-            item.map(|(seg, idx, rec)| {
-                let live: Vec<BranchId> = cols[&seg]
-                    .iter()
-                    .filter(|(_, c)| c.get(idx.raw()))
-                    .map(|&(b, _)| b)
-                    .collect();
-                (rec, live)
-            })
-        })))
+        Ok(Box::new(
+            HyScan {
+                engine: self,
+                segs,
+                pos: 0,
+                inner: None,
+            }
+            .map(move |item| {
+                item.map(|(seg, idx, rec)| {
+                    let live: Vec<BranchId> = cols[&seg]
+                        .iter()
+                        .filter(|(_, c)| c.get(idx.raw()))
+                        .map(|&(b, _)| b)
+                        .collect();
+                    (rec, live)
+                })
+            }),
+        ))
     }
 
     fn diff(&self, left: VersionRef, right: VersionRef) -> Result<DiffResult> {
-        let lmaps: FxHashMap<SegmentId, Bitmap> =
-            self.version_bitmaps(left)?.into_iter().collect();
+        let lmaps: FxHashMap<SegmentId, Bitmap> = self.version_bitmaps(left)?.into_iter().collect();
         let rmaps: FxHashMap<SegmentId, Bitmap> =
             self.version_bitmaps(right)?.into_iter().collect();
         let mut out = DiffResult::default();
@@ -538,7 +558,12 @@ impl VersionedStore for HybridEngine {
         Ok(out)
     }
 
-    fn merge(&mut self, into: BranchId, from: BranchId, policy: MergePolicy) -> Result<MergeResult> {
+    fn merge(
+        &mut self,
+        into: BranchId,
+        from: BranchId,
+        policy: MergePolicy,
+    ) -> Result<MergeResult> {
         self.graph.branch(into)?;
         self.graph.branch(from)?;
         self.do_commit(into, &[])?;
@@ -678,8 +703,10 @@ impl Iterator for HyScan<'_> {
             }
             let (seg, bm) = self.segs.get(self.pos)?;
             self.pos += 1;
-            self.inner =
-                Some(BitmapScan::new(&self.engine.segments[seg.index()].heap, bm.clone()));
+            self.inner = Some(BitmapScan::new(
+                &self.engine.segments[seg.index()].heap,
+                bm.clone(),
+            ));
         }
     }
 }
@@ -712,7 +739,10 @@ mod tests {
         for k in 0..10 {
             eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
         }
-        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            keys(eng.scan(BranchId::MASTER.into()).unwrap()),
+            (0..10).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -730,8 +760,14 @@ mod tests {
         assert!(!eng.segments[2].frozen);
         assert_ne!(eng.head[BranchId::MASTER.index()], eng.head[dev.index()]);
         // Both branches see the inherited records.
-        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), (0..5).collect::<Vec<_>>());
-        assert_eq!(keys(eng.scan(dev.into()).unwrap()), (0..5).collect::<Vec<_>>());
+        assert_eq!(
+            keys(eng.scan(BranchId::MASTER.into()).unwrap()),
+            (0..5).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            keys(eng.scan(dev.into()).unwrap()),
+            (0..5).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -746,10 +782,22 @@ mod tests {
         eng.update(dev, rec(0, 77)).unwrap();
         eng.insert(dev, rec(100, 0)).unwrap();
         eng.insert(BranchId::MASTER, rec(200, 0)).unwrap();
-        assert_eq!(keys(eng.scan(dev.into()).unwrap()), vec![0, 1, 2, 3, 4, 100]);
-        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![0, 1, 2, 3, 4, 200]);
+        assert_eq!(
+            keys(eng.scan(dev.into()).unwrap()),
+            vec![0, 1, 2, 3, 4, 100]
+        );
+        assert_eq!(
+            keys(eng.scan(BranchId::MASTER.into()).unwrap()),
+            vec![0, 1, 2, 3, 4, 200]
+        );
         assert_eq!(eng.get(dev.into(), 0).unwrap().unwrap().field(0), 77);
-        assert_eq!(eng.get(BranchId::MASTER.into(), 0).unwrap().unwrap().field(0), 0);
+        assert_eq!(
+            eng.get(BranchId::MASTER.into(), 0)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            0
+        );
     }
 
     #[test]
@@ -883,7 +931,11 @@ mod tests {
         eng.update(dev, r).unwrap();
 
         let res = eng
-            .merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: true })
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: true },
+            )
             .unwrap();
         assert!(res.conflicts.is_empty());
         let merged = eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap();
@@ -898,11 +950,22 @@ mod tests {
         let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
         eng.insert(dev, rec(5, 50)).unwrap();
         let data_before = eng.stats().data_bytes;
-        eng.merge(BranchId::MASTER, dev, MergePolicy::TwoWay { prefer_left: true }).unwrap();
+        eng.merge(
+            BranchId::MASTER,
+            dev,
+            MergePolicy::TwoWay { prefer_left: true },
+        )
+        .unwrap();
         // The adopted record was not copied: only bitmaps changed.
         assert_eq!(eng.stats().data_bytes, data_before);
         assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![1, 5]);
-        assert_eq!(eng.get(BranchId::MASTER.into(), 5).unwrap().unwrap().field(0), 50);
+        assert_eq!(
+            eng.get(BranchId::MASTER.into(), 5)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            50
+        );
     }
 
     #[test]
@@ -913,10 +976,20 @@ mod tests {
         eng.delete(BranchId::MASTER, 1).unwrap();
         eng.update(dev, rec(1, 5)).unwrap();
         let res = eng
-            .merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false })
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
             .unwrap();
         assert_eq!(res.conflicts.len(), 1);
-        assert_eq!(eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap().field(0), 5);
+        assert_eq!(
+            eng.get(BranchId::MASTER.into(), 1)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            5
+        );
     }
 
     #[test]
@@ -943,9 +1016,14 @@ mod tests {
                 eng.insert(branch, rec(key, level)).unwrap();
                 key += 1;
             }
-            branch = eng.create_branch(&format!("b{level}"), branch.into()).unwrap();
+            branch = eng
+                .create_branch(&format!("b{level}"), branch.into())
+                .unwrap();
         }
-        assert_eq!(keys(eng.scan(branch.into()).unwrap()), (0..15).collect::<Vec<_>>());
+        assert_eq!(
+            keys(eng.scan(branch.into()).unwrap()),
+            (0..15).collect::<Vec<_>>()
+        );
         assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 3);
     }
 }

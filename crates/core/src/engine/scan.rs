@@ -24,7 +24,12 @@ pub struct BitmapScan<'a> {
 impl<'a> BitmapScan<'a> {
     /// Creates a cursor over `heap` restricted to set bits of `bm`.
     pub fn new(heap: &'a HeapFile, bm: Bitmap) -> Self {
-        BitmapScan { heap, bm, pos: 0, page: None }
+        BitmapScan {
+            heap,
+            bm,
+            pos: 0,
+            page: None,
+        }
     }
 
     /// The liveness bitmap driving this scan.
@@ -77,8 +82,9 @@ mod tests {
         bm.set(29, true);
         pool.clear();
         let before = pool.stats();
-        let got: Vec<u64> =
-            BitmapScan::new(&heap, bm).map(|r| r.unwrap().1.key()).collect();
+        let got: Vec<u64> = BitmapScan::new(&heap, bm)
+            .map(|r| r.unwrap().1.key())
+            .collect();
         assert_eq!(got, vec![1, 2, 29]);
         let after = pool.stats();
         // 30 records at 6/page = exactly 5 full pages; only pages 0 and 4

@@ -72,15 +72,16 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
     /// commit recorded.
     pub fn init(dir: impl AsRef<Path>, schema: Schema, config: &StoreConfig) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| DbError::io("creating engine directory", e))?;
+        std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating engine directory", e))?;
         let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
         let heap = HeapFile::create(Arc::clone(&pool), dir.join("heap.dat"), schema.clone())?;
         let mut index = I::default();
         index.add_branch(BranchId::MASTER, None);
         let graph = VersionGraph::init();
-        let mut store =
-            CommitStore::create(dir.join("commits_b0.dcl"), CommitStore::DEFAULT_LAYER_INTERVAL)?;
+        let mut store = CommitStore::create(
+            dir.join("commits_b0.dcl"),
+            CommitStore::DEFAULT_LAYER_INTERVAL,
+        )?;
         // Ordinal 0 in master's store is the (empty) init commit.
         let ord = store.append_commit(&Bitmap::new())?;
         let mut commit_map = FxHashMap::default();
@@ -217,7 +218,9 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
     }
 
     fn checkout_version(&self, commit: CommitId) -> Result<u64> {
-        Ok(self.version_bitmap(VersionRef::Commit(commit))?.count_ones())
+        Ok(self
+            .version_bitmap(VersionRef::Commit(commit))?
+            .count_ones())
     }
 
     fn insert(&mut self, branch: BranchId, record: Record) -> Result<()> {
@@ -283,7 +286,9 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
 
     fn scan(&self, version: VersionRef) -> Result<RecordIter<'_>> {
         let bm = self.version_bitmap(version)?;
-        Ok(Box::new(BitmapScan::new(&self.heap, bm).map(|r| r.map(|(_, rec)| rec))))
+        Ok(Box::new(
+            BitmapScan::new(&self.heap, bm).map(|r| r.map(|(_, rec)| rec)),
+        ))
     }
 
     fn multi_scan(&self, branches: &[BranchId]) -> Result<AnnotatedIter<'_>> {
@@ -299,16 +304,18 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
             union = union.or(&col);
             columns.push((b, col));
         }
-        Ok(Box::new(BitmapScan::new(&self.heap, union).map(move |item| {
-            item.map(|(idx, rec)| {
-                let live: Vec<BranchId> = columns
-                    .iter()
-                    .filter(|(_, col)| col.get(idx.raw()))
-                    .map(|&(b, _)| b)
-                    .collect();
-                (rec, live)
-            })
-        })))
+        Ok(Box::new(BitmapScan::new(&self.heap, union).map(
+            move |item| {
+                item.map(|(idx, rec)| {
+                    let live: Vec<BranchId> = columns
+                        .iter()
+                        .filter(|(_, col)| col.get(idx.raw()))
+                        .map(|&(b, _)| b)
+                        .collect();
+                    (rec, live)
+                })
+            },
+        )))
     }
 
     fn diff(&self, left: VersionRef, right: VersionRef) -> Result<DiffResult> {
@@ -327,7 +334,12 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
         Ok(out)
     }
 
-    fn merge(&mut self, into: BranchId, from: BranchId, policy: MergePolicy) -> Result<MergeResult> {
+    fn merge(
+        &mut self,
+        into: BranchId,
+        from: BranchId,
+        policy: MergePolicy,
+    ) -> Result<MergeResult> {
         self.graph.branch(into)?;
         self.graph.branch(from)?;
         // Merge operates on the branch heads (§2.2.3); commit both working
@@ -357,12 +369,16 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
         }
 
         let heap = &self.heap;
-        let plan = plan_merge(policy, &left_changes, &right_changes, self.schema.record_size(), |key| {
-            match base_rows.get(&key) {
+        let plan = plan_merge(
+            policy,
+            &left_changes,
+            &right_changes,
+            self.schema.record_size(),
+            |key| match base_rows.get(&key) {
                 Some(&idx) => Ok(Some(heap.get(idx)?)),
                 None => Ok(None),
-            }
-        })?;
+            },
+        )?;
 
         let mut changed = 0u64;
         for (key, action) in &plan.actions {
@@ -455,7 +471,10 @@ mod tests {
         for k in 0..10 {
             eng.insert(BranchId::MASTER, rec(k, k * 10)).unwrap();
         }
-        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            keys(eng.scan(BranchId::MASTER.into()).unwrap()),
+            (0..10).collect::<Vec<_>>()
+        );
         assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 10);
     }
 
@@ -501,15 +520,30 @@ mod tests {
         }
         let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
         // Child sees parent's records.
-        assert_eq!(keys(eng.scan(dev.into()).unwrap()), (0..5).collect::<Vec<_>>());
+        assert_eq!(
+            keys(eng.scan(dev.into()).unwrap()),
+            (0..5).collect::<Vec<_>>()
+        );
         // Changes on each side are invisible to the other.
         eng.insert(dev, rec(100, 0)).unwrap();
         eng.update(dev, rec(0, 77)).unwrap();
         eng.insert(BranchId::MASTER, rec(200, 0)).unwrap();
-        assert_eq!(keys(eng.scan(dev.into()).unwrap()), vec![0, 1, 2, 3, 4, 100]);
-        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![0, 1, 2, 3, 4, 200]);
+        assert_eq!(
+            keys(eng.scan(dev.into()).unwrap()),
+            vec![0, 1, 2, 3, 4, 100]
+        );
+        assert_eq!(
+            keys(eng.scan(BranchId::MASTER.into()).unwrap()),
+            vec![0, 1, 2, 3, 4, 200]
+        );
         assert_eq!(eng.get(dev.into(), 0).unwrap().unwrap().field(0), 77);
-        assert_eq!(eng.get(BranchId::MASTER.into(), 0).unwrap().unwrap().field(0), 0);
+        assert_eq!(
+            eng.get(BranchId::MASTER.into(), 0)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            0
+        );
     }
 
     #[test]
@@ -563,7 +597,11 @@ mod tests {
         assert_eq!(l, vec![0, 10], "dev-only copies: new insert + updated copy");
         let mut r: Vec<u64> = d.right_only.iter().map(|r| r.key()).collect();
         r.sort_unstable();
-        assert_eq!(r, vec![0, 3], "master-only copies: old copy of 0 + undeleted 3");
+        assert_eq!(
+            r,
+            vec![0, 3],
+            "master-only copies: old copy of 0 + undeleted 3"
+        );
     }
 
     #[test]
@@ -599,7 +637,11 @@ mod tests {
         eng.update(dev, right).unwrap();
 
         let res = eng
-            .merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: true })
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: true },
+            )
             .unwrap();
         assert!(res.conflicts.is_empty());
         let merged = eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap();
@@ -623,11 +665,21 @@ mod tests {
         eng.update(dev, r).unwrap();
 
         let res = eng
-            .merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false })
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
             .unwrap();
         assert_eq!(res.conflicts.len(), 1);
         assert_eq!(res.conflicts[0].fields, vec![0]);
-        assert_eq!(eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap().field(0), 222);
+        assert_eq!(
+            eng.get(BranchId::MASTER.into(), 1)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            222
+        );
     }
 
     #[test]
@@ -638,7 +690,12 @@ mod tests {
         let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
         eng.insert(dev, rec(5, 0)).unwrap();
         eng.delete(dev, 2).unwrap();
-        eng.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: true }).unwrap();
+        eng.merge(
+            BranchId::MASTER,
+            dev,
+            MergePolicy::ThreeWay { prefer_left: true },
+        )
+        .unwrap();
         assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![1, 5]);
     }
 
@@ -659,7 +716,13 @@ mod tests {
         assert_eq!(eng.live_count(dev.into()).unwrap(), 19);
         assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 20);
         assert_eq!(eng.get(dev.into(), 7).unwrap().unwrap().field(0), 700);
-        assert_eq!(eng.get(BranchId::MASTER.into(), 7).unwrap().unwrap().field(0), 7);
+        assert_eq!(
+            eng.get(BranchId::MASTER.into(), 7)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            7
+        );
     }
 
     #[test]

@@ -231,7 +231,12 @@ impl VersionFirstEngine {
             let mut below: Option<usize> = None;
             for &hi in ends.iter() {
                 let id = nodes.len();
-                nodes.push(Node { seg: s, lo, hi, parents: below.into_iter().collect() });
+                nodes.push(Node {
+                    seg: s,
+                    lo,
+                    hi,
+                    parents: below.into_iter().collect(),
+                });
                 by_end.insert((s, hi), id);
                 below = Some(id);
                 lo = hi;
@@ -243,7 +248,12 @@ impl VersionFirstEngine {
         if !by_end.contains_key(&(start.0, start.1)) {
             debug_assert_eq!(start.1, 0);
             let id = nodes.len();
-            nodes.push(Node { seg: start.0, lo: 0, hi: 0, parents: Vec::new() });
+            nodes.push(Node {
+                seg: start.0,
+                lo: 0,
+                hi: 0,
+                parents: Vec::new(),
+            });
             by_end.insert((start.0, 0), id);
         }
         // Attach each segment's bottom portion to its parent portions (in
@@ -522,8 +532,7 @@ impl VersionedStore for VersionFirstEngine {
         for (&seg, &bound) in &max_bound {
             tables.insert(seg, self.segment_keys(seg, bound)?);
         }
-        let mut winners: FxHashMap<SegmentId, FxHashMap<u64, Vec<BranchId>>> =
-            FxHashMap::default();
+        let mut winners: FxHashMap<SegmentId, FxHashMap<u64, Vec<BranchId>>> = FxHashMap::default();
         let mut seen: FxHashSet<u64> = FxHashSet::default();
         for (b, order) in &orders {
             seen.clear();
@@ -533,7 +542,12 @@ impl VersionedStore for VersionFirstEngine {
                 for slot in (lo..upto).rev() {
                     let (key, tombstone) = table[slot as usize];
                     if seen.insert(key) && !tombstone {
-                        winners.entry(seg).or_default().entry(slot).or_default().push(*b);
+                        winners
+                            .entry(seg)
+                            .or_default()
+                            .entry(slot)
+                            .or_default()
+                            .push(*b);
                     }
                 }
             }
@@ -550,7 +564,12 @@ impl VersionedStore for VersionFirstEngine {
             })
             .collect();
         segs.sort_by_key(|(seg, _, _)| *seg);
-        Ok(Box::new(VfMultiScan { engine: self, segs, pos: 0, inner: None }))
+        Ok(Box::new(VfMultiScan {
+            engine: self,
+            segs,
+            pos: 0,
+            inner: None,
+        }))
     }
 
     fn diff(&self, left: VersionRef, right: VersionRef) -> Result<DiffResult> {
@@ -582,7 +601,12 @@ impl VersionedStore for VersionFirstEngine {
         Ok(out)
     }
 
-    fn merge(&mut self, into: BranchId, from: BranchId, policy: MergePolicy) -> Result<MergeResult> {
+    fn merge(
+        &mut self,
+        into: BranchId,
+        from: BranchId,
+        policy: MergePolicy,
+    ) -> Result<MergeResult> {
         self.graph.branch(into)?;
         self.graph.branch(from)?;
         self.do_commit(into, &[])?;
@@ -695,7 +719,13 @@ struct VfScan<'a> {
 
 impl<'a> VfScan<'a> {
     fn new(engine: &'a VersionFirstEngine, order: Vec<(SegmentId, u64, u64)>) -> Self {
-        VfScan { engine, order, next_seg: 0, inner: None, emitted: FxHashSet::default() }
+        VfScan {
+            engine,
+            order,
+            next_seg: 0,
+            inner: None,
+            emitted: FxHashSet::default(),
+        }
     }
 }
 
@@ -719,7 +749,12 @@ impl Iterator for VfScan<'_> {
             }
             let &(seg, lo, hi) = self.order.get(self.next_seg)?;
             self.next_seg += 1;
-            self.inner = Some(self.engine.seg(seg).heap.scan_rev(RecordIdx(lo), RecordIdx(hi)));
+            self.inner = Some(
+                self.engine
+                    .seg(seg)
+                    .heap
+                    .scan_rev(RecordIdx(lo), RecordIdx(hi)),
+            );
         }
     }
 }
@@ -785,7 +820,10 @@ mod tests {
         for k in 0..10 {
             eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
         }
-        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            keys(eng.scan(BranchId::MASTER.into()).unwrap()),
+            (0..10).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -793,11 +831,20 @@ mod tests {
         let (_d, mut eng) = engine();
         eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
         eng.update(BranchId::MASTER, rec(1, 50)).unwrap();
-        let all: Vec<Record> =
-            eng.scan(BranchId::MASTER.into()).unwrap().map(|r| r.unwrap()).collect();
+        let all: Vec<Record> = eng
+            .scan(BranchId::MASTER.into())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].field(0), 50);
-        assert_eq!(eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap().field(0), 50);
+        assert_eq!(
+            eng.get(BranchId::MASTER.into(), 1)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            50
+        );
     }
 
     #[test]
@@ -832,7 +879,13 @@ mod tests {
         let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
         eng.update(dev, rec(1, 7)).unwrap();
         assert_eq!(eng.get(dev.into(), 1).unwrap().unwrap().field(0), 7);
-        assert_eq!(eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap().field(0), 0);
+        assert_eq!(
+            eng.get(BranchId::MASTER.into(), 1)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            0
+        );
         // Exactly one copy of key 1 is emitted per branch.
         assert_eq!(eng.live_count(dev.into()).unwrap(), 1);
     }
@@ -847,10 +900,15 @@ mod tests {
                 eng.insert(branch, rec(key, level)).unwrap();
                 key += 1;
             }
-            branch = eng.create_branch(&format!("b{level}"), branch.into()).unwrap();
+            branch = eng
+                .create_branch(&format!("b{level}"), branch.into())
+                .unwrap();
         }
         // Tail branch sees all 15 records through the chain.
-        assert_eq!(keys(eng.scan(branch.into()).unwrap()), (0..15).collect::<Vec<_>>());
+        assert_eq!(
+            keys(eng.scan(branch.into()).unwrap()),
+            (0..15).collect::<Vec<_>>()
+        );
         // Root sees only its own 3.
         assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 3);
     }
@@ -955,12 +1013,23 @@ mod tests {
         eng.insert(dev, rec(5, 0)).unwrap();
 
         let before_bytes = eng.stats().data_bytes;
-        let res =
-            eng.merge(BranchId::MASTER, dev, MergePolicy::TwoWay { prefer_left: false }).unwrap();
+        let res = eng
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::TwoWay { prefer_left: false },
+            )
+            .unwrap();
         assert_eq!(res.conflicts.len(), 1);
         // No record copies were written: precedence is metadata.
         assert_eq!(eng.stats().data_bytes, before_bytes);
-        assert_eq!(eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap().field(0), 222);
+        assert_eq!(
+            eng.get(BranchId::MASTER.into(), 1)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            222
+        );
         assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![1, 5]);
     }
 
@@ -977,7 +1046,11 @@ mod tests {
         eng.update(dev, r).unwrap();
 
         let res = eng
-            .merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: true })
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: true },
+            )
             .unwrap();
         assert!(res.conflicts.is_empty());
         let merged = eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap();
@@ -995,7 +1068,11 @@ mod tests {
 
         // Deletion side preferred: key stays gone.
         let res = eng
-            .merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: true })
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: true },
+            )
             .unwrap();
         assert_eq!(res.conflicts.len(), 1);
         assert_eq!(eng.get(BranchId::MASTER.into(), 1).unwrap(), None);
@@ -1008,13 +1085,24 @@ mod tests {
         let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
         eng.insert(BranchId::MASTER, rec(2, 0)).unwrap();
         eng.insert(dev, rec(3, 0)).unwrap();
-        eng.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: true }).unwrap();
-        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![1, 2, 3]);
+        eng.merge(
+            BranchId::MASTER,
+            dev,
+            MergePolicy::ThreeWay { prefer_left: true },
+        )
+        .unwrap();
+        assert_eq!(
+            keys(eng.scan(BranchId::MASTER.into()).unwrap()),
+            vec![1, 2, 3]
+        );
         // dev is unaffected.
         assert_eq!(keys(eng.scan(dev.into()).unwrap()), vec![1, 3]);
         // And post-merge modifications to dev stay isolated from master.
         eng.insert(dev, rec(4, 0)).unwrap();
-        assert_eq!(keys(eng.scan(BranchId::MASTER.into()).unwrap()), vec![1, 2, 3]);
+        assert_eq!(
+            keys(eng.scan(BranchId::MASTER.into()).unwrap()),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

@@ -71,13 +71,19 @@ pub fn plan_merge(
         }
         plan.bytes_compared += record_size as u64;
         match change {
-            Some(rec) => plan.actions.push((key, MergeAction::TakeRight(rec.clone()))),
+            Some(rec) => plan
+                .actions
+                .push((key, MergeAction::TakeRight(rec.clone()))),
             None => plan.actions.push((key, MergeAction::Delete)),
         }
     }
 
     // Keys changed in both: conflict candidates.
-    let mut both: Vec<u64> = left.keys().filter(|k| right.contains_key(k)).copied().collect();
+    let mut both: Vec<u64> = left
+        .keys()
+        .filter(|k| right.contains_key(k))
+        .copied()
+        .collect();
     both.sort_unstable(); // deterministic plan order across engines
     for key in both {
         let l = &left[&key];
@@ -96,15 +102,24 @@ pub fn plan_merge(
                 // Delete/modify conflict ("a record that was deleted in one
                 // version and modified in the other will generate a
                 // conflict", §2.2.3).
-                plan.conflicts.push(Conflict { key, fields: Vec::new(), resolved_left: prefer_left });
+                plan.conflicts.push(Conflict {
+                    key,
+                    fields: Vec::new(),
+                    resolved_left: prefer_left,
+                });
                 if prefer_left {
                     plan.actions.push((key, MergeAction::Delete));
                 } else {
-                    plan.actions.push((key, MergeAction::TakeRight(rrec.clone())));
+                    plan.actions
+                        .push((key, MergeAction::TakeRight(rrec.clone())));
                 }
             }
             (Some(_), None) => {
-                plan.conflicts.push(Conflict { key, fields: Vec::new(), resolved_left: prefer_left });
+                plan.conflicts.push(Conflict {
+                    key,
+                    fields: Vec::new(),
+                    resolved_left: prefer_left,
+                });
                 if !prefer_left {
                     plan.actions.push((key, MergeAction::Delete));
                 } else {
@@ -122,7 +137,8 @@ pub fn plan_merge(
                     if prefer_left {
                         plan.actions.push((key, MergeAction::KeepLeft));
                     } else {
-                        plan.actions.push((key, MergeAction::TakeRight(rrec.clone())));
+                        plan.actions
+                            .push((key, MergeAction::TakeRight(rrec.clone())));
                     }
                 }
                 MergePolicy::ThreeWay { prefer_left } => {
@@ -141,7 +157,8 @@ pub fn plan_merge(
                             if prefer_left {
                                 plan.actions.push((key, MergeAction::KeepLeft));
                             } else {
-                                plan.actions.push((key, MergeAction::TakeRight(rrec.clone())));
+                                plan.actions
+                                    .push((key, MergeAction::TakeRight(rrec.clone())));
                             }
                         }
                         Some(base) => {
@@ -215,7 +232,12 @@ mod tests {
     }
 
     fn action_for(plan: &MergePlan, key: u64) -> &MergeAction {
-        &plan.actions.iter().find(|(k, _)| *k == key).expect("key has an action").1
+        &plan
+            .actions
+            .iter()
+            .find(|(k, _)| *k == key)
+            .expect("key has an action")
+            .1
     }
 
     const THREE_L: MergePolicy = MergePolicy::ThreeWay { prefer_left: true };
@@ -227,7 +249,10 @@ mod tests {
         let left = changes(&[]);
         let right = changes(&[(1, Some(rec(1, &[9, 9]))), (2, None)]);
         let plan = plan_merge(THREE_L, &left, &right, 10, |_| Ok(None)).unwrap();
-        assert_eq!(action_for(&plan, 1), &MergeAction::TakeRight(rec(1, &[9, 9])));
+        assert_eq!(
+            action_for(&plan, 1),
+            &MergeAction::TakeRight(rec(1, &[9, 9]))
+        );
         assert_eq!(action_for(&plan, 2), &MergeAction::Delete);
         assert!(plan.conflicts.is_empty());
     }
@@ -248,7 +273,10 @@ mod tests {
         let right = changes(&[(1, Some(rec(1, &[0, 0, 9])))]);
         let plan = plan_merge(THREE_L, &left, &right, 10, |_| Ok(Some(base.clone()))).unwrap();
         assert!(plan.conflicts.is_empty());
-        assert_eq!(action_for(&plan, 1), &MergeAction::Materialize(rec(1, &[7, 0, 9])));
+        assert_eq!(
+            action_for(&plan, 1),
+            &MergeAction::Materialize(rec(1, &[7, 0, 9]))
+        );
     }
 
     #[test]
@@ -265,7 +293,10 @@ mod tests {
 
         let plan = plan_merge(THREE_R, &left, &right, 10, |_| Ok(Some(base.clone()))).unwrap();
         // Field 0 → right (9); field 1 → left's change still merges (1).
-        assert_eq!(action_for(&plan, 1), &MergeAction::Materialize(rec(1, &[9, 1])));
+        assert_eq!(
+            action_for(&plan, 1),
+            &MergeAction::Materialize(rec(1, &[9, 1]))
+        );
     }
 
     #[test]

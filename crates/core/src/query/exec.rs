@@ -62,7 +62,11 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
         Query::PositiveDiff { left, right } => {
             Ok(QueryOutput::Records(store.diff(*left, *right)?.left_only))
         }
-        Query::VersionJoin { left, right, predicate } => {
+        Query::VersionJoin {
+            left,
+            right,
+            predicate,
+        } => {
             // Hash join on the primary key: build on the right version,
             // probe with the (filtered) left version — the shape the paper
             // uses for Q3 ("we perform a hash join ... and report the
@@ -83,9 +87,16 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
             }
             Ok(QueryOutput::Joined(out))
         }
-        Query::HeadScan { predicate, active_only } => {
-            let branches: Vec<BranchId> =
-                store.graph().heads(*active_only).into_iter().map(|(b, _)| b).collect();
+        Query::HeadScan {
+            predicate,
+            active_only,
+        } => {
+            let branches: Vec<BranchId> = store
+                .graph()
+                .heads(*active_only)
+                .into_iter()
+                .map(|(b, _)| b)
+                .collect();
             let mut out = Vec::new();
             for item in store.multi_scan(&branches)? {
                 let (rec, live) = item?;
@@ -95,7 +106,10 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
             }
             Ok(QueryOutput::Annotated(out))
         }
-        Query::MultiBranchScan { branches, predicate } => {
+        Query::MultiBranchScan {
+            branches,
+            predicate,
+        } => {
             let mut out = Vec::new();
             for item in store.multi_scan(branches)? {
                 let (rec, live) = item?;
@@ -105,7 +119,12 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
             }
             Ok(QueryOutput::Annotated(out))
         }
-        Query::Aggregate { version, column, agg, predicate } => {
+        Query::Aggregate {
+            version,
+            column,
+            agg,
+            predicate,
+        } => {
             let mut count = 0u64;
             let mut sum = 0f64;
             let mut min = f64::INFINITY;
@@ -177,7 +196,8 @@ mod tests {
         )
         .unwrap();
         for k in 0..10u64 {
-            eng.insert(BranchId::MASTER, Record::new(k, vec![k * 10, k % 3])).unwrap();
+            eng.insert(BranchId::MASTER, Record::new(k, vec![k * 10, k % 3]))
+                .unwrap();
         }
         let dev = eng.create_branch("dev", BranchId::MASTER.into()).unwrap();
         eng.insert(dev, Record::new(100, vec![1000, 0])).unwrap();
@@ -246,7 +266,10 @@ mod tests {
         let (_d, eng, dev) = store();
         let out = execute(
             &eng,
-            &Query::HeadScan { predicate: Predicate::True, active_only: true },
+            &Query::HeadScan {
+                predicate: Predicate::True,
+                active_only: true,
+            },
         )
         .unwrap();
         match out {
@@ -273,16 +296,19 @@ mod tests {
     fn aggregates() {
         let (_d, eng, _) = store();
         let v = VersionRef::Branch(BranchId::MASTER);
-        let run = |agg, column| {
-            match execute(
-                &eng,
-                &Query::Aggregate { version: v, column, agg, predicate: Predicate::True },
-            )
-            .unwrap()
-            {
-                QueryOutput::Scalar(x) => x,
-                _ => unreachable!(),
-            }
+        let run = |agg, column| match execute(
+            &eng,
+            &Query::Aggregate {
+                version: v,
+                column,
+                agg,
+                predicate: Predicate::True,
+            },
+        )
+        .unwrap()
+        {
+            QueryOutput::Scalar(x) => x,
+            _ => unreachable!(),
         };
         assert_eq!(run(AggKind::Count, 0), 10.0);
         assert_eq!(run(AggKind::Sum, 0), 450.0);

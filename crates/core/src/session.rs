@@ -47,7 +47,11 @@ struct Txn<'db> {
 
 impl<'db> Session<'db> {
     pub(crate) fn new(db: &'db Database) -> Self {
-        Session { db, at: VersionRef::Branch(BranchId::MASTER), txn: None }
+        Session {
+            db,
+            at: VersionRef::Branch(BranchId::MASTER),
+            txn: None,
+        }
     }
 
     /// The session's current checkout position.
@@ -59,7 +63,9 @@ impl<'db> Session<'db> {
     /// current session state to point to that version", §2.2.3).
     pub fn checkout_branch(&mut self, name: &str) -> Result<BranchId> {
         self.require_no_txn("checkout")?;
-        let id = self.db.with_store(|s| s.graph().branch_by_name(name).map(|b| b.id))?;
+        let id = self
+            .db
+            .with_store(|s| s.graph().branch_by_name(name).map(|b| b.id))?;
         self.at = VersionRef::Branch(id);
         Ok(id)
     }
@@ -67,7 +73,8 @@ impl<'db> Session<'db> {
     /// Checks out a historical commit (read-only position).
     pub fn checkout_commit(&mut self, commit: CommitId) -> Result<()> {
         self.require_no_txn("checkout")?;
-        self.db.with_store(|s| s.graph().commit(commit).map(|_| ()))?;
+        self.db
+            .with_store(|s| s.graph().commit(commit).map(|_| ()))?;
         self.at = VersionRef::Commit(commit);
         Ok(())
     }
@@ -403,8 +410,14 @@ mod tests {
         let (_d, database) = db(EngineKind::Hybrid);
         let mut s = database.session();
         s.insert(rec(1, 1)).unwrap();
-        assert!(matches!(s.insert(rec(1, 2)), Err(DbError::DuplicateKey { key: 1 })));
-        assert!(matches!(s.update(rec(5, 0)), Err(DbError::KeyNotFound { key: 5 })));
+        assert!(matches!(
+            s.insert(rec(1, 2)),
+            Err(DbError::DuplicateKey { key: 1 })
+        ));
+        assert!(matches!(
+            s.update(rec(5, 0)),
+            Err(DbError::KeyNotFound { key: 5 })
+        ));
         s.delete(1).unwrap();
         // Deleted in overlay → reinsert is legal.
         s.insert(rec(1, 3)).unwrap();

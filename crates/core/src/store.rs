@@ -89,7 +89,8 @@ pub trait VersionedStore: Send {
     /// Merges `from` into `into`, creating a merge commit on `into`
     /// (§2.2.3 Merge). Conflicts are resolved by the policy's precedence
     /// and reported in the result.
-    fn merge(&mut self, into: BranchId, from: BranchId, policy: MergePolicy) -> Result<MergeResult>;
+    fn merge(&mut self, into: BranchId, from: BranchId, policy: MergePolicy)
+        -> Result<MergeResult>;
 
     /// Number of live records in a version.
     fn live_count(&self, version: VersionRef) -> Result<u64> {

@@ -153,7 +153,11 @@ impl EngineKind {
     /// The three headline engines the paper's figures compare (TF with its
     /// evaluation-default branch-oriented bitmap, §5).
     pub fn headline() -> [EngineKind; 3] {
-        [EngineKind::TupleFirstBranch, EngineKind::VersionFirst, EngineKind::Hybrid]
+        [
+            EngineKind::TupleFirstBranch,
+            EngineKind::VersionFirst,
+            EngineKind::Hybrid,
+        ]
     }
 }
 
@@ -163,8 +167,14 @@ mod tests {
 
     #[test]
     fn version_ref_conversions() {
-        assert_eq!(VersionRef::from(BranchId(1)), VersionRef::Branch(BranchId(1)));
-        assert_eq!(VersionRef::from(CommitId(2)), VersionRef::Commit(CommitId(2)));
+        assert_eq!(
+            VersionRef::from(BranchId(1)),
+            VersionRef::Branch(BranchId(1))
+        );
+        assert_eq!(
+            VersionRef::from(CommitId(2)),
+            VersionRef::Commit(CommitId(2))
+        );
     }
 
     #[test]

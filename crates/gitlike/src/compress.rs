@@ -118,7 +118,9 @@ pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
     let mut flag_bit = 8u8;
     while out.len() < raw_len {
         if flag_bit == 8 {
-            flag = *buf.get(pos).ok_or_else(|| DbError::corrupt("LZSS truncated (flag)"))?;
+            flag = *buf
+                .get(pos)
+                .ok_or_else(|| DbError::corrupt("LZSS truncated (flag)"))?;
             pos += 1;
             flag_bit = 0;
         }
@@ -140,7 +142,9 @@ pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
                 out.push(b);
             }
         } else {
-            let b = *buf.get(pos).ok_or_else(|| DbError::corrupt("LZSS truncated (lit)"))?;
+            let b = *buf
+                .get(pos)
+                .ok_or_else(|| DbError::corrupt("LZSS truncated (lit)"))?;
             pos += 1;
             out.push(b);
         }
@@ -173,7 +177,12 @@ mod tests {
     fn repetitive_data_shrinks() {
         let data = b"the quick brown fox ".repeat(200);
         let clen = roundtrip(&data);
-        assert!(clen < data.len() / 5, "compressed {} of {}", clen, data.len());
+        assert!(
+            clen < data.len() / 5,
+            "compressed {} of {}",
+            clen,
+            data.len()
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub fn encode(base: &[u8], target: &[u8]) -> Vec<u8> {
     let mut index: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
     let mut off = 0usize;
     while off + BLOCK <= base.len() {
-        index.entry(block_hash(&base[off..off + BLOCK])).or_default().push(off);
+        index
+            .entry(block_hash(&base[off..off + BLOCK]))
+            .or_default()
+            .push(off);
         off += BLOCK;
     }
 
@@ -138,7 +141,11 @@ mod tests {
 
     fn roundtrip(base: &[u8], target: &[u8]) -> usize {
         let d = encode(base, target);
-        assert_eq!(apply(base, &d).unwrap(), target, "delta must reconstruct target");
+        assert_eq!(
+            apply(base, &d).unwrap(),
+            target,
+            "delta must reconstruct target"
+        );
         d.len()
     }
 
@@ -173,7 +180,10 @@ mod tests {
         let base: Vec<u8> = (0..2000).map(|_| rng.next_u32() as u8).collect();
         let target: Vec<u8> = (0..2000).map(|_| rng.next_u32() as u8).collect();
         let dlen = roundtrip(&base, &target);
-        assert!(dlen >= 2000, "random target cannot be compressed against base");
+        assert!(
+            dlen >= 2000,
+            "random target cannot be compressed against base"
+        );
     }
 
     #[test]
@@ -196,7 +206,10 @@ mod tests {
             // Insertions and truncations too.
             if rng.chance(1, 2) {
                 let pos = rng.below_usize(target.len());
-                target.splice(pos..pos, (0..rng.range(1, 100)).map(|_| rng.next_u32() as u8));
+                target.splice(
+                    pos..pos,
+                    (0..rng.range(1, 100)).map(|_| rng.next_u32() as u8),
+                );
             } else {
                 target.truncate(rng.range(1, target.len() as u64) as usize);
             }

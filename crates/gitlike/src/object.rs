@@ -120,8 +120,7 @@ impl Commit {
 
     /// Parses a commit payload.
     pub fn from_bytes(bytes: &[u8]) -> Result<Commit> {
-        let text =
-            std::str::from_utf8(bytes).map_err(|_| DbError::corrupt("commit not UTF-8"))?;
+        let text = std::str::from_utf8(bytes).map_err(|_| DbError::corrupt("commit not UTF-8"))?;
         let mut tree = None;
         let mut parents = Vec::new();
         let mut lines = text.lines();
@@ -132,9 +131,7 @@ impl Commit {
             if let Some(hex) = line.strip_prefix("tree ") {
                 tree = Sha1::from_hex(hex);
             } else if let Some(hex) = line.strip_prefix("parent ") {
-                parents.push(
-                    Sha1::from_hex(hex).ok_or_else(|| DbError::corrupt("bad parent id"))?,
-                );
+                parents.push(Sha1::from_hex(hex).ok_or_else(|| DbError::corrupt("bad parent id"))?);
             }
         }
         let message: String = lines.collect::<Vec<_>>().join("\n");
@@ -180,8 +177,7 @@ impl ObjectStore {
         if path.exists() {
             return Ok(id); // content-addressed: already present
         }
-        let mut full =
-            Vec::with_capacity(payload.len() + 16);
+        let mut full = Vec::with_capacity(payload.len() + 16);
         full.extend_from_slice(format!("{} {}\0", kind.tag(), payload.len()).as_bytes());
         full.extend_from_slice(payload);
         let compressed = compress::compress(&full);
@@ -210,10 +206,10 @@ impl ObjectStore {
         let (tag, len) = header
             .split_once(' ')
             .ok_or_else(|| DbError::corrupt("object header shape"))?;
-        let kind =
-            ObjKind::from_tag(tag).ok_or_else(|| DbError::corrupt("unknown object kind"))?;
-        let len: usize =
-            len.parse().map_err(|_| DbError::corrupt("object length not a number"))?;
+        let kind = ObjKind::from_tag(tag).ok_or_else(|| DbError::corrupt("unknown object kind"))?;
+        let len: usize = len
+            .parse()
+            .map_err(|_| DbError::corrupt("object length not a number"))?;
         let payload = full[nul + 1..].to_vec();
         if payload.len() != len {
             return Err(DbError::corrupt("object length mismatch"));
@@ -254,7 +250,9 @@ impl ObjectStore {
     /// Total bytes of loose objects on disk.
     pub fn disk_size(&self) -> u64 {
         fn dir_size(path: &Path) -> u64 {
-            let Ok(entries) = fs::read_dir(path) else { return 0 };
+            let Ok(entries) = fs::read_dir(path) else {
+                return 0;
+            };
             entries
                 .flatten()
                 .map(|e| {
@@ -314,7 +312,9 @@ mod tests {
         let (_d, s) = store();
         let b1 = s.write(ObjKind::Blob, b"one").unwrap();
         let b2 = s.write(ObjKind::Blob, b"two").unwrap();
-        let tree = Tree { entries: vec![("a.csv".into(), b1), ("b.csv".into(), b2)] };
+        let tree = Tree {
+            entries: vec![("a.csv".into(), b1), ("b.csv".into(), b2)],
+        };
         let id = s.write(ObjKind::Tree, &tree.to_bytes()).unwrap();
         let (kind, payload) = s.read(id).unwrap();
         assert_eq!(kind, ObjKind::Tree);

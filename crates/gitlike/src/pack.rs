@@ -96,7 +96,10 @@ impl Pack {
                 }
                 let d = delta::encode(&objects[base_idx].1, full);
                 if d.len() < full.len() * 7 / 10
-                    && best.as_ref().map(|(_, b, _)| d.len() < b.len()).unwrap_or(true)
+                    && best
+                        .as_ref()
+                        .map(|(_, b, _)| d.len() < b.len())
+                        .unwrap_or(true)
                 {
                     best = Some((base_id, d, base_chain + 1));
                 }
@@ -198,7 +201,9 @@ impl Pack {
     fn read_entry(&self, entry: PackEntry) -> Result<Vec<u8>> {
         use std::os::unix::fs::FileExt;
         let mut raw = vec![0u8; entry.len as usize];
-        self.file.read_exact_at(&mut raw, entry.offset).ctx("reading pack entry")?;
+        self.file
+            .read_exact_at(&mut raw, entry.offset)
+            .ctx("reading pack entry")?;
         let data = compress::decompress(&raw)?;
         match entry.kind {
             KIND_FULL => Ok(data),
@@ -256,8 +261,10 @@ mod tests {
     fn store_with_blobs(contents: &[&[u8]]) -> (tempfile::TempDir, ObjectStore, Vec<Sha1>) {
         let dir = tempfile::tempdir().unwrap();
         let store = ObjectStore::new(dir.path().join("objects")).unwrap();
-        let ids =
-            contents.iter().map(|c| store.write(ObjKind::Blob, c).unwrap()).collect();
+        let ids = contents
+            .iter()
+            .map(|c| store.write(ObjKind::Blob, c).unwrap())
+            .collect();
         (dir, store, ids)
     }
 

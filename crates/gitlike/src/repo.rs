@@ -78,7 +78,10 @@ impl Repo {
                 return ObjectStore::parse(&full);
             }
         }
-        Err(DbError::corrupt(format!("object {} not found", id.to_hex())))
+        Err(DbError::corrupt(format!(
+            "object {} not found",
+            id.to_hex()
+        )))
     }
 
     /// Lists working-directory data files (sorted; `.gitlike` excluded).
@@ -111,7 +114,11 @@ impl Repo {
         let tree = Tree { entries };
         let tree_id = self.objects.write(ObjKind::Tree, &tree.to_bytes())?;
         let parents = self.refs.get(&self.head).copied().into_iter().collect();
-        let commit = Commit { tree: tree_id, parents, message: message.to_string() };
+        let commit = Commit {
+            tree: tree_id,
+            parents,
+            message: message.to_string(),
+        };
         let commit_id = self.objects.write(ObjKind::Commit, &commit.to_bytes())?;
         self.refs.insert(self.head.clone(), commit_id);
         Ok(commit_id)
@@ -201,7 +208,9 @@ impl Repo {
     pub fn data_size(&self) -> Result<u64> {
         let mut total = 0u64;
         for name in self.work_files()? {
-            total += fs::metadata(self.workdir.join(name)).ctx("stat working file")?.len();
+            total += fs::metadata(self.workdir.join(name))
+                .ctx("stat working file")?
+                .len();
         }
         Ok(total)
     }

@@ -52,7 +52,13 @@ impl Hasher {
     /// Creates a hasher in the initial state.
     pub fn new() -> Hasher {
         Hasher {
-            h: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            h: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,
@@ -153,8 +159,14 @@ mod tests {
     // FIPS 180-1 / RFC 3174 reference vectors.
     #[test]
     fn reference_vectors() {
-        assert_eq!(digest(b"abc").to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
-        assert_eq!(digest(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            digest(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            digest(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
         assert_eq!(
             digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
@@ -172,7 +184,10 @@ mod tests {
         let mut h = Hasher::new();
         h.update(format!("blob {}\0", content.len()).as_bytes());
         h.update(content);
-        assert_eq!(h.finalize().to_hex(), "bd9dbf5aae1a3862dd1526723246b20206e5fc37");
+        assert_eq!(
+            h.finalize().to_hex(),
+            "bd9dbf5aae1a3862dd1526723246b20206e5fc37"
+        );
     }
 
     #[test]

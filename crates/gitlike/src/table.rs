@@ -162,7 +162,10 @@ impl GitTable {
                 if !bytes.len().is_multiple_of(rs) {
                     return Err(DbError::corrupt("binary table file torn"));
                 }
-                bytes.chunks_exact(rs).map(|c| Record::read_from(&self.schema, c)).collect()
+                bytes
+                    .chunks_exact(rs)
+                    .map(|c| Record::read_from(&self.schema, c))
+                    .collect()
             }
             TableEncoding::Csv => {
                 let text = std::str::from_utf8(bytes)
@@ -205,8 +208,7 @@ impl GitTable {
                 for r in self.rows.values() {
                     buf.extend_from_slice(&self.encode_record(r)?);
                 }
-                fs::write(self.repo.workdir().join("table.dat"), buf)
-                    .ctx("writing table file")?;
+                fs::write(self.repo.workdir().join("table.dat"), buf).ctx("writing table file")?;
             }
             TableLayout::FilePerTuple => {
                 for &key in &self.dirty {
@@ -379,8 +381,14 @@ mod tests {
         )
         .unwrap();
         t.insert(rec(1, 0)).unwrap();
-        assert!(matches!(t.insert(rec(1, 1)), Err(DbError::DuplicateKey { .. })));
-        assert!(matches!(t.update(rec(9, 0)), Err(DbError::KeyNotFound { .. })));
+        assert!(matches!(
+            t.insert(rec(1, 1)),
+            Err(DbError::DuplicateKey { .. })
+        ));
+        assert!(matches!(
+            t.update(rec(9, 0)),
+            Err(DbError::KeyNotFound { .. })
+        ));
         assert!(!t.delete(9).unwrap());
     }
 
@@ -419,16 +427,28 @@ mod tests {
         let mut sizes = Vec::new();
         for encoding in [TableEncoding::Csv, TableEncoding::Binary] {
             let dir = tempfile::tempdir().unwrap();
-            let mut t =
-                GitTable::create(dir.path().join("t"), TableLayout::OneFile, encoding, schema.clone())
-                    .unwrap();
+            let mut t = GitTable::create(
+                dir.path().join("t"),
+                TableLayout::OneFile,
+                encoding,
+                schema.clone(),
+            )
+            .unwrap();
             for k in 0..100 {
-                t.insert(Record::new(k, vec![3_000_000_000, 3_000_000_001, 3_000_000_002]))
-                    .unwrap();
+                t.insert(Record::new(
+                    k,
+                    vec![3_000_000_000, 3_000_000_001, 3_000_000_002],
+                ))
+                .unwrap();
             }
             t.commit("data").unwrap();
             sizes.push(t.repo().data_size().unwrap());
         }
-        assert!(sizes[0] > sizes[1], "csv {} vs binary {}", sizes[0], sizes[1]);
+        assert!(
+            sizes[0] > sizes[1],
+            "csv {} vs binary {}",
+            sizes[0],
+            sizes[1]
+        );
     }
 }

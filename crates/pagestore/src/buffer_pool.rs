@@ -124,16 +124,18 @@ impl BufferPool {
         inner.stats.misses += 1;
         if inner.frames.len() >= self.capacity {
             // Evict the least recently used frame.
-            if let Some((&victim, _)) =
-                inner.frames.iter().min_by_key(|(_, f)| f.last_used)
-            {
+            if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.last_used) {
                 inner.frames.remove(&victim);
                 inner.stats.evictions += 1;
             }
         }
-        inner
-            .frames
-            .insert((file, page_no), Frame { data: Arc::clone(&data), last_used: now });
+        inner.frames.insert(
+            (file, page_no),
+            Frame {
+                data: Arc::clone(&data),
+                last_used: now,
+            },
+        );
         Ok(data)
     }
 
@@ -148,7 +150,13 @@ impl BufferPool {
                 inner.stats.evictions += 1;
             }
         }
-        inner.frames.insert((file, page_no), Frame { data, last_used: now });
+        inner.frames.insert(
+            (file, page_no),
+            Frame {
+                data,
+                last_used: now,
+            },
+        );
     }
 
     /// Drops every cached page. Benchmarks call this before measured

@@ -23,24 +23,42 @@ pub struct StoreConfig {
 impl StoreConfig {
     /// The paper's geometry: 4 MB pages.
     pub fn paper_default() -> Self {
-        StoreConfig { page_size: 4 << 20, pool_pages: 256, cold_scans: true, fsync: false }
+        StoreConfig {
+            page_size: 4 << 20,
+            pool_pages: 256,
+            cold_scans: true,
+            fsync: false,
+        }
     }
 
     /// Small pages for unit tests: keeps multi-page code paths exercised
     /// with tiny datasets.
     pub fn test_default() -> Self {
-        StoreConfig { page_size: 4096, pool_pages: 64, cold_scans: false, fsync: false }
+        StoreConfig {
+            page_size: 4096,
+            pool_pages: 64,
+            cold_scans: false,
+            fsync: false,
+        }
     }
 
     /// Benchmark default: 256 KB pages — the paper's 4 MB scaled by the same
     /// factor as the dataset, preserving records-per-page magnitudes.
     pub fn bench_default() -> Self {
-        StoreConfig { page_size: 256 << 10, pool_pages: 512, cold_scans: true, fsync: false }
+        StoreConfig {
+            page_size: 256 << 10,
+            pool_pages: 512,
+            cold_scans: true,
+            fsync: false,
+        }
     }
 
     /// Number of fixed-width record slots per page.
     pub fn slots_per_page(&self, record_size: usize) -> usize {
-        assert!(record_size > 0 && record_size <= self.page_size, "record must fit in a page");
+        assert!(
+            record_size > 0 && record_size <= self.page_size,
+            "record must fit in a page"
+        );
         self.page_size / record_size
     }
 }
@@ -65,7 +83,12 @@ mod tests {
 
     #[test]
     fn slots_per_page_floor_division() {
-        let c = StoreConfig { page_size: 100, pool_pages: 1, cold_scans: false, fsync: false };
+        let c = StoreConfig {
+            page_size: 100,
+            pool_pages: 1,
+            cold_scans: false,
+            fsync: false,
+        };
         assert_eq!(c.slots_per_page(30), 3);
         assert_eq!(c.slots_per_page(100), 1);
     }

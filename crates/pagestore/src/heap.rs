@@ -113,7 +113,11 @@ impl HeapFile {
             file_id,
             file,
             path,
-            tail: Mutex::new(Tail { full_pages, flushed: buf.len(), buf }),
+            tail: Mutex::new(Tail {
+                full_pages,
+                flushed: buf.len(),
+                buf,
+            }),
         })
     }
 
@@ -173,7 +177,8 @@ impl HeapFile {
         self.file
             .write_all_at(&page, tail.full_pages * self.page_size as u64)
             .ctx("writing full heap page")?;
-        self.pool.put_page(self.file_id, tail.full_pages, Arc::new(page));
+        self.pool
+            .put_page(self.file_id, tail.full_pages, Arc::new(page));
         tail.full_pages += 1;
         tail.flushed = 0;
         Ok(())
@@ -216,12 +221,18 @@ impl HeapFile {
         if page_no == tail.full_pages {
             // Tail page: serve from the append buffer.
             if off + self.record_size > tail.buf.len() {
-                return Err(DbError::corrupt(format!("record index {} out of bounds", idx.0)));
+                return Err(DbError::corrupt(format!(
+                    "record index {} out of bounds",
+                    idx.0
+                )));
             }
             return Ok(f(&tail.buf[off..off + self.record_size]));
         }
         if page_no > tail.full_pages {
-            return Err(DbError::corrupt(format!("record index {} out of bounds", idx.0)));
+            return Err(DbError::corrupt(format!(
+                "record index {} out of bounds",
+                idx.0
+            )));
         }
         drop(tail);
         let page = self.pool.get_page(self.file_id, page_no, self.page_size)?;
@@ -397,8 +408,7 @@ mod tests {
         for k in 0..25 {
             heap.append(&rec(k, 3)).unwrap();
         }
-        let keys: Vec<u64> =
-            heap.scan_all().map(|r| r.unwrap().1.key()).collect();
+        let keys: Vec<u64> = heap.scan_all().map(|r| r.unwrap().1.key()).collect();
         assert_eq!(keys, (0..25).collect::<Vec<_>>());
     }
 
@@ -423,11 +433,15 @@ mod tests {
         for k in 0..30 {
             heap.append(&rec(k, 3)).unwrap();
         }
-        let keys: Vec<u64> =
-            heap.scan(RecordIdx(5), RecordIdx(10)).map(|r| r.unwrap().1.key()).collect();
+        let keys: Vec<u64> = heap
+            .scan(RecordIdx(5), RecordIdx(10))
+            .map(|r| r.unwrap().1.key())
+            .collect();
         assert_eq!(keys, vec![5, 6, 7, 8, 9]);
-        let keys: Vec<u64> =
-            heap.scan_rev(RecordIdx(5), RecordIdx(10)).map(|r| r.unwrap().1.key()).collect();
+        let keys: Vec<u64> = heap
+            .scan_rev(RecordIdx(5), RecordIdx(10))
+            .map(|r| r.unwrap().1.key())
+            .collect();
         assert_eq!(keys, vec![9, 8, 7, 6, 5]);
     }
 

@@ -53,7 +53,9 @@ impl LockManager {
     /// before being declared a deadlock victim.
     pub fn new(timeout: Duration) -> Self {
         LockManager {
-            table: Mutex::new(Table { locks: FxHashMap::default() }),
+            table: Mutex::new(Table {
+                locks: FxHashMap::default(),
+            }),
             released: Condvar::new(),
             timeout,
         }
@@ -63,7 +65,10 @@ impl LockManager {
     /// returned guard are all released when it drops (strict 2PL: no lock
     /// is released before the transaction ends).
     pub fn begin(&self) -> TxnLocks<'_> {
-        TxnLocks { mgr: self, held: Vec::new() }
+        TxnLocks {
+            mgr: self,
+            held: Vec::new(),
+        }
     }
 
     fn try_grant(table: &mut Table, branch: BranchId, mode: LockMode, upgrade: bool) -> bool {
@@ -149,7 +154,12 @@ impl TxnLocks<'_> {
             if LockManager::try_grant(&mut table, branch, mode, upgrade) {
                 break;
             }
-            if self.mgr.released.wait_until(&mut table, deadline).timed_out() {
+            if self
+                .mgr
+                .released
+                .wait_until(&mut table, deadline)
+                .timed_out()
+            {
                 return Err(DbError::LockContention {
                     what: format!("branch {branch} ({mode:?})"),
                 });
@@ -206,7 +216,11 @@ mod tests {
             std::thread::spawn(move || {
                 let mut r = mgr.begin();
                 r.lock(BranchId(0), LockMode::Shared).unwrap();
-                assert_eq!(order.load(Ordering::SeqCst), 1, "reader ran before writer released");
+                assert_eq!(
+                    order.load(Ordering::SeqCst),
+                    1,
+                    "reader ran before writer released"
+                );
             })
         };
         std::thread::sleep(Duration::from_millis(50));

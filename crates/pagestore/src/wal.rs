@@ -71,7 +71,14 @@ impl Wal {
             .read(true)
             .open(&path)
             .ctx("opening WAL")?;
-        Ok(Wal { inner: Mutex::new(WalInner { file, pending: Vec::new() }), path, fsync })
+        Ok(Wal {
+            inner: Mutex::new(WalInner {
+                file,
+                pending: Vec::new(),
+            }),
+            path,
+            fsync,
+        })
     }
 
     fn encode_entry(out: &mut Vec<u8>, kind: u8, txn: u64, payload: &[u8]) {

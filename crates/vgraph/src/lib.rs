@@ -94,12 +94,16 @@ impl VersionGraph {
 
     /// Looks up a commit.
     pub fn commit(&self, id: CommitId) -> Result<&CommitMeta> {
-        self.commits.get(id.index()).ok_or(DbError::UnknownCommit(id.raw()))
+        self.commits
+            .get(id.index())
+            .ok_or(DbError::UnknownCommit(id.raw()))
     }
 
     /// Looks up a branch by id.
     pub fn branch(&self, id: BranchId) -> Result<&BranchMeta> {
-        self.branches.get(id.index()).ok_or_else(|| DbError::UnknownBranch(id.to_string()))
+        self.branches
+            .get(id.index())
+            .ok_or_else(|| DbError::UnknownBranch(id.to_string()))
     }
 
     /// Looks up a branch by name.
@@ -150,9 +154,19 @@ impl VersionGraph {
         for p in &parents {
             self.commit(*p)?;
         }
-        let depth = parents.iter().map(|p| self.commits[p.index()].depth).max().unwrap_or(0) + 1;
+        let depth = parents
+            .iter()
+            .map(|p| self.commits[p.index()].depth)
+            .max()
+            .unwrap_or(0)
+            + 1;
         let id = CommitId(self.commits.len() as u64);
-        self.commits.push(CommitMeta { id, parents, branch, depth });
+        self.commits.push(CommitMeta {
+            id,
+            parents,
+            branch,
+            depth,
+        });
         self.branches[branch.index()].head = id;
         Ok(id)
     }
@@ -163,7 +177,9 @@ impl VersionGraph {
     pub fn create_branch(&mut self, name: &str, from: CommitId) -> Result<BranchId> {
         self.commit(from)?;
         if self.by_name.contains_key(name) {
-            return Err(DbError::Invalid(format!("branch name {name:?} already exists")));
+            return Err(DbError::Invalid(format!(
+                "branch name {name:?} already exists"
+            )));
         }
         let id = BranchId(self.branches.len() as u32);
         self.branches.push(BranchMeta {
@@ -290,7 +306,12 @@ impl VersionGraph {
             for _ in 0..n_parents {
                 parents.push(CommitId(varint::read_u64(bytes, &mut pos)?));
             }
-            commits.push(CommitMeta { id: CommitId(i as u64), parents, branch, depth });
+            commits.push(CommitMeta {
+                id: CommitId(i as u64),
+                parents,
+                branch,
+                depth,
+            });
         }
         let n_branches = varint::read_u64(bytes, &mut pos)? as usize;
         let mut branches = Vec::with_capacity(n_branches);
@@ -311,9 +332,19 @@ impl VersionGraph {
                 != 0;
             pos += 1;
             by_name.insert(name.clone(), BranchId(i as u32));
-            branches.push(BranchMeta { id: BranchId(i as u32), name, head, forked_at, active });
+            branches.push(BranchMeta {
+                id: BranchId(i as u32),
+                name,
+                head,
+                forked_at,
+                active,
+            });
         }
-        Ok(VersionGraph { commits, branches, by_name })
+        Ok(VersionGraph {
+            commits,
+            branches,
+            by_name,
+        })
     }
 
     /// Persists the graph to `path` (atomic: write temp file then rename).

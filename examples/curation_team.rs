@@ -32,7 +32,13 @@ fn main() -> decibel::Result<()> {
 
     // The canonical map: 400 points of interest across 4 regions.
     for key in 0..400u64 {
-        let fields = vec![key % 4, rng.range(0, 10), rng.range(0, 90), rng.range(0, 180), 0];
+        let fields = vec![
+            key % 4,
+            rng.range(0, 10),
+            rng.range(0, 90),
+            rng.range(0, 180),
+            0,
+        ];
         store.insert(BranchId::MASTER, Record::new(key, fields))?;
     }
     store.commit(BranchId::MASTER)?;
@@ -82,7 +88,11 @@ fn main() -> decibel::Result<()> {
     // Promote the dev branch into the canonical version. Field-level
     // three-way merge: disjoint edits auto-merge; the conflicting category
     // of key 2 resolves in the dev branch's favour (precedence).
-    let res = store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false })?;
+    let res = store.merge(
+        BranchId::MASTER,
+        dev,
+        MergePolicy::ThreeWay { prefer_left: false },
+    )?;
     println!(
         "dev merged into mainline: {} records changed, {} conflicts",
         res.records_changed,
@@ -99,10 +109,22 @@ fn main() -> decibel::Result<()> {
 
     // Validate the merged canonical state.
     let merged2 = store.get(VersionRef::Branch(BranchId::MASTER), 2)?.unwrap();
-    assert_eq!(merged2.field(C_CATEGORY), 9, "dev's category wins the conflict");
-    assert_eq!(merged2.field(C_VERIFIED), 1, "dev's verification flag survives");
+    assert_eq!(
+        merged2.field(C_CATEGORY),
+        9,
+        "dev's category wins the conflict"
+    );
+    assert_eq!(
+        merged2.field(C_VERIFIED),
+        1,
+        "dev's verification flag survives"
+    );
     let merged3 = store.get(VersionRef::Branch(BranchId::MASTER), 3)?.unwrap();
-    assert_eq!(merged3.field(C_REGION), 3, "mainline's disjoint edit survives");
+    assert_eq!(
+        merged3.field(C_REGION),
+        3,
+        "mainline's disjoint edit survives"
+    );
 
     let verified = store
         .scan(VersionRef::Branch(BranchId::MASTER))?

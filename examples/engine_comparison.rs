@@ -7,11 +7,11 @@
 //!
 //! Run with: `cargo run --release --example engine_comparison`
 
+use decibel::common::rng::DetRng;
 use decibel::core::types::EngineKind;
 use decibel_bench::experiments::build_loaded;
 use decibel_bench::queries::{all_heads, pick_branch, q1, q2, q4, Pick};
 use decibel_bench::{Strategy, WorkloadSpec};
-use decibel::common::rng::DetRng;
 
 fn main() -> decibel::Result<()> {
     let spec = WorkloadSpec::scaled(Strategy::Flat, 20, 0.5);
@@ -34,7 +34,12 @@ fn main() -> decibel::Result<()> {
         let child = pick_branch(&report, Pick::FlatChild, &mut rng)?;
 
         let t1 = q1(store.as_ref(), child.into(), true)?;
-        let t2 = q2(store.as_ref(), child.into(), decibel::common::ids::BranchId::MASTER.into(), true)?;
+        let t2 = q2(
+            store.as_ref(),
+            child.into(),
+            decibel::common::ids::BranchId::MASTER.into(),
+            true,
+        )?;
         let heads = all_heads(store.as_ref());
         let t4 = q4(store.as_ref(), &heads, true)?;
         rows_q1.push(t1.rows);
@@ -55,9 +60,18 @@ fn main() -> decibel::Result<()> {
     }
 
     // The whole point of a shared benchmark: identical answers everywhere.
-    assert!(rows_q1.windows(2).all(|w| w[0] == w[1]), "Q1 rows agree: {rows_q1:?}");
-    assert!(rows_q2.windows(2).all(|w| w[0] == w[1]), "Q2 rows agree: {rows_q2:?}");
-    assert!(rows_q4.windows(2).all(|w| w[0] == w[1]), "Q4 rows agree: {rows_q4:?}");
+    assert!(
+        rows_q1.windows(2).all(|w| w[0] == w[1]),
+        "Q1 rows agree: {rows_q1:?}"
+    );
+    assert!(
+        rows_q2.windows(2).all(|w| w[0] == w[1]),
+        "Q2 rows agree: {rows_q2:?}"
+    );
+    assert!(
+        rows_q4.windows(2).all(|w| w[0] == w[1]),
+        "Q4 rows agree: {rows_q4:?}"
+    );
     println!(
         "\nall engines returned identical results (Q1={}, Q2={}, Q4={} rows)",
         rows_q1[0], rows_q2[0], rows_q4[0]

@@ -22,7 +22,10 @@ fn main() -> decibel::Result<()> {
         Schema::new(4, ColumnType::U32),
         &StoreConfig::default(),
     )?;
-    println!("created a hybrid-engine database at {}", dir.path().display());
+    println!(
+        "created a hybrid-engine database at {}",
+        dir.path().display()
+    );
 
     // Load some records on master and commit — the commit makes them an
     // immutable, checkout-able version.
@@ -44,12 +47,19 @@ fn main() -> decibel::Result<()> {
 
     session.checkout_branch("master")?;
     let master_view = session.scan_collect()?;
-    println!("master still sees {} records (branch work is isolated)", master_view.len());
+    println!(
+        "master still sees {} records (branch work is isolated)",
+        master_view.len()
+    );
 
     // Diff the two branches (Query 2's positive diff).
     let out = db.query(&Query::PositiveDiff {
-        left: VersionRef::Branch(db.with_store(|s| s.graph().branch_by_name("cleaning").unwrap().id)),
-        right: VersionRef::Branch(db.with_store(|s| s.graph().branch_by_name("master").unwrap().id)),
+        left: VersionRef::Branch(
+            db.with_store(|s| s.graph().branch_by_name("cleaning").unwrap().id),
+        ),
+        right: VersionRef::Branch(
+            db.with_store(|s| s.graph().branch_by_name("master").unwrap().id),
+        ),
     })?;
     println!("records only in 'cleaning': {}", out.len());
 
@@ -58,7 +68,11 @@ fn main() -> decibel::Result<()> {
     let result = db.with_store_mut(|store| {
         let master = store.graph().branch_by_name("master").unwrap().id;
         let cleaning = store.graph().branch_by_name("cleaning").unwrap().id;
-        store.merge(master, cleaning, MergePolicy::ThreeWay { prefer_left: false })
+        store.merge(
+            master,
+            cleaning,
+            MergePolicy::ThreeWay { prefer_left: false },
+        )
     })?;
     println!(
         "merged 'cleaning' into master: commit {}, {} records changed, {} conflicts",
@@ -74,7 +88,11 @@ fn main() -> decibel::Result<()> {
     assert!(session.get(1_000)?.is_some());
 
     session.checkout_commit(v1)?;
-    assert_eq!(session.get(7)?.unwrap().field(0), 14, "history is immutable");
+    assert_eq!(
+        session.get(7)?.unwrap().field(0),
+        14,
+        "history is immutable"
+    );
     println!("historical version {v1} still shows the original values");
 
     // A declarative query over the merged head (Query 1 with a predicate).

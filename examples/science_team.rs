@@ -49,7 +49,10 @@ fn main() -> decibel::Result<()> {
         next_key += 1;
     }
     let snapshot = store.commit(BranchId::MASTER)?;
-    println!("mainline snapshot {snapshot}: {} records", store.live_count(snapshot.into())?);
+    println!(
+        "mainline snapshot {snapshot}: {} records",
+        store.live_count(snapshot.into())?
+    );
 
     // Analyst A: region normalization on a private branch. "analysts will
     // prefer to limit themselves to the subset of data available when

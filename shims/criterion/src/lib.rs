@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry is unreachable in this build environment, so this shim
+//! implements the subset of criterion's API the workspace's benches use:
+//! `benchmark_group` / `sample_size` / `bench_with_input` / `finish`,
+//! `Bencher::{iter, iter_batched}`, `BenchmarkId`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
+//! wall-clock loop reporting min/mean/max per benchmark — enough for
+//! regression eyeballing, with the exact same bench source compiling
+//! unchanged against the real crate when a registry is available.
+
+use std::fmt::Display;
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// iteration regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warmup to populate caches / lazy state.
+        hint_black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            hint_black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        hint_black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            hint_black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.id, &bencher.durations);
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, id, &bencher.durations);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let min = durations.iter().min().unwrap();
+    let max = durations.iter().max().unwrap();
+    let mean = durations.iter().sum::<Duration>() / durations.len() as u32;
+    println!(
+        "{group}/{id}: [{} {} {}] ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        durations.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut setups = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 0), &(), |b, _| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(setups, 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` over `std::thread::scope` (available
+//! since Rust 1.63), preserving crossbeam's calling convention: the scope
+//! returns `Result<R, Box<dyn Any>>` capturing panics, and spawned closures
+//! receive a scope argument (a placeholder here — nested spawns through it
+//! are not supported, and the workspace does not use them).
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as std_thread;
+
+    /// Placeholder passed to spawned closures in place of crossbeam's
+    /// nested-`Scope` argument.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NestedScope;
+
+    /// Wrapper over `std::thread::Scope` exposing crossbeam's `spawn`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; `join` returns `Err` on panic.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope allowing borrowing spawns; joins all spawned
+    /// threads before returning. Panics (from `f` or unjoined children) are
+    /// captured into the `Err` variant, as in crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_and_borrows() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn child_panic_is_captured() {
+            let r = super::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                h.join().is_err()
+            });
+            assert!(r.unwrap());
+        }
+    }
+}

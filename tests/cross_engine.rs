@@ -14,8 +14,11 @@ use decibel_bench::queries::all_heads;
 use decibel_bench::{Strategy, WorkloadSpec};
 
 fn sorted_rows(store: &dyn VersionedStore, v: VersionRef) -> Vec<Record> {
-    let mut rows: Vec<Record> =
-        store.scan(v).unwrap().collect::<decibel::Result<Vec<_>>>().unwrap();
+    let mut rows: Vec<Record> = store
+        .scan(v)
+        .unwrap()
+        .collect::<decibel::Result<Vec<_>>>()
+        .unwrap();
     rows.sort_by_key(|r| r.key());
     rows
 }
@@ -47,7 +50,11 @@ fn assert_engines_agree(strategy: Strategy, branches: usize) {
                 "{kind:?} row count on {} ({strategy})",
                 info.name
             );
-            assert_eq!(got, expect, "{kind:?} content on {} ({strategy})", info.name);
+            assert_eq!(
+                got, expect,
+                "{kind:?} content on {} ({strategy})",
+                info.name
+            );
         }
     }
     // Multi-branch scans agree on (key, branch-count) multiset.
@@ -104,8 +111,7 @@ fn diffs_agree_across_engines() {
         let (store, report) = build_loaded(kind, &spec, dir.path()).unwrap();
         loaded.push((kind, dir, store, report));
     }
-    let branches: Vec<BranchId> =
-        loaded[0].3.branches.iter().map(|b| b.id).collect();
+    let branches: Vec<BranchId> = loaded[0].3.branches.iter().map(|b| b.id).collect();
     // Diff every branch against master on every engine; compare key sets.
     for &b in &branches[1..] {
         let canonical = |store: &dyn VersionedStore| {
@@ -160,13 +166,11 @@ fn identical_merge_outcomes() {
         let mut outcomes = Vec::new();
         for kind in EngineKind::all() {
             let dir = tempfile::tempdir().unwrap();
-            let schema = decibel::common::schema::Schema::new(
-                4,
-                decibel::common::schema::ColumnType::U32,
-            );
+            let schema =
+                decibel::common::schema::Schema::new(4, decibel::common::schema::ColumnType::U32);
             let spec = spec(Strategy::Flat, 2);
-            let mut store = decibel_bench::experiments::build_store(kind, &spec, dir.path())
-                .unwrap();
+            let mut store =
+                decibel_bench::experiments::build_store(kind, &spec, dir.path()).unwrap();
             let _ = schema;
             let rec = |k: u64, t: u64| Record::new(k, vec![t, t, t, t, t, t]);
             for k in 0..10 {
@@ -201,7 +205,10 @@ fn identical_merge_outcomes() {
         }
         let (_, expect_conflicts, expect_rows) = &outcomes[0];
         for (kind, conflicts, rows) in &outcomes[1..] {
-            assert_eq!(conflicts, expect_conflicts, "{kind:?} conflict count under {policy:?}");
+            assert_eq!(
+                conflicts, expect_conflicts,
+                "{kind:?} conflict count under {policy:?}"
+            );
             assert_eq!(rows, expect_rows, "{kind:?} merged state under {policy:?}");
         }
     }

@@ -40,7 +40,12 @@ fn rows(store: &dyn VersionedStore, b: BranchId) -> Vec<(u64, u64)> {
 fn assert_all_agree(stores: &[(tempfile::TempDir, Box<dyn VersionedStore>)], b: BranchId) {
     let expect = rows(stores[0].1.as_ref(), b);
     for (_, s) in &stores[1..] {
-        assert_eq!(rows(s.as_ref(), b), expect, "{:?} disagrees on {b}", s.kind());
+        assert_eq!(
+            rows(s.as_ref(), b),
+            expect,
+            "{:?} disagrees on {b}",
+            s.kind()
+        );
     }
 }
 
@@ -54,14 +59,30 @@ fn diamond_double_merge() {
         for k in 0..6 {
             store.insert(BranchId::MASTER, rec(k, 0)).unwrap();
         }
-        let left = store.create_branch("left", BranchId::MASTER.into()).unwrap();
-        let right = store.create_branch("right", BranchId::MASTER.into()).unwrap();
+        let left = store
+            .create_branch("left", BranchId::MASTER.into())
+            .unwrap();
+        let right = store
+            .create_branch("right", BranchId::MASTER.into())
+            .unwrap();
         store.update(left, rec(0, 100)).unwrap();
         store.insert(left, rec(10, 1)).unwrap();
         store.update(right, rec(1, 200)).unwrap();
         store.insert(right, rec(11, 2)).unwrap();
-        store.merge(BranchId::MASTER, left, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
-        store.merge(BranchId::MASTER, right, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        store
+            .merge(
+                BranchId::MASTER,
+                left,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
+            .unwrap();
+        store
+            .merge(
+                BranchId::MASTER,
+                right,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
+            .unwrap();
         // Master absorbed both sides.
         let m = rows(store.as_ref(), BranchId::MASTER);
         assert!(m.contains(&(0, 100)), "{:?}: left's update", store.kind());
@@ -83,8 +104,16 @@ fn branch_off_a_merge() {
         let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
         store.update(dev, rec(1, 7)).unwrap();
         store.insert(dev, rec(2, 0)).unwrap();
-        store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
-        let child = store.create_branch("post-merge", BranchId::MASTER.into()).unwrap();
+        store
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
+            .unwrap();
+        let child = store
+            .create_branch("post-merge", BranchId::MASTER.into())
+            .unwrap();
         child_id = Some(child);
         assert_eq!(
             rows(store.as_ref(), child),
@@ -109,13 +138,23 @@ fn repeated_merges_between_same_pair() {
         let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
         // Round 1: dev edits key 1; merge.
         store.update(dev, rec(1, 10)).unwrap();
-        let r1 =
-            store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        let r1 = store
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
+            .unwrap();
         assert!(r1.conflicts.is_empty(), "{:?}", store.kind());
         // Round 2: dev edits again; the round-1 change must not conflict.
         store.update(dev, rec(1, 20)).unwrap();
-        let r2 =
-            store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        let r2 = store
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
+            .unwrap();
         assert!(
             r2.conflicts.is_empty(),
             "{:?}: round-2 merge found stale conflicts {:?}",
@@ -141,8 +180,20 @@ fn bidirectional_merge_converges() {
         dev_id = Some(dev);
         store.update(BranchId::MASTER, rec(0, 1)).unwrap();
         store.update(dev, rec(1, 2)).unwrap();
-        store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
-        store.merge(dev, BranchId::MASTER, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
+        store
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
+            .unwrap();
+        store
+            .merge(
+                dev,
+                BranchId::MASTER,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
+            .unwrap();
         assert_eq!(
             rows(store.as_ref(), BranchId::MASTER),
             rows(store.as_ref(), dev),
@@ -165,10 +216,26 @@ fn nested_merge_chain() {
         let feat = store.create_branch("feat", dev.into()).unwrap();
         store.insert(feat, rec(3, 0)).unwrap();
         store.update(feat, rec(2, 5)).unwrap();
-        store.merge(dev, feat, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
-        assert_eq!(rows(store.as_ref(), dev), vec![(1, 0), (2, 5), (3, 0)], "{:?}", store.kind());
-        store.merge(BranchId::MASTER, dev, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
-        assert_eq!(rows(store.as_ref(), BranchId::MASTER), vec![(1, 0), (2, 5), (3, 0)]);
+        store
+            .merge(dev, feat, MergePolicy::ThreeWay { prefer_left: false })
+            .unwrap();
+        assert_eq!(
+            rows(store.as_ref(), dev),
+            vec![(1, 0), (2, 5), (3, 0)],
+            "{:?}",
+            store.kind()
+        );
+        store
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
+            .unwrap();
+        assert_eq!(
+            rows(store.as_ref(), BranchId::MASTER),
+            vec![(1, 0), (2, 5), (3, 0)]
+        );
     }
     assert_all_agree(&stores, BranchId::MASTER);
 }

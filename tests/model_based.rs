@@ -80,8 +80,7 @@ fn run_history(kind: EngineKind, ops: &[Op]) {
                 }
             }
             Op::Update { key_choice, tag } => {
-                let keys: Vec<u64> =
-                    model.branches[current.index()].keys().copied().collect();
+                let keys: Vec<u64> = model.branches[current.index()].keys().copied().collect();
                 if keys.is_empty() {
                     continue;
                 }
@@ -90,8 +89,7 @@ fn run_history(kind: EngineKind, ops: &[Op]) {
                 model.branches[current.index()].insert(key, rec(key, *tag));
             }
             Op::Delete { key_choice } => {
-                let keys: Vec<u64> =
-                    model.branches[current.index()].keys().copied().collect();
+                let keys: Vec<u64> = model.branches[current.index()].keys().copied().collect();
                 if keys.is_empty() {
                     continue;
                 }
@@ -127,15 +125,21 @@ fn run_history(kind: EngineKind, ops: &[Op]) {
             .collect::<decibel::Result<Vec<_>>>()
             .unwrap();
         got.sort_by_key(|r| r.key());
-        let expect: Vec<Record> =
-            model.branches[current.index()].values().cloned().collect();
-        assert_eq!(got, expect, "{kind:?} scan of branch {current} after {op:?}");
+        let expect: Vec<Record> = model.branches[current.index()].values().cloned().collect();
+        assert_eq!(
+            got, expect,
+            "{kind:?} scan of branch {current} after {op:?}"
+        );
     }
 
     // Final invariant: every commit's live count matches its snapshot.
     for (i, snapshot) in model.commits.iter().enumerate() {
         let count = store.checkout_version(CommitId(i as u64)).unwrap();
-        assert_eq!(count, snapshot.len() as u64, "{kind:?} checkout of commit {i}");
+        assert_eq!(
+            count,
+            snapshot.len() as u64,
+            "{kind:?} checkout of commit {i}"
+        );
     }
     // And every branch agrees, not just the current one.
     for b in 0..branch_count {

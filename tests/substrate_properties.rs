@@ -3,11 +3,11 @@
 //! baseline, and the version graph's LCA.
 
 use decibel::bitmap::{rle, Bitmap, CommitStore};
+use decibel::common::ids::{BranchId, CommitId, RecordIdx};
 use decibel::common::record::Record;
 use decibel::common::schema::{ColumnType, Schema};
 use decibel::pagestore::{BufferPool, HeapFile};
 use decibel::vgraph::VersionGraph;
-use decibel::common::ids::{BranchId, CommitId, RecordIdx};
 use proptest::prelude::*;
 use std::sync::Arc;
 

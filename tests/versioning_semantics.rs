@@ -35,15 +35,28 @@ fn figure_1a_workflow() {
         store.update(BranchId::MASTER, rec(1, 11)).unwrap();
         let b = store.commit(BranchId::MASTER).unwrap();
         // Branch 1 from Version A; Version C adds a record.
-        let branch1 = store.create_branch("branch1", VersionRef::Commit(a)).unwrap();
+        let branch1 = store
+            .create_branch("branch1", VersionRef::Commit(a))
+            .unwrap();
         store.insert(branch1, rec(2, 20)).unwrap();
         let c = store.commit(branch1).unwrap();
 
         // Branch 1 sees A's state + its own insert, not B's update.
-        assert_eq!(store.get(branch1.into(), 1).unwrap().unwrap().field(0), 10, "{kind:?}");
+        assert_eq!(
+            store.get(branch1.into(), 1).unwrap().unwrap().field(0),
+            10,
+            "{kind:?}"
+        );
         assert_eq!(store.live_count(branch1.into()).unwrap(), 2);
         // Master sees B's update, not C's insert.
-        assert_eq!(store.get(BranchId::MASTER.into(), 1).unwrap().unwrap().field(0), 11);
+        assert_eq!(
+            store
+                .get(BranchId::MASTER.into(), 1)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            11
+        );
         assert_eq!(store.live_count(BranchId::MASTER.into()).unwrap(), 1);
         // All three versions remain checkout-able.
         assert_eq!(store.checkout_version(a).unwrap(), 1);
@@ -62,11 +75,17 @@ fn figure_1b_merge_workflow() {
         let (_d, mut store) = fresh(kind);
         store.insert(BranchId::MASTER, rec(1, 0)).unwrap();
         let a = store.commit(BranchId::MASTER).unwrap();
-        let branch2 = store.create_branch("branch2", VersionRef::Commit(a)).unwrap();
+        let branch2 = store
+            .create_branch("branch2", VersionRef::Commit(a))
+            .unwrap();
         store.insert(BranchId::MASTER, rec(2, 0)).unwrap(); // toward D
         store.insert(branch2, rec(3, 0)).unwrap(); // toward E
         let res = store
-            .merge(BranchId::MASTER, branch2, MergePolicy::ThreeWay { prefer_left: true })
+            .merge(
+                BranchId::MASTER,
+                branch2,
+                MergePolicy::ThreeWay { prefer_left: true },
+            )
             .unwrap();
         // F = merge commit, head of master, two parents.
         assert!(store.graph().is_head(res.commit), "{kind:?}");
@@ -95,11 +114,24 @@ fn committed_versions_are_immutable() {
         store.delete(BranchId::MASTER, 1).unwrap();
         let dev = store.create_branch("dev", BranchId::MASTER.into()).unwrap();
         store.insert(dev, rec(99, 0)).unwrap();
-        store.merge(BranchId::MASTER, dev, MergePolicy::TwoWay { prefer_left: false }).unwrap();
+        store
+            .merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::TwoWay { prefer_left: false },
+            )
+            .unwrap();
 
         // The old version still reads exactly as committed.
         assert_eq!(store.checkout_version(v).unwrap(), 1, "{kind:?}");
-        assert_eq!(store.get(VersionRef::Commit(v), 1).unwrap().unwrap().field(0), 100);
+        assert_eq!(
+            store
+                .get(VersionRef::Commit(v), 1)
+                .unwrap()
+                .unwrap()
+                .field(0),
+            100
+        );
     }
 }
 
@@ -108,13 +140,21 @@ fn committed_versions_are_immutable() {
 fn unknown_targets_error() {
     for kind in EngineKind::all() {
         let (_d, mut store) = fresh(kind);
-        assert!(store.scan(VersionRef::Branch(BranchId(9))).is_err(), "{kind:?}");
+        assert!(
+            store.scan(VersionRef::Branch(BranchId(9))).is_err(),
+            "{kind:?}"
+        );
         assert!(store.scan(VersionRef::Commit(CommitId(9))).is_err());
         assert!(store.commit(BranchId(9)).is_err());
         assert!(store.checkout_version(CommitId(9)).is_err());
-        assert!(store.create_branch("x", VersionRef::Commit(CommitId(9))).is_err());
+        assert!(store
+            .create_branch("x", VersionRef::Commit(CommitId(9)))
+            .is_err());
         store.create_branch("x", BranchId::MASTER.into()).unwrap();
-        assert!(store.create_branch("x", BranchId::MASTER.into()).is_err(), "dup name");
+        assert!(
+            store.create_branch("x", BranchId::MASTER.into()).is_err(),
+            "dup name"
+        );
     }
 }
 
@@ -167,7 +207,9 @@ fn query_layer_matches_store_api() {
         spec.cols = 4;
         let (store, _report) =
             decibel_bench::experiments::build_loaded(kind, &spec, dir.path()).unwrap();
-        let raw = store.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap();
+        let raw = store
+            .live_count(VersionRef::Branch(BranchId::MASTER))
+            .unwrap();
         let via_query = execute(
             store.as_ref(),
             &Query::ScanVersion {
