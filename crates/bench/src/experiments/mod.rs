@@ -7,6 +7,7 @@ pub mod load;
 pub mod merges;
 pub mod queries;
 pub mod scaling;
+pub mod smoke;
 pub mod tablewise;
 
 use std::path::Path;

@@ -1,0 +1,162 @@
+//! The seconds-scale smoke benchmark: a multi-branch scan microbenchmark
+//! whose JSON output is the repo's recorded scan baseline (`BENCH_scan.json`).
+//!
+//! The workload targets the regime the paper's bitmaps exist for ("bitmaps
+//! are space-efficient and can be quickly intersected for multi-branch
+//! operations", §3.1): a base relation loaded on master, inherited by
+//! every one of 32 forked branches (so every base row is live in all 33
+//! branches and multi-branch scans annotate against 33 columns), plus
+//! per-branch local updates and inserts so child segments and cross-
+//! segment liveness are exercised too.
+//!
+//! Unlike the paper experiments (which flush caches to measure I/O, §5),
+//! the multi-branch rows run *warm*: they measure the CPU scan pipeline —
+//! bitmap liveness resolution, page-pinned record decode, per-branch
+//! membership annotation — which is what the word-level scan work
+//! optimizes. A cold single-branch row is kept as an I/O sanity signal.
+
+use std::time::Instant;
+
+use decibel_common::ids::BranchId;
+use decibel_common::record::Record;
+use decibel_common::schema::{ColumnType, Schema};
+use decibel_common::Result;
+use decibel_core::engine::HybridEngine;
+use decibel_core::store::VersionedStore;
+use decibel_core::types::VersionRef;
+use decibel_pagestore::StoreConfig;
+
+use crate::experiments::Ctx;
+use crate::queries::q1;
+use crate::report::Table;
+
+/// Branches forked from master (each inheriting the full base relation).
+const BRANCHES: u64 = 32;
+/// Data columns per record (narrow records keep the scan loop, not record
+/// materialization, dominant).
+const COLS: usize = 12;
+
+/// One measured smoke row: name, emitted rows, best-of-repeats wall time.
+struct Row {
+    name: &'static str,
+    rows: u64,
+    best_ms: f64,
+}
+
+impl Row {
+    fn throughput(&self) -> f64 {
+        self.rows as f64 / (self.best_ms / 1e3)
+    }
+}
+
+fn rec(key: u64, tag: u64) -> Record {
+    Record::new(key, (0..COLS as u64).map(|c| key ^ (tag + c)).collect())
+}
+
+/// Builds the benchmark store: `~150k * scale` base rows on master, then
+/// 32 forks each applying local updates (2% of the base) and inserts.
+fn build_store(scale: f64) -> Result<(tempfile::TempDir, HybridEngine, Vec<BranchId>)> {
+    let dir = tempfile::tempdir().map_err(|e| decibel_common::DbError::io("smoke tempdir", e))?;
+    let base_rows = ((150_000.0 * scale) as u64).max(2_000);
+    let schema = Schema::new(COLS, ColumnType::U32);
+    let mut store =
+        HybridEngine::init(dir.path().join("hy"), schema, &StoreConfig::bench_default())?;
+    for k in 0..base_rows {
+        store.insert(BranchId::MASTER, rec(k, 1))?;
+    }
+    let mut heads = vec![BranchId::MASTER];
+    let local_edits = (base_rows / 50).max(10);
+    for b in 0..BRANCHES {
+        let child = store.create_branch(&format!("b{b}"), VersionRef::Branch(BranchId::MASTER))?;
+        for i in 0..local_edits {
+            // Update an inherited row (clears the base bit in the shared
+            // segment, appends to the child head) and insert a private one.
+            let victim = (b + i * BRANCHES) % base_rows;
+            store.update(child, rec(victim, 100 + b))?;
+            store.insert(child, rec(base_rows + b * local_edits + i, b))?;
+        }
+        heads.push(child);
+    }
+    Ok((dir, store, heads))
+}
+
+/// Times `f` `repeats` times and returns the best wall time in ms with the
+/// (identical across runs) row count.
+fn best_of(repeats: usize, mut f: impl FnMut() -> Result<u64>) -> Result<(u64, f64)> {
+    let mut rows = 0;
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        rows = f()?;
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    Ok((rows, best))
+}
+
+/// Runs the smoke microbenchmark and renders the scan-throughput rows.
+/// The reported `rows` of the multi-branch rows count *annotations* (one
+/// per record per branch it is live in) — the output volume a Q4-style
+/// consumer actually processes.
+pub fn smoke(ctx: &Ctx) -> Result<Table> {
+    let (_dir, store, heads) = build_store(ctx.scale)?;
+    let repeats = ctx.repeats.max(3);
+    let mut rows = Vec::new();
+
+    // Single-branch scan, cold: I/O-path sanity row.
+    let (n, ms) = best_of(repeats, || {
+        Ok(q1(&store, BranchId::MASTER.into(), true)?.rows)
+    })?;
+    rows.push(Row {
+        name: "q1_master_cold",
+        rows: n,
+        best_ms: ms,
+    });
+
+    // Sequential multi-branch scan over every head, warm.
+    store.drop_caches();
+    let (n, ms) = best_of(repeats, || {
+        let mut annotations = 0u64;
+        for item in store.multi_scan(&heads)? {
+            let (_rec, live) = item?;
+            annotations += live.len() as u64;
+        }
+        Ok(annotations)
+    })?;
+    rows.push(Row {
+        name: "multi_scan_warm",
+        rows: n,
+        best_ms: ms,
+    });
+
+    // Parallel multi-branch scan (the tentpole row): per-segment tasks.
+    let (n, ms) = best_of(repeats, || {
+        Ok(store
+            .par_multi_scan(&heads, 4)?
+            .iter()
+            .map(|(_, live)| live.len() as u64)
+            .sum())
+    })?;
+    rows.push(Row {
+        name: "par_multi_scan_warm",
+        rows: n,
+        best_ms: ms,
+    });
+
+    let mut table = Table::new(
+        format!(
+            "Smoke: multi-branch scan microbenchmark ({} branches, {} live base rows)",
+            heads.len(),
+            store.live_count(BranchId::MASTER.into())?,
+        ),
+        &["bench", "rows", "best_ms", "rows_per_sec"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.name.to_string(),
+            r.rows.to_string(),
+            format!("{:.2}", r.best_ms),
+            format!("{:.0}", r.throughput()),
+        ]);
+    }
+    Ok(table)
+}

@@ -2,20 +2,25 @@
 //! paper's evaluation (§5) plus the DESIGN.md ablations.
 //!
 //! ```text
-//! decibel-bench <experiment|all> [--scale F] [--repeats N] [--warm]
+//! decibel-bench <experiment|all> [--scale F] [--repeats N] [--warm] [--json DIR]
 //! ```
 //!
-//! Experiments: fig6a fig6b fig7 fig8 fig9 fig10 fig11 table2 table3
-//! table4 table5 table6 table7 ablate-bitmap ablate-commit-layers
+//! Experiments: smoke fig6a fig6b fig7 fig8 fig9 fig10 fig11 table2
+//! table3 table4 table5 table6 table7 ablate-bitmap ablate-commit-layers
 //! ablate-clustered. Scale 1.0 keeps each experiment in the seconds-to-
 //! minutes range; the paper's shapes (who wins, by what factor) are the
 //! reproduction target, not absolute numbers (see EXPERIMENTS.md).
+//!
+//! `smoke` is the seconds-scale multi-branch scan microbenchmark CI runs
+//! on every PR; `--json DIR` writes each experiment's table as
+//! `DIR/<name>.json` (the format `BENCH_scan.json` records).
 
 use decibel_bench::experiments::{self, Ctx};
 use decibel_bench::report::Table;
 use decibel_common::Result;
 
 const EXPERIMENTS: &[&str] = &[
+    "smoke",
     "fig6a",
     "fig6b",
     "fig7",
@@ -36,6 +41,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn run_one(name: &str, ctx: &Ctx) -> Result<Table> {
     match name {
+        "smoke" => experiments::smoke::smoke(ctx),
         "fig6a" => experiments::scaling::fig6a(ctx),
         "fig6b" => experiments::scaling::fig6b(ctx),
         "fig7" => experiments::queries::fig7(ctx),
@@ -62,15 +68,25 @@ fn run_one(name: &str, ctx: &Ctx) -> Result<Table> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: decibel-bench <experiment|all> [--scale F] [--repeats N] [--warm]");
+        eprintln!(
+            "usage: decibel-bench <experiment|all> [--scale F] [--repeats N] [--warm] [--json DIR]"
+        );
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
     let mut ctx = Ctx::default();
     let mut names: Vec<String> = Vec::new();
+    let mut json_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| {
+                    eprintln!("--json needs a directory");
+                    std::process::exit(2);
+                }));
+            }
             "--scale" => {
                 i += 1;
                 ctx.scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -98,6 +114,14 @@ fn main() {
         match run_one(name, &ctx) {
             Ok(table) => {
                 table.print();
+                if let Some(dir) = &json_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| {
+                        std::fs::write(dir.join(format!("{name}.json")), table.to_json())
+                    }) {
+                        eprintln!("writing {name}.json failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
                 eprintln!(
                     "[{name} completed in {:.1}s]\n",
                     start.elapsed().as_secs_f64()

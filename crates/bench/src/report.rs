@@ -59,6 +59,105 @@ impl Table {
         print!("{}", self.render());
         println!();
     }
+
+    /// Renders the table as machine-readable JSON: an object with the
+    /// title and an array of row objects keyed by header. Cells that parse
+    /// as numbers are emitted as JSON numbers so downstream tooling (the
+    /// `smoke` subcommand's baseline files, CI trend scripts) can consume
+    /// them without re-parsing strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"title\": ");
+        out.push_str(&json_string(&self.title));
+        out.push_str(",\n  \"rows\": [");
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            for (i, (h, cell)) in self.headers.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(h));
+                out.push_str(": ");
+                out.push_str(&json_cell(cell));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Quotes and escapes a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A cell becomes a JSON number only when it already *is* one in JSON's
+/// grammar (Rust's float parser is laxer — it accepts `+1.5`, `.5`, `1.`,
+/// `007` — and emitting those unquoted would corrupt the output).
+fn json_cell(cell: &str) -> String {
+    if is_json_number(cell) {
+        cell.to_string()
+    } else {
+        json_string(cell)
+    }
+}
+
+/// RFC 8259 `number` grammar: `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.
+fn is_json_number(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    if b.first() == Some(&b'-') {
+        i += 1;
+    }
+    let int_start = i;
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+    }
+    let int_len = i - int_start;
+    if int_len == 0 || (int_len > 1 && b[int_start] == b'0') {
+        return false;
+    }
+    if i < b.len() && b[i] == b'.' {
+        i += 1;
+        let frac_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == frac_start {
+            return false;
+        }
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        i += 1;
+        if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+            i += 1;
+        }
+        let exp_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == exp_start {
+            return false;
+        }
+    }
+    i == b.len()
 }
 
 /// Formats a millisecond value compactly.
@@ -98,6 +197,32 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn json_rows_type_cells() {
+        let mut t = Table::new("J \"quoted\"", &["name", "ms"]);
+        t.row(vec!["q1".into(), "12.5".into()]);
+        t.row(vec!["q2".into(), "n/a".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"title\": \"J \\\"quoted\\\"\""));
+        assert!(j.contains("{\"name\": \"q1\", \"ms\": 12.5}"));
+        assert!(j.contains("{\"name\": \"q2\", \"ms\": \"n/a\"}"));
+    }
+
+    #[test]
+    fn json_numbers_follow_json_grammar_not_rusts() {
+        for ok in ["0", "-1", "12.5", "1e9", "1.25E-3", "0.5"] {
+            assert_eq!(super::json_cell(ok), ok, "{ok} is a JSON number");
+        }
+        // Parseable by Rust's f64::from_str, but not JSON numbers — must
+        // be quoted or the emitted document is invalid.
+        for bad in ["+1.5", ".5", "1.", "007", "inf", "NaN", "1e", "--1", ""] {
+            assert!(
+                super::json_cell(bad).starts_with('"'),
+                "{bad:?} must be quoted"
+            );
+        }
     }
 
     #[test]

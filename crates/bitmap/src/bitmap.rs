@@ -68,9 +68,14 @@ impl Bitmap {
         }
     }
 
-    /// Sets bit `i` to `v`, growing the bitmap if needed.
+    /// Sets bit `i` to `v`, growing the bitmap if needed. Clearing a bit at
+    /// or past the end is a no-op (bits there already read as false), so it
+    /// never grows or reallocates.
     #[inline]
     pub fn set(&mut self, i: u64, v: bool) {
+        if !v && i >= self.len {
+            return;
+        }
         self.grow(i + 1);
         let word = (i / 64) as usize;
         let mask = 1u64 << (i % 64);
@@ -171,16 +176,102 @@ impl Bitmap {
         }
     }
 
+    /// In-place OR: `self |= other`. Equivalent to [`Bitmap::or`] without
+    /// allocating a result vector — the primitive multi-branch scan
+    /// planning uses to build union liveness bitmaps.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        self.grow(other.len);
+        for (i, &w) in other.words.iter().enumerate() {
+            if w != 0 {
+                self.words[i] |= w;
+            }
+        }
+    }
+
+    /// In-place AND: `self &= other`. Matches [`Bitmap::and`] (the result
+    /// length is the max of the two, with every bit past the shorter
+    /// operand cleared).
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        self.grow(other.len);
+        let n = self.len.div_ceil(64) as usize;
+        for i in 0..n {
+            let w = other.words.get(i).copied().unwrap_or(0);
+            self.words[i] &= w;
+        }
+    }
+
+    /// In-place AND-NOT: `self &= !other`. Matches [`Bitmap::and_not`].
+    pub fn and_not_assign(&mut self, other: &Bitmap) {
+        self.grow(other.len);
+        let n = (self.len.div_ceil(64) as usize).min(other.words.len());
+        for i in 0..n {
+            let w = other.words[i];
+            if w != 0 {
+                self.words[i] &= !w;
+            }
+        }
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing `self`'s word
+    /// allocation — the scratch-buffer primitive for loops that derive one
+    /// bitmap per iteration (`scratch.copy_from(a); scratch.and_not_assign(b)`
+    /// computes `a \ b` with zero steady-state allocation).
+    pub fn copy_from(&mut self, src: &Bitmap) {
+        self.words.clear();
+        self.words.extend_from_slice(&src.words);
+        self.len = src.len;
+    }
+
+    /// Clears every bit, keeping length and allocation.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Access to the backing words (for codecs). Trailing words may be zero.
     pub fn words(&self) -> &[u64] {
         &self.words
     }
 
-    /// Rebuilds from raw words and a logical length.
+    /// Number of words covering the logical length.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.len.div_ceil(64) as usize
+    }
+
+    /// Word `wi` of the backing storage (64 liveness bits starting at bit
+    /// `wi * 64`). Words past the end read as zero, so word-batched loops
+    /// need no per-column bounds handling. Bits at or past `len` are zero
+    /// by invariant.
+    #[inline]
+    pub fn word(&self, wi: usize) -> u64 {
+        self.words.get(wi).copied().unwrap_or(0)
+    }
+
+    /// Iterates the nonzero word chunks as `(base_bit, word)` pairs —
+    /// callers consume 64 liveness bits per step instead of probing
+    /// `get(i)` per row, and all-dead chunks are skipped outright.
+    pub fn iter_words(&self) -> WordChunks<'_> {
+        WordChunks {
+            words: &self.words[..self.num_words().min(self.words.len())],
+            next: 0,
+        }
+    }
+
+    /// Rebuilds from raw words and a logical length. Bits at or past `len`
+    /// are cleared to maintain the invariant word-batched readers rely on.
     pub fn from_words(words: Vec<u64>, len: u64) -> Bitmap {
         let mut b = Bitmap { words, len };
         let need = len.div_ceil(64) as usize;
         b.words.resize(need.max(b.words.len()), 0);
+        for w in &mut b.words[need..] {
+            *w = 0;
+        }
+        let tail_bits = len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = b.words.get_mut(need - 1) {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
         b
     }
 
@@ -188,6 +279,29 @@ impl Bitmap {
     /// accounting).
     pub fn byte_size(&self) -> usize {
         self.words.len() * 8
+    }
+}
+
+/// Iterator over nonzero 64-bit word chunks: yields `(base_bit, word)`.
+pub struct WordChunks<'a> {
+    words: &'a [u64],
+    next: usize,
+}
+
+impl Iterator for WordChunks<'_> {
+    type Item = (u64, u64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u64, u64)> {
+        while self.next < self.words.len() {
+            let wi = self.next;
+            self.next += 1;
+            let w = self.words[wi];
+            if w != 0 {
+                return Some((wi as u64 * 64, w));
+            }
+        }
+        None
     }
 }
 
@@ -337,5 +451,97 @@ mod tests {
         b.grow(10);
         b.grow(5);
         assert_eq!(b.len(), 10);
+    }
+
+    #[test]
+    fn clearing_past_end_is_a_noop() {
+        let mut b = Bitmap::zeros(10);
+        b.set(1000, false);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.words().len(), 1);
+        let mut empty = Bitmap::new();
+        empty.set(0, false);
+        assert!(empty.is_empty());
+        assert_eq!(empty.words().len(), 0);
+    }
+
+    fn ragged_pair() -> (Bitmap, Bitmap) {
+        let mut a = Bitmap::new();
+        let mut b = Bitmap::new();
+        for i in [0u64, 5, 63, 64, 130, 300] {
+            a.set(i, true);
+        }
+        for i in [5u64, 64, 65, 500] {
+            b.set(i, true);
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating() {
+        for swap in [false, true] {
+            let (mut a, mut b) = ragged_pair();
+            if swap {
+                std::mem::swap(&mut a, &mut b);
+            }
+            let mut v = a.clone();
+            v.or_assign(&b);
+            assert_eq!(v, a.or(&b));
+            let mut v = a.clone();
+            v.and_assign(&b);
+            assert_eq!(v, a.and(&b));
+            let mut v = a.clone();
+            v.and_not_assign(&b);
+            assert_eq!(v, a.and_not(&b));
+        }
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let (a, b) = ragged_pair();
+        let mut scratch = a.clone();
+        let cap = scratch.words().len();
+        scratch.copy_from(&b);
+        assert_eq!(scratch, b);
+        scratch.copy_from(&a);
+        scratch.and_not_assign(&b);
+        assert_eq!(scratch, a.and_not(&b));
+        assert!(scratch.words().len() >= cap.min(scratch.num_words()));
+        scratch.clear_all();
+        assert_eq!(scratch.count_ones(), 0);
+    }
+
+    #[test]
+    fn word_chunks_cover_all_ones() {
+        let (a, _) = ragged_pair();
+        let mut from_words = Vec::new();
+        for (base, mut w) in a.iter_words() {
+            while w != 0 {
+                from_words.push(base + w.trailing_zeros() as u64);
+                w &= w - 1;
+            }
+        }
+        assert_eq!(from_words, a.iter_ones().collect::<Vec<_>>());
+        // Zero chunks are skipped: only words 0, 1, 2, 4 hold bits.
+        assert_eq!(a.iter_words().count(), 4);
+        assert_eq!(Bitmap::zeros(640).iter_words().count(), 0);
+    }
+
+    #[test]
+    fn word_accessor_is_total() {
+        let mut b = Bitmap::new();
+        b.set(70, true);
+        assert_eq!(b.word(1), 1u64 << 6);
+        assert_eq!(b.word(0), 0);
+        assert_eq!(b.word(99), 0);
+        assert_eq!(b.num_words(), 2);
+    }
+
+    #[test]
+    fn from_words_masks_stray_tail_bits() {
+        let b = Bitmap::from_words(vec![u64::MAX], 10);
+        assert_eq!(b.count_ones(), 10);
+        assert_eq!(b.iter_ones().max(), Some(9));
+        assert_eq!(b.iter_words().map(|(_, w)| w).next(), Some(0x3ff));
     }
 }

@@ -126,21 +126,24 @@ impl Record {
                 .unwrap(),
         );
         let mut fields = Vec::with_capacity(schema.num_columns());
-        let mut off = RECORD_HEADER_BYTES + KEY_BYTES;
+        let body = &buf[RECORD_HEADER_BYTES + KEY_BYTES..];
+        // `chunks_exact` lets the compiler hoist the bounds checks out of
+        // the per-field loop — this decode is the inner loop of every scan.
         match schema.column_type() {
             ColumnType::U32 => {
-                for _ in 0..schema.num_columns() {
-                    fields.push(u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as u64);
-                    off += 4;
-                }
+                fields.extend(
+                    body.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()) as u64),
+                );
             }
             ColumnType::U64 => {
-                for _ in 0..schema.num_columns() {
-                    fields.push(u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()));
-                    off += 8;
-                }
+                fields.extend(
+                    body.chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+                );
             }
         }
+        debug_assert_eq!(fields.len(), schema.num_columns());
         Ok(Record {
             key,
             fields,

@@ -15,7 +15,7 @@
 //! [`HybridEngine::par_multi_scan`].
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use decibel_bitmap::{Bitmap, BranchBitmapIndex, CommitStore, VersionIndex};
 use decibel_common::error::{DbError, Result};
@@ -26,8 +26,9 @@ use decibel_common::schema::Schema;
 use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
 use decibel_vgraph::VersionGraph;
 
-use crate::engine::scan::BitmapScan;
+use crate::engine::scan::{scan_annotated_slice, AnnotatedScan, BitmapScan};
 use crate::merge::{plan_merge, ChangeSet, MergeAction};
+use crate::pool::ScanPool;
 use crate::store::VersionedStore;
 use crate::types::{
     AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,
@@ -65,6 +66,10 @@ pub struct HybridEngine {
     branch_commits: Vec<u64>,
     /// Global commit id → (branch, branch-commit ordinal).
     commit_map: FxHashMap<CommitId, (BranchId, u64)>,
+    /// Persistent work-stealing pool for parallel segment scans, sized to
+    /// the machine once per engine on first parallel scan (no threads are
+    /// spawned per call).
+    scan_pool: OnceLock<ScanPool>,
 }
 
 impl HybridEngine {
@@ -84,6 +89,7 @@ impl HybridEngine {
             graph: VersionGraph::init(),
             branch_commits: vec![0],
             commit_map: FxHashMap::default(),
+            scan_pool: OnceLock::new(),
         };
         engine.branch_seg.add_branch(BranchId::MASTER, None);
         let seg = engine.new_segment()?;
@@ -262,57 +268,88 @@ impl HybridEngine {
         Ok((changes, bytes))
     }
 
-    /// Parallel multi-branch scan: segments are scanned concurrently with
-    /// crossbeam scoped threads — the parallelism the branch-segment bitmap
-    /// "allows for" (§3.4). Results are materialized per segment and
-    /// returned in (segment, slot) order.
-    #[allow(clippy::type_complexity)]
+    /// The engine's persistent scan pool (spawned on first use, reused for
+    /// every parallel scan thereafter).
+    fn scan_pool(&self) -> &ScanPool {
+        self.scan_pool
+            .get_or_init(|| ScanPool::new(ScanPool::default_threads()))
+    }
+
+    /// Parallel multi-branch scan: one work-stealing task per segment on
+    /// the engine's persistent [`ScanPool`] — the parallelism the
+    /// branch-segment bitmap "allows for" (§3.4). Per-segment granularity
+    /// means skewed segment sizes no longer serialize on the largest fixed
+    /// chunk: idle workers steal the remaining segments. Results are
+    /// materialized per segment and returned in (segment, slot) order,
+    /// byte-identical to [`VersionedStore::multi_scan`] for any `threads`.
+    ///
+    /// `threads` is a hint kept for API compatibility: values ≤ 1 run the
+    /// plan inline on the calling thread; anything larger routes through
+    /// the pool (whose size is fixed per engine, not per call).
     pub fn par_multi_scan(
         &self,
         branches: &[BranchId],
         threads: usize,
     ) -> Result<Vec<(Record, Vec<BranchId>)>> {
-        let work = self.multi_scan_plan(branches)?;
-        let threads = threads.max(1);
-        let chunks: Vec<&[(SegmentId, Bitmap, Vec<(BranchId, Bitmap)>)]> =
-            work.chunks(work.len().div_ceil(threads).max(1)).collect();
-        let mut results: Vec<Vec<(SegmentId, Vec<(Record, Vec<BranchId>)>)>> =
-            Vec::with_capacity(chunks.len());
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        let mut out = Vec::new();
-                        for (seg, union, cols) in chunk {
-                            let mut rows = Vec::new();
-                            for item in
-                                BitmapScan::new(&self.segments[seg.index()].heap, union.clone())
-                            {
-                                let (idx, rec) = item?;
-                                let live: Vec<BranchId> = cols
-                                    .iter()
-                                    .filter(|(_, c)| c.get(idx.raw()))
-                                    .map(|&(b, _)| b)
-                                    .collect();
-                                rows.push((rec, live));
-                            }
-                            out.push((*seg, rows));
-                        }
-                        Ok::<_, DbError>(out)
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("scan thread panicked")?);
+        let plan = self.multi_scan_plan(branches)?;
+        // Every task's output size is known exactly (the union popcount),
+        // so tasks write straight into disjoint spare-capacity slices of
+        // the result vector: rows are materialized once, in place — no
+        // per-task intermediate vector, no flatten copy, no sort (plan
+        // entries are in ascending segment order and the pool returns
+        // outcomes in task order).
+        let counts: Vec<usize> = plan
+            .iter()
+            .map(|(_, union, _)| union.count_ones() as usize)
+            .collect();
+        let total: usize = counts.iter().sum();
+        let mut flat: Vec<(Record, Vec<BranchId>)> = Vec::with_capacity(total);
+        let segments = &self.segments;
+        let outcomes = {
+            let mut spare = &mut flat.spare_capacity_mut()[..total];
+            let mut tasks = Vec::with_capacity(plan.len());
+            for ((seg, union, cols), &count) in plan.iter().zip(&counts) {
+                let (slot, rest) = spare.split_at_mut(count);
+                spare = rest;
+                let heap = &segments[seg.index()].heap;
+                tasks.push(move || scan_annotated_slice(heap, union, cols, slot));
             }
-            Ok::<_, DbError>(())
-        })
-        .expect("crossbeam scope panicked")?;
-        let mut flat: Vec<(SegmentId, Vec<(Record, Vec<BranchId>)>)> =
-            results.into_iter().flatten().collect();
-        flat.sort_by_key(|(seg, _)| *seg);
-        Ok(flat.into_iter().flat_map(|(_, rows)| rows).collect())
+            if threads <= 1 || tasks.len() <= 1 {
+                tasks.into_iter().map(|mut t| t()).collect::<Vec<_>>()
+            } else {
+                self.scan_pool().run(tasks)
+            }
+        };
+        if outcomes.iter().any(|o| o.is_err()) {
+            // Failed scan: drop whatever rows were initialized (full slices
+            // for Ok tasks, the reported prefix for failed ones) and
+            // surface the first error.
+            let spare = flat.spare_capacity_mut();
+            let mut off = 0usize;
+            let mut first_err = None;
+            for (i, outcome) in outcomes.into_iter().enumerate() {
+                let initialized = match outcome {
+                    Ok(()) => counts[i],
+                    Err((filled, e)) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        filled
+                    }
+                };
+                for cell in &mut spare[off..off + initialized] {
+                    // SAFETY: exactly `initialized` leading cells of this
+                    // task's slice were written.
+                    unsafe { cell.assume_init_drop() };
+                }
+                off += counts[i];
+            }
+            return Err(first_err.expect("an error outcome was observed"));
+        }
+        // SAFETY: every task returned Ok, which certifies it initialized
+        // its entire `count`-cell slice; the slices tile `[0, total)`.
+        unsafe { flat.set_len(total) };
+        Ok(flat)
     }
 
     /// Shared planning for multi-branch scans: per relevant segment, the
@@ -328,7 +365,7 @@ impl HybridEngine {
         let mut seg_union = Bitmap::zeros(self.segments.len() as u64);
         for &b in branches {
             self.graph.branch(b)?;
-            seg_union = seg_union.or(&self.branch_seg.branch_bitmap(b));
+            seg_union.or_assign(&self.branch_seg.branch_bitmap(b));
         }
         let mut plan = Vec::new();
         for s in seg_union.iter_ones() {
@@ -339,7 +376,7 @@ impl HybridEngine {
             for &b in branches {
                 if seg.index.has_branch(b) {
                     let col = seg.index.branch_bitmap(b);
-                    union = union.or(&col);
+                    union.or_assign(&col);
                     cols.push((b, col));
                 }
             }
@@ -512,27 +549,11 @@ impl VersionedStore for HybridEngine {
 
     fn multi_scan(&self, branches: &[BranchId]) -> Result<AnnotatedIter<'_>> {
         let plan = self.multi_scan_plan(branches)?;
-        let segs: Vec<(SegmentId, Bitmap)> = plan.iter().map(|(s, u, _)| (*s, u.clone())).collect();
-        let cols: FxHashMap<SegmentId, Vec<(BranchId, Bitmap)>> =
-            plan.into_iter().map(|(s, _, c)| (s, c)).collect();
-        Ok(Box::new(
-            HyScan {
-                engine: self,
-                segs,
-                pos: 0,
-                inner: None,
-            }
-            .map(move |item| {
-                item.map(|(seg, idx, rec)| {
-                    let live: Vec<BranchId> = cols[&seg]
-                        .iter()
-                        .filter(|(_, c)| c.get(idx.raw()))
-                        .map(|&(b, _)| b)
-                        .collect();
-                    (rec, live)
-                })
-            }),
-        ))
+        Ok(Box::new(HyAnnotatedScan {
+            engine: self,
+            plan: plan.into_iter(),
+            inner: None,
+        }))
     }
 
     fn diff(&self, left: VersionRef, right: VersionRef) -> Result<DiffResult> {
@@ -678,6 +699,36 @@ impl VersionedStore for HybridEngine {
 
     fn drop_caches(&self) {
         self.pool.clear();
+    }
+}
+
+/// Streaming word-batched multi-branch scan: one [`AnnotatedScan`] per
+/// planned segment, visited in segment order.
+struct HyAnnotatedScan<'a> {
+    engine: &'a HybridEngine,
+    #[allow(clippy::type_complexity)]
+    plan: std::vec::IntoIter<(SegmentId, Bitmap, Vec<(BranchId, Bitmap)>)>,
+    inner: Option<AnnotatedScan<'a>>,
+}
+
+impl Iterator for HyAnnotatedScan<'_> {
+    type Item = Result<(Record, Vec<BranchId>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(scan) = &mut self.inner {
+                if let Some(item) = scan.next() {
+                    return Some(item.map(|(_, rec, live)| (rec, live)));
+                }
+                self.inner = None;
+            }
+            let (seg, union, cols) = self.plan.next()?;
+            self.inner = Some(AnnotatedScan::new(
+                &self.engine.segments[seg.index()].heap,
+                union,
+                cols,
+            ));
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use decibel_common::schema::Schema;
 use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
 use decibel_vgraph::VersionGraph;
 
-use crate::engine::scan::BitmapScan;
+use crate::engine::scan::{AnnotatedScan, BitmapScan};
 use crate::merge::{plan_merge, ChangeSet, MergeAction};
 use crate::store::VersionedStore;
 use crate::types::{
@@ -293,29 +293,22 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
 
     fn multi_scan(&self, branches: &[BranchId]) -> Result<AnnotatedIter<'_>> {
         // "a multi-branch query can quickly emit which branches contain any
-        // tuple without needing to resolve deltas" (§3.2): one pass over
-        // the heap driven by the union bitmap, annotating from the
-        // per-branch columns.
+        // tuple without needing to resolve deltas" (§3.2): one word-batched
+        // pass over the heap driven by the union bitmap, annotating each
+        // record from cached per-branch column words (64 liveness bits per
+        // step, not one `get` per branch per row).
         let mut union = Bitmap::zeros(self.index.num_rows());
         let mut columns = Vec::with_capacity(branches.len());
         for &b in branches {
             self.graph.branch(b)?;
             let col = self.index.branch_bitmap(b);
-            union = union.or(&col);
+            union.or_assign(&col);
             columns.push((b, col));
         }
-        Ok(Box::new(BitmapScan::new(&self.heap, union).map(
-            move |item| {
-                item.map(|(idx, rec)| {
-                    let live: Vec<BranchId> = columns
-                        .iter()
-                        .filter(|(_, col)| col.get(idx.raw()))
-                        .map(|&(b, _)| b)
-                        .collect();
-                    (rec, live)
-                })
-            },
-        )))
+        Ok(Box::new(
+            AnnotatedScan::new(&self.heap, union, columns)
+                .map(|item| item.map(|(_, rec, live)| (rec, live))),
+        ))
     }
 
     fn diff(&self, left: VersionRef, right: VersionRef) -> Result<DiffResult> {

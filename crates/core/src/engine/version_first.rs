@@ -326,23 +326,15 @@ impl VersionFirstEngine {
 
     /// Pass-1 primitive of §3.3's multi-branch scan: the keys (and
     /// tombstone flags) of a segment's slots `[0, bound)`, in slot order —
-    /// an "intermediate hash table" input built with one sequential read.
+    /// an "intermediate hash table" input built with one sequential read
+    /// through a page-pinned cursor (each page fetched once).
     fn segment_keys(&self, seg: SegmentId, bound: u64) -> Result<Vec<(u64, bool)>> {
         let heap = &self.seg(seg).heap;
+        let bound = bound.min(heap.len());
         let mut out = Vec::with_capacity(bound as usize);
-        let spp = heap.slots_per_page() as u64;
-        let rs = heap.record_size();
-        let mut page_no = u64::MAX;
-        let mut page = None;
-        for slot in 0..bound.min(heap.len()) {
-            let p = slot / spp;
-            if p != page_no {
-                page = Some(heap.page(p)?);
-                page_no = p;
-            }
-            let buf = page.as_ref().unwrap();
-            let off = (slot % spp) as usize * rs;
-            out.push(Record::peek_key(&buf[off..off + rs]));
+        let mut cursor = heap.pinned_cursor();
+        for slot in 0..bound {
+            out.push(cursor.peek_key(slot)?);
         }
         Ok(out)
     }

@@ -22,6 +22,7 @@
 pub mod db;
 pub mod engine;
 pub mod merge;
+pub mod pool;
 pub mod query;
 pub mod session;
 pub mod store;
@@ -32,6 +33,7 @@ pub use engine::{
     HybridEngine, TupleFirstBranchEngine, TupleFirstEngine, TupleFirstTupleEngine,
     VersionFirstEngine,
 };
+pub use pool::ScanPool;
 pub use store::VersionedStore;
 pub use types::{
     AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,

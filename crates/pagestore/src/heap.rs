@@ -243,11 +243,9 @@ impl HeapFile {
     pub fn scan(&self, start: RecordIdx, end: RecordIdx) -> HeapScan<'_> {
         let end = end.0.min(self.len());
         HeapScan {
-            heap: self,
+            cursor: self.pinned_cursor(),
             next: start.0,
             end,
-            page: None,
-            page_no: u64::MAX,
             forward: true,
         }
     }
@@ -262,11 +260,9 @@ impl HeapFile {
     pub fn scan_rev(&self, start: RecordIdx, end: RecordIdx) -> HeapScan<'_> {
         let end = end.0.min(self.len());
         HeapScan {
-            heap: self,
+            cursor: self.pinned_cursor(),
             next: end,
             end: start.0,
-            page: None,
-            page_no: u64::MAX,
             forward: false,
         }
     }
@@ -287,6 +283,18 @@ impl HeapFile {
         self.load_scan_page(page_no)
     }
 
+    /// A page-pinned cursor for slot-addressed reads: each page is pinned
+    /// from the buffer pool once and every selected slot on it is decoded
+    /// directly from the pinned bytes — the batched primitive bitmap-driven
+    /// scans use instead of per-record [`HeapFile::get`] calls.
+    pub fn pinned_cursor(&self) -> PinnedCursor<'_> {
+        PinnedCursor {
+            heap: self,
+            page_no: u64::MAX,
+            page: None,
+        }
+    }
+
     /// Record slots per page.
     #[inline]
     pub fn slots_per_page(&self) -> usize {
@@ -300,35 +308,64 @@ impl HeapFile {
     }
 }
 
-/// Streaming iterator over a slot range of a [`HeapFile`].
+/// A batched, page-pinned scan cursor over a [`HeapFile`].
 ///
-/// Yields `(slot index, record)` pairs; I/O errors surface as `Err` items.
-pub struct HeapScan<'a> {
+/// Slot reads are served from the currently pinned page; a new page is
+/// pinned from the buffer pool only when the requested slot crosses a page
+/// boundary. Monotonically increasing slot sequences (the common case for
+/// bitmap-driven scans) therefore cost one pool lookup per *page*, not per
+/// record, and records decode directly from the pinned bytes with no
+/// intermediate copy.
+pub struct PinnedCursor<'a> {
     heap: &'a HeapFile,
-    /// Forward: next slot to yield. Reverse: one past the next slot.
-    next: u64,
-    /// Forward: exclusive end. Reverse: inclusive start bound.
-    end: u64,
-    page: Option<Arc<Vec<u8>>>,
     page_no: u64,
-    forward: bool,
+    page: Option<Arc<Vec<u8>>>,
 }
 
-impl HeapScan<'_> {
-    fn slot_bytes(&mut self, idx: u64) -> Result<&[u8]> {
+impl PinnedCursor<'_> {
+    /// Raw bytes of slot `idx`, pinning its page if not already pinned.
+    #[inline]
+    pub fn slot_bytes(&mut self, idx: u64) -> Result<&[u8]> {
         let spp = self.heap.slots_per_page as u64;
         let page_no = idx / spp;
         if self.page.is_none() || self.page_no != page_no {
             self.page = Some(self.heap.load_scan_page(page_no)?);
             self.page_no = page_no;
         }
-        let off = (idx % spp) as usize * self.heap.record_size;
+        let rs = self.heap.record_size;
+        let off = (idx % spp) as usize * rs;
         let page = self.page.as_ref().unwrap();
-        if off + self.heap.record_size > page.len() {
+        if off + rs > page.len() {
             return Err(DbError::corrupt(format!("slot {idx} beyond page bounds")));
         }
-        Ok(&page[off..off + self.heap.record_size])
+        Ok(&page[off..off + rs])
     }
+
+    /// Decodes the record at slot `idx` from the pinned page.
+    #[inline]
+    pub fn read(&mut self, idx: u64) -> Result<Record> {
+        let schema = &self.heap.schema;
+        self.slot_bytes(idx)
+            .and_then(|slot| Record::read_from(schema, slot))
+    }
+
+    /// Key and tombstone flag of slot `idx` (header-only decode).
+    #[inline]
+    pub fn peek_key(&mut self, idx: u64) -> Result<(u64, bool)> {
+        Ok(Record::peek_key(self.slot_bytes(idx)?))
+    }
+}
+
+/// Streaming iterator over a slot range of a [`HeapFile`].
+///
+/// Yields `(slot index, record)` pairs; I/O errors surface as `Err` items.
+pub struct HeapScan<'a> {
+    cursor: PinnedCursor<'a>,
+    /// Forward: next slot to yield. Reverse: one past the next slot.
+    next: u64,
+    /// Forward: exclusive end. Reverse: inclusive start bound.
+    end: u64,
+    forward: bool,
 }
 
 impl Iterator for HeapScan<'_> {
@@ -349,12 +386,7 @@ impl Iterator for HeapScan<'_> {
             self.next -= 1;
             self.next
         };
-        let heap = self.heap;
-        let rec = self
-            .slot_bytes(idx)
-            .and_then(|slot| Record::read_from(&heap.schema, slot))
-            .map(|r| (RecordIdx(idx), r));
-        Some(rec)
+        Some(self.cursor.read(idx).map(|r| (RecordIdx(idx), r)))
     }
 }
 
@@ -489,6 +521,41 @@ mod tests {
         let idx = heap.append(&Record::tombstone(9, &schema)).unwrap();
         assert!(heap.get(idx).unwrap().is_tombstone());
         assert_eq!(heap.peek_key(idx).unwrap(), (9, true));
+    }
+
+    #[test]
+    fn pinned_cursor_pins_each_page_once() {
+        let (dir, pool, schema) = setup(3);
+        // 6 slots/page at 21-byte records, 128-byte pages.
+        let heap = HeapFile::create(Arc::clone(&pool), dir.path().join("h"), schema).unwrap();
+        for k in 0..30 {
+            heap.append(&rec(k, 3)).unwrap();
+        }
+        pool.clear();
+        let before = pool.stats();
+        let mut cursor = heap.pinned_cursor();
+        // Six slots on page 0, then two on page 2: exactly two pool misses.
+        for idx in [0u64, 1, 2, 3, 4, 5, 12, 13] {
+            assert_eq!(cursor.read(idx).unwrap().key(), idx);
+            assert_eq!(cursor.peek_key(idx).unwrap(), (idx, false));
+        }
+        let after = pool.stats();
+        assert_eq!(after.misses - before.misses, 2);
+        assert_eq!(after.hits, before.hits);
+    }
+
+    #[test]
+    fn pinned_cursor_reads_unflushed_tail() {
+        let (dir, pool, schema) = setup(3);
+        let heap = HeapFile::create(pool, dir.path().join("h"), schema).unwrap();
+        for k in 0..7 {
+            heap.append(&rec(k, 3)).unwrap();
+        }
+        // Slot 6 lives in the in-memory tail buffer (6 slots/page).
+        let mut cursor = heap.pinned_cursor();
+        assert_eq!(cursor.read(6).unwrap().key(), 6);
+        assert_eq!(cursor.read(0).unwrap().key(), 0);
+        assert!(cursor.read(99).is_err());
     }
 
     #[test]

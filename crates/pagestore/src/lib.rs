@@ -26,6 +26,6 @@ pub mod wal;
 
 pub use buffer_pool::{BufferPool, FileId, PoolStats};
 pub use config::StoreConfig;
-pub use heap::{HeapFile, HeapScan};
+pub use heap::{HeapFile, HeapScan, PinnedCursor};
 pub use lock::{LockManager, LockMode, TxnLocks};
 pub use wal::Wal;

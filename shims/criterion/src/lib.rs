@@ -5,9 +5,10 @@
 //! `benchmark_group` / `sample_size` / `bench_with_input` / `finish`,
 //! `Bencher::{iter, iter_batched}`, `BenchmarkId`, `BatchSize`, and the
 //! `criterion_group!` / `criterion_main!` macros. Timing is a plain
-//! wall-clock loop reporting min/mean/max per benchmark — enough for
-//! regression eyeballing, with the exact same bench source compiling
-//! unchanged against the real crate when a registry is available.
+//! wall-clock loop reporting min/median/mean/p95/max per benchmark —
+//! enough for regression eyeballing, with the exact same bench source
+//! compiling unchanged against the real crate when a registry is
+//! available.
 
 use std::fmt::Display;
 use std::hint::black_box as hint_black_box;
@@ -120,19 +121,53 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn report(group: &str, id: &str, durations: &[Duration]) {
+/// Order statistics over one benchmark's samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleStats {
+    pub min: Duration,
+    pub median: Duration,
+    pub mean: Duration,
+    pub p95: Duration,
+    pub max: Duration,
+}
+
+/// Computes min/median/mean/p95/max. Median is the midpoint convention
+/// (mean of the two central samples for even counts); p95 is the
+/// nearest-rank percentile (the smallest sample ≥ 95% of the others).
+pub fn sample_stats(durations: &[Duration]) -> Option<SampleStats> {
     if durations.is_empty() {
+        return None;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    };
+    let p95_rank = ((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1;
+    Some(SampleStats {
+        min: sorted[0],
+        median,
+        mean: sorted.iter().sum::<Duration>() / n as u32,
+        p95: sorted[p95_rank],
+        max: sorted[n - 1],
+    })
+}
+
+fn report(group: &str, id: &str, durations: &[Duration]) {
+    let Some(stats) = sample_stats(durations) else {
         println!("{group}/{id}: no samples");
         return;
-    }
-    let min = durations.iter().min().unwrap();
-    let max = durations.iter().max().unwrap();
-    let mean = durations.iter().sum::<Duration>() / durations.len() as u32;
+    };
     println!(
-        "{group}/{id}: [{} {} {}] ({} samples)",
-        fmt_duration(*min),
-        fmt_duration(mean),
-        fmt_duration(*max),
+        "{group}/{id}: [min {} med {} mean {} p95 {} max {}] ({} samples)",
+        fmt_duration(stats.min),
+        fmt_duration(stats.median),
+        fmt_duration(stats.mean),
+        fmt_duration(stats.p95),
+        fmt_duration(stats.max),
         durations.len()
     );
 }
@@ -206,6 +241,25 @@ mod tests {
         group.finish();
         // 1 warmup + 3 samples.
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn stats_report_order_statistics() {
+        let ms = Duration::from_millis;
+        // 20 samples: 1..=20 ms.
+        let samples: Vec<Duration> = (1..=20).map(ms).collect();
+        let s = sample_stats(&samples).unwrap();
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.median, Duration::from_micros(10_500)); // (10+11)/2
+        assert_eq!(s.p95, ms(19)); // ceil(20*0.95) = 19th rank
+        assert_eq!(s.max, ms(20));
+        assert_eq!(s.mean, Duration::from_micros(10_500));
+        // Odd count: exact middle; p95 of a single sample is that sample.
+        let s = sample_stats(&[ms(5), ms(1), ms(9)]).unwrap();
+        assert_eq!(s.median, ms(5));
+        let s = sample_stats(&[ms(7)]).unwrap();
+        assert_eq!((s.median, s.p95), (ms(7), ms(7)));
+        assert_eq!(sample_stats(&[]), None);
     }
 
     #[test]

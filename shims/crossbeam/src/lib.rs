@@ -5,6 +5,192 @@
 //! returns `Result<R, Box<dyn Any>>` capturing panics, and spawned closures
 //! receive a scope argument (a placeholder here — nested spawns through it
 //! are not supported, and the workspace does not use them).
+//!
+//! Also provides `crossbeam::deque` — the `Injector`/`Worker`/`Stealer`
+//! work-stealing API the scan pool is built on — implemented over mutexed
+//! `VecDeque`s rather than the real crate's lock-free Chase–Lev deques.
+//! Same semantics (FIFO injector, LIFO worker with FIFO stealing), lower
+//! peak throughput; swapping in the registry crate restores the lock-free
+//! implementation without touching callers.
+
+/// Work-stealing deques: the subset of `crossbeam-deque` used by
+/// `decibel_core::pool`.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt (mirrors `crossbeam_deque::Steal`).
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A FIFO injection queue shared by all workers of a pool.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steals the oldest task from the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True if no tasks are queued (racy, as in the real crate).
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    /// A worker's local deque: LIFO for the owner, FIFO for stealers.
+    pub struct Worker<T> {
+        deque: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty LIFO worker deque.
+        pub fn new_lifo() -> Self {
+            Worker {
+                deque: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.deque.lock().unwrap().push_back(task);
+        }
+
+        /// Pops the most recently pushed task (owner end).
+        pub fn pop(&self) -> Option<T> {
+            self.deque.lock().unwrap().pop_back()
+        }
+
+        /// A handle other workers use to steal from the cold end.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                deque: Arc::clone(&self.deque),
+            }
+        }
+    }
+
+    /// Steals from the cold end of another worker's deque.
+    pub struct Stealer<T> {
+        deque: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the victim's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.deque.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                deque: Arc::clone(&self.deque),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.steal().success(), Some(1));
+            assert_eq!(inj.steal().success(), Some(2));
+            assert!(inj.steal().is_empty());
+        }
+
+        #[test]
+        fn worker_lifo_stealer_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(s.steal().success(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn stealers_share_across_threads() {
+            let w = Worker::new_lifo();
+            for i in 0..100 {
+                w.push(i);
+            }
+            let stolen: u64 = std::thread::scope(|scope| {
+                (0..4)
+                    .map(|_| {
+                        let s = w.stealer();
+                        scope.spawn(move || {
+                            let mut n = 0u64;
+                            while s.steal().success().is_some() {
+                                n += 1;
+                            }
+                            n
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum()
+            });
+            assert_eq!(stolen + w.pop().into_iter().count() as u64, 100);
+        }
+    }
+}
 
 pub mod thread {
     use std::any::Any;

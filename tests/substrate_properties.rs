@@ -78,6 +78,45 @@ proptest! {
         );
     }
 
+    /// The in-place bitmap combinators match their allocating counterparts
+    /// bit for bit (and in logical length) on ragged-length inputs, in both
+    /// argument orders — the contract that lets scan planning build union
+    /// bitmaps without per-branch allocations.
+    #[test]
+    fn in_place_bitmap_ops_match_allocating(
+        a in proptest::collection::vec(any::<bool>(), 1..400),
+        b in proptest::collection::vec(any::<bool>(), 1..400))
+    {
+        let ba = bitmap_from(&a);
+        let bb = bitmap_from(&b);
+        for (x, y) in [(&ba, &bb), (&bb, &ba)] {
+            let mut v = x.clone();
+            v.or_assign(y);
+            prop_assert_eq!(&v, &x.or(y));
+            prop_assert_eq!(v.len(), x.or(y).len());
+            let mut v = x.clone();
+            v.and_assign(y);
+            prop_assert_eq!(&v, &x.and(y));
+            let mut v = x.clone();
+            v.and_not_assign(y);
+            prop_assert_eq!(&v, &x.and_not(y));
+            let mut v = x.clone();
+            v.xor_assign(y);
+            prop_assert_eq!(&v, &x.xor(y));
+            // Scratch-buffer reuse: copy_from + assign == allocating op.
+            let mut scratch = Bitmap::zeros(7);
+            scratch.copy_from(x);
+            scratch.and_not_assign(y);
+            prop_assert_eq!(&scratch, &x.and_not(y));
+        }
+        // Word-chunk iteration observes exactly the set bits.
+        let ones: Vec<u64> = ba
+            .iter_words()
+            .flat_map(|(base, w)| (0..64).filter(move |i| w >> i & 1 == 1).map(move |i| base + i))
+            .collect();
+        prop_assert_eq!(ones, ba.iter_ones().collect::<Vec<_>>());
+    }
+
     /// Heap files return exactly what was appended, in order, across page
     /// boundaries, for any record count.
     #[test]
