@@ -12,8 +12,8 @@ use decibel_common::ids::CommitId;
 use decibel_common::record::Record;
 use decibel_common::rng::DetRng;
 use decibel_common::Result;
-use decibel_core::engine::HybridEngine;
-use decibel_core::store::VersionedStore;
+use decibel_core::types::EngineKind;
+use decibel_core::Database;
 use gitlike::sha1::Sha1;
 use gitlike::table::{GitTable, TableEncoding, TableLayout};
 
@@ -162,7 +162,8 @@ pub fn run_decibel(p: &GitCmpParams, dir: &std::path::Path) -> Result<CmpRow> {
         s.cols = p.cols;
         s
     };
-    let mut store = HybridEngine::init(dir, spec.schema(), &spec.store_config())?;
+    let mut store =
+        Database::build_store(EngineKind::Hybrid, dir, spec.schema(), &spec.store_config())?;
     let mut rng = DetRng::seed_from_u64(0x17 + 0x47);
     let total_ops = p.records;
     let ops_per_commit = (total_ops / p.commits).max(1);

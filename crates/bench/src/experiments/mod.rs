@@ -13,11 +13,9 @@ pub mod tablewise;
 use std::path::Path;
 
 use decibel_common::Result;
-use decibel_core::engine::{
-    HybridEngine, TupleFirstBranchEngine, TupleFirstTupleEngine, VersionFirstEngine,
-};
 use decibel_core::store::VersionedStore;
 use decibel_core::types::EngineKind;
+use decibel_core::Database;
 
 use crate::loader::{load, LoadReport};
 use crate::spec::WorkloadSpec;
@@ -54,7 +52,9 @@ impl Ctx {
     }
 }
 
-/// Builds a fresh store of the given kind under `dir`.
+/// Builds a fresh store of the given kind under `dir`, through the same
+/// engine factory `Database` uses (the harness measures storage engines
+/// below the connection layer, so it takes the bare store).
 pub fn build_store(
     kind: EngineKind,
     spec: &WorkloadSpec,
@@ -65,17 +65,7 @@ pub fn build_store(
         kind.label().replace(['(', ')'], "_"),
         spec.strategy
     ));
-    let cfg = spec.store_config();
-    Ok(match kind {
-        EngineKind::TupleFirstBranch => {
-            Box::new(TupleFirstBranchEngine::init(sub, spec.schema(), &cfg)?)
-        }
-        EngineKind::TupleFirstTuple => {
-            Box::new(TupleFirstTupleEngine::init(sub, spec.schema(), &cfg)?)
-        }
-        EngineKind::VersionFirst => Box::new(VersionFirstEngine::init(sub, spec.schema(), &cfg)?),
-        EngineKind::Hybrid => Box::new(HybridEngine::init(sub, spec.schema(), &cfg)?),
-    })
+    Database::build_store(kind, sub, spec.schema(), &spec.store_config())
 }
 
 /// Builds and loads a store, returning it with its load report.

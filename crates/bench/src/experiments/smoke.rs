@@ -1,5 +1,8 @@
 //! The seconds-scale smoke benchmark: a multi-branch scan microbenchmark
-//! whose JSON output is the repo's recorded scan baseline (`BENCH_scan.json`).
+//! whose JSON output is the repo's recorded scan baseline
+//! (`BENCH_scan.json`), plus multi-session concurrency rows
+//! (`BENCH_concurrency.json`) — all driven through the public `Database`
+//! connection API.
 //!
 //! The workload targets the regime the paper's bitmaps exist for ("bitmaps
 //! are space-efficient and can be quickly intersected for multi-branch
@@ -14,16 +17,22 @@
 //! bitmap liveness resolution, page-pinned record decode, per-branch
 //! membership annotation — which is what the word-level scan work
 //! optimizes. A cold single-branch row is kept as an I/O sanity signal.
+//!
+//! The concurrency rows measure the connection layer itself: K reader
+//! sessions scanning master from K threads (sharing the store's read
+//! lock) against the same K scans issued back-to-back from one session.
+//! On multi-core hardware the concurrent row wins roughly linearly; on a
+//! single core it shows the read path adds no serialization beyond the
+//! CPU itself.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use decibel_common::ids::BranchId;
 use decibel_common::record::Record;
 use decibel_common::schema::{ColumnType, Schema};
 use decibel_common::Result;
-use decibel_core::engine::HybridEngine;
-use decibel_core::store::VersionedStore;
-use decibel_core::types::VersionRef;
+use decibel_core::{Database, EngineKind};
 use decibel_pagestore::StoreConfig;
 
 use crate::experiments::Ctx;
@@ -35,6 +44,8 @@ const BRANCHES: u64 = 32;
 /// Data columns per record (narrow records keep the scan loop, not record
 /// materialization, dominant).
 const COLS: usize = 12;
+/// Reader sessions (and threads) in the concurrency rows.
+const SESSIONS: usize = 4;
 
 /// One measured smoke row: name, emitted rows, best-of-repeats wall time.
 struct Row {
@@ -53,31 +64,40 @@ fn rec(key: u64, tag: u64) -> Record {
     Record::new(key, (0..COLS as u64).map(|c| key ^ (tag + c)).collect())
 }
 
-/// Builds the benchmark store: `~150k * scale` base rows on master, then
-/// 32 forks each applying local updates (2% of the base) and inserts.
-fn build_store(scale: f64) -> Result<(tempfile::TempDir, HybridEngine, Vec<BranchId>)> {
+/// Builds the benchmark database: `~150k * scale` base rows on master,
+/// then 32 forks each applying local updates (2% of the base) and inserts.
+/// Loading goes through the bulk-load escape hatch (`with_store_mut`);
+/// everything measured goes through the public read surface.
+fn build_db(scale: f64) -> Result<(tempfile::TempDir, Arc<Database>, Vec<BranchId>)> {
     let dir = tempfile::tempdir().map_err(|e| decibel_common::DbError::io("smoke tempdir", e))?;
     let base_rows = ((150_000.0 * scale) as u64).max(2_000);
     let schema = Schema::new(COLS, ColumnType::U32);
-    let mut store =
-        HybridEngine::init(dir.path().join("hy"), schema, &StoreConfig::bench_default())?;
-    for k in 0..base_rows {
-        store.insert(BranchId::MASTER, rec(k, 1))?;
-    }
-    let mut heads = vec![BranchId::MASTER];
-    let local_edits = (base_rows / 50).max(10);
-    for b in 0..BRANCHES {
-        let child = store.create_branch(&format!("b{b}"), VersionRef::Branch(BranchId::MASTER))?;
-        for i in 0..local_edits {
-            // Update an inherited row (clears the base bit in the shared
-            // segment, appends to the child head) and insert a private one.
-            let victim = (b + i * BRANCHES) % base_rows;
-            store.update(child, rec(victim, 100 + b))?;
-            store.insert(child, rec(base_rows + b * local_edits + i, b))?;
+    let db = Database::create(
+        dir.path().join("hy"),
+        EngineKind::Hybrid,
+        schema,
+        &StoreConfig::bench_default(),
+    )?;
+    let heads = db.with_store_mut(|store| -> Result<Vec<BranchId>> {
+        for k in 0..base_rows {
+            store.insert(BranchId::MASTER, rec(k, 1))?;
         }
-        heads.push(child);
-    }
-    Ok((dir, store, heads))
+        let mut heads = vec![BranchId::MASTER];
+        let local_edits = (base_rows / 50).max(10);
+        for b in 0..BRANCHES {
+            let child = store.create_branch(&format!("b{b}"), BranchId::MASTER.into())?;
+            for i in 0..local_edits {
+                // Update an inherited row (clears the base bit in the shared
+                // segment, appends to the child head) and insert a private one.
+                let victim = (b + i * BRANCHES) % base_rows;
+                store.update(child, rec(victim, 100 + b))?;
+                store.insert(child, rec(base_rows + b * local_edits + i, b))?;
+            }
+            heads.push(child);
+        }
+        Ok(heads)
+    })?;
+    Ok((dir, db, heads))
 }
 
 /// Times `f` `repeats` times and returns the best wall time in ms with the
@@ -96,15 +116,16 @@ fn best_of(repeats: usize, mut f: impl FnMut() -> Result<u64>) -> Result<(u64, f
 /// Runs the smoke microbenchmark and renders the scan-throughput rows.
 /// The reported `rows` of the multi-branch rows count *annotations* (one
 /// per record per branch it is live in) — the output volume a Q4-style
-/// consumer actually processes.
+/// consumer actually processes; the concurrency rows count records scanned
+/// across all sessions.
 pub fn smoke(ctx: &Ctx) -> Result<Table> {
-    let (_dir, store, heads) = build_store(ctx.scale)?;
+    let (_dir, db, heads) = build_db(ctx.scale)?;
     let repeats = ctx.repeats.max(3);
     let mut rows = Vec::new();
 
     // Single-branch scan, cold: I/O-path sanity row.
     let (n, ms) = best_of(repeats, || {
-        Ok(q1(&store, BranchId::MASTER.into(), true)?.rows)
+        db.with_store(|store| Ok(q1(store, BranchId::MASTER.into(), true)?.rows))
     })?;
     rows.push(Row {
         name: "q1_master_cold",
@@ -112,15 +133,18 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
         best_ms: ms,
     });
 
-    // Sequential multi-branch scan over every head, warm.
-    store.drop_caches();
+    // Sequential multi-branch scan over every head, warm (streaming, so it
+    // stays comparable to the recorded BENCH_scan.json baseline).
+    db.with_store(|store| store.drop_caches());
     let (n, ms) = best_of(repeats, || {
-        let mut annotations = 0u64;
-        for item in store.multi_scan(&heads)? {
-            let (_rec, live) = item?;
-            annotations += live.len() as u64;
-        }
-        Ok(annotations)
+        db.with_store(|store| {
+            let mut annotations = 0u64;
+            for item in store.multi_scan(&heads)? {
+                let (_rec, live) = item?;
+                annotations += live.len() as u64;
+            }
+            Ok(annotations)
+        })
     })?;
     rows.push(Row {
         name: "multi_scan_warm",
@@ -128,10 +152,13 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
         best_ms: ms,
     });
 
-    // Parallel multi-branch scan (the tentpole row): per-segment tasks.
+    // Parallel multi-branch scan through the fluent builder: per-segment
+    // work-stealing tasks, no engine downcasting.
     let (n, ms) = best_of(repeats, || {
-        Ok(store
-            .par_multi_scan(&heads, 4)?
+        Ok(db
+            .read_branches(&heads)
+            .parallel(4)
+            .annotated()?
             .iter()
             .map(|(_, live)| live.len() as u64)
             .sum())
@@ -142,11 +169,51 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
         best_ms: ms,
     });
 
+    // Serialized baseline: one session issues K full master scans
+    // back-to-back.
+    let (n, ms) = best_of(repeats, || {
+        let mut session = db.session();
+        let mut scanned = 0u64;
+        for _ in 0..SESSIONS {
+            scanned += session.scan_with(|_| {})?;
+        }
+        Ok(scanned)
+    })?;
+    rows.push(Row {
+        name: "serialized_read_k4",
+        rows: n,
+        best_ms: ms,
+    });
+
+    // Concurrent sessions: the same K scans, one session per thread, all
+    // reading under the shared store lock at once.
+    let (n, ms) = best_of(repeats, || {
+        let mut handles = Vec::with_capacity(SESSIONS);
+        for _ in 0..SESSIONS {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || -> Result<u64> {
+                let mut session = db.session();
+                session.scan_with(|_| {})
+            }));
+        }
+        let mut scanned = 0u64;
+        for handle in handles {
+            scanned += handle.join().expect("reader session thread")?;
+        }
+        Ok(scanned)
+    })?;
+    rows.push(Row {
+        name: "concurrent_read_k4",
+        rows: n,
+        best_ms: ms,
+    });
+
     let mut table = Table::new(
         format!(
-            "Smoke: multi-branch scan microbenchmark ({} branches, {} live base rows)",
+            "Smoke: multi-branch scan + concurrent sessions ({} branches, {} live base rows, {} reader sessions)",
             heads.len(),
-            store.live_count(BranchId::MASTER.into())?,
+            db.read(BranchId::MASTER).count()?,
+            SESSIONS,
         ),
         &["bench", "rows", "best_ms", "rows_per_sec"],
     );

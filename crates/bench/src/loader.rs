@@ -506,8 +506,8 @@ impl Loader<'_> {
 mod tests {
     use super::*;
 
-    use decibel_core::engine::{HybridEngine, TupleFirstBranchEngine, VersionFirstEngine};
-    use decibel_core::types::VersionRef;
+    use decibel_core::types::{EngineKind, VersionRef};
+    use decibel_core::Database;
 
     fn spec(strategy: Strategy, branches: usize) -> WorkloadSpec {
         let mut s = WorkloadSpec::scaled(strategy, branches, 0.05);
@@ -515,8 +515,14 @@ mod tests {
         s
     }
 
-    fn tf(dir: &std::path::Path, spec: &WorkloadSpec) -> TupleFirstBranchEngine {
-        TupleFirstBranchEngine::init(dir.join("tf"), spec.schema(), &spec.store_config()).unwrap()
+    fn tf(dir: &std::path::Path, spec: &WorkloadSpec) -> Box<dyn VersionedStore> {
+        Database::build_store(
+            EngineKind::TupleFirstBranch,
+            dir.join("tf"),
+            spec.schema(),
+            &spec.store_config(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -524,7 +530,7 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let spec = spec(Strategy::Deep, 5);
         let mut store = tf(dir.path(), &spec);
-        let report = load(&mut store, &spec).unwrap();
+        let report = load(store.as_mut(), &spec).unwrap();
         assert_eq!(report.branches.len(), 5);
         assert_eq!(report.merges, 0);
         // Tail sees everything inserted anywhere in the chain.
@@ -544,7 +550,7 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let spec = spec(Strategy::Flat, 5);
         let mut store = tf(dir.path(), &spec);
-        let report = load(&mut store, &spec).unwrap();
+        let report = load(store.as_mut(), &spec).unwrap();
         let children = report.with_role(|r| matches!(r, BranchRole::FlatChild));
         assert_eq!(children.len(), 4);
         let parent_live = store
@@ -561,7 +567,7 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let spec = spec(Strategy::Science, 6);
         let mut store = tf(dir.path(), &spec);
-        let report = load(&mut store, &spec).unwrap();
+        let report = load(store.as_mut(), &spec).unwrap();
         assert_eq!(report.merges, 0);
         let sci = report.with_role(|r| matches!(r, BranchRole::Science { .. }));
         assert_eq!(sci.len(), 6);
@@ -576,7 +582,7 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let spec = spec(Strategy::Curation, 8);
         let mut store = tf(dir.path(), &spec);
-        let report = load(&mut store, &spec).unwrap();
+        let report = load(store.as_mut(), &spec).unwrap();
         assert!(
             report.merges >= 4,
             "most branches merge back (got {})",
@@ -597,14 +603,23 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let spec = spec(Strategy::Curation, 6);
         let mut a = tf(dir.path(), &spec);
-        let ra = load(&mut a, &spec).unwrap();
-        let mut b =
-            VersionFirstEngine::init(dir.path().join("vf"), spec.schema(), &spec.store_config())
-                .unwrap();
-        let rb = load(&mut b, &spec).unwrap();
-        let mut c =
-            HybridEngine::init(dir.path().join("hy"), spec.schema(), &spec.store_config()).unwrap();
-        let rc = load(&mut c, &spec).unwrap();
+        let ra = load(a.as_mut(), &spec).unwrap();
+        let mut b = Database::build_store(
+            EngineKind::VersionFirst,
+            dir.path().join("vf"),
+            spec.schema(),
+            &spec.store_config(),
+        )
+        .unwrap();
+        let rb = load(b.as_mut(), &spec).unwrap();
+        let mut c = Database::build_store(
+            EngineKind::Hybrid,
+            dir.path().join("hy"),
+            spec.schema(),
+            &spec.store_config(),
+        )
+        .unwrap();
+        let rc = load(c.as_mut(), &spec).unwrap();
         assert_eq!(ra.inserts, rb.inserts);
         assert_eq!(ra.updates, rb.updates);
         assert_eq!(ra.merges, rb.merges);
@@ -625,7 +640,7 @@ mod tests {
         let mut spec_c = spec(Strategy::Flat, 4);
         spec_c.clustered = true;
         let mut store = tf(dir.path(), &spec_c);
-        let report = load(&mut store, &spec_c).unwrap();
+        let report = load(store.as_mut(), &spec_c).unwrap();
         assert_eq!(report.inserts + report.updates, 4 * spec_c.ops_per_branch);
     }
 }

@@ -254,15 +254,19 @@ mod tests {
     use crate::loader::load;
     use crate::spec::WorkloadSpec;
     use crate::strategy::Strategy;
-    use decibel_core::engine::HybridEngine;
 
-    fn loaded(strategy: Strategy) -> (tempfile::TempDir, HybridEngine, LoadReport) {
+    fn loaded(strategy: Strategy) -> (tempfile::TempDir, Box<dyn VersionedStore>, LoadReport) {
         let dir = tempfile::tempdir().unwrap();
         let mut spec = WorkloadSpec::scaled(strategy, 5, 0.05);
         spec.cols = 4;
-        let mut store =
-            HybridEngine::init(dir.path().join("hy"), spec.schema(), &spec.store_config()).unwrap();
-        let report = load(&mut store, &spec).unwrap();
+        let mut store = decibel_core::Database::build_store(
+            decibel_core::EngineKind::Hybrid,
+            dir.path().join("hy"),
+            spec.schema(),
+            &spec.store_config(),
+        )
+        .unwrap();
+        let report = load(store.as_mut(), &spec).unwrap();
         (dir, store, report)
     }
 
@@ -297,16 +301,16 @@ mod tests {
         let (_d, store, report) = loaded(Strategy::Flat);
         let mut rng = DetRng::seed_from_u64(2);
         let child = pick_branch(&report, Pick::FlatChild, &mut rng).unwrap();
-        let t1 = q1(&store, child.into(), true).unwrap();
+        let t1 = q1(store.as_ref(), child.into(), true).unwrap();
         assert!(t1.rows > 0);
-        let t2 = q2(&store, child.into(), BranchId::MASTER.into(), true).unwrap();
+        let t2 = q2(store.as_ref(), child.into(), BranchId::MASTER.into(), true).unwrap();
         // The child has its own inserts not in the parent.
         assert!(t2.rows > 0);
-        let t3 = q3(&store, child.into(), BranchId::MASTER.into(), true).unwrap();
+        let t3 = q3(store.as_ref(), child.into(), BranchId::MASTER.into(), true).unwrap();
         assert!(t3.rows > 0);
         assert!(t3.rows <= t1.rows);
-        let heads = all_heads(&store);
-        let t4 = q4(&store, &heads, true).unwrap();
+        let heads = all_heads(store.as_ref());
+        let t4 = q4(store.as_ref(), &heads, true).unwrap();
         assert!(t4.rows >= t1.rows);
     }
 }

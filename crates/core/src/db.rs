@@ -1,4 +1,5 @@
-//! The `Database`: a versioned store plus sessions, locking, and logging.
+//! The `Database`: a shared, concurrency-first handle over a versioned
+//! store.
 //!
 //! "Users interact with Decibel by opening a connection to the Decibel
 //! server, which creates a session. A session captures the user's state,
@@ -6,92 +7,362 @@
 //! will read or modify. Concurrent transactions by multiple users on the
 //! same version (but different sessions) are isolated from each other
 //! through two-phase locking" (§2.2.3).
+//!
+//! # Concurrency model
+//!
+//! The store sits behind a reader-writer lock: every `&self` store
+//! operation (point lookups, scans, multi-branch scans, diffs, stats) runs
+//! under a **shared** read lock, so any number of sessions read in
+//! parallel; mutations (inserts/updates/deletes applied at commit, branch
+//! creation, merges) take the **write** lock. Branch-level two-phase locks
+//! (the paper's isolation mechanism) layer on top for *sessions* and are
+//! always acquired before the store lock, so the two levels cannot
+//! deadlock against each other.
+//!
+//! The fluent read builders ([`Database::read`] and friends) are
+//! deliberately lock-free at the branch level: transactions buffer their
+//! writes and apply them atomically inside the write-lock critical
+//! section, so each builder terminal is a single-statement
+//! read-committed snapshot — it can never observe a partial transaction.
+//! Use a [`Session`] (whose reads take the shared branch lock) when a
+//! sequence of reads must be stable against concurrent committers.
+//!
+//! [`Database::create`] and [`Database::open`] return `Arc<Database>`;
+//! sessions own a clone of that `Arc` and are `Send + 'static`, which makes
+//! the one-session-per-thread server shape expressible directly.
+//!
+//! # Durability
+//!
+//! Every state-changing operation on the public surface — session commits,
+//! [`Database::create_branch`], [`Database::merge`] — is journaled to the
+//! WAL as a logical redo record (see [`crate::journal`]) before it is
+//! applied, and sealed in the same critical section that applies it, so
+//! the journal's commit order always matches the store's mutation order.
+//! [`Database::open`] rebuilds the store by replaying the journal, which
+//! recovers transactions that committed but were never flushed.
+//! [`Database::with_store_mut`] is the one escape hatch that bypasses the
+//! journal; state written through it does not survive a reopen.
+//!
+//! If a commit marker itself fails to persist (e.g. the disk fills while
+//! sealing), the already-applied store state can no longer be represented
+//! in the journal; the database then refuses further journaled writes —
+//! reads keep working — until the directory is reopened, which restores
+//! the journaled prefix of history (see [`Database::seal`]).
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use decibel_common::error::{DbError, Result};
-use decibel_common::schema::Schema;
-use decibel_pagestore::{LockManager, StoreConfig, Wal};
-use parking_lot::Mutex;
+use decibel_common::ids::BranchId;
+use decibel_common::schema::{ColumnType, Schema};
+use decibel_pagestore::{LockManager, LockMode, StoreConfig, Wal};
+use parking_lot::RwLock;
 
 use crate::engine::{
     HybridEngine, TupleFirstBranchEngine, TupleFirstTupleEngine, VersionFirstEngine,
 };
+use crate::journal;
+use crate::query::build::{BranchSel, MultiReadBuilder, ReadBuilder};
 use crate::query::{execute, Query, QueryOutput};
 use crate::session::Session;
 use crate::store::VersionedStore;
-use crate::types::EngineKind;
+use crate::types::{DiffResult, EngineKind, MergePolicy, MergeResult, VersionRef};
+
+/// Manifest file recording the engine kind and schema of a database
+/// directory, so [`Database::open`] needs no out-of-band knowledge.
+const MANIFEST: &str = "MANIFEST";
+/// WAL file name inside a database directory.
+const WAL_FILE: &str = "wal.log";
+/// Engine data subdirectory inside a database directory.
+const DATA_DIR: &str = "data";
 
 /// A Decibel database instance: one versioned relation stored under a
 /// directory by the chosen engine, shared by any number of sessions.
+///
+/// Constructors return `Arc<Database>`; clone the `Arc` (or call
+/// [`Database::session`], which clones it for you) to hand the database to
+/// other threads.
 pub struct Database {
-    pub(crate) store: Mutex<Box<dyn VersionedStore>>,
-    pub(crate) locks: LockManager,
+    pub(crate) store: RwLock<Box<dyn VersionedStore>>,
+    pub(crate) locks: Arc<LockManager>,
     pub(crate) wal: Wal,
     pub(crate) next_txn: AtomicU64,
+    /// False once a commit marker failed to persist: the store then holds
+    /// state the journal missed, so further journaled writes are refused
+    /// (see [`Database::seal`]).
+    journal_intact: AtomicBool,
     dir: PathBuf,
 }
 
 impl Database {
     /// Creates a fresh database in `dir` using the given storage scheme.
+    ///
+    /// Writes a manifest so the directory can later be reopened with
+    /// [`Database::open`]. Any stale journal in `dir` is discarded — a
+    /// created database starts from empty history.
     pub fn create(
         dir: impl AsRef<Path>,
         kind: EngineKind,
         schema: Schema,
         config: &StoreConfig,
-    ) -> Result<Database> {
+    ) -> Result<Arc<Database>> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating database dir", e))?;
-        let store: Box<dyn VersionedStore> = match kind {
-            EngineKind::TupleFirstBranch => Box::new(TupleFirstBranchEngine::init(
-                dir.join("data"),
-                schema,
-                config,
-            )?),
-            EngineKind::TupleFirstTuple => Box::new(TupleFirstTupleEngine::init(
-                dir.join("data"),
-                schema,
-                config,
-            )?),
-            EngineKind::VersionFirst => {
-                Box::new(VersionFirstEngine::init(dir.join("data"), schema, config)?)
-            }
-            EngineKind::Hybrid => Box::new(HybridEngine::init(dir.join("data"), schema, config)?),
-        };
-        let wal = Wal::open(dir.join("wal.log"), config.fsync)?;
-        Ok(Database {
-            store: Mutex::new(store),
-            locks: LockManager::new(Duration::from_secs(2)),
+        write_manifest(&dir, kind, &schema)?;
+        let store = Self::build_store(kind, dir.join(DATA_DIR), schema, config)?;
+        let wal = Wal::open(dir.join(WAL_FILE), config.fsync)?;
+        wal.truncate()?;
+        Ok(Arc::new(Database {
+            store: RwLock::new(store),
+            locks: Arc::new(LockManager::new(Duration::from_secs(2))),
             wal,
             next_txn: AtomicU64::new(1),
+            journal_intact: AtomicBool::new(true),
             dir,
+        }))
+    }
+
+    /// Reopens a database directory created by [`Database::create`],
+    /// restoring every transaction that committed through the public API —
+    /// including commits that were never [`flush`](Database::flush)ed.
+    ///
+    /// The store is rebuilt by replaying the logical journal from the
+    /// beginning of history (engines allocate branch and commit ids
+    /// deterministically, so the replayed store is identical to the one
+    /// that crashed). Writes that bypassed the journal via
+    /// [`Database::with_store_mut`] are not recovered.
+    ///
+    /// ```
+    /// use decibel_core::{Database, EngineKind};
+    /// use decibel_common::record::Record;
+    /// use decibel_common::schema::{ColumnType, Schema};
+    /// use decibel_pagestore::StoreConfig;
+    ///
+    /// let dir = tempfile::tempdir().unwrap();
+    /// let config = StoreConfig::default();
+    /// let schema = Schema::new(2, ColumnType::U32);
+    /// {
+    ///     let db = Database::create(dir.path(), EngineKind::Hybrid, schema, &config).unwrap();
+    ///     let mut session = db.session();
+    ///     session.insert(Record::new(1, vec![10, 20])).unwrap();
+    ///     session.commit().unwrap();
+    ///     // dropped without flush: the commit lives only in the journal
+    /// }
+    /// let db = Database::open(dir.path(), &config).unwrap();
+    /// let rows = db.read(decibel_core::VersionRef::Branch(
+    ///     decibel_common::ids::BranchId::MASTER,
+    /// ))
+    /// .collect()
+    /// .unwrap();
+    /// assert_eq!(rows.len(), 1);
+    /// assert_eq!(rows[0].field(1), 20);
+    /// ```
+    pub fn open(dir: impl AsRef<Path>, config: &StoreConfig) -> Result<Arc<Database>> {
+        let dir = dir.as_ref().to_path_buf();
+        let (kind, schema) = read_manifest(&dir)?;
+        // Recover the journal first — it is read-only, so an unreadable or
+        // corrupt WAL fails the open before anything is destroyed.
+        let txns = Wal::recover(dir.join(WAL_FILE))?;
+        // The data directory is derived state (the journal is the truth);
+        // rebuild it from scratch.
+        let data = dir.join(DATA_DIR);
+        if data.exists() {
+            std::fs::remove_dir_all(&data)
+                .map_err(|e| DbError::io("clearing stale engine data", e))?;
+        }
+        let mut store = Self::build_store(kind, data, schema, config)?;
+        journal::replay(store.as_mut(), &txns)?;
+        store.flush()?;
+        let next_txn = txns.iter().map(|t| t.txn).max().unwrap_or(0) + 1;
+        let wal = Wal::open(dir.join(WAL_FILE), config.fsync)?;
+        Ok(Arc::new(Database {
+            store: RwLock::new(store),
+            locks: Arc::new(LockManager::new(Duration::from_secs(2))),
+            wal,
+            next_txn: AtomicU64::new(next_txn),
+            journal_intact: AtomicBool::new(true),
+            dir,
+        }))
+    }
+
+    /// Initializes a bare engine of the given kind under `dir` — the single
+    /// factory behind [`Database::create`], also used by the benchmark
+    /// harness, which measures storage engines below the connection layer.
+    pub fn build_store(
+        kind: EngineKind,
+        dir: impl AsRef<Path>,
+        schema: Schema,
+        config: &StoreConfig,
+    ) -> Result<Box<dyn VersionedStore>> {
+        let dir = dir.as_ref();
+        Ok(match kind {
+            EngineKind::TupleFirstBranch => {
+                Box::new(TupleFirstBranchEngine::init(dir, schema, config)?)
+            }
+            EngineKind::TupleFirstTuple => {
+                Box::new(TupleFirstTupleEngine::init(dir, schema, config)?)
+            }
+            EngineKind::VersionFirst => Box::new(VersionFirstEngine::init(dir, schema, config)?),
+            EngineKind::Hybrid => Box::new(HybridEngine::init(dir, schema, config)?),
         })
     }
 
     /// Opens a session, initially checked out at the head of `master`.
-    pub fn session(&self) -> Session<'_> {
-        Session::new(self)
+    ///
+    /// The session owns an `Arc` to this database, so it can be moved to
+    /// another thread; open one session per connection/thread.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(Arc::clone(self))
     }
 
-    /// Runs a declarative query (holds the store lock for the duration).
+    /// Starts a fluent single-version read:
+    /// `db.read(v).filter(p).collect()`.
+    pub fn read(&self, version: impl Into<VersionRef>) -> ReadBuilder<'_> {
+        ReadBuilder::new(self, version.into())
+    }
+
+    /// Starts a fluent multi-branch read over an explicit branch list:
+    /// `db.read_branches(&ids).parallel(n).annotated()`.
+    pub fn read_branches(&self, branches: &[BranchId]) -> MultiReadBuilder<'_> {
+        MultiReadBuilder::new(self, BranchSel::Explicit(branches.to_vec()))
+    }
+
+    /// Starts a fluent multi-branch read over every branch head (the
+    /// paper's Q4 shape); `active_only` restricts to non-retired branches.
+    pub fn read_heads(&self, active_only: bool) -> MultiReadBuilder<'_> {
+        MultiReadBuilder::new(self, BranchSel::Heads { active_only })
+    }
+
+    /// Runs a declarative query plan under the shared read lock.
+    ///
+    /// The fluent builders ([`Database::read`] / [`Database::read_branches`]
+    /// / [`Database::read_heads`]) produce these plans; use `query` directly
+    /// when you already hold a [`Query`] value.
     pub fn query(&self, query: &Query) -> Result<QueryOutput> {
-        let store = self.store.lock();
+        let store = self.store.read();
         execute(store.as_ref(), query)
     }
 
+    /// Materializes the symmetric difference of two versions (§2.2.3
+    /// Difference) under the shared read lock.
+    pub fn diff(
+        &self,
+        left: impl Into<VersionRef>,
+        right: impl Into<VersionRef>,
+    ) -> Result<DiffResult> {
+        let store = self.store.read();
+        store.diff(left.into(), right.into())
+    }
+
+    /// Looks up a branch id by name.
+    pub fn branch_id(&self, name: &str) -> Result<BranchId> {
+        self.with_store(|s| s.graph().branch_by_name(name).map(|b| b.id))
+    }
+
+    /// Creates a branch named `name` rooted at `from` (journaled).
+    pub fn create_branch(&self, name: &str, from: impl Into<VersionRef>) -> Result<BranchId> {
+        let from = from.into();
+        let txn = self.alloc_txn();
+        self.journaled(txn, &[journal::encode_branch(name, from)], |store| {
+            store.create_branch(name, from)
+        })
+    }
+
+    /// Merges branch `from` into branch `into` under `policy` (journaled).
+    ///
+    /// Takes the paper's branch-level locks — exclusive on the destination,
+    /// shared on the source — for the duration of the merge.
+    pub fn merge(
+        &self,
+        into: BranchId,
+        from: BranchId,
+        policy: MergePolicy,
+    ) -> Result<MergeResult> {
+        let mut locks = self.locks.begin();
+        locks.lock(into, LockMode::Exclusive)?;
+        locks.lock(from, LockMode::Shared)?;
+        let txn = self.alloc_txn();
+        self.journaled(txn, &[journal::encode_merge(into, from, policy)], |store| {
+            store.merge(into, from, policy)
+        })
+    }
+
+    /// Runs one journaled transaction: the single critical section shared
+    /// by [`Database::create_branch`], [`Database::merge`], and
+    /// [`Session::commit`](crate::session::Session::commit).
+    ///
+    /// Inside one store write-lock scope it (1) verifies the journal is
+    /// intact, (2) appends `entries` for `txn`, (3) applies `apply` to the
+    /// store, and (4) seals the transaction — so journal commit order
+    /// always matches store mutation order, and the intact check cannot go
+    /// stale between check and seal (a concurrent seal failure flips the
+    /// flag while *it* holds the same lock). On apply failure the appended
+    /// entries are discarded (nothing else appends without this lock) and
+    /// the store error is returned; on seal failure the journal is marked
+    /// diverged: the store applied state the journal now misses, so every
+    /// later journaled write is refused (reads keep working) until the
+    /// directory is reopened, which restores the journaled prefix.
+    pub(crate) fn journaled<T>(
+        &self,
+        txn: u64,
+        entries: &[Vec<u8>],
+        apply: impl FnOnce(&mut dyn VersionedStore) -> Result<T>,
+    ) -> Result<T> {
+        let mut store = self.store.write();
+        self.journal_writable()?;
+        for entry in entries {
+            self.wal.append(txn, entry)?;
+        }
+        match apply(store.as_mut()) {
+            Ok(value) => {
+                self.wal.commit(txn).inspect_err(|_| {
+                    self.journal_intact.store(false, Ordering::Release);
+                })?;
+                Ok(value)
+            }
+            Err(e) => {
+                self.wal.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Fails if a commit marker previously failed to persist (see
+    /// [`Database::journaled`]). Checked inside every journaled critical
+    /// section; sessions also check it when opening a transaction so
+    /// doomed work fails early.
+    pub(crate) fn journal_writable(&self) -> Result<()> {
+        if self.journal_intact.load(Ordering::Acquire) {
+            Ok(())
+        } else {
+            Err(DbError::Invalid(
+                "journal diverged from the store (a commit marker failed to \
+                 persist); journaled writes are disabled — reopen the \
+                 database directory to recover the journaled state"
+                    .into(),
+            ))
+        }
+    }
+
     /// Runs `f` with shared access to the store (reads, stats, scans that
-    /// are consumed inside the closure).
+    /// are consumed inside the closure). Concurrent callers proceed in
+    /// parallel; only writers are excluded.
     pub fn with_store<T>(&self, f: impl FnOnce(&dyn VersionedStore) -> T) -> T {
-        let store = self.store.lock();
+        let store = self.store.read();
         f(store.as_ref())
     }
 
-    /// Runs `f` with exclusive access to the store (administrative
-    /// operations outside session transactions, e.g. merges in examples).
+    /// Runs `f` with exclusive access to the store.
+    ///
+    /// This is an administrative escape hatch (bulk loads, experiment
+    /// harnesses): mutations made here bypass the journal and therefore do
+    /// **not** survive [`Database::open`]. Prefer sessions,
+    /// [`Database::create_branch`], and [`Database::merge`] for durable
+    /// writes.
     pub fn with_store_mut<T>(&self, f: impl FnOnce(&mut dyn VersionedStore) -> T) -> T {
-        let mut store = self.store.lock();
+        let mut store = self.store.write();
         f(store.as_mut())
     }
 
@@ -107,8 +378,49 @@ impl Database {
 
     /// Flushes heap tails and persists the version graph.
     pub fn flush(&self) -> Result<()> {
-        self.store.lock().flush()
+        self.store.write().flush()
     }
+}
+
+fn write_manifest(dir: &Path, kind: EngineKind, schema: &Schema) -> Result<()> {
+    let ctype = match schema.column_type() {
+        ColumnType::U32 => "u32",
+        ColumnType::U64 => "u64",
+    };
+    let body = format!(
+        "decibel v1\nengine={}\ncolumns={}\ncolumn_type={}\n",
+        kind.name(),
+        schema.num_columns(),
+        ctype
+    );
+    std::fs::write(dir.join(MANIFEST), body).map_err(|e| DbError::io("writing manifest", e))
+}
+
+fn read_manifest(dir: &Path) -> Result<(EngineKind, Schema)> {
+    let path = dir.join(MANIFEST);
+    let body = std::fs::read_to_string(&path)
+        .map_err(|e| DbError::io("reading manifest (is this a database directory?)", e))?;
+    let corrupt = |what: &str| DbError::corrupt(format!("manifest: {what}"));
+    let mut lines = body.lines();
+    if lines.next() != Some("decibel v1") {
+        return Err(corrupt("unknown header"));
+    }
+    let mut kind = None;
+    let mut columns = None;
+    let mut ctype = None;
+    for line in lines {
+        match line.split_once('=') {
+            Some(("engine", v)) => kind = EngineKind::from_name(v),
+            Some(("columns", v)) => columns = v.parse::<usize>().ok(),
+            Some(("column_type", "u32")) => ctype = Some(ColumnType::U32),
+            Some(("column_type", "u64")) => ctype = Some(ColumnType::U64),
+            _ => {} // unknown keys are ignored for forward compatibility
+        }
+    }
+    let kind = kind.ok_or_else(|| corrupt("missing or unknown engine"))?;
+    let columns = columns.ok_or_else(|| corrupt("missing columns"))?;
+    let ctype = ctype.ok_or_else(|| corrupt("missing column_type"))?;
+    Ok((kind, Schema::new(columns, ctype)))
 }
 
 #[cfg(test)]
@@ -120,7 +432,7 @@ mod tests {
     use decibel_common::record::Record;
     use decibel_common::schema::ColumnType;
 
-    fn db(kind: EngineKind) -> (tempfile::TempDir, Database) {
+    fn db(kind: EngineKind) -> (tempfile::TempDir, Arc<Database>) {
         let dir = tempfile::tempdir().unwrap();
         let db = Database::create(
             dir.path().join("db"),
@@ -167,5 +479,80 @@ mod tests {
         });
         database.flush().unwrap();
         assert!(database.dir().join("data").join("graph.dvg").exists());
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        for kind in EngineKind::all() {
+            let (_d, database) = db(kind);
+            let (k, schema) = read_manifest(database.dir()).unwrap();
+            assert_eq!(k, kind);
+            assert_eq!(schema, Schema::new(2, ColumnType::U32));
+        }
+    }
+
+    #[test]
+    fn open_rejects_non_database_dirs() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(Database::open(dir.path(), &StoreConfig::test_default()).is_err());
+    }
+
+    #[test]
+    fn open_replays_sessions_branches_and_merges() {
+        let dir = tempfile::tempdir().unwrap();
+        let config = StoreConfig::test_default();
+        let (master_count, dev, merged_head) = {
+            let db = Database::create(
+                dir.path().join("db"),
+                EngineKind::Hybrid,
+                Schema::new(2, ColumnType::U32),
+                &config,
+            )
+            .unwrap();
+            let mut s = db.session();
+            for k in 0..10u64 {
+                s.insert(Record::new(k, vec![k, k])).unwrap();
+            }
+            s.commit().unwrap();
+            let dev = s.branch("dev").unwrap();
+            s.update(Record::new(3, vec![333, 3])).unwrap();
+            s.delete(4).unwrap();
+            s.commit().unwrap();
+            db.merge(
+                BranchId::MASTER,
+                dev,
+                MergePolicy::ThreeWay { prefer_left: false },
+            )
+            .unwrap();
+            let count = db
+                .with_store(|st| st.live_count(VersionRef::Branch(BranchId::MASTER)))
+                .unwrap();
+            let head = db
+                .with_store(|st| st.graph().head(BranchId::MASTER))
+                .unwrap();
+            // Dropped without flush: everything lives only in the journal.
+            (count, dev, head)
+        };
+        let db = Database::open(dir.path().join("db"), &config).unwrap();
+        assert_eq!(
+            db.with_store(|st| st.live_count(VersionRef::Branch(BranchId::MASTER)))
+                .unwrap(),
+            master_count
+        );
+        assert_eq!(db.branch_id("dev").unwrap(), dev);
+        assert_eq!(
+            db.with_store(|st| st.graph().head(BranchId::MASTER))
+                .unwrap(),
+            merged_head
+        );
+        let merged = db
+            .with_store(|st| st.get(VersionRef::Branch(BranchId::MASTER), 3))
+            .unwrap()
+            .unwrap();
+        assert_eq!(merged.field(0), 333);
+        // A reopened database accepts new transactions.
+        let mut s = db.session();
+        s.insert(Record::new(100, vec![1, 2])).unwrap();
+        s.commit().unwrap();
     }
 }

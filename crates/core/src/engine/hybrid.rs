@@ -11,8 +11,8 @@
 //! modifications, and *internal* segments frozen by branch operations,
 //! "after which only the segment's bitmap may change". The branch-segment
 //! bitmap lets scans skip segments with no live records and "allows for
-//! parallelization of segment scanning" — see
-//! [`HybridEngine::par_multi_scan`].
+//! parallelization of segment scanning" — see this engine's override of
+//! [`VersionedStore::par_multi_scan`].
 
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
@@ -275,83 +275,6 @@ impl HybridEngine {
             .get_or_init(|| ScanPool::new(ScanPool::default_threads()))
     }
 
-    /// Parallel multi-branch scan: one work-stealing task per segment on
-    /// the engine's persistent [`ScanPool`] — the parallelism the
-    /// branch-segment bitmap "allows for" (§3.4). Per-segment granularity
-    /// means skewed segment sizes no longer serialize on the largest fixed
-    /// chunk: idle workers steal the remaining segments. Results are
-    /// materialized per segment and returned in (segment, slot) order,
-    /// byte-identical to [`VersionedStore::multi_scan`] for any `threads`.
-    ///
-    /// `threads` is a hint kept for API compatibility: values ≤ 1 run the
-    /// plan inline on the calling thread; anything larger routes through
-    /// the pool (whose size is fixed per engine, not per call).
-    pub fn par_multi_scan(
-        &self,
-        branches: &[BranchId],
-        threads: usize,
-    ) -> Result<Vec<(Record, Vec<BranchId>)>> {
-        let plan = self.multi_scan_plan(branches)?;
-        // Every task's output size is known exactly (the union popcount),
-        // so tasks write straight into disjoint spare-capacity slices of
-        // the result vector: rows are materialized once, in place — no
-        // per-task intermediate vector, no flatten copy, no sort (plan
-        // entries are in ascending segment order and the pool returns
-        // outcomes in task order).
-        let counts: Vec<usize> = plan
-            .iter()
-            .map(|(_, union, _)| union.count_ones() as usize)
-            .collect();
-        let total: usize = counts.iter().sum();
-        let mut flat: Vec<(Record, Vec<BranchId>)> = Vec::with_capacity(total);
-        let segments = &self.segments;
-        let outcomes = {
-            let mut spare = &mut flat.spare_capacity_mut()[..total];
-            let mut tasks = Vec::with_capacity(plan.len());
-            for ((seg, union, cols), &count) in plan.iter().zip(&counts) {
-                let (slot, rest) = spare.split_at_mut(count);
-                spare = rest;
-                let heap = &segments[seg.index()].heap;
-                tasks.push(move || scan_annotated_slice(heap, union, cols, slot));
-            }
-            if threads <= 1 || tasks.len() <= 1 {
-                tasks.into_iter().map(|mut t| t()).collect::<Vec<_>>()
-            } else {
-                self.scan_pool().run(tasks)
-            }
-        };
-        if outcomes.iter().any(|o| o.is_err()) {
-            // Failed scan: drop whatever rows were initialized (full slices
-            // for Ok tasks, the reported prefix for failed ones) and
-            // surface the first error.
-            let spare = flat.spare_capacity_mut();
-            let mut off = 0usize;
-            let mut first_err = None;
-            for (i, outcome) in outcomes.into_iter().enumerate() {
-                let initialized = match outcome {
-                    Ok(()) => counts[i],
-                    Err((filled, e)) => {
-                        if first_err.is_none() {
-                            first_err = Some(e);
-                        }
-                        filled
-                    }
-                };
-                for cell in &mut spare[off..off + initialized] {
-                    // SAFETY: exactly `initialized` leading cells of this
-                    // task's slice were written.
-                    unsafe { cell.assume_init_drop() };
-                }
-                off += counts[i];
-            }
-            return Err(first_err.expect("an error outcome was observed"));
-        }
-        // SAFETY: every task returned Ok, which certifies it initialized
-        // its entire `count`-cell slice; the slices tile `[0, total)`.
-        unsafe { flat.set_len(total) };
-        Ok(flat)
-    }
-
     /// Shared planning for multi-branch scans: per relevant segment, the
     /// union bitmap and the per-branch columns.
     #[allow(clippy::type_complexity)]
@@ -554,6 +477,83 @@ impl VersionedStore for HybridEngine {
             plan: plan.into_iter(),
             inner: None,
         }))
+    }
+
+    /// Parallel multi-branch scan: one work-stealing task per segment on
+    /// the engine's persistent [`ScanPool`] — the parallelism the
+    /// branch-segment bitmap "allows for" (§3.4). Per-segment granularity
+    /// means skewed segment sizes no longer serialize on the largest fixed
+    /// chunk: idle workers steal the remaining segments. Results are
+    /// materialized per segment and returned in (segment, slot) order,
+    /// byte-identical to [`VersionedStore::multi_scan`] for any `threads`.
+    ///
+    /// `threads` is a hint kept for API compatibility: values ≤ 1 run the
+    /// plan inline on the calling thread; anything larger routes through
+    /// the pool (whose size is fixed per engine, not per call).
+    fn par_multi_scan(
+        &self,
+        branches: &[BranchId],
+        threads: usize,
+    ) -> Result<Vec<(Record, Vec<BranchId>)>> {
+        let plan = self.multi_scan_plan(branches)?;
+        // Every task's output size is known exactly (the union popcount),
+        // so tasks write straight into disjoint spare-capacity slices of
+        // the result vector: rows are materialized once, in place — no
+        // per-task intermediate vector, no flatten copy, no sort (plan
+        // entries are in ascending segment order and the pool returns
+        // outcomes in task order).
+        let counts: Vec<usize> = plan
+            .iter()
+            .map(|(_, union, _)| union.count_ones() as usize)
+            .collect();
+        let total: usize = counts.iter().sum();
+        let mut flat: Vec<(Record, Vec<BranchId>)> = Vec::with_capacity(total);
+        let segments = &self.segments;
+        let outcomes = {
+            let mut spare = &mut flat.spare_capacity_mut()[..total];
+            let mut tasks = Vec::with_capacity(plan.len());
+            for ((seg, union, cols), &count) in plan.iter().zip(&counts) {
+                let (slot, rest) = spare.split_at_mut(count);
+                spare = rest;
+                let heap = &segments[seg.index()].heap;
+                tasks.push(move || scan_annotated_slice(heap, union, cols, slot));
+            }
+            if threads <= 1 || tasks.len() <= 1 {
+                tasks.into_iter().map(|mut t| t()).collect::<Vec<_>>()
+            } else {
+                self.scan_pool().run(tasks)
+            }
+        };
+        if outcomes.iter().any(|o| o.is_err()) {
+            // Failed scan: drop whatever rows were initialized (full slices
+            // for Ok tasks, the reported prefix for failed ones) and
+            // surface the first error.
+            let spare = flat.spare_capacity_mut();
+            let mut off = 0usize;
+            let mut first_err = None;
+            for (i, outcome) in outcomes.into_iter().enumerate() {
+                let initialized = match outcome {
+                    Ok(()) => counts[i],
+                    Err((filled, e)) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        filled
+                    }
+                };
+                for cell in &mut spare[off..off + initialized] {
+                    // SAFETY: exactly `initialized` leading cells of this
+                    // task's slice were written.
+                    unsafe { cell.assume_init_drop() };
+                }
+                off += counts[i];
+            }
+            return Err(first_err.expect("an error outcome was observed"));
+        }
+        // SAFETY: every task returned Ok, which certifies it initialized
+        // its entire `count`-cell slice; the slices tile `[0, total)`.
+        unsafe { flat.set_len(total) };
+        Ok(flat)
     }
 
     fn diff(&self, left: VersionRef, right: VersionRef) -> Result<DiffResult> {

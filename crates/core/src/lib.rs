@@ -21,6 +21,7 @@
 
 pub mod db;
 pub mod engine;
+mod journal;
 pub mod merge;
 pub mod pool;
 pub mod query;
@@ -34,6 +35,8 @@ pub use engine::{
     VersionFirstEngine,
 };
 pub use pool::ScanPool;
+pub use query::{MultiReadBuilder, ReadBuilder};
+pub use session::Session;
 pub use store::VersionedStore;
 pub use types::{
     AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,

@@ -109,7 +109,19 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
         Query::MultiBranchScan {
             branches,
             predicate,
+            parallel,
         } => {
+            if *parallel > 1 {
+                // Fan the scan out over the engine's parallel path (the
+                // hybrid engine's work-stealing per-segment scan; other
+                // engines fall back to a materialized sequential scan).
+                let rows = store.par_multi_scan(branches, *parallel)?;
+                return Ok(QueryOutput::Annotated(
+                    rows.into_iter()
+                        .filter(|(rec, live)| !live.is_empty() && predicate.eval(rec))
+                        .collect(),
+                ));
+            }
             let mut out = Vec::new();
             for item in store.multi_scan(branches)? {
                 let (rec, live) = item?;

@@ -15,10 +15,18 @@
 //! * [`Query::HeadScan`] — Table 1 #4 / Q4: records live in the head of any
 //!   branch, annotated with their branches;
 //! * [`Query::Aggregate`] — grouped-by-nothing aggregates over a version.
+//!
+//! The enum is the *internal plan representation*; the primary entry point
+//! is the fluent [`build`] module reached through
+//! [`Database::read`](crate::db::Database::read) and friends, which
+//! assembles these plans and executes them under the database's shared
+//! read lock.
 
+pub mod build;
 pub mod exec;
 pub mod predicate;
 
+pub use build::{MultiReadBuilder, ReadBuilder};
 pub use exec::{execute, QueryOutput};
 pub use predicate::Predicate;
 
@@ -96,5 +104,10 @@ pub enum Query {
         branches: Vec<BranchId>,
         /// Row filter.
         predicate: Predicate,
+        /// Intra-query parallelism hint: values > 1 route through
+        /// [`VersionedStore::par_multi_scan`](crate::store::VersionedStore::par_multi_scan)
+        /// with this many workers; ≤ 1 streams sequentially. Results are
+        /// identical either way.
+        parallel: usize,
     },
 }

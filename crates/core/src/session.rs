@@ -6,19 +6,34 @@
 //! visible at the time the commit is made, and are rolled back if the
 //! client crashes or disconnects before committing" (§2.2.3). Buffered
 //! writes are visible to the session itself (read-your-writes) through an
-//! overlay, journaled to the WAL, and guarded by branch-level two-phase
-//! locks: the session takes a shared lock on the branches it reads and an
-//! exclusive lock on the branch it writes, all released when the
-//! transaction ends.
+//! overlay, journaled to the WAL at commit, and guarded by branch-level
+//! two-phase locks: the session takes a shared lock on every *branch* it
+//! reads (momentary for auto-committed reads, held to transaction end
+//! inside a transaction) and an exclusive lock on the branch it writes,
+//! all released when the transaction ends. Reads of committed versions
+//! (`VersionRef::Commit`) take no branch lock: commits are immutable
+//! (§2.2.2), so there is nothing a concurrent writer could change under
+//! the reader.
+//!
+//! Sessions own an `Arc` to their [`Database`] and are `Send + 'static`:
+//! the server shape the paper describes — many users, one session each —
+//! maps onto one session per thread, all sharing one database handle.
+//! Read-only operations from different sessions run concurrently (the
+//! store sits behind a reader-writer lock); writers serialize per branch
+//! via 2PL and globally only for the short critical section that applies
+//! a commit.
+
+use std::sync::Arc;
 
 use decibel_common::error::{DbError, Result};
 use decibel_common::hash::FxHashMap;
 use decibel_common::ids::{BranchId, CommitId};
 use decibel_common::record::Record;
-use decibel_common::varint;
 use decibel_pagestore::{LockMode, TxnLocks};
 
 use crate::db::Database;
+use crate::journal;
+use crate::store::VersionedStore;
 use crate::types::VersionRef;
 
 enum Op {
@@ -28,30 +43,62 @@ enum Op {
 }
 
 /// A user session: a checkout position plus an optional open transaction.
-pub struct Session<'db> {
-    db: &'db Database,
+///
+/// ```
+/// use decibel_core::{Database, EngineKind};
+/// use decibel_common::record::Record;
+/// use decibel_common::schema::{ColumnType, Schema};
+/// use decibel_pagestore::StoreConfig;
+///
+/// let dir = tempfile::tempdir().unwrap();
+/// let db = Database::create(
+///     dir.path(),
+///     EngineKind::Hybrid,
+///     Schema::new(2, ColumnType::U32),
+///     &StoreConfig::default(),
+/// )
+/// .unwrap();
+///
+/// // Sessions are Send + 'static: move one into each worker thread.
+/// let handle = {
+///     let mut session = db.session();
+///     std::thread::spawn(move || {
+///         session.insert(Record::new(1, vec![10, 20])).unwrap();
+///         session.commit().unwrap();
+///     })
+/// };
+/// handle.join().unwrap();
+/// assert_eq!(db.session().get(1).unwrap().unwrap().field(0), 10);
+/// ```
+pub struct Session {
+    db: Arc<Database>,
     /// What the session reads (and, for branches, writes).
     at: VersionRef,
     /// Open transaction state.
-    txn: Option<Txn<'db>>,
+    txn: Option<Txn>,
 }
 
-struct Txn<'db> {
+struct Txn {
     id: u64,
-    locks: TxnLocks<'db>,
+    locks: TxnLocks,
     ops: Vec<Op>,
     /// Read-your-writes overlay: key → pending live copy (`None` =
     /// pending delete).
     overlay: FxHashMap<u64, Option<Record>>,
 }
 
-impl<'db> Session<'db> {
-    pub(crate) fn new(db: &'db Database) -> Self {
+impl Session {
+    pub(crate) fn new(db: Arc<Database>) -> Self {
         Session {
             db,
             at: VersionRef::Branch(BranchId::MASTER),
             txn: None,
         }
+    }
+
+    /// The database this session is connected to.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
     }
 
     /// The session's current checkout position.
@@ -63,9 +110,7 @@ impl<'db> Session<'db> {
     /// current session state to point to that version", §2.2.3).
     pub fn checkout_branch(&mut self, name: &str) -> Result<BranchId> {
         self.require_no_txn("checkout")?;
-        let id = self
-            .db
-            .with_store(|s| s.graph().branch_by_name(name).map(|b| b.id))?;
+        let id = self.db.branch_id(name)?;
         self.at = VersionRef::Branch(id);
         Ok(id)
     }
@@ -80,11 +125,10 @@ impl<'db> Session<'db> {
     }
 
     /// Creates a branch rooted at the session's current position and checks
-    /// it out.
+    /// it out (journaled through the database).
     pub fn branch(&mut self, name: &str) -> Result<BranchId> {
         self.require_no_txn("branch")?;
-        let at = self.at;
-        let id = self.db.with_store_mut(|s| s.create_branch(name, at))?;
+        let id = self.db.create_branch(name, self.at)?;
         self.at = VersionRef::Branch(id);
         Ok(id)
     }
@@ -114,6 +158,7 @@ impl<'db> Session<'db> {
             return Ok(());
         }
         let branch = self.write_branch()?;
+        self.db.journal_writable()?;
         let mut locks = self.db.locks.begin();
         locks.lock(branch, LockMode::Exclusive)?;
         self.txn = Some(Txn {
@@ -125,11 +170,33 @@ impl<'db> Session<'db> {
         Ok(())
     }
 
-    fn txn_mut(&mut self) -> Result<&mut Txn<'db>> {
+    fn txn_mut(&mut self) -> Result<&mut Txn> {
         if self.txn.is_none() {
             self.begin()?;
         }
         Ok(self.txn.as_mut().unwrap())
+    }
+
+    /// Runs a read against the store under the 2PL contract: branch reads
+    /// take a shared lock on the branch — held to transaction end inside a
+    /// transaction, momentary otherwise — while committed versions are
+    /// immutable and read lock-free.
+    fn locked_read<T>(&mut self, f: impl FnOnce(&dyn VersionedStore) -> Result<T>) -> Result<T> {
+        match self.at {
+            VersionRef::Branch(branch) => {
+                if let Some(txn) = &mut self.txn {
+                    // Growing phase: the lock joins the transaction's scope
+                    // (a no-op when the exclusive write lock is held).
+                    txn.locks.lock(branch, LockMode::Shared)?;
+                    self.db.with_store(f)
+                } else {
+                    let mut locks = self.db.locks.begin();
+                    locks.lock(branch, LockMode::Shared)?;
+                    self.db.with_store(f)
+                }
+            }
+            VersionRef::Commit(_) => self.db.with_store(f),
+        }
     }
 
     /// Current value of `key` as this session sees it (overlay first).
@@ -140,19 +207,17 @@ impl<'db> Session<'db> {
             }
         }
         let at = self.at;
-        if self.txn.is_none() {
-            if let VersionRef::Branch(b) = at {
-                // Plain read outside a transaction: momentary shared lock.
-                let mut locks = self.db.locks.begin();
-                locks.lock(b, LockMode::Shared)?;
-                return self.db.with_store(|s| s.get(at, key));
-            }
-        }
-        self.db.with_store(|s| s.get(at, key))
+        self.locked_read(|s| s.get(at, key))
     }
 
     /// Buffers an insert (validated against the session's view).
+    ///
+    /// Opens the transaction — taking the exclusive branch lock — *before*
+    /// validating, so the key-existence check cannot go stale between
+    /// validation and commit (2PL: the validating read is part of the
+    /// transaction).
     pub fn insert(&mut self, record: Record) -> Result<()> {
+        self.begin()?;
         let key = record.key();
         if self.get(key)?.is_some() {
             return Err(DbError::DuplicateKey { key });
@@ -163,8 +228,10 @@ impl<'db> Session<'db> {
         Ok(())
     }
 
-    /// Buffers an update (the key must be visible to the session).
+    /// Buffers an update (the key must be visible to the session; like
+    /// [`Session::insert`], validation happens inside the transaction).
     pub fn update(&mut self, record: Record) -> Result<()> {
+        self.begin()?;
         let key = record.key();
         if self.get(key)?.is_none() {
             return Err(DbError::KeyNotFound { key });
@@ -175,8 +242,10 @@ impl<'db> Session<'db> {
         Ok(())
     }
 
-    /// Buffers a delete.
+    /// Buffers a delete (like [`Session::insert`], validation happens
+    /// inside the transaction).
     pub fn delete(&mut self, key: u64) -> Result<bool> {
+        self.begin()?;
         let existed = self.get(key)?.is_some();
         if existed {
             let txn = self.txn_mut()?;
@@ -195,7 +264,7 @@ impl<'db> Session<'db> {
             None => FxHashMap::default(),
         };
         let mut n = 0u64;
-        self.db.with_store(|s| -> Result<()> {
+        self.locked_read(|s| -> Result<()> {
             for item in s.scan(at)? {
                 let rec = item?;
                 if !overlay.contains_key(&rec.key()) {
@@ -222,62 +291,62 @@ impl<'db> Session<'db> {
 
     /// Applies the buffered transaction to the store, journals it, and
     /// creates a commit — the point of atomic visibility (§2.2.3).
+    ///
+    /// The journal entries are appended and sealed inside the same store
+    /// write-lock critical section that applies the ops, so journal order
+    /// always matches store mutation order (what
+    /// [`Database::open`](crate::db::Database::open) replays is exactly
+    /// what happened). Empty transactions are journaled too: they still
+    /// create a commit, and replay must reproduce the commit-id sequence.
     pub fn commit(&mut self) -> Result<CommitId> {
         let branch = self.write_branch()?;
-        let txn = match self.txn.take() {
-            Some(t) => t,
+        let (id, ops, _locks) = match self.txn.take() {
+            Some(t) => (t.id, t.ops, t.locks),
             None => {
-                // Empty transaction: still a legal commit (snapshot point).
-                return self.db.with_store_mut(|s| s.commit(branch));
+                // Empty transaction: still a legal commit (snapshot point),
+                // and still guarded by the branch's exclusive lock.
+                let mut locks = self.db.locks.begin();
+                locks.lock(branch, LockMode::Exclusive)?;
+                (self.db.alloc_txn(), Vec::new(), locks)
             }
         };
         let schema = self.db.with_store(|s| s.schema().clone());
-        for op in &txn.ops {
-            let mut payload = Vec::new();
-            match op {
-                Op::Insert(r) => {
-                    payload.push(1u8);
-                    payload.extend_from_slice(&r.to_bytes(&schema)?);
-                }
-                Op::Update(r) => {
-                    payload.push(2u8);
-                    payload.extend_from_slice(&r.to_bytes(&schema)?);
-                }
-                Op::Delete(k) => {
-                    payload.push(3u8);
-                    varint::write_u64(&mut payload, *k);
-                }
-            }
-            self.db.wal.append(txn.id, &payload)?;
+        let mut entries = Vec::with_capacity(ops.len() + 1);
+        entries.push(journal::encode_begin(branch));
+        for op in &ops {
+            entries.push(match op {
+                Op::Insert(r) => journal::encode_insert(r, &schema)?,
+                Op::Update(r) => journal::encode_update(r, &schema)?,
+                Op::Delete(k) => journal::encode_delete(*k),
+            });
         }
-        let commit = self.db.with_store_mut(|s| -> Result<CommitId> {
-            for op in &txn.ops {
+        self.db.journaled(id, &entries, |store| {
+            for op in &ops {
                 match op {
-                    Op::Insert(r) => s.insert(branch, r.clone())?,
-                    Op::Update(r) => s.update(branch, r.clone())?,
+                    Op::Insert(r) => store.insert(branch, r.clone())?,
+                    Op::Update(r) => store.update(branch, r.clone())?,
                     Op::Delete(k) => {
-                        s.delete(branch, *k)?;
+                        store.delete(branch, *k)?;
                     }
                 }
             }
-            s.commit(branch)
-        })?;
-        self.db.wal.commit(txn.id)?;
-        drop(txn.locks); // shrinking phase
-        Ok(commit)
+            store.commit(branch)
+        })
+        // _locks drop here: shrinking phase, after the journaled critical
+        // section.
     }
 
     /// Discards the buffered transaction ("rolled back if the client
-    /// crashes or disconnects before committing").
+    /// crashes or disconnects before committing"). Nothing reaches the
+    /// journal until commit, so rollback is purely local.
     pub fn rollback(&mut self) {
         if let Some(txn) = self.txn.take() {
-            self.db.wal.rollback();
             drop(txn.locks);
         }
     }
 }
 
-impl Drop for Session<'_> {
+impl Drop for Session {
     fn drop(&mut self) {
         // Disconnect without commit: roll back.
         self.rollback();
@@ -291,7 +360,7 @@ mod tests {
     use decibel_common::schema::{ColumnType, Schema};
     use decibel_pagestore::StoreConfig;
 
-    fn db(kind: EngineKind) -> (tempfile::TempDir, Database) {
+    fn db(kind: EngineKind) -> (tempfile::TempDir, Arc<Database>) {
         let dir = tempfile::tempdir().unwrap();
         let db = Database::create(
             dir.path().join("db"),
@@ -434,7 +503,41 @@ mod tests {
         drop(s);
         let txns = decibel_pagestore::Wal::recover(database.dir().join("wal.log")).unwrap();
         assert_eq!(txns.len(), 1);
-        assert_eq!(txns[0].entries.len(), 1);
-        assert_eq!(txns[0].entries[0][0], 1u8); // insert opcode
+        assert_eq!(txns[0].entries.len(), 2);
+        assert_eq!(txns[0].entries[0][0], 0u8); // branch header
+        assert_eq!(txns[0].entries[1][0], 1u8); // insert opcode
+    }
+
+    #[test]
+    fn in_txn_reads_keep_branch_locked() {
+        let (_d, database) = db(EngineKind::Hybrid);
+        let mut a = database.session();
+        a.insert(rec(1, 1)).unwrap();
+        let _ = a.get(1).unwrap(); // read inside the open transaction
+                                   // A second session cannot even read the branch while the writer's
+                                   // transaction is open (writer holds the exclusive branch lock).
+        let mut b = database.session();
+        assert!(matches!(
+            b.scan_collect().unwrap_err(),
+            DbError::LockContention { .. }
+        ));
+        a.commit().unwrap();
+        assert_eq!(b.scan_collect().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn commit_checkout_reads_are_lock_free() {
+        let (_d, database) = db(EngineKind::Hybrid);
+        let mut setup = database.session();
+        setup.insert(rec(1, 1)).unwrap();
+        let c1 = setup.commit().unwrap();
+        // A writer holds the exclusive branch lock...
+        let mut writer = database.session();
+        writer.insert(rec(2, 2)).unwrap();
+        // ...but reading the immutable commit needs no branch lock.
+        let mut reader = database.session();
+        reader.checkout_commit(c1).unwrap();
+        assert_eq!(reader.scan_collect().unwrap().len(), 1);
+        writer.commit().unwrap();
     }
 }

@@ -39,7 +39,14 @@ use crate::types::{
 /// tombstone), whereas tuple-first and hybrid validate keys against their
 /// per-branch primary-key indexes and return
 /// [`DbError`](decibel_common::DbError)`::KeyNotFound` / `::DuplicateKey`.
-pub trait VersionedStore: Send {
+///
+/// # Thread safety
+///
+/// Implementations must be `Send + Sync`: every `&self` method (point
+/// lookups, scans, diffs, stats) is safe to call from many threads at once.
+/// [`Database`](crate::db::Database) relies on this to run concurrent
+/// sessions' reads under a shared reader-writer lock instead of a mutex.
+pub trait VersionedStore: Send + Sync {
     /// Which storage scheme this engine implements.
     fn kind(&self) -> EngineKind;
 
@@ -81,6 +88,25 @@ pub trait VersionedStore: Send {
     /// Streams the union of several branches' live records, each annotated
     /// with the branches containing it (benchmark Query 4).
     fn multi_scan(&self, branches: &[BranchId]) -> Result<AnnotatedIter<'_>>;
+
+    /// Materialized multi-branch scan that is free to use intra-query
+    /// parallelism. `threads` is a hint: values ≤ 1 request a sequential
+    /// scan; larger values permit the engine to fan segment scans out over
+    /// that many workers. The result is identical (same records, same
+    /// order, same annotations) to draining [`VersionedStore::multi_scan`].
+    ///
+    /// The default implementation just materializes the sequential scan;
+    /// the hybrid engine overrides it with a work-stealing per-segment
+    /// parallel scan (the parallelism §3.4's branch-segment bitmap "allows
+    /// for").
+    fn par_multi_scan(
+        &self,
+        branches: &[BranchId],
+        threads: usize,
+    ) -> Result<Vec<(Record, Vec<BranchId>)>> {
+        let _ = threads;
+        self.multi_scan(branches)?.collect()
+    }
 
     /// Materializes the symmetric difference of two versions (benchmark
     /// Query 2 uses one side of it).

@@ -150,6 +150,22 @@ impl EngineKind {
         ]
     }
 
+    /// Stable identifier used in on-disk manifests (round-trips through
+    /// [`EngineKind::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::TupleFirstBranch => "tuple_first_branch",
+            EngineKind::TupleFirstTuple => "tuple_first_tuple",
+            EngineKind::VersionFirst => "version_first",
+            EngineKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a manifest identifier written by [`EngineKind::name`].
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        EngineKind::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// The three headline engines the paper's figures compare (TF with its
     /// evaluation-default branch-oriented bitmap, §5).
     pub fn headline() -> [EngineKind; 3] {
@@ -181,6 +197,14 @@ mod tests {
     fn policy_precedence() {
         assert!(MergePolicy::TwoWay { prefer_left: true }.prefer_left());
         assert!(!MergePolicy::ThreeWay { prefer_left: false }.prefer_left());
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for kind in EngineKind::all() {
+            assert_eq!(EngineKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EngineKind::from_name("no_such_engine"), None);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! everything it holds (growing phase over, shrinking phase on drop) —
 //! the standard timeout-based deadlock-victim scheme.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use decibel_common::error::{DbError, Result};
@@ -64,9 +65,12 @@ impl LockManager {
     /// Starts a transaction's lock scope. Locks acquired through the
     /// returned guard are all released when it drops (strict 2PL: no lock
     /// is released before the transaction ends).
-    pub fn begin(&self) -> TxnLocks<'_> {
+    ///
+    /// The scope holds its own `Arc` to the manager, so it is `'static` and
+    /// can live inside session objects that are sent across threads.
+    pub fn begin(self: &Arc<Self>) -> TxnLocks {
         TxnLocks {
-            mgr: self,
+            mgr: Arc::clone(self),
             held: Vec::new(),
         }
     }
@@ -123,12 +127,12 @@ impl Default for LockManager {
 
 /// A transaction's set of held locks (strict two-phase: grown via
 /// [`TxnLocks::lock`], released together on drop).
-pub struct TxnLocks<'a> {
-    mgr: &'a LockManager,
+pub struct TxnLocks {
+    mgr: Arc<LockManager>,
     held: Vec<(BranchId, LockMode)>,
 }
 
-impl TxnLocks<'_> {
+impl TxnLocks {
     /// Acquires `mode` on `branch`, blocking up to the manager's timeout.
     ///
     /// Re-acquisitions are no-ops; a shared holder asking for exclusive is
@@ -181,7 +185,7 @@ impl TxnLocks<'_> {
     }
 }
 
-impl Drop for TxnLocks<'_> {
+impl Drop for TxnLocks {
     fn drop(&mut self) {
         for &(branch, mode) in &self.held {
             self.mgr.release(branch, mode);
@@ -197,7 +201,7 @@ mod tests {
 
     #[test]
     fn shared_locks_coexist() {
-        let mgr = LockManager::default();
+        let mgr = Arc::new(LockManager::default());
         let mut a = mgr.begin();
         let mut b = mgr.begin();
         a.lock(BranchId(0), LockMode::Shared).unwrap();
@@ -231,7 +235,7 @@ mod tests {
 
     #[test]
     fn conflicting_exclusive_times_out() {
-        let mgr = LockManager::new(Duration::from_millis(50));
+        let mgr = Arc::new(LockManager::new(Duration::from_millis(50)));
         let mut a = mgr.begin();
         a.lock(BranchId(1), LockMode::Exclusive).unwrap();
         let mut b = mgr.begin();
@@ -241,7 +245,7 @@ mod tests {
 
     #[test]
     fn reacquire_is_idempotent() {
-        let mgr = LockManager::default();
+        let mgr = Arc::new(LockManager::default());
         let mut a = mgr.begin();
         a.lock(BranchId(2), LockMode::Exclusive).unwrap();
         a.lock(BranchId(2), LockMode::Exclusive).unwrap();
@@ -251,7 +255,7 @@ mod tests {
 
     #[test]
     fn sole_reader_upgrades() {
-        let mgr = LockManager::new(Duration::from_millis(50));
+        let mgr = Arc::new(LockManager::new(Duration::from_millis(50)));
         let mut a = mgr.begin();
         a.lock(BranchId(3), LockMode::Shared).unwrap();
         a.lock(BranchId(3), LockMode::Exclusive).unwrap();
@@ -262,7 +266,7 @@ mod tests {
 
     #[test]
     fn upgrade_with_other_readers_times_out() {
-        let mgr = LockManager::new(Duration::from_millis(50));
+        let mgr = Arc::new(LockManager::new(Duration::from_millis(50)));
         let mut a = mgr.begin();
         let mut b = mgr.begin();
         a.lock(BranchId(4), LockMode::Shared).unwrap();
@@ -272,7 +276,7 @@ mod tests {
 
     #[test]
     fn drop_releases_everything() {
-        let mgr = LockManager::new(Duration::from_millis(50));
+        let mgr = Arc::new(LockManager::new(Duration::from_millis(50)));
         {
             let mut a = mgr.begin();
             a.lock(BranchId(5), LockMode::Exclusive).unwrap();
@@ -285,7 +289,7 @@ mod tests {
 
     #[test]
     fn distinct_branches_do_not_conflict() {
-        let mgr = LockManager::default();
+        let mgr = Arc::new(LockManager::default());
         let mut a = mgr.begin();
         let mut b = mgr.begin();
         a.lock(BranchId(7), LockMode::Exclusive).unwrap();

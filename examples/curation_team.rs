@@ -5,14 +5,18 @@
 //! once validated — without exposing partial changes to consumers of the
 //! canonical version.
 //!
+//! Everything flows through the connection-oriented API: sessions for the
+//! curators' transactional edits, the fluent reader for queries, and the
+//! database's journaled `merge` for promotions.
+//!
 //! Run with: `cargo run --example curation_team`
 
 use decibel::common::ids::BranchId;
 use decibel::common::record::Record;
 use decibel::common::rng::DetRng;
 use decibel::common::schema::{ColumnType, Schema};
-use decibel::core::engine::HybridEngine;
-use decibel::core::{MergePolicy, VersionRef, VersionedStore};
+use decibel::core::query::Predicate;
+use decibel::core::{Database, EngineKind, MergePolicy, VersionRef};
 use decibel::pagestore::StoreConfig;
 
 /// "Points of interest" relation: region, category, lat, lon, verified.
@@ -23,14 +27,16 @@ const C_VERIFIED: usize = 4;
 
 fn main() -> decibel::Result<()> {
     let dir = tempfile::tempdir().expect("tempdir");
-    let mut store = HybridEngine::init(
+    let db = Database::create(
         dir.path(),
+        EngineKind::Hybrid,
         Schema::new(COLS, ColumnType::U32),
         &StoreConfig::default(),
     )?;
     let mut rng = DetRng::seed_from_u64(44);
 
     // The canonical map: 400 points of interest across 4 regions.
+    let mut curator = db.session();
     for key in 0..400u64 {
         let fields = vec![
             key % 4,
@@ -39,56 +45,56 @@ fn main() -> decibel::Result<()> {
             rng.range(0, 180),
             0,
         ];
-        store.insert(BranchId::MASTER, Record::new(key, fields))?;
+        curator.insert(Record::new(key, fields))?;
     }
-    store.commit(BranchId::MASTER)?;
+    curator.commit()?;
     println!("canonical dataset: 400 points of interest");
 
     // A development branch for the region-2 curator's overhaul.
-    let dev = store.create_branch("region2-overhaul", VersionRef::Branch(BranchId::MASTER))?;
-    let region2: Vec<Record> = store
-        .scan(dev.into())?
-        .collect::<decibel::Result<Vec<_>>>()?
-        .into_iter()
-        .filter(|r| r.field(C_REGION) == 2)
-        .collect();
+    let dev = curator.branch("region2-overhaul")?;
+    let region2 = db
+        .read(VersionRef::Branch(dev))
+        .filter(Predicate::ColEq(C_REGION, 2))
+        .collect()?;
     for mut rec in region2 {
         rec.set_field(C_VERIFIED, 1); // curator verifies each entry
-        store.update(dev, rec)?;
+        curator.update(rec)?;
     }
-    store.commit(dev)?;
+    curator.commit()?;
     println!("dev branch verified every region-2 entry");
 
     // A short-lived fix branch off the dev branch: recategorize a handful
     // of entries, then merge back into the dev branch (its parent).
-    let fix = store.create_branch("fix-categories", VersionRef::Branch(dev))?;
+    let fix = curator.branch("fix-categories")?;
     for key in [2u64, 6, 10, 14] {
-        let mut rec = store.get(fix.into(), key)?.expect("key exists");
+        let mut rec = curator.get(key)?.expect("key exists");
         rec.set_field(C_CATEGORY, 9);
-        store.update(fix, rec)?;
+        curator.update(rec)?;
     }
-    store.commit(fix)?;
-    let res = store.merge(dev, fix, MergePolicy::ThreeWay { prefer_left: false })?;
+    curator.commit()?;
+    let res = db.merge(dev, fix, MergePolicy::ThreeWay { prefer_left: false })?;
     println!(
         "fix branch merged into dev: {} records changed, {} conflicts",
         res.records_changed,
         res.conflicts.len()
     );
 
-    // Meanwhile mainline keeps evolving — another curator touches one of
-    // the same records, setting up a field-level conflict.
-    let mut mainline_edit = store.get(VersionRef::Branch(BranchId::MASTER), 2)?.unwrap();
-    mainline_edit.set_field(C_CATEGORY, 5); // conflicting categorization
-    store.update(BranchId::MASTER, mainline_edit)?;
-    let mut disjoint_edit = store.get(VersionRef::Branch(BranchId::MASTER), 3)?.unwrap();
+    // Meanwhile mainline keeps evolving — another curator, another
+    // session, touching one of the same records to set up a field-level
+    // conflict.
+    let mut mainline_curator = db.session();
+    let mut conflicting_edit = mainline_curator.get(2)?.expect("key exists");
+    conflicting_edit.set_field(C_CATEGORY, 5); // conflicting categorization
+    mainline_curator.update(conflicting_edit)?;
+    let mut disjoint_edit = mainline_curator.get(3)?.expect("key exists");
     disjoint_edit.set_field(C_REGION, 3); // disjoint from dev's edits
-    store.update(BranchId::MASTER, disjoint_edit)?;
-    store.commit(BranchId::MASTER)?;
+    mainline_curator.update(disjoint_edit)?;
+    mainline_curator.commit()?;
 
     // Promote the dev branch into the canonical version. Field-level
     // three-way merge: disjoint edits auto-merge; the conflicting category
     // of key 2 resolves in the dev branch's favour (precedence).
-    let res = store.merge(
+    let res = db.merge(
         BranchId::MASTER,
         dev,
         MergePolicy::ThreeWay { prefer_left: false },
@@ -107,8 +113,9 @@ fn main() -> decibel::Result<()> {
         );
     }
 
-    // Validate the merged canonical state.
-    let merged2 = store.get(VersionRef::Branch(BranchId::MASTER), 2)?.unwrap();
+    // Validate the merged canonical state through a fresh reader session.
+    let mut reader = db.session();
+    let merged2 = reader.get(2)?.expect("key exists");
     assert_eq!(
         merged2.field(C_CATEGORY),
         9,
@@ -119,24 +126,24 @@ fn main() -> decibel::Result<()> {
         1,
         "dev's verification flag survives"
     );
-    let merged3 = store.get(VersionRef::Branch(BranchId::MASTER), 3)?.unwrap();
+    let merged3 = reader.get(3)?.expect("key exists");
     assert_eq!(
         merged3.field(C_REGION),
         3,
         "mainline's disjoint edit survives"
     );
 
-    let verified = store
-        .scan(VersionRef::Branch(BranchId::MASTER))?
-        .collect::<decibel::Result<Vec<_>>>()?
-        .iter()
-        .filter(|r| r.field(C_VERIFIED) == 1)
-        .count();
+    let verified = db
+        .read(VersionRef::Branch(BranchId::MASTER))
+        .filter(Predicate::ColEq(C_VERIFIED, 1))
+        .count()?;
     println!("canonical dataset now has {verified} verified entries");
 
     // The merge is provenance-tracked: the merge commit has two parents.
-    let head = store.graph().head(BranchId::MASTER)?;
-    let parents = store.graph().commit(head)?.parents.len();
+    let (head, parents) = db.with_store(|s| {
+        let head = s.graph().head(BranchId::MASTER)?;
+        Ok::<_, decibel::DbError>((head, s.graph().commit(head)?.parents.len()))
+    })?;
     println!("mainline head {head} is a merge commit with {parents} parents");
     assert_eq!(parents, 2);
     Ok(())

@@ -1,26 +1,29 @@
 //! Quickstart: the full version-control workflow on one relation.
 //!
 //! Walks the paper's §2.2.3 operations end to end — init, insert, commit,
-//! branch, checkout, diff, merge — through the session API on the hybrid
-//! engine.
+//! branch, checkout, diff, merge — through the connection-oriented API on
+//! the hybrid engine, then reopens the database directory to show journal
+//! replay recovering everything.
 //!
 //! Run with: `cargo run --example quickstart`
 
+use decibel::common::ids::BranchId;
 use decibel::common::record::Record;
 use decibel::common::schema::{ColumnType, Schema};
-use decibel::core::query::{Predicate, Query, QueryOutput};
+use decibel::core::query::Predicate;
 use decibel::core::{Database, EngineKind, MergePolicy, VersionRef};
 use decibel::pagestore::StoreConfig;
 
 fn main() -> decibel::Result<()> {
     let dir = tempfile::tempdir().expect("tempdir");
+    let config = StoreConfig::default();
 
     // Init: a dataset with one relation of four integer columns (§2.2.1).
     let db = Database::create(
         dir.path(),
         EngineKind::Hybrid,
         Schema::new(4, ColumnType::U32),
-        &StoreConfig::default(),
+        &config,
     )?;
     println!(
         "created a hybrid-engine database at {}",
@@ -39,41 +42,32 @@ fn main() -> decibel::Result<()> {
     // Branch off and diverge: updates on the branch are invisible to
     // master ("Modifications made to Branch 1 are not visible to any
     // ancestor or sibling branches", §2.2.3).
-    session.branch("cleaning")?;
+    let cleaning = session.branch("cleaning")?;
     session.update(Record::new(7, vec![7_700, 0, 1007, 1]))?;
     session.delete(13)?;
     session.insert(Record::new(1_000, vec![1, 2, 3, 4]))?;
     session.commit()?;
 
     session.checkout_branch("master")?;
-    let master_view = session.scan_collect()?;
     println!(
         "master still sees {} records (branch work is isolated)",
-        master_view.len()
+        session.scan_collect()?.len()
     );
 
-    // Diff the two branches (Query 2's positive diff).
-    let out = db.query(&Query::PositiveDiff {
-        left: VersionRef::Branch(
-            db.with_store(|s| s.graph().branch_by_name("cleaning").unwrap().id),
-        ),
-        right: VersionRef::Branch(
-            db.with_store(|s| s.graph().branch_by_name("master").unwrap().id),
-        ),
-    })?;
-    println!("records only in 'cleaning': {}", out.len());
+    // Diff the two branches (Query 2's positive diff) with the fluent
+    // reader.
+    let only_in_cleaning = db
+        .read(VersionRef::Branch(cleaning))
+        .minus(BranchId::MASTER)?;
+    println!("records only in 'cleaning': {}", only_in_cleaning.len());
 
     // Merge the branch back with field-level three-way semantics; the
     // branch's changes win conflicting fields.
-    let result = db.with_store_mut(|store| {
-        let master = store.graph().branch_by_name("master").unwrap().id;
-        let cleaning = store.graph().branch_by_name("cleaning").unwrap().id;
-        store.merge(
-            master,
-            cleaning,
-            MergePolicy::ThreeWay { prefer_left: false },
-        )
-    })?;
+    let result = db.merge(
+        BranchId::MASTER,
+        cleaning,
+        MergePolicy::ThreeWay { prefer_left: false },
+    )?;
     println!(
         "merged 'cleaning' into master: commit {}, {} records changed, {} conflicts",
         result.commit,
@@ -96,14 +90,28 @@ fn main() -> decibel::Result<()> {
     println!("historical version {v1} still shows the original values");
 
     // A declarative query over the merged head (Query 1 with a predicate).
-    let master = db.with_store(|s| s.graph().branch_by_name("master").unwrap().id);
-    let out = db.query(&Query::ScanVersion {
-        version: VersionRef::Branch(master),
-        predicate: Predicate::ColEq(1, 0),
-    })?;
-    if let QueryOutput::Records(rows) = out {
-        println!("{} records on master satisfy col1 = 0", rows.len());
-    }
+    let col1_zero = db
+        .read(VersionRef::Branch(BranchId::MASTER))
+        .filter(Predicate::ColEq(1, 0))
+        .count()?;
+    println!("{col1_zero} records on master satisfy col1 = 0");
+
+    // Crash recovery: drop every handle without flushing, then reopen the
+    // directory. `Database::open` replays the journal — inserts, branches,
+    // commits, and the merge all come back.
+    let path = db.dir().to_path_buf();
+    drop(session);
+    drop(db);
+    let db = Database::open(&path, &config)?;
+    let mut session = db.session();
+    assert_eq!(session.get(7)?.unwrap().field(0), 7_700);
+    assert_eq!(
+        db.read(VersionRef::Branch(BranchId::MASTER)).count()?,
+        100,
+        "100 original records - 1 delete + 1 insert"
+    );
+    assert_eq!(db.branch_id("cleaning")?, cleaning);
+    println!("reopened the directory: journal replay restored the merged state");
     println!("quickstart complete");
     Ok(())
 }

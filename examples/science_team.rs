@@ -3,9 +3,11 @@
 //! copying the data, and can always return to the exact version an
 //! experiment used.
 //!
-//! The cast mirrors the paper's motivating example: one analyst normalizes
+//! The cast mirrors the paper's motivating example — one analyst normalizes
 //! a column, another annotates records, while the upstream feed keeps
-//! appending to mainline.
+//! appending to mainline — and the wiring mirrors the paper's server shape
+//! (§2.2.3): one shared `Database` handle, one session per user, the
+//! analyst working in their own thread concurrently with the feed.
 //!
 //! Run with: `cargo run --example science_team`
 
@@ -13,8 +15,8 @@ use decibel::common::ids::BranchId;
 use decibel::common::record::Record;
 use decibel::common::rng::DetRng;
 use decibel::common::schema::{ColumnType, Schema};
-use decibel::core::engine::HybridEngine;
-use decibel::core::{VersionRef, VersionedStore};
+use decibel::core::query::Predicate;
+use decibel::core::{Database, EngineKind, VersionRef};
 use decibel::pagestore::StoreConfig;
 
 /// Column layout for the "user activity" relation.
@@ -35,90 +37,104 @@ fn feed_record(rng: &mut DetRng, key: u64) -> Record {
 
 fn main() -> decibel::Result<()> {
     let dir = tempfile::tempdir().expect("tempdir");
-    let mut store = HybridEngine::init(
+    let db = Database::create(
         dir.path(),
+        EngineKind::Hybrid,
         Schema::new(COLS, ColumnType::U32),
         &StoreConfig::default(),
     )?;
     let mut rng = DetRng::seed_from_u64(2016);
 
-    // The upstream feed populates mainline.
+    // The upstream feed populates mainline through its own session.
+    let mut feed = db.session();
     let mut next_key = 0u64;
     for _ in 0..500 {
-        store.insert(BranchId::MASTER, feed_record(&mut rng, next_key))?;
+        feed.insert(feed_record(&mut rng, next_key))?;
         next_key += 1;
     }
-    let snapshot = store.commit(BranchId::MASTER)?;
+    let snapshot = feed.commit()?;
     println!(
         "mainline snapshot {snapshot}: {} records",
-        store.live_count(snapshot.into())?
+        db.read(VersionRef::Commit(snapshot)).count()?
     );
 
-    // Analyst A: region normalization on a private branch. "analysts will
-    // prefer to limit themselves to the subset of data available when
-    // analysis began" — the branch pins that subset.
-    let cleaning = store.create_branch("region-cleaning", VersionRef::Commit(snapshot))?;
-    let mut fixed = 0u64;
-    let to_fix: Vec<Record> = store
-        .scan(cleaning.into())?
-        .collect::<decibel::Result<Vec<_>>>()?
-        .into_iter()
-        .filter(|r| r.field(C_REGION) > 255)
-        .collect();
-    for mut rec in to_fix {
-        rec.set_field(C_REGION, rec.field(C_REGION) % 256);
-        store.update(cleaning, rec)?;
-        fixed += 1;
+    // Analyst A: region normalization on a private branch pinned to the
+    // snapshot — "analysts will prefer to limit themselves to the subset of
+    // data available when analysis began". The analyst runs in their own
+    // thread with their own session; the feed keeps writing concurrently.
+    let analyst_a = {
+        let db = db.clone();
+        std::thread::spawn(move || -> decibel::Result<(BranchId, u64)> {
+            let mut session = db.session();
+            session.checkout_commit(snapshot)?;
+            let cleaning = session.branch("region-cleaning")?;
+            let to_fix = db
+                .read(VersionRef::Branch(cleaning))
+                .filter(Predicate::ColGe(C_REGION, 256))
+                .collect()?;
+            let fixed = to_fix.len() as u64;
+            for mut rec in to_fix {
+                rec.set_field(C_REGION, rec.field(C_REGION) % 256);
+                session.update(rec)?;
+            }
+            session.commit()?;
+            Ok((cleaning, fixed))
+        })
+    };
+
+    // Meanwhile the feed keeps writing to mainline — a different branch,
+    // so the two sessions never contend on a branch lock, and the analyst's
+    // branch never sees these rows.
+    for _ in 0..250 {
+        feed.insert(feed_record(&mut rng, next_key))?;
+        next_key += 1;
     }
-    let cleaned = store.commit(cleaning)?;
+    feed.commit()?;
+
+    let (cleaning, fixed) = analyst_a.join().expect("analyst A thread")?;
     println!("analyst A normalized {fixed} region codes on branch 'region-cleaning'");
 
     // Analyst B: labels high-value users, branching from A's result to
     // build on the cleaned data ("create further branches to test and
     // compare different ... strategies").
-    let labeling = store.create_branch("hv-labels", VersionRef::Commit(cleaned))?;
-    let to_label: Vec<Record> = store
-        .scan(labeling.into())?
-        .collect::<decibel::Result<Vec<_>>>()?
-        .into_iter()
-        .filter(|r| r.field(C_SPEND) > 7_500)
-        .collect();
+    let mut session_b = db.session();
+    session_b.checkout_branch("region-cleaning")?;
+    let labeling = session_b.branch("hv-labels")?;
+    let to_label = db
+        .read(VersionRef::Branch(labeling))
+        .filter(Predicate::ColGe(C_SPEND, 7_501))
+        .collect()?;
     let labeled = to_label.len();
     for mut rec in to_label {
         rec.set_field(C_LABEL, 1);
-        store.update(labeling, rec)?;
+        session_b.update(rec)?;
     }
-    store.commit(labeling)?;
+    session_b.commit()?;
     println!("analyst B labeled {labeled} high-value users on branch 'hv-labels'");
 
-    // Meanwhile the feed keeps writing to mainline — invisible to both
-    // analysts' branches.
-    for _ in 0..250 {
-        store.insert(BranchId::MASTER, feed_record(&mut rng, next_key))?;
-        next_key += 1;
-    }
-    store.commit(BranchId::MASTER)?;
-
-    let mainline_now = store.live_count(VersionRef::Branch(BranchId::MASTER))?;
-    let branch_view = store.live_count(VersionRef::Branch(labeling))?;
+    let mainline_now = db.read(VersionRef::Branch(BranchId::MASTER)).count()?;
+    let branch_view = db.read(VersionRef::Branch(labeling)).count()?;
     println!("mainline has grown to {mainline_now} records; 'hv-labels' still sees {branch_view}");
     assert_eq!(branch_view, 500, "the experiment's data is pinned");
+    assert_eq!(
+        db.read(VersionRef::Branch(cleaning)).count()?,
+        500,
+        "so is analyst A's branch"
+    );
 
     // Reproducibility: any committed version restores exactly.
-    assert_eq!(store.checkout_version(snapshot)?, 500);
-    let dirty_regions = store
-        .scan(VersionRef::Commit(snapshot))?
-        .collect::<decibel::Result<Vec<_>>>()?
-        .iter()
-        .filter(|r| r.field(C_REGION) > 255)
-        .count();
+    assert_eq!(db.with_store(|s| s.checkout_version(snapshot))?, 500);
+    let dirty_regions = db
+        .read(VersionRef::Commit(snapshot))
+        .filter(Predicate::ColGe(C_REGION, 256))
+        .count()?;
     println!(
         "checking out snapshot {snapshot} reproduces the raw data ({dirty_regions} dirty regions)"
     );
     assert!(dirty_regions > 0);
 
     // Storage stays shared: three logical copies, nowhere near 3x bytes.
-    let stats = store.stats();
+    let stats = db.with_store(|s| s.stats());
     println!(
         "storage: {:.1} MB data, {:.1} KB bitmap indexes, {} segments for 3 branches",
         stats.data_bytes as f64 / 1e6,

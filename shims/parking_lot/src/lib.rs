@@ -1,8 +1,9 @@
 //! Offline stand-in for `parking_lot`.
 //!
 //! Wraps `std::sync` primitives behind parking_lot's non-poisoning API
-//! subset used by this workspace: [`Mutex`] (infallible `lock`) and
-//! [`Condvar`] with `wait_until` on an `&mut MutexGuard`.
+//! subset used by this workspace: [`Mutex`] (infallible `lock`),
+//! [`RwLock`] (infallible `read`/`write`), and [`Condvar`] with
+//! `wait_until` on an `&mut MutexGuard`.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -63,6 +64,100 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// A reader-writer lock whose acquisitions never return poison errors.
+///
+/// Any number of readers share the lock; a writer excludes everything.
+/// Matches the parking_lot API subset this workspace uses: `read`, `write`,
+/// `try_read`, `try_write`, `get_mut`, `into_inner`.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// RAII shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        RwLockReadGuard { inner }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        RwLockWriteGuard { inner }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(inner) => Some(RwLockReadGuard { inner }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
+                inner: e.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(inner) => Some(RwLockWriteGuard { inner }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
+                inner: e.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
     }
 }
 
@@ -146,6 +241,50 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_readers_share() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+        assert!(l.try_write().is_none(), "readers exclude writers");
+        drop((a, b));
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn rwlock_writer_excludes_readers() {
+        let l = RwLock::new(0u32);
+        let mut w = l.write();
+        *w = 7;
+        assert!(l.try_read().is_none(), "writer excludes readers");
+        drop(w);
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn rwlock_concurrent_readers_make_progress() {
+        let l = Arc::new(RwLock::new(41));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || *l.read()));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 41);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 42);
     }
 
     #[test]

@@ -16,8 +16,16 @@
 //!
 //! ## Quick start
 //!
+//! `Database::create`/`Database::open` return an `Arc<Database>`; sessions
+//! own a clone of it and are `Send`, so the paper's many-users-many-
+//! sessions shape maps onto one session per thread. Reads flow through the
+//! fluent query builder and run concurrently under a shared lock; writes
+//! are transactional, journaled, and recovered on reopen.
+//!
 //! ```
+//! use decibel::core::query::Predicate;
 //! use decibel::core::{Database, EngineKind, MergePolicy};
+//! use decibel::common::ids::BranchId;
 //! use decibel::common::record::Record;
 //! use decibel::common::schema::{ColumnType, Schema};
 //! use decibel::pagestore::StoreConfig;
@@ -35,15 +43,25 @@
 //! session.insert(Record::new(1, vec![10, 20, 30, 40])).unwrap();
 //! session.commit().unwrap();
 //!
-//! // Branch, diverge, merge back.
-//! session.branch("experiment").unwrap();
-//! session.update(Record::new(1, vec![99, 20, 30, 40])).unwrap();
-//! session.commit().unwrap();
-//! db.with_store_mut(|store| {
-//!     let master = store.graph().branch_by_name("master").unwrap().id;
-//!     let exp = store.graph().branch_by_name("experiment").unwrap().id;
-//!     store.merge(master, exp, MergePolicy::ThreeWay { prefer_left: false }).unwrap();
-//! });
+//! // Branch and diverge on another thread (sessions are Send)...
+//! let worker = {
+//!     let db = db.clone();
+//!     std::thread::spawn(move || {
+//!         let mut session = db.session();
+//!         let exp = session.branch("experiment").unwrap();
+//!         session.update(Record::new(1, vec![99, 20, 30, 40])).unwrap();
+//!         session.commit().unwrap();
+//!         exp
+//!     })
+//! };
+//! let exp = worker.join().unwrap();
+//!
+//! // ...query through the fluent builder, then merge back (journaled).
+//! let rows = db.read(exp).filter(Predicate::ColGe(0, 50)).collect().unwrap();
+//! assert_eq!(rows.len(), 1);
+//! db.merge(BranchId::MASTER, exp, MergePolicy::ThreeWay { prefer_left: false })
+//!     .unwrap();
+//! assert_eq!(db.session().get(1).unwrap().unwrap().field(0), 99);
 //! ```
 //!
 //! ## Crate map
@@ -71,4 +89,4 @@ pub use decibel_vgraph as vgraph;
 pub use gitlike;
 
 pub use decibel_common::{DbError, Result};
-pub use decibel_core::{Database, EngineKind, MergePolicy, VersionRef, VersionedStore};
+pub use decibel_core::{Database, EngineKind, MergePolicy, Session, VersionRef, VersionedStore};

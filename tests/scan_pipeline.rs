@@ -1,13 +1,15 @@
-//! Properties of the word-level scan pipeline: the parallel multi-branch
-//! scan must be indistinguishable from the sequential one for any thread
-//! count, and the streaming annotated scan must agree with first
-//! principles (per-row bitmap probes).
+//! Properties of the word-level scan pipeline, exercised through the
+//! public `Database` API: the parallel multi-branch scan must be
+//! indistinguishable from the sequential one for any thread count, and the
+//! streaming annotated scan must agree with first principles (per-row
+//! bitmap probes).
+
+use std::sync::Arc;
 
 use decibel::common::ids::BranchId;
 use decibel::common::record::Record;
 use decibel::common::schema::{ColumnType, Schema};
-use decibel::core::engine::HybridEngine;
-use decibel::core::store::VersionedStore;
+use decibel::core::{Database, EngineKind};
 use decibel::pagestore::StoreConfig;
 use proptest::prelude::*;
 
@@ -38,71 +40,76 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 /// Applies ops round-robin over the live branches, forking a new branch
-/// from a rotating parent on `Op::Branch`. Returns the engine and every
+/// from a rotating parent on `Op::Branch`. Returns the database and every
 /// branch head.
-fn build(ops: &[Op]) -> (tempfile::TempDir, HybridEngine, Vec<BranchId>) {
+fn build(ops: &[Op]) -> (tempfile::TempDir, Arc<Database>, Vec<BranchId>) {
     let dir = tempfile::tempdir().unwrap();
     let schema = Schema::new(COLS, ColumnType::U32);
     // Tiny pages: scans cross many page boundaries.
     let mut cfg = StoreConfig::test_default();
     cfg.page_size = 512;
-    let mut eng = HybridEngine::init(dir.path().join("hy"), schema, &cfg).unwrap();
-    let mut branches = vec![BranchId::MASTER];
-    for (i, op) in ops.iter().enumerate() {
-        let b = branches[i % branches.len()];
-        match op {
-            Op::Insert(k) => {
-                if eng.get(b.into(), *k).unwrap().is_none() {
-                    eng.insert(b, rec(*k, i as u64)).unwrap();
+    let db = Database::create(dir.path().join("hy"), EngineKind::Hybrid, schema, &cfg).unwrap();
+    let branches = db.with_store_mut(|eng| {
+        let mut branches = vec![BranchId::MASTER];
+        for (i, op) in ops.iter().enumerate() {
+            let b = branches[i % branches.len()];
+            match op {
+                Op::Insert(k) => {
+                    if eng.get(b.into(), *k).unwrap().is_none() {
+                        eng.insert(b, rec(*k, i as u64)).unwrap();
+                    }
                 }
-            }
-            Op::Update(k) => {
-                if eng.get(b.into(), *k).unwrap().is_some() {
-                    eng.update(b, rec(*k, 1000 + i as u64)).unwrap();
+                Op::Update(k) => {
+                    if eng.get(b.into(), *k).unwrap().is_some() {
+                        eng.update(b, rec(*k, 1000 + i as u64)).unwrap();
+                    }
                 }
-            }
-            Op::Delete(k) => {
-                eng.delete(b, *k).unwrap();
-            }
-            Op::Branch => {
-                if branches.len() < 12 {
-                    let name = format!("b{}", branches.len());
-                    branches.push(eng.create_branch(&name, b.into()).unwrap());
+                Op::Delete(k) => {
+                    eng.delete(b, *k).unwrap();
                 }
-            }
-            Op::Commit => {
-                eng.commit(b).unwrap();
+                Op::Branch => {
+                    if branches.len() < 12 {
+                        let name = format!("b{}", branches.len());
+                        branches.push(eng.create_branch(&name, b.into()).unwrap());
+                    }
+                }
+                Op::Commit => {
+                    eng.commit(b).unwrap();
+                }
             }
         }
-    }
-    (dir, eng, branches)
+        branches
+    });
+    (dir, db, branches)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
-    /// `par_multi_scan` returns byte-identical results to the sequential
-    /// `multi_scan` — same records, same order, same branch annotations —
-    /// for any thread count, including 1 and counts far beyond the number
-    /// of segments.
+    /// The parallel multi-branch scan returns byte-identical results to
+    /// the sequential one — same records, same order, same branch
+    /// annotations — for any thread count, including 1 and counts far
+    /// beyond the number of segments. Both run through the public fluent
+    /// builder (no engine downcasting anywhere).
     #[test]
     fn par_multi_scan_matches_sequential(
         ops in proptest::collection::vec(op_strategy(), 1..120))
     {
-        let (_d, eng, branches) = build(&ops);
-        let seq: Vec<(Record, Vec<BranchId>)> = eng
-            .multi_scan(&branches)
-            .unwrap()
-            .collect::<Result<_, _>>()
-            .unwrap();
+        let (_d, db, branches) = build(&ops);
+        let schema = db.with_store(|s| s.schema().clone());
+        let seq = db.read_branches(&branches).annotated().unwrap();
         for threads in [1usize, 2, 7, 64] {
-            let par = eng.par_multi_scan(&branches, threads).unwrap();
+            let par = db
+                .read_branches(&branches)
+                .parallel(threads)
+                .annotated()
+                .unwrap();
             prop_assert_eq!(&par, &seq, "threads = {}", threads);
             // Byte-identical: serialized record images agree pairwise.
             for ((pr, _), (sr, _)) in par.iter().zip(&seq) {
                 prop_assert_eq!(
-                    pr.to_bytes(eng.schema()).unwrap(),
-                    sr.to_bytes(eng.schema()).unwrap()
+                    pr.to_bytes(&schema).unwrap(),
+                    sr.to_bytes(&schema).unwrap()
                 );
             }
         }
@@ -115,20 +122,20 @@ proptest! {
     fn annotations_match_single_branch_scans(
         ops in proptest::collection::vec(op_strategy(), 1..80))
     {
-        let (_d, eng, branches) = build(&ops);
+        let (_d, db, branches) = build(&ops);
         use std::collections::HashMap;
         let mut per_branch: HashMap<BranchId, HashMap<u64, Record>> = HashMap::new();
         for &b in &branches {
-            let rows: HashMap<u64, Record> = eng
-                .scan(b.into())
+            let rows: HashMap<u64, Record> = db
+                .read(b)
+                .collect()
                 .unwrap()
-                .map(|r| r.map(|rec| (rec.key(), rec)))
-                .collect::<Result<_, _>>()
-                .unwrap();
+                .into_iter()
+                .map(|rec| (rec.key(), rec))
+                .collect();
             per_branch.insert(b, rows);
         }
-        for item in eng.multi_scan(&branches).unwrap() {
-            let (rec, live) = item.unwrap();
+        for (rec, live) in db.read_branches(&branches).annotated().unwrap() {
             for &b in &branches {
                 let in_live = live.contains(&b);
                 let in_scan = per_branch[&b].get(&rec.key()) == Some(&rec);
