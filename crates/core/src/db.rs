@@ -44,10 +44,11 @@
 //! journal; state written through it does not survive a reopen.
 //!
 //! If a commit marker itself fails to persist (e.g. the disk fills while
-//! sealing), the already-applied store state can no longer be represented
-//! in the journal; the database then refuses further journaled writes —
-//! reads keep working — until the directory is reopened, which restores
-//! the journaled prefix of history (see [`Database::seal`]).
+//! sealing), or a transaction fails partway through mutating the store,
+//! the store state can no longer be represented in the journal; the
+//! database then refuses further journaled writes — reads keep working —
+//! until the directory is reopened, which restores the journaled prefix
+//! of history (see [`Database::journaled`]).
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -89,9 +90,10 @@ pub struct Database {
     pub(crate) locks: Arc<LockManager>,
     pub(crate) wal: Wal,
     pub(crate) next_txn: AtomicU64,
-    /// False once a commit marker failed to persist: the store then holds
-    /// state the journal missed, so further journaled writes are refused
-    /// (see [`Database::seal`]).
+    /// False once the store diverged from the journal — a commit marker
+    /// failed to persist, or an apply failed after mutating the store —
+    /// so further journaled writes are refused (see
+    /// [`Database::journaled`]).
     journal_intact: AtomicBool,
     dir: PathBuf,
 }
@@ -110,10 +112,21 @@ impl Database {
     ) -> Result<Arc<Database>> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating database dir", e))?;
+        // Discard prior state *before* the manifest goes down: a crash
+        // after writing the manifest must not leave it pointing at a stale
+        // journal (or engine data) from the previous database, which a
+        // later `open` would replay — possibly under a different schema.
+        let data = clear_engine_data(&dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        if wal_path.exists() {
+            std::fs::remove_file(&wal_path).map_err(|e| DbError::io("clearing stale WAL", e))?;
+            if config.fsync {
+                decibel_pagestore::sync_parent_dir(&wal_path)?;
+            }
+        }
         write_manifest(&dir, kind, &schema)?;
-        let store = Self::build_store(kind, dir.join(DATA_DIR), schema, config)?;
-        let wal = Wal::open(dir.join(WAL_FILE), config.fsync)?;
-        wal.truncate()?;
+        let store = Self::build_store(kind, data, schema, config)?;
+        let wal = Wal::open(wal_path, config.fsync)?;
         Ok(Arc::new(Database {
             store: RwLock::new(store),
             locks: Arc::new(LockManager::new(Duration::from_secs(2))),
@@ -132,7 +145,20 @@ impl Database {
     /// beginning of history (engines allocate branch and commit ids
     /// deterministically, so the replayed store is identical to the one
     /// that crashed). Writes that bypassed the journal via
-    /// [`Database::with_store_mut`] are not recovered.
+    /// [`Database::with_store_mut`] are not recovered. On success the
+    /// journal is compacted down to exactly the committed history, so
+    /// orphaned entries from a torn commit cannot be resurrected by a
+    /// later transaction.
+    ///
+    /// # Limitation: no checkpointing yet
+    ///
+    /// The journal is never truncated while a database is live: `open`
+    /// always replays (and rewrites) the full committed history, ignoring
+    /// the engine state that [`flush`](Database::flush) persisted, so both
+    /// the log size and the cost of `open` grow with the total number of
+    /// committed transactions. Long-lived deployments that reopen
+    /// frequently will want a checkpoint (flush + log truncation behind a
+    /// replay watermark); see ROADMAP.md.
     ///
     /// ```
     /// use decibel_core::{Database, EngineKind};
@@ -164,19 +190,27 @@ impl Database {
         let (kind, schema) = read_manifest(&dir)?;
         // Recover the journal first — it is read-only, so an unreadable or
         // corrupt WAL fails the open before anything is destroyed.
-        let txns = Wal::recover(dir.join(WAL_FILE))?;
+        let wal_path = dir.join(WAL_FILE);
+        let recovery = Wal::recover(&wal_path)?;
         // The data directory is derived state (the journal is the truth);
         // rebuild it from scratch.
-        let data = dir.join(DATA_DIR);
-        if data.exists() {
-            std::fs::remove_dir_all(&data)
-                .map_err(|e| DbError::io("clearing stale engine data", e))?;
-        }
+        let data = clear_engine_data(&dir)?;
         let mut store = Self::build_store(kind, data, schema, config)?;
-        journal::replay(store.as_mut(), &txns)?;
+        journal::replay(store.as_mut(), &recovery.txns)?;
         store.flush()?;
-        let next_txn = txns.iter().map(|t| t.txn).max().unwrap_or(0) + 1;
-        let wal = Wal::open(dir.join(WAL_FILE), config.fsync)?;
+        // Compact an unclean log down to exactly the committed history. A
+        // torn commit (the reopen-to-recover path) leaves orphaned data
+        // entries in the log; recovery ignores them, but a later commit
+        // marker that reused their transaction id would seal them as
+        // phantom ops, so they must not survive the reopen. A clean log —
+        // the common case — is appended to as-is.
+        if !recovery.clean {
+            Wal::rewrite(&wal_path, &recovery.txns, config.fsync)?;
+        }
+        // Belt and braces: allocate past every id the log ever saw,
+        // committed or orphaned.
+        let next_txn = recovery.max_txn + 1;
+        let wal = Wal::open(&wal_path, config.fsync)?;
         Ok(Arc::new(Database {
             store: RwLock::new(store),
             locks: Arc::new(LockManager::new(Duration::from_secs(2))),
@@ -265,9 +299,27 @@ impl Database {
     pub fn create_branch(&self, name: &str, from: impl Into<VersionRef>) -> Result<BranchId> {
         let from = from.into();
         let txn = self.alloc_txn();
-        self.journaled(txn, &[journal::encode_branch(name, from)], |store| {
-            store.create_branch(name, from)
-        })
+        self.journaled(
+            txn,
+            &[journal::encode_branch(name, from)],
+            |store, dirty| {
+                // Validate before the first mutation, so a duplicate name or
+                // unknown source fails clean — without marking the journal
+                // diverged.
+                let graph = store.graph();
+                graph.check_name_free(name)?;
+                match from {
+                    VersionRef::Branch(b) => {
+                        graph.branch(b)?;
+                    }
+                    VersionRef::Commit(c) => {
+                        graph.commit(c)?;
+                    }
+                }
+                *dirty = true;
+                store.create_branch(name, from)
+            },
+        )
     }
 
     /// Merges branch `from` into branch `into` under `policy` (journaled).
@@ -284,9 +336,16 @@ impl Database {
         locks.lock(into, LockMode::Exclusive)?;
         locks.lock(from, LockMode::Shared)?;
         let txn = self.alloc_txn();
-        self.journaled(txn, &[journal::encode_merge(into, from, policy)], |store| {
-            store.merge(into, from, policy)
-        })
+        self.journaled(
+            txn,
+            &[journal::encode_merge(into, from, policy)],
+            |store, dirty| {
+                store.graph().branch(into)?;
+                store.graph().branch(from)?;
+                *dirty = true;
+                store.merge(into, from, policy)
+            },
+        )
     }
 
     /// Runs one journaled transaction: the single critical section shared
@@ -298,24 +357,31 @@ impl Database {
     /// store, and (4) seals the transaction — so journal commit order
     /// always matches store mutation order, and the intact check cannot go
     /// stale between check and seal (a concurrent seal failure flips the
-    /// flag while *it* holds the same lock). On apply failure the appended
-    /// entries are discarded (nothing else appends without this lock) and
-    /// the store error is returned; on seal failure the journal is marked
-    /// diverged: the store applied state the journal now misses, so every
-    /// later journaled write is refused (reads keep working) until the
-    /// directory is reopened, which restores the journaled prefix.
+    /// flag while *it* holds the same lock).
+    ///
+    /// `apply` receives a dirty flag it must set **before its first
+    /// mutating store call** (validation that only reads the store goes
+    /// before the flag). On apply failure the appended entries are
+    /// discarded (nothing else appends without this lock) and the store
+    /// error is returned; if the flag was already set, the store may hold
+    /// partial mutations the rolled-back journal never saw, so the journal
+    /// is additionally marked diverged — exactly as on a seal failure —
+    /// and every later journaled write is refused (reads keep working)
+    /// until the directory is reopened, which restores the journaled
+    /// prefix.
     pub(crate) fn journaled<T>(
         &self,
         txn: u64,
         entries: &[Vec<u8>],
-        apply: impl FnOnce(&mut dyn VersionedStore) -> Result<T>,
+        apply: impl FnOnce(&mut dyn VersionedStore, &mut bool) -> Result<T>,
     ) -> Result<T> {
         let mut store = self.store.write();
         self.journal_writable()?;
         for entry in entries {
             self.wal.append(txn, entry)?;
         }
-        match apply(store.as_mut()) {
+        let mut dirty = false;
+        match apply(store.as_mut(), &mut dirty) {
             Ok(value) => {
                 self.wal.commit(txn).inspect_err(|_| {
                     self.journal_intact.store(false, Ordering::Release);
@@ -324,23 +390,28 @@ impl Database {
             }
             Err(e) => {
                 self.wal.rollback();
+                if dirty {
+                    self.journal_intact.store(false, Ordering::Release);
+                }
                 Err(e)
             }
         }
     }
 
-    /// Fails if a commit marker previously failed to persist (see
-    /// [`Database::journaled`]). Checked inside every journaled critical
-    /// section; sessions also check it when opening a transaction so
-    /// doomed work fails early.
+    /// Fails if the store previously diverged from the journal — a commit
+    /// marker that failed to persist, or an apply that failed after it
+    /// began mutating the store (see [`Database::journaled`]). Checked
+    /// inside every journaled critical section; sessions also check it
+    /// when opening a transaction so doomed work fails early.
     pub(crate) fn journal_writable(&self) -> Result<()> {
         if self.journal_intact.load(Ordering::Acquire) {
             Ok(())
         } else {
             Err(DbError::Invalid(
                 "journal diverged from the store (a commit marker failed to \
-                 persist); journaled writes are disabled — reopen the \
-                 database directory to recover the journaled state"
+                 persist, or a transaction failed mid-apply); journaled \
+                 writes are disabled — reopen the database directory to \
+                 recover the journaled state"
                     .into(),
             ))
         }
@@ -380,6 +451,18 @@ impl Database {
     pub fn flush(&self) -> Result<()> {
         self.store.write().flush()
     }
+}
+
+/// Removes any stale engine data under `dir` (the data directory is
+/// derived state — the journal is the truth) and returns its path for the
+/// engine to rebuild into. Shared by [`Database::create`] and
+/// [`Database::open`].
+fn clear_engine_data(dir: &Path) -> Result<PathBuf> {
+    let data = dir.join(DATA_DIR);
+    if data.exists() {
+        std::fs::remove_dir_all(&data).map_err(|e| DbError::io("clearing stale engine data", e))?;
+    }
+    Ok(data)
 }
 
 fn write_manifest(dir: &Path, kind: EngineKind, schema: &Schema) -> Result<()> {
@@ -428,7 +511,7 @@ mod tests {
     use super::*;
     use crate::query::Predicate;
     use crate::types::VersionRef;
-    use decibel_common::ids::BranchId;
+    use decibel_common::ids::{BranchId, CommitId};
     use decibel_common::record::Record;
     use decibel_common::schema::ColumnType;
 
@@ -554,5 +637,203 @@ mod tests {
         let mut s = db.session();
         s.insert(Record::new(100, vec![1, 2])).unwrap();
         s.commit().unwrap();
+    }
+
+    #[test]
+    fn create_resets_stale_engine_data() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("db");
+        let config = StoreConfig::test_default();
+        let schema = Schema::new(2, ColumnType::U32);
+        {
+            let db = Database::create(&path, EngineKind::Hybrid, schema.clone(), &config).unwrap();
+            let mut s = db.session();
+            s.insert(Record::new(1, vec![1, 1])).unwrap();
+            s.commit().unwrap();
+            drop(s);
+            db.flush().unwrap();
+            assert!(path.join(DATA_DIR).join("graph.dvg").exists());
+        }
+        // Re-creating over the same directory starts from a clean slate:
+        // no stale engine files, no rows.
+        let db = Database::create(&path, EngineKind::Hybrid, schema, &config).unwrap();
+        assert!(!path.join(DATA_DIR).join("graph.dvg").exists());
+        assert_eq!(
+            db.with_store(|s| s.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap()),
+            0
+        );
+    }
+
+    #[test]
+    fn open_does_not_resurrect_orphaned_wal_entries() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("db");
+        let config = StoreConfig::test_default();
+        let schema = Schema::new(2, ColumnType::U32);
+        {
+            let db = Database::create(&path, EngineKind::Hybrid, schema.clone(), &config).unwrap();
+            let mut s = db.session();
+            s.insert(Record::new(1, vec![1, 1])).unwrap();
+            s.commit().unwrap(); // txn 1
+        }
+        // Simulate a torn commit of txn 2: its data entries reached the
+        // log, its commit marker did not (the disk-full shape that
+        // journal_intact + reopen is documented to recover from). Sealing
+        // the already-committed txn 1 again flushes the shared buffer
+        // without committing txn 2.
+        {
+            let wal = Wal::open(path.join("wal.log"), false).unwrap();
+            wal.append(2, &journal::encode_begin(BranchId::MASTER))
+                .unwrap();
+            wal.append(
+                2,
+                &journal::encode_insert(&Record::new(99, vec![9, 9]), &schema).unwrap(),
+            )
+            .unwrap();
+            wal.commit(1).unwrap();
+        }
+        let master = VersionRef::Branch(BranchId::MASTER);
+        let db = Database::open(&path, &config).unwrap();
+        // The orphan is invisible after recovery...
+        assert!(db.with_store(|s| s.get(master, 99)).unwrap().is_none());
+        // ...and a fresh transaction must not adopt its id: commit one,
+        // reopen, and check the orphan ops were not sealed under the new
+        // commit marker as phantom ops.
+        let mut s = db.session();
+        s.insert(Record::new(100, vec![2, 2])).unwrap();
+        s.commit().unwrap();
+        drop(s);
+        drop(db);
+        let db = Database::open(&path, &config).unwrap();
+        assert!(db.with_store(|s| s.get(master, 99)).unwrap().is_none());
+        assert_eq!(
+            db.with_store(|s| s.get(master, 100)).unwrap().unwrap(),
+            Record::new(100, vec![2, 2])
+        );
+        assert_eq!(
+            db.with_store(|s| s.get(master, 1)).unwrap().unwrap().key(),
+            1
+        );
+    }
+
+    #[test]
+    fn failed_apply_poisons_journal_until_reopen() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("db");
+        let config = StoreConfig::test_default();
+        let schema = Schema::new(2, ColumnType::U32);
+        let master = VersionRef::Branch(BranchId::MASTER);
+        {
+            let db = Database::create(&path, EngineKind::Hybrid, schema, &config).unwrap();
+            let mut setup = db.session();
+            setup.insert(Record::new(1, vec![1, 1])).unwrap();
+            setup.commit().unwrap();
+            drop(setup);
+
+            let mut s = db.session();
+            s.insert(Record::new(2, vec![2, 2])).unwrap();
+            s.insert(Record::new(3, vec![3, 3])).unwrap();
+            // Sabotage through the unjournaled escape hatch: key 3 now
+            // exists in the store, so the commit's second op fails *after*
+            // the first has already mutated the store.
+            db.with_store_mut(|st| {
+                st.insert(BranchId::MASTER, Record::new(3, vec![0, 0]))
+                    .unwrap()
+            });
+            assert!(matches!(
+                s.commit().unwrap_err(),
+                DbError::DuplicateKey { key: 3 }
+            ));
+            drop(s);
+
+            // The store diverged from the journal: writes are refused with
+            // a pointer at reopening, reads keep working.
+            let mut s2 = db.session();
+            let err = s2.insert(Record::new(50, vec![5, 5])).unwrap_err();
+            assert!(err.to_string().contains("reopen"));
+            assert!(db.with_store(|st| st.get(master, 1)).unwrap().is_some());
+        }
+        // Reopen restores the journaled prefix: the half-applied
+        // transaction (key 2) and the unjournaled backdoor write (key 3)
+        // are both gone, and writes are accepted again.
+        let db = Database::open(&path, &config).unwrap();
+        assert!(db.with_store(|st| st.get(master, 1)).unwrap().is_some());
+        assert!(db.with_store(|st| st.get(master, 2)).unwrap().is_none());
+        assert!(db.with_store(|st| st.get(master, 3)).unwrap().is_none());
+        let mut s = db.session();
+        s.insert(Record::new(4, vec![4, 4])).unwrap();
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn engine_duplicate_branch_name_leaves_no_dangling_commit() {
+        // Direct store-level check, one per engine: a duplicate-name
+        // create_branch must fail before the implicit parent commit, so
+        // the commit-id sequence stays in lockstep with the journal.
+        for kind in EngineKind::all() {
+            let dir = tempfile::tempdir().unwrap();
+            let mut store = Database::build_store(
+                kind,
+                dir.path(),
+                Schema::new(2, ColumnType::U32),
+                &StoreConfig::test_default(),
+            )
+            .unwrap();
+            store
+                .insert(BranchId::MASTER, Record::new(1, vec![1, 1]))
+                .unwrap();
+            store.commit(BranchId::MASTER).unwrap();
+            store
+                .create_branch("dev", VersionRef::Branch(BranchId::MASTER))
+                .unwrap();
+            let head = store.graph().head(BranchId::MASTER).unwrap();
+            assert!(store
+                .create_branch("dev", VersionRef::Branch(BranchId::MASTER))
+                .is_err());
+            assert_eq!(
+                store.graph().head(BranchId::MASTER).unwrap(),
+                head,
+                "{} left a dangling commit behind the duplicate-name error",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_branch_name_fails_cleanly() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("db");
+        let config = StoreConfig::test_default();
+        let schema = Schema::new(2, ColumnType::U32);
+        let head_after = {
+            let db = Database::create(&path, EngineKind::Hybrid, schema, &config).unwrap();
+            let mut s = db.session();
+            s.insert(Record::new(1, vec![1, 1])).unwrap();
+            s.commit().unwrap();
+            db.create_branch("dev", VersionRef::Branch(BranchId::MASTER))
+                .unwrap();
+            // A duplicate name is a clean validation error: no store
+            // mutation (in particular no dangling parent commit), journal
+            // still writable.
+            assert!(db
+                .create_branch("dev", VersionRef::Branch(BranchId::MASTER))
+                .is_err());
+            assert!(db
+                .create_branch("other", VersionRef::Commit(CommitId(u64::MAX)))
+                .is_err());
+            s.insert(Record::new(2, vec![2, 2])).unwrap();
+            s.commit().unwrap();
+            db.with_store(|st| st.graph().head(BranchId::MASTER))
+                .unwrap()
+        };
+        // Replay reproduces the same commit-id sequence — a dangling
+        // commit from the failed create_branch would have shifted it.
+        let db = Database::open(&path, &config).unwrap();
+        assert_eq!(
+            db.with_store(|st| st.graph().head(BranchId::MASTER))
+                .unwrap(),
+            head_after
+        );
+        assert!(db.branch_id("dev").is_ok());
     }
 }

@@ -323,6 +323,9 @@ impl VersionedStore for HybridEngine {
     }
 
     fn create_branch(&mut self, name: &str, from: VersionRef) -> Result<BranchId> {
+        // Name check first: the implicit parent commit below must not be
+        // created (and dangle) behind a duplicate-name error.
+        self.graph.check_name_free(name)?;
         let (from_commit, parent_branch) = match from {
             VersionRef::Branch(b) => {
                 let cid = self.do_commit(b, &[])?;

@@ -171,6 +171,9 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
     }
 
     fn create_branch(&mut self, name: &str, from: VersionRef) -> Result<BranchId> {
+        // Name check first: the implicit parent commit below must not be
+        // created (and dangle) behind a duplicate-name error.
+        self.graph.check_name_free(name)?;
         let (from_commit, parent_branch) = match from {
             VersionRef::Branch(b) => {
                 // Branches are made from commits (§2.2.3); branching from a

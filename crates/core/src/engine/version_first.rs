@@ -423,6 +423,9 @@ impl VersionedStore for VersionFirstEngine {
     }
 
     fn create_branch(&mut self, name: &str, from: VersionRef) -> Result<BranchId> {
+        // Name check first: the implicit parent commit below must not be
+        // created (and dangle) behind a duplicate-name error.
+        self.graph.check_name_free(name)?;
         let (from_commit, fork) = match from {
             VersionRef::Branch(b) => {
                 // Fork points must be recorded versions; commit implicitly.

@@ -210,49 +210,67 @@ impl Session {
         self.locked_read(|s| s.get(at, key))
     }
 
-    /// Buffers an insert (validated against the session's view).
-    ///
-    /// Opens the transaction — taking the exclusive branch lock — *before*
-    /// validating, so the key-existence check cannot go stale between
-    /// validation and commit (2PL: the validating read is part of the
-    /// transaction).
-    pub fn insert(&mut self, record: Record) -> Result<()> {
+    /// Auto-begins a transaction around a buffered write. The transaction
+    /// — and with it the exclusive branch lock — opens *before* `f`
+    /// validates, so an existence check cannot go stale between validation
+    /// and commit (2PL: the validating read is part of the transaction).
+    /// If this call opened the transaction and `f` then buffered nothing
+    /// (failed validation or a no-op), the empty transaction is rolled
+    /// back: a rejected write must not leave the session silently holding
+    /// the exclusive branch lock.
+    fn buffered_write<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        let was_open = self.txn.is_some();
         self.begin()?;
-        let key = record.key();
-        if self.get(key)?.is_some() {
-            return Err(DbError::DuplicateKey { key });
+        let result = f(self);
+        if !was_open && self.txn.as_ref().is_some_and(|t| t.ops.is_empty()) {
+            self.rollback();
         }
-        let txn = self.txn_mut()?;
-        txn.overlay.insert(key, Some(record.clone()));
-        txn.ops.push(Op::Insert(record));
-        Ok(())
+        result
+    }
+
+    /// Buffers an insert (validated against the session's view inside the
+    /// transaction — see [`Session::buffered_write`]).
+    pub fn insert(&mut self, record: Record) -> Result<()> {
+        self.buffered_write(|session| {
+            let key = record.key();
+            if session.get(key)?.is_some() {
+                return Err(DbError::DuplicateKey { key });
+            }
+            let txn = session.txn_mut()?;
+            txn.overlay.insert(key, Some(record.clone()));
+            txn.ops.push(Op::Insert(record));
+            Ok(())
+        })
     }
 
     /// Buffers an update (the key must be visible to the session; like
     /// [`Session::insert`], validation happens inside the transaction).
     pub fn update(&mut self, record: Record) -> Result<()> {
-        self.begin()?;
-        let key = record.key();
-        if self.get(key)?.is_none() {
-            return Err(DbError::KeyNotFound { key });
-        }
-        let txn = self.txn_mut()?;
-        txn.overlay.insert(key, Some(record.clone()));
-        txn.ops.push(Op::Update(record));
-        Ok(())
+        self.buffered_write(|session| {
+            let key = record.key();
+            if session.get(key)?.is_none() {
+                return Err(DbError::KeyNotFound { key });
+            }
+            let txn = session.txn_mut()?;
+            txn.overlay.insert(key, Some(record.clone()));
+            txn.ops.push(Op::Update(record));
+            Ok(())
+        })
     }
 
     /// Buffers a delete (like [`Session::insert`], validation happens
-    /// inside the transaction).
+    /// inside the transaction; deleting an absent key is a no-op that does
+    /// not hold the transaction open).
     pub fn delete(&mut self, key: u64) -> Result<bool> {
-        self.begin()?;
-        let existed = self.get(key)?.is_some();
-        if existed {
-            let txn = self.txn_mut()?;
-            txn.overlay.insert(key, None);
-            txn.ops.push(Op::Delete(key));
-        }
-        Ok(existed)
+        self.buffered_write(|session| {
+            let existed = session.get(key)?.is_some();
+            if existed {
+                let txn = session.txn_mut()?;
+                txn.overlay.insert(key, None);
+                txn.ops.push(Op::Delete(key));
+            }
+            Ok(existed)
+        })
     }
 
     /// Visits the session's view of every live record (base version merged
@@ -320,7 +338,13 @@ impl Session {
                 Op::Delete(k) => journal::encode_delete(*k),
             });
         }
-        self.db.journaled(id, &entries, |store| {
+        self.db.journaled(id, &entries, |store, dirty| {
+            store.graph().branch(branch)?;
+            // Every failure past this point may leave partial mutations:
+            // the ops were pre-validated against the session's view under
+            // the exclusive branch lock, so an op that still fails is an
+            // internal/I/O error, not a clean rejection.
+            *dirty = true;
             for op in &ops {
                 match op {
                     Op::Insert(r) => store.insert(branch, r.clone())?,
@@ -495,13 +519,54 @@ mod tests {
     }
 
     #[test]
+    fn failed_or_noop_writes_do_not_hold_the_branch_lock() {
+        let (_d, database) = db(EngineKind::Hybrid);
+        let mut setup = database.session();
+        setup.insert(rec(1, 1)).unwrap();
+        setup.commit().unwrap();
+        drop(setup);
+
+        let mut a = database.session();
+        // Each of these auto-begins a transaction, fails validation (or
+        // no-ops), buffers nothing — and must release the exclusive lock.
+        assert!(matches!(
+            a.insert(rec(1, 2)),
+            Err(DbError::DuplicateKey { key: 1 })
+        ));
+        assert!(matches!(
+            a.update(rec(9, 0)),
+            Err(DbError::KeyNotFound { key: 9 })
+        ));
+        assert!(!a.delete(9).unwrap());
+        // Another session can write immediately: no lock is stuck behind
+        // session `a`'s rejected writes.
+        let mut b = database.session();
+        b.insert(rec(2, 2)).unwrap();
+        b.commit().unwrap();
+
+        // Inside an open transaction, a rejected or no-op write keeps the
+        // lock (2PL: the validating reads joined the transaction's scope).
+        a.insert(rec(3, 3)).unwrap();
+        assert!(!a.delete(9).unwrap());
+        assert!(matches!(
+            b.insert(rec(4, 4)).unwrap_err(),
+            DbError::LockContention { .. }
+        ));
+        a.commit().unwrap();
+        b.insert(rec(4, 4)).unwrap();
+        b.commit().unwrap();
+    }
+
+    #[test]
     fn wal_records_committed_txns() {
         let (_d, database) = db(EngineKind::Hybrid);
         let mut s = database.session();
         s.insert(rec(1, 1)).unwrap();
         s.commit().unwrap();
         drop(s);
-        let txns = decibel_pagestore::Wal::recover(database.dir().join("wal.log")).unwrap();
+        let txns = decibel_pagestore::Wal::recover(database.dir().join("wal.log"))
+            .unwrap()
+            .txns;
         assert_eq!(txns.len(), 1);
         assert_eq!(txns[0].entries.len(), 2);
         assert_eq!(txns[0].entries[0][0], 0u8); // branch header

@@ -37,6 +37,18 @@ fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// Fsyncs the directory containing `path`, making renames/removals of
+/// entries in it durable. No-op if the path has no parent component.
+pub fn sync_parent_dir(path: &Path) -> Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)
+        .and_then(|d| d.sync_all())
+        .ctx("fsyncing WAL directory")
+}
+
 struct WalInner {
     file: File,
     /// Buffered, unflushed bytes.
@@ -58,6 +70,27 @@ pub struct RecoveredTxn {
     pub txn: u64,
     /// Payload entries, in the order they were appended.
     pub entries: Vec<Vec<u8>>,
+}
+
+/// The outcome of scanning a log with [`Wal::recover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Committed transactions, in commit order.
+    pub txns: Vec<RecoveredTxn>,
+    /// Highest transaction id seen anywhere in the log — including data
+    /// entries whose commit marker never made it to disk (e.g. a commit
+    /// torn by a full disk). Recovery groups entries by transaction id, so
+    /// a writer that reuses an orphaned id would seal the stale entries
+    /// under its own commit marker; allocate new ids strictly above this.
+    /// Zero when the log holds no parseable entries.
+    pub max_txn: u64,
+    /// True when the log is exactly its committed history: every parsed
+    /// entry belongs to a committed transaction and no torn tail was
+    /// discarded. A clean log can be appended to as-is; an unclean one
+    /// must be compacted with [`Wal::rewrite`] before reuse (new appends
+    /// would land after torn bytes, and a commit marker could adopt
+    /// orphaned entries that share its transaction id).
+    pub clean: bool,
 }
 
 impl Wal {
@@ -123,29 +156,42 @@ impl Wal {
     }
 
     /// Replays the log at `path`, returning committed transactions in commit
-    /// order. Torn trailing entries (from a crash mid-write) are ignored;
-    /// corrupt CRCs before the tail are an error.
-    pub fn recover(path: impl AsRef<Path>) -> Result<Vec<RecoveredTxn>> {
+    /// order plus the highest transaction id seen in any entry (committed or
+    /// not — see [`WalRecovery::max_txn`]). Torn trailing entries (from a
+    /// crash mid-write) are ignored; corrupt CRCs before the tail are an
+    /// error.
+    pub fn recover(path: impl AsRef<Path>) -> Result<WalRecovery> {
+        let empty = WalRecovery {
+            txns: Vec::new(),
+            max_txn: 0,
+            clean: true,
+        };
         let mut bytes = Vec::new();
         match File::open(path.as_ref()) {
             Ok(mut f) => {
                 f.read_to_end(&mut bytes).ctx("reading WAL")?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(empty),
             Err(e) => return Err(DbError::io("opening WAL for recovery", e)),
         }
         let mut pos = 0usize;
         let mut open: Vec<(u64, Vec<Vec<u8>>)> = Vec::new();
         let mut committed = Vec::new();
+        let mut max_txn = 0u64;
+        let mut torn = false;
         while pos < bytes.len() {
             let entry_start = pos;
             let len = match varint::read_u64(&bytes, &mut pos) {
                 Ok(l) => l as usize,
-                Err(_) => break, // torn length at tail
+                Err(_) => {
+                    torn = true; // torn length at tail
+                    break;
+                }
             };
             if pos + 4 + len > bytes.len() {
                 // Torn entry at the tail: discard it and everything after.
                 let _ = entry_start;
+                torn = true;
                 break;
             }
             let stored_crc = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
@@ -160,6 +206,7 @@ impl Wal {
             let kind = body[0];
             let mut bpos = 1usize;
             let txn = varint::read_u64(body, &mut bpos)?;
+            max_txn = max_txn.max(txn);
             match kind {
                 KIND_DATA => {
                     let payload = body[bpos..].to_vec();
@@ -181,7 +228,49 @@ impl Wal {
                 }
             }
         }
-        Ok(committed)
+        Ok(WalRecovery {
+            txns: committed,
+            max_txn,
+            clean: !torn && open.is_empty(),
+        })
+    }
+
+    /// Atomically rewrites the log at `path` so it contains exactly `txns`
+    /// (in order), each sealed with its commit marker — a post-recovery
+    /// compaction that drops orphaned uncommitted entries and torn tails.
+    /// Without it, later appends extend a log whose dead entries would be
+    /// regrouped under any commit marker that reuses their transaction id.
+    ///
+    /// The new log is written to a sibling temp file and renamed into
+    /// place, so a crash mid-rewrite leaves the original log untouched.
+    pub fn rewrite(path: impl AsRef<Path>, txns: &[RecoveredTxn], fsync: bool) -> Result<()> {
+        let path = path.as_ref();
+        let mut buf = Vec::new();
+        for txn in txns {
+            for entry in &txn.entries {
+                Self::encode_entry(&mut buf, KIND_DATA, txn.txn, entry);
+            }
+            Self::encode_entry(&mut buf, KIND_COMMIT, txn.txn, &[]);
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| DbError::Invalid("WAL path has no file name".into()))?;
+        let tmp = path.with_file_name(format!("{name}.rewrite"));
+        let mut file = File::create(&tmp).ctx("creating rewritten WAL")?;
+        file.write_all(&buf).ctx("writing rewritten WAL")?;
+        if fsync {
+            file.sync_data().ctx("fsyncing rewritten WAL")?;
+        }
+        drop(file);
+        std::fs::rename(&tmp, path).ctx("installing rewritten WAL")?;
+        if fsync {
+            // The rename is only durable once the directory entry is: sync
+            // the parent directory, or a crash could roll wal.log back to
+            // the pre-rewrite inode and drop later fsynced commits with it.
+            sync_parent_dir(path)?;
+        }
+        Ok(())
     }
 
     /// Truncates the log (after a checkpoint has made its effects durable
@@ -222,7 +311,7 @@ mod tests {
             wal.append(2, b"c").unwrap();
             wal.commit(2).unwrap();
         }
-        let txns = Wal::recover(&p).unwrap();
+        let txns = Wal::recover(&p).unwrap().txns;
         assert_eq!(txns.len(), 2);
         assert_eq!(txns[0].txn, 1);
         assert_eq!(txns[0].entries, vec![b"a".to_vec(), b"b".to_vec()]);
@@ -239,7 +328,7 @@ mod tests {
             wal.append(2, b"lost").unwrap();
             // no commit(2); buffered bytes never hit disk
         }
-        let txns = Wal::recover(&p).unwrap();
+        let txns = Wal::recover(&p).unwrap().txns;
         assert_eq!(txns.len(), 1);
         assert_eq!(txns[0].txn, 1);
     }
@@ -252,7 +341,7 @@ mod tests {
         wal.rollback();
         wal.append(2, b"y").unwrap();
         wal.commit(2).unwrap();
-        let txns = Wal::recover(&p).unwrap();
+        let txns = Wal::recover(&p).unwrap().txns;
         assert_eq!(txns.len(), 1);
         assert_eq!(txns[0].txn, 2);
     }
@@ -270,8 +359,9 @@ mod tests {
             let mut f = OpenOptions::new().append(true).open(&p).unwrap();
             f.write_all(&[200, 1, 2]).unwrap(); // length varint + garbage, truncated
         }
-        let txns = Wal::recover(&p).unwrap();
-        assert_eq!(txns.len(), 1);
+        let rec = Wal::recover(&p).unwrap();
+        assert_eq!(rec.txns.len(), 1);
+        assert!(!rec.clean);
     }
 
     #[test]
@@ -295,7 +385,7 @@ mod tests {
     #[test]
     fn recover_missing_file_is_empty() {
         let (_d, p) = wal_path();
-        assert!(Wal::recover(&p).unwrap().is_empty());
+        assert!(Wal::recover(&p).unwrap().txns.is_empty());
     }
 
     #[test]
@@ -305,12 +395,73 @@ mod tests {
         wal.append(1, b"a").unwrap();
         wal.commit(1).unwrap();
         wal.truncate().unwrap();
-        assert!(Wal::recover(&p).unwrap().is_empty());
+        assert!(Wal::recover(&p).unwrap().txns.is_empty());
         wal.append(2, b"b").unwrap();
         wal.commit(2).unwrap();
-        let txns = Wal::recover(&p).unwrap();
+        let txns = Wal::recover(&p).unwrap().txns;
         assert_eq!(txns.len(), 1);
         assert_eq!(txns[0].txn, 2);
+    }
+
+    #[test]
+    fn max_txn_covers_orphaned_uncommitted_entries() {
+        let (_d, p) = wal_path();
+        {
+            let wal = Wal::open(&p, false).unwrap();
+            wal.append(1, b"a").unwrap();
+            wal.commit(1).unwrap();
+            // Orphan: txn 7's data entry reaches disk because the next
+            // commit flushes the shared buffer, but no marker for 7 exists
+            // (the shape a torn commit leaves behind).
+            wal.append(7, b"orphan").unwrap();
+            wal.commit(1).unwrap();
+        }
+        let rec = Wal::recover(&p).unwrap();
+        assert!(rec.txns.iter().all(|t| t.txn == 1));
+        assert_eq!(rec.max_txn, 7);
+        assert!(!rec.clean);
+    }
+
+    #[test]
+    fn rewrite_compacts_away_orphaned_entries() {
+        let (_d, p) = wal_path();
+        {
+            let wal = Wal::open(&p, false).unwrap();
+            wal.append(1, b"a").unwrap();
+            wal.commit(1).unwrap();
+            wal.append(7, b"orphan").unwrap();
+            wal.commit(1).unwrap(); // flushes the orphan, seals only txn 1
+        }
+        let rec = Wal::recover(&p).unwrap();
+        Wal::rewrite(&p, &rec.txns, false).unwrap();
+        let clean = Wal::recover(&p).unwrap();
+        assert_eq!(clean.txns, rec.txns);
+        assert_eq!(clean.max_txn, 1);
+        assert!(clean.clean);
+        // A new transaction reusing the orphan's id is safe now: its commit
+        // marker can only seal its own entries.
+        {
+            let wal = Wal::open(&p, false).unwrap();
+            wal.append(7, b"fresh").unwrap();
+            wal.commit(7).unwrap();
+        }
+        let after = Wal::recover(&p).unwrap();
+        let t7 = after.txns.iter().find(|t| t.txn == 7).unwrap();
+        assert_eq!(t7.entries, vec![b"fresh".to_vec()]);
+    }
+
+    #[test]
+    fn rewrite_preserves_empty_commits() {
+        let (_d, p) = wal_path();
+        {
+            let wal = Wal::open(&p, false).unwrap();
+            wal.commit(1).unwrap(); // snapshot-point commit, no entries
+            wal.append(2, b"x").unwrap();
+            wal.commit(2).unwrap();
+        }
+        let rec = Wal::recover(&p).unwrap();
+        Wal::rewrite(&p, &rec.txns, false).unwrap();
+        assert_eq!(Wal::recover(&p).unwrap(), rec);
     }
 
     #[test]
@@ -324,7 +475,7 @@ mod tests {
             wal.commit(1).unwrap();
             wal.commit(2).unwrap();
         }
-        let txns = Wal::recover(&p).unwrap();
+        let txns = Wal::recover(&p).unwrap().txns;
         assert_eq!(txns[0].txn, 1);
         assert_eq!(txns[0].entries, vec![b"a1".to_vec(), b"a2".to_vec()]);
         assert_eq!(txns[1].txn, 2);

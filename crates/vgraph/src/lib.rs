@@ -171,16 +171,25 @@ impl VersionGraph {
         Ok(id)
     }
 
-    /// Creates a branch named `name` rooted at `from` ("a new branch can be
-    /// made from any commit", §2.2.3). The new branch's head is the fork
-    /// commit itself until its first commit.
-    pub fn create_branch(&mut self, name: &str, from: CommitId) -> Result<BranchId> {
-        self.commit(from)?;
+    /// Fails if `name` is already taken. Engines call this before their
+    /// first mutation, so a duplicate-name `create_branch` fails before the
+    /// implicit parent commit — not after, which would leave a dangling
+    /// commit behind the error.
+    pub fn check_name_free(&self, name: &str) -> Result<()> {
         if self.by_name.contains_key(name) {
             return Err(DbError::Invalid(format!(
                 "branch name {name:?} already exists"
             )));
         }
+        Ok(())
+    }
+
+    /// Creates a branch named `name` rooted at `from` ("a new branch can be
+    /// made from any commit", §2.2.3). The new branch's head is the fork
+    /// commit itself until its first commit.
+    pub fn create_branch(&mut self, name: &str, from: CommitId) -> Result<BranchId> {
+        self.commit(from)?;
+        self.check_name_free(name)?;
         let id = BranchId(self.branches.len() as u32);
         self.branches.push(BranchMeta {
             id,
