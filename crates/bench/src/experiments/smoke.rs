@@ -24,6 +24,15 @@
 //! On multi-core hardware the concurrent row wins roughly linearly; on a
 //! single core it shows the read path adds no serialization beyond the
 //! CPU itself.
+//!
+//! The recovery rows (`BENCH_recovery.json`) time `Database::open` against
+//! the same journaled history twice: once with no checkpoint (`open_cold`,
+//! full logical replay — the pre-checkpoint recovery path) and once after
+//! a `flush` checkpoint (`open_checkpointed`, reopen from flushed engine
+//! state + empty journal suffix). Their ratio is the reopen speedup the
+//! checkpoint buys; it grows without bound in the number of committed
+//! transactions, since cold replay is O(history) and checkpointed open is
+//! O(state).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -98,6 +107,36 @@ fn build_db(scale: f64) -> Result<(tempfile::TempDir, Arc<Database>, Vec<BranchI
         Ok(heads)
     })?;
     Ok((dir, db, heads))
+}
+
+/// Builds a journaled recovery workload: `txns` session commits of
+/// `rows_per_txn` inserts each on a hybrid store, optionally checkpointed
+/// (`flush`) before the handle drops. Everything goes through the public
+/// session API so the history is fully journaled.
+fn build_recovery_db(
+    dir: &std::path::Path,
+    flush: bool,
+    txns: u64,
+    rows_per_txn: u64,
+) -> Result<()> {
+    let db = Database::create(
+        dir,
+        EngineKind::Hybrid,
+        Schema::new(COLS, ColumnType::U32),
+        &StoreConfig::bench_default(),
+    )?;
+    let mut session = db.session();
+    for t in 0..txns {
+        for i in 0..rows_per_txn {
+            session.insert(rec(t * rows_per_txn + i, t))?;
+        }
+        session.commit()?;
+    }
+    drop(session);
+    if flush {
+        db.flush()?;
+    }
+    Ok(())
 }
 
 /// Times `f` `repeats` times and returns the best wall time in ms with the
@@ -204,6 +243,51 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
     })?;
     rows.push(Row {
         name: "concurrent_read_k4",
+        rows: n,
+        best_ms: ms,
+    });
+
+    // Recovery rows: the same journaled history opened cold (no
+    // checkpoint: full replay) vs checkpointed (flushed state + empty
+    // suffix). `rows` reports the committed row count either open must
+    // restore; wall time is the `Database::open` call alone.
+    let txns = ((600.0 * ctx.scale) as u64).max(60);
+    let rows_per_txn = 40u64;
+    let cold_dir = tempfile::tempdir()
+        .map_err(|e| decibel_common::DbError::io("recovery bench tempdir", e))?;
+    let cold_path = cold_dir.path().join("cold");
+    build_recovery_db(&cold_path, false, txns, rows_per_txn)?;
+    let (n, ms) = best_of(repeats, || {
+        let db = Database::open(&cold_path, &StoreConfig::bench_default())?;
+        assert_eq!(db.replayed_on_open(), txns, "cold open replays all txns");
+        Ok(txns * rows_per_txn)
+    })?;
+    assert_eq!(
+        Database::open(&cold_path, &StoreConfig::bench_default())?
+            .read(BranchId::MASTER)
+            .count()?,
+        txns * rows_per_txn
+    );
+    rows.push(Row {
+        name: "open_cold",
+        rows: n,
+        best_ms: ms,
+    });
+    let ckpt_path = cold_dir.path().join("checkpointed");
+    build_recovery_db(&ckpt_path, true, txns, rows_per_txn)?;
+    let (n, ms) = best_of(repeats, || {
+        let db = Database::open(&ckpt_path, &StoreConfig::bench_default())?;
+        assert_eq!(db.replayed_on_open(), 0, "checkpoint covers the history");
+        Ok(txns * rows_per_txn)
+    })?;
+    assert_eq!(
+        Database::open(&ckpt_path, &StoreConfig::bench_default())?
+            .read(BranchId::MASTER)
+            .count()?,
+        txns * rows_per_txn
+    );
+    rows.push(Row {
+        name: "open_checkpointed",
         rows: n,
         best_ms: ms,
     });

@@ -17,6 +17,7 @@
 //!   ([`hash`]) used for primary-key indexes and merge hash-joins.
 
 pub mod error;
+pub mod fsio;
 pub mod hash;
 pub mod ids;
 pub mod record;

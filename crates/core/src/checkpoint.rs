@@ -1,0 +1,263 @@
+//! The checkpoint file: the durable watermark that lets [`Database::open`]
+//! reopen from flushed engine state instead of replaying the journal from
+//! the beginning of history.
+//!
+//! A checkpoint records three things, written atomically (temp file +
+//! rename, CRC-protected):
+//!
+//! * the **watermark** — the highest journal transaction id whose effects
+//!   are contained in the flushed engine state. Transaction ids are sealed
+//!   in increasing order (allocation happens inside the journal's critical
+//!   section, see [`Database::journaled`]), so "id ≤ watermark" is exactly
+//!   "covered by the checkpoint";
+//! * the **engine kind**, cross-checked against the directory manifest;
+//! * the engine's **snapshot payload** — the metadata each engine needs to
+//!   reopen from its flushed files (embedded version graph, per-file
+//!   coverage lengths, bitmap columns, commit-store offsets; see each
+//!   engine's `open_from`).
+//!
+//! Crash ordering is state → watermark → WAL truncate: the `CHECKPOINT`
+//! file is renamed into place only after the engine state it describes is
+//! durable, and the log is truncated only after the watermark is. A crash
+//! between any two steps leaves a directory that recovers to the same
+//! database: the old watermark with extra (coverage-trimmed) state, or the
+//! new watermark with a longer log whose covered prefix replay skips.
+//!
+//! [`Database::open`]: crate::db::Database::open
+//! [`Database::journaled`]: crate::db::Database::journaled
+
+use std::path::Path;
+
+use decibel_bitmap::{rle, Bitmap};
+use decibel_common::error::{DbError, Result};
+use decibel_common::fsio::write_file_durably;
+use decibel_common::varint;
+use decibel_pagestore::crc32;
+
+use crate::types::EngineKind;
+
+/// File name of the checkpoint inside a database directory.
+pub(crate) const FILE: &str = "CHECKPOINT";
+
+const MAGIC: &[u8; 5] = b"DCKP1";
+
+/// A decoded checkpoint: watermark + engine snapshot.
+pub(crate) struct Checkpoint {
+    /// Highest journal transaction id covered by the flushed state.
+    pub watermark: u64,
+    /// Engine that wrote the snapshot (must match the manifest).
+    pub kind: EngineKind,
+    /// Engine-specific snapshot bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Atomically installs a checkpoint in `dir` (temp file + rename; file and
+/// directory fsynced when `fsync` is set, so the rename is durable before
+/// the caller truncates the WAL).
+pub(crate) fn save(dir: &Path, cp: &Checkpoint, fsync: bool) -> Result<()> {
+    let mut body = Vec::with_capacity(cp.payload.len() + 64);
+    body.extend_from_slice(MAGIC);
+    varint::write_u64(&mut body, cp.watermark);
+    let name = cp.kind.name().as_bytes();
+    varint::write_u64(&mut body, name.len() as u64);
+    body.extend_from_slice(name);
+    varint::write_u64(&mut body, cp.payload.len() as u64);
+    body.extend_from_slice(&cp.payload);
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    write_file_durably(&dir.join(FILE), &body, fsync)
+}
+
+/// Loads the checkpoint from `dir`. `Ok(None)` when no checkpoint exists
+/// (a never-flushed database — recovery falls back to full replay); a
+/// present-but-unreadable checkpoint is a hard error, because the WAL was
+/// truncated against it and full replay would lose the covered history.
+pub(crate) fn load(dir: &Path) -> Result<Option<Checkpoint>> {
+    let bytes = match std::fs::read(dir.join(FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(DbError::io("reading checkpoint", e)),
+    };
+    let corrupt = |what: &str| DbError::corrupt(format!("checkpoint: {what}"));
+    if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(corrupt("CRC mismatch"));
+    }
+    let mut pos = MAGIC.len();
+    let watermark = varint::read_u64(body, &mut pos)?;
+    let name_len = varint::read_u64(body, &mut pos)? as usize;
+    // Bounds checks go through `get`, never `pos + len` arithmetic: a
+    // CRC-valid file with an absurd length varint must fail as corrupt,
+    // not overflow or panic the open.
+    let name = body
+        .get(pos..pos.saturating_add(name_len))
+        .ok_or_else(|| corrupt("truncated engine name"))?;
+    let name = std::str::from_utf8(name).map_err(|_| corrupt("engine name is not UTF-8"))?;
+    let kind = EngineKind::from_name(name).ok_or_else(|| corrupt("unknown engine kind"))?;
+    pos += name_len;
+    let payload_len = varint::read_u64(body, &mut pos)? as usize;
+    let payload = body
+        .get(pos..)
+        .filter(|rest| rest.len() == payload_len)
+        .ok_or_else(|| corrupt("payload length mismatch"))?;
+    Ok(Some(Checkpoint {
+        watermark,
+        kind,
+        payload: payload.to_vec(),
+    }))
+}
+
+// ---------------------------------------------------------------------
+// Snapshot encoding helpers shared by the engines' `checkpoint` /
+// `open_from` pairs.
+// ---------------------------------------------------------------------
+
+/// Appends a length-prefixed RLE-compressed bitmap.
+pub(crate) fn write_bitmap(out: &mut Vec<u8>, bm: &Bitmap) {
+    let enc = rle::encode(bm);
+    varint::write_u64(out, enc.len() as u64);
+    out.extend_from_slice(&enc);
+}
+
+/// Reads a bitmap written by [`write_bitmap`].
+pub(crate) fn read_bitmap(bytes: &[u8], pos: &mut usize) -> Result<Bitmap> {
+    let slice = read_slice(bytes, pos)?;
+    rle::decode(slice)
+}
+
+/// Appends a count-prefixed list of varint `u64` triples — the shape of
+/// every engine's commit map (commit id, owning branch/segment id,
+/// ordinal/offset). One codec for all three engines keeps the snapshot
+/// format from drifting per engine.
+pub(crate) fn write_triples(
+    out: &mut Vec<u8>,
+    triples: impl ExactSizeIterator<Item = (u64, u64, u64)>,
+) {
+    varint::write_u64(out, triples.len() as u64);
+    for (a, b, c) in triples {
+        varint::write_u64(out, a);
+        varint::write_u64(out, b);
+        varint::write_u64(out, c);
+    }
+}
+
+/// Reads a list written by [`write_triples`].
+pub(crate) fn read_triples(bytes: &[u8], pos: &mut usize) -> Result<Vec<(u64, u64, u64)>> {
+    let n = varint::read_u64(bytes, pos)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = varint::read_u64(bytes, pos)?;
+        let b = varint::read_u64(bytes, pos)?;
+        let c = varint::read_u64(bytes, pos)?;
+        out.push((a, b, c));
+    }
+    Ok(out)
+}
+
+/// Appends a length-prefixed byte slice.
+pub(crate) fn write_slice(out: &mut Vec<u8>, bytes: &[u8]) {
+    varint::write_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a slice written by [`write_slice`].
+pub(crate) fn read_slice<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
+    let len = varint::read_u64(bytes, pos)? as usize;
+    // `get`, not `pos + len` indexing: an absurd length varint (corrupt
+    // or crafted snapshot) must fail cleanly, not overflow or panic.
+    let out = bytes
+        .get(*pos..pos.saturating_add(len))
+        .ok_or_else(|| DbError::corrupt("checkpoint snapshot truncated"))?;
+    *pos += len;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let cp = Checkpoint {
+            watermark: 42,
+            kind: EngineKind::Hybrid,
+            payload: vec![1, 2, 3, 200],
+        };
+        save(dir.path(), &cp, false).unwrap();
+        let back = load(dir.path()).unwrap().unwrap();
+        assert_eq!(back.watermark, 42);
+        assert_eq!(back.kind, EngineKind::Hybrid);
+        assert_eq!(back.payload, vec![1, 2, 3, 200]);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(load(dir.path()).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_hard_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let cp = Checkpoint {
+            watermark: 7,
+            kind: EngineKind::VersionFirst,
+            payload: vec![9; 32],
+        };
+        save(dir.path(), &cp, false).unwrap();
+        let path = dir.path().join(FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load(dir.path()).is_err());
+        // Truncation is detected too, not parsed as a shorter snapshot.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(load(dir.path()).is_err());
+    }
+
+    #[test]
+    fn absurd_length_varints_fail_cleanly() {
+        // A CRC-valid checkpoint whose engine-name length varint is
+        // u64::MAX must come back as a corrupt error, not a panic.
+        let dir = tempfile::tempdir().unwrap();
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        varint::write_u64(&mut body, 1); // watermark
+        varint::write_u64(&mut body, u64::MAX); // engine-name length
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        std::fs::write(dir.path().join(FILE), &body).unwrap();
+        assert!(load(dir.path()).is_err());
+        // Same for the shared slice reader the engine payloads use.
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, u64::MAX);
+        let mut pos = 0;
+        assert!(read_slice(&out, &mut pos).is_err());
+    }
+
+    #[test]
+    fn bitmap_and_slice_helpers_round_trip() {
+        let mut bm = Bitmap::new();
+        for i in [0u64, 5, 6, 7, 100, 4096] {
+            bm.set(i, true);
+        }
+        let mut out = Vec::new();
+        write_bitmap(&mut out, &bm);
+        write_slice(&mut out, b"graph-bytes");
+        let mut pos = 0;
+        let back = read_bitmap(&out, &mut pos).unwrap();
+        assert_eq!(
+            back.iter_ones().collect::<Vec<_>>(),
+            bm.iter_ones().collect::<Vec<_>>()
+        );
+        assert_eq!(read_slice(&out, &mut pos).unwrap(), b"graph-bytes");
+        assert_eq!(pos, out.len());
+    }
+}

@@ -38,10 +38,15 @@
 //! WAL as a logical redo record (see [`crate::journal`]) before it is
 //! applied, and sealed in the same critical section that applies it, so
 //! the journal's commit order always matches the store's mutation order.
-//! [`Database::open`] rebuilds the store by replaying the journal, which
-//! recovers transactions that committed but were never flushed.
-//! [`Database::with_store_mut`] is the one escape hatch that bypasses the
-//! journal; state written through it does not survive a reopen.
+//! [`Database::flush`] is a full checkpoint: it persists every engine
+//! structure, records the covered journal watermark in the `CHECKPOINT`
+//! file, and truncates the WAL — bounding both the log and the cost of
+//! reopening. [`Database::open`] loads the checkpointed state and replays
+//! only the journal suffix past the watermark (the full history when no
+//! checkpoint exists), which recovers transactions that committed but
+//! were never flushed. [`Database::with_store_mut`] is the one escape
+//! hatch that bypasses the journal; state written through it survives a
+//! reopen only if a later `flush` checkpointed it.
 //!
 //! If a commit marker itself fails to persist (e.g. the disk fills while
 //! sealing), or a transaction fails partway through mutating the store,
@@ -61,6 +66,7 @@ use decibel_common::schema::{ColumnType, Schema};
 use decibel_pagestore::{LockManager, LockMode, StoreConfig, Wal};
 use parking_lot::RwLock;
 
+use crate::checkpoint;
 use crate::engine::{
     HybridEngine, TupleFirstBranchEngine, TupleFirstTupleEngine, VersionFirstEngine,
 };
@@ -95,6 +101,11 @@ pub struct Database {
     /// so further journaled writes are refused (see
     /// [`Database::journaled`]).
     journal_intact: AtomicBool,
+    /// Whether checkpoint installation fsyncs (from [`StoreConfig::fsync`]).
+    fsync: bool,
+    /// Journal transactions replayed by the `open` that built this handle
+    /// (zero for [`Database::create`]); see [`Database::replayed_on_open`].
+    replayed: u64,
     dir: PathBuf,
 }
 
@@ -114,8 +125,18 @@ impl Database {
         std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating database dir", e))?;
         // Discard prior state *before* the manifest goes down: a crash
         // after writing the manifest must not leave it pointing at a stale
-        // journal (or engine data) from the previous database, which a
-        // later `open` would replay — possibly under a different schema.
+        // journal, checkpoint, or engine data from the previous database,
+        // which a later `open` would replay — possibly under a different
+        // schema. The checkpoint goes first: a stale `CHECKPOINT` paired
+        // with a fresh (empty) WAL would reopen as the *old* database.
+        let stale_checkpoint = dir.join(checkpoint::FILE);
+        if stale_checkpoint.exists() {
+            std::fs::remove_file(&stale_checkpoint)
+                .map_err(|e| DbError::io("clearing stale checkpoint", e))?;
+            if config.fsync {
+                decibel_pagestore::sync_parent_dir(&stale_checkpoint)?;
+            }
+        }
         let data = clear_engine_data(&dir)?;
         let wal_path = dir.join(WAL_FILE);
         if wal_path.exists() {
@@ -133,6 +154,8 @@ impl Database {
             wal,
             next_txn: AtomicU64::new(1),
             journal_intact: AtomicBool::new(true),
+            fsync: config.fsync,
+            replayed: 0,
             dir,
         }))
     }
@@ -141,24 +164,37 @@ impl Database {
     /// restoring every transaction that committed through the public API —
     /// including commits that were never [`flush`](Database::flush)ed.
     ///
-    /// The store is rebuilt by replaying the logical journal from the
-    /// beginning of history (engines allocate branch and commit ids
-    /// deterministically, so the replayed store is identical to the one
-    /// that crashed). Writes that bypassed the journal via
-    /// [`Database::with_store_mut`] are not recovered. On success the
-    /// journal is compacted down to exactly the committed history, so
-    /// orphaned entries from a torn commit cannot be resurrected by a
-    /// later transaction.
+    /// # Checkpointed recovery
     ///
-    /// # Limitation: no checkpointing yet
+    /// When the directory holds a `CHECKPOINT` (written by
+    /// [`Database::flush`]), the engine is reopened directly from its
+    /// flushed on-disk state — heap files opened at the checkpoint's
+    /// recorded coverage (any later bytes trimmed), bitmap columns and
+    /// commit offsets decoded from the checkpoint snapshot — and only
+    /// journal entries **above the checkpoint's watermark** transaction id
+    /// are replayed. Reopen cost is therefore O(state + delta since last
+    /// flush), not O(total history), and the WAL on disk is bounded by
+    /// the post-checkpoint suffix. With no checkpoint (a never-flushed
+    /// database), the store is rebuilt by replaying the logical journal
+    /// from the beginning of history; either way, engines allocate branch
+    /// and commit ids deterministically, so the recovered store is
+    /// identical to the one that crashed.
     ///
-    /// The journal is never truncated while a database is live: `open`
-    /// always replays (and rewrites) the full committed history, ignoring
-    /// the engine state that [`flush`](Database::flush) persisted, so both
-    /// the log size and the cost of `open` grow with the total number of
-    /// committed transactions. Long-lived deployments that reopen
-    /// frequently will want a checkpoint (flush + log truncation behind a
-    /// replay watermark); see ROADMAP.md.
+    /// The crash ordering of [`Database::flush`] (state → watermark → log
+    /// truncate) makes every interleaving recoverable: a crash before the
+    /// watermark lands reopens from the previous checkpoint (the newer
+    /// flushed bytes are cut back to its coverage and regenerated from the
+    /// log); a crash after the watermark but before the truncate skips the
+    /// covered prefix by id; a crash after the truncate finds only the
+    /// suffix. A `CHECKPOINT` that is present but unreadable is a hard
+    /// error — the log was truncated against it, so falling back to full
+    /// replay would silently lose the covered history.
+    ///
+    /// Writes that bypassed the journal via [`Database::with_store_mut`]
+    /// are recovered only if a later `flush` checkpointed them. On success
+    /// an unclean or partially-covered journal is compacted down to
+    /// exactly the uncovered committed suffix, so orphaned entries from a
+    /// torn commit cannot be resurrected by a later transaction.
     ///
     /// ```
     /// use decibel_core::{Database, EngineKind};
@@ -192,24 +228,56 @@ impl Database {
         // corrupt WAL fails the open before anything is destroyed.
         let wal_path = dir.join(WAL_FILE);
         let recovery = Wal::recover(&wal_path)?;
-        // The data directory is derived state (the journal is the truth);
-        // rebuild it from scratch.
-        let data = clear_engine_data(&dir)?;
-        let mut store = Self::build_store(kind, data, schema, config)?;
-        journal::replay(store.as_mut(), &recovery.txns)?;
+        let cp = checkpoint::load(&dir)?;
+        let (mut store, watermark, replay_from) = match cp {
+            Some(cp) => {
+                if cp.kind != kind {
+                    return Err(DbError::corrupt(format!(
+                        "checkpoint engine {} disagrees with manifest engine {}",
+                        cp.kind.name(),
+                        kind.name()
+                    )));
+                }
+                // Reopen from the flushed state the checkpoint describes;
+                // replay resumes past the watermark. Ids seal in increasing
+                // order (see `journaled`), so the uncovered transactions
+                // are a suffix of the commit-ordered recovery.
+                let store =
+                    Self::open_store(kind, dir.join(DATA_DIR), schema, config, &cp.payload)?;
+                let from = recovery
+                    .txns
+                    .iter()
+                    .position(|t| t.txn > cp.watermark)
+                    .unwrap_or(recovery.txns.len());
+                debug_assert!(
+                    recovery.txns[from..].iter().all(|t| t.txn > cp.watermark),
+                    "sealed transaction ids must be monotone"
+                );
+                (store, cp.watermark, from)
+            }
+            None => {
+                // No checkpoint: the data directory is derived state (the
+                // journal is the whole truth); rebuild it from scratch.
+                let data = clear_engine_data(&dir)?;
+                (Self::build_store(kind, data, schema, config)?, 0, 0)
+            }
+        };
+        let suffix = &recovery.txns[replay_from..];
+        let replayed = journal::replay(store.as_mut(), suffix)?;
         store.flush()?;
-        // Compact an unclean log down to exactly the committed history. A
-        // torn commit (the reopen-to-recover path) leaves orphaned data
-        // entries in the log; recovery ignores them, but a later commit
-        // marker that reused their transaction id would seal them as
-        // phantom ops, so they must not survive the reopen. A clean log —
-        // the common case — is appended to as-is.
-        if !recovery.clean {
-            Wal::rewrite(&wal_path, &recovery.txns, config.fsync)?;
+        // Compact the log down to exactly the uncovered committed suffix.
+        // A torn commit leaves orphaned data entries recovery ignores, but
+        // a later commit marker reusing their transaction id would seal
+        // them as phantom ops; and entries at or below the watermark are
+        // already in the checkpointed state, so neither may survive the
+        // reopen. A clean, fully-uncovered log — the common case — is
+        // appended to as-is.
+        if !recovery.clean || replay_from > 0 {
+            Wal::rewrite(&wal_path, suffix, config.fsync)?;
         }
-        // Belt and braces: allocate past every id the log ever saw,
-        // committed or orphaned.
-        let next_txn = recovery.max_txn + 1;
+        // Belt and braces: allocate past every id the log ever saw
+        // (committed or orphaned) and past the checkpoint watermark.
+        let next_txn = recovery.max_txn.max(watermark) + 1;
         let wal = Wal::open(&wal_path, config.fsync)?;
         Ok(Arc::new(Database {
             store: RwLock::new(store),
@@ -217,6 +285,8 @@ impl Database {
             wal,
             next_txn: AtomicU64::new(next_txn),
             journal_intact: AtomicBool::new(true),
+            fsync: config.fsync,
+            replayed,
             dir,
         }))
     }
@@ -240,6 +310,32 @@ impl Database {
             }
             EngineKind::VersionFirst => Box::new(VersionFirstEngine::init(dir, schema, config)?),
             EngineKind::Hybrid => Box::new(HybridEngine::init(dir, schema, config)?),
+        })
+    }
+
+    /// Reopens an engine of the given kind from checkpoint-flushed state
+    /// under `dir` — the open-path counterpart of [`Database::build_store`].
+    /// `snapshot` is the engine payload a [`VersionedStore::checkpoint`]
+    /// call produced (carried by the `CHECKPOINT` file).
+    fn open_store(
+        kind: EngineKind,
+        dir: impl AsRef<Path>,
+        schema: Schema,
+        config: &StoreConfig,
+        snapshot: &[u8],
+    ) -> Result<Box<dyn VersionedStore>> {
+        let dir = dir.as_ref();
+        Ok(match kind {
+            EngineKind::TupleFirstBranch => Box::new(TupleFirstBranchEngine::open_from(
+                dir, schema, config, snapshot,
+            )?),
+            EngineKind::TupleFirstTuple => Box::new(TupleFirstTupleEngine::open_from(
+                dir, schema, config, snapshot,
+            )?),
+            EngineKind::VersionFirst => Box::new(VersionFirstEngine::open_from(
+                dir, schema, config, snapshot,
+            )?),
+            EngineKind::Hybrid => Box::new(HybridEngine::open_from(dir, schema, config, snapshot)?),
         })
     }
 
@@ -298,28 +394,23 @@ impl Database {
     /// Creates a branch named `name` rooted at `from` (journaled).
     pub fn create_branch(&self, name: &str, from: impl Into<VersionRef>) -> Result<BranchId> {
         let from = from.into();
-        let txn = self.alloc_txn();
-        self.journaled(
-            txn,
-            &[journal::encode_branch(name, from)],
-            |store, dirty| {
-                // Validate before the first mutation, so a duplicate name or
-                // unknown source fails clean — without marking the journal
-                // diverged.
-                let graph = store.graph();
-                graph.check_name_free(name)?;
-                match from {
-                    VersionRef::Branch(b) => {
-                        graph.branch(b)?;
-                    }
-                    VersionRef::Commit(c) => {
-                        graph.commit(c)?;
-                    }
+        self.journaled(&[journal::encode_branch(name, from)], |store, dirty| {
+            // Validate before the first mutation, so a duplicate name or
+            // unknown source fails clean — without marking the journal
+            // diverged.
+            let graph = store.graph();
+            graph.check_name_free(name)?;
+            match from {
+                VersionRef::Branch(b) => {
+                    graph.branch(b)?;
                 }
-                *dirty = true;
-                store.create_branch(name, from)
-            },
-        )
+                VersionRef::Commit(c) => {
+                    graph.commit(c)?;
+                }
+            }
+            *dirty = true;
+            store.create_branch(name, from)
+        })
     }
 
     /// Merges branch `from` into branch `into` under `policy` (journaled).
@@ -335,9 +426,7 @@ impl Database {
         let mut locks = self.locks.begin();
         locks.lock(into, LockMode::Exclusive)?;
         locks.lock(from, LockMode::Shared)?;
-        let txn = self.alloc_txn();
         self.journaled(
-            txn,
             &[journal::encode_merge(into, from, policy)],
             |store, dirty| {
                 store.graph().branch(into)?;
@@ -353,11 +442,16 @@ impl Database {
     /// [`Session::commit`](crate::session::Session::commit).
     ///
     /// Inside one store write-lock scope it (1) verifies the journal is
-    /// intact, (2) appends `entries` for `txn`, (3) applies `apply` to the
-    /// store, and (4) seals the transaction — so journal commit order
-    /// always matches store mutation order, and the intact check cannot go
-    /// stale between check and seal (a concurrent seal failure flips the
-    /// flag while *it* holds the same lock).
+    /// intact, (2) allocates the transaction id and appends `entries`
+    /// under it, (3) applies `apply` to the store, and (4) seals the
+    /// transaction — so journal commit order always matches store mutation
+    /// order, and the intact check cannot go stale between check and seal
+    /// (a concurrent seal failure flips the flag while *it* holds the same
+    /// lock). Allocating the id *inside* the critical section makes ids
+    /// seal in strictly increasing order, which is what lets a checkpoint
+    /// record a single id watermark (see [`Database::flush`]): every
+    /// transaction at or below it is in the flushed state, every one above
+    /// it is not.
     ///
     /// `apply` receives a dirty flag it must set **before its first
     /// mutating store call** (validation that only reads the store goes
@@ -371,12 +465,12 @@ impl Database {
     /// prefix.
     pub(crate) fn journaled<T>(
         &self,
-        txn: u64,
         entries: &[Vec<u8>],
         apply: impl FnOnce(&mut dyn VersionedStore, &mut bool) -> Result<T>,
     ) -> Result<T> {
         let mut store = self.store.write();
         self.journal_writable()?;
+        let txn = self.alloc_txn();
         for entry in entries {
             self.wal.append(txn, entry)?;
         }
@@ -428,8 +522,12 @@ impl Database {
     /// Runs `f` with exclusive access to the store.
     ///
     /// This is an administrative escape hatch (bulk loads, experiment
-    /// harnesses): mutations made here bypass the journal and therefore do
-    /// **not** survive [`Database::open`]. Prefer sessions,
+    /// harnesses): mutations made here bypass the journal, so they survive
+    /// [`Database::open`] only if a later [`Database::flush`] checkpointed
+    /// them — on a crash before the next checkpoint they are gone (and,
+    /// because they are invisible to replay, they can also skew the
+    /// deterministic id sequence journaled transactions rely on if they
+    /// create branches or commits). Prefer sessions,
     /// [`Database::create_branch`], and [`Database::merge`] for durable
     /// writes.
     pub fn with_store_mut<T>(&self, f: impl FnOnce(&mut dyn VersionedStore) -> T) -> T {
@@ -437,7 +535,9 @@ impl Database {
         f(store.as_mut())
     }
 
-    /// Allocates a WAL transaction id.
+    /// Allocates a WAL transaction id. Only called with the store write
+    /// lock held (inside [`Database::journaled`]), so ids seal in strictly
+    /// increasing order — the property the checkpoint watermark rests on.
     pub(crate) fn alloc_txn(&self) -> u64 {
         self.next_txn.fetch_add(1, Ordering::Relaxed)
     }
@@ -447,9 +547,55 @@ impl Database {
         &self.dir
     }
 
-    /// Flushes heap tails and persists the version graph.
+    /// Journal transactions the `open` that built this handle replayed
+    /// (zero for a freshly created database, and zero after a clean
+    /// `flush → close → open` cycle, since the checkpoint covered
+    /// everything). Exposed so recovery tests and operators can verify
+    /// that reopen cost scales with the post-checkpoint delta, not with
+    /// total history.
+    pub fn replayed_on_open(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Checkpoints the database: flushes every engine structure to disk,
+    /// records the journal watermark, and truncates the WAL.
+    ///
+    /// Under the store write lock (no transaction can be mid-seal) it:
+    ///
+    /// 1. **state** — flushes heap tails, the version graph, and
+    ///    commit-store deltas (each fsynced when the store was configured
+    ///    with [`StoreConfig::fsync`]) and takes the engine's snapshot;
+    /// 2. **watermark** — atomically installs the `CHECKPOINT` file
+    ///    pairing that snapshot with the highest sealed transaction id;
+    /// 3. **truncate** — empties the WAL, whose every transaction the
+    ///    watermark now covers.
+    ///
+    /// A crash between any two steps is recoverable (see
+    /// [`Database::open`]); the steps must not be reordered. After a
+    /// successful flush the on-disk log is empty and grows only with
+    /// post-checkpoint transactions, and `open` replays exactly that
+    /// suffix.
+    ///
+    /// Refused when the store has diverged from the journal (see
+    /// [`Database::journaled`]): checkpointing would promote the diverged
+    /// state to durable truth; reopen the directory instead.
     pub fn flush(&self) -> Result<()> {
-        self.store.write().flush()
+        let mut store = self.store.write();
+        self.journal_writable()?;
+        let payload = store.checkpoint()?;
+        // Sealed ids are exactly 1..next_txn (allocation happens under the
+        // write lock we hold), so the watermark is the last allocated id.
+        let watermark = self.next_txn.load(Ordering::Relaxed) - 1;
+        checkpoint::save(
+            &self.dir,
+            &checkpoint::Checkpoint {
+                watermark,
+                kind: store.kind(),
+                payload,
+            },
+            self.fsync,
+        )?;
+        self.wal.truncate()
     }
 }
 
@@ -661,6 +807,62 @@ mod tests {
         assert_eq!(
             db.with_store(|s| s.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap()),
             0
+        );
+    }
+
+    #[test]
+    fn create_removes_stale_checkpoint() {
+        // The crash-pairing hazard: `create` over a directory holding an
+        // old CHECKPOINT must remove it before the manifest goes down —
+        // otherwise a crash right after the manifest write leaves a fresh
+        // database whose next `open` reopens the *previous* database's
+        // checkpointed state.
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("db");
+        let config = StoreConfig::test_default();
+        let schema = Schema::new(2, ColumnType::U32);
+        {
+            let db = Database::create(&path, EngineKind::Hybrid, schema.clone(), &config).unwrap();
+            let mut s = db.session();
+            s.insert(Record::new(1, vec![1, 1])).unwrap();
+            s.commit().unwrap();
+            drop(s);
+            db.flush().unwrap();
+            assert!(path.join("CHECKPOINT").exists());
+        }
+        let db = Database::create(&path, EngineKind::Hybrid, schema, &config).unwrap();
+        assert!(
+            !path.join("CHECKPOINT").exists(),
+            "stale checkpoint must not pair with the fresh manifest"
+        );
+        drop(db);
+        // And the reopened fresh database really is empty.
+        let db = Database::open(&path, &config).unwrap();
+        assert_eq!(
+            db.with_store(|s| s.live_count(VersionRef::Branch(BranchId::MASTER)).unwrap()),
+            0
+        );
+    }
+
+    #[test]
+    fn flush_checkpoint_then_open_skips_replay() {
+        let (_d, database) = db(EngineKind::TupleFirstTuple);
+        let mut s = database.session();
+        s.insert(Record::new(7, vec![70, 7])).unwrap();
+        s.commit().unwrap();
+        drop(s);
+        database.flush().unwrap();
+        let dir = database.dir().to_path_buf();
+        drop(database);
+        let config = StoreConfig::test_default();
+        let db = Database::open(&dir, &config).unwrap();
+        assert_eq!(db.replayed_on_open(), 0);
+        assert_eq!(
+            db.with_store(|s| s.get(VersionRef::Branch(BranchId::MASTER), 7))
+                .unwrap()
+                .unwrap()
+                .field(0),
+            70
         );
     }
 

@@ -23,9 +23,11 @@ use decibel_common::hash::FxHashMap;
 use decibel_common::ids::{BranchId, CommitId, RecordIdx, SegmentId};
 use decibel_common::record::Record;
 use decibel_common::schema::Schema;
+use decibel_common::varint;
 use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
 use decibel_vgraph::VersionGraph;
 
+use crate::checkpoint;
 use crate::engine::scan::{scan_annotated_slice, AnnotatedScan, BitmapScan};
 use crate::merge::{plan_merge, ChangeSet, MergeAction};
 use crate::pool::ScanPool;
@@ -70,6 +72,13 @@ pub struct HybridEngine {
     /// the machine once per engine on first parallel scan (no threads are
     /// spawned per call).
     scan_pool: OnceLock<ScanPool>,
+    /// Whether checkpoint flushes fsync (from [`StoreConfig::fsync`]).
+    fsync: bool,
+}
+
+/// Commit-store file for one (segment, branch) pair.
+fn store_path(dir: &Path, seg: SegmentId, b: BranchId) -> PathBuf {
+    dir.join(format!("commits_s{}_b{}.dcl", seg.raw(), b.raw()))
 }
 
 impl HybridEngine {
@@ -90,6 +99,7 @@ impl HybridEngine {
             branch_commits: vec![0],
             commit_map: FxHashMap::default(),
             scan_pool: OnceLock::new(),
+            fsync: config.fsync,
         };
         engine.branch_seg.add_branch(BranchId::MASTER, None);
         let seg = engine.new_segment()?;
@@ -103,6 +113,171 @@ impl HybridEngine {
             .commit_map
             .insert(CommitId::INIT, (BranchId::MASTER, init));
         Ok(engine)
+    }
+
+    /// Reopens an engine from checkpoint-flushed state: segment heap
+    /// files, per-(branch, segment) commit-store files, and the snapshot
+    /// `payload` a previous [`VersionedStore::checkpoint`] call produced
+    /// (embedded graph, per-segment bitmap columns, branch-segment bitmap,
+    /// head assignments, commit ordinals). The per-branch primary-key
+    /// indexes are derived state and are rebuilt from the bitmap columns;
+    /// the journal is not consulted.
+    pub fn open_from(
+        dir: impl AsRef<Path>,
+        schema: Schema,
+        config: &StoreConfig,
+        payload: &[u8],
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        let corrupt = |what: &str| DbError::corrupt(format!("hybrid checkpoint: {what}"));
+        let mut pos = 0usize;
+        let graph = VersionGraph::from_bytes(checkpoint::read_slice(payload, &mut pos)?)?;
+        let n_branches = graph.num_branches();
+        let n_segments = varint::read_u64(payload, &mut pos)? as usize;
+        // Pass 1: segments (heaps at coverage, local bitmap columns, the
+        // commit-store coordinates to open below).
+        let mut segments = Vec::with_capacity(n_segments);
+        let mut store_specs: Vec<Vec<(BranchId, u64, u64, u32)>> = Vec::with_capacity(n_segments);
+        for s in 0..n_segments {
+            let heap_len = varint::read_u64(payload, &mut pos)?;
+            let heap = HeapFile::open_at(
+                Arc::clone(&pool),
+                dir.join(format!("seg_{s}.dat")),
+                schema.clone(),
+                heap_len,
+            )?;
+            let frozen = *payload.get(pos).ok_or_else(|| corrupt("truncated flags"))? != 0;
+            pos += 1;
+            let mut index = BranchBitmapIndex::new();
+            let n_cols = varint::read_u64(payload, &mut pos)? as usize;
+            for _ in 0..n_cols {
+                let b = BranchId(varint::read_u64(payload, &mut pos)? as u32);
+                let bm = checkpoint::read_bitmap(payload, &mut pos)?;
+                index.restore_branch(b, &bm);
+            }
+            index.ensure_rows(heap_len);
+            let n_stores = varint::read_u64(payload, &mut pos)? as usize;
+            let mut specs = Vec::with_capacity(n_stores);
+            for _ in 0..n_stores {
+                let b = BranchId(varint::read_u64(payload, &mut pos)? as u32);
+                let first = varint::read_u64(payload, &mut pos)?;
+                let covered = varint::read_u64(payload, &mut pos)?;
+                let pending = varint::read_u64(payload, &mut pos)? as u32;
+                specs.push((b, first, covered, pending));
+            }
+            store_specs.push(specs);
+            segments.push(HySegment {
+                heap,
+                index,
+                frozen,
+                stores: FxHashMap::default(),
+            });
+        }
+        // Pass 2: global structures.
+        let n_seg_cols = varint::read_u64(payload, &mut pos)? as usize;
+        if n_seg_cols != n_branches {
+            return Err(corrupt("branch-segment column count mismatch"));
+        }
+        let mut branch_seg = BranchBitmapIndex::new();
+        branch_seg.ensure_rows(n_segments as u64);
+        for b in 0..n_branches {
+            let bm = checkpoint::read_bitmap(payload, &mut pos)?;
+            branch_seg.restore_branch(BranchId(b as u32), &bm);
+        }
+        let n_heads = varint::read_u64(payload, &mut pos)? as usize;
+        if n_heads != n_branches {
+            return Err(corrupt("head count mismatch"));
+        }
+        let mut head = Vec::with_capacity(n_heads);
+        for _ in 0..n_heads {
+            let seg = SegmentId(varint::read_u64(payload, &mut pos)? as u32);
+            if seg.index() >= n_segments {
+                return Err(corrupt("head names unknown segment"));
+            }
+            head.push(seg);
+        }
+        let n_counts = varint::read_u64(payload, &mut pos)? as usize;
+        if n_counts != n_branches {
+            return Err(corrupt("branch commit-count mismatch"));
+        }
+        let mut branch_commits = Vec::with_capacity(n_counts);
+        for _ in 0..n_counts {
+            branch_commits.push(varint::read_u64(payload, &mut pos)?);
+        }
+        let commit_map: FxHashMap<CommitId, (BranchId, u64)> =
+            checkpoint::read_triples(payload, &mut pos)?
+                .into_iter()
+                .map(|(c, b, ord)| (CommitId(c), (BranchId(b as u32), ord)))
+                .collect();
+        // Pass 3: reopen the commit stores and validate each delta chain
+        // against the branch's recorded commit count — a store that lost a
+        // synced delta (or kept one from a discarded future) fails here
+        // rather than serving a wrong historical checkout later.
+        for (s, specs) in store_specs.into_iter().enumerate() {
+            for (b, first, covered, pending) in specs {
+                let store = CommitStore::open_at(
+                    store_path(&dir, SegmentId(s as u32), b),
+                    CommitStore::DEFAULT_LAYER_INTERVAL,
+                    covered,
+                    pending,
+                )?;
+                let expect = branch_commits
+                    .get(b.index())
+                    .ok_or_else(|| corrupt("store names unknown branch"))?
+                    .checked_sub(first)
+                    .ok_or_else(|| corrupt("store ordinal beyond branch history"))?;
+                if store.commit_count() != expect {
+                    return Err(corrupt(&format!(
+                        "store (segment {s}, branch {}) holds {} snapshots, expected {expect}",
+                        b.raw(),
+                        store.commit_count()
+                    )));
+                }
+                segments[s].stores.insert(b, (store, first));
+            }
+        }
+        // Pass 4: rebuild the per-branch primary-key indexes from the
+        // bitmap columns (one live copy per key per branch by invariant).
+        let mut pk = Vec::with_capacity(n_branches);
+        for b in 0..n_branches {
+            let bid = BranchId(b as u32);
+            let mut keys = FxHashMap::default();
+            let seg_bits = branch_seg.branch_bitmap(bid);
+            let mut spos = 0u64;
+            while let Some(s) = seg_bits.next_one(spos) {
+                spos = s + 1;
+                let seg = segments
+                    .get(s as usize)
+                    .ok_or_else(|| corrupt("branch-segment bit names unknown segment"))?;
+                if !seg.index.has_branch(bid) {
+                    continue;
+                }
+                let col = seg.index.branch_bitmap(bid);
+                let mut cursor = seg.heap.pinned_cursor();
+                let mut row = 0u64;
+                while let Some(r) = col.next_one(row) {
+                    row = r + 1;
+                    let (key, _) = cursor.peek_key(r)?;
+                    keys.insert(key, (SegmentId(s as u32), RecordIdx(r)));
+                }
+            }
+            pk.push(keys);
+        }
+        Ok(HybridEngine {
+            dir,
+            schema,
+            pool,
+            segments,
+            branch_seg,
+            head,
+            pk,
+            graph,
+            branch_commits,
+            commit_map,
+            scan_pool: OnceLock::new(),
+            fsync: config.fsync,
+        })
     }
 
     fn new_segment(&mut self) -> Result<SegmentId> {
@@ -145,8 +320,7 @@ impl HybridEngine {
             let col = seg.index.branch_bitmap(branch);
             if let std::collections::hash_map::Entry::Vacant(e) = seg.stores.entry(branch) {
                 let store = CommitStore::create(
-                    self.dir
-                        .join(format!("commits_s{}_b{}.dcl", seg_id.raw(), branch.raw())),
+                    store_path(&self.dir, seg_id, branch),
                     CommitStore::DEFAULT_LAYER_INTERVAL,
                 )?;
                 e.insert((store, ord));
@@ -698,6 +872,66 @@ impl VersionedStore for HybridEngine {
             seg.heap.flush()?;
         }
         self.graph.save(self.dir.join("graph.dvg"))
+    }
+
+    fn checkpoint(&mut self) -> Result<Vec<u8>> {
+        for seg in &self.segments {
+            seg.heap.flush()?;
+            if self.fsync {
+                seg.heap.sync()?;
+                for (store, _) in seg.stores.values() {
+                    store.sync()?;
+                }
+            }
+        }
+        self.graph
+            .save_with(self.dir.join("graph.dvg"), self.fsync)?;
+        let mut out = Vec::new();
+        checkpoint::write_slice(&mut out, &self.graph.to_bytes());
+        varint::write_u64(&mut out, self.segments.len() as u64);
+        for seg in &self.segments {
+            varint::write_u64(&mut out, seg.heap.len());
+            out.push(seg.frozen as u8);
+            // Local bitmap columns, branch-sorted for a deterministic
+            // snapshot (the column maps iterate in arbitrary order).
+            let mut cols: Vec<BranchId> = seg.index.branches().collect();
+            cols.sort_unstable();
+            varint::write_u64(&mut out, cols.len() as u64);
+            for b in cols {
+                varint::write_u64(&mut out, b.raw() as u64);
+                checkpoint::write_bitmap(&mut out, &seg.index.branch_bitmap(b));
+            }
+            let mut stores: Vec<(BranchId, &(CommitStore, u64))> =
+                seg.stores.iter().map(|(b, s)| (*b, s)).collect();
+            stores.sort_unstable_by_key(|(b, _)| *b);
+            varint::write_u64(&mut out, stores.len() as u64);
+            for (b, (store, first)) in stores {
+                varint::write_u64(&mut out, b.raw() as u64);
+                varint::write_u64(&mut out, *first);
+                varint::write_u64(&mut out, store.on_disk_len());
+                varint::write_u64(&mut out, store.pending_empty_count() as u64);
+            }
+        }
+        let n_branches = self.graph.num_branches();
+        varint::write_u64(&mut out, n_branches as u64);
+        for b in 0..n_branches {
+            checkpoint::write_bitmap(&mut out, &self.branch_seg.branch_bitmap(BranchId(b as u32)));
+        }
+        varint::write_u64(&mut out, self.head.len() as u64);
+        for &seg in &self.head {
+            varint::write_u64(&mut out, seg.raw() as u64);
+        }
+        varint::write_u64(&mut out, self.branch_commits.len() as u64);
+        for &n in &self.branch_commits {
+            varint::write_u64(&mut out, n);
+        }
+        checkpoint::write_triples(
+            &mut out,
+            self.commit_map
+                .iter()
+                .map(|(c, (b, ord))| (c.raw(), b.raw() as u64, *ord)),
+        );
+        Ok(out)
     }
 
     fn drop_caches(&self) {

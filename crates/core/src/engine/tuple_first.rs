@@ -20,9 +20,11 @@ use decibel_common::hash::FxHashMap;
 use decibel_common::ids::{BranchId, CommitId, RecordIdx};
 use decibel_common::record::Record;
 use decibel_common::schema::Schema;
+use decibel_common::varint;
 use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
 use decibel_vgraph::VersionGraph;
 
+use crate::checkpoint;
 use crate::engine::scan::{AnnotatedScan, BitmapScan};
 use crate::merge::{plan_merge, ChangeSet, MergeAction};
 use crate::store::VersionedStore;
@@ -50,6 +52,11 @@ pub type TupleFirstBranchEngine = TupleFirstEngine<BranchBitmapIndex>;
 /// Tuple-first with a tuple-oriented bitmap.
 pub type TupleFirstTupleEngine = TupleFirstEngine<TupleBitmapIndex>;
 
+/// Commit-store file for one branch.
+fn store_path(dir: &Path, b: BranchId) -> std::path::PathBuf {
+    dir.join(format!("commits_b{}.dcl", b.raw()))
+}
+
 /// The tuple-first engine: one shared heap file + a bitmap index.
 pub struct TupleFirstEngine<I: IndexOrientation> {
     dir: PathBuf,
@@ -64,6 +71,8 @@ pub struct TupleFirstEngine<I: IndexOrientation> {
     commit_stores: Vec<CommitStore>,
     /// Global commit id → (branch, ordinal within that branch's store).
     commit_map: FxHashMap<CommitId, (BranchId, u64)>,
+    /// Whether checkpoint flushes fsync (from [`StoreConfig::fsync`]).
+    fsync: bool,
 }
 
 impl<I: IndexOrientation> TupleFirstEngine<I> {
@@ -79,7 +88,7 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
         index.add_branch(BranchId::MASTER, None);
         let graph = VersionGraph::init();
         let mut store = CommitStore::create(
-            dir.join("commits_b0.dcl"),
+            store_path(&dir, BranchId::MASTER),
             CommitStore::DEFAULT_LAYER_INTERVAL,
         )?;
         // Ordinal 0 in master's store is the (empty) init commit.
@@ -96,6 +105,98 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
             pk: vec![FxHashMap::default()],
             commit_stores: vec![store],
             commit_map,
+            fsync: config.fsync,
+        })
+    }
+
+    /// Reopens an engine from checkpoint-flushed state: the heap, the
+    /// commit-store files, and the snapshot `payload` a previous
+    /// [`VersionedStore::checkpoint`] call produced. The journal is not
+    /// consulted; [`Database::open`](crate::db::Database::open) replays
+    /// only the post-watermark suffix on top of the result.
+    pub fn open_from(
+        dir: impl AsRef<Path>,
+        schema: Schema,
+        config: &StoreConfig,
+        payload: &[u8],
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        let mut pos = 0usize;
+        let graph = VersionGraph::from_bytes(checkpoint::read_slice(payload, &mut pos)?)?;
+        let heap_len = varint::read_u64(payload, &mut pos)?;
+        let heap = HeapFile::open_at(
+            Arc::clone(&pool),
+            dir.join("heap.dat"),
+            schema.clone(),
+            heap_len,
+        )?;
+        let n_branches = varint::read_u64(payload, &mut pos)? as usize;
+        if n_branches != graph.num_branches() {
+            return Err(DbError::corrupt(
+                "checkpoint branch count disagrees with its version graph",
+            ));
+        }
+        let mut index = I::default();
+        index.ensure_rows(heap_len);
+        let mut pk = Vec::with_capacity(n_branches);
+        let mut cursor = heap.pinned_cursor();
+        for b in 0..n_branches {
+            let bid = BranchId(b as u32);
+            let bm = checkpoint::read_bitmap(payload, &mut pos)?;
+            index.add_branch(bid, None);
+            index.restore_branch(bid, &bm);
+            // The primary-key index is derived state: one live copy per
+            // key, exactly the set bits of the branch's head column.
+            let mut keys = FxHashMap::default();
+            let mut row = 0u64;
+            while let Some(r) = bm.next_one(row) {
+                row = r + 1;
+                let (key, _) = cursor.peek_key(r)?;
+                keys.insert(key, RecordIdx(r));
+            }
+            pk.push(keys);
+        }
+        drop(cursor);
+        // Commits per branch, for validating the reopened delta files.
+        let mut per_branch = vec![0u64; n_branches];
+        for c in graph.topo_order() {
+            per_branch[graph.commit(c)?.branch.index()] += 1;
+        }
+        let mut commit_stores = Vec::with_capacity(n_branches);
+        for (b, &expected) in per_branch.iter().enumerate() {
+            let covered = varint::read_u64(payload, &mut pos)?;
+            let pending = varint::read_u64(payload, &mut pos)? as u32;
+            let store = CommitStore::open_at(
+                store_path(&dir, BranchId(b as u32)),
+                CommitStore::DEFAULT_LAYER_INTERVAL,
+                covered,
+                pending,
+            )?;
+            if store.commit_count() != expected {
+                return Err(DbError::corrupt(format!(
+                    "commit store for branch {b} holds {} snapshots, graph records {expected}",
+                    store.commit_count(),
+                )));
+            }
+            commit_stores.push(store);
+        }
+        let commit_map: FxHashMap<CommitId, (BranchId, u64)> =
+            checkpoint::read_triples(payload, &mut pos)?
+                .into_iter()
+                .map(|(c, b, ord)| (CommitId(c), (BranchId(b as u32), ord)))
+                .collect();
+        Ok(TupleFirstEngine {
+            dir,
+            schema,
+            pool,
+            heap,
+            index,
+            graph,
+            pk,
+            commit_stores,
+            commit_map,
+            fsync: config.fsync,
         })
     }
 
@@ -209,7 +310,7 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
             }
         }
         self.commit_stores.push(CommitStore::create(
-            self.dir.join(format!("commits_b{}.dcl", new_b.raw())),
+            store_path(&self.dir, new_b),
             CommitStore::DEFAULT_LAYER_INTERVAL,
         )?);
         Ok(new_b)
@@ -431,6 +532,40 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
     fn flush(&mut self) -> Result<()> {
         self.heap.flush()?;
         self.graph.save(self.dir.join("graph.dvg"))
+    }
+
+    fn checkpoint(&mut self) -> Result<Vec<u8>> {
+        self.heap.flush()?;
+        if self.fsync {
+            self.heap.sync()?;
+            for store in &self.commit_stores {
+                store.sync()?;
+            }
+        }
+        self.graph
+            .save_with(self.dir.join("graph.dvg"), self.fsync)?;
+        let mut out = Vec::new();
+        checkpoint::write_slice(&mut out, &self.graph.to_bytes());
+        varint::write_u64(&mut out, self.heap.len());
+        let n_branches = self.graph.num_branches();
+        varint::write_u64(&mut out, n_branches as u64);
+        for b in 0..n_branches {
+            // The head column is snapshotted directly (RLE), so reopening
+            // needs no delta-chain checkout and no assumption that the
+            // working head coincides with the last commit.
+            checkpoint::write_bitmap(&mut out, &self.index.branch_bitmap(BranchId(b as u32)));
+        }
+        for store in &self.commit_stores {
+            varint::write_u64(&mut out, store.on_disk_len());
+            varint::write_u64(&mut out, store.pending_empty_count() as u64);
+        }
+        checkpoint::write_triples(
+            &mut out,
+            self.commit_map
+                .iter()
+                .map(|(c, (b, ord))| (c.raw(), b.raw() as u64, *ord)),
+        );
+        Ok(out)
     }
 
     fn drop_caches(&self) {

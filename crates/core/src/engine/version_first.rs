@@ -25,9 +25,11 @@ use decibel_common::hash::{FxHashMap, FxHashSet};
 use decibel_common::ids::{BranchId, CommitId, RecordIdx, SegmentId};
 use decibel_common::record::Record;
 use decibel_common::schema::Schema;
+use decibel_common::varint;
 use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
 use decibel_vgraph::VersionGraph;
 
+use crate::checkpoint;
 use crate::engine::scan::BitmapScan;
 use crate::merge::{plan_merge, ChangeSet, MergeAction};
 use crate::store::VersionedStore;
@@ -63,6 +65,8 @@ pub struct VersionFirstEngine {
     /// offset of the latest record that is active in the committing
     /// branch's segment file" (§3.3) — here a record-slot offset.
     commit_map: FxHashMap<CommitId, SegRef>,
+    /// Whether checkpoint flushes fsync (from [`StoreConfig::fsync`]).
+    fsync: bool,
 }
 
 impl VersionFirstEngine {
@@ -79,11 +83,80 @@ impl VersionFirstEngine {
             head: Vec::new(),
             graph: VersionGraph::init(),
             commit_map: FxHashMap::default(),
+            fsync: config.fsync,
         };
         let seg = engine.new_segment(Vec::new())?;
         engine.head.push(seg);
         engine.commit_map.insert(CommitId::INIT, (seg, 0));
         Ok(engine)
+    }
+
+    /// Reopens an engine from checkpoint-flushed state (segment heap files
+    /// plus the snapshot `payload` a previous
+    /// [`VersionedStore::checkpoint`] call produced); no journal replay.
+    /// Version-first has no bitmaps or key index to rebuild — its entire
+    /// derived state is the segment graph and the commit offset map, both
+    /// carried in the snapshot.
+    pub fn open_from(
+        dir: impl AsRef<Path>,
+        schema: Schema,
+        config: &StoreConfig,
+        payload: &[u8],
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        let mut pos = 0usize;
+        let graph = VersionGraph::from_bytes(checkpoint::read_slice(payload, &mut pos)?)?;
+        let n_segments = varint::read_u64(payload, &mut pos)? as usize;
+        let mut segments = Vec::with_capacity(n_segments);
+        for s in 0..n_segments {
+            let heap_len = varint::read_u64(payload, &mut pos)?;
+            let heap = HeapFile::open_at(
+                Arc::clone(&pool),
+                dir.join(format!("seg_{s}.dat")),
+                schema.clone(),
+                heap_len,
+            )?;
+            let n_parents = varint::read_u64(payload, &mut pos)? as usize;
+            let mut parents = Vec::with_capacity(n_parents);
+            for _ in 0..n_parents {
+                let p = SegmentId(varint::read_u64(payload, &mut pos)? as u32);
+                let bound = varint::read_u64(payload, &mut pos)?;
+                if p.index() >= s {
+                    return Err(DbError::corrupt("checkpoint segment parent points forward"));
+                }
+                parents.push((p, bound));
+            }
+            segments.push(Segment { heap, parents });
+        }
+        let n_heads = varint::read_u64(payload, &mut pos)? as usize;
+        if n_heads != graph.num_branches() {
+            return Err(DbError::corrupt(
+                "checkpoint head count disagrees with its version graph",
+            ));
+        }
+        let mut head = Vec::with_capacity(n_heads);
+        for _ in 0..n_heads {
+            let seg = SegmentId(varint::read_u64(payload, &mut pos)? as u32);
+            if seg.index() >= n_segments {
+                return Err(DbError::corrupt("checkpoint head names unknown segment"));
+            }
+            head.push(seg);
+        }
+        let commit_map: FxHashMap<CommitId, SegRef> = checkpoint::read_triples(payload, &mut pos)?
+            .into_iter()
+            .map(|(c, seg, off)| (CommitId(c), (SegmentId(seg as u32), off)))
+            .collect();
+        Ok(VersionFirstEngine {
+            dir,
+            schema,
+            pool,
+            segments,
+            head,
+            graph,
+            commit_map,
+            fsync: config.fsync,
+        })
     }
 
     fn new_segment(&mut self, parents: Vec<(SegmentId, u64)>) -> Result<SegmentId> {
@@ -694,6 +767,39 @@ impl VersionedStore for VersionFirstEngine {
             seg.heap.flush()?;
         }
         self.graph.save(self.dir.join("graph.dvg"))
+    }
+
+    fn checkpoint(&mut self) -> Result<Vec<u8>> {
+        for seg in &self.segments {
+            seg.heap.flush()?;
+            if self.fsync {
+                seg.heap.sync()?;
+            }
+        }
+        self.graph
+            .save_with(self.dir.join("graph.dvg"), self.fsync)?;
+        let mut out = Vec::new();
+        checkpoint::write_slice(&mut out, &self.graph.to_bytes());
+        varint::write_u64(&mut out, self.segments.len() as u64);
+        for seg in &self.segments {
+            varint::write_u64(&mut out, seg.heap.len());
+            varint::write_u64(&mut out, seg.parents.len() as u64);
+            for &(p, bound) in &seg.parents {
+                varint::write_u64(&mut out, p.raw() as u64);
+                varint::write_u64(&mut out, bound);
+            }
+        }
+        varint::write_u64(&mut out, self.head.len() as u64);
+        for &seg in &self.head {
+            varint::write_u64(&mut out, seg.raw() as u64);
+        }
+        checkpoint::write_triples(
+            &mut out,
+            self.commit_map
+                .iter()
+                .map(|(c, (seg, off))| (c.raw(), seg.raw() as u64, *off)),
+        );
+        Ok(out)
     }
 
     fn drop_caches(&self) {

@@ -123,12 +123,14 @@ fn read_branch_id(entry: &[u8], pos: &mut usize) -> Result<BranchId> {
     Ok(BranchId(varint::read_u64(entry, pos)? as u32))
 }
 
-/// Replays recovered transactions (in commit order) into a freshly
-/// initialized store, returning the number of transactions applied.
+/// Replays recovered transactions (in commit order) into a store,
+/// returning the number of transactions applied.
 ///
-/// The store must be in its `init` state: replay reproduces every journaled
-/// operation from the beginning of history, so applying it to a store that
-/// already contains data would double-apply.
+/// `txns` must be exactly the transactions **not** contained in the
+/// store's current state: the full history for a freshly initialized
+/// store (the cold-open path), or the post-watermark suffix for a store
+/// reopened from a checkpoint — anything already applied would
+/// double-apply, anything skipped is lost.
 pub(crate) fn replay(store: &mut dyn VersionedStore, txns: &[RecoveredTxn]) -> Result<u64> {
     let schema = store.schema().clone();
     let mut applied = 0u64;

@@ -19,6 +19,7 @@
 //! versioned query layer ([`query`]) that expresses the benchmark's four
 //! query classes (§4.3).
 
+mod checkpoint;
 pub mod db;
 pub mod engine;
 mod journal;

@@ -79,7 +79,6 @@ pub struct Session {
 }
 
 struct Txn {
-    id: u64,
     locks: TxnLocks,
     ops: Vec<Op>,
     /// Read-your-writes overlay: key → pending live copy (`None` =
@@ -161,8 +160,11 @@ impl Session {
         self.db.journal_writable()?;
         let mut locks = self.db.locks.begin();
         locks.lock(branch, LockMode::Exclusive)?;
+        // The WAL transaction id is not allocated here: ids are handed out
+        // inside the journal's critical section at commit time, so they
+        // seal in increasing order (the checkpoint watermark depends on
+        // this — see `Database::journaled`).
         self.txn = Some(Txn {
-            id: self.db.alloc_txn(),
             locks,
             ops: Vec::new(),
             overlay: FxHashMap::default(),
@@ -318,14 +320,14 @@ impl Session {
     /// create a commit, and replay must reproduce the commit-id sequence.
     pub fn commit(&mut self) -> Result<CommitId> {
         let branch = self.write_branch()?;
-        let (id, ops, _locks) = match self.txn.take() {
-            Some(t) => (t.id, t.ops, t.locks),
+        let (ops, _locks) = match self.txn.take() {
+            Some(t) => (t.ops, t.locks),
             None => {
                 // Empty transaction: still a legal commit (snapshot point),
                 // and still guarded by the branch's exclusive lock.
                 let mut locks = self.db.locks.begin();
                 locks.lock(branch, LockMode::Exclusive)?;
-                (self.db.alloc_txn(), Vec::new(), locks)
+                (Vec::new(), locks)
             }
         };
         let schema = self.db.with_store(|s| s.schema().clone());
@@ -338,7 +340,7 @@ impl Session {
                 Op::Delete(k) => journal::encode_delete(*k),
             });
         }
-        self.db.journaled(id, &entries, |store, dirty| {
+        self.db.journaled(&entries, |store, dirty| {
             store.graph().branch(branch)?;
             // Every failure past this point may leave partial mutations:
             // the ops were pre-validated against the session's view under

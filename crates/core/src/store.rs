@@ -134,6 +134,18 @@ pub trait VersionedStore: Send + Sync {
     /// Flushes buffered heap tails and persists the version graph.
     fn flush(&mut self) -> Result<()>;
 
+    /// Checkpoint-flushes the engine: every durable structure — heap
+    /// tails, version graph, commit-store delta files — is written out
+    /// (and fsynced when the store was configured with `fsync`), then the
+    /// engine's snapshot is returned: the metadata needed to reopen it
+    /// from those files without journal replay (embedded graph, per-file
+    /// coverage lengths, head bitmap columns, commit-store offsets).
+    ///
+    /// [`Database::flush`](crate::db::Database::flush) pairs the returned
+    /// snapshot with the journal watermark and persists both atomically;
+    /// the engines' `open_from` constructors consume it.
+    fn checkpoint(&mut self) -> Result<Vec<u8>>;
+
     /// Drops all cached pages (emulates the paper's cold-cache measurement
     /// discipline, §5).
     fn drop_caches(&self);

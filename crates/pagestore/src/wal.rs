@@ -23,8 +23,9 @@ use parking_lot::Mutex;
 const KIND_DATA: u8 = 1;
 const KIND_COMMIT: u8 = 2;
 
-/// CRC-32 (IEEE 802.3) over an entry's kind, txn id, and payload.
-fn crc32(bytes: &[u8]) -> u32 {
+/// CRC-32 (IEEE 802.3) — used over every WAL entry's kind, txn id, and
+/// payload, and reused by the core crate's checkpoint file format.
+pub fn crc32(bytes: &[u8]) -> u32 {
     // Bitwise implementation; the WAL is not on the benchmark's hot path.
     let mut crc: u32 = 0xFFFF_FFFF;
     for &b in bytes {
@@ -37,17 +38,7 @@ fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Fsyncs the directory containing `path`, making renames/removals of
-/// entries in it durable. No-op if the path has no parent component.
-pub fn sync_parent_dir(path: &Path) -> Result<()> {
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p,
-        _ => Path::new("."),
-    };
-    File::open(parent)
-        .and_then(|d| d.sync_all())
-        .ctx("fsyncing WAL directory")
-}
+pub use decibel_common::fsio::sync_parent_dir;
 
 struct WalInner {
     file: File,
@@ -274,11 +265,16 @@ impl Wal {
     }
 
     /// Truncates the log (after a checkpoint has made its effects durable
-    /// elsewhere).
+    /// elsewhere). When the log is in fsync mode the truncation itself is
+    /// synced, so a crash cannot resurrect pre-checkpoint entries that the
+    /// checkpoint watermark already covers.
     pub fn truncate(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         inner.pending.clear();
         inner.file.set_len(0).ctx("truncating WAL")?;
+        if self.fsync {
+            inner.file.sync_all().ctx("fsyncing truncated WAL")?;
+        }
         // Reopen in append mode so subsequent writes start at offset 0.
         inner.file = OpenOptions::new()
             .create(true)

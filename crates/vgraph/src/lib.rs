@@ -358,11 +358,14 @@ impl VersionGraph {
 
     /// Persists the graph to `path` (atomic: write temp file then rename).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let path = path.as_ref();
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_bytes()).ctx("writing version graph")?;
-        std::fs::rename(&tmp, path).ctx("renaming version graph")?;
-        Ok(())
+        self.save_with(path, false)
+    }
+
+    /// Persists the graph, optionally fsyncing the file before the rename
+    /// and the directory after it — the durable variant checkpoints use
+    /// (an atomic rename is only crash-safe once both are synced).
+    pub fn save_with(&self, path: impl AsRef<Path>, fsync: bool) -> Result<()> {
+        decibel_common::fsio::write_file_durably(path.as_ref(), &self.to_bytes(), fsync)
     }
 
     /// Loads a graph persisted by [`VersionGraph::save`].

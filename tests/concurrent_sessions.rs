@@ -248,6 +248,62 @@ fn open_recovers_unflushed_commits() {
     }
 }
 
+/// The checkpointed variant of the crash-recovery contract, for every
+/// engine kind: flush (checkpoint) mid-history, commit more work, crash.
+/// Reopen must replay only the post-checkpoint suffix — asserted via the
+/// replay counter — and still see both halves; a flush-then-crash cycle
+/// replays nothing at all. (The full crash matrix lives in
+/// `tests/recovery.rs`.)
+#[test]
+fn open_after_checkpoint_replays_only_the_suffix() {
+    for kind in EngineKind::all() {
+        let dir = tempfile::tempdir().unwrap();
+        let config = StoreConfig::test_default();
+        {
+            let db = Database::create(
+                dir.path().join("db"),
+                kind,
+                Schema::new(2, ColumnType::U32),
+                &config,
+            )
+            .unwrap();
+            let mut session = db.session();
+            for batch in 0..5u64 {
+                for k in 0..10 {
+                    session.insert(rec(batch * 10 + k)).unwrap();
+                }
+                session.commit().unwrap();
+            }
+            drop(session);
+            db.flush().unwrap(); // checkpoint: 5 txns covered
+            let mut session = db.session();
+            session.insert(rec(1_000)).unwrap();
+            session.commit().unwrap();
+            // Crash: the last commit lives only in the journal suffix.
+        }
+        let db = Database::open(dir.path().join("db"), &config).unwrap();
+        assert_eq!(db.replayed_on_open(), 1, "engine {kind:?}");
+        assert_eq!(
+            db.read(BranchId::MASTER).count().unwrap(),
+            51,
+            "engine {kind:?}"
+        );
+        db.flush().unwrap();
+        drop(db);
+        let db = Database::open(dir.path().join("db"), &config).unwrap();
+        assert_eq!(
+            db.replayed_on_open(),
+            0,
+            "engine {kind:?}: a fresh checkpoint covers everything"
+        );
+        assert_eq!(
+            db.read(BranchId::MASTER).count().unwrap(),
+            51,
+            "engine {kind:?}"
+        );
+    }
+}
+
 /// Recovery preserves branch topology and commit ids, and a recovered
 /// database keeps accepting (and re-recovering) new work — reopen twice.
 #[test]
