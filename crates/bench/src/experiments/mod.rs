@@ -7,15 +7,17 @@ pub mod load;
 pub mod merges;
 pub mod queries;
 pub mod scaling;
+pub mod server;
 pub mod smoke;
 pub mod tablewise;
 
 use std::path::Path;
+use std::sync::OnceLock;
 
 use decibel_common::Result;
 use decibel_core::store::VersionedStore;
 use decibel_core::types::EngineKind;
-use decibel_core::Database;
+use decibel_core::{Database, ScanPool};
 
 use crate::loader::{load, LoadReport};
 use crate::spec::WorkloadSpec;
@@ -77,6 +79,32 @@ pub fn build_loaded(
     let mut store = build_store(kind, spec, dir)?;
     let report = load(store.as_mut(), spec)?;
     Ok((store, report))
+}
+
+/// The harness-wide work-stealing pool that multi-engine loads fan out
+/// on, sized once to the machine (zero workers on a single core, where
+/// [`ScanPool::run`] degrades to inline execution).
+fn load_pool() -> &'static ScanPool {
+    static POOL: OnceLock<ScanPool> = OnceLock::new();
+    POOL.get_or_init(|| ScanPool::new(ScanPool::default_threads()))
+}
+
+/// Builds and loads one store per entry, all entries fanned out over the
+/// shared [`ScanPool`] — the multi-engine experiments (one dataset per
+/// engine, identical op stream) no longer pay engine-count × load-time on
+/// multi-core machines. Loads are independent (separate directories,
+/// per-load deterministic RNG streams), so the loaded stores are
+/// byte-identical to sequential loading; results come back in entry
+/// order. Entries whose `(kind, strategy)` coincide must point at
+/// distinct directories.
+pub fn build_loaded_many(
+    entries: &[(EngineKind, WorkloadSpec, &Path)],
+) -> Result<Vec<(Box<dyn VersionedStore>, LoadReport)>> {
+    let tasks: Vec<_> = entries
+        .iter()
+        .map(|(kind, spec, dir)| move || build_loaded(*kind, spec, dir))
+        .collect();
+    load_pool().run(tasks).into_iter().collect()
 }
 
 /// Mean of a sampling closure run `repeats` times, in milliseconds.

@@ -6,7 +6,7 @@ use decibel_common::Result;
 use decibel_core::store::VersionedStore;
 use decibel_core::types::EngineKind;
 
-use crate::experiments::{build_loaded, mean_ms, Ctx};
+use crate::experiments::{build_loaded_many, mean_ms, Ctx};
 use crate::loader::LoadReport;
 use crate::queries::{all_heads, pick_branch, q1, q2, q3, q4, Pick};
 use crate::report::{ms, Table};
@@ -68,19 +68,27 @@ fn load_engines(
     with_clustered: bool,
 ) -> Result<Loaded> {
     let spec = WorkloadSpec::scaled(strategy, BRANCHES, ctx.scale);
-    let mut stores = Vec::new();
+    let cdir = dir.join("clustered");
+    let mut labels: Vec<String> = Vec::new();
+    let mut entries: Vec<(EngineKind, WorkloadSpec, &std::path::Path)> = Vec::new();
     for kind in EngineKind::headline() {
-        let (store, report) = build_loaded(kind, &spec, dir)?;
-        stores.push((kind.label().to_string(), store, report));
+        labels.push(kind.label().to_string());
+        entries.push((kind, spec.clone(), dir));
     }
     if with_clustered {
         let mut cspec = spec.clone();
         cspec.clustered = true;
-        let cdir = dir.join("clustered");
         std::fs::create_dir_all(&cdir).expect("mkdir");
-        let (store, report) = build_loaded(EngineKind::TupleFirstBranch, &cspec, &cdir)?;
-        stores.push(("TF-clust".to_string(), store, report));
+        labels.push("TF-clust".to_string());
+        entries.push((EngineKind::TupleFirstBranch, cspec, cdir.as_path()));
     }
+    // All engines load concurrently on the shared pool (one dataset per
+    // engine, same deterministic op stream).
+    let stores = labels
+        .into_iter()
+        .zip(build_loaded_many(&entries)?)
+        .map(|(label, (store, report))| (label, store, report))
+        .collect();
     Ok(Loaded { stores })
 }
 

@@ -12,7 +12,7 @@ use decibel_common::rng::DetRng;
 use decibel_common::Result;
 use decibel_core::types::EngineKind;
 
-use crate::experiments::{build_loaded, mean_ms, Ctx};
+use crate::experiments::{build_loaded_many, mean_ms, Ctx};
 use crate::queries::{all_heads, pick_branch, q1, q4, Pick};
 use crate::report::{ms, Table};
 use crate::spec::WorkloadSpec;
@@ -42,9 +42,16 @@ pub fn fig6a(ctx: &Ctx) -> Result<Table> {
     for &branches in &BRANCH_COUNTS {
         let spec = spec_for(branches, ctx);
         let mut cells = vec![branches.to_string()];
-        for kind in EngineKind::headline() {
-            let dir = tempfile::tempdir().expect("tempdir");
-            let (store, report) = build_loaded(kind, &spec, dir.path())?;
+        // One directory per engine; the three loads fan out on the pool.
+        let dirs: Vec<tempfile::TempDir> = (0..EngineKind::headline().len())
+            .map(|_| tempfile::tempdir().expect("tempdir"))
+            .collect();
+        let entries: Vec<_> = EngineKind::headline()
+            .into_iter()
+            .zip(&dirs)
+            .map(|(kind, dir)| (kind, spec.clone(), dir.path()))
+            .collect();
+        for (store, report) in build_loaded_many(&entries)? {
             let mut rng = DetRng::seed_from_u64(7);
             let v = mean_ms(ctx.repeats, || {
                 let child = pick_branch(&report, Pick::FlatChild, &mut rng)?;
@@ -69,9 +76,15 @@ pub fn fig6b(ctx: &Ctx) -> Result<Table> {
     for &branches in &BRANCH_COUNTS {
         let spec = spec_for(branches, ctx);
         let mut cells = vec![branches.to_string()];
-        for kind in EngineKind::headline() {
-            let dir = tempfile::tempdir().expect("tempdir");
-            let (store, _report) = build_loaded(kind, &spec, dir.path())?;
+        let dirs: Vec<tempfile::TempDir> = (0..EngineKind::headline().len())
+            .map(|_| tempfile::tempdir().expect("tempdir"))
+            .collect();
+        let entries: Vec<_> = EngineKind::headline()
+            .into_iter()
+            .zip(&dirs)
+            .map(|(kind, dir)| (kind, spec.clone(), dir.path()))
+            .collect();
+        for (store, _report) in build_loaded_many(&entries)? {
             let heads = all_heads(store.as_ref());
             let v = mean_ms(ctx.repeats, || {
                 Ok(q4(store.as_ref(), &heads, ctx.cold)?.ms())

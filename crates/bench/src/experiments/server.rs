@@ -1,0 +1,265 @@
+//! The server workload: remote sessions over TCP (`BENCH_server.json`).
+//!
+//! BranchBench (PAPERS.md) argues branching databases are increasingly
+//! driven by swarms of concurrent clients; this experiment measures the
+//! network layer those clients would actually traverse. It spawns a
+//! `decibel_server::Server` in-process on an ephemeral port and drives it
+//! with real `decibel_wire::Client` connections doing mixed read/commit
+//! traffic on **disjoint branches** — the regime the paper's per-branch
+//! two-phase locks are designed to keep embarrassingly parallel.
+//!
+//! Rows:
+//!
+//! * `remote_scan` — one client collects the whole base relation through
+//!   the batched scan stream; rows/s here vs the in-process scan rows in
+//!   `BENCH_scan.json` is the serialization tax of the wire.
+//! * `single_client` — one client runs the per-client workload (insert a
+//!   key block, commit, read the block back through a filtered remote
+//!   scan) on its own branch.
+//! * `serialized_k{N}` — N clients run that workload one after another
+//!   (total work = N × single).
+//! * `concurrent_k{N}` — the same N clients run at once, one thread each.
+//! * `concurrent_over_serialized` — the wall-clock ratio of the two. On a
+//!   single core ≈ 1.0 means the connection layer adds no serialization
+//!   beyond the CPU itself (the acceptance bar is ≤ ~1.2); on N cores it
+//!   approaches 1/N.
+//!
+//! Every fresh-state row gets its own database + server so no row measures
+//! another row's leftovers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use decibel_common::ids::BranchId;
+use decibel_common::record::Record;
+use decibel_common::schema::{ColumnType, Schema};
+use decibel_common::{DbError, Result};
+use decibel_core::query::Predicate;
+use decibel_core::{Database, EngineKind};
+use decibel_pagestore::StoreConfig;
+use decibel_server::{Server, ServerHandle};
+use decibel_wire::Client;
+
+use crate::experiments::Ctx;
+use crate::report::Table;
+
+/// Concurrent clients (and disjoint branches) in the k-rows.
+const CLIENTS: usize = 4;
+/// Data columns per record.
+const COLS: usize = 8;
+/// Rows inserted (and then read back) per round.
+const BATCH: u64 = 200;
+
+/// Globally fresh key blocks, so repeated rounds never collide.
+static NEXT_KEY: AtomicU64 = AtomicU64::new(1 << 32);
+
+fn rec(key: u64, tag: u64) -> Record {
+    Record::new(key, (0..COLS as u64).map(|c| key ^ (tag + c)).collect())
+}
+
+/// One served database: `base_rows` on master, `CLIENTS` branches forked
+/// from it (each inheriting the base), server listening on an ephemeral
+/// loopback port.
+fn serve(scale: f64) -> Result<(tempfile::TempDir, ServerHandle, Vec<BranchId>, u64)> {
+    let dir = tempfile::tempdir().map_err(|e| DbError::io("server bench tempdir", e))?;
+    let base_rows = ((30_000.0 * scale) as u64).max(1_000);
+    let db = Database::create(
+        dir.path().join("db"),
+        EngineKind::Hybrid,
+        Schema::new(COLS, ColumnType::U32),
+        &StoreConfig::bench_default(),
+    )?;
+    // Bulk-load the base through the escape hatch (loading is not what
+    // this experiment measures), then fork the per-client branches through
+    // the journaled surface.
+    db.with_store_mut(|store| -> Result<()> {
+        for k in 0..base_rows {
+            store.insert(BranchId::MASTER, rec(k, 1))?;
+        }
+        Ok(())
+    })?;
+    let mut branches = Vec::with_capacity(CLIENTS);
+    for c in 0..CLIENTS {
+        branches.push(db.create_branch(&format!("client{c}"), BranchId::MASTER)?);
+    }
+    let handle = Server::bind(db, "127.0.0.1:0")?.spawn();
+    Ok((dir, handle, branches, base_rows))
+}
+
+/// The per-client workload: `rounds` × (insert a fresh `BATCH`-key block,
+/// commit, read the block back via a filtered remote scan). Returns ops =
+/// rows written + rows read.
+fn drive_client(addr: std::net::SocketAddr, branch: u64, rounds: u64) -> Result<u64> {
+    let mut client = Client::connect(addr)?;
+    let branch = BranchId(branch as u32);
+    // Checkout by name keeps the lookup on the wire too.
+    client.checkout_branch(&format!("client{}", branch.raw() - 1))?;
+    let mut ops = 0u64;
+    for round in 0..rounds {
+        let k0 = NEXT_KEY.fetch_add(BATCH, Ordering::Relaxed);
+        for k in k0..k0 + BATCH {
+            client.insert(rec(k, round))?;
+        }
+        client.commit()?;
+        let read = client
+            .read(branch)
+            .filter(Predicate::KeyRange(k0, k0 + BATCH))
+            .collect()?;
+        if read.len() as u64 != BATCH {
+            return Err(DbError::Invalid(format!(
+                "round {round}: read {} of {BATCH} rows back",
+                read.len()
+            )));
+        }
+        ops += BATCH + read.len() as u64;
+    }
+    Ok(ops)
+}
+
+struct Row {
+    name: String,
+    clients: usize,
+    ops: u64,
+    ms: f64,
+}
+
+pub(crate) fn rounds_for(scale: f64) -> u64 {
+    ((25.0 * scale) as u64).max(4)
+}
+
+/// Runs the server workload and renders the throughput rows.
+pub fn server(ctx: &Ctx) -> Result<Table> {
+    let rounds = rounds_for(ctx.scale);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // remote_scan: the batched scan stream, repeated (read-only).
+    {
+        let (_dir, handle, _branches, base_rows) = serve(ctx.scale)?;
+        let addr = handle.local_addr();
+        let mut client = Client::connect(addr)?;
+        let mut best = f64::INFINITY;
+        for _ in 0..ctx.repeats.max(3) {
+            let start = Instant::now();
+            let got = client.read(BranchId::MASTER).collect()?;
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            if got.len() as u64 != base_rows {
+                return Err(DbError::Invalid(format!(
+                    "remote scan returned {} of {base_rows} rows",
+                    got.len()
+                )));
+            }
+        }
+        drop(client);
+        handle.shutdown()?;
+        rows.push(Row {
+            name: "remote_scan".into(),
+            clients: 1,
+            ops: base_rows,
+            ms: best,
+        });
+    }
+
+    // single_client: one client's workload, fresh server.
+    {
+        let (_dir, handle, branches, _) = serve(ctx.scale)?;
+        let addr = handle.local_addr();
+        let start = Instant::now();
+        let ops = drive_client(addr, branches[0].raw() as u64, rounds)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        handle.shutdown()?;
+        rows.push(Row {
+            name: "single_client".into(),
+            clients: 1,
+            ops,
+            ms,
+        });
+    }
+
+    // serialized_kN: the same per-client workload N times, back to back.
+    let serialized_ms = {
+        let (_dir, handle, branches, _) = serve(ctx.scale)?;
+        let addr = handle.local_addr();
+        let start = Instant::now();
+        let mut ops = 0u64;
+        for &b in &branches {
+            ops += drive_client(addr, b.raw() as u64, rounds)?;
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        handle.shutdown()?;
+        rows.push(Row {
+            name: format!("serialized_k{CLIENTS}"),
+            clients: CLIENTS,
+            ops,
+            ms,
+        });
+        ms
+    };
+
+    // concurrent_kN: one thread per client, all at once.
+    let concurrent_ms = {
+        let (_dir, handle, branches, _) = serve(ctx.scale)?;
+        let addr = handle.local_addr();
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(CLIENTS);
+        for &b in &branches {
+            let raw = b.raw() as u64;
+            handles.push(std::thread::spawn(move || drive_client(addr, raw, rounds)));
+        }
+        let mut ops = 0u64;
+        for h in handles {
+            ops += h.join().expect("client thread")?;
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        handle.shutdown()?;
+        rows.push(Row {
+            name: format!("concurrent_k{CLIENTS}"),
+            clients: CLIENTS,
+            ops,
+            ms,
+        });
+        ms
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Server workload: {CLIENTS} remote clients, disjoint branches, \
+             {rounds} rounds x {BATCH}-row blocks (scale={})",
+            ctx.scale
+        ),
+        &["bench", "clients", "ops", "best_ms", "ops_per_sec"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.name.clone(),
+            r.clients.to_string(),
+            r.ops.to_string(),
+            format!("{:.2}", r.ms),
+            format!("{:.0}", r.ops as f64 / (r.ms / 1e3)),
+        ]);
+    }
+    // The acceptance ratio: wall clock for N concurrent clients over the
+    // same total work serialized. ≤ ~1.2 means the connection layer added
+    // no serialization on this machine; < 1 is the multi-core win.
+    table.row(vec![
+        "concurrent_over_serialized".into(),
+        CLIENTS.to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.3}", concurrent_ms / serialized_ms),
+    ]);
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_workload_smoke() {
+        let table = server(&Ctx::smoke()).unwrap();
+        let rendered = table.render();
+        assert!(rendered.contains("remote_scan"));
+        assert!(rendered.contains("concurrent_k4"));
+        assert!(rendered.contains("concurrent_over_serialized"));
+    }
+}

@@ -21,6 +21,7 @@ use decibel_common::Result;
 
 const EXPERIMENTS: &[&str] = &[
     "smoke",
+    "server",
     "fig6a",
     "fig6b",
     "fig7",
@@ -42,6 +43,7 @@ const EXPERIMENTS: &[&str] = &[
 fn run_one(name: &str, ctx: &Ctx) -> Result<Table> {
     match name {
         "smoke" => experiments::smoke::smoke(ctx),
+        "server" => experiments::server::server(ctx),
         "fig6a" => experiments::scaling::fig6a(ctx),
         "fig6b" => experiments::scaling::fig6b(ctx),
         "fig7" => experiments::queries::fig7(ctx),

@@ -62,8 +62,103 @@ pub enum DbError {
         /// Description of the contended resource.
         what: String,
     },
+    /// The session has an open transaction and the requested operation
+    /// (checkout, branch, ...) is only legal between transactions.
+    TxnOpen {
+        /// The operation that was refused.
+        what: String,
+    },
+    /// A write was issued while the session is checked out at an immutable
+    /// commit (commits are read-only positions, §2.2.2).
+    ReadOnlyCheckout {
+        /// The commit the session is parked on.
+        commit: u64,
+    },
+    /// The store diverged from the journal (a commit marker failed to
+    /// persist, or a transaction failed mid-apply); journaled writes are
+    /// refused until the database directory is reopened.
+    JournalDiverged,
+    /// A malformed or unexpected wire-protocol message.
+    Protocol {
+        /// Description of the protocol violation.
+        detail: String,
+    },
     /// Any other invariant violation.
     Invalid(String),
+}
+
+/// Stable error-kind discriminants, one per [`DbError`] variant.
+///
+/// The values are part of the wire protocol (error frames carry them so
+/// remote clients can match on error kind instead of message text) and of
+/// any future on-disk format that records errors — never renumber them,
+/// only append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// [`DbError::Io`].
+    Io = 1,
+    /// [`DbError::UnknownBranch`].
+    UnknownBranch = 2,
+    /// [`DbError::UnknownCommit`].
+    UnknownCommit = 3,
+    /// [`DbError::NotBranchHead`].
+    NotBranchHead = 4,
+    /// [`DbError::DuplicateKey`].
+    DuplicateKey = 5,
+    /// [`DbError::KeyNotFound`].
+    KeyNotFound = 6,
+    /// [`DbError::SchemaMismatch`].
+    SchemaMismatch = 7,
+    /// [`DbError::MergeConflicts`].
+    MergeConflicts = 8,
+    /// [`DbError::Corrupt`].
+    Corrupt = 9,
+    /// [`DbError::LockContention`].
+    LockContention = 10,
+    /// [`DbError::Invalid`].
+    Invalid = 11,
+    /// [`DbError::TxnOpen`].
+    TxnOpen = 12,
+    /// [`DbError::ReadOnlyCheckout`].
+    ReadOnlyCheckout = 13,
+    /// [`DbError::JournalDiverged`].
+    JournalDiverged = 14,
+    /// [`DbError::Protocol`].
+    Protocol = 15,
+}
+
+impl ErrorCode {
+    /// All codes, in discriminant order.
+    pub const ALL: [ErrorCode; 15] = [
+        ErrorCode::Io,
+        ErrorCode::UnknownBranch,
+        ErrorCode::UnknownCommit,
+        ErrorCode::NotBranchHead,
+        ErrorCode::DuplicateKey,
+        ErrorCode::KeyNotFound,
+        ErrorCode::SchemaMismatch,
+        ErrorCode::MergeConflicts,
+        ErrorCode::Corrupt,
+        ErrorCode::LockContention,
+        ErrorCode::Invalid,
+        ErrorCode::TxnOpen,
+        ErrorCode::ReadOnlyCheckout,
+        ErrorCode::JournalDiverged,
+        ErrorCode::Protocol,
+    ];
+
+    /// The wire representation.
+    #[inline]
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire discriminant (`None` for unknown codes, which a
+    /// client should surface as [`ErrorCode::Protocol`]).
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_u16() == v)
+    }
 }
 
 impl fmt::Display for DbError {
@@ -88,6 +183,29 @@ impl fmt::Display for DbError {
             }
             DbError::Corrupt { detail } => write!(f, "corrupt storage: {detail}"),
             DbError::LockContention { what } => write!(f, "lock contention on {what}"),
+            DbError::TxnOpen { what } => {
+                write!(
+                    f,
+                    "cannot {what} with an open transaction; commit or rollback first"
+                )
+            }
+            DbError::ReadOnlyCheckout { commit } => {
+                write!(
+                    f,
+                    "session is at commit {commit}; writes require a branch checkout \
+                     (commits are immutable, §2.2.2)"
+                )
+            }
+            DbError::JournalDiverged => {
+                write!(
+                    f,
+                    "journal diverged from the store (a commit marker failed to \
+                     persist, or a transaction failed mid-apply); journaled \
+                     writes are disabled — reopen the database directory to \
+                     recover the journaled state"
+                )
+            }
+            DbError::Protocol { detail } => write!(f, "wire protocol violation: {detail}"),
             DbError::Invalid(msg) => write!(f, "{msg}"),
         }
     }
@@ -115,6 +233,36 @@ impl DbError {
     pub fn corrupt(detail: impl Into<String>) -> Self {
         DbError::Corrupt {
             detail: detail.into(),
+        }
+    }
+
+    /// Builds a [`DbError::Protocol`] from a format-friendly detail string.
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        DbError::Protocol {
+            detail: detail.into(),
+        }
+    }
+
+    /// The variant's stable [`ErrorCode`] — what the wire protocol's error
+    /// frame carries, so clients can match on error kind without parsing
+    /// message text.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            DbError::Io { .. } => ErrorCode::Io,
+            DbError::UnknownBranch(_) => ErrorCode::UnknownBranch,
+            DbError::UnknownCommit(_) => ErrorCode::UnknownCommit,
+            DbError::NotBranchHead { .. } => ErrorCode::NotBranchHead,
+            DbError::DuplicateKey { .. } => ErrorCode::DuplicateKey,
+            DbError::KeyNotFound { .. } => ErrorCode::KeyNotFound,
+            DbError::SchemaMismatch { .. } => ErrorCode::SchemaMismatch,
+            DbError::MergeConflicts { .. } => ErrorCode::MergeConflicts,
+            DbError::Corrupt { .. } => ErrorCode::Corrupt,
+            DbError::LockContention { .. } => ErrorCode::LockContention,
+            DbError::TxnOpen { .. } => ErrorCode::TxnOpen,
+            DbError::ReadOnlyCheckout { .. } => ErrorCode::ReadOnlyCheckout,
+            DbError::JournalDiverged => ErrorCode::JournalDiverged,
+            DbError::Protocol { .. } => ErrorCode::Protocol,
+            DbError::Invalid(_) => ErrorCode::Invalid,
         }
     }
 }
@@ -151,6 +299,84 @@ mod tests {
         let e = DbError::io("x", io::Error::other("inner"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&DbError::UnknownBranch("b".into())).is_none());
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_round_trip() {
+        // The discriminants are a wire/storage contract: spell them out so
+        // an accidental renumbering fails loudly.
+        let expected: [(ErrorCode, u16); 15] = [
+            (ErrorCode::Io, 1),
+            (ErrorCode::UnknownBranch, 2),
+            (ErrorCode::UnknownCommit, 3),
+            (ErrorCode::NotBranchHead, 4),
+            (ErrorCode::DuplicateKey, 5),
+            (ErrorCode::KeyNotFound, 6),
+            (ErrorCode::SchemaMismatch, 7),
+            (ErrorCode::MergeConflicts, 8),
+            (ErrorCode::Corrupt, 9),
+            (ErrorCode::LockContention, 10),
+            (ErrorCode::Invalid, 11),
+            (ErrorCode::TxnOpen, 12),
+            (ErrorCode::ReadOnlyCheckout, 13),
+            (ErrorCode::JournalDiverged, 14),
+            (ErrorCode::Protocol, 15),
+        ];
+        for (code, raw) in expected {
+            assert_eq!(code.as_u16(), raw);
+            assert_eq!(ErrorCode::from_u16(raw), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(999), None);
+    }
+
+    #[test]
+    fn every_variant_maps_to_its_code() {
+        let cases: Vec<(DbError, ErrorCode)> = vec![
+            (DbError::io("x", io::Error::other("y")), ErrorCode::Io),
+            (DbError::UnknownBranch("b".into()), ErrorCode::UnknownBranch),
+            (DbError::UnknownCommit(7), ErrorCode::UnknownCommit),
+            (
+                DbError::NotBranchHead { branch: "b".into() },
+                ErrorCode::NotBranchHead,
+            ),
+            (DbError::DuplicateKey { key: 1 }, ErrorCode::DuplicateKey),
+            (DbError::KeyNotFound { key: 1 }, ErrorCode::KeyNotFound),
+            (
+                DbError::SchemaMismatch {
+                    expected: 1,
+                    actual: 2,
+                },
+                ErrorCode::SchemaMismatch,
+            ),
+            (
+                DbError::MergeConflicts { count: 3 },
+                ErrorCode::MergeConflicts,
+            ),
+            (DbError::corrupt("c"), ErrorCode::Corrupt),
+            (
+                DbError::LockContention { what: "w".into() },
+                ErrorCode::LockContention,
+            ),
+            (DbError::TxnOpen { what: "w".into() }, ErrorCode::TxnOpen),
+            (
+                DbError::ReadOnlyCheckout { commit: 9 },
+                ErrorCode::ReadOnlyCheckout,
+            ),
+            (DbError::JournalDiverged, ErrorCode::JournalDiverged),
+            (DbError::protocol("p"), ErrorCode::Protocol),
+            (DbError::Invalid("i".into()), ErrorCode::Invalid),
+        ];
+        assert_eq!(cases.len(), ErrorCode::ALL.len());
+        for (err, code) in cases {
+            assert_eq!(err.code(), code, "{err}");
+        }
+    }
+
+    #[test]
+    fn journal_diverged_points_at_reopen() {
+        // Operators (and a db.rs test) key off this word.
+        assert!(DbError::JournalDiverged.to_string().contains("reopen"));
     }
 
     #[test]

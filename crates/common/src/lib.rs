@@ -25,7 +25,7 @@ pub mod rng;
 pub mod schema;
 pub mod varint;
 
-pub use error::{DbError, Result};
+pub use error::{DbError, ErrorCode, Result};
 pub use ids::{BranchId, CommitId, RecordIdx, SegmentId};
 pub use record::Record;
 pub use rng::DetRng;

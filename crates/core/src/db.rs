@@ -391,6 +391,18 @@ impl Database {
         self.with_store(|s| s.graph().branch_by_name(name).map(|b| b.id))
     }
 
+    /// The relation's schema (immutable for the life of the database, so
+    /// callers — the wire server hands it to every connection — may clone
+    /// it once and keep it).
+    pub fn schema(&self) -> Schema {
+        self.with_store(|s| s.schema().clone())
+    }
+
+    /// The storage scheme backing this database.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.with_store(|s| s.kind())
+    }
+
     /// Creates a branch named `name` rooted at `from` (journaled).
     pub fn create_branch(&self, name: &str, from: impl Into<VersionRef>) -> Result<BranchId> {
         let from = from.into();
@@ -501,13 +513,7 @@ impl Database {
         if self.journal_intact.load(Ordering::Acquire) {
             Ok(())
         } else {
-            Err(DbError::Invalid(
-                "journal diverged from the store (a commit marker failed to \
-                 persist, or a transaction failed mid-apply); journaled \
-                 writes are disabled — reopen the database directory to \
-                 recover the journaled state"
-                    .into(),
-            ))
+            Err(DbError::JournalDiverged)
         }
     }
 

@@ -406,6 +406,16 @@ impl HybridEngine {
     }
 
     /// Builds a change set of `side` relative to `base` per-segment bitmaps.
+    ///
+    /// The per-segment record scans run as one task per segment on the
+    /// engine's persistent [`ScanPool`] — the same work-stealing fan-out
+    /// `par_multi_scan` uses, so a merge whose diff touches many segments
+    /// no longer pays for them sequentially. Combining the task outputs is
+    /// order-independent within each phase (a version holds exactly one
+    /// live copy per key, so no two added-row tasks — and no two
+    /// removed-row tasks — can produce the same key); the *phases* keep
+    /// their order: every added row lands in the map before any removed
+    /// row's `or_insert(None)`, exactly as the sequential loops did.
     fn change_set(
         &self,
         side: &[(SegmentId, Bitmap)],
@@ -413,18 +423,16 @@ impl HybridEngine {
     ) -> Result<(ChangeSet, u64)> {
         let base_map: FxHashMap<SegmentId, &Bitmap> = base.iter().map(|(s, b)| (*s, b)).collect();
         let side_map: FxHashMap<SegmentId, &Bitmap> = side.iter().map(|(s, b)| (*s, b)).collect();
-        let mut changes = ChangeSet::default();
-        let mut bytes = 0u64;
+        // Plan: (segment, rows to decode, is the removed-rows phase).
+        let mut plan: Vec<(SegmentId, Bitmap, bool)> = Vec::new();
         // Rows live on the side but not in the base: inserts/updated copies.
         for (seg, bm) in side {
             let added = match base_map.get(seg) {
                 Some(base_bm) => bm.and_not(base_bm),
                 None => bm.clone(),
             };
-            for item in BitmapScan::new(&self.segments[seg.index()].heap, added) {
-                let (_, rec) = item?;
-                bytes += self.schema.record_size() as u64;
-                changes.insert(rec.key(), Some(rec));
+            if added.count_ones() > 0 {
+                plan.push((*seg, added, false));
             }
         }
         // Base rows gone from the side: deletions (unless replaced above).
@@ -433,10 +441,37 @@ impl HybridEngine {
                 Some(side_bm) => bm.and_not(side_bm),
                 None => bm.clone(),
             };
-            for item in BitmapScan::new(&self.segments[seg.index()].heap, removed) {
-                let (_, rec) = item?;
+            if removed.count_ones() > 0 {
+                plan.push((*seg, removed, true));
+            }
+        }
+        let segments = &self.segments;
+        let tasks: Vec<_> = plan
+            .iter()
+            .map(|(seg, bm, _)| {
+                let heap = &segments[seg.index()].heap;
+                move || {
+                    BitmapScan::new(heap, bm.clone())
+                        .map(|item| item.map(|(_, rec)| rec))
+                        .collect::<Result<Vec<Record>>>()
+                }
+            })
+            .collect();
+        let outcomes = if tasks.len() > 1 {
+            self.scan_pool().run(tasks)
+        } else {
+            tasks.into_iter().map(|t| t()).collect()
+        };
+        let mut changes = ChangeSet::default();
+        let mut bytes = 0u64;
+        for ((_, _, removed), rows) in plan.iter().zip(outcomes) {
+            for rec in rows? {
                 bytes += self.schema.record_size() as u64;
-                changes.entry(rec.key()).or_insert(None);
+                if *removed {
+                    changes.entry(rec.key()).or_insert(None);
+                } else {
+                    changes.insert(rec.key(), Some(rec));
+                }
             }
         }
         Ok((changes, bytes))

@@ -134,9 +134,7 @@ impl Session {
 
     fn require_no_txn(&self, what: &str) -> Result<()> {
         if self.txn.is_some() {
-            return Err(DbError::Invalid(format!(
-                "cannot {what} with an open transaction; commit or rollback first"
-            )));
+            return Err(DbError::TxnOpen { what: what.into() });
         }
         Ok(())
     }
@@ -144,10 +142,7 @@ impl Session {
     fn write_branch(&self) -> Result<BranchId> {
         match self.at {
             VersionRef::Branch(b) => Ok(b),
-            VersionRef::Commit(c) => Err(DbError::Invalid(format!(
-                "session is at commit {c}; writes require a branch checkout \
-                 (commits are immutable, §2.2.2)"
-            ))),
+            VersionRef::Commit(c) => Err(DbError::ReadOnlyCheckout { commit: c.raw() }),
         }
     }
 

@@ -87,7 +87,7 @@ pub struct Conflict {
 }
 
 /// Outcome of a merge.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MergeResult {
     /// The merge commit created on the destination branch.
     pub commit: CommitId,

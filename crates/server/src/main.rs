@@ -1,0 +1,156 @@
+//! The `decibel-server` binary.
+//!
+//! ```text
+//! decibel-server --dir PATH [--listen ADDR] [--create ENGINE COLS u32|u64] [--fsync]
+//! ```
+//!
+//! Opens (or, with `--create`, initializes) a database directory and
+//! serves it over TCP, thread-per-client, until SIGTERM/SIGINT. The
+//! signal handler only stores an atomic flag — safe in signal context —
+//! and the main thread runs the graceful shutdown: stop accepting, close
+//! client sockets (their sessions roll back), join every thread, and
+//! checkpoint via `Database::flush` so the next open replays nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use decibel_common::schema::{ColumnType, Schema};
+use decibel_core::{Database, EngineKind};
+use decibel_pagestore::StoreConfig;
+use decibel_server::Server;
+
+/// Default listen address when `--listen` is absent.
+const DEFAULT_LISTEN: &str = "127.0.0.1:7430";
+
+/// Set from the signal handler, polled by the main thread.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that only flip [`SHUTDOWN`]. Declared
+/// against libc's `signal` directly — the workspace has no libc crate, but
+/// every Unix target links libc anyway.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: decibel-server --dir PATH [--listen ADDR] \
+         [--create ENGINE COLS u32|u64] [--fsync]\n\
+         engines: tuple_first_branch tuple_first_tuple version_first hybrid\n\
+         default listen address: {DEFAULT_LISTEN}"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    dir: std::path::PathBuf,
+    listen: String,
+    create: Option<(EngineKind, Schema)>,
+    fsync: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = None;
+    let mut listen = DEFAULT_LISTEN.to_string();
+    let mut create = None;
+    let mut fsync = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dir" => {
+                i += 1;
+                dir = argv.get(i).map(Into::into);
+            }
+            "--listen" => {
+                i += 1;
+                listen = argv.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--create" => {
+                let kind = argv
+                    .get(i + 1)
+                    .and_then(|s| EngineKind::from_name(s))
+                    .unwrap_or_else(|| usage());
+                let cols: usize = argv
+                    .get(i + 2)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                let ctype = match argv.get(i + 3).map(String::as_str) {
+                    Some("u32") => ColumnType::U32,
+                    Some("u64") => ColumnType::U64,
+                    _ => usage(),
+                };
+                create = Some((kind, Schema::new(cols, ctype)));
+                i += 3;
+            }
+            "--fsync" => fsync = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(dir) = dir else { usage() };
+    Args {
+        dir,
+        listen,
+        create,
+        fsync,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut config = StoreConfig::bench_default();
+    config.cold_scans = false;
+    config.fsync = args.fsync;
+    let db = match args.create {
+        Some((kind, schema)) => Database::create(&args.dir, kind, schema, &config),
+        None => Database::open(&args.dir, &config),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("decibel-server: opening {}: {e}", args.dir.display());
+        std::process::exit(1);
+    });
+    if db.replayed_on_open() > 0 {
+        eprintln!(
+            "decibel-server: recovered {} journaled transaction(s)",
+            db.replayed_on_open()
+        );
+    }
+    install_signal_handlers();
+    let handle = Server::bind(db, args.listen.as_str())
+        .map(Server::spawn)
+        .unwrap_or_else(|e| {
+            eprintln!("decibel-server: listening on {}: {e}", args.listen);
+            std::process::exit(1);
+        });
+    eprintln!(
+        "decibel-server: serving {} on {} (SIGTERM for graceful shutdown)",
+        args.dir.display(),
+        handle.local_addr()
+    );
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::park_timeout(Duration::from_millis(50));
+    }
+    eprintln!("decibel-server: shutting down (checkpointing)");
+    if let Err(e) = handle.shutdown() {
+        eprintln!("decibel-server: shutdown checkpoint failed: {e}");
+        std::process::exit(1);
+    }
+}

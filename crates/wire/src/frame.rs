@@ -1,0 +1,138 @@
+//! Length-prefixed framing over any byte stream.
+//!
+//! Every protocol message travels as one *frame*: a LEB128 varint length
+//! (the same [`decibel_common::varint`] codec the commit stores and the
+//! journal use) followed by exactly that many payload bytes. Varint
+//! framing keeps the common case — a one-opcode request, a one-byte OK
+//! response — at two bytes of overhead while still admitting multi-
+//! megabyte scan batches.
+//!
+//! The reader enforces [`MAX_FRAME`] before allocating, so a corrupt or
+//! hostile peer cannot make the receiver reserve unbounded memory off a
+//! single length prefix.
+
+use std::io::{self, Read, Write};
+
+use decibel_common::error::{DbError, Result};
+use decibel_common::varint;
+
+/// Upper bound on a single frame's payload (64 MiB). Scan responses are
+/// batched well below this (see [`crate::proto::SCAN_BATCH_BYTES`]); a
+/// length prefix past it is treated as protocol corruption.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one frame: varint length then payload. The caller flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    let mut prefix = Vec::with_capacity(varint::encoded_len(payload.len() as u64));
+    varint::write_u64(&mut prefix, payload.len() as u64);
+    w.write_all(&prefix)
+        .and_then(|_| w.write_all(payload))
+        .map_err(|e| DbError::io("writing wire frame", e))
+}
+
+/// Reads one frame's payload.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF before the first
+/// length byte) — how a client hang-up looks to the server. EOF *inside*
+/// a frame is an error: the peer died mid-message.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if shift == 0 {
+                    return Ok(None); // clean disconnect between frames
+                }
+                return Err(DbError::protocol("EOF inside a frame length"));
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(DbError::io("reading wire frame length", e)),
+        }
+        len |= ((byte[0] & 0x7f) as u64) << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 28 {
+            // 2^28 > MAX_FRAME already; longer prefixes are garbage.
+            return Err(DbError::protocol("frame length varint too long"));
+        }
+    }
+    if len as usize > MAX_FRAME {
+        return Err(DbError::protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| DbError::io("reading wire frame payload", e))?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(payload: &[u8]) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(&[7u8; 200]); // two-byte length prefix
+        roundtrip(&vec![9u8; 70_000]); // three-byte length prefix (heap: too big for the stack)
+    }
+
+    #[test]
+    fn sequential_frames_keep_boundaries() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"third").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"third");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn clean_eof_is_none_torn_frame_is_error() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut empty).unwrap(), None);
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        buf.pop(); // tear the payload
+        let mut cursor = &buf[..];
+        assert!(read_frame(&mut cursor).is_err());
+
+        // EOF inside the length varint itself.
+        let mut torn_len: &[u8] = &[0x80];
+        assert!(read_frame(&mut torn_len).is_err());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, (MAX_FRAME as u64) + 1);
+        let mut cursor = &buf[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(matches!(err, DbError::Protocol { .. }));
+
+        // An absurd length must fail on the prefix, not try to allocate.
+        let mut huge = Vec::new();
+        varint::write_u64(&mut huge, u64::MAX);
+        let mut cursor = &huge[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! The Decibel wire protocol: length-prefixed binary frames serving
+//! sessions over TCP, plus the blocking client.
+//!
+//! The paper describes Decibel as a server: "Users interact with Decibel
+//! by opening a connection to the Decibel server, which creates a session"
+//! (§2.2.3). This crate is the network half of that sentence — everything
+//! needed to speak to a `decibel-server` (the `decibel_server` crate) from
+//! another process:
+//!
+//! * [`frame`] — varint length-prefixed framing with a hard size cap;
+//! * [`proto`] — opcodes and codecs for every session and query
+//!   operation (checkout, branch, transactional writes, commit/rollback,
+//!   point lookups, filtered scans, aggregates, multi-branch annotated
+//!   scans, merge, flush), typed error frames carrying
+//!   [`ErrorCode`](decibel_common::ErrorCode) discriminants, and
+//!   record-batched scan streaming;
+//! * [`client`] — the blocking [`Client`], a remote
+//!   [`Session`](decibel_core::Session) with the same fluent read builders
+//!   as the in-process [`Database`](decibel_core::Database).
+//!
+//! Everything is built on `std::net` — no external dependencies.
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+
+pub use client::{Client, RemoteMultiReadBuilder, RemoteReadBuilder};
+pub use proto::{Hello, Reply, Request, Response, PROTOCOL_VERSION};

@@ -73,7 +73,18 @@
 //! | [`bitmap`] | bitmaps, branch/tuple-oriented indexes, commit stores |
 //! | [`vgraph`] | the version graph (commits, branches, LCA) |
 //! | [`core`] | the three engines + database/session/query API |
+//! | [`wire`] | the TCP wire protocol + blocking [`Client`] |
+//! | [`server`] | the thread-per-client server behind `decibel-server` |
 //! | [`gitlike`] | the git baseline (SHA-1, objects, packfiles, repack) |
+//!
+//! ## Serving over TCP
+//!
+//! The same database can be served to remote sessions: `decibel-server`
+//! (or an in-process [`server::Server`]) accepts connections
+//! thread-per-client, each holding one `Session`, and [`Client`] mirrors
+//! the session + query-builder surface over the socket. See the crate
+//! docs of [`wire`] for the frame format and `examples/client_server.rs`
+//! for a runnable tour.
 //!
 //! The benchmark harness lives in the `decibel-bench` crate
 //! (`cargo run -p decibel-bench --release -- all`); every table and figure
@@ -85,8 +96,11 @@ pub use decibel_bitmap as bitmap;
 pub use decibel_common as common;
 pub use decibel_core as core;
 pub use decibel_pagestore as pagestore;
+pub use decibel_server as server;
 pub use decibel_vgraph as vgraph;
+pub use decibel_wire as wire;
 pub use gitlike;
 
-pub use decibel_common::{DbError, Result};
+pub use decibel_common::{DbError, ErrorCode, Result};
 pub use decibel_core::{Database, EngineKind, MergePolicy, Session, VersionRef, VersionedStore};
+pub use decibel_wire::Client;
