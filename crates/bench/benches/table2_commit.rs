@@ -15,7 +15,7 @@ fn bench_table2(c: &mut Criterion) {
     let spec = WorkloadSpec::scaled(Strategy::Curation, 10, 0.2);
     for kind in [EngineKind::TupleFirstBranch, EngineKind::Hybrid] {
         let dir = tempfile::tempdir().unwrap();
-        let (mut store, _report) = build_loaded(kind, &spec, dir.path()).unwrap();
+        let (store, _report) = build_loaded(kind, &spec, dir.path()).unwrap();
         let mut rng = DetRng::seed_from_u64(21);
         let mut next_key = 1u64 << 40;
         group.bench_with_input(BenchmarkId::new("commit", kind.label()), &kind, |b, _| {

@@ -1,0 +1,206 @@
+//! The commit-path workload: K writer sessions committing to disjoint
+//! branches, concurrently vs serialized (`BENCH_commit.json`).
+//!
+//! This measures what the sharded commit path buys. Both rows perform the
+//! identical transaction stream — K writers × C commits × R rows, each
+//! writer on its own branch — with WAL fsync *enabled* (unlike the scan
+//! experiments: durability cost is exactly what group commit amortizes):
+//!
+//! * `commit_k4_serialized` — one thread drains the writers back-to-back:
+//!   every commit is alone in its group, so it pays a full fsync, and the
+//!   apply/prepare sections never overlap (the pre-shard behaviour, which
+//!   the old store-exclusive commit section forced by construction);
+//! * `commit_k4_disjoint` — K threads commit concurrently: disjoint
+//!   branches hold different commit shards, so apply/prepare overlap on
+//!   multi-core hardware, and concurrently sealed transactions share one
+//!   group fsync.
+//!
+//! On multi-core the disjoint row wins on wall time; on a single core it
+//! should hold parity while still issuing measurably fewer WAL flushes —
+//! the `wal_flushes` and `txns_per_flush` columns (from
+//! [`Database::journal_stats`]) make the grouping visible either way, and
+//! `max_cc` confirms the critical sections actually overlapped.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use decibel_common::ids::BranchId;
+use decibel_common::record::Record;
+use decibel_common::schema::{ColumnType, Schema};
+use decibel_common::Result;
+use decibel_core::{Database, EngineKind, JournalStats, VersionRef};
+use decibel_pagestore::StoreConfig;
+
+use crate::experiments::Ctx;
+use crate::report::Table;
+
+/// Concurrent writer sessions (one branch each).
+const WRITERS: u64 = 4;
+/// Rows per transaction: small commits keep the per-txn fixed costs
+/// (sequencing, fsync) dominant — the regime group commit targets.
+const ROWS_PER_COMMIT: u64 = 25;
+/// Data columns per record (matches the smoke workload).
+const COLS: usize = 12;
+
+fn rec(key: u64, tag: u64) -> Record {
+    Record::new(key, (0..COLS as u64).map(|c| key ^ (tag + c)).collect())
+}
+
+/// The commit workload runs with fsync on: a group of concurrently sealed
+/// transactions then shares one `fdatasync`, which is the effect under
+/// measurement.
+fn config() -> StoreConfig {
+    StoreConfig {
+        fsync: true,
+        ..StoreConfig::bench_default()
+    }
+}
+
+/// Fresh database with a small committed base and one branch per writer.
+fn build_db() -> Result<(tempfile::TempDir, Arc<Database>)> {
+    let dir = tempfile::tempdir().map_err(|e| decibel_common::DbError::io("commit tempdir", e))?;
+    let db = Database::create(
+        dir.path().join("hy"),
+        EngineKind::Hybrid,
+        Schema::new(COLS, ColumnType::U32),
+        &config(),
+    )?;
+    let mut s = db.session();
+    for k in 0..100u64 {
+        s.insert(rec(k, 1))?;
+    }
+    s.commit()?;
+    drop(s);
+    for w in 0..WRITERS {
+        db.create_branch(&format!("w{w}"), VersionRef::Branch(BranchId::MASTER))?;
+    }
+    Ok((dir, db))
+}
+
+/// One writer's full transaction stream: `commits` commits of
+/// [`ROWS_PER_COMMIT`] inserts on its private branch.
+fn run_writer(db: &Arc<Database>, w: u64, commits: u64) -> Result<()> {
+    let mut s = db.session();
+    s.checkout_branch(&format!("w{w}"))?;
+    for c in 0..commits {
+        let base = 1_000 + w * 100_000_000 + c * 1_000;
+        for i in 0..ROWS_PER_COMMIT {
+            s.insert(rec(base + i, w))?;
+        }
+        s.commit()?;
+    }
+    Ok(())
+}
+
+/// Asserts the run committed everything it claims to have committed.
+fn verify(db: &Arc<Database>, commits: u64) -> Result<()> {
+    for w in 0..WRITERS {
+        let branch = db.branch_id(&format!("w{w}"))?;
+        let n = db.read(VersionRef::Branch(branch)).count()?;
+        assert_eq!(n, 100 + commits * ROWS_PER_COMMIT, "branch w{w} lost rows");
+    }
+    Ok(())
+}
+
+/// One measured cell: the workload wall time plus the run's journal stats
+/// (each repeat uses a fresh database so the counters are per-run).
+struct Cell {
+    name: &'static str,
+    txns: u64,
+    rows: u64,
+    best_ms: f64,
+    stats: JournalStats,
+}
+
+fn measure(
+    name: &'static str,
+    repeats: usize,
+    commits: u64,
+    run: impl Fn(&Arc<Database>) -> Result<()>,
+) -> Result<Cell> {
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..repeats.max(1) {
+        let (_dir, db) = build_db()?;
+        // Counter baseline: exclude the (serial) setup commits from the
+        // reported flush/txn counts. The concurrency high-water mark needs
+        // no correction — setup is single-threaded.
+        let before = db.journal_stats();
+        let start = Instant::now();
+        run(&db)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        verify(&db, commits)?;
+        if ms < best {
+            best = ms;
+            let after = db.journal_stats();
+            stats = Some(JournalStats {
+                wal_flushes: after.wal_flushes - before.wal_flushes,
+                grouped_txns: after.grouped_txns - before.grouped_txns,
+                max_concurrent_commits: after.max_concurrent_commits,
+            });
+        }
+    }
+    Ok(Cell {
+        name,
+        txns: WRITERS * commits,
+        rows: WRITERS * commits * ROWS_PER_COMMIT,
+        best_ms: best,
+        stats: stats.expect("at least one repeat"),
+    })
+}
+
+/// Runs the commit workload and renders the serialized/disjoint rows.
+pub fn commit(ctx: &Ctx) -> Result<Table> {
+    let commits = ((150.0 * ctx.scale) as u64).max(15);
+    let repeats = ctx.repeats.max(2);
+
+    let serialized = measure("commit_k4_serialized", repeats, commits, |db| {
+        for w in 0..WRITERS {
+            run_writer(db, w, commits)?;
+        }
+        Ok(())
+    })?;
+
+    let disjoint = measure("commit_k4_disjoint", repeats, commits, |db| {
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let db = Arc::clone(db);
+                std::thread::spawn(move || run_writer(&db, w, commits))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread")?;
+        }
+        Ok(())
+    })?;
+
+    let mut table = Table::new(
+        format!(
+            "Commit path: {WRITERS} writers x {commits} txns x {ROWS_PER_COMMIT} rows on disjoint branches (fsync on), serialized vs concurrent"
+        ),
+        &[
+            "bench",
+            "txns",
+            "rows",
+            "best_ms",
+            "txns_per_sec",
+            "wal_flushes",
+            "txns_per_flush",
+            "max_cc",
+        ],
+    );
+    for cell in [&serialized, &disjoint] {
+        let s = &cell.stats;
+        table.row(vec![
+            cell.name.to_string(),
+            cell.txns.to_string(),
+            cell.rows.to_string(),
+            format!("{:.2}", cell.best_ms),
+            format!("{:.0}", cell.txns as f64 / (cell.best_ms / 1e3)),
+            s.wal_flushes.to_string(),
+            format!("{:.2}", s.grouped_txns as f64 / s.wal_flushes.max(1) as f64),
+            s.max_concurrent_commits.to_string(),
+        ]);
+    }
+    Ok(table)
+}

@@ -1,6 +1,7 @@
 //! One module per paper table/figure (see DESIGN.md's experiment index).
 
 pub mod ablate;
+pub mod commit;
 pub mod commits;
 pub mod gitcmp;
 pub mod load;

@@ -5,7 +5,7 @@
 //! decibel-bench <experiment|all> [--scale F] [--repeats N] [--warm] [--json DIR]
 //! ```
 //!
-//! Experiments: smoke fig6a fig6b fig7 fig8 fig9 fig10 fig11 table2
+//! Experiments: smoke server commit fig6a fig6b fig7 fig8 fig9 fig10 fig11 table2
 //! table3 table4 table5 table6 table7 ablate-bitmap ablate-commit-layers
 //! ablate-clustered. Scale 1.0 keeps each experiment in the seconds-to-
 //! minutes range; the paper's shapes (who wins, by what factor) are the
@@ -22,6 +22,7 @@ use decibel_common::Result;
 const EXPERIMENTS: &[&str] = &[
     "smoke",
     "server",
+    "commit",
     "fig6a",
     "fig6b",
     "fig7",
@@ -44,6 +45,7 @@ fn run_one(name: &str, ctx: &Ctx) -> Result<Table> {
     match name {
         "smoke" => experiments::smoke::smoke(ctx),
         "server" => experiments::server::server(ctx),
+        "commit" => experiments::commit::commit(ctx),
         "fig6a" => experiments::scaling::fig6a(ctx),
         "fig6b" => experiments::scaling::fig6b(ctx),
         "fig7" => experiments::queries::fig7(ctx),

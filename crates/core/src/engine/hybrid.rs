@@ -13,8 +13,25 @@
 //! bitmap lets scans skip segments with no live records and "allows for
 //! parallelization of segment scanning" — see this engine's override of
 //! [`VersionedStore::par_multi_scan`].
+//!
+//! # Concurrency
+//!
+//! The write path (`insert`/`update`/`delete`/`prepare_commit`/
+//! `finalize_commit`) takes `&self` so the sharded commit path can run
+//! disjoint-branch commits concurrently. The structures those operations
+//! mutate sit behind fine-grained interior locks: each segment's bitmap
+//! index and commit-store map have their own `RwLock`, every per-branch
+//! primary-key index has its own lock, the branch-segment bitmap has one,
+//! branch-commit ordinals are atomics, and the version graph is
+//! copy-on-write behind a lock. Segment *membership* (`segments`, `head`,
+//! `frozen`) only changes under `&mut self` (branch/merge/checkpoint), for
+//! which the database holds its store lock exclusively. Lock order within
+//! the engine is pk → segment index → segment stores → graph → commit map;
+//! the heap tail latch is a leaf.
 
+use std::collections::hash_map::Entry;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use decibel_bitmap::{Bitmap, BranchBitmapIndex, CommitStore, VersionIndex};
@@ -26,11 +43,13 @@ use decibel_common::schema::Schema;
 use decibel_common::varint;
 use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
 use decibel_vgraph::VersionGraph;
+use parking_lot::RwLock;
 
 use crate::checkpoint;
 use crate::engine::scan::{scan_annotated_slice, AnnotatedScan, BitmapScan};
 use crate::merge::{plan_merge, ChangeSet, MergeAction};
 use crate::pool::ScanPool;
+use crate::shard::PreparedCommit;
 use crate::store::VersionedStore;
 use crate::types::{
     AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,
@@ -42,13 +61,15 @@ use crate::types::{
 struct HySegment {
     heap: HeapFile,
     /// Local bitmap index: only "the set of branches which inherit records
-    /// contained in that segment" have columns here (§3.4).
-    index: BranchBitmapIndex,
+    /// contained in that segment" have columns here (§3.4). Writers on
+    /// different branches touch different columns but share the lock.
+    index: RwLock<BranchBitmapIndex>,
     /// Head segments accept appends; internal segments are frozen.
+    /// Mutated only under `&mut self` (branch operations).
     frozen: bool,
     /// Per-branch commit stores ("in hybrid, each (branch, segment) has its
     /// own file", §5.3) plus the branch-commit ordinal at store creation.
-    stores: FxHashMap<BranchId, (CommitStore, u64)>,
+    stores: RwLock<FxHashMap<BranchId, (CommitStore, u64)>>,
 }
 
 /// The hybrid engine.
@@ -58,16 +79,21 @@ pub struct HybridEngine {
     pool: Arc<BufferPool>,
     segments: Vec<HySegment>,
     /// The global branch-segment bitmap: row = branch, bit = segment id.
-    branch_seg: BranchBitmapIndex,
-    /// Per-branch head segment.
+    branch_seg: RwLock<BranchBitmapIndex>,
+    /// Per-branch head segment. Mutated only under `&mut self`.
     head: Vec<SegmentId>,
-    /// Per-branch primary-key index: key → (segment, slot) of the live copy.
-    pk: Vec<FxHashMap<u64, (SegmentId, RecordIdx)>>,
-    graph: VersionGraph,
+    /// Per-branch primary-key index: key → (segment, slot) of the live
+    /// copy. One lock per branch so disjoint-branch writers never contend.
+    pk: Vec<RwLock<FxHashMap<u64, (SegmentId, RecordIdx)>>>,
+    /// Copy-on-write version graph: readers clone the `Arc` and traverse
+    /// without holding the lock; committers `Arc::make_mut` under it.
+    graph: RwLock<Arc<VersionGraph>>,
     /// Commits made per branch (ordinal source for commit stores).
-    branch_commits: Vec<u64>,
+    /// Same-branch commits are serialized by the caller; the atomic makes
+    /// cross-branch reads (checkpoint) torn-free.
+    branch_commits: Vec<AtomicU64>,
     /// Global commit id → (branch, branch-commit ordinal).
-    commit_map: FxHashMap<CommitId, (BranchId, u64)>,
+    commit_map: RwLock<FxHashMap<CommitId, (BranchId, u64)>>,
     /// Persistent work-stealing pool for parallel segment scans, sized to
     /// the machine once per engine on first parallel scan (no threads are
     /// spawned per call).
@@ -92,25 +118,30 @@ impl HybridEngine {
             schema,
             pool,
             segments: Vec::new(),
-            branch_seg: BranchBitmapIndex::new(),
+            branch_seg: RwLock::new(BranchBitmapIndex::new()),
             head: Vec::new(),
-            pk: vec![FxHashMap::default()],
-            graph: VersionGraph::init(),
-            branch_commits: vec![0],
-            commit_map: FxHashMap::default(),
+            pk: vec![RwLock::new(FxHashMap::default())],
+            graph: RwLock::new(Arc::new(VersionGraph::init())),
+            branch_commits: vec![AtomicU64::new(0)],
+            commit_map: RwLock::new(FxHashMap::default()),
             scan_pool: OnceLock::new(),
             fsync: config.fsync,
         };
-        engine.branch_seg.add_branch(BranchId::MASTER, None);
+        engine
+            .branch_seg
+            .get_mut()
+            .add_branch(BranchId::MASTER, None);
         let seg = engine.new_segment()?;
         engine.head.push(seg);
         engine.mark_branch_segment(BranchId::MASTER, seg);
         engine.segments[seg.index()]
             .index
+            .get_mut()
             .add_branch(BranchId::MASTER, None);
         let init = engine.snapshot_commit(BranchId::MASTER)?;
         engine
             .commit_map
+            .get_mut()
             .insert(CommitId::INIT, (BranchId::MASTER, init));
         Ok(engine)
     }
@@ -169,9 +200,9 @@ impl HybridEngine {
             store_specs.push(specs);
             segments.push(HySegment {
                 heap,
-                index,
+                index: RwLock::new(index),
                 frozen,
-                stores: FxHashMap::default(),
+                stores: RwLock::new(FxHashMap::default()),
             });
         }
         // Pass 2: global structures.
@@ -234,7 +265,7 @@ impl HybridEngine {
                         store.commit_count()
                     )));
                 }
-                segments[s].stores.insert(b, (store, first));
+                segments[s].stores.get_mut().insert(b, (store, first));
             }
         }
         // Pass 4: rebuild the per-branch primary-key indexes from the
@@ -248,12 +279,13 @@ impl HybridEngine {
             while let Some(s) = seg_bits.next_one(spos) {
                 spos = s + 1;
                 let seg = segments
-                    .get(s as usize)
+                    .get_mut(s as usize)
                     .ok_or_else(|| corrupt("branch-segment bit names unknown segment"))?;
-                if !seg.index.has_branch(bid) {
+                let index = seg.index.get_mut();
+                if !index.has_branch(bid) {
                     continue;
                 }
-                let col = seg.index.branch_bitmap(bid);
+                let col = index.branch_bitmap(bid);
                 let mut cursor = seg.heap.pinned_cursor();
                 let mut row = 0u64;
                 while let Some(r) = col.next_one(row) {
@@ -269,12 +301,12 @@ impl HybridEngine {
             schema,
             pool,
             segments,
-            branch_seg,
+            branch_seg: RwLock::new(branch_seg),
             head,
-            pk,
-            graph,
-            branch_commits,
-            commit_map,
+            pk: pk.into_iter().map(RwLock::new).collect(),
+            graph: RwLock::new(Arc::new(graph)),
+            branch_commits: branch_commits.into_iter().map(AtomicU64::new).collect(),
+            commit_map: RwLock::new(commit_map),
             scan_pool: OnceLock::new(),
             fsync: config.fsync,
         })
@@ -289,22 +321,26 @@ impl HybridEngine {
         )?;
         self.segments.push(HySegment {
             heap,
-            index: BranchBitmapIndex::new(),
+            index: RwLock::new(BranchBitmapIndex::new()),
             frozen: false,
-            stores: FxHashMap::default(),
+            stores: RwLock::new(FxHashMap::default()),
         });
-        self.branch_seg.ensure_rows(self.segments.len() as u64);
+        self.branch_seg
+            .get_mut()
+            .ensure_rows(self.segments.len() as u64);
         Ok(id)
     }
 
-    fn mark_branch_segment(&mut self, branch: BranchId, seg: SegmentId) {
-        self.branch_seg.ensure_rows(self.segments.len() as u64);
-        self.branch_seg.set(branch, seg.raw() as u64, true);
+    fn mark_branch_segment(&self, branch: BranchId, seg: SegmentId) {
+        let mut bs = self.branch_seg.write();
+        bs.ensure_rows(self.segments.len() as u64);
+        bs.set(branch, seg.raw() as u64, true);
     }
 
     /// Segment ids containing records of `branch`, from the global bitmap.
     fn segments_of(&self, branch: BranchId) -> Vec<SegmentId> {
         self.branch_seg
+            .read()
             .branch_bitmap(branch)
             .iter_ones()
             .map(|s| SegmentId(s as u32))
@@ -312,30 +348,36 @@ impl HybridEngine {
     }
 
     /// Appends a commit snapshot of every (branch, segment) bitmap and
-    /// returns the branch-commit ordinal.
-    fn snapshot_commit(&mut self, branch: BranchId) -> Result<u64> {
-        let ord = self.branch_commits[branch.index()];
+    /// returns the branch-commit ordinal. Safe to run concurrently with
+    /// other *branches'* snapshots (they touch other columns and other
+    /// commit stores); same-branch callers are serialized by the database.
+    fn snapshot_commit(&self, branch: BranchId) -> Result<u64> {
+        let ord = self.branch_commits[branch.index()].load(Ordering::Acquire);
         for seg_id in self.segments_of(branch) {
-            let seg = &mut self.segments[seg_id.index()];
-            let col = seg.index.branch_bitmap(branch);
-            if let std::collections::hash_map::Entry::Vacant(e) = seg.stores.entry(branch) {
-                let store = CommitStore::create(
-                    store_path(&self.dir, seg_id, branch),
-                    CommitStore::DEFAULT_LAYER_INTERVAL,
-                )?;
-                e.insert((store, ord));
-            }
-            let (store, _) = seg.stores.get_mut(&branch).unwrap();
+            let seg = &self.segments[seg_id.index()];
+            let col = seg.index.read().branch_bitmap(branch);
+            let mut stores = seg.stores.write();
+            let (store, _) = match stores.entry(branch) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => {
+                    let store = CommitStore::create(
+                        store_path(&self.dir, seg_id, branch),
+                        CommitStore::DEFAULT_LAYER_INTERVAL,
+                    )?;
+                    e.insert((store, ord))
+                }
+            };
             store.append_commit(&col)?;
         }
-        self.branch_commits[branch.index()] = ord + 1;
+        self.branch_commits[branch.index()].store(ord + 1, Ordering::Release);
         Ok(ord)
     }
 
-    fn do_commit(&mut self, branch: BranchId, extra_parents: &[CommitId]) -> Result<CommitId> {
+    fn do_commit(&self, branch: BranchId, extra_parents: &[CommitId]) -> Result<CommitId> {
         let ord = self.snapshot_commit(branch)?;
-        let cid = self.graph.add_commit(branch, extra_parents)?;
-        self.commit_map.insert(cid, (branch, ord));
+        let mut graph = self.graph.write();
+        let cid = Arc::make_mut(&mut graph).add_commit(branch, extra_parents)?;
+        self.commit_map.write().insert(cid, (branch, ord));
         Ok(cid)
     }
 
@@ -343,21 +385,23 @@ impl HybridEngine {
     fn version_bitmaps(&self, version: VersionRef) -> Result<Vec<(SegmentId, Bitmap)>> {
         match version {
             VersionRef::Branch(b) => {
-                self.graph.branch(b)?;
+                self.graph.read().branch(b)?;
                 Ok(self
                     .segments_of(b)
                     .into_iter()
-                    .map(|s| (s, self.segments[s.index()].index.branch_bitmap(b)))
+                    .map(|s| (s, self.segments[s.index()].index.read().branch_bitmap(b)))
                     .collect())
             }
             VersionRef::Commit(c) => {
-                let &(b, ord) = self
+                let (b, ord) = *self
                     .commit_map
+                    .read()
                     .get(&c)
                     .ok_or(DbError::UnknownCommit(c.raw()))?;
                 let mut out = Vec::new();
                 for (idx, seg) in self.segments.iter().enumerate() {
-                    if let Some((store, first)) = seg.stores.get(&b) {
+                    let stores = seg.stores.read();
+                    if let Some((store, first)) = stores.get(&b) {
                         if ord >= *first && ord - first < store.commit_count() {
                             out.push((SegmentId(idx as u32), store.checkout(ord - first)?));
                         }
@@ -369,39 +413,45 @@ impl HybridEngine {
     }
 
     /// Ensures `branch` has a bitmap column in `seg`.
-    fn ensure_column(&mut self, seg: SegmentId, branch: BranchId) {
-        let s = &mut self.segments[seg.index()];
-        if !s.index.has_branch(branch) {
-            s.index.add_branch(branch, None);
+    fn ensure_column(&self, seg: SegmentId, branch: BranchId) {
+        let s = &self.segments[seg.index()];
+        let mut index = s.index.write();
+        if !index.has_branch(branch) {
+            index.add_branch(branch, None);
         }
-        s.index.ensure_rows(s.heap.len());
+        index.ensure_rows(s.heap.len());
     }
 
     /// Clears the live bit of a branch's current copy of a key, if any.
-    fn clear_old(&mut self, branch: BranchId, key: u64) -> Option<(SegmentId, RecordIdx)> {
-        let old = self.pk[branch.index()].remove(&key)?;
+    fn clear_old(&self, branch: BranchId, key: u64) -> Option<(SegmentId, RecordIdx)> {
+        let old = self.pk[branch.index()].write().remove(&key)?;
         // Internal segments stay frozen for data, "only the segment's
         // bitmap may change" (§3.4) — exactly this operation.
-        let seg = &mut self.segments[old.0.index()];
-        seg.index.ensure_rows(seg.heap.len());
-        seg.index.set(branch, old.1.raw(), false);
+        let seg = &self.segments[old.0.index()];
+        let mut index = seg.index.write();
+        index.ensure_rows(seg.heap.len());
+        index.set(branch, old.1.raw(), false);
         Some(old)
     }
 
     /// Appends a record to the branch's head segment and marks it live.
-    fn append_live(&mut self, branch: BranchId, record: &Record) -> Result<(SegmentId, RecordIdx)> {
+    fn append_live(&self, branch: BranchId, record: &Record) -> Result<(SegmentId, RecordIdx)> {
         let seg_id = self.head[branch.index()];
-        debug_assert!(
-            !self.segments[seg_id.index()].frozen,
-            "head segment must be unfrozen"
-        );
-        let idx = self.segments[seg_id.index()].heap.append(record)?;
-        self.ensure_column(seg_id, branch);
-        self.segments[seg_id.index()]
-            .index
-            .set(branch, idx.raw(), true);
+        let seg = &self.segments[seg_id.index()];
+        debug_assert!(!seg.frozen, "head segment must be unfrozen");
+        let idx = seg.heap.append(record)?;
+        {
+            let mut index = seg.index.write();
+            if !index.has_branch(branch) {
+                index.add_branch(branch, None);
+            }
+            index.ensure_rows(seg.heap.len());
+            index.set(branch, idx.raw(), true);
+        }
         self.mark_branch_segment(branch, seg_id);
-        self.pk[branch.index()].insert(record.key(), (seg_id, idx));
+        self.pk[branch.index()]
+            .write()
+            .insert(record.key(), (seg_id, idx));
         Ok((seg_id, idx))
     }
 
@@ -494,20 +544,29 @@ impl HybridEngine {
         // "to find the set of records represented in either of two
         // branches, one need only consult the segments identified by the
         // logical OR of the rows for those branches" (§3.4).
+        {
+            let graph = self.graph.read();
+            for &b in branches {
+                graph.branch(b)?;
+            }
+        }
         let mut seg_union = Bitmap::zeros(self.segments.len() as u64);
-        for &b in branches {
-            self.graph.branch(b)?;
-            seg_union.or_assign(&self.branch_seg.branch_bitmap(b));
+        {
+            let bs = self.branch_seg.read();
+            for &b in branches {
+                seg_union.or_assign(&bs.branch_bitmap(b));
+            }
         }
         let mut plan = Vec::new();
         for s in seg_union.iter_ones() {
             let seg_id = SegmentId(s as u32);
             let seg = &self.segments[s as usize];
+            let index = seg.index.read();
             let mut union = Bitmap::zeros(seg.heap.len());
             let mut cols = Vec::new();
             for &b in branches {
-                if seg.index.has_branch(b) {
-                    let col = seg.index.branch_bitmap(b);
+                if index.has_branch(b) {
+                    let col = index.branch_bitmap(b);
                     union.or_assign(&col);
                     cols.push((b, col));
                 }
@@ -527,14 +586,14 @@ impl VersionedStore for HybridEngine {
         &self.schema
     }
 
-    fn graph(&self) -> &VersionGraph {
-        &self.graph
+    fn graph(&self) -> Arc<VersionGraph> {
+        Arc::clone(&self.graph.read())
     }
 
     fn create_branch(&mut self, name: &str, from: VersionRef) -> Result<BranchId> {
         // Name check first: the implicit parent commit below must not be
         // created (and dangle) behind a duplicate-name error.
-        self.graph.check_name_free(name)?;
+        self.graph.read().check_name_free(name)?;
         let (from_commit, parent_branch) = match from {
             VersionRef::Branch(b) => {
                 let cid = self.do_commit(b, &[])?;
@@ -542,9 +601,9 @@ impl VersionedStore for HybridEngine {
             }
             VersionRef::Commit(c) => (c, None),
         };
-        let new_b = self.graph.create_branch(name, from_commit)?;
+        let new_b = Arc::make_mut(self.graph.get_mut()).create_branch(name, from_commit)?;
         debug_assert_eq!(new_b.index(), self.pk.len());
-        self.branch_commits.push(0);
+        self.branch_commits.push(AtomicU64::new(0));
         match parent_branch {
             Some(p) => {
                 // "The branch operation creates two new head segments ...
@@ -556,38 +615,49 @@ impl VersionedStore for HybridEngine {
                 // Child inherits the parent's liveness in every ancestral
                 // segment — "a bitmap scan ... only for those records in
                 // the direct ancestry instead of on the entire bitmap".
-                self.branch_seg.add_branch(new_b, Some(p));
+                self.branch_seg.get_mut().add_branch(new_b, Some(p));
                 for seg_id in self.segments_of(p) {
-                    let seg = &mut self.segments[seg_id.index()];
-                    if seg.index.has_branch(p) {
-                        seg.index.add_branch(new_b, Some(p));
+                    let index = self.segments[seg_id.index()].index.get_mut();
+                    if index.has_branch(p) {
+                        index.add_branch(new_b, Some(p));
                     }
                 }
-                self.pk.push(self.pk[p.index()].clone());
+                let inherited = self.pk[p.index()].get_mut().clone();
+                self.pk.push(RwLock::new(inherited));
                 // Two fresh head segments.
                 let p_head = self.new_segment()?;
                 self.head[p.index()] = p_head;
                 self.mark_branch_segment(p, p_head);
-                self.segments[p_head.index()].index.add_branch(p, None);
+                self.segments[p_head.index()]
+                    .index
+                    .get_mut()
+                    .add_branch(p, None);
                 let c_head = self.new_segment()?;
                 self.head.push(c_head);
                 self.mark_branch_segment(new_b, c_head);
-                self.segments[c_head.index()].index.add_branch(new_b, None);
+                self.segments[c_head.index()]
+                    .index
+                    .get_mut()
+                    .add_branch(new_b, None);
             }
             None => {
                 // Fork from a historical commit: restore its per-segment
                 // bitmaps as the child's columns.
                 let bitmaps = self.version_bitmaps(VersionRef::Commit(from_commit))?;
-                self.branch_seg.add_branch(new_b, None);
+                self.branch_seg.get_mut().add_branch(new_b, None);
                 let mut keys = FxHashMap::default();
                 for (seg_id, bm) in bitmaps {
                     if bm.count_ones() == 0 {
                         continue;
                     }
-                    let seg = &mut self.segments[seg_id.index()];
-                    seg.index.add_branch(new_b, None);
-                    seg.index.ensure_rows(seg.heap.len());
-                    seg.index.restore_branch(new_b, &bm);
+                    {
+                        let seg = &mut self.segments[seg_id.index()];
+                        let heap_len = seg.heap.len();
+                        let index = seg.index.get_mut();
+                        index.add_branch(new_b, None);
+                        index.ensure_rows(heap_len);
+                        index.restore_branch(new_b, &bm);
+                    }
                     self.mark_branch_segment(new_b, seg_id);
                     let mut pos = 0u64;
                     while let Some(row) = bm.next_one(pos) {
@@ -598,19 +668,34 @@ impl VersionedStore for HybridEngine {
                         keys.insert(key, (seg_id, RecordIdx(row)));
                     }
                 }
-                self.pk.push(keys);
+                self.pk.push(RwLock::new(keys));
                 let c_head = self.new_segment()?;
                 self.head.push(c_head);
                 self.mark_branch_segment(new_b, c_head);
-                self.segments[c_head.index()].index.add_branch(new_b, None);
+                self.segments[c_head.index()]
+                    .index
+                    .get_mut()
+                    .add_branch(new_b, None);
             }
         }
         Ok(new_b)
     }
 
-    fn commit(&mut self, branch: BranchId) -> Result<CommitId> {
-        self.graph.branch(branch)?;
-        self.do_commit(branch, &[])
+    fn prepare_commit(&self, branch: BranchId) -> Result<PreparedCommit> {
+        self.graph.read().branch(branch)?;
+        let ord = self.snapshot_commit(branch)?;
+        Ok(PreparedCommit(vec![(0, ord)]))
+    }
+
+    fn finalize_commit(&self, branch: BranchId, prep: PreparedCommit) -> Result<CommitId> {
+        let &(_, ord) = prep
+            .0
+            .first()
+            .ok_or_else(|| DbError::Invalid("empty prepared commit".into()))?;
+        let mut graph = self.graph.write();
+        let cid = Arc::make_mut(&mut graph).add_commit(branch, &[])?;
+        self.commit_map.write().insert(cid, (branch, ord));
+        Ok(cid)
     }
 
     fn checkout_version(&self, commit: CommitId) -> Result<u64> {
@@ -621,20 +706,20 @@ impl VersionedStore for HybridEngine {
             .sum())
     }
 
-    fn insert(&mut self, branch: BranchId, record: Record) -> Result<()> {
+    fn insert(&self, branch: BranchId, record: Record) -> Result<()> {
         self.schema.check_arity(record.fields().len())?;
-        self.graph.branch(branch)?;
-        if self.pk[branch.index()].contains_key(&record.key()) {
+        self.graph.read().branch(branch)?;
+        if self.pk[branch.index()].read().contains_key(&record.key()) {
             return Err(DbError::DuplicateKey { key: record.key() });
         }
         self.append_live(branch, &record)?;
         Ok(())
     }
 
-    fn update(&mut self, branch: BranchId, record: Record) -> Result<()> {
+    fn update(&self, branch: BranchId, record: Record) -> Result<()> {
         self.schema.check_arity(record.fields().len())?;
-        self.graph.branch(branch)?;
-        if !self.pk[branch.index()].contains_key(&record.key()) {
+        self.graph.read().branch(branch)?;
+        if !self.pk[branch.index()].read().contains_key(&record.key()) {
             return Err(DbError::KeyNotFound { key: record.key() });
         }
         self.clear_old(branch, record.key());
@@ -642,16 +727,17 @@ impl VersionedStore for HybridEngine {
         Ok(())
     }
 
-    fn delete(&mut self, branch: BranchId, key: u64) -> Result<bool> {
-        self.graph.branch(branch)?;
+    fn delete(&self, branch: BranchId, key: u64) -> Result<bool> {
+        self.graph.read().branch(branch)?;
         Ok(self.clear_old(branch, key).is_some())
     }
 
     fn get(&self, version: VersionRef, key: u64) -> Result<Option<Record>> {
         if let VersionRef::Branch(b) = version {
-            self.graph.branch(b)?;
-            return match self.pk[b.index()].get(&key) {
-                Some(&(seg, idx)) => Ok(Some(self.segments[seg.index()].heap.get(idx)?)),
+            self.graph.read().branch(b)?;
+            let loc = self.pk[b.index()].read().get(&key).copied();
+            return match loc {
+                Some((seg, idx)) => Ok(Some(self.segments[seg.index()].heap.get(idx)?)),
                 None => Ok(None),
             };
         }
@@ -797,15 +883,21 @@ impl VersionedStore for HybridEngine {
         from: BranchId,
         policy: MergePolicy,
     ) -> Result<MergeResult> {
-        self.graph.branch(into)?;
-        self.graph.branch(from)?;
+        {
+            let graph = self.graph.read();
+            graph.branch(into)?;
+            graph.branch(from)?;
+        }
         self.do_commit(into, &[])?;
         let from_head = self.do_commit(from, &[])?;
 
         // "the segment bitmaps can be leveraged (also requiring the lowest
         // common ancestor commit) to determine where the conflicts are
         // within the segment" (§3.4).
-        let lca = self.graph.lca(self.graph.head(into)?, from_head)?;
+        let lca = {
+            let graph = self.graph.read();
+            graph.lca(graph.head(into)?, from_head)?
+        };
         let lca_bms = self.version_bitmaps(VersionRef::Commit(lca))?;
         let into_bms = self.version_bitmaps(VersionRef::Branch(into))?;
         let from_bms = self.version_bitmaps(VersionRef::Branch(from))?;
@@ -852,12 +944,15 @@ impl VersionedStore for HybridEngine {
                     // `into` in its containing segment ("identifying the
                     // new segments from the second parent that must track
                     // records for the branch it is being merged into").
-                    let (seg, idx) = self.pk[from.index()][key];
+                    let (seg, idx) = self.pk[from.index()].read()[key];
                     self.clear_old(into, *key);
                     self.ensure_column(seg, into);
-                    self.segments[seg.index()].index.set(into, idx.raw(), true);
+                    self.segments[seg.index()]
+                        .index
+                        .write()
+                        .set(into, idx.raw(), true);
                     self.mark_branch_segment(into, seg);
-                    self.pk[into.index()].insert(*key, (seg, idx));
+                    self.pk[into.index()].write().insert(*key, (seg, idx));
                     changed += 1;
                 }
                 MergeAction::Materialize(rec) => {
@@ -888,17 +983,22 @@ impl VersionedStore for HybridEngine {
             index_bytes: (self
                 .segments
                 .iter()
-                .map(|s| s.index.byte_size())
+                .map(|s| s.index.read().byte_size())
                 .sum::<usize>()
-                + self.branch_seg.byte_size()) as u64,
+                + self.branch_seg.read().byte_size()) as u64,
             commit_store_bytes: self
                 .segments
                 .iter()
-                .flat_map(|s| s.stores.values())
-                .map(|(store, _)| store.file_size())
+                .map(|s| {
+                    s.stores
+                        .read()
+                        .values()
+                        .map(|(store, _)| store.file_size())
+                        .sum::<u64>()
+                })
                 .sum(),
             num_segments: self.segments.len() as u32,
-            num_commits: self.graph.num_commits(),
+            num_commits: self.graph.read().num_commits(),
         }
     }
 
@@ -906,7 +1006,7 @@ impl VersionedStore for HybridEngine {
         for seg in &self.segments {
             seg.heap.flush()?;
         }
-        self.graph.save(self.dir.join("graph.dvg"))
+        self.graph.get_mut().save(self.dir.join("graph.dvg"))
     }
 
     fn checkpoint(&mut self) -> Result<Vec<u8>> {
@@ -914,55 +1014,62 @@ impl VersionedStore for HybridEngine {
             seg.heap.flush()?;
             if self.fsync {
                 seg.heap.sync()?;
-                for (store, _) in seg.stores.values() {
+                for (store, _) in seg.stores.read().values() {
                     store.sync()?;
                 }
             }
         }
         self.graph
+            .get_mut()
             .save_with(self.dir.join("graph.dvg"), self.fsync)?;
         let mut out = Vec::new();
-        checkpoint::write_slice(&mut out, &self.graph.to_bytes());
+        checkpoint::write_slice(&mut out, &self.graph.get_mut().to_bytes());
         varint::write_u64(&mut out, self.segments.len() as u64);
         for seg in &self.segments {
             varint::write_u64(&mut out, seg.heap.len());
             out.push(seg.frozen as u8);
             // Local bitmap columns, branch-sorted for a deterministic
             // snapshot (the column maps iterate in arbitrary order).
-            let mut cols: Vec<BranchId> = seg.index.branches().collect();
+            let index = seg.index.read();
+            let mut cols: Vec<BranchId> = index.branches().collect();
             cols.sort_unstable();
             varint::write_u64(&mut out, cols.len() as u64);
             for b in cols {
                 varint::write_u64(&mut out, b.raw() as u64);
-                checkpoint::write_bitmap(&mut out, &seg.index.branch_bitmap(b));
+                checkpoint::write_bitmap(&mut out, &index.branch_bitmap(b));
             }
-            let mut stores: Vec<(BranchId, &(CommitStore, u64))> =
-                seg.stores.iter().map(|(b, s)| (*b, s)).collect();
-            stores.sort_unstable_by_key(|(b, _)| *b);
-            varint::write_u64(&mut out, stores.len() as u64);
-            for (b, (store, first)) in stores {
+            let stores = seg.stores.read();
+            let mut sorted: Vec<(BranchId, &(CommitStore, u64))> =
+                stores.iter().map(|(b, s)| (*b, s)).collect();
+            sorted.sort_unstable_by_key(|(b, _)| *b);
+            varint::write_u64(&mut out, sorted.len() as u64);
+            for (b, (store, first)) in sorted {
                 varint::write_u64(&mut out, b.raw() as u64);
                 varint::write_u64(&mut out, *first);
                 varint::write_u64(&mut out, store.on_disk_len());
                 varint::write_u64(&mut out, store.pending_empty_count() as u64);
             }
         }
-        let n_branches = self.graph.num_branches();
+        let n_branches = self.graph.get_mut().num_branches();
         varint::write_u64(&mut out, n_branches as u64);
-        for b in 0..n_branches {
-            checkpoint::write_bitmap(&mut out, &self.branch_seg.branch_bitmap(BranchId(b as u32)));
+        {
+            let bs = self.branch_seg.get_mut();
+            for b in 0..n_branches {
+                checkpoint::write_bitmap(&mut out, &bs.branch_bitmap(BranchId(b as u32)));
+            }
         }
         varint::write_u64(&mut out, self.head.len() as u64);
         for &seg in &self.head {
             varint::write_u64(&mut out, seg.raw() as u64);
         }
         varint::write_u64(&mut out, self.branch_commits.len() as u64);
-        for &n in &self.branch_commits {
-            varint::write_u64(&mut out, n);
+        for n in &self.branch_commits {
+            varint::write_u64(&mut out, n.load(Ordering::Acquire));
         }
         checkpoint::write_triples(
             &mut out,
             self.commit_map
+                .get_mut()
                 .iter()
                 .map(|(c, (b, ord))| (c.raw(), b.raw() as u64, *ord)),
         );
@@ -1058,7 +1165,7 @@ mod tests {
 
     #[test]
     fn insert_scan_master() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         for k in 0..10 {
             eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
         }
@@ -1125,7 +1232,7 @@ mod tests {
 
     #[test]
     fn duplicate_and_missing_keys_are_validated() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
         assert!(matches!(
             eng.insert(BranchId::MASTER, rec(1, 1)),
@@ -1348,5 +1455,55 @@ mod tests {
             (0..15).collect::<Vec<_>>()
         );
         assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 3);
+    }
+
+    #[test]
+    fn disjoint_branch_writers_do_not_corrupt_each_other() {
+        use std::sync::Barrier;
+        let (_d, mut eng) = engine();
+        for k in 0..4 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        let branches: Vec<BranchId> = (0..4)
+            .map(|i| {
+                eng.create_branch(&format!("w{i}"), BranchId::MASTER.into())
+                    .unwrap()
+            })
+            .collect();
+        let eng = Arc::new(eng);
+        let barrier = Arc::new(Barrier::new(branches.len()));
+        let mut handles = Vec::new();
+        for (i, &b) in branches.iter().enumerate() {
+            let eng = Arc::clone(&eng);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                for k in 0..50u64 {
+                    eng.insert(b, rec(1000 + i as u64 * 1000 + k, k)).unwrap();
+                }
+                // Update and delete inherited records: concurrent bitmap
+                // clears in the shared frozen segment.
+                eng.update(b, rec(0, 900 + i as u64)).unwrap();
+                eng.delete(b, 3).unwrap();
+                eng.commit(b).unwrap()
+            }));
+        }
+        let commits: Vec<CommitId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, &b) in branches.iter().enumerate() {
+            assert_eq!(eng.live_count(b.into()).unwrap(), 53);
+            assert_eq!(
+                eng.get(b.into(), 0).unwrap().unwrap().field(0),
+                900 + i as u64
+            );
+            assert!(eng.get(b.into(), 3).unwrap().is_none());
+        }
+        let mut distinct: Vec<CommitId> = commits.clone();
+        distinct.sort_unstable_by_key(|c| c.raw());
+        distinct.dedup();
+        assert_eq!(distinct.len(), branches.len());
+        for &c in &commits {
+            assert_eq!(eng.checkout_version(c).unwrap(), 53);
+        }
+        assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 4);
     }
 }

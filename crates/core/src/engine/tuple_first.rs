@@ -10,6 +10,17 @@
 //! the paper's per-branch primary-key index "indicating the most recent
 //! version of each primary key in each branch" for efficient updates and
 //! deletes.
+//!
+//! # Interior locking
+//!
+//! The write path is `&self` (see the trait's thread-safety contract):
+//! per-branch state (`pk` maps, commit stores) is individually locked so
+//! commits on disjoint branches only meet at the short shared-structure
+//! sections — the bitmap index (whose tuple orientation interleaves
+//! branches within one word, forcing a single lock) and the
+//! copy-on-write version graph. Lock order: `pk[branch]` → `index` →
+//! `commit_stores[branch]` → `graph` → `commit_map`; the heap's internal
+//! tail latch is a leaf.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -23,10 +34,12 @@ use decibel_common::schema::Schema;
 use decibel_common::varint;
 use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
 use decibel_vgraph::VersionGraph;
+use parking_lot::{Mutex, RwLock};
 
 use crate::checkpoint;
 use crate::engine::scan::{AnnotatedScan, BitmapScan};
 use crate::merge::{plan_merge, ChangeSet, MergeAction};
+use crate::shard::PreparedCommit;
 use crate::store::VersionedStore;
 use crate::types::{
     AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,
@@ -63,14 +76,23 @@ pub struct TupleFirstEngine<I: IndexOrientation> {
     schema: Schema,
     pool: Arc<BufferPool>,
     heap: HeapFile,
-    index: I,
-    graph: VersionGraph,
-    /// Per-branch primary-key index: key → slot of the live copy.
-    pk: Vec<FxHashMap<u64, RecordIdx>>,
-    /// Per-branch compressed commit history files.
-    commit_stores: Vec<CommitStore>,
+    /// The liveness bitmap. One lock for both orientations: the
+    /// tuple-oriented layout packs all branches' bits of a row into shared
+    /// words, so per-branch locking is impossible there; sections are kept
+    /// short (a few bit flips or one column clone) instead.
+    index: RwLock<I>,
+    /// Copy-on-write version graph: readers clone the [`Arc`] and traverse
+    /// lock-free; committers mutate via [`Arc::make_mut`] under the write
+    /// lock.
+    graph: RwLock<Arc<VersionGraph>>,
+    /// Per-branch primary-key index: key → slot of the live copy. Each
+    /// branch's map has its own lock so disjoint-branch writers never
+    /// touch each other's.
+    pk: Vec<RwLock<FxHashMap<u64, RecordIdx>>>,
+    /// Per-branch compressed commit history files, individually locked.
+    commit_stores: Vec<Mutex<CommitStore>>,
     /// Global commit id → (branch, ordinal within that branch's store).
-    commit_map: FxHashMap<CommitId, (BranchId, u64)>,
+    commit_map: RwLock<FxHashMap<CommitId, (BranchId, u64)>>,
     /// Whether checkpoint flushes fsync (from [`StoreConfig::fsync`]).
     fsync: bool,
 }
@@ -100,11 +122,11 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
             schema,
             pool,
             heap,
-            index,
-            graph,
-            pk: vec![FxHashMap::default()],
-            commit_stores: vec![store],
-            commit_map,
+            index: RwLock::new(index),
+            graph: RwLock::new(Arc::new(graph)),
+            pk: vec![RwLock::new(FxHashMap::default())],
+            commit_stores: vec![Mutex::new(store)],
+            commit_map: RwLock::new(commit_map),
             fsync: config.fsync,
         })
     }
@@ -155,7 +177,7 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
                 let (key, _) = cursor.peek_key(r)?;
                 keys.insert(key, RecordIdx(r));
             }
-            pk.push(keys);
+            pk.push(RwLock::new(keys));
         }
         drop(cursor);
         // Commits per branch, for validating the reopened delta files.
@@ -179,7 +201,7 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
                     store.commit_count(),
                 )));
             }
-            commit_stores.push(store);
+            commit_stores.push(Mutex::new(store));
         }
         let commit_map: FxHashMap<CommitId, (BranchId, u64)> =
             checkpoint::read_triples(payload, &mut pos)?
@@ -191,13 +213,19 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
             schema,
             pool,
             heap,
-            index,
-            graph,
+            index: RwLock::new(index),
+            graph: RwLock::new(Arc::new(graph)),
             pk,
             commit_stores,
-            commit_map,
+            commit_map: RwLock::new(commit_map),
             fsync: config.fsync,
         })
+    }
+
+    /// Exclusive access to the version graph from structural (`&mut`)
+    /// paths, copy-on-write against outstanding reader snapshots.
+    fn graph_mut(&mut self) -> &mut VersionGraph {
+        Arc::make_mut(self.graph.get_mut())
     }
 
     /// Materializes the liveness bitmap of any version: the index column
@@ -205,32 +233,46 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
     fn version_bitmap(&self, version: VersionRef) -> Result<Bitmap> {
         match version {
             VersionRef::Branch(b) => {
-                self.graph.branch(b)?;
-                Ok(self.index.branch_bitmap(b))
+                self.graph.read().branch(b)?;
+                Ok(self.index.read().branch_bitmap(b))
             }
             VersionRef::Commit(c) => {
                 let &(b, ord) = self
                     .commit_map
+                    .read()
                     .get(&c)
                     .ok_or(DbError::UnknownCommit(c.raw()))?;
-                self.commit_stores[b.index()].checkout(ord)
+                self.commit_stores[b.index()].lock().checkout(ord)
             }
         }
     }
 
-    fn pk_of(&self, branch: BranchId) -> Result<&FxHashMap<u64, RecordIdx>> {
-        self.graph.branch(branch)?;
-        Ok(&self.pk[branch.index()])
+    /// Snapshots `branch`'s head column into its history file, returning
+    /// the snapshot's ordinal. The per-branch half of a commit: concurrent
+    /// with other branches' prepares.
+    fn prepare(&self, branch: BranchId) -> Result<u64> {
+        self.graph.read().branch(branch)?;
+        let col = self.index.read().branch_bitmap(branch);
+        self.commit_stores[branch.index()]
+            .lock()
+            .append_commit(&col)
+    }
+
+    /// Stamps a prepared snapshot into the shared graph + commit map.
+    fn finalize(&self, branch: BranchId, ord: u64, extra_parents: &[CommitId]) -> Result<CommitId> {
+        let mut graph = self.graph.write();
+        let cid = Arc::make_mut(&mut graph).add_commit(branch, extra_parents)?;
+        // Map insert happens before the graph guard drops, so no reader
+        // can resolve the new id before the map knows its snapshot.
+        self.commit_map.write().insert(cid, (branch, ord));
+        Ok(cid)
     }
 
     /// Records a commit snapshot of `branch` in its history file and the
-    /// version graph.
-    fn do_commit(&mut self, branch: BranchId, extra_parents: &[CommitId]) -> Result<CommitId> {
-        let col = self.index.branch_bitmap(branch);
-        let ord = self.commit_stores[branch.index()].append_commit(&col)?;
-        let cid = self.graph.add_commit(branch, extra_parents)?;
-        self.commit_map.insert(cid, (branch, ord));
-        Ok(cid)
+    /// version graph (both commit halves, for admin/merge paths).
+    fn do_commit(&self, branch: BranchId, extra_parents: &[CommitId]) -> Result<CommitId> {
+        let ord = self.prepare(branch)?;
+        self.finalize(branch, ord, extra_parents)
     }
 
     /// Builds `branch`'s change set relative to a base bitmap: for every
@@ -267,14 +309,14 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
         &self.schema
     }
 
-    fn graph(&self) -> &VersionGraph {
-        &self.graph
+    fn graph(&self) -> Arc<VersionGraph> {
+        Arc::clone(&self.graph.read())
     }
 
     fn create_branch(&mut self, name: &str, from: VersionRef) -> Result<BranchId> {
         // Name check first: the implicit parent commit below must not be
         // created (and dangle) behind a duplicate-name error.
-        self.graph.check_name_free(name)?;
+        self.graph.read().check_name_free(name)?;
         let (from_commit, parent_branch) = match from {
             VersionRef::Branch(b) => {
                 // Branches are made from commits (§2.2.3); branching from a
@@ -285,20 +327,22 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
             }
             VersionRef::Commit(c) => (c, None),
         };
-        let new_b = self.graph.create_branch(name, from_commit)?;
+        let new_b = self.graph_mut().create_branch(name, from_commit)?;
         debug_assert_eq!(new_b.index(), self.pk.len());
         match parent_branch {
             Some(p) => {
                 // "A branch operation clones the state of the parent
                 // branch's bitmap" (§3.2) — and its key index.
-                self.index.add_branch(new_b, Some(p));
-                self.pk.push(self.pk[p.index()].clone());
+                self.index.get_mut().add_branch(new_b, Some(p));
+                let cloned = self.pk[p.index()].read().clone();
+                self.pk.push(RwLock::new(cloned));
             }
             None => {
                 // Historical commit: restore the snapshot, rebuild keys.
                 let bm = self.version_bitmap(VersionRef::Commit(from_commit))?;
-                self.index.add_branch(new_b, None);
-                self.index.restore_branch(new_b, &bm);
+                let index = self.index.get_mut();
+                index.add_branch(new_b, None);
+                index.restore_branch(new_b, &bm);
                 let mut keys = FxHashMap::default();
                 let mut pos = 0u64;
                 while let Some(row) = bm.next_one(pos) {
@@ -306,19 +350,27 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
                     let (key, _) = self.heap.peek_key(RecordIdx(row))?;
                     keys.insert(key, RecordIdx(row));
                 }
-                self.pk.push(keys);
+                self.pk.push(RwLock::new(keys));
             }
         }
-        self.commit_stores.push(CommitStore::create(
+        self.commit_stores.push(Mutex::new(CommitStore::create(
             store_path(&self.dir, new_b),
             CommitStore::DEFAULT_LAYER_INTERVAL,
-        )?);
+        )?));
         Ok(new_b)
     }
 
-    fn commit(&mut self, branch: BranchId) -> Result<CommitId> {
-        self.graph.branch(branch)?;
-        self.do_commit(branch, &[])
+    fn prepare_commit(&self, branch: BranchId) -> Result<PreparedCommit> {
+        let ord = self.prepare(branch)?;
+        Ok(PreparedCommit(vec![(0, ord)]))
+    }
+
+    fn finalize_commit(&self, branch: BranchId, prep: PreparedCommit) -> Result<CommitId> {
+        let &(_, ord) = prep
+            .0
+            .first()
+            .ok_or_else(|| DbError::Invalid("empty prepared commit".into()))?;
+        self.finalize(branch, ord, &[])
     }
 
     fn checkout_version(&self, commit: CommitId) -> Result<u64> {
@@ -327,41 +379,50 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
             .count_ones())
     }
 
-    fn insert(&mut self, branch: BranchId, record: Record) -> Result<()> {
+    fn insert(&self, branch: BranchId, record: Record) -> Result<()> {
         self.schema.check_arity(record.fields().len())?;
-        self.graph.branch(branch)?;
-        if self.pk[branch.index()].contains_key(&record.key()) {
+        self.graph.read().branch(branch)?;
+        let mut pk = self.pk[branch.index()].write();
+        if pk.contains_key(&record.key()) {
             return Err(DbError::DuplicateKey { key: record.key() });
         }
         let idx = self.heap.append(&record)?;
-        self.index.ensure_rows(idx.raw() + 1);
-        self.index.set(branch, idx.raw(), true);
-        self.pk[branch.index()].insert(record.key(), idx);
+        {
+            let mut index = self.index.write();
+            index.ensure_rows(idx.raw() + 1);
+            index.set(branch, idx.raw(), true);
+        }
+        pk.insert(record.key(), idx);
         Ok(())
     }
 
-    fn update(&mut self, branch: BranchId, record: Record) -> Result<()> {
+    fn update(&self, branch: BranchId, record: Record) -> Result<()> {
         self.schema.check_arity(record.fields().len())?;
-        self.graph.branch(branch)?;
-        let old = *self.pk[branch.index()]
+        self.graph.read().branch(branch)?;
+        let mut pk = self.pk[branch.index()].write();
+        let old = *pk
             .get(&record.key())
             .ok_or(DbError::KeyNotFound { key: record.key() })?;
         // "the index bit of the previous version of the record is unset ...
         // we also set the index bit for the new, updated copy of the record
         // inserted at the end of the heap file" (§3.2).
-        self.index.set(branch, old.raw(), false);
         let idx = self.heap.append(&record)?;
-        self.index.ensure_rows(idx.raw() + 1);
-        self.index.set(branch, idx.raw(), true);
-        self.pk[branch.index()].insert(record.key(), idx);
+        {
+            let mut index = self.index.write();
+            index.set(branch, old.raw(), false);
+            index.ensure_rows(idx.raw() + 1);
+            index.set(branch, idx.raw(), true);
+        }
+        pk.insert(record.key(), idx);
         Ok(())
     }
 
-    fn delete(&mut self, branch: BranchId, key: u64) -> Result<bool> {
-        self.graph.branch(branch)?;
-        match self.pk[branch.index()].remove(&key) {
+    fn delete(&self, branch: BranchId, key: u64) -> Result<bool> {
+        self.graph.read().branch(branch)?;
+        let mut pk = self.pk[branch.index()].write();
+        match pk.remove(&key) {
             Some(old) => {
-                self.index.set(branch, old.raw(), false);
+                self.index.write().set(branch, old.raw(), false);
                 Ok(true)
             }
             None => Ok(false),
@@ -370,8 +431,10 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
 
     fn get(&self, version: VersionRef, key: u64) -> Result<Option<Record>> {
         if let VersionRef::Branch(b) = version {
-            return match self.pk_of(b)?.get(&key) {
-                Some(&idx) => Ok(Some(self.heap.get(idx)?)),
+            self.graph.read().branch(b)?;
+            let slot = self.pk[b.index()].read().get(&key).copied();
+            return match slot {
+                Some(idx) => Ok(Some(self.heap.get(idx)?)),
                 None => Ok(None),
             };
         }
@@ -401,14 +464,18 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
         // pass over the heap driven by the union bitmap, annotating each
         // record from cached per-branch column words (64 liveness bits per
         // step, not one `get` per branch per row).
-        let mut union = Bitmap::zeros(self.index.num_rows());
+        let graph = self.graph.read();
+        let index = self.index.read();
+        let mut union = Bitmap::zeros(index.num_rows());
         let mut columns = Vec::with_capacity(branches.len());
         for &b in branches {
-            self.graph.branch(b)?;
-            let col = self.index.branch_bitmap(b);
+            graph.branch(b)?;
+            let col = index.branch_bitmap(b);
             union.or_assign(&col);
             columns.push((b, col));
         }
+        drop(index);
+        drop(graph);
         Ok(Box::new(
             AnnotatedScan::new(&self.heap, union, columns)
                 .map(|item| item.map(|(_, rec, live)| (rec, live))),
@@ -437,8 +504,11 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
         from: BranchId,
         policy: MergePolicy,
     ) -> Result<MergeResult> {
-        self.graph.branch(into)?;
-        self.graph.branch(from)?;
+        {
+            let graph = self.graph.read();
+            graph.branch(into)?;
+            graph.branch(from)?;
+        }
         // Merge operates on the branch heads (§2.2.3); commit both working
         // states so the merge inputs are recorded versions.
         self.do_commit(into, &[])?;
@@ -446,10 +516,13 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
 
         // "At the start of the merge process, the lca commit is restored"
         // (§3.2).
-        let lca = self.graph.lca(self.graph.head(into)?, from_head)?;
+        let lca = {
+            let graph = self.graph.read();
+            graph.lca(graph.head(into)?, from_head)?
+        };
         let lca_bm = self.version_bitmap(VersionRef::Commit(lca))?;
-        let into_bm = self.index.branch_bitmap(into);
-        let from_bm = self.index.branch_bitmap(from);
+        let into_bm = self.index.read().branch_bitmap(into);
+        let from_bm = self.index.read().branch_bitmap(from);
 
         let (left_changes, lbytes) = self.change_set(&into_bm, &lca_bm)?;
         let (right_changes, rbytes) = self.change_set(&from_bm, &lca_bm)?;
@@ -477,34 +550,42 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
             },
         )?;
 
+        // Mutation phase: merges run with the store lock held exclusively,
+        // so the interior locks are uncontended; scoped guards keep the
+        // borrow checker satisfied without restructuring.
         let mut changed = 0u64;
-        for (key, action) in &plan.actions {
-            match action {
-                MergeAction::KeepLeft => {}
-                MergeAction::TakeRight(_) => {
-                    // Adopt the source's physical copy: flip bits, no I/O.
-                    let src_row = self.pk[from.index()][key];
-                    if let Some(old) = self.pk[into.index()].get(key).copied() {
-                        self.index.set(into, old.raw(), false);
-                    }
-                    self.index.set(into, src_row.raw(), true);
-                    self.pk[into.index()].insert(*key, src_row);
-                    changed += 1;
-                }
-                MergeAction::Materialize(rec) => {
-                    if let Some(old) = self.pk[into.index()].get(key).copied() {
-                        self.index.set(into, old.raw(), false);
-                    }
-                    let idx = self.heap.append(rec)?;
-                    self.index.ensure_rows(idx.raw() + 1);
-                    self.index.set(into, idx.raw(), true);
-                    self.pk[into.index()].insert(*key, idx);
-                    changed += 1;
-                }
-                MergeAction::Delete => {
-                    if let Some(old) = self.pk[into.index()].remove(key) {
-                        self.index.set(into, old.raw(), false);
+        {
+            let mut index = self.index.write();
+            let pk_from = self.pk[from.index()].read().clone();
+            let mut pk_into = self.pk[into.index()].write();
+            for (key, action) in &plan.actions {
+                match action {
+                    MergeAction::KeepLeft => {}
+                    MergeAction::TakeRight(_) => {
+                        // Adopt the source's physical copy: flip bits, no I/O.
+                        let src_row = pk_from[key];
+                        if let Some(old) = pk_into.get(key).copied() {
+                            index.set(into, old.raw(), false);
+                        }
+                        index.set(into, src_row.raw(), true);
+                        pk_into.insert(*key, src_row);
                         changed += 1;
+                    }
+                    MergeAction::Materialize(rec) => {
+                        if let Some(old) = pk_into.get(key).copied() {
+                            index.set(into, old.raw(), false);
+                        }
+                        let idx = heap.append(rec)?;
+                        index.ensure_rows(idx.raw() + 1);
+                        index.set(into, idx.raw(), true);
+                        pk_into.insert(*key, idx);
+                        changed += 1;
+                    }
+                    MergeAction::Delete => {
+                        if let Some(old) = pk_into.remove(key) {
+                            index.set(into, old.raw(), false);
+                            changed += 1;
+                        }
                     }
                 }
             }
@@ -522,46 +603,53 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
     fn stats(&self) -> StoreStats {
         StoreStats {
             data_bytes: self.heap.byte_size(),
-            index_bytes: self.index.byte_size() as u64,
-            commit_store_bytes: self.commit_stores.iter().map(|s| s.file_size()).sum(),
+            index_bytes: self.index.read().byte_size() as u64,
+            commit_store_bytes: self
+                .commit_stores
+                .iter()
+                .map(|s| s.lock().file_size())
+                .sum(),
             num_segments: 1,
-            num_commits: self.graph.num_commits(),
+            num_commits: self.graph.read().num_commits(),
         }
     }
 
     fn flush(&mut self) -> Result<()> {
         self.heap.flush()?;
-        self.graph.save(self.dir.join("graph.dvg"))
+        self.graph.get_mut().save(self.dir.join("graph.dvg"))
     }
 
     fn checkpoint(&mut self) -> Result<Vec<u8>> {
         self.heap.flush()?;
         if self.fsync {
             self.heap.sync()?;
-            for store in &self.commit_stores {
-                store.sync()?;
+            for store in &mut self.commit_stores {
+                store.get_mut().sync()?;
             }
         }
-        self.graph
-            .save_with(self.dir.join("graph.dvg"), self.fsync)?;
+        let graph = Arc::clone(self.graph.get_mut());
+        graph.save_with(self.dir.join("graph.dvg"), self.fsync)?;
         let mut out = Vec::new();
-        checkpoint::write_slice(&mut out, &self.graph.to_bytes());
+        checkpoint::write_slice(&mut out, &graph.to_bytes());
         varint::write_u64(&mut out, self.heap.len());
-        let n_branches = self.graph.num_branches();
+        let n_branches = graph.num_branches();
         varint::write_u64(&mut out, n_branches as u64);
+        let index = self.index.get_mut();
         for b in 0..n_branches {
             // The head column is snapshotted directly (RLE), so reopening
             // needs no delta-chain checkout and no assumption that the
             // working head coincides with the last commit.
-            checkpoint::write_bitmap(&mut out, &self.index.branch_bitmap(BranchId(b as u32)));
+            checkpoint::write_bitmap(&mut out, &index.branch_bitmap(BranchId(b as u32)));
         }
-        for store in &self.commit_stores {
+        for store in &mut self.commit_stores {
+            let store = store.get_mut();
             varint::write_u64(&mut out, store.on_disk_len());
             varint::write_u64(&mut out, store.pending_empty_count() as u64);
         }
         checkpoint::write_triples(
             &mut out,
             self.commit_map
+                .get_mut()
                 .iter()
                 .map(|(c, (b, ord))| (c.raw(), b.raw() as u64, *ord)),
         );
@@ -598,7 +686,7 @@ mod tests {
 
     #[test]
     fn insert_scan_master() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         for k in 0..10 {
             eng.insert(BranchId::MASTER, rec(k, k * 10)).unwrap();
         }
@@ -611,7 +699,7 @@ mod tests {
 
     #[test]
     fn duplicate_insert_rejected() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
         assert!(matches!(
             eng.insert(BranchId::MASTER, rec(1, 1)),
@@ -621,7 +709,7 @@ mod tests {
 
     #[test]
     fn update_replaces_and_get_sees_latest() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
         eng.update(BranchId::MASTER, rec(1, 99)).unwrap();
         let got = eng.get(BranchId::MASTER.into(), 1).unwrap().unwrap();
@@ -635,7 +723,7 @@ mod tests {
 
     #[test]
     fn delete_hides_record() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
         assert!(eng.delete(BranchId::MASTER, 1).unwrap());
         assert!(!eng.delete(BranchId::MASTER, 1).unwrap());
@@ -679,7 +767,7 @@ mod tests {
 
     #[test]
     fn commit_checkout_history() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
         let c1 = eng.commit(BranchId::MASTER).unwrap();
         eng.insert(BranchId::MASTER, rec(2, 0)).unwrap();
@@ -779,7 +867,8 @@ mod tests {
         assert_eq!(merged.field(0), 111);
         assert_eq!(merged.field(3), 333);
         // The merge commit has two parents.
-        let meta = eng.graph().commit(res.commit).unwrap();
+        let graph = eng.graph();
+        let meta = graph.commit(res.commit).unwrap();
         assert_eq!(meta.parents.len(), 2);
     }
 
@@ -858,7 +947,7 @@ mod tests {
 
     #[test]
     fn stats_track_growth() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         let s0 = eng.stats();
         for k in 0..50 {
             eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
@@ -879,5 +968,60 @@ mod tests {
         eng.flush().unwrap();
         let loaded = VersionGraph::load(eng.dir.join("graph.dvg")).unwrap();
         assert_eq!(loaded.num_commits(), eng.graph().num_commits());
+    }
+
+    #[test]
+    fn disjoint_branch_writers_do_not_corrupt_each_other() {
+        use std::sync::Barrier;
+        let (_d, mut eng) = engine();
+        for k in 0..4 {
+            eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
+        }
+        let mut branches = Vec::new();
+        for i in 0..4 {
+            branches.push(
+                eng.create_branch(&format!("w{i}"), BranchId::MASTER.into())
+                    .unwrap(),
+            );
+        }
+        let eng = std::sync::Arc::new(eng);
+        let barrier = std::sync::Arc::new(Barrier::new(4));
+        let handles: Vec<_> = branches
+            .iter()
+            .map(|&b| {
+                let eng = std::sync::Arc::clone(&eng);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for k in 0..50u64 {
+                        eng.insert(b, rec(1000 + b.raw() as u64 * 1000 + k, k))
+                            .unwrap();
+                    }
+                    eng.update(b, rec(0, 900 + b.raw() as u64)).unwrap();
+                    eng.delete(b, 3).unwrap();
+                    eng.commit(b).unwrap()
+                })
+            })
+            .collect();
+        let commits: Vec<CommitId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Each branch sees exactly its own writes; commit snapshots match.
+        for (i, &b) in branches.iter().enumerate() {
+            assert_eq!(eng.live_count(b.into()).unwrap(), 4 + 50 - 1);
+            assert_eq!(
+                eng.get(b.into(), 0).unwrap().unwrap().field(0),
+                900 + b.raw() as u64
+            );
+            assert_eq!(eng.checkout_version(commits[i]).unwrap(), 53);
+        }
+        assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 4);
+        // Commit ids are distinct and all stamped in the shared graph.
+        let graph = eng.graph();
+        let mut ids: Vec<u64> = commits.iter().map(|c| c.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+        for &c in &commits {
+            graph.commit(c).unwrap();
+        }
     }
 }

@@ -15,6 +15,18 @@
 //! scanned" — with ties broken by merge precedence, so a branch's own
 //! modifications shadow inherited records and a merge's preferred parent
 //! shadows the other.
+//!
+//! # Concurrency
+//!
+//! Version-first is the friendliest engine to the sharded commit path:
+//! writes are blind appends into per-branch head segments, so disjoint
+//! branches touch disjoint heaps and need no shared write structure at
+//! all. The only cross-branch state a commit mutates is the version graph
+//! and the commit offset map, both behind short [`RwLock`] critical
+//! sections; the graph is copy-on-write so readers keep an [`Arc`]
+//! snapshot and never block commits. Segment and head vectors are only
+//! mutated by `&mut self` operations (branching, merging), which the
+//! database serializes under its exclusive store lock.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -28,10 +40,12 @@ use decibel_common::schema::Schema;
 use decibel_common::varint;
 use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
 use decibel_vgraph::VersionGraph;
+use parking_lot::RwLock;
 
 use crate::checkpoint;
 use crate::engine::scan::BitmapScan;
 use crate::merge::{plan_merge, ChangeSet, MergeAction};
+use crate::shard::PreparedCommit;
 use crate::store::VersionedStore;
 use crate::types::{
     AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,
@@ -58,13 +72,18 @@ pub struct VersionFirstEngine {
     schema: Schema,
     pool: Arc<BufferPool>,
     segments: Vec<Segment>,
-    /// Per-branch current head segment.
+    /// Per-branch current head segment. Only mutated under `&mut self`
+    /// (branching/merging); plain reads from `&self` are race-free because
+    /// the database holds its store lock exclusively for those mutations.
     head: Vec<SegmentId>,
-    graph: VersionGraph,
+    /// Copy-on-write version graph: readers clone the [`Arc`] and traverse
+    /// without holding the lock; commits briefly take the write lock and
+    /// [`Arc::make_mut`] to stamp new versions.
+    graph: RwLock<Arc<VersionGraph>>,
     /// "Version-first supports commits by mapping a commit ID to the byte
     /// offset of the latest record that is active in the committing
     /// branch's segment file" (§3.3) — here a record-slot offset.
-    commit_map: FxHashMap<CommitId, SegRef>,
+    commit_map: RwLock<FxHashMap<CommitId, SegRef>>,
     /// Whether checkpoint flushes fsync (from [`StoreConfig::fsync`]).
     fsync: bool,
 }
@@ -81,13 +100,13 @@ impl VersionFirstEngine {
             pool,
             segments: Vec::new(),
             head: Vec::new(),
-            graph: VersionGraph::init(),
-            commit_map: FxHashMap::default(),
+            graph: RwLock::new(Arc::new(VersionGraph::init())),
+            commit_map: RwLock::new(FxHashMap::default()),
             fsync: config.fsync,
         };
         let seg = engine.new_segment(Vec::new())?;
         engine.head.push(seg);
-        engine.commit_map.insert(CommitId::INIT, (seg, 0));
+        engine.commit_map.get_mut().insert(CommitId::INIT, (seg, 0));
         Ok(engine)
     }
 
@@ -153,8 +172,8 @@ impl VersionFirstEngine {
             pool,
             segments,
             head,
-            graph,
-            commit_map,
+            graph: RwLock::new(Arc::new(graph)),
+            commit_map: RwLock::new(commit_map),
             fsync: config.fsync,
         })
     }
@@ -174,8 +193,15 @@ impl VersionFirstEngine {
         &self.segments[id.index()]
     }
 
+    /// Exclusive access to the version graph for `&mut self` paths, which
+    /// run under the database's exclusive store lock (no concurrent
+    /// readers hold the inner lock).
+    fn graph_mut(&mut self) -> &mut VersionGraph {
+        Arc::make_mut(self.graph.get_mut())
+    }
+
     fn head_ref(&self, branch: BranchId) -> Result<SegRef> {
-        self.graph.branch(branch)?;
+        self.graph.read().branch(branch)?;
         let seg = self.head[branch.index()];
         Ok((seg, self.seg(seg).heap.len()))
     }
@@ -185,6 +211,7 @@ impl VersionFirstEngine {
             VersionRef::Branch(b) => self.head_ref(b),
             VersionRef::Commit(c) => self
                 .commit_map
+                .read()
                 .get(&c)
                 .copied()
                 .ok_or(DbError::UnknownCommit(c.raw())),
@@ -443,17 +470,24 @@ impl VersionFirstEngine {
         self.seg(loc.0).heap.get(RecordIdx(loc.1))
     }
 
-    /// Appends to a branch's head segment.
-    fn append(&mut self, branch: BranchId, record: &Record) -> Result<RecordIdx> {
-        self.graph.branch(branch)?;
+    /// Appends to a branch's head segment. Safe from concurrent threads on
+    /// *different* branches: each branch's head segment heap is distinct,
+    /// and the heap tail latch covers the append itself.
+    fn append(&self, branch: BranchId, record: &Record) -> Result<RecordIdx> {
+        self.graph.read().branch(branch)?;
         let seg = self.head[branch.index()];
         self.seg(seg).heap.append(record)
     }
 
-    fn do_commit(&mut self, branch: BranchId, extra_parents: &[CommitId]) -> Result<CommitId> {
+    /// Commit primitive for internal callers (branching, merging): head
+    /// snapshot + graph stamp + offset-map insert. The commit-map entry is
+    /// inserted while the graph write guard is still held so no reader can
+    /// observe a commit id the map cannot resolve.
+    fn do_commit(&self, branch: BranchId, extra_parents: &[CommitId]) -> Result<CommitId> {
         let head = self.head_ref(branch)?;
-        let cid = self.graph.add_commit(branch, extra_parents)?;
-        self.commit_map.insert(cid, head);
+        let mut graph = self.graph.write();
+        let cid = Arc::make_mut(&mut graph).add_commit(branch, extra_parents)?;
+        self.commit_map.write().insert(cid, head);
         Ok(cid)
     }
 
@@ -491,25 +525,24 @@ impl VersionedStore for VersionFirstEngine {
         &self.schema
     }
 
-    fn graph(&self) -> &VersionGraph {
-        &self.graph
+    fn graph(&self) -> Arc<VersionGraph> {
+        Arc::clone(&self.graph.read())
     }
 
     fn create_branch(&mut self, name: &str, from: VersionRef) -> Result<BranchId> {
         // Name check first: the implicit parent commit below must not be
         // created (and dangle) behind a duplicate-name error.
-        self.graph.check_name_free(name)?;
+        self.graph.read().check_name_free(name)?;
         let (from_commit, fork) = match from {
             VersionRef::Branch(b) => {
                 // Fork points must be recorded versions; commit implicitly.
                 let fork = self.head_ref(b)?;
-                let cid = self.graph.add_commit(b, &[])?;
-                self.commit_map.insert(cid, fork);
+                let cid = self.do_commit(b, &[])?;
                 (cid, fork)
             }
             VersionRef::Commit(c) => (c, self.resolve(VersionRef::Commit(c))?),
         };
-        let new_b = self.graph.create_branch(name, from_commit)?;
+        let new_b = self.graph_mut().create_branch(name, from_commit)?;
         // "A new child segment file is created that notes the parent file
         // and the offset of this branch point" (§3.3). The parent keeps
         // appending to its own segment; no new parent segment is made.
@@ -519,9 +552,24 @@ impl VersionedStore for VersionFirstEngine {
         Ok(new_b)
     }
 
-    fn commit(&mut self, branch: BranchId) -> Result<CommitId> {
-        self.graph.branch(branch)?;
-        self.do_commit(branch, &[])
+    fn prepare_commit(&self, branch: BranchId) -> Result<PreparedCommit> {
+        // Version-first's commit "snapshot" is just the head offset — there
+        // is no bitmap to clone or delta to append, so prepare is a
+        // metadata read.
+        let (seg, bound) = self.head_ref(branch)?;
+        Ok(PreparedCommit(vec![(seg.raw() as u64, bound)]))
+    }
+
+    fn finalize_commit(&self, branch: BranchId, prep: PreparedCommit) -> Result<CommitId> {
+        let &(seg, bound) = prep
+            .0
+            .first()
+            .ok_or_else(|| DbError::Invalid("empty prepared commit".into()))?;
+        let head = (SegmentId(seg as u32), bound);
+        let mut graph = self.graph.write();
+        let cid = Arc::make_mut(&mut graph).add_commit(branch, &[])?;
+        self.commit_map.write().insert(cid, head);
+        Ok(cid)
     }
 
     fn checkout_version(&self, commit: CommitId) -> Result<u64> {
@@ -531,13 +579,13 @@ impl VersionedStore for VersionFirstEngine {
         Ok(self.live_locations(start)?.len() as u64)
     }
 
-    fn insert(&mut self, branch: BranchId, record: Record) -> Result<()> {
+    fn insert(&self, branch: BranchId, record: Record) -> Result<()> {
         self.schema.check_arity(record.fields().len())?;
         self.append(branch, &record)?;
         Ok(())
     }
 
-    fn update(&mut self, branch: BranchId, record: Record) -> Result<()> {
+    fn update(&self, branch: BranchId, record: Record) -> Result<()> {
         // "Updates are performed by inserting a new copy of the tuple with
         // the same primary key and updated fields; branch scans will ignore
         // the earlier copy" (§3.3). No index exists to validate the key —
@@ -547,7 +595,7 @@ impl VersionedStore for VersionFirstEngine {
         Ok(())
     }
 
-    fn delete(&mut self, branch: BranchId, key: u64) -> Result<bool> {
+    fn delete(&self, branch: BranchId, key: u64) -> Result<bool> {
         // "when a tuple is deleted, we insert a special record with a
         // deleted header bit" (§3.3).
         let tomb = Record::tombstone(key, &self.schema);
@@ -675,14 +723,20 @@ impl VersionedStore for VersionFirstEngine {
         from: BranchId,
         policy: MergePolicy,
     ) -> Result<MergeResult> {
-        self.graph.branch(into)?;
-        self.graph.branch(from)?;
+        {
+            let graph = self.graph.read();
+            graph.branch(into)?;
+            graph.branch(from)?;
+        }
         self.do_commit(into, &[])?;
         let from_head_commit = self.do_commit(from, &[])?;
 
         let into_ref = self.head_ref(into)?;
         let from_ref = self.head_ref(from)?;
-        let lca = self.graph.lca(self.graph.head(into)?, from_head_commit)?;
+        let lca = {
+            let graph = self.graph.read();
+            graph.lca(graph.head(into)?, from_head_commit)?
+        };
         let lca_ref = self.resolve(VersionRef::Commit(lca))?;
 
         // "The approach uses the general multi-branch scanner ... to
@@ -756,9 +810,9 @@ impl VersionedStore for VersionFirstEngine {
             index_bytes: 0,
             // The commit-to-offset map is the only commit metadata
             // ("an external structure", §3.3): ~20 bytes per entry.
-            commit_store_bytes: self.commit_map.len() as u64 * 20,
+            commit_store_bytes: self.commit_map.read().len() as u64 * 20,
             num_segments: self.segments.len() as u32,
-            num_commits: self.graph.num_commits(),
+            num_commits: self.graph.read().num_commits(),
         }
     }
 
@@ -766,7 +820,7 @@ impl VersionedStore for VersionFirstEngine {
         for seg in &self.segments {
             seg.heap.flush()?;
         }
-        self.graph.save(self.dir.join("graph.dvg"))
+        self.graph.get_mut().save(self.dir.join("graph.dvg"))
     }
 
     fn checkpoint(&mut self) -> Result<Vec<u8>> {
@@ -777,9 +831,10 @@ impl VersionedStore for VersionFirstEngine {
             }
         }
         self.graph
+            .get_mut()
             .save_with(self.dir.join("graph.dvg"), self.fsync)?;
         let mut out = Vec::new();
-        checkpoint::write_slice(&mut out, &self.graph.to_bytes());
+        checkpoint::write_slice(&mut out, &self.graph.get_mut().to_bytes());
         varint::write_u64(&mut out, self.segments.len() as u64);
         for seg in &self.segments {
             varint::write_u64(&mut out, seg.heap.len());
@@ -796,6 +851,7 @@ impl VersionedStore for VersionFirstEngine {
         checkpoint::write_triples(
             &mut out,
             self.commit_map
+                .get_mut()
                 .iter()
                 .map(|(c, (seg, off))| (c.raw(), seg.raw() as u64, *off)),
         );
@@ -917,7 +973,7 @@ mod tests {
 
     #[test]
     fn insert_scan_master() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         for k in 0..10 {
             eng.insert(BranchId::MASTER, rec(k, k)).unwrap();
         }
@@ -929,7 +985,7 @@ mod tests {
 
     #[test]
     fn update_shadows_older_copy() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
         eng.update(BranchId::MASTER, rec(1, 50)).unwrap();
         let all: Vec<Record> = eng
@@ -950,7 +1006,7 @@ mod tests {
 
     #[test]
     fn tombstone_hides_record() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
         eng.insert(BranchId::MASTER, rec(2, 0)).unwrap();
         eng.delete(BranchId::MASTER, 1).unwrap();
@@ -1016,7 +1072,7 @@ mod tests {
 
     #[test]
     fn commit_pins_offsets() {
-        let (_d, mut eng) = engine();
+        let (_d, eng) = engine();
         eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
         let c1 = eng.commit(BranchId::MASTER).unwrap();
         eng.insert(BranchId::MASTER, rec(2, 0)).unwrap();
@@ -1215,5 +1271,55 @@ mod tests {
         assert_eq!(s.num_segments, 2);
         assert_eq!(s.index_bytes, 0, "version-first has no bitmap index");
         assert!(s.data_bytes > 0);
+    }
+
+    #[test]
+    fn disjoint_branch_writers_do_not_corrupt_each_other() {
+        use std::sync::{Arc as StdArc, Barrier};
+
+        let (_d, mut eng) = engine();
+        eng.insert(BranchId::MASTER, rec(1, 0)).unwrap();
+        let branches: Vec<BranchId> = (0..4)
+            .map(|i| {
+                eng.create_branch(&format!("w{i}"), BranchId::MASTER.into())
+                    .unwrap()
+            })
+            .collect();
+
+        let eng = StdArc::new(eng);
+        let barrier = StdArc::new(Barrier::new(branches.len()));
+        let mut handles = Vec::new();
+        for (i, &b) in branches.iter().enumerate() {
+            let eng = StdArc::clone(&eng);
+            let barrier = StdArc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                for k in 0..50u64 {
+                    eng.insert(b, rec(1000 + i as u64 * 1000 + k, k)).unwrap();
+                }
+                eng.update(b, rec(1, 900 + i as u64)).unwrap();
+                eng.commit(b).unwrap()
+            }));
+        }
+        let commits: Vec<CommitId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // Each branch sees exactly its own writes: 50 inserts plus the
+        // (updated) inherited record.
+        for (i, &b) in branches.iter().enumerate() {
+            assert_eq!(eng.live_count(b.into()).unwrap(), 51);
+            assert_eq!(
+                eng.get(b.into(), 1).unwrap().unwrap().field(0),
+                900 + i as u64
+            );
+        }
+        // Every concurrent commit resolved a distinct id and pinned 51
+        // live records.
+        let graph = eng.graph();
+        for &c in &commits {
+            graph.commit(c).unwrap();
+            assert_eq!(eng.checkout_version(c).unwrap(), 51);
+        }
+        // Master is untouched by all of it.
+        assert_eq!(eng.live_count(BranchId::MASTER.into()).unwrap(), 1);
     }
 }

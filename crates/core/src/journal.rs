@@ -14,7 +14,14 @@
 //! allocated in creation order by every engine, so re-applying the journal
 //! in commit order reproduces the exact id sequence of the original
 //! execution, which keeps journaled references (e.g. "branch 3 was forked
-//! from commit 7") meaningful across restarts.
+//! from commit 7") meaningful across restarts. Group commit does not
+//! weaken this: concurrent committers append and seal inside the global
+//! sequencing section (see
+//! [`Database::commit_txn`](crate::db::Database::commit_txn)), so the
+//! journal's transaction order always matches commit-id order even when
+//! several transactions shared one fsync — and a crash mid-group loses
+//! only an un-synced *suffix* of that order, never a transaction in the
+//! middle of it.
 //!
 //! Journaled transactions come in three shapes:
 //!

@@ -27,10 +27,11 @@ pub mod merge;
 pub mod pool;
 pub mod query;
 pub mod session;
+pub mod shard;
 pub mod store;
 pub mod types;
 
-pub use db::Database;
+pub use db::{Database, JournalStats};
 pub use engine::{
     HybridEngine, TupleFirstBranchEngine, TupleFirstEngine, TupleFirstTupleEngine,
     VersionFirstEngine,
@@ -38,6 +39,7 @@ pub use engine::{
 pub use pool::ScanPool;
 pub use query::{MultiReadBuilder, ReadBuilder};
 pub use session::Session;
+pub use shard::{PreparedCommit, SessionOp, ShardSet};
 pub use store::VersionedStore;
 pub use types::{
     AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,

@@ -20,8 +20,10 @@
 //! maps onto one session per thread, all sharing one database handle.
 //! Read-only operations from different sessions run concurrently (the
 //! store sits behind a reader-writer lock); writers serialize per branch
-//! via 2PL and globally only for the short critical section that applies
-//! a commit.
+//! via 2PL, and commits to *disjoint* branches run their apply/prepare
+//! work concurrently through the sharded commit path, meeting only in
+//! the short global sequencing section and the shared group fsync (see
+//! the [`db`](crate::db) module docs).
 
 use std::sync::Arc;
 
@@ -33,14 +35,9 @@ use decibel_pagestore::{LockMode, TxnLocks};
 
 use crate::db::Database;
 use crate::journal;
+use crate::shard::SessionOp;
 use crate::store::VersionedStore;
 use crate::types::VersionRef;
-
-enum Op {
-    Insert(Record),
-    Update(Record),
-    Delete(u64),
-}
 
 /// A user session: a checkout position plus an optional open transaction.
 ///
@@ -80,7 +77,7 @@ pub struct Session {
 
 struct Txn {
     locks: TxnLocks,
-    ops: Vec<Op>,
+    ops: Vec<SessionOp>,
     /// Read-your-writes overlay: key → pending live copy (`None` =
     /// pending delete).
     overlay: FxHashMap<u64, Option<Record>>,
@@ -235,7 +232,7 @@ impl Session {
             }
             let txn = session.txn_mut()?;
             txn.overlay.insert(key, Some(record.clone()));
-            txn.ops.push(Op::Insert(record));
+            txn.ops.push(SessionOp::Insert(record));
             Ok(())
         })
     }
@@ -250,7 +247,7 @@ impl Session {
             }
             let txn = session.txn_mut()?;
             txn.overlay.insert(key, Some(record.clone()));
-            txn.ops.push(Op::Update(record));
+            txn.ops.push(SessionOp::Update(record));
             Ok(())
         })
     }
@@ -264,7 +261,7 @@ impl Session {
             if existed {
                 let txn = session.txn_mut()?;
                 txn.overlay.insert(key, None);
-                txn.ops.push(Op::Delete(key));
+                txn.ops.push(SessionOp::Delete(key));
             }
             Ok(existed)
         })
@@ -307,12 +304,16 @@ impl Session {
     /// Applies the buffered transaction to the store, journals it, and
     /// creates a commit — the point of atomic visibility (§2.2.3).
     ///
-    /// The journal entries are appended and sealed inside the same store
-    /// write-lock critical section that applies the ops, so journal order
-    /// always matches store mutation order (what
+    /// Commits go through the sharded group-commit path
+    /// ([`Database::commit_txn`](crate::db::Database::commit_txn)): the
+    /// journal entries are sealed inside the same critical section that
+    /// stamps the commit into the version graph, so journal order always
+    /// matches commit order (what
     /// [`Database::open`](crate::db::Database::open) replays is exactly
-    /// what happened). Empty transactions are journaled too: they still
-    /// create a commit, and replay must reproduce the commit-id sequence.
+    /// what happened), while the apply/prepare work and the fsync run
+    /// concurrently with commits on disjoint branches. Empty transactions
+    /// are journaled too: they still create a commit, and replay must
+    /// reproduce the commit-id sequence.
     pub fn commit(&mut self) -> Result<CommitId> {
         let branch = self.write_branch()?;
         let (ops, _locks) = match self.txn.take() {
@@ -330,31 +331,15 @@ impl Session {
         entries.push(journal::encode_begin(branch));
         for op in &ops {
             entries.push(match op {
-                Op::Insert(r) => journal::encode_insert(r, &schema)?,
-                Op::Update(r) => journal::encode_update(r, &schema)?,
-                Op::Delete(k) => journal::encode_delete(*k),
+                SessionOp::Insert(r) => journal::encode_insert(r, &schema)?,
+                SessionOp::Update(r) => journal::encode_update(r, &schema)?,
+                SessionOp::Delete(k) => journal::encode_delete(*k),
             });
         }
-        self.db.journaled(&entries, |store, dirty| {
-            store.graph().branch(branch)?;
-            // Every failure past this point may leave partial mutations:
-            // the ops were pre-validated against the session's view under
-            // the exclusive branch lock, so an op that still fails is an
-            // internal/I/O error, not a clean rejection.
-            *dirty = true;
-            for op in &ops {
-                match op {
-                    Op::Insert(r) => store.insert(branch, r.clone())?,
-                    Op::Update(r) => store.update(branch, r.clone())?,
-                    Op::Delete(k) => {
-                        store.delete(branch, *k)?;
-                    }
-                }
-            }
-            store.commit(branch)
-        })
-        // _locks drop here: shrinking phase, after the journaled critical
-        // section.
+        self.db.commit_txn(branch, &entries, &ops)
+        // _locks drop here: shrinking phase, after the commit is sealed
+        // (the fsync wait inside commit_txn happens before we return, so
+        // the exclusive branch lock outlives the durability point).
     }
 
     /// Discards the buffered transaction ("rolled back if the client

@@ -1,12 +1,15 @@
 //! The `VersionedStore` trait — the contract all three storage engines
 //! implement.
 
+use std::sync::Arc;
+
 use decibel_common::ids::{BranchId, CommitId};
 use decibel_common::record::Record;
 use decibel_common::schema::Schema;
 use decibel_common::Result;
 use decibel_vgraph::VersionGraph;
 
+use crate::shard::{PreparedCommit, SessionOp};
 use crate::types::{
     AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,
     VersionRef,
@@ -40,12 +43,26 @@ use crate::types::{
 /// per-branch primary-key indexes and return
 /// [`DbError`](decibel_common::DbError)`::KeyNotFound` / `::DuplicateKey`.
 ///
-/// # Thread safety
+/// # Thread safety and the sharded commit path
 ///
-/// Implementations must be `Send + Sync`: every `&self` method (point
-/// lookups, scans, diffs, stats) is safe to call from many threads at once.
-/// [`Database`](crate::db::Database) relies on this to run concurrent
-/// sessions' reads under a shared reader-writer lock instead of a mutex.
+/// Implementations must be `Send + Sync`, and every `&self` method must be
+/// safe to call from many threads at once. That now includes the *write*
+/// path: [`insert`](VersionedStore::insert) /
+/// [`update`](VersionedStore::update) / [`delete`](VersionedStore::delete)
+/// / [`prepare_commit`](VersionedStore::prepare_commit) /
+/// [`finalize_commit`](VersionedStore::finalize_commit) take `&self` and
+/// guard the engine structures they mutate with fine-grained interior
+/// locks, so the database can run commits to disjoint branches
+/// concurrently under per-branch shard locks
+/// ([`ShardSet`](crate::shard::ShardSet)) instead of one store-wide write
+/// lock. Callers must still serialize *same-branch* writers (the database
+/// does, via branch 2PL plus the shard lock); engines only promise that
+/// writers on different branches and readers anywhere never race.
+///
+/// `&mut self` methods (branch creation, merge, flush, checkpoint) mutate
+/// engine-structural state — segment lists, per-branch vectors — without
+/// locking; the database grants them exclusivity by holding its store
+/// lock in write mode, which also quiesces every shard.
 pub trait VersionedStore: Send + Sync {
     /// Which storage scheme this engine implements.
     fn kind(&self) -> EngineKind;
@@ -54,13 +71,54 @@ pub trait VersionedStore: Send + Sync {
     fn schema(&self) -> &Schema;
 
     /// The version graph (shared DAG of commits and branches, §2.2.2).
-    fn graph(&self) -> &VersionGraph;
+    ///
+    /// Returns an owned snapshot handle: the graph is copy-on-write
+    /// ([`Arc`]) so readers traverse a consistent DAG without holding any
+    /// engine lock while concurrent commits stamp new versions.
+    fn graph(&self) -> Arc<VersionGraph>;
 
     /// Creates a branch named `name` rooted at `from` and returns its id.
     fn create_branch(&mut self, name: &str, from: VersionRef) -> Result<BranchId>;
 
-    /// Commits the current state of `branch`, returning the new version id.
-    fn commit(&mut self, branch: BranchId) -> Result<CommitId>;
+    /// Commits the current state of `branch`, returning the new version id
+    /// — [`prepare_commit`](VersionedStore::prepare_commit) +
+    /// [`finalize_commit`](VersionedStore::finalize_commit) in one step,
+    /// for callers outside the sharded commit path (replay, merges, admin).
+    fn commit(&self, branch: BranchId) -> Result<CommitId> {
+        let prep = self.prepare_commit(branch)?;
+        self.finalize_commit(branch, prep)
+    }
+
+    /// First half of a commit: snapshots `branch`'s working state into its
+    /// commit store and returns an opaque token locating the snapshot.
+    /// Runs under the branch's shard lock, concurrently with other
+    /// branches' prepares — this is the per-branch heavy lifting (bitmap
+    /// clone, delta append) hoisted out of the global sequencing section.
+    fn prepare_commit(&self, branch: BranchId) -> Result<PreparedCommit>;
+
+    /// Second half of a commit: stamps the prepared snapshot into the
+    /// shared version graph and commit map, returning the new commit id.
+    /// The database calls this inside its sequencing critical section so
+    /// commit ids are allocated in transaction-id order.
+    fn finalize_commit(&self, branch: BranchId, prep: PreparedCommit) -> Result<CommitId>;
+
+    /// Applies a sealed session's buffered writes to `branch`'s working
+    /// state. Sets `*dirty` before the first mutation so the caller knows
+    /// whether a failure left the engine diverged from the journal.
+    fn apply_ops(&self, branch: BranchId, ops: &[SessionOp], dirty: &mut bool) -> Result<()> {
+        self.graph().branch(branch)?;
+        for op in ops {
+            *dirty = true;
+            match op {
+                SessionOp::Insert(rec) => self.insert(branch, rec.clone())?,
+                SessionOp::Update(rec) => self.update(branch, rec.clone())?,
+                SessionOp::Delete(key) => {
+                    self.delete(branch, *key)?;
+                }
+            }
+        }
+        Ok(())
+    }
 
     /// Reconstructs the state of a committed version (Table 2's "checkout"
     /// operation), returning its live record count as a cheap integrity
@@ -68,16 +126,16 @@ pub trait VersionedStore: Send + Sync {
     fn checkout_version(&self, commit: CommitId) -> Result<u64>;
 
     /// Inserts a new record into a branch's working state.
-    fn insert(&mut self, branch: BranchId, record: Record) -> Result<()>;
+    fn insert(&self, branch: BranchId, record: Record) -> Result<()>;
 
     /// Replaces the record with `record.key()` in a branch's working state
     /// by appending a new copy.
-    fn update(&mut self, branch: BranchId, record: Record) -> Result<()>;
+    fn update(&self, branch: BranchId, record: Record) -> Result<()>;
 
     /// Removes a key from a branch's working state. Returns whether the
     /// engine can attest the key existed (version-first cannot; it appends
     /// a tombstone and reports `true` unconditionally).
-    fn delete(&mut self, branch: BranchId, key: u64) -> Result<bool>;
+    fn delete(&self, branch: BranchId, key: u64) -> Result<bool>;
 
     /// Point lookup of `key` in a version.
     fn get(&self, version: VersionRef, key: u64) -> Result<Option<Record>>;

@@ -1,4 +1,4 @@
-//! A write-ahead log for atomic commit visibility.
+//! A group-commit write-ahead log for atomic commit visibility.
 //!
 //! Decibel's updates "are issued as a part of a single transaction, such
 //! that they become atomically visible at the time the commit is made, and
@@ -10,14 +10,32 @@
 //! entries and seal them with a commit marker; recovery replays only
 //! transactions whose commit marker made it to disk, discarding torn or
 //! uncommitted suffixes.
+//!
+//! # Group commit
+//!
+//! Sealing and durability are split so concurrent committers can share one
+//! fsync. [`Wal::seal`] appends a commit marker to the in-memory buffer and
+//! returns a monotone *ticket*; [`Wal::sync`] makes every seal up to that
+//! ticket durable. The first syncer to arrive becomes the *group leader*:
+//! it steals the sealed prefix of the buffer, writes and flushes it in one
+//! batch while holding only the file lock, then publishes the new durable
+//! ticket and wakes the followers, whose seals rode along in the batch.
+//! Transactions sealed while a flush is in flight simply form the next
+//! group. [`Wal::commit`] (seal + sync of one transaction) remains the
+//! single-writer convenience path.
+//!
+//! Tickets order *seals*, not transaction ids: the log's replay order is
+//! seal order, and the database seals inside its sequencing critical
+//! section so seal order equals transaction-id order.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use decibel_common::error::{DbError, IoResultExt, Result};
 use decibel_common::varint;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 /// Entry kinds in the log.
 const KIND_DATA: u8 = 1;
@@ -40,17 +58,44 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 pub use decibel_common::fsio::sync_parent_dir;
 
-struct WalInner {
-    file: File,
-    /// Buffered, unflushed bytes.
+/// Buffer-side state, guarded by one mutex. The file handle lives behind a
+/// *separate* mutex so the group leader flushes without blocking sealers:
+/// new transactions keep appending and sealing into `pending` while the
+/// previous group's bytes are in flight.
+struct BufState {
+    /// Buffered bytes not yet handed to the file: a *sealed* prefix
+    /// (`..sealed_len`, covered by commit markers, eligible for the next
+    /// group flush) and an unsealed tail (entries whose transaction has not
+    /// sealed yet).
     pending: Vec<u8>,
+    /// Length of the sealed prefix of `pending`.
+    sealed_len: usize,
+    /// Total bytes ever drained out of `pending` toward the file. Together
+    /// with `pending.len()` this gives a monotone "total appended" offset
+    /// that [`Wal::mark`] / [`Wal::truncate_to`] use, immune to concurrent
+    /// group drains shifting the buffer.
+    drained: u64,
+    /// Ticket of the most recent seal.
+    sealed_ticket: u64,
+    /// Highest ticket whose bytes are durable (or covered by a checkpoint
+    /// truncation).
+    durable_ticket: u64,
+    /// Whether a group leader currently owns an in-flight flush.
+    syncing: bool,
+    /// Sticky failure: once a group flush fails, the log's tail state is
+    /// unknowable and every later append/sync fails until reopen.
+    failed: bool,
 }
 
-/// A sequential write-ahead log.
+/// A sequential write-ahead log with group commit.
 pub struct Wal {
-    inner: Mutex<WalInner>,
+    buf: Mutex<BufState>,
+    file: Mutex<File>,
+    cv: Condvar,
     path: PathBuf,
     fsync: bool,
+    /// Number of physical flush batches (one per group, not per txn).
+    flushes: AtomicU64,
 }
 
 /// A transaction recovered from the log: its id and payload entries in
@@ -86,7 +131,7 @@ pub struct WalRecovery {
 
 impl Wal {
     /// Opens (creating if necessary) the log at `path`. `fsync` controls
-    /// whether commit markers force data to stable storage.
+    /// whether group flushes force data to stable storage.
     pub fn open(path: impl AsRef<Path>, fsync: bool) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
@@ -96,12 +141,20 @@ impl Wal {
             .open(&path)
             .ctx("opening WAL")?;
         Ok(Wal {
-            inner: Mutex::new(WalInner {
-                file,
+            buf: Mutex::new(BufState {
                 pending: Vec::new(),
+                sealed_len: 0,
+                drained: 0,
+                sealed_ticket: 0,
+                durable_ticket: 0,
+                syncing: false,
+                failed: false,
             }),
+            file: Mutex::new(file),
+            cv: Condvar::new(),
             path,
             fsync,
+            flushes: AtomicU64::new(0),
         })
     }
 
@@ -115,35 +168,140 @@ impl Wal {
         out.extend_from_slice(&body);
     }
 
+    fn failed_err() -> DbError {
+        DbError::Invalid("WAL flush failed earlier; log state unknown until reopen".into())
+    }
+
     /// Appends a payload entry for transaction `txn` (buffered; becomes
-    /// durable at the next [`Wal::commit`]).
+    /// durable once the transaction is sealed and a group flush covering
+    /// its ticket completes).
     pub fn append(&self, txn: u64, payload: &[u8]) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let mut buf = std::mem::take(&mut inner.pending);
-        Self::encode_entry(&mut buf, KIND_DATA, txn, payload);
-        inner.pending = buf;
-        Ok(())
-    }
-
-    /// Seals transaction `txn` with a commit marker and flushes (and
-    /// optionally fsyncs) the log. After this returns, recovery will replay
-    /// the transaction.
-    pub fn commit(&self, txn: u64) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let mut buf = std::mem::take(&mut inner.pending);
-        Self::encode_entry(&mut buf, KIND_COMMIT, txn, &[]);
-        inner.file.write_all(&buf).ctx("writing WAL")?;
-        inner.file.flush().ctx("flushing WAL")?;
-        if self.fsync {
-            inner.file.sync_data().ctx("fsyncing WAL")?;
+        let mut buf = self.buf.lock();
+        if buf.failed {
+            return Err(Self::failed_err());
         }
-        inner.pending.clear();
+        let mut bytes = std::mem::take(&mut buf.pending);
+        Self::encode_entry(&mut bytes, KIND_DATA, txn, payload);
+        buf.pending = bytes;
         Ok(())
     }
 
-    /// Discards buffered (uncommitted) entries — a client-side rollback.
+    /// Seals transaction `txn` with a commit marker and returns the seal's
+    /// ticket. The seal is *not yet durable*: pass the ticket to
+    /// [`Wal::sync`] (typically after releasing commit-path locks, so the
+    /// fsync is shared with concurrently sealing transactions).
+    pub fn seal(&self, txn: u64) -> Result<u64> {
+        let mut buf = self.buf.lock();
+        if buf.failed {
+            return Err(Self::failed_err());
+        }
+        let mut bytes = std::mem::take(&mut buf.pending);
+        Self::encode_entry(&mut bytes, KIND_COMMIT, txn, &[]);
+        buf.sealed_len = bytes.len();
+        buf.pending = bytes;
+        buf.sealed_ticket += 1;
+        Ok(buf.sealed_ticket)
+    }
+
+    /// Blocks until every seal up to `ticket` is durable (group commit).
+    /// The caller either becomes the group leader — writing and flushing
+    /// the whole sealed prefix in one batch — or waits for a leader whose
+    /// batch covers its ticket.
+    pub fn sync(&self, ticket: u64) -> Result<()> {
+        let mut buf = self.buf.lock();
+        loop {
+            if buf.failed {
+                return Err(Self::failed_err());
+            }
+            if buf.durable_ticket >= ticket {
+                return Ok(());
+            }
+            if buf.syncing {
+                // A leader's flush is in flight; it (or a later group's
+                // leader) will cover this ticket.
+                self.cv.wait(&mut buf);
+                continue;
+            }
+            // Become the leader: steal the sealed prefix and every ticket
+            // it covers, then flush outside the buffer lock so sealers are
+            // never blocked on the fsync.
+            buf.syncing = true;
+            let sealed = buf.sealed_len;
+            let batch: Vec<u8> = buf.pending.drain(..sealed).collect();
+            let batch_ticket = buf.sealed_ticket;
+            buf.drained += batch.len() as u64;
+            buf.sealed_len = 0;
+            drop(buf);
+
+            let write_result = (|| -> Result<()> {
+                let mut file = self.file.lock();
+                file.write_all(&batch).ctx("writing WAL")?;
+                file.flush().ctx("flushing WAL")?;
+                if self.fsync {
+                    file.sync_data().ctx("fsyncing WAL")?;
+                }
+                Ok(())
+            })();
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+
+            buf = self.buf.lock();
+            buf.syncing = false;
+            match write_result {
+                Ok(()) => {
+                    buf.durable_ticket = buf.durable_ticket.max(batch_ticket);
+                    self.cv.notify_all();
+                    // Loop: the batch covered our ticket unless we raced a
+                    // truncation, which also marks it durable-by-coverage.
+                }
+                Err(e) => {
+                    buf.failed = true;
+                    self.cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Seals and makes durable in one step — the single-writer convenience
+    /// path (admin operations and tests).
+    pub fn commit(&self, txn: u64) -> Result<()> {
+        let ticket = self.seal(txn)?;
+        self.sync(ticket)
+    }
+
+    /// Number of physical flush batches performed so far. With group
+    /// commit this counts one per *group*, so it grows slower than the
+    /// number of committed transactions under concurrency.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Discards buffered entries that are not yet sealed. Sealed bytes
+    /// belonging to concurrently committing transactions are untouched.
     pub fn rollback(&self) {
-        self.inner.lock().pending.clear();
+        let mut buf = self.buf.lock();
+        let sealed = buf.sealed_len;
+        buf.pending.truncate(sealed);
+    }
+
+    /// Returns a restore point covering everything appended so far, for
+    /// [`Wal::truncate_to`]. Callers must hold whatever exclusion prevents
+    /// *other* writers from appending between `mark` and `truncate_to`
+    /// (the database's admin operations hold the store write lock);
+    /// concurrent group *flushes* are safe.
+    pub fn mark(&self) -> u64 {
+        let buf = self.buf.lock();
+        buf.drained + buf.pending.len() as u64
+    }
+
+    /// Discards every unsealed byte appended after `mark` was taken —
+    /// rollback for a failed multi-entry operation whose entries were
+    /// appended but never sealed.
+    pub fn truncate_to(&self, mark: u64) {
+        let mut buf = self.buf.lock();
+        let local = mark.saturating_sub(buf.drained) as usize;
+        let keep = local.max(buf.sealed_len);
+        buf.pending.truncate(keep);
     }
 
     /// Replays the log at `path`, returning committed transactions in commit
@@ -265,18 +423,31 @@ impl Wal {
     }
 
     /// Truncates the log (after a checkpoint has made its effects durable
-    /// elsewhere). When the log is in fsync mode the truncation itself is
+    /// elsewhere). Waits out any in-flight group flush, then discards the
+    /// buffer and marks every existing seal durable-by-coverage — the
+    /// checkpoint that triggered the truncation already persisted those
+    /// transactions' effects, so blocked [`Wal::sync`] callers are woken
+    /// with success. When the log is in fsync mode the truncation itself is
     /// synced, so a crash cannot resurrect pre-checkpoint entries that the
     /// checkpoint watermark already covers.
     pub fn truncate(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.pending.clear();
-        inner.file.set_len(0).ctx("truncating WAL")?;
+        let mut buf = self.buf.lock();
+        while buf.syncing {
+            self.cv.wait(&mut buf);
+        }
+        let cleared = buf.pending.len() as u64;
+        buf.pending.clear();
+        buf.sealed_len = 0;
+        buf.drained += cleared; // keep the total-appended offset monotone
+        buf.durable_ticket = buf.sealed_ticket;
+        self.cv.notify_all();
+        let mut file = self.file.lock();
+        file.set_len(0).ctx("truncating WAL")?;
         if self.fsync {
-            inner.file.sync_all().ctx("fsyncing truncated WAL")?;
+            file.sync_all().ctx("fsyncing truncated WAL")?;
         }
         // Reopen in append mode so subsequent writes start at offset 0.
-        inner.file = OpenOptions::new()
+        *file = OpenOptions::new()
             .create(true)
             .append(true)
             .read(true)
@@ -476,5 +647,93 @@ mod tests {
         assert_eq!(txns[0].entries, vec![b"a1".to_vec(), b"a2".to_vec()]);
         assert_eq!(txns[1].txn, 2);
         assert_eq!(txns[1].entries, vec![b"b1".to_vec()]);
+    }
+
+    #[test]
+    fn one_flush_covers_a_whole_group() {
+        let (_d, p) = wal_path();
+        let wal = std::sync::Arc::new(Wal::open(&p, false).unwrap());
+        // Four transactions sealed before anyone syncs: whichever syncer
+        // arrives first drains the entire sealed prefix, so exactly one
+        // flush makes all four durable.
+        let mut tickets = Vec::new();
+        for t in 1..=4u64 {
+            wal.append(t, format!("payload{t}").as_bytes()).unwrap();
+            tickets.push(wal.seal(t).unwrap());
+        }
+        let handles: Vec<_> = tickets
+            .into_iter()
+            .map(|ticket| {
+                let wal = std::sync::Arc::clone(&wal);
+                std::thread::spawn(move || wal.sync(ticket).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wal.flush_count(), 1, "one group flush for four txns");
+        let txns = Wal::recover(&p).unwrap().txns;
+        assert_eq!(txns.iter().map(|t| t.txn).collect::<Vec<_>>(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sealed_but_unsynced_txns_are_lost_on_drop() {
+        let (_d, p) = wal_path();
+        {
+            let wal = Wal::open(&p, false).unwrap();
+            wal.append(1, b"durable").unwrap();
+            let t1 = wal.seal(1).unwrap();
+            wal.sync(t1).unwrap();
+            wal.append(2, b"buffered").unwrap();
+            wal.seal(2).unwrap();
+            // no sync(t2): the seal never left the buffer — a crash here
+            // loses txn 2 entirely (atomicity preserved, durability not).
+        }
+        let txns = Wal::recover(&p).unwrap().txns;
+        assert_eq!(txns.iter().map(|t| t.txn).collect::<Vec<_>>(), [1]);
+    }
+
+    #[test]
+    fn truncate_marks_pending_seals_durable_by_coverage() {
+        let (_d, p) = wal_path();
+        let wal = Wal::open(&p, false).unwrap();
+        wal.append(1, b"covered").unwrap();
+        let t = wal.seal(1).unwrap();
+        // Checkpoint path: truncation covers the sealed-but-unflushed txn.
+        wal.truncate().unwrap();
+        wal.sync(t).unwrap(); // returns immediately, durable by coverage
+        assert!(Wal::recover(&p).unwrap().txns.is_empty());
+    }
+
+    #[test]
+    fn truncate_to_discards_unsealed_tail_only() {
+        let (_d, p) = wal_path();
+        let wal = Wal::open(&p, false).unwrap();
+        wal.append(1, b"keep").unwrap();
+        let t1 = wal.seal(1).unwrap();
+        let mark = wal.mark();
+        wal.append(2, b"discard").unwrap();
+        wal.truncate_to(mark);
+        wal.sync(t1).unwrap();
+        let rec = Wal::recover(&p).unwrap();
+        assert_eq!(rec.txns.len(), 1);
+        assert_eq!(rec.txns[0].entries, vec![b"keep".to_vec()]);
+        assert_eq!(rec.max_txn, 1, "discarded entry never reached disk");
+        assert!(rec.clean);
+    }
+
+    #[test]
+    fn rollback_preserves_sealed_prefix() {
+        let (_d, p) = wal_path();
+        let wal = Wal::open(&p, false).unwrap();
+        wal.append(1, b"sealed").unwrap();
+        let t1 = wal.seal(1).unwrap();
+        wal.append(2, b"abandoned").unwrap();
+        wal.rollback(); // only txn 2's unsealed bytes go
+        wal.sync(t1).unwrap();
+        let rec = Wal::recover(&p).unwrap();
+        assert_eq!(rec.txns.len(), 1);
+        assert_eq!(rec.txns[0].txn, 1);
+        assert!(rec.clean);
     }
 }

@@ -298,6 +298,62 @@ fn remote_errors_are_typed_and_session_rules_hold() {
     handle.shutdown().unwrap();
 }
 
+/// A client mid-transaction — and its disconnect-triggered rollback —
+/// touches only its own branch's locks: a client on an *unrelated* branch
+/// commits throughout without ever seeing `LockContention`, both while
+/// the doomed transaction is open and while the server is rolling it
+/// back. The dropped client's buffered writes are gone, and its branch is
+/// immediately writable by a fresh connection.
+#[test]
+fn disconnect_rollback_never_blocks_unrelated_branches() {
+    let (_d, handle) = serve(EngineKind::Hybrid);
+    let addr = handle.local_addr();
+
+    let mut setup = Client::connect(addr).unwrap();
+    setup.insert(rec(1)).unwrap();
+    setup.commit().unwrap();
+    setup.branch("doomed").unwrap();
+    setup.checkout_branch("master").unwrap();
+    setup.branch("healthy").unwrap();
+    drop(setup);
+
+    // Doomed client: open transaction on its branch, never committed.
+    let mut doomed = Client::connect(addr).unwrap();
+    doomed.checkout_branch("doomed").unwrap();
+    doomed.begin().unwrap();
+    doomed.insert(rec(7_000)).unwrap(); // exclusive lock on "doomed"
+
+    // Unrelated-branch client: every write and commit must succeed on the
+    // first try — no retry loop, so any cross-branch blocking fails the
+    // test as LockContention instead of hiding behind a spin.
+    let mut healthy = Client::connect(addr).unwrap();
+    let healthy_branch = healthy.checkout_branch("healthy").unwrap();
+    for i in 0..20u64 {
+        healthy.insert(rec(8_000 + i)).unwrap();
+        healthy.commit().unwrap();
+    }
+
+    // Disconnect mid-transaction: the server rolls the session back while
+    // the healthy client keeps committing.
+    drop(doomed);
+    for i in 20..40u64 {
+        healthy.insert(rec(8_000 + i)).unwrap();
+        healthy.commit().unwrap();
+    }
+    assert_eq!(healthy.read(healthy_branch).count().unwrap(), 41);
+
+    // The rollback released "doomed"'s lock and discarded its buffer: a
+    // fresh client writes the branch immediately (retry only because the
+    // server may still be reaping the dropped connection).
+    let mut revived = Client::connect(addr).unwrap();
+    let doomed_branch = revived.checkout_branch("doomed").unwrap();
+    assert_eq!(revived.get(7_000).unwrap(), None, "rolled back on drop");
+    with_lock_retry(|| revived.insert(rec(7_001))).unwrap();
+    revived.commit().unwrap();
+    assert_eq!(revived.read(doomed_branch).count().unwrap(), 2);
+    handle.shutdown().unwrap();
+}
+
 /// Stop the server (graceful shutdown = checkpoint), restart it on the
 /// same directory, reconnect: every commit is there, and the reopen came
 /// from the checkpoint (zero journal transactions replayed).

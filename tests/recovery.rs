@@ -294,6 +294,137 @@ fn crash_matrix_recovers_identically_for_every_engine() {
     }
 }
 
+/// Group-commit crash interleavings, for every engine kind.
+///
+/// Under group commit several transactions seal into the shared WAL
+/// buffer and one leader flush makes the whole group durable, so two new
+/// crash shapes exist that the per-txn-fsync matrix above never produced:
+///
+/// * **mid-group** — transaction X's group was flushed and fsynced but
+///   transaction Y, already *sealed* into the buffer, was still waiting
+///   on the leader: the file ends after X, and Y is gone without a trace
+///   (its entries never reached disk). Reconstructed with a raw
+///   [`Wal`] handle driving the real append/seal/sync machinery: X's
+///   ticket is synced, Y's is sealed and abandoned.
+/// * **sealed-before-checkpoint** — the whole group is durable but the
+///   crash hit before any later checkpoint: the installed watermark
+///   predates the group, and replay must restore every grouped txn.
+///
+/// Both cells end with the id-watermark probe: the next commit must take
+/// exactly the first never-durable id (dense ids, no gap, no reuse of a
+/// durable one), and a flush → reopen cycle must then replay nothing.
+#[test]
+fn group_commit_crash_interleavings_recover_for_every_engine() {
+    use decibel::pagestore::Wal;
+    let config = StoreConfig::test_default();
+    for kind in EngineKind::all() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("db");
+        // History: txn 1 (base rows) → checkpoint → txn X → txn Y → crash.
+        let (cx, cy) = {
+            let db =
+                Database::create(&path, kind, Schema::new(2, ColumnType::U32), &config).unwrap();
+            let mut s = db.session();
+            for k in 0..20u64 {
+                s.insert(rec(k, 1)).unwrap();
+            }
+            s.commit().unwrap();
+            drop(s);
+            db.flush().unwrap();
+            let mut s = db.session();
+            for k in 100..106u64 {
+                s.insert(rec(k, 2)).unwrap();
+            }
+            let cx = s.commit().unwrap();
+            for k in 200..206u64 {
+                s.insert(rec(k, 3)).unwrap();
+            }
+            let cy = s.commit().unwrap();
+            (cx, cy)
+        };
+        let suffix = Wal::recover(path.join("wal.log")).unwrap().txns;
+        assert_eq!(suffix.len(), 2, "{kind:?}: X and Y live in the suffix");
+
+        // Cell A — crash mid-group: replay X and Y through a raw WAL,
+        // syncing only X's ticket. Y's sealed entries die in the buffer.
+        let cell_a = dir.path().join("mid_group");
+        copy_dir(&path, &cell_a);
+        {
+            std::fs::remove_file(cell_a.join("wal.log")).unwrap();
+            let raw = Wal::open(cell_a.join("wal.log"), false).unwrap();
+            for e in &suffix[0].entries {
+                raw.append(suffix[0].txn, e).unwrap();
+            }
+            let durable = raw.seal(suffix[0].txn).unwrap();
+            raw.sync(durable).unwrap();
+            for e in &suffix[1].entries {
+                raw.append(suffix[1].txn, e).unwrap();
+            }
+            raw.seal(suffix[1].txn).unwrap();
+            // No sync: the crash beat the group leader to the flush.
+        }
+        let db = Database::open(&cell_a, &config).unwrap();
+        assert_eq!(
+            db.replayed_on_open(),
+            1,
+            "{kind:?}: only the synced half of the group survives"
+        );
+        assert_eq!(db.read(BranchId::MASTER).count().unwrap(), 26, "{kind:?}");
+        let mut s = db.session();
+        assert_eq!(
+            s.get(100).unwrap().unwrap().field(0),
+            2,
+            "{kind:?}: X is durable"
+        );
+        assert!(s.get(200).unwrap().is_none(), "{kind:?}: Y is gone whole");
+        // Id-watermark probe: Y never became durable, so its commit id is
+        // the next one handed out — dense, gapless, nothing reused.
+        s.insert(rec(9_000, 9)).unwrap();
+        let probe = s.commit().unwrap();
+        assert_eq!(probe, cy, "{kind:?}: the unsynced commit id is reclaimed");
+        drop(s);
+        db.flush().unwrap();
+        drop(db);
+        let db = Database::open(&cell_a, &config).unwrap();
+        assert_eq!(
+            db.replayed_on_open(),
+            0,
+            "{kind:?}: the post-crash flush watermark covers the probe"
+        );
+        assert_eq!(db.read(BranchId::MASTER).count().unwrap(), 27, "{kind:?}");
+        drop(db);
+
+        // Cell B — crash between the group's sync and the next checkpoint:
+        // exactly what the original crash left on disk. Both grouped txns
+        // replay; the probe id follows Y's.
+        let cell_b = dir.path().join("sealed_before_checkpoint");
+        copy_dir(&path, &cell_b);
+        let db = Database::open(&cell_b, &config).unwrap();
+        assert_eq!(
+            db.replayed_on_open(),
+            2,
+            "{kind:?}: the durable group replays in full"
+        );
+        assert_eq!(db.read(BranchId::MASTER).count().unwrap(), 32, "{kind:?}");
+        let mut s = db.session();
+        assert_eq!(s.get(200).unwrap().unwrap().field(0), 3, "{kind:?}");
+        s.insert(rec(9_000, 9)).unwrap();
+        let probe = s.commit().unwrap();
+        assert_eq!(
+            probe.raw(),
+            cy.raw() + 1,
+            "{kind:?}: ids continue densely past the recovered group"
+        );
+        let _ = cx;
+        drop(s);
+        db.flush().unwrap();
+        drop(db);
+        let db = Database::open(&cell_b, &config).unwrap();
+        assert_eq!(db.replayed_on_open(), 0, "{kind:?}");
+        assert_eq!(db.read(BranchId::MASTER).count().unwrap(), 33, "{kind:?}");
+    }
+}
+
 /// The log stays bounded by the post-checkpoint suffix: flushing empties
 /// it, new commits grow only the suffix, and reopening does not resurrect
 /// covered bytes.

@@ -227,7 +227,7 @@ fn query_layer_matches_store_api() {
 /// a branch drops it from the active set.
 #[test]
 fn head_scan_respects_heads() {
-    let (_d, mut store) = fresh(EngineKind::Hybrid);
+    let (_d, store) = fresh(EngineKind::Hybrid);
     store.insert(BranchId::MASTER, rec(1, 0)).unwrap();
     let c1 = store.commit(BranchId::MASTER).unwrap();
     store.insert(BranchId::MASTER, rec(2, 0)).unwrap();
