@@ -17,10 +17,11 @@
 //! (branch, segment) pair — which is why hybrid's aggregate "pack file"
 //! sizes in Table 2 are smaller: each store's bitmaps cover one segment.
 
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use decibel_common::crc::crc32;
+use decibel_common::env::{std_env, DiskEnv, DiskFile, OpenMode};
 use decibel_common::error::{DbError, IoResultExt, Result};
 use decibel_common::varint;
 
@@ -30,10 +31,19 @@ use crate::rle;
 const KIND_BASE: u8 = 1;
 const KIND_COMPOSITE: u8 = 2;
 
+/// On-disk entry layout: `kind (1B) · varint payload_len · crc32 (4B LE) ·
+/// payload`, except that *empty* entries (payload_len = 0, the buffered
+/// empty-delta headers) omit the CRC — a flipped bit in their 2-byte header
+/// is caught by the framing (bad kind or impossible length), and keeping
+/// them at 2 bytes preserves the pending-empties size accounting.
+const ENTRY_CRC_LEN: usize = 4;
+
 #[derive(Debug, Clone, Copy)]
 struct EntryMeta {
     offset: u64,
     len: u32,
+    /// CRC-32 of the RLE payload (0 for empty entries, which have none).
+    crc: u32,
 }
 
 /// An append-only file of RLE-compressed XOR deltas with a second
@@ -48,11 +58,12 @@ struct EntryMeta {
 /// open a handle (or create a file) at all, so branch-heavy workloads with
 /// many untouched (branch, segment) stores still hold no descriptors.
 pub struct CommitStore {
+    env: Arc<dyn DiskEnv>,
     path: PathBuf,
     write_pos: u64,
     /// Lazily opened persistent write handle (`None` until the first real
     /// delta hits disk; see the struct docs).
-    write_file: Option<File>,
+    write_file: Option<Arc<dyn DiskFile>>,
     base: Vec<EntryMeta>,
     composite: Vec<EntryMeta>,
     /// Bitmap as of the latest commit (delta source for the next one).
@@ -77,9 +88,19 @@ impl CommitStore {
     /// lazily on the first real delta write, so stores tracking only
     /// empty histories cost no file-system objects.
     pub fn create(path: impl AsRef<Path>, layer_interval: usize) -> Result<CommitStore> {
+        Self::create_in(std_env(), path, layer_interval)
+    }
+
+    /// [`CommitStore::create`] through an explicit [`DiskEnv`].
+    pub fn create_in(
+        env: Arc<dyn DiskEnv>,
+        path: impl AsRef<Path>,
+        layer_interval: usize,
+    ) -> Result<CommitStore> {
         assert!(layer_interval >= 1);
         let path = path.as_ref().to_path_buf();
         Ok(CommitStore {
+            env,
             path,
             write_pos: 0,
             write_file: None,
@@ -92,19 +113,27 @@ impl CommitStore {
         })
     }
 
-    fn open_read(&self) -> Result<File> {
-        OpenOptions::new()
-            .read(true)
-            .open(&self.path)
+    fn open_read(&self) -> Result<Arc<dyn DiskFile>> {
+        self.env
+            .open(&self.path, OpenMode::Read)
             .ctx("opening commit store for read")
     }
 
     /// Reopens an existing store, rebuilding entry metadata and the tail
     /// state by replaying the delta chain.
     pub fn open(path: impl AsRef<Path>, layer_interval: usize) -> Result<CommitStore> {
+        Self::open_in(std_env(), path, layer_interval)
+    }
+
+    /// [`CommitStore::open`] through an explicit [`DiskEnv`].
+    pub fn open_in(
+        env: Arc<dyn DiskEnv>,
+        path: impl AsRef<Path>,
+        layer_interval: usize,
+    ) -> Result<CommitStore> {
         let path = path.as_ref().to_path_buf();
-        let len = std::fs::metadata(&path).ctx("stat commit store")?.len();
-        Self::load(path, layer_interval, len, 0)
+        let len = env.file_len(&path).ctx("stat commit store")?;
+        Self::load(env, path, layer_interval, len, 0)
     }
 
     /// Reopens a store at a checkpoint-recorded coverage: exactly `covered`
@@ -118,7 +147,19 @@ impl CommitStore {
         covered: u64,
         pending: u32,
     ) -> Result<CommitStore> {
+        Self::open_at_in(std_env(), path, layer_interval, covered, pending)
+    }
+
+    /// [`CommitStore::open_at`] through an explicit [`DiskEnv`].
+    pub fn open_at_in(
+        env: Arc<dyn DiskEnv>,
+        path: impl AsRef<Path>,
+        layer_interval: usize,
+        covered: u64,
+        pending: u32,
+    ) -> Result<CommitStore> {
         Self::load(
+            env,
             path.as_ref().to_path_buf(),
             layer_interval,
             covered,
@@ -127,6 +168,7 @@ impl CommitStore {
     }
 
     fn load(
+        env: Arc<dyn DiskEnv>,
         path: PathBuf,
         layer_interval: usize,
         covered: u64,
@@ -136,12 +178,10 @@ impl CommitStore {
         if covered > 0 {
             // Stores whose entire history was empty deltas never created a
             // file; a zero coverage therefore skips the filesystem wholly.
-            let file = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .open(&path)
+            let file = env
+                .open(&path, OpenMode::Read)
                 .ctx("opening commit store")?;
-            let len = file.metadata().ctx("stat commit store")?.len();
+            let len = file.len().ctx("stat commit store")?;
             if len < covered {
                 return Err(DbError::corrupt(format!(
                     "commit store {} shorter than its checkpoint coverage ({len} < {covered})",
@@ -149,12 +189,16 @@ impl CommitStore {
                 )));
             }
             if len > covered {
-                file.set_len(covered).ctx("truncating commit store")?;
+                let rw = env
+                    .open(&path, OpenMode::ReadWrite)
+                    .ctx("opening commit store")?;
+                rw.set_len(covered).ctx("truncating commit store")?;
             }
             file.read_exact_at(&mut bytes, 0)
                 .ctx("reading commit store")?;
         }
         let mut store = CommitStore {
+            env,
             path,
             write_pos: covered,
             write_file: None,
@@ -170,12 +214,31 @@ impl CommitStore {
             let kind = bytes[pos];
             let mut p = pos + 1;
             let payload_len = varint::read_u64(&bytes, &mut p)? as usize;
-            if p + payload_len > bytes.len() {
-                return Err(DbError::corrupt("commit store truncated"));
-            }
-            let meta = EntryMeta {
-                offset: p as u64,
-                len: payload_len as u32,
+            let meta = if payload_len == 0 {
+                EntryMeta {
+                    offset: p as u64,
+                    len: 0,
+                    crc: 0,
+                }
+            } else {
+                if p + ENTRY_CRC_LEN + payload_len > bytes.len() {
+                    return Err(DbError::corrupt("commit store truncated"));
+                }
+                let stored =
+                    u32::from_le_bytes(bytes[p..p + ENTRY_CRC_LEN].try_into().expect("4 bytes"));
+                p += ENTRY_CRC_LEN;
+                let payload = &bytes[p..p + payload_len];
+                if crc32(payload) != stored {
+                    return Err(DbError::corrupt(format!(
+                        "commit store entry at offset {pos} failed checksum (torn or \
+                         bit-flipped entry)"
+                    )));
+                }
+                EntryMeta {
+                    offset: p as u64,
+                    len: payload_len as u32,
+                    crc: stored,
+                }
             };
             match kind {
                 KIND_BASE => store.base.push(meta),
@@ -186,7 +249,11 @@ impl CommitStore {
         }
         // Re-buffer the owed empty deltas behind the on-disk entries.
         for _ in 0..pending {
-            store.base.push(EntryMeta { offset: 0, len: 0 });
+            store.base.push(EntryMeta {
+                offset: 0,
+                len: 0,
+                crc: 0,
+            });
         }
         if !store.base.is_empty() {
             store.last = store.checkout(store.base.len() as u64 - 1)?;
@@ -207,17 +274,16 @@ impl CommitStore {
             // No truncate: positions are tracked by `write_pos`, and stale
             // bytes past it (from a pre-crash future) are overwritten here
             // and trimmed by the next checkpoint's coverage.
-            #[allow(clippy::suspicious_open_options)]
-            let file = OpenOptions::new()
-                .write(true)
-                .create(true)
-                .open(&self.path)
+            let file = self
+                .env
+                .open(&self.path, OpenMode::ReadWrite)
                 .ctx("opening commit store for write")?;
             self.write_file = Some(file);
         }
-        let file = self.write_file.as_ref().unwrap();
+        let file = self.write_file.as_ref().expect("write handle opened above");
         // Owed empty-delta headers first, then this entry, in one write.
-        let mut buf = Vec::with_capacity(payload.len() + 2 * self.pending_empties as usize + 10);
+        let crc = crc32(payload);
+        let mut buf = Vec::with_capacity(payload.len() + 2 * self.pending_empties as usize + 14);
         for _ in 0..self.pending_empties {
             buf.push(KIND_BASE);
             varint::write_u64(&mut buf, 0);
@@ -225,6 +291,7 @@ impl CommitStore {
         self.pending_empties = 0;
         buf.push(kind);
         varint::write_u64(&mut buf, payload.len() as u64);
+        buf.extend_from_slice(&crc.to_le_bytes());
         let header_end = self.write_pos + buf.len() as u64;
         buf.extend_from_slice(payload);
         file.write_all_at(&buf, self.write_pos)
@@ -233,6 +300,7 @@ impl CommitStore {
         Ok(EntryMeta {
             offset: header_end,
             len: payload.len() as u32,
+            crc,
         })
     }
 
@@ -254,7 +322,11 @@ impl CommitStore {
             "composites with empty deltas stay base-aligned"
         );
         self.pending_empties += 1;
-        EntryMeta { offset: 0, len: 0 }
+        EntryMeta {
+            offset: 0,
+            len: 0,
+            crc: 0,
+        }
     }
 
     /// Records a commit whose branch bitmap is `bm`; returns the commit's
@@ -281,18 +353,24 @@ impl CommitStore {
         Ok(self.base.len() as u64 - 1)
     }
 
-    fn read_entry(&self, file: &mut Option<File>, meta: EntryMeta) -> Result<Bitmap> {
+    fn read_entry(&self, file: &mut Option<Arc<dyn DiskFile>>, meta: EntryMeta) -> Result<Bitmap> {
         if meta.len == 0 {
             return Ok(Bitmap::new());
         }
-        if file.is_none() {
-            *file = Some(self.open_read()?);
-        }
+        let handle = match file {
+            Some(f) => f,
+            None => file.insert(self.open_read()?),
+        };
         let mut buf = vec![0u8; meta.len as usize];
-        file.as_ref()
-            .unwrap()
+        handle
             .read_exact_at(&mut buf, meta.offset)
             .ctx("reading commit entry")?;
+        if crc32(&buf) != meta.crc {
+            return Err(DbError::corrupt(format!(
+                "commit store entry at offset {} failed checksum (bit-flipped on disk)",
+                meta.offset
+            )));
+        }
         rle::decode(&buf)
     }
 
@@ -507,7 +585,10 @@ mod tests {
         // the journal suffix will regenerate) must be trimmed on reopen.
         {
             use std::io::Write;
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
             f.write_all(&[1, 4, 0xde, 0xad, 0xbe, 0xef]).unwrap();
         }
         let mut store = CommitStore::open_at(&path, 4, covered, pending).unwrap();
@@ -545,6 +626,64 @@ mod tests {
         let covered = store.on_disk_len();
         drop(store);
         assert!(CommitStore::open_at(&path, 4, covered + 10, 0).is_err());
+    }
+
+    /// Flips one bit of the byte at `offset` from the end of the file.
+    fn flip_bit_at_end(path: &Path, back: u64) {
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .unwrap();
+        let len = f.metadata().unwrap().len();
+        let off = len - back;
+        let mut b = [0u8];
+        DiskFile::read_exact_at(&f, &mut b, off).unwrap();
+        b[0] ^= 0x10;
+        DiskFile::write_all_at(&f, &b, off).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_entry_is_rejected_at_open() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("c");
+        let mut store = CommitStore::create(&path, 4).unwrap();
+        for bm in &random_history(6, 17) {
+            store.append_commit(bm).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+        // The file ends with the last entry's RLE payload; flip a bit in it.
+        flip_bit_at_end(&path, 1);
+        let err = match CommitStore::open(&path, 4) {
+            Ok(_) => panic!("bit-flipped store must not open cleanly"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, DbError::Corrupt { .. }),
+            "expected typed corruption, got {err:?}"
+        );
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn bit_flip_after_open_is_caught_on_checkout() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("c");
+        let mut store = CommitStore::create(&path, 4).unwrap();
+        let history = random_history(6, 19);
+        for bm in &history {
+            store.append_commit(bm).unwrap();
+        }
+        store.sync().unwrap();
+        // Corrupt the disk *after* the metadata was built: checkout's
+        // read path must re-verify, not trust the in-memory CRC blindly.
+        flip_bit_at_end(&path, 1);
+        let err = store.checkout(store.commit_count() - 1).unwrap_err();
+        assert!(
+            matches!(err, DbError::Corrupt { .. }),
+            "expected typed corruption, got {err:?}"
+        );
     }
 
     #[test]

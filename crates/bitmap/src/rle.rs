@@ -93,7 +93,9 @@ pub fn decode(buf: &[u8]) -> Result<Bitmap> {
             let mut words = Vec::with_capacity(nwords);
             for i in 0..nwords {
                 let off = pos + i * 8;
-                words.push(u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()));
+                words.push(u64::from_le_bytes(
+                    buf[off..off + 8].try_into().expect("8-byte bitmap word"),
+                ));
             }
             Ok(Bitmap::from_words(words, len))
         }

@@ -85,6 +85,13 @@ pub enum DbError {
     },
     /// Any other invariant violation.
     Invalid(String),
+    /// An operation exceeded its deadline — e.g. a server connection idle
+    /// past its read timeout. Any open transaction is rolled back before
+    /// this error is surfaced.
+    Timeout {
+        /// What timed out.
+        what: String,
+    },
 }
 
 /// Stable error-kind discriminants, one per [`DbError`] variant.
@@ -126,11 +133,13 @@ pub enum ErrorCode {
     JournalDiverged = 14,
     /// [`DbError::Protocol`].
     Protocol = 15,
+    /// [`DbError::Timeout`].
+    Timeout = 16,
 }
 
 impl ErrorCode {
     /// All codes, in discriminant order.
-    pub const ALL: [ErrorCode; 15] = [
+    pub const ALL: [ErrorCode; 16] = [
         ErrorCode::Io,
         ErrorCode::UnknownBranch,
         ErrorCode::UnknownCommit,
@@ -146,6 +155,7 @@ impl ErrorCode {
         ErrorCode::ReadOnlyCheckout,
         ErrorCode::JournalDiverged,
         ErrorCode::Protocol,
+        ErrorCode::Timeout,
     ];
 
     /// The wire representation.
@@ -207,6 +217,7 @@ impl fmt::Display for DbError {
             }
             DbError::Protocol { detail } => write!(f, "wire protocol violation: {detail}"),
             DbError::Invalid(msg) => write!(f, "{msg}"),
+            DbError::Timeout { what } => write!(f, "timed out: {what}"),
         }
     }
 }
@@ -243,6 +254,11 @@ impl DbError {
         }
     }
 
+    /// Builds a [`DbError::Timeout`] from a format-friendly description.
+    pub fn timeout(what: impl Into<String>) -> Self {
+        DbError::Timeout { what: what.into() }
+    }
+
     /// The variant's stable [`ErrorCode`] — what the wire protocol's error
     /// frame carries, so clients can match on error kind without parsing
     /// message text.
@@ -263,6 +279,7 @@ impl DbError {
             DbError::JournalDiverged => ErrorCode::JournalDiverged,
             DbError::Protocol { .. } => ErrorCode::Protocol,
             DbError::Invalid(_) => ErrorCode::Invalid,
+            DbError::Timeout { .. } => ErrorCode::Timeout,
         }
     }
 }
@@ -305,7 +322,7 @@ mod tests {
     fn error_codes_are_stable_and_round_trip() {
         // The discriminants are a wire/storage contract: spell them out so
         // an accidental renumbering fails loudly.
-        let expected: [(ErrorCode, u16); 15] = [
+        let expected: [(ErrorCode, u16); 16] = [
             (ErrorCode::Io, 1),
             (ErrorCode::UnknownBranch, 2),
             (ErrorCode::UnknownCommit, 3),
@@ -321,6 +338,7 @@ mod tests {
             (ErrorCode::ReadOnlyCheckout, 13),
             (ErrorCode::JournalDiverged, 14),
             (ErrorCode::Protocol, 15),
+            (ErrorCode::Timeout, 16),
         ];
         for (code, raw) in expected {
             assert_eq!(code.as_u16(), raw);
@@ -366,6 +384,7 @@ mod tests {
             (DbError::JournalDiverged, ErrorCode::JournalDiverged),
             (DbError::protocol("p"), ErrorCode::Protocol),
             (DbError::Invalid("i".into()), ErrorCode::Invalid),
+            (DbError::timeout("t"), ErrorCode::Timeout),
         ];
         assert_eq!(cases.len(), ErrorCode::ALL.len());
         for (err, code) in cases {

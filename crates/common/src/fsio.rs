@@ -6,22 +6,24 @@
 //! place, fsync the parent directory (the rename is only durable once its
 //! directory entry is) — and it lives here once rather than per call site.
 
-use std::fs::File;
-use std::io::Write;
 use std::path::Path;
 
+use crate::env::{DiskEnv, OpenMode, StdEnv};
 use crate::error::{DbError, IoResultExt, Result};
 
 /// Fsyncs the directory containing `path`, making renames/removals of
 /// entries in it durable. No-op if the path has no parent component.
 pub fn sync_parent_dir(path: &Path) -> Result<()> {
+    sync_parent_dir_in(&StdEnv, path)
+}
+
+/// [`sync_parent_dir`] through an explicit [`DiskEnv`].
+pub fn sync_parent_dir_in(env: &dyn DiskEnv, path: &Path) -> Result<()> {
     let parent = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p,
         _ => Path::new("."),
     };
-    File::open(parent)
-        .and_then(|d| d.sync_all())
-        .ctx("fsyncing parent directory")
+    env.sync_dir(parent).ctx("fsyncing parent directory")
 }
 
 /// Atomically (and, when `fsync` is set, durably) replaces the file at
@@ -29,21 +31,33 @@ pub fn sync_parent_dir(path: &Path) -> Result<()> {
 /// fsync. A crash at any point leaves either the old file or the new one,
 /// never a torn mixture.
 pub fn write_file_durably(path: &Path, bytes: &[u8], fsync: bool) -> Result<()> {
+    write_file_durably_in(&StdEnv, path, bytes, fsync)
+}
+
+/// [`write_file_durably`] through an explicit [`DiskEnv`].
+pub fn write_file_durably_in(
+    env: &dyn DiskEnv,
+    path: &Path,
+    bytes: &[u8],
+    fsync: bool,
+) -> Result<()> {
     let name = path
         .file_name()
         .and_then(|n| n.to_str())
         .ok_or_else(|| DbError::Invalid("durable write target has no file name".into()))?;
     let tmp = path.with_file_name(format!("{name}.tmp"));
     {
-        let mut file = File::create(&tmp).ctx("creating temp file")?;
-        file.write_all(bytes).ctx("writing temp file")?;
+        let file = env
+            .open(&tmp, OpenMode::Truncate)
+            .ctx("creating temp file")?;
+        file.write_all_at(bytes, 0).ctx("writing temp file")?;
         if fsync {
             file.sync_data().ctx("fsyncing temp file")?;
         }
     }
-    std::fs::rename(&tmp, path).ctx("installing file")?;
+    env.rename(&tmp, path).ctx("installing file")?;
     if fsync {
-        sync_parent_dir(path)?;
+        sync_parent_dir_in(env, path)?;
     }
     Ok(())
 }

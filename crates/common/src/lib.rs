@@ -14,8 +14,14 @@
 //!   we implement SplitMix64/xoshiro256** from scratch rather than depend on
 //!   an external RNG whose stream might change between versions;
 //! * small codec helpers ([`varint`]) and a fast non-cryptographic hash
-//!   ([`hash`]) used for primary-key indexes and merge hash-joins.
+//!   ([`hash`]) used for primary-key indexes and merge hash-joins;
+//! * the disk IO environment ([`env::DiskEnv`]) every durability-bearing
+//!   path writes through — [`env::StdEnv`] in production, [`env::FaultEnv`]
+//!   under fault injection — plus the shared CRC-32 ([`crc`]) and the
+//!   durable-replace primitives ([`fsio`]).
 
+pub mod crc;
+pub mod env;
 pub mod error;
 pub mod fsio;
 pub mod hash;
@@ -25,6 +31,7 @@ pub mod rng;
 pub mod schema;
 pub mod varint;
 
+pub use env::{std_env, DiskEnv, DiskFile, FaultEnv, OpenMode, StdEnv};
 pub use error::{DbError, ErrorCode, Result};
 pub use ids::{BranchId, CommitId, RecordIdx, SegmentId};
 pub use record::Record;

@@ -29,8 +29,9 @@
 use std::path::Path;
 
 use decibel_bitmap::{rle, Bitmap};
+use decibel_common::env::DiskEnv;
 use decibel_common::error::{DbError, Result};
-use decibel_common::fsio::write_file_durably;
+use decibel_common::fsio::write_file_durably_in;
 use decibel_common::varint;
 use decibel_pagestore::crc32;
 
@@ -54,7 +55,7 @@ pub(crate) struct Checkpoint {
 /// Atomically installs a checkpoint in `dir` (temp file + rename; file and
 /// directory fsynced when `fsync` is set, so the rename is durable before
 /// the caller truncates the WAL).
-pub(crate) fn save(dir: &Path, cp: &Checkpoint, fsync: bool) -> Result<()> {
+pub(crate) fn save(env: &dyn DiskEnv, dir: &Path, cp: &Checkpoint, fsync: bool) -> Result<()> {
     let mut body = Vec::with_capacity(cp.payload.len() + 64);
     body.extend_from_slice(MAGIC);
     varint::write_u64(&mut body, cp.watermark);
@@ -65,15 +66,15 @@ pub(crate) fn save(dir: &Path, cp: &Checkpoint, fsync: bool) -> Result<()> {
     body.extend_from_slice(&cp.payload);
     let crc = crc32(&body);
     body.extend_from_slice(&crc.to_le_bytes());
-    write_file_durably(&dir.join(FILE), &body, fsync)
+    write_file_durably_in(env, &dir.join(FILE), &body, fsync)
 }
 
 /// Loads the checkpoint from `dir`. `Ok(None)` when no checkpoint exists
 /// (a never-flushed database — recovery falls back to full replay); a
 /// present-but-unreadable checkpoint is a hard error, because the WAL was
 /// truncated against it and full replay would lose the covered history.
-pub(crate) fn load(dir: &Path) -> Result<Option<Checkpoint>> {
-    let bytes = match std::fs::read(dir.join(FILE)) {
+pub(crate) fn load(env: &dyn DiskEnv, dir: &Path) -> Result<Option<Checkpoint>> {
+    let bytes = match env.read(&dir.join(FILE)) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(DbError::io("reading checkpoint", e)),
@@ -83,7 +84,7 @@ pub(crate) fn load(dir: &Path) -> Result<Option<Checkpoint>> {
         return Err(corrupt("bad magic"));
     }
     let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte crc trailer"));
     if crc32(body) != stored {
         return Err(corrupt("CRC mismatch"));
     }
@@ -179,6 +180,7 @@ pub(crate) fn read_slice<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8
 #[cfg(test)]
 mod tests {
     use super::*;
+    use decibel_common::env::StdEnv;
 
     #[test]
     fn save_load_round_trip() {
@@ -188,8 +190,8 @@ mod tests {
             kind: EngineKind::Hybrid,
             payload: vec![1, 2, 3, 200],
         };
-        save(dir.path(), &cp, false).unwrap();
-        let back = load(dir.path()).unwrap().unwrap();
+        save(&StdEnv, dir.path(), &cp, false).unwrap();
+        let back = load(&StdEnv, dir.path()).unwrap().unwrap();
         assert_eq!(back.watermark, 42);
         assert_eq!(back.kind, EngineKind::Hybrid);
         assert_eq!(back.payload, vec![1, 2, 3, 200]);
@@ -198,7 +200,7 @@ mod tests {
     #[test]
     fn missing_checkpoint_is_none() {
         let dir = tempfile::tempdir().unwrap();
-        assert!(load(dir.path()).unwrap().is_none());
+        assert!(load(&StdEnv, dir.path()).unwrap().is_none());
     }
 
     #[test]
@@ -209,17 +211,17 @@ mod tests {
             kind: EngineKind::VersionFirst,
             payload: vec![9; 32],
         };
-        save(dir.path(), &cp, false).unwrap();
+        save(&StdEnv, dir.path(), &cp, false).unwrap();
         let path = dir.path().join(FILE);
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(load(dir.path()).is_err());
+        assert!(load(&StdEnv, dir.path()).is_err());
         // Truncation is detected too, not parsed as a shorter snapshot.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..10]).unwrap();
-        assert!(load(dir.path()).is_err());
+        assert!(load(&StdEnv, dir.path()).is_err());
     }
 
     #[test]
@@ -234,7 +236,7 @@ mod tests {
         let crc = crc32(&body);
         body.extend_from_slice(&crc.to_le_bytes());
         std::fs::write(dir.path().join(FILE), &body).unwrap();
-        assert!(load(dir.path()).is_err());
+        assert!(load(&StdEnv, dir.path()).is_err());
         // Same for the shared slice reader the engine payloads use.
         let mut out = Vec::new();
         varint::write_u64(&mut out, u64::MAX);

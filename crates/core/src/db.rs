@@ -80,7 +80,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use decibel_common::env::DiskEnv;
 use decibel_common::error::{DbError, Result};
+use decibel_common::fsio::sync_parent_dir_in;
 use decibel_common::ids::{BranchId, CommitId};
 use decibel_common::schema::{ColumnType, Schema};
 use decibel_pagestore::{LockManager, LockMode, StoreConfig, Wal};
@@ -138,6 +140,10 @@ pub struct Database {
     journal_intact: AtomicBool,
     /// Whether checkpoint installation fsyncs (from [`StoreConfig::fsync`]).
     fsync: bool,
+    /// Disk environment every database-level file (manifest, WAL,
+    /// checkpoint) goes through (from [`StoreConfig::env`]); engines hold
+    /// their own clone via their buffer pools.
+    env: Arc<dyn DiskEnv>,
     /// Journal transactions replayed by the `open` that built this handle
     /// (zero for [`Database::create`]); see [`Database::replayed_on_open`].
     replayed: u64,
@@ -157,7 +163,9 @@ impl Database {
         config: &StoreConfig,
     ) -> Result<Arc<Database>> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating database dir", e))?;
+        let env = Arc::clone(&config.env);
+        env.create_dir_all(&dir)
+            .map_err(|e| DbError::io("creating database dir", e))?;
         // Discard prior state *before* the manifest goes down: a crash
         // after writing the manifest must not leave it pointing at a stale
         // journal, checkpoint, or engine data from the previous database,
@@ -165,24 +173,25 @@ impl Database {
         // schema. The checkpoint goes first: a stale `CHECKPOINT` paired
         // with a fresh (empty) WAL would reopen as the *old* database.
         let stale_checkpoint = dir.join(checkpoint::FILE);
-        if stale_checkpoint.exists() {
-            std::fs::remove_file(&stale_checkpoint)
+        if env.exists(&stale_checkpoint) {
+            env.remove_file(&stale_checkpoint)
                 .map_err(|e| DbError::io("clearing stale checkpoint", e))?;
             if config.fsync {
-                decibel_pagestore::sync_parent_dir(&stale_checkpoint)?;
+                sync_parent_dir_in(env.as_ref(), &stale_checkpoint)?;
             }
         }
-        let data = clear_engine_data(&dir)?;
+        let data = clear_engine_data(env.as_ref(), &dir)?;
         let wal_path = dir.join(WAL_FILE);
-        if wal_path.exists() {
-            std::fs::remove_file(&wal_path).map_err(|e| DbError::io("clearing stale WAL", e))?;
+        if env.exists(&wal_path) {
+            env.remove_file(&wal_path)
+                .map_err(|e| DbError::io("clearing stale WAL", e))?;
             if config.fsync {
-                decibel_pagestore::sync_parent_dir(&wal_path)?;
+                sync_parent_dir_in(env.as_ref(), &wal_path)?;
             }
         }
-        write_manifest(&dir, kind, &schema)?;
+        write_manifest(env.as_ref(), &dir, kind, &schema)?;
         let store = Self::build_store(kind, data, schema, config)?;
-        let wal = Wal::open(wal_path, config.fsync)?;
+        let wal = Wal::open_in(env.as_ref(), wal_path, config.fsync)?;
         Ok(Arc::new(Database {
             store: RwLock::new(store),
             locks: Arc::new(LockManager::new(Duration::from_secs(2))),
@@ -195,6 +204,7 @@ impl Database {
             grouped_txns: AtomicU64::new(0),
             journal_intact: AtomicBool::new(true),
             fsync: config.fsync,
+            env,
             replayed: 0,
             dir,
         }))
@@ -263,12 +273,13 @@ impl Database {
     /// ```
     pub fn open(dir: impl AsRef<Path>, config: &StoreConfig) -> Result<Arc<Database>> {
         let dir = dir.as_ref().to_path_buf();
-        let (kind, schema) = read_manifest(&dir)?;
+        let env = Arc::clone(&config.env);
+        let (kind, schema) = read_manifest(env.as_ref(), &dir)?;
         // Recover the journal first — it is read-only, so an unreadable or
         // corrupt WAL fails the open before anything is destroyed.
         let wal_path = dir.join(WAL_FILE);
-        let recovery = Wal::recover(&wal_path)?;
-        let cp = checkpoint::load(&dir)?;
+        let recovery = Wal::recover_in(env.as_ref(), &wal_path)?;
+        let cp = checkpoint::load(env.as_ref(), &dir)?;
         let (mut store, watermark, replay_from) = match cp {
             Some(cp) => {
                 if cp.kind != kind {
@@ -298,7 +309,7 @@ impl Database {
             None => {
                 // No checkpoint: the data directory is derived state (the
                 // journal is the whole truth); rebuild it from scratch.
-                let data = clear_engine_data(&dir)?;
+                let data = clear_engine_data(env.as_ref(), &dir)?;
                 (Self::build_store(kind, data, schema, config)?, 0, 0)
             }
         };
@@ -313,12 +324,12 @@ impl Database {
         // reopen. A clean, fully-uncovered log — the common case — is
         // appended to as-is.
         if !recovery.clean || replay_from > 0 {
-            Wal::rewrite(&wal_path, suffix, config.fsync)?;
+            Wal::rewrite_in(env.as_ref(), &wal_path, suffix, config.fsync)?;
         }
         // Belt and braces: allocate past every id the log ever saw
         // (committed or orphaned) and past the checkpoint watermark.
         let next_txn = recovery.max_txn.max(watermark) + 1;
-        let wal = Wal::open(&wal_path, config.fsync)?;
+        let wal = Wal::open_in(env.as_ref(), &wal_path, config.fsync)?;
         Ok(Arc::new(Database {
             store: RwLock::new(store),
             locks: Arc::new(LockManager::new(Duration::from_secs(2))),
@@ -331,6 +342,7 @@ impl Database {
             grouped_txns: AtomicU64::new(0),
             journal_intact: AtomicBool::new(true),
             fsync: config.fsync,
+            env,
             replayed,
             dir,
         }))
@@ -799,6 +811,7 @@ impl Database {
         // write lock we hold), so the watermark is the last allocated id.
         let watermark = self.next_txn.load(Ordering::Relaxed) - 1;
         checkpoint::save(
+            self.env.as_ref(),
             &self.dir,
             &checkpoint::Checkpoint {
                 watermark,
@@ -857,15 +870,16 @@ impl Drop for CommitGauge<'_> {
 /// derived state — the journal is the truth) and returns its path for the
 /// engine to rebuild into. Shared by [`Database::create`] and
 /// [`Database::open`].
-fn clear_engine_data(dir: &Path) -> Result<PathBuf> {
+fn clear_engine_data(env: &dyn DiskEnv, dir: &Path) -> Result<PathBuf> {
     let data = dir.join(DATA_DIR);
-    if data.exists() {
-        std::fs::remove_dir_all(&data).map_err(|e| DbError::io("clearing stale engine data", e))?;
+    if env.exists(&data) {
+        env.remove_dir_all(&data)
+            .map_err(|e| DbError::io("clearing stale engine data", e))?;
     }
     Ok(data)
 }
 
-fn write_manifest(dir: &Path, kind: EngineKind, schema: &Schema) -> Result<()> {
+fn write_manifest(env: &dyn DiskEnv, dir: &Path, kind: EngineKind, schema: &Schema) -> Result<()> {
     let ctype = match schema.column_type() {
         ColumnType::U32 => "u32",
         ColumnType::U64 => "u64",
@@ -876,13 +890,16 @@ fn write_manifest(dir: &Path, kind: EngineKind, schema: &Schema) -> Result<()> {
         schema.num_columns(),
         ctype
     );
-    std::fs::write(dir.join(MANIFEST), body).map_err(|e| DbError::io("writing manifest", e))
+    env.write(&dir.join(MANIFEST), body.as_bytes())
+        .map_err(|e| DbError::io("writing manifest", e))
 }
 
-fn read_manifest(dir: &Path) -> Result<(EngineKind, Schema)> {
+fn read_manifest(env: &dyn DiskEnv, dir: &Path) -> Result<(EngineKind, Schema)> {
     let path = dir.join(MANIFEST);
-    let body = std::fs::read_to_string(&path)
+    let bytes = env
+        .read(&path)
         .map_err(|e| DbError::io("reading manifest (is this a database directory?)", e))?;
+    let body = String::from_utf8(bytes).map_err(|_| DbError::corrupt("manifest: not UTF-8"))?;
     let corrupt = |what: &str| DbError::corrupt(format!("manifest: {what}"));
     let mut lines = body.lines();
     if lines.next() != Some("decibel v1") {
@@ -968,7 +985,7 @@ mod tests {
     fn manifest_round_trips() {
         for kind in EngineKind::all() {
             let (_d, database) = db(kind);
-            let (k, schema) = read_manifest(database.dir()).unwrap();
+            let (k, schema) = read_manifest(&decibel_common::env::StdEnv, database.dir()).unwrap();
             assert_eq!(k, kind);
             assert_eq!(schema, Schema::new(2, ColumnType::U32));
         }

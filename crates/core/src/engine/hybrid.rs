@@ -111,8 +111,15 @@ impl HybridEngine {
     /// Initializes a fresh store in `dir` with an empty `master` branch.
     pub fn init(dir: impl AsRef<Path>, schema: Schema, config: &StoreConfig) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating engine directory", e))?;
-        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        config
+            .env
+            .create_dir_all(&dir)
+            .map_err(|e| DbError::io("creating engine directory", e))?;
+        let pool = Arc::new(BufferPool::with_env(
+            Arc::clone(&config.env),
+            config.page_size,
+            config.pool_pages,
+        ));
         let mut engine = HybridEngine {
             dir,
             schema,
@@ -160,7 +167,11 @@ impl HybridEngine {
         payload: &[u8],
     ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        let pool = Arc::new(BufferPool::with_env(
+            Arc::clone(&config.env),
+            config.page_size,
+            config.pool_pages,
+        ));
         let corrupt = |what: &str| DbError::corrupt(format!("hybrid checkpoint: {what}"));
         let mut pos = 0usize;
         let graph = VersionGraph::from_bytes(checkpoint::read_slice(payload, &mut pos)?)?;
@@ -247,7 +258,8 @@ impl HybridEngine {
         // rather than serving a wrong historical checkout later.
         for (s, specs) in store_specs.into_iter().enumerate() {
             for (b, first, covered, pending) in specs {
-                let store = CommitStore::open_at(
+                let store = CommitStore::open_at_in(
+                    Arc::clone(pool.env()),
                     store_path(&dir, SegmentId(s as u32), b),
                     CommitStore::DEFAULT_LAYER_INTERVAL,
                     covered,
@@ -360,7 +372,8 @@ impl HybridEngine {
             let (store, _) = match stores.entry(branch) {
                 Entry::Occupied(e) => e.into_mut(),
                 Entry::Vacant(e) => {
-                    let store = CommitStore::create(
+                    let store = CommitStore::create_in(
+                        Arc::clone(self.pool.env()),
                         store_path(&self.dir, seg_id, branch),
                         CommitStore::DEFAULT_LAYER_INTERVAL,
                     )?;
@@ -1019,9 +1032,11 @@ impl VersionedStore for HybridEngine {
                 }
             }
         }
-        self.graph
-            .get_mut()
-            .save_with(self.dir.join("graph.dvg"), self.fsync)?;
+        self.graph.get_mut().save_in(
+            self.pool.env().as_ref(),
+            self.dir.join("graph.dvg"),
+            self.fsync,
+        )?;
         let mut out = Vec::new();
         checkpoint::write_slice(&mut out, &self.graph.get_mut().to_bytes());
         varint::write_u64(&mut out, self.segments.len() as u64);

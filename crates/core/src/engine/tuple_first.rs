@@ -103,13 +103,21 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
     /// commit recorded.
     pub fn init(dir: impl AsRef<Path>, schema: Schema, config: &StoreConfig) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating engine directory", e))?;
-        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        config
+            .env
+            .create_dir_all(&dir)
+            .map_err(|e| DbError::io("creating engine directory", e))?;
+        let pool = Arc::new(BufferPool::with_env(
+            Arc::clone(&config.env),
+            config.page_size,
+            config.pool_pages,
+        ));
         let heap = HeapFile::create(Arc::clone(&pool), dir.join("heap.dat"), schema.clone())?;
         let mut index = I::default();
         index.add_branch(BranchId::MASTER, None);
         let graph = VersionGraph::init();
-        let mut store = CommitStore::create(
+        let mut store = CommitStore::create_in(
+            Arc::clone(&config.env),
             store_path(&dir, BranchId::MASTER),
             CommitStore::DEFAULT_LAYER_INTERVAL,
         )?;
@@ -143,7 +151,11 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
         payload: &[u8],
     ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        let pool = Arc::new(BufferPool::with_env(
+            Arc::clone(&config.env),
+            config.page_size,
+            config.pool_pages,
+        ));
         let mut pos = 0usize;
         let graph = VersionGraph::from_bytes(checkpoint::read_slice(payload, &mut pos)?)?;
         let heap_len = varint::read_u64(payload, &mut pos)?;
@@ -189,7 +201,8 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
         for (b, &expected) in per_branch.iter().enumerate() {
             let covered = varint::read_u64(payload, &mut pos)?;
             let pending = varint::read_u64(payload, &mut pos)? as u32;
-            let store = CommitStore::open_at(
+            let store = CommitStore::open_at_in(
+                Arc::clone(&config.env),
                 store_path(&dir, BranchId(b as u32)),
                 CommitStore::DEFAULT_LAYER_INTERVAL,
                 covered,
@@ -353,7 +366,8 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
                 self.pk.push(RwLock::new(keys));
             }
         }
-        self.commit_stores.push(Mutex::new(CommitStore::create(
+        self.commit_stores.push(Mutex::new(CommitStore::create_in(
+            Arc::clone(self.pool.env()),
             store_path(&self.dir, new_b),
             CommitStore::DEFAULT_LAYER_INTERVAL,
         )?));
@@ -628,7 +642,11 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
             }
         }
         let graph = Arc::clone(self.graph.get_mut());
-        graph.save_with(self.dir.join("graph.dvg"), self.fsync)?;
+        graph.save_in(
+            self.pool.env().as_ref(),
+            self.dir.join("graph.dvg"),
+            self.fsync,
+        )?;
         let mut out = Vec::new();
         checkpoint::write_slice(&mut out, &graph.to_bytes());
         varint::write_u64(&mut out, self.heap.len());

@@ -92,8 +92,15 @@ impl VersionFirstEngine {
     /// Initializes a fresh store in `dir` with an empty `master` branch.
     pub fn init(dir: impl AsRef<Path>, schema: Schema, config: &StoreConfig) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|e| DbError::io("creating engine directory", e))?;
-        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        config
+            .env
+            .create_dir_all(&dir)
+            .map_err(|e| DbError::io("creating engine directory", e))?;
+        let pool = Arc::new(BufferPool::with_env(
+            Arc::clone(&config.env),
+            config.page_size,
+            config.pool_pages,
+        ));
         let mut engine = VersionFirstEngine {
             dir,
             schema,
@@ -123,7 +130,11 @@ impl VersionFirstEngine {
         payload: &[u8],
     ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let pool = Arc::new(BufferPool::new(config.page_size, config.pool_pages));
+        let pool = Arc::new(BufferPool::with_env(
+            Arc::clone(&config.env),
+            config.page_size,
+            config.pool_pages,
+        ));
         let mut pos = 0usize;
         let graph = VersionGraph::from_bytes(checkpoint::read_slice(payload, &mut pos)?)?;
         let n_segments = varint::read_u64(payload, &mut pos)? as usize;
@@ -830,9 +841,11 @@ impl VersionedStore for VersionFirstEngine {
                 seg.heap.sync()?;
             }
         }
-        self.graph
-            .get_mut()
-            .save_with(self.dir.join("graph.dvg"), self.fsync)?;
+        self.graph.get_mut().save_in(
+            self.pool.env().as_ref(),
+            self.dir.join("graph.dvg"),
+            self.fsync,
+        )?;
         let mut out = Vec::new();
         checkpoint::write_slice(&mut out, &self.graph.get_mut().to_bytes());
         varint::write_u64(&mut out, self.segments.len() as u64);

@@ -9,11 +9,10 @@
 //! threads the hybrid engine spawns (§3.4: the branch-segment index "allows
 //! for parallelization of segment scanning").
 
-use std::fs::File;
-use std::os::unix::fs::FileExt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use decibel_common::env::{DiskEnv, DiskFile, StdEnv};
 use decibel_common::error::{IoResultExt, Result};
 use decibel_common::hash::FxHashMap;
 use parking_lot::Mutex;
@@ -40,9 +39,13 @@ struct Frame {
 
 struct PoolInner {
     frames: FxHashMap<(FileId, u64), Frame>,
-    files: Vec<Arc<File>>,
+    files: Vec<Arc<dyn DiskFile>>,
     stats: PoolStats,
 }
+
+/// Integrity check run against a freshly read page before it is cached
+/// (see [`BufferPool::get_page_with`]).
+pub type PageVerifier<'a> = &'a dyn Fn(&[u8]) -> Result<()>;
 
 /// A process-wide page cache shared by every heap file of an engine.
 ///
@@ -53,17 +56,27 @@ pub struct BufferPool {
     page_size: usize,
     capacity: usize,
     clock: AtomicU64,
+    env: Arc<dyn DiskEnv>,
     inner: Mutex<PoolInner>,
 }
 
 impl BufferPool {
-    /// Creates a pool caching at most `capacity` pages of `page_size` bytes.
+    /// Creates a pool caching at most `capacity` pages of `page_size` bytes,
+    /// opening files through the real filesystem.
     pub fn new(page_size: usize, capacity: usize) -> Self {
+        Self::with_env(Arc::new(StdEnv), page_size, capacity)
+    }
+
+    /// [`BufferPool::new`] with an explicit disk environment. Heap files
+    /// attached to the pool open their backing files through it, so a
+    /// store's entire IO stream can be redirected at fault injection.
+    pub fn with_env(env: Arc<dyn DiskEnv>, page_size: usize, capacity: usize) -> Self {
         assert!(capacity > 0, "pool needs at least one frame");
         BufferPool {
             page_size,
             capacity,
             clock: AtomicU64::new(0),
+            env,
             inner: Mutex::new(PoolInner {
                 frames: FxHashMap::default(),
                 files: Vec::new(),
@@ -78,9 +91,15 @@ impl BufferPool {
         self.page_size
     }
 
+    /// The disk environment files attached to this pool are opened through.
+    #[inline]
+    pub fn env(&self) -> &Arc<dyn DiskEnv> {
+        &self.env
+    }
+
     /// Registers a file; subsequent [`BufferPool::get_page`] calls may use
     /// the returned id.
-    pub fn register(&self, file: Arc<File>) -> FileId {
+    pub fn register(&self, file: Arc<dyn DiskFile>) -> FileId {
         let mut inner = self.inner.lock();
         let id = FileId(inner.files.len() as u32);
         inner.files.push(file);
@@ -92,6 +111,22 @@ impl BufferPool {
     ///
     /// The returned buffer is always `valid_len` bytes.
     pub fn get_page(&self, file: FileId, page_no: u64, valid_len: usize) -> Result<Arc<Vec<u8>>> {
+        self.get_page_with(file, page_no, valid_len, None)
+    }
+
+    /// [`BufferPool::get_page`] with an integrity check: on a disk read
+    /// (cache miss), `verify` sees the freshly read page before it is
+    /// cached or returned, so a torn or bit-flipped page surfaces as the
+    /// verifier's typed error instead of garbage decode. Cache hits skip
+    /// verification — cached frames were verified (or freshly written) on
+    /// the way in.
+    pub fn get_page_with(
+        &self,
+        file: FileId,
+        page_no: u64,
+        valid_len: usize,
+        verify: Option<PageVerifier<'_>>,
+    ) -> Result<Arc<Vec<u8>>> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         {
             let mut inner = self.inner.lock();
@@ -119,6 +154,9 @@ impl BufferPool {
         handle
             .read_exact_at(&mut buf, page_no * self.page_size as u64)
             .ctx("reading page from heap file")?;
+        if let Some(check) = verify {
+            check(&buf)?;
+        }
         let data = Arc::new(buf);
         let mut inner = self.inner.lock();
         inner.stats.misses += 1;
@@ -185,6 +223,7 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::File;
     use std::io::Write;
 
     fn file_with(bytes: &[u8]) -> (tempfile::TempDir, Arc<File>) {
@@ -254,6 +293,21 @@ mod tests {
         assert_eq!(pool.cached_pages(), 0);
         let _ = pool.get_page(id, 0, 32).unwrap();
         assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn verify_runs_on_miss_only_and_blocks_caching() {
+        let (_d, f) = file_with(&[5u8; 64]);
+        let pool = BufferPool::new(32, 4);
+        let id = pool.register(f);
+        let reject =
+            |_: &[u8]| -> Result<()> { Err(decibel_common::DbError::corrupt("bad page (test)")) };
+        // A failing verifier surfaces its error and caches nothing.
+        assert!(pool.get_page_with(id, 0, 32, Some(&reject)).is_err());
+        assert_eq!(pool.cached_pages(), 0);
+        // A clean read caches the page; hits then bypass the verifier.
+        let _ = pool.get_page(id, 0, 32).unwrap();
+        let _ = pool.get_page_with(id, 0, 32, Some(&reject)).unwrap();
     }
 
     #[test]

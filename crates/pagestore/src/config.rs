@@ -1,14 +1,45 @@
 //! Storage configuration shared by every engine.
 
+use std::fmt;
+use std::sync::Arc;
+
+use decibel_common::env::{DiskEnv, StdEnv};
+
+/// Bytes reserved at the end of every *full* heap page for its CRC-32.
+///
+/// Slot layout leaves at least this much trailing space on each page; the
+/// checksum is written when the page fills and verified when the buffer
+/// pool reads the page back from disk. Partial tail pages are not
+/// checksummed — their torn suffixes are truncated to a record boundary on
+/// open and re-filled from the WAL.
+pub const PAGE_TRAILER_LEN: usize = 4;
+
+/// Number of fixed-width record slots in a page of `page_size` bytes,
+/// leaving room for the [`PAGE_TRAILER_LEN`] checksum trailer.
+pub fn slots_for(page_size: usize, record_size: usize) -> usize {
+    try_slots_for(page_size, record_size)
+        .expect("record plus page checksum trailer must fit in a page")
+}
+
+/// Non-panicking [`slots_for`]: `None` when a record (plus the checksum
+/// trailer) cannot fit in a page.
+pub fn try_slots_for(page_size: usize, record_size: usize) -> Option<usize> {
+    if record_size == 0 || record_size + PAGE_TRAILER_LEN > page_size {
+        return None;
+    }
+    Some((page_size - PAGE_TRAILER_LEN) / record_size)
+}
+
 /// Tuning knobs for the physical layer.
 ///
 /// The paper fixes the page size at 4 MB (§2.1, §4.2); tests and the scaled
 /// benchmark use smaller pages so datasets stay laptop-sized while keeping
 /// the same pages-per-branch ratios.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct StoreConfig {
     /// Bytes per page. Records never straddle pages; the slot count per page
-    /// is `page_size / record_size` (any remainder is padding).
+    /// is `(page_size - PAGE_TRAILER_LEN) / record_size` (the remainder is
+    /// padding plus the page checksum).
     pub page_size: usize,
     /// Number of pages the shared buffer pool may cache.
     pub pool_pages: usize,
@@ -18,6 +49,20 @@ pub struct StoreConfig {
     /// When true, `Wal::commit` issues `fsync`. Benchmarks disable this, as
     /// the paper does not measure durability costs.
     pub fsync: bool,
+    /// Disk IO environment every file of the store is opened through:
+    /// [`StdEnv`] in production, a `FaultEnv` under fault injection.
+    pub env: Arc<dyn DiskEnv>,
+}
+
+impl fmt::Debug for StoreConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoreConfig")
+            .field("page_size", &self.page_size)
+            .field("pool_pages", &self.pool_pages)
+            .field("cold_scans", &self.cold_scans)
+            .field("fsync", &self.fsync)
+            .finish_non_exhaustive()
+    }
 }
 
 impl StoreConfig {
@@ -28,6 +73,7 @@ impl StoreConfig {
             pool_pages: 256,
             cold_scans: true,
             fsync: false,
+            env: Arc::new(StdEnv),
         }
     }
 
@@ -39,6 +85,7 @@ impl StoreConfig {
             pool_pages: 64,
             cold_scans: false,
             fsync: false,
+            env: Arc::new(StdEnv),
         }
     }
 
@@ -50,16 +97,19 @@ impl StoreConfig {
             pool_pages: 512,
             cold_scans: true,
             fsync: false,
+            env: Arc::new(StdEnv),
         }
+    }
+
+    /// Replaces the disk IO environment (builder style).
+    pub fn with_env(mut self, env: Arc<dyn DiskEnv>) -> Self {
+        self.env = env;
+        self
     }
 
     /// Number of fixed-width record slots per page.
     pub fn slots_per_page(&self, record_size: usize) -> usize {
-        assert!(
-            record_size > 0 && record_size <= self.page_size,
-            "record must fit in a page"
-        );
-        self.page_size / record_size
+        slots_for(self.page_size, record_size)
     }
 }
 
@@ -77,25 +127,37 @@ mod tests {
     fn paper_default_matches_paper() {
         let c = StoreConfig::paper_default();
         assert_eq!(c.page_size, 4 * 1024 * 1024);
-        // ~4k one-KB records per page.
+        // ~4k one-KB records per page; the 4-byte checksum trailer fits in
+        // the natural padding, so the count matches the paper's geometry.
         assert_eq!(c.slots_per_page(1009), 4156);
     }
 
     #[test]
-    fn slots_per_page_floor_division() {
+    fn slots_per_page_reserves_checksum_trailer() {
         let c = StoreConfig {
             page_size: 100,
-            pool_pages: 1,
-            cold_scans: false,
-            fsync: false,
+            ..StoreConfig::test_default()
         };
-        assert_eq!(c.slots_per_page(30), 3);
-        assert_eq!(c.slots_per_page(100), 1);
+        assert_eq!(c.slots_per_page(30), 3); // 3*30 + 4 <= 100
+        assert_eq!(c.slots_per_page(32), 3); // 3*32 + 4 == 100 exactly
+        assert_eq!(c.slots_per_page(48), 2); // natural fit 2, trailer still fits
+        assert_eq!(c.slots_per_page(96), 1); // exactly record + trailer
     }
 
     #[test]
     #[should_panic]
     fn oversized_record_panics() {
         StoreConfig::test_default().slots_per_page(1 << 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn record_leaving_no_trailer_room_panics() {
+        // Record fills the page exactly: no room for the checksum trailer.
+        StoreConfig {
+            page_size: 100,
+            ..StoreConfig::test_default()
+        }
+        .slots_per_page(100);
     }
 }

@@ -28,12 +28,13 @@
 //! seal order, and the database seals inside its sequencing critical
 //! section so seal order equals transaction-id order.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use decibel_common::env::{DiskEnv, DiskFile, OpenMode, StdEnv};
 use decibel_common::error::{DbError, IoResultExt, Result};
+use decibel_common::fsio::sync_parent_dir_in;
 use decibel_common::varint;
 use parking_lot::{Condvar, Mutex};
 
@@ -43,18 +44,7 @@ const KIND_COMMIT: u8 = 2;
 
 /// CRC-32 (IEEE 802.3) — used over every WAL entry's kind, txn id, and
 /// payload, and reused by the core crate's checkpoint file format.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    // Bitwise implementation; the WAL is not on the benchmark's hot path.
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+pub use decibel_common::crc::crc32;
 
 pub use decibel_common::fsio::sync_parent_dir;
 
@@ -83,14 +73,25 @@ struct BufState {
     /// Whether a group leader currently owns an in-flight flush.
     syncing: bool,
     /// Sticky failure: once a group flush fails, the log's tail state is
-    /// unknowable and every later append/sync fails until reopen.
-    failed: bool,
+    /// unknowable and every later append/sync fails until reopen. Carries
+    /// the leader's original error text so followers woken off the condvar
+    /// (and all later callers) surface the real cause, not a generic
+    /// "flush failed earlier".
+    failed: Option<String>,
+}
+
+/// The log's file handle plus the append offset. Positional writes through
+/// [`DiskFile`] have no shared cursor, so the offset is tracked explicitly
+/// and both live behind the file mutex.
+struct WalFile {
+    file: Arc<dyn DiskFile>,
+    offset: u64,
 }
 
 /// A sequential write-ahead log with group commit.
 pub struct Wal {
     buf: Mutex<BufState>,
-    file: Mutex<File>,
+    file: Mutex<WalFile>,
     cv: Condvar,
     path: PathBuf,
     fsync: bool,
@@ -133,13 +134,14 @@ impl Wal {
     /// Opens (creating if necessary) the log at `path`. `fsync` controls
     /// whether group flushes force data to stable storage.
     pub fn open(path: impl AsRef<Path>, fsync: bool) -> Result<Wal> {
+        Self::open_in(&StdEnv, path, fsync)
+    }
+
+    /// [`Wal::open`] through an explicit [`DiskEnv`].
+    pub fn open_in(env: &dyn DiskEnv, path: impl AsRef<Path>, fsync: bool) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .read(true)
-            .open(&path)
-            .ctx("opening WAL")?;
+        let file = env.open(&path, OpenMode::ReadWrite).ctx("opening WAL")?;
+        let offset = file.len().ctx("stat WAL")?;
         Ok(Wal {
             buf: Mutex::new(BufState {
                 pending: Vec::new(),
@@ -148,9 +150,9 @@ impl Wal {
                 sealed_ticket: 0,
                 durable_ticket: 0,
                 syncing: false,
-                failed: false,
+                failed: None,
             }),
-            file: Mutex::new(file),
+            file: Mutex::new(WalFile { file, offset }),
             cv: Condvar::new(),
             path,
             fsync,
@@ -168,8 +170,10 @@ impl Wal {
         out.extend_from_slice(&body);
     }
 
-    fn failed_err() -> DbError {
-        DbError::Invalid("WAL flush failed earlier; log state unknown until reopen".into())
+    fn failed_err(detail: &str) -> DbError {
+        DbError::Invalid(format!(
+            "WAL flush failed earlier ({detail}); log state unknown until reopen"
+        ))
     }
 
     /// Appends a payload entry for transaction `txn` (buffered; becomes
@@ -177,8 +181,8 @@ impl Wal {
     /// its ticket completes).
     pub fn append(&self, txn: u64, payload: &[u8]) -> Result<()> {
         let mut buf = self.buf.lock();
-        if buf.failed {
-            return Err(Self::failed_err());
+        if let Some(detail) = &buf.failed {
+            return Err(Self::failed_err(detail));
         }
         let mut bytes = std::mem::take(&mut buf.pending);
         Self::encode_entry(&mut bytes, KIND_DATA, txn, payload);
@@ -192,8 +196,8 @@ impl Wal {
     /// fsync is shared with concurrently sealing transactions).
     pub fn seal(&self, txn: u64) -> Result<u64> {
         let mut buf = self.buf.lock();
-        if buf.failed {
-            return Err(Self::failed_err());
+        if let Some(detail) = &buf.failed {
+            return Err(Self::failed_err(detail));
         }
         let mut bytes = std::mem::take(&mut buf.pending);
         Self::encode_entry(&mut bytes, KIND_COMMIT, txn, &[]);
@@ -210,8 +214,8 @@ impl Wal {
     pub fn sync(&self, ticket: u64) -> Result<()> {
         let mut buf = self.buf.lock();
         loop {
-            if buf.failed {
-                return Err(Self::failed_err());
+            if let Some(detail) = &buf.failed {
+                return Err(Self::failed_err(detail));
             }
             if buf.durable_ticket >= ticket {
                 return Ok(());
@@ -234,11 +238,12 @@ impl Wal {
             drop(buf);
 
             let write_result = (|| -> Result<()> {
-                let mut file = self.file.lock();
-                file.write_all(&batch).ctx("writing WAL")?;
-                file.flush().ctx("flushing WAL")?;
+                let mut wf = self.file.lock();
+                let off = wf.offset;
+                wf.file.write_all_at(&batch, off).ctx("writing WAL")?;
+                wf.offset += batch.len() as u64;
                 if self.fsync {
-                    file.sync_data().ctx("fsyncing WAL")?;
+                    wf.file.sync_data().ctx("fsyncing WAL")?;
                 }
                 Ok(())
             })();
@@ -254,7 +259,10 @@ impl Wal {
                     // truncation, which also marks it durable-by-coverage.
                 }
                 Err(e) => {
-                    buf.failed = true;
+                    // Poison with the real cause and wake every follower:
+                    // their seals rode in the failed batch, so they must
+                    // surface this error, not block on the condvar forever.
+                    buf.failed = Some(e.to_string());
                     self.cv.notify_all();
                     return Err(e);
                 }
@@ -310,19 +318,21 @@ impl Wal {
     /// crash mid-write) are ignored; corrupt CRCs before the tail are an
     /// error.
     pub fn recover(path: impl AsRef<Path>) -> Result<WalRecovery> {
+        Self::recover_in(&StdEnv, path)
+    }
+
+    /// [`Wal::recover`] through an explicit [`DiskEnv`].
+    pub fn recover_in(env: &dyn DiskEnv, path: impl AsRef<Path>) -> Result<WalRecovery> {
         let empty = WalRecovery {
             txns: Vec::new(),
             max_txn: 0,
             clean: true,
         };
-        let mut bytes = Vec::new();
-        match File::open(path.as_ref()) {
-            Ok(mut f) => {
-                f.read_to_end(&mut bytes).ctx("reading WAL")?;
-            }
+        let bytes = match env.read(path.as_ref()) {
+            Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(empty),
-            Err(e) => return Err(DbError::io("opening WAL for recovery", e)),
-        }
+            Err(e) => return Err(DbError::io("reading WAL for recovery", e)),
+        };
         let mut pos = 0usize;
         let mut open: Vec<(u64, Vec<Vec<u8>>)> = Vec::new();
         let mut committed = Vec::new();
@@ -343,7 +353,8 @@ impl Wal {
                 torn = true;
                 break;
             }
-            let stored_crc = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+            let stored_crc =
+                u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4-byte record crc"));
             pos += 4;
             let body = &bytes[pos..pos + len];
             pos += len;
@@ -393,6 +404,16 @@ impl Wal {
     /// The new log is written to a sibling temp file and renamed into
     /// place, so a crash mid-rewrite leaves the original log untouched.
     pub fn rewrite(path: impl AsRef<Path>, txns: &[RecoveredTxn], fsync: bool) -> Result<()> {
+        Self::rewrite_in(&StdEnv, path, txns, fsync)
+    }
+
+    /// [`Wal::rewrite`] through an explicit [`DiskEnv`].
+    pub fn rewrite_in(
+        env: &dyn DiskEnv,
+        path: impl AsRef<Path>,
+        txns: &[RecoveredTxn],
+        fsync: bool,
+    ) -> Result<()> {
         let path = path.as_ref();
         let mut buf = Vec::new();
         for txn in txns {
@@ -406,18 +427,20 @@ impl Wal {
             .and_then(|n| n.to_str())
             .ok_or_else(|| DbError::Invalid("WAL path has no file name".into()))?;
         let tmp = path.with_file_name(format!("{name}.rewrite"));
-        let mut file = File::create(&tmp).ctx("creating rewritten WAL")?;
-        file.write_all(&buf).ctx("writing rewritten WAL")?;
+        let file = env
+            .open(&tmp, OpenMode::Truncate)
+            .ctx("creating rewritten WAL")?;
+        file.write_all_at(&buf, 0).ctx("writing rewritten WAL")?;
         if fsync {
             file.sync_data().ctx("fsyncing rewritten WAL")?;
         }
         drop(file);
-        std::fs::rename(&tmp, path).ctx("installing rewritten WAL")?;
+        env.rename(&tmp, path).ctx("installing rewritten WAL")?;
         if fsync {
             // The rename is only durable once the directory entry is: sync
             // the parent directory, or a crash could roll wal.log back to
             // the pre-rewrite inode and drop later fsynced commits with it.
-            sync_parent_dir(path)?;
+            sync_parent_dir_in(env, path)?;
         }
         Ok(())
     }
@@ -441,25 +464,27 @@ impl Wal {
         buf.drained += cleared; // keep the total-appended offset monotone
         buf.durable_ticket = buf.sealed_ticket;
         self.cv.notify_all();
-        let mut file = self.file.lock();
-        file.set_len(0).ctx("truncating WAL")?;
+        let mut wf = self.file.lock();
+        wf.file.set_len(0).ctx("truncating WAL")?;
+        wf.offset = 0; // subsequent group flushes start at the head
         if self.fsync {
-            file.sync_all().ctx("fsyncing truncated WAL")?;
+            wf.file.sync_all().ctx("fsyncing truncated WAL")?;
         }
-        // Reopen in append mode so subsequent writes start at offset 0.
-        *file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .read(true)
-            .open(&self.path)
-            .ctx("reopening WAL")?;
         Ok(())
+    }
+
+    /// Filesystem path of the log (used in diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use decibel_common::env::FaultEnv;
+    use std::fs::OpenOptions;
+    use std::io::Write;
 
     fn wal_path() -> (tempfile::TempDir, PathBuf) {
         let dir = tempfile::tempdir().unwrap();
@@ -720,6 +745,37 @@ mod tests {
         assert_eq!(rec.txns[0].entries, vec![b"keep".to_vec()]);
         assert_eq!(rec.max_txn, 1, "discarded entry never reached disk");
         assert!(rec.clean);
+    }
+
+    #[test]
+    fn failed_leader_flush_wakes_followers_with_its_error() {
+        let (_d, p) = wal_path();
+        let env = FaultEnv::new();
+        // The WAL's first fsync is the first fsync this env sees.
+        env.fail_nth_fsync(0);
+        let wal = std::sync::Arc::new(Wal::open_in(&env, &p, true).unwrap());
+        wal.append(1, b"a").unwrap();
+        let t1 = wal.seal(1).unwrap();
+        wal.append(2, b"b").unwrap();
+        let t2 = wal.seal(2).unwrap();
+        // Both syncers race; one becomes the leader and hits the injected
+        // fsync failure. The other must be woken with the same poison error
+        // — not left blocked on the condvar, not handed a generic message.
+        let results: Vec<DbError> = std::thread::scope(|s| {
+            let a = s.spawn(|| wal.sync(t1).unwrap_err());
+            let b = s.spawn(|| wal.sync(t2).unwrap_err());
+            vec![a.join().unwrap(), b.join().unwrap()]
+        });
+        for err in &results {
+            assert!(
+                err.to_string().contains("injected fsync failure"),
+                "follower must see the leader's real error, got: {err}"
+            );
+        }
+        // The log stays poisoned with the original cause until reopen.
+        let err = wal.append(3, b"c").unwrap_err();
+        assert!(err.to_string().contains("injected fsync failure"));
+        assert!(wal.seal(3).is_err());
     }
 
     #[test]

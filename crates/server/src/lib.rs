@@ -70,6 +70,7 @@ pub struct Server {
     listener: TcpListener,
     db: Arc<Database>,
     addr: SocketAddr,
+    read_timeout: Option<Duration>,
 }
 
 impl Server {
@@ -81,7 +82,23 @@ impl Server {
         let addr = listener
             .local_addr()
             .map_err(|e| DbError::io("reading listener address", e))?;
-        Ok(Server { listener, db, addr })
+        Ok(Server {
+            listener,
+            db,
+            addr,
+            read_timeout: None,
+        })
+    }
+
+    /// Sets a per-connection read timeout: a client idle between requests
+    /// for longer than `timeout` has its open transaction rolled back
+    /// (releasing its branch locks) and is sent a typed
+    /// [`DbError::Timeout`] error frame before the connection closes — so
+    /// a stalled or vanished client cannot pin locks forever. `None`
+    /// (the default) waits indefinitely.
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
     }
 
     /// The bound address (resolves port 0 to the real ephemeral port).
@@ -103,6 +120,7 @@ impl Server {
             let state = Arc::clone(&state);
             let workers = Arc::clone(&workers);
             let listener = self.listener;
+            let read_timeout = self.read_timeout;
             std::thread::Builder::new()
                 .name("decibel-accept".into())
                 .spawn(move || loop {
@@ -132,7 +150,7 @@ impl Server {
                                     // torn frame) end this client only; the
                                     // session drop below rolls its
                                     // transaction back either way.
-                                    let _ = serve_connection(db, stream, &state);
+                                    let _ = serve_connection(db, stream, &state, read_timeout);
                                     // Deregister on the way out so churn
                                     // does not leak descriptors.
                                     state.conns.lock().unwrap().remove(&id);
@@ -227,10 +245,18 @@ enum Outcome {
 /// hangs up or shutdown closes the socket. The session — and with it any
 /// open transaction and its branch locks — lives exactly as long as this
 /// function.
-fn serve_connection(db: Arc<Database>, stream: TcpStream, state: &ServerState) -> Result<()> {
+fn serve_connection(
+    db: Arc<Database>,
+    stream: TcpStream,
+    state: &ServerState,
+    read_timeout: Option<Duration>,
+) -> Result<()> {
     stream
         .set_nodelay(true)
         .map_err(|e| DbError::io("setting TCP_NODELAY", e))?;
+    stream
+        .set_read_timeout(read_timeout)
+        .map_err(|e| DbError::io("setting connection read timeout", e))?;
     let write_half = stream
         .try_clone()
         .map_err(|e| DbError::io("cloning connection socket", e))?;
@@ -249,8 +275,28 @@ fn serve_connection(db: Arc<Database>, stream: TcpStream, state: &ServerState) -
 
     let mut session = db.session();
     loop {
-        let Some(frame) = read_frame(&mut reader)? else {
-            return Ok(()); // clean disconnect
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // clean disconnect
+            // An idle socket trips the read timeout (surfaced as
+            // WouldBlock or TimedOut depending on the platform): roll the
+            // session's open transaction back so its branch locks free,
+            // tell the client why in a typed error frame (best effort —
+            // the peer may already be gone), and close.
+            Err(DbError::Io { source, .. })
+                if matches!(
+                    source.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                session.rollback();
+                let err = DbError::timeout(
+                    "connection idle past the server read timeout; transaction rolled back",
+                );
+                let _ = send(&mut writer, &schema, &Response::Err(err));
+                return Err(DbError::timeout("connection read timeout"));
+            }
+            Err(e) => return Err(e),
         };
         if state.shutdown.load(Ordering::SeqCst) {
             return Ok(());

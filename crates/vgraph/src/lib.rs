@@ -365,12 +365,33 @@ impl VersionGraph {
     /// and the directory after it — the durable variant checkpoints use
     /// (an atomic rename is only crash-safe once both are synced).
     pub fn save_with(&self, path: impl AsRef<Path>, fsync: bool) -> Result<()> {
-        decibel_common::fsio::write_file_durably(path.as_ref(), &self.to_bytes(), fsync)
+        self.save_in(&decibel_common::env::StdEnv, path, fsync)
+    }
+
+    /// [`VersionGraph::save_with`] through an explicit
+    /// [`DiskEnv`](decibel_common::env::DiskEnv), so fault injection can
+    /// interpose on the temp-write/fsync/rename sequence.
+    pub fn save_in(
+        &self,
+        env: &dyn decibel_common::env::DiskEnv,
+        path: impl AsRef<Path>,
+        fsync: bool,
+    ) -> Result<()> {
+        decibel_common::fsio::write_file_durably_in(env, path.as_ref(), &self.to_bytes(), fsync)
     }
 
     /// Loads a graph persisted by [`VersionGraph::save`].
     pub fn load(path: impl AsRef<Path>) -> Result<VersionGraph> {
-        let bytes = std::fs::read(path.as_ref()).ctx("reading version graph")?;
+        Self::load_in(&decibel_common::env::StdEnv, path)
+    }
+
+    /// [`VersionGraph::load`] through an explicit
+    /// [`DiskEnv`](decibel_common::env::DiskEnv).
+    pub fn load_in(
+        env: &dyn decibel_common::env::DiskEnv,
+        path: impl AsRef<Path>,
+    ) -> Result<VersionGraph> {
+        let bytes = env.read(path.as_ref()).ctx("reading version graph")?;
         VersionGraph::from_bytes(&bytes)
     }
 }

@@ -669,6 +669,7 @@ pub fn encode_error(err: &DbError) -> Vec<u8> {
         DbError::JournalDiverged => (0, 0, String::new()),
         DbError::Protocol { detail } => (0, 0, detail.clone()),
         DbError::Invalid(msg) => (0, 0, msg.clone()),
+        DbError::Timeout { what } => (0, 0, what.clone()),
     };
     let mut out = Vec::with_capacity(8 + detail.len());
     varint::write_u64(&mut out, err.code().as_u16() as u64);
@@ -712,6 +713,7 @@ pub fn decode_error(buf: &[u8]) -> Result<DbError> {
         ErrorCode::JournalDiverged => DbError::JournalDiverged,
         ErrorCode::Protocol => DbError::Protocol { detail },
         ErrorCode::Invalid => DbError::Invalid(detail),
+        ErrorCode::Timeout => DbError::Timeout { what: detail },
     })
 }
 

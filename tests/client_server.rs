@@ -406,6 +406,50 @@ fn reconnect_after_restart_recovers_via_checkpoint() {
     handle.shutdown().unwrap();
 }
 
+/// A client idle past the server's read timeout has its open transaction
+/// rolled back (releasing the branch lock for other clients) and receives
+/// a typed [`DbError::Timeout`] on its next interaction.
+#[test]
+fn idle_connection_times_out_typed_and_rolls_back() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = Database::create(
+        dir.path().join("db"),
+        EngineKind::Hybrid,
+        Schema::new(2, ColumnType::U32),
+        &StoreConfig::test_default(),
+    )
+    .unwrap();
+    let handle = Server::bind(db, "127.0.0.1:0")
+        .unwrap()
+        .with_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .spawn();
+    let addr = handle.local_addr();
+
+    // Idle client: open a transaction (takes master's exclusive lock),
+    // then stall past the timeout without committing.
+    let mut idle = Client::connect(addr).unwrap();
+    idle.begin().unwrap();
+    idle.insert(rec(77)).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(700));
+
+    // The server rolled the stalled transaction back: a fresh client
+    // writes master immediately — no lock contention, no retry loop —
+    // and the stalled insert is gone.
+    let mut fresh = Client::connect(addr).unwrap();
+    fresh.insert(rec(78)).unwrap();
+    fresh.commit().unwrap();
+    assert_eq!(fresh.get(77).unwrap(), None, "timed-out txn rolled back");
+
+    // The idle client's next request surfaces the typed timeout error the
+    // server queued before closing the connection.
+    let err = idle.commit().unwrap_err();
+    assert!(
+        matches!(err, DbError::Timeout { .. }),
+        "expected typed timeout, got {err:?}"
+    );
+    handle.shutdown().unwrap();
+}
+
 /// The same client/server flow works for every engine kind.
 #[test]
 fn every_engine_serves() {
