@@ -23,6 +23,13 @@
 //!   single core ≈ 1.0 means the connection layer adds no serialization
 //!   beyond the CPU itself (the acceptance bar is ≤ ~1.2); on N cores it
 //!   approaches 1/N.
+//! * `k64_idle_4hot` — the same 4 hot clients with 64 additional idle
+//!   connections parked on the event loop; `idle64_over_concurrent` is
+//!   its wall clock over plain `concurrent_k{N}` (the multiplexing tax of
+//!   64 parked registrations — acceptance bar ≤ ~1.2).
+//! * `slow_reader_mem` — a client requests a full scan, reads one chunk,
+//!   and stalls; `ops` reports the server's RSS growth in KiB while
+//!   parked (the backpressure contract: O(chunk), not O(result)).
 //!
 //! Every fresh-state row gets its own database + server so no row measures
 //! another row's leftovers.
@@ -61,8 +68,11 @@ fn rec(key: u64, tag: u64) -> Record {
 /// from it (each inheriting the base), server listening on an ephemeral
 /// loopback port.
 fn serve(scale: f64) -> Result<(tempfile::TempDir, ServerHandle, Vec<BranchId>, u64)> {
+    serve_rows(((30_000.0 * scale) as u64).max(1_000))
+}
+
+fn serve_rows(base_rows: u64) -> Result<(tempfile::TempDir, ServerHandle, Vec<BranchId>, u64)> {
     let dir = tempfile::tempdir().map_err(|e| DbError::io("server bench tempdir", e))?;
-    let base_rows = ((30_000.0 * scale) as u64).max(1_000);
     let db = Database::create(
         dir.path().join("db"),
         EngineKind::Hybrid,
@@ -123,6 +133,35 @@ struct Row {
     ms: f64,
 }
 
+/// One timed run of the concurrent hot workload (one thread per client)
+/// with `idle` extra connections parked on the loop, best of `repeats`
+/// fresh servers. Returns (ops per run, best ms).
+fn hot_kn(scale: f64, rounds: u64, repeats: usize, idle: usize) -> Result<(u64, f64)> {
+    let mut best = f64::INFINITY;
+    let mut ops = 0u64;
+    for _ in 0..repeats {
+        let (_dir, handle, branches, _) = serve(scale)?;
+        let addr = handle.local_addr();
+        let parked: Vec<Client> = (0..idle)
+            .map(|_| Client::connect(addr))
+            .collect::<Result<_>>()?;
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(CLIENTS);
+        for &b in &branches {
+            let raw = b.raw() as u64;
+            handles.push(std::thread::spawn(move || drive_client(addr, raw, rounds)));
+        }
+        ops = 0;
+        for h in handles {
+            ops += h.join().expect("client thread")?;
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        drop(parked);
+        handle.shutdown()?;
+    }
+    Ok((ops, best))
+}
+
 pub(crate) fn rounds_for(scale: f64) -> u64 {
     ((25.0 * scale) as u64).max(4)
 }
@@ -159,65 +198,97 @@ pub fn server(ctx: &Ctx) -> Result<Table> {
         });
     }
 
+    // Every workload row below is the best of `repeats` runs, each
+    // against a fresh server — same discipline as remote_scan above,
+    // because single-run numbers on a 1-core container are scheduler
+    // roulette.
+    let repeats = ctx.repeats.max(3);
+
     // single_client: one client's workload, fresh server.
     {
-        let (_dir, handle, branches, _) = serve(ctx.scale)?;
-        let addr = handle.local_addr();
-        let start = Instant::now();
-        let ops = drive_client(addr, branches[0].raw() as u64, rounds)?;
-        let ms = start.elapsed().as_secs_f64() * 1e3;
-        handle.shutdown()?;
+        let mut best = f64::INFINITY;
+        let mut ops = 0u64;
+        for _ in 0..repeats {
+            let (_dir, handle, branches, _) = serve(ctx.scale)?;
+            let addr = handle.local_addr();
+            let start = Instant::now();
+            ops = drive_client(addr, branches[0].raw() as u64, rounds)?;
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            handle.shutdown()?;
+        }
         rows.push(Row {
             name: "single_client".into(),
             clients: 1,
             ops,
-            ms,
+            ms: best,
         });
     }
 
     // serialized_kN: the same per-client workload N times, back to back.
     let serialized_ms = {
-        let (_dir, handle, branches, _) = serve(ctx.scale)?;
-        let addr = handle.local_addr();
-        let start = Instant::now();
+        let mut best = f64::INFINITY;
         let mut ops = 0u64;
-        for &b in &branches {
-            ops += drive_client(addr, b.raw() as u64, rounds)?;
+        for _ in 0..repeats {
+            let (_dir, handle, branches, _) = serve(ctx.scale)?;
+            let addr = handle.local_addr();
+            let start = Instant::now();
+            ops = 0;
+            for &b in &branches {
+                ops += drive_client(addr, b.raw() as u64, rounds)?;
+            }
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            handle.shutdown()?;
         }
-        let ms = start.elapsed().as_secs_f64() * 1e3;
-        handle.shutdown()?;
         rows.push(Row {
             name: format!("serialized_k{CLIENTS}"),
             clients: CLIENTS,
             ops,
-            ms,
+            ms: best,
         });
-        ms
+        best
     };
 
     // concurrent_kN: one thread per client, all at once.
     let concurrent_ms = {
-        let (_dir, handle, branches, _) = serve(ctx.scale)?;
-        let addr = handle.local_addr();
-        let start = Instant::now();
-        let mut handles = Vec::with_capacity(CLIENTS);
-        for &b in &branches {
-            let raw = b.raw() as u64;
-            handles.push(std::thread::spawn(move || drive_client(addr, raw, rounds)));
-        }
-        let mut ops = 0u64;
-        for h in handles {
-            ops += h.join().expect("client thread")?;
-        }
-        let ms = start.elapsed().as_secs_f64() * 1e3;
-        handle.shutdown()?;
+        let (ops, best) = hot_kn(ctx.scale, rounds, repeats, 0)?;
         rows.push(Row {
             name: format!("concurrent_k{CLIENTS}"),
             clients: CLIENTS,
             ops,
-            ms,
+            ms: best,
         });
-        ms
+        best
+    };
+
+    // k64_idle_4hot: the hot workload again, with 64 idle connections
+    // parked on the event loop the whole time. The delta vs concurrent_kN
+    // is what 64 parked registrations cost the multiplexer.
+    let k64_ms = {
+        let (ops, best) = hot_kn(ctx.scale, rounds, repeats, 64)?;
+        rows.push(Row {
+            name: "k64_idle_4hot".into(),
+            clients: 64 + CLIENTS,
+            ops,
+            ms: best,
+        });
+        best
+    };
+
+    // slow_reader_mem: one client scans the base relation, reads a single
+    // chunk, and stalls; the server must park the stream at O(chunk)
+    // memory. Reported in KiB of RSS growth while parked.
+    let slow_reader_kib = {
+        // Enough base rows that the payload dwarfs one ~256 KiB chunk even
+        // at small scales.
+        let rows = ((200_000.0 * ctx.scale) as u64).max(60_000);
+        let (_dir, handle, _branches, _) = serve_rows(rows)?;
+        let stalled = start_stalled_scan(handle.local_addr())?;
+        let baseline = rss_bytes();
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let grown = rss_bytes().saturating_sub(baseline);
+        drop(stalled);
+        handle.shutdown()?;
+        grown / 1024
     };
 
     let mut table = Table::new(
@@ -247,7 +318,63 @@ pub fn server(ctx: &Ctx) -> Result<Table> {
         String::new(),
         format!("{:.3}", concurrent_ms / serialized_ms),
     ]);
+    // Multiplexing tax: hot wall clock with 64 parked connections over hot
+    // wall clock alone (acceptance bar ≤ ~1.2).
+    table.row(vec![
+        "idle64_over_concurrent".into(),
+        (64 + CLIENTS).to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.3}", k64_ms / concurrent_ms),
+    ]);
+    // Backpressure: server RSS growth (KiB) while a stalled scan is parked
+    // mid-stream; O(chunk) means a few hundred KiB regardless of scale.
+    table.row(vec![
+        "slow_reader_mem".into(),
+        "1".into(),
+        slow_reader_kib.to_string(),
+        String::new(),
+        String::new(),
+    ]);
     Ok(table)
+}
+
+/// This process's resident set size, from `/proc/self/statm`.
+fn rss_bytes() -> usize {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1)?.parse::<usize>().ok())
+        .map_or(0, |pages| pages * 4096)
+}
+
+/// Opens a raw connection, requests a full scan of master, reads exactly
+/// one batch frame, and stops reading — a stalled slow reader the server
+/// must park at O(chunk) memory.
+fn start_stalled_scan(addr: std::net::SocketAddr) -> Result<std::net::TcpStream> {
+    use decibel_wire::frame::{read_frame, write_frame};
+    use decibel_wire::proto::{Hello, Request, Response};
+    use std::io::Write as _;
+
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| DbError::io("connecting stalled reader", e))?;
+    let hello = read_frame(&mut stream)?.ok_or_else(|| DbError::protocol("no hello"))?;
+    let hello = Hello::decode(&hello)?;
+    let req = Request::Collect {
+        version: BranchId::MASTER.into(),
+        predicate: Predicate::True,
+    };
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &req.encode(&hello.schema)?)?;
+    stream
+        .write_all(&buf)
+        .map_err(|e| DbError::io("sending stalled scan request", e))?;
+    let frame = read_frame(&mut stream)?.ok_or_else(|| DbError::protocol("no first chunk"))?;
+    match Response::decode(&frame, &hello.schema)? {
+        Response::Batch(_) => Ok(stream),
+        other => Err(DbError::protocol(format!(
+            "expected a batch, got {other:?}"
+        ))),
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,11 @@ const fn build_tables() -> [[u32; 256]; 8] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         tables[0][i] = crc;
@@ -86,9 +90,15 @@ mod tests {
     #[test]
     fn matches_bitwise_at_every_length() {
         // Cover all remainder lengths around the 8-byte slicing boundary.
-        let data: Vec<u8> = (0..100u32).map(|i| (i.wrapping_mul(193) >> 3) as u8).collect();
+        let data: Vec<u8> = (0..100u32)
+            .map(|i| (i.wrapping_mul(193) >> 3) as u8)
+            .collect();
         for len in 0..data.len() {
-            assert_eq!(crc32(&data[..len]), crc32_bitwise(&data[..len]), "len={len}");
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bitwise(&data[..len]),
+                "len={len}"
+            );
         }
     }
 

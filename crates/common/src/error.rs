@@ -92,6 +92,10 @@ pub enum DbError {
         /// What timed out.
         what: String,
     },
+    /// A connection failed the server's shared-secret authentication
+    /// (missing, wrong, or late token). The server sends this as a typed
+    /// error frame and closes the connection without serving any request.
+    AuthFailed,
 }
 
 /// Stable error-kind discriminants, one per [`DbError`] variant.
@@ -135,11 +139,13 @@ pub enum ErrorCode {
     Protocol = 15,
     /// [`DbError::Timeout`].
     Timeout = 16,
+    /// [`DbError::AuthFailed`].
+    AuthFailed = 17,
 }
 
 impl ErrorCode {
     /// All codes, in discriminant order.
-    pub const ALL: [ErrorCode; 16] = [
+    pub const ALL: [ErrorCode; 17] = [
         ErrorCode::Io,
         ErrorCode::UnknownBranch,
         ErrorCode::UnknownCommit,
@@ -156,6 +162,7 @@ impl ErrorCode {
         ErrorCode::JournalDiverged,
         ErrorCode::Protocol,
         ErrorCode::Timeout,
+        ErrorCode::AuthFailed,
     ];
 
     /// The wire representation.
@@ -218,6 +225,12 @@ impl fmt::Display for DbError {
             DbError::Protocol { detail } => write!(f, "wire protocol violation: {detail}"),
             DbError::Invalid(msg) => write!(f, "{msg}"),
             DbError::Timeout { what } => write!(f, "timed out: {what}"),
+            DbError::AuthFailed => {
+                write!(
+                    f,
+                    "authentication failed: bad or missing shared-secret token"
+                )
+            }
         }
     }
 }
@@ -280,6 +293,7 @@ impl DbError {
             DbError::Protocol { .. } => ErrorCode::Protocol,
             DbError::Invalid(_) => ErrorCode::Invalid,
             DbError::Timeout { .. } => ErrorCode::Timeout,
+            DbError::AuthFailed => ErrorCode::AuthFailed,
         }
     }
 }
@@ -322,7 +336,7 @@ mod tests {
     fn error_codes_are_stable_and_round_trip() {
         // The discriminants are a wire/storage contract: spell them out so
         // an accidental renumbering fails loudly.
-        let expected: [(ErrorCode, u16); 16] = [
+        let expected: [(ErrorCode, u16); 17] = [
             (ErrorCode::Io, 1),
             (ErrorCode::UnknownBranch, 2),
             (ErrorCode::UnknownCommit, 3),
@@ -339,6 +353,7 @@ mod tests {
             (ErrorCode::JournalDiverged, 14),
             (ErrorCode::Protocol, 15),
             (ErrorCode::Timeout, 16),
+            (ErrorCode::AuthFailed, 17),
         ];
         for (code, raw) in expected {
             assert_eq!(code.as_u16(), raw);
@@ -385,6 +400,7 @@ mod tests {
             (DbError::protocol("p"), ErrorCode::Protocol),
             (DbError::Invalid("i".into()), ErrorCode::Invalid),
             (DbError::timeout("t"), ErrorCode::Timeout),
+            (DbError::AuthFailed, ErrorCode::AuthFailed),
         ];
         assert_eq!(cases.len(), ErrorCode::ALL.len());
         for (err, code) in cases {

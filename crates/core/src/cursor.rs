@@ -1,0 +1,555 @@
+//! Resumable chunked scan cursors: O(chunk) memory, zero lock time
+//! between chunks.
+//!
+//! [`Database::query`](crate::db::Database::query) materializes a scan's
+//! full result under one store-lock acquisition — the right shape for an
+//! in-process caller that wants the rows anyway, and the wrong shape for
+//! a server streaming to a slow socket: the materialized result pins
+//! O(result) memory for as long as the client takes to drain it. The
+//! cursors here invert that: each [`ScanCursor::next_chunk`] call
+//! re-acquires the shared store lock (plus the scanned branch heads'
+//! shard read locks), re-opens the engine's scan iterator, skips the
+//! already-emitted prefix, collects up to `max_rows` qualifying rows, and
+//! releases every lock before returning. Between chunks the cursor holds
+//! nothing but plain data — a version ref, a predicate, and a skip count
+//! — so a stalled consumer blocks no commit, no flush, and no other scan.
+//!
+//! # Consistency
+//!
+//! A chunked scan is *read-committed per chunk*, not a single snapshot:
+//! commits that land between two `next_chunk` calls are visible to later
+//! chunks. The already-emitted prefix stays stable because every engine's
+//! storage is append-only within a branch (updates append a new live copy
+//! and flip bitmap/tombstone state; nothing is overwritten or compacted
+//! in place while the database is open), so re-walking the iterator
+//! visits the same prefix in the same order. This is the documented
+//! contract of the wire protocol's streamed scans; callers needing one
+//! snapshot across the whole result use `query` or hold a session
+//! transaction (whose 2PL branch lock blocks writers outright).
+//!
+//! Deliberately, a cursor takes **no** branch-level 2PL lock: the
+//! server's streaming path runs cursors for sessions that may themselves
+//! hold the exclusive branch lock (a scan inside an open transaction),
+//! and a second acquisition from the cursor would deadlock against its
+//! own session. Session-view cursors instead carry a clone of the
+//! transaction overlay, exactly like
+//! [`Session::scan_with`](crate::session::Session::scan_with).
+//!
+//! The skip-count resume is O(prefix) per lock acquisition — quadratic
+//! over a full scan if every chunk paid it. [`ScanCursor::for_each_chunk`]
+//! amortizes it away for consumers that are keeping up: it streams many
+//! chunks into a sink under a *single* acquisition and releases the locks
+//! the moment the sink reports backpressure (or a chunk budget runs out),
+//! so a fast reader pays the skip once per batch-of-chunks while a slow
+//! reader still never parks a lock. Skipping itself is a raw iterator
+//! walk with no predicate evaluation or cloning, and chunks are large
+//! (the wire layer sizes them at ~256 KiB), so residual skip cost stays
+//! dominated by the emitting pass. A per-engine `scan_from(offset)` fast
+//! path can still slot in under this API unchanged if profiles ever say
+//! otherwise.
+
+use std::sync::Arc;
+
+use decibel_common::error::Result;
+use decibel_common::hash::FxHashMap;
+use decibel_common::ids::BranchId;
+use decibel_common::record::Record;
+
+use crate::db::Database;
+use crate::query::Predicate;
+use crate::types::VersionRef;
+
+/// The branch heads a scan of `version` must shard-lock (commit refs are
+/// immutable and need none).
+fn shard_branches(version: VersionRef) -> Vec<BranchId> {
+    match version {
+        VersionRef::Branch(b) => vec![b],
+        VersionRef::Commit(_) => Vec::new(),
+    }
+}
+
+/// A resumable chunked scan of one version, optionally merged with a
+/// session overlay. Created by
+/// [`Database::chunked_scan`](crate::db::Database::chunked_scan) or
+/// [`Session::chunked_scan`](crate::session::Session::chunked_scan).
+pub struct ScanCursor {
+    db: Arc<Database>,
+    version: VersionRef,
+    predicate: Predicate,
+    /// Keys shadowed by the session overlay (skipped in the base scan).
+    overlay: FxHashMap<u64, Option<Record>>,
+    /// Overlay live values, appended after the base scan — the same order
+    /// contract as `Session::scan_with` (none).
+    pending: Vec<Record>,
+    pending_pos: usize,
+    /// Raw base-iterator items visited so far (pre-filter): the resume
+    /// point.
+    consumed: u64,
+    base_done: bool,
+    done: bool,
+    emitted: u64,
+}
+
+impl ScanCursor {
+    pub(crate) fn new(db: Arc<Database>, version: VersionRef, predicate: Predicate) -> ScanCursor {
+        ScanCursor::with_overlay_and_predicate(db, version, FxHashMap::default(), predicate)
+    }
+
+    pub(crate) fn with_overlay(
+        db: Arc<Database>,
+        version: VersionRef,
+        overlay: FxHashMap<u64, Option<Record>>,
+    ) -> ScanCursor {
+        ScanCursor::with_overlay_and_predicate(db, version, overlay, Predicate::True)
+    }
+
+    fn with_overlay_and_predicate(
+        db: Arc<Database>,
+        version: VersionRef,
+        overlay: FxHashMap<u64, Option<Record>>,
+        predicate: Predicate,
+    ) -> ScanCursor {
+        let pending = overlay.values().flatten().cloned().collect();
+        ScanCursor {
+            db,
+            version,
+            predicate,
+            overlay,
+            pending,
+            pending_pos: 0,
+            consumed: 0,
+            base_done: false,
+            done: false,
+            emitted: 0,
+        }
+    }
+
+    /// Produces the next chunk of up to `max_rows` qualifying records, or
+    /// `Ok(None)` once the scan is exhausted. Store and shard locks are
+    /// held only inside this call.
+    pub fn next_chunk(&mut self, max_rows: usize) -> Result<Option<Vec<Record>>> {
+        let mut got = None;
+        self.for_each_chunk(max_rows, 1, |chunk| {
+            got = Some(chunk);
+            Ok(false)
+        })?;
+        Ok(got)
+    }
+
+    /// Streams up to `max_chunks` chunks of up to `max_rows` rows each
+    /// into `sink` under a **single** lock acquisition. Stops early —
+    /// releasing every lock — the moment `sink` returns `Ok(false)` (the
+    /// consumer is backpressured). Returns `Ok(true)` once the scan is
+    /// exhausted, `Ok(false)` if more remains.
+    ///
+    /// This is the amortization path for consumers draining at speed: the
+    /// O(prefix) skip is paid once per call instead of once per chunk.
+    /// The memory contract is the sink's to keep — the cursor hands over
+    /// one chunk at a time and holds nothing across sink calls.
+    pub fn for_each_chunk(
+        &mut self,
+        max_rows: usize,
+        max_chunks: usize,
+        mut sink: impl FnMut(Vec<Record>) -> Result<bool>,
+    ) -> Result<bool> {
+        if self.done {
+            return Ok(true);
+        }
+        let max_rows = max_rows.max(1);
+        let mut chunks = 0usize;
+        if !self.base_done {
+            let store = self.db.store.read();
+            let _shards = self.db.shards.read_many(&shard_branches(self.version));
+            let mut iter = store.scan(self.version)?;
+            for _ in 0..self.consumed {
+                if iter.next().transpose()?.is_none() {
+                    break; // cannot happen while storage is append-only
+                }
+            }
+            // Hoisted: sessions without writes (and every database-level
+            // scan) have an empty overlay, and hashing every key against
+            // an empty map is measurable at scan rates.
+            let overlay_empty = self.overlay.is_empty();
+            while !self.base_done && chunks < max_chunks {
+                let mut out = Vec::new();
+                while out.len() < max_rows {
+                    match iter.next() {
+                        Some(item) => {
+                            let rec = item?;
+                            self.consumed += 1;
+                            if (overlay_empty || !self.overlay.contains_key(&rec.key()))
+                                && self.predicate.eval(&rec)
+                            {
+                                out.push(rec);
+                            }
+                        }
+                        None => {
+                            self.base_done = true;
+                            break;
+                        }
+                    }
+                }
+                if out.is_empty() {
+                    break; // base exhausted with nothing gathered
+                }
+                self.emitted += out.len() as u64;
+                chunks += 1;
+                if !sink(out)? {
+                    // Backpressure: the guards drop as we return. (The
+                    // exhaustion check is inlined — calling a &mut self
+                    // method here would conflict with the live guards.)
+                    if self.base_done && self.pending_pos == self.pending.len() {
+                        self.done = true;
+                    }
+                    return Ok(self.done);
+                }
+            }
+            if !self.base_done {
+                return Ok(false); // chunk budget spent
+            }
+        }
+        while self.pending_pos < self.pending.len() && chunks < max_chunks {
+            let mut out = Vec::new();
+            while out.len() < max_rows && self.pending_pos < self.pending.len() {
+                let rec = &self.pending[self.pending_pos];
+                self.pending_pos += 1;
+                if self.predicate.eval(rec) {
+                    out.push(rec.clone());
+                }
+            }
+            if out.is_empty() {
+                break;
+            }
+            self.emitted += out.len() as u64;
+            chunks += 1;
+            if !sink(out)? {
+                return Ok(self.finished());
+            }
+        }
+        Ok(self.finished())
+    }
+
+    /// Marks (and reports) exhaustion: base iterator done and overlay
+    /// tail fully drained.
+    fn finished(&mut self) -> bool {
+        if self.base_done && self.pending_pos == self.pending.len() {
+            self.done = true;
+        }
+        self.done
+    }
+
+    /// Rows emitted so far — the scan's terminal row count once
+    /// [`ScanCursor::next_chunk`] has returned `None`.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// One chunk of an annotated multi-branch scan: each qualifying record
+/// with the branches it is live on.
+pub type AnnotatedChunk = Vec<(Record, Vec<BranchId>)>;
+
+/// A resumable chunked multi-branch annotated scan (the sequential
+/// [`MultiBranchScan`](crate::query::Query::MultiBranchScan) shape).
+/// Created by
+/// [`Database::chunked_multi_scan`](crate::db::Database::chunked_multi_scan).
+pub struct MultiScanCursor {
+    db: Arc<Database>,
+    branches: Vec<BranchId>,
+    predicate: Predicate,
+    consumed: u64,
+    done: bool,
+    emitted: u64,
+}
+
+impl MultiScanCursor {
+    pub(crate) fn new(
+        db: Arc<Database>,
+        branches: Vec<BranchId>,
+        predicate: Predicate,
+    ) -> MultiScanCursor {
+        MultiScanCursor {
+            db,
+            branches,
+            predicate,
+            consumed: 0,
+            done: false,
+            emitted: 0,
+        }
+    }
+
+    /// Produces the next chunk of up to `max_rows` qualifying annotated
+    /// rows, or `Ok(None)` once exhausted. Locking and consistency match
+    /// [`ScanCursor::next_chunk`].
+    pub fn next_chunk(&mut self, max_rows: usize) -> Result<Option<AnnotatedChunk>> {
+        let mut got = None;
+        self.for_each_chunk(max_rows, 1, |chunk| {
+            got = Some(chunk);
+            Ok(false)
+        })?;
+        Ok(got)
+    }
+
+    /// Streams up to `max_chunks` chunks into `sink` under a single lock
+    /// acquisition; the contract matches [`ScanCursor::for_each_chunk`].
+    pub fn for_each_chunk(
+        &mut self,
+        max_rows: usize,
+        max_chunks: usize,
+        mut sink: impl FnMut(AnnotatedChunk) -> Result<bool>,
+    ) -> Result<bool> {
+        if self.done {
+            return Ok(true);
+        }
+        let max_rows = max_rows.max(1);
+        let mut chunks = 0usize;
+        let store = self.db.store.read();
+        let _shards = self.db.shards.read_many(&self.branches);
+        let mut iter = store.multi_scan(&self.branches)?;
+        for _ in 0..self.consumed {
+            if iter.next().transpose()?.is_none() {
+                break;
+            }
+        }
+        while !self.done && chunks < max_chunks {
+            let mut out = Vec::new();
+            while out.len() < max_rows {
+                match iter.next() {
+                    Some(item) => {
+                        let (rec, live) = item?;
+                        self.consumed += 1;
+                        if !live.is_empty() && self.predicate.eval(&rec) {
+                            out.push((rec, live));
+                        }
+                    }
+                    None => {
+                        self.done = true;
+                        break;
+                    }
+                }
+            }
+            if out.is_empty() {
+                break;
+            }
+            self.emitted += out.len() as u64;
+            chunks += 1;
+            if !sink(out)? {
+                return Ok(self.done);
+            }
+        }
+        Ok(self.done)
+    }
+
+    /// Rows emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EngineKind;
+    use decibel_common::ids::BranchId;
+    use decibel_common::schema::{ColumnType, Schema};
+    use decibel_pagestore::StoreConfig;
+
+    fn db(kind: EngineKind) -> (tempfile::TempDir, Arc<Database>) {
+        let dir = tempfile::tempdir().unwrap();
+        let db = Database::create(
+            dir.path().join("db"),
+            kind,
+            Schema::new(2, ColumnType::U32),
+            &StoreConfig::test_default(),
+        )
+        .unwrap();
+        (dir, db)
+    }
+
+    fn rec(k: u64, v: u64) -> Record {
+        Record::new(k, vec![v, v])
+    }
+
+    fn seed(db: &Arc<Database>, n: u64) {
+        let mut s = db.session();
+        for k in 0..n {
+            s.insert(rec(k, k * 10)).unwrap();
+        }
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn chunked_scan_matches_materialized_scan_at_every_chunk_size() {
+        for kind in [
+            EngineKind::TupleFirstBranch,
+            EngineKind::TupleFirstTuple,
+            EngineKind::VersionFirst,
+            EngineKind::Hybrid,
+        ] {
+            let (_d, db) = db(kind);
+            seed(&db, 57);
+            let full = db
+                .read(BranchId::MASTER)
+                .filter(Predicate::ColGe(0, 100))
+                .collect()
+                .unwrap();
+            assert!(!full.is_empty());
+            for chunk in [1usize, 7, 57, 1000] {
+                let mut cursor = db.chunked_scan(
+                    VersionRef::Branch(BranchId::MASTER),
+                    Predicate::ColGe(0, 100),
+                );
+                let mut rows = Vec::new();
+                while let Some(mut c) = cursor.next_chunk(chunk).unwrap() {
+                    assert!(c.len() <= chunk);
+                    rows.append(&mut c);
+                }
+                assert_eq!(rows, full, "{kind:?} chunk={chunk}");
+                assert_eq!(cursor.emitted(), full.len() as u64);
+                // Exhausted cursors stay exhausted.
+                assert!(cursor.next_chunk(chunk).unwrap().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn session_cursor_merges_overlay_and_takes_no_branch_lock() {
+        let (_d, db) = db(EngineKind::Hybrid);
+        seed(&db, 10);
+        let mut s = db.session();
+        s.update(rec(3, 999)).unwrap(); // shadow a base row
+        assert!(s.delete(4).unwrap()); // hide a base row
+        s.insert(rec(100, 1)).unwrap(); // pending insert
+
+        // The session holds master's exclusive 2PL lock here; the cursor
+        // must still stream (it takes no branch lock of its own).
+        let mut cursor = s.chunked_scan();
+        let mut rows = Vec::new();
+        while let Some(mut c) = cursor.next_chunk(3).unwrap() {
+            rows.append(&mut c);
+        }
+        assert_eq!(rows.len(), 10); // 10 - deleted + inserted
+        assert!(rows.iter().any(|r| r.key() == 100));
+        assert!(!rows.iter().any(|r| r.key() == 4));
+        assert_eq!(rows.iter().find(|r| r.key() == 3).unwrap().field(0), 999);
+        // Matches the blocking session scan exactly (order-insensitive on
+        // the overlay tail: both append pending values after the base).
+        let mut via_scan = s.scan_collect().unwrap();
+        let mut sorted = rows.clone();
+        via_scan.sort_by_key(Record::key);
+        sorted.sort_by_key(Record::key);
+        assert_eq!(sorted, via_scan);
+        s.rollback();
+    }
+
+    #[test]
+    fn no_locks_held_between_chunks() {
+        let (_d, db) = db(EngineKind::Hybrid);
+        seed(&db, 40);
+        let mut cursor = db.chunked_scan(VersionRef::Branch(BranchId::MASTER), Predicate::True);
+        let first = cursor.next_chunk(5).unwrap().unwrap();
+        assert_eq!(first.len(), 5);
+        // Store-exclusive operations must proceed while the cursor is
+        // mid-scan: flush takes store.write() + quiesces every shard,
+        // create_branch takes store.write(). Either would deadlock if the
+        // cursor parked a read guard between chunks.
+        db.flush().unwrap();
+        db.create_branch("mid-scan", BranchId::MASTER).unwrap();
+        // A commit on the scanned branch also proceeds.
+        let mut w = db.session();
+        w.insert(rec(1000, 1)).unwrap();
+        w.commit().unwrap();
+        let mut rows = first;
+        while let Some(mut c) = cursor.next_chunk(5).unwrap() {
+            rows.append(&mut c);
+        }
+        // Read-committed per chunk: the prefix is stable, and the
+        // mid-scan commit is allowed (not required) to appear.
+        assert!(rows.len() >= 40);
+        let keys: Vec<u64> = rows.iter().take(40).map(Record::key).collect();
+        let mut expect: Vec<u64> = (0..40).collect();
+        expect.sort_unstable();
+        let mut got = keys.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn for_each_chunk_stops_on_backpressure_and_resumes_exactly() {
+        let (_d, db) = db(EngineKind::Hybrid);
+        seed(&db, 57);
+        let full = db
+            .read(BranchId::MASTER)
+            .filter(Predicate::True)
+            .collect()
+            .unwrap();
+        let mut cursor = db.chunked_scan(VersionRef::Branch(BranchId::MASTER), Predicate::True);
+        let mut rows = Vec::new();
+        // A sink that accepts two chunks per acquisition, then reports
+        // backpressure — the cursor must release its locks (proved by the
+        // flush below) and resume without skipping or repeating rows.
+        loop {
+            let mut taken = 0;
+            let exhausted = cursor
+                .for_each_chunk(5, 100, |mut c| {
+                    assert!(c.len() <= 5);
+                    rows.append(&mut c);
+                    taken += 1;
+                    Ok(taken < 2)
+                })
+                .unwrap();
+            db.flush().unwrap(); // would deadlock if a read guard leaked
+            if exhausted {
+                break;
+            }
+        }
+        assert_eq!(rows, full);
+        assert_eq!(cursor.emitted(), full.len() as u64);
+        // Exhausted cursors report exhaustion without producing.
+        assert!(cursor
+            .for_each_chunk(5, 100, |_| panic!("produced past exhaustion"))
+            .unwrap());
+
+        // The chunk budget also ends an acquisition early, resumably.
+        let mut budgeted = db.chunked_scan(VersionRef::Branch(BranchId::MASTER), Predicate::True);
+        let mut rows = Vec::new();
+        loop {
+            let exhausted = budgeted
+                .for_each_chunk(5, 3, |mut c| {
+                    rows.append(&mut c);
+                    Ok(true)
+                })
+                .unwrap();
+            if exhausted {
+                break;
+            }
+        }
+        assert_eq!(rows, full);
+    }
+
+    #[test]
+    fn multi_cursor_matches_annotated_scan() {
+        let (_d, db) = db(EngineKind::Hybrid);
+        seed(&db, 20);
+        let dev = db.create_branch("dev", BranchId::MASTER).unwrap();
+        let mut s = db.session();
+        s.checkout_branch("dev").unwrap();
+        s.insert(rec(500, 5)).unwrap();
+        s.commit().unwrap();
+        let branches = vec![BranchId::MASTER, dev];
+        let full = db
+            .read_branches(&branches)
+            .filter(Predicate::ColGe(0, 0))
+            .annotated()
+            .unwrap();
+        for chunk in [1usize, 6, 100] {
+            let mut cursor = db.chunked_multi_scan(branches.clone(), Predicate::ColGe(0, 0));
+            let mut rows = Vec::new();
+            while let Some(mut c) = cursor.next_chunk(chunk).unwrap() {
+                rows.append(&mut c);
+            }
+            assert_eq!(rows, full, "chunk={chunk}");
+            assert_eq!(cursor.emitted(), full.len() as u64);
+        }
+    }
+}

@@ -89,12 +89,13 @@ use decibel_pagestore::{LockManager, LockMode, StoreConfig, Wal};
 use parking_lot::{Mutex, RwLock};
 
 use crate::checkpoint;
+use crate::cursor::{MultiScanCursor, ScanCursor};
 use crate::engine::{
     HybridEngine, TupleFirstBranchEngine, TupleFirstTupleEngine, VersionFirstEngine,
 };
 use crate::journal;
 use crate::query::build::{BranchSel, MultiReadBuilder, ReadBuilder};
-use crate::query::{execute, Query, QueryOutput};
+use crate::query::{execute, Predicate, Query, QueryOutput};
 use crate::session::Session;
 use crate::shard::{SessionOp, ShardSet};
 use crate::store::VersionedStore;
@@ -121,8 +122,10 @@ pub struct Database {
     pub(crate) next_txn: AtomicU64,
     /// Per-branch commit shards: disjoint branches commit concurrently,
     /// same-branch (and same-shard) commits serialize. Level 3 of the lock
-    /// hierarchy (see the module docs).
-    shards: ShardSet,
+    /// hierarchy (see the module docs). `pub(crate)` for the chunked scan
+    /// cursor ([`crate::cursor`]), which re-acquires store + shard read
+    /// locks per chunk.
+    pub(crate) shards: ShardSet,
     /// The global sequencing mutex (level 4): id allocation + journal
     /// append + graph stamp + WAL seal, and nothing slower.
     seq: Mutex<()>,
@@ -420,6 +423,31 @@ impl Database {
     /// paper's Q4 shape); `active_only` restricts to non-retired branches.
     pub fn read_heads(&self, active_only: bool) -> MultiReadBuilder<'_> {
         MultiReadBuilder::new(self, BranchSel::Heads { active_only })
+    }
+
+    /// Opens a resumable chunked scan of `version`: each
+    /// [`ScanCursor::next_chunk`](crate::cursor::ScanCursor::next_chunk)
+    /// re-acquires the store + shard read locks, emits up to the requested
+    /// rows, and releases them — O(chunk) memory and zero lock time
+    /// between chunks, at read-committed-per-chunk consistency (see
+    /// [`crate::cursor`]).
+    pub fn chunked_scan(
+        self: &Arc<Self>,
+        version: impl Into<VersionRef>,
+        predicate: Predicate,
+    ) -> ScanCursor {
+        ScanCursor::new(Arc::clone(self), version.into(), predicate)
+    }
+
+    /// Opens a resumable chunked multi-branch annotated scan — the
+    /// streaming counterpart of
+    /// [`Database::read_branches`]`.filter(p).annotated()`.
+    pub fn chunked_multi_scan(
+        self: &Arc<Self>,
+        branches: Vec<BranchId>,
+        predicate: Predicate,
+    ) -> MultiScanCursor {
+        MultiScanCursor::new(Arc::clone(self), branches, predicate)
     }
 
     /// Runs a declarative query plan under the shared store lock, plus

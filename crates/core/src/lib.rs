@@ -20,6 +20,7 @@
 //! query classes (§4.3).
 
 mod checkpoint;
+pub mod cursor;
 pub mod db;
 pub mod engine;
 mod journal;
@@ -31,6 +32,7 @@ pub mod shard;
 pub mod store;
 pub mod types;
 
+pub use cursor::{MultiScanCursor, ScanCursor};
 pub use db::{Database, JournalStats};
 pub use engine::{
     HybridEngine, TupleFirstBranchEngine, TupleFirstEngine, TupleFirstTupleEngine,

@@ -33,6 +33,7 @@ use decibel_common::ids::{BranchId, CommitId};
 use decibel_common::record::Record;
 use decibel_pagestore::{LockMode, TxnLocks};
 
+use crate::cursor::ScanCursor;
 use crate::db::Database;
 use crate::journal;
 use crate::shard::SessionOp;
@@ -164,6 +165,15 @@ impl Session {
         Ok(())
     }
 
+    /// Whether an explicit or auto-begun transaction is open. While this
+    /// is `true` the session holds the branch's exclusive 2PL lock, so
+    /// further writes and reads on this session cannot block on lock
+    /// acquisition — callers (like the server's event loop) can use that
+    /// to run them inline instead of parking them on a worker thread.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
     fn txn_mut(&mut self) -> Result<&mut Txn> {
         if self.txn.is_none() {
             self.begin()?;
@@ -292,6 +302,23 @@ impl Session {
             n += 1;
         }
         Ok(n)
+    }
+
+    /// Opens a resumable chunked scan of the session's view: the base
+    /// version merged with a *snapshot* of the transaction overlay, the
+    /// same semantics as [`Session::scan_with`] but emitted in bounded
+    /// chunks with no lock held between them (see [`crate::cursor`]).
+    ///
+    /// The cursor takes no branch-level 2PL lock — deliberately, so it
+    /// works while this session holds the branch exclusively inside an
+    /// open transaction — and is independent of the session afterwards:
+    /// writes buffered after this call do not appear in later chunks.
+    pub fn chunked_scan(&self) -> ScanCursor {
+        let overlay = match &self.txn {
+            Some(t) => t.overlay.clone(),
+            None => FxHashMap::default(),
+        };
+        ScanCursor::with_overlay(Arc::clone(&self.db), self.at, overlay)
     }
 
     /// Materializes the session's view (convenience for tests/examples).

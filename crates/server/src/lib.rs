@@ -1,92 +1,172 @@
-//! The Decibel TCP server: one [`Session`] per connection over a shared
-//! [`Arc<Database>`].
+//! The Decibel TCP server: a readiness-driven event loop multiplexing
+//! every connection, over a shared [`Arc<Database>`].
 //!
 //! "Users interact with Decibel by opening a connection to the Decibel
-//! server, which creates a session" (§2.2.3). The concurrency model is
-//! exactly the one PR 3's connection API was designed for: sessions are
-//! `Send + 'static` and own their `Arc<Database>`, so the server runs one
-//! plain thread per client, each holding one session. Readers share the
-//! store's reader-writer lock and proceed in parallel; writers serialize
-//! per branch through the session layer's two-phase locks. Dropping a
-//! connection drops its session, which rolls back any open transaction and
-//! releases its branch locks — the disconnect semantics the paper asks for
-//! ("rolled back if the client crashes or disconnects before committing")
-//! fall out of `Session`'s `Drop` impl with no extra bookkeeping.
+//! server, which creates a session" (§2.2.3). One [`Session`] per
+//! connection still holds — but instead of one OS thread per client, a
+//! single event-loop thread owns an epoll instance
+//! ([`decibel_netio::Poll`]) and every connection's socket, and a small
+//! worker pool absorbs the calls that may block. The pieces:
+//!
+//! * **Per-connection state machine.** Each connection carries an
+//!   incremental [`FrameDecoder`] (partial reads resume — there is no
+//!   blocking `read_exact` anywhere in the server), a bounded queue of
+//!   decoded-but-unstarted requests (a client may pipeline; the queue cap
+//!   pauses read interest so an abusive sender backpressures through TCP
+//!   instead of growing server memory), and one write buffer.
+//! * **Chunked streaming scans.** Scan-shaped requests (`ScanSession`,
+//!   `Collect`, sequential `MultiScan`) run on the loop as resumable
+//!   [`ScanCursor`]s ([`decibel_core::cursor`]): chunks (~
+//!   [`proto::SCAN_BATCH_BYTES`]) are produced under a store/shard read
+//!   lock held for at most [`CHUNKS_PER_LOCK`] chunks, and production
+//!   parks — releasing the locks — once the unsent write-buffer backlog
+//!   reaches the [`STREAM_AHEAD`] cap (~2 MiB). A slow client therefore
+//!   pins a small constant of server memory and **zero** lock time while
+//!   stalled — the backpressure contract the thread-per-client server
+//!   could not offer (it materialized whole results to bound lock hold
+//!   time, at O(result) memory).
+//! * **Worker pool.** Session calls that may block — commit (group fsync),
+//!   merge, flush, 2PL lock acquisition on checkout/begin/writes, and the
+//!   materializing parallel multi-scan — are dispatched to a small pool.
+//!   The job moves the connection's `Session` to the worker and the
+//!   completion moves it back (sessions are `Send`), so the loop never
+//!   stalls behind a lock or an fsync.
+//! * **Deadline wheel.** The idle read timeout ([`Server::with_read_timeout`])
+//!   is driven by the poll timeout off a min-heap of per-connection
+//!   deadlines (lazy deletion, one live entry per connection) instead of
+//!   per-socket `SO_RCVTIMEO`. Expiry behavior is unchanged: the open
+//!   transaction rolls back, a typed [`DbError::Timeout`] error frame is
+//!   sent best-effort, and the connection closes.
+//! * **Auth.** With [`Server::with_auth_token`], the first request on
+//!   every connection must be `Auth` carrying the shared secret (compared
+//!   in constant time); anything else earns a typed
+//!   [`DbError::AuthFailed`] frame and a close. Without a token, stray
+//!   `Auth` frames are accepted and ignored, so
+//!   [`Client::connect_with_token`](decibel_wire::Client::connect_with_token)
+//!   works against any server.
+//!
+//! Dropping a connection drops its session, which rolls back any open
+//! transaction and releases its branch locks — the disconnect semantics
+//! the paper asks for ("rolled back if the client crashes or disconnects
+//! before committing") fall out of `Session`'s `Drop` impl, exactly as
+//! before.
 //!
 //! # Shutdown
 //!
-//! [`ServerHandle::shutdown`] is the graceful path: it flips the shared
-//! shutdown flag, wakes the blocked `accept` with a loopback connection,
-//! shuts every client socket down (unblocking their readers), joins all
-//! threads, and finally checkpoints the database via [`Database::flush`] —
-//! so a cleanly stopped server restarts with an empty journal suffix. The
-//! `decibel-server` binary triggers the same path from SIGTERM/SIGINT: the
-//! signal handler only stores a flag; the main thread notices and runs the
-//! orderly shutdown outside signal context.
-//!
-//! # Scan memory vs. lock hold time
-//!
-//! Scan-shaped requests materialize their full result set server-side
-//! before the first batch frame is written (the in-process terminals —
-//! `scan_collect`, `collect`, `annotated` — materialize too). This is a
-//! deliberate trade: streaming rows straight off the scan iterator would
-//! write to the socket while holding the store's shared read lock, letting
-//! one slow or stalled client block every writer for the duration of its
-//! scan. Materializing bounds lock hold time by scan cost instead of
-//! client speed, at the price of O(result) server memory per in-flight
-//! scan. Flow-controlled streaming that decouples the lock from the
-//! socket (bounded re-read chunking) is a ROADMAP item.
+//! [`ServerHandle::shutdown`] flips the shared flag and wakes the loop via
+//! the cross-thread [`Waker`]. The loop stops accepting, drops every
+//! connection (sessions roll back), closes the job channel and joins the
+//! workers (in-flight blocking calls complete; their sessions are dropped
+//! on return), then exits. The handle finally checkpoints via
+//! [`Database::flush`], so a cleanly stopped server restarts with an empty
+//! journal suffix. The `decibel-server` binary triggers the same path from
+//! SIGTERM/SIGINT.
 
-use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use decibel_common::error::{DbError, Result};
-use decibel_common::record::Record;
 use decibel_common::schema::Schema;
+use decibel_core::cursor::{MultiScanCursor, ScanCursor};
 use decibel_core::{Database, Session};
-use decibel_wire::frame::{read_frame, write_frame};
+use decibel_netio::{Events, Interest, Poll, Token, Trigger, Waker};
+use decibel_wire::frame::{write_frame, FrameDecoder};
 use decibel_wire::proto::{self, Hello, Reply, Request, Response};
 
-/// Shared server state: the shutdown flag plus the sockets to unblock.
-struct ServerState {
-    shutdown: AtomicBool,
-    /// Connection id allocator (keys of `conns`).
-    next_conn: AtomicU64,
-    /// One clone per **live** connection, so shutdown can `Shutdown::Both`
-    /// them and unblock readers parked in `read_frame`. A connection's
-    /// worker removes its own entry on the way out, so churn does not
-    /// accumulate duplicated descriptors.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-}
+/// Token of the accept listener.
+const LISTENER: Token = Token(0);
+/// Token of the shutdown/completion waker.
+const WAKER: Token = Token(1);
+/// Connection slab index `i` registers under `Token(i + CONN_BASE)`.
+const CONN_BASE: usize = 2;
 
-/// A bound, not-yet-serving listener. [`Server::spawn`] starts the accept
+/// Decoded requests a connection may queue before the loop pauses its
+/// read interest. Small: pipelining hides round trips with 2–3 requests
+/// in flight; dozens would just buy an abusive client server memory.
+const MAX_PENDING: usize = 16;
+
+/// Worker threads for blocking session calls. Commits group-fsync across
+/// branches, so a handful of workers serves many concurrent writers.
+const WORKERS: usize = 4;
+
+/// Per-read scratch size. One socket drain may run many reads; frames
+/// larger than this assemble incrementally in the decoder.
+const READ_CHUNK: usize = 64 << 10;
+
+/// Scan chunks produced per store-lock acquisition when the client keeps
+/// up. Bounds both the lock hold (at most this many ~256 KiB chunks of
+/// encode and nonblocking write) and how long one connection can hog the
+/// loop; a backpressured socket ends the run early regardless.
+const CHUNKS_PER_LOCK: usize = 32;
+
+/// Stream-ahead cap: scan chunks keep being produced into the write
+/// buffer until this many bytes sit unsent, then production parks until
+/// the socket drains below it. Kernel send buffers are small (wmem_max
+/// is ~200 KiB on stock Linux), and every park/resume pays the cursor's
+/// O(prefix) skip — buffering a bounded handful of chunks in user space
+/// absorbs that for all but the largest results, while a stalled client
+/// still pins only this constant (~2 MiB), not O(result).
+const STREAM_AHEAD: usize = 8 * proto::SCAN_BATCH_BYTES;
+
+/// A bound, not-yet-serving listener. [`Server::spawn`] starts the event
 /// loop and returns the [`ServerHandle`] used to stop it.
 pub struct Server {
     listener: TcpListener,
     db: Arc<Database>,
     addr: SocketAddr,
     read_timeout: Option<Duration>,
+    auth_token: Option<String>,
+    poll: Poll,
+    shared: Arc<Shared>,
+}
+
+/// State shared between the loop thread, the workers, and the handle.
+struct Shared {
+    shutdown: AtomicBool,
+    waker: Waker,
+    /// Live-connection gauge: registered sockets currently owned by the
+    /// loop. Observable via [`ServerHandle::live_connections`] so tests
+    /// can assert churn deregisters cleanly (no fd leak).
+    live: AtomicUsize,
 }
 
 impl Server {
     /// Binds a listener for `db` on `addr` (use port 0 for an ephemeral
-    /// port; [`Server::local_addr`] reports what was picked).
+    /// port; [`Server::local_addr`] reports what was picked) and creates
+    /// the epoll instance that will serve it.
     pub fn bind(db: Arc<Database>, addr: impl ToSocketAddrs) -> Result<Server> {
         let listener =
             TcpListener::bind(addr).map_err(|e| DbError::io("binding server listener", e))?;
         let addr = listener
             .local_addr()
             .map_err(|e| DbError::io("reading listener address", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| DbError::io("setting listener nonblocking", e))?;
+        let poll = Poll::new().map_err(|e| DbError::io("creating epoll instance", e))?;
+        poll.register(&listener, LISTENER, Interest::READABLE, Trigger::Level)
+            .map_err(|e| DbError::io("registering listener", e))?;
+        let waker =
+            Waker::new(&poll, WAKER).map_err(|e| DbError::io("creating server waker", e))?;
         Ok(Server {
             listener,
             db,
             addr,
             read_timeout: None,
+            auth_token: None,
+            poll,
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                waker,
+                live: AtomicUsize::new(0),
+            }),
         })
     }
 
@@ -95,9 +175,20 @@ impl Server {
     /// (releasing its branch locks) and is sent a typed
     /// [`DbError::Timeout`] error frame before the connection closes — so
     /// a stalled or vanished client cannot pin locks forever. `None`
-    /// (the default) waits indefinitely.
+    /// (the default) waits indefinitely. A connection mid-request — reply
+    /// draining, scan streaming, worker call in flight — is busy, not
+    /// idle, no matter how slowly it reads.
     pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.read_timeout = timeout;
+        self
+    }
+
+    /// Requires every connection to present `token` (via
+    /// [`Request::Auth`]) before its first real request. Compared in
+    /// constant time; failures are rejected with a typed
+    /// [`DbError::AuthFailed`] frame and a close.
+    pub fn with_auth_token(mut self, token: Option<String>) -> Self {
+        self.auth_token = token;
         self
     }
 
@@ -106,96 +197,35 @@ impl Server {
         self.addr
     }
 
-    /// Starts the accept loop on a background thread: thread-per-client,
-    /// one session each. Returns the handle that stops it.
+    /// Starts the event loop on a background thread. Returns the handle
+    /// that stops it.
     pub fn spawn(self) -> ServerHandle {
-        let state = Arc::new(ServerState {
-            shutdown: AtomicBool::new(false),
-            next_conn: AtomicU64::new(0),
-            conns: Mutex::new(HashMap::new()),
-        });
-        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let db = Arc::clone(&self.db);
-            let state = Arc::clone(&state);
-            let workers = Arc::clone(&workers);
-            let listener = self.listener;
-            let read_timeout = self.read_timeout;
-            std::thread::Builder::new()
-                .name("decibel-accept".into())
-                .spawn(move || loop {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            if state.shutdown.load(Ordering::SeqCst) {
-                                // The wakeup connection (or a client racing
-                                // the shutdown): refuse and stop accepting.
-                                return;
-                            }
-                            // A worker is only spawned with its socket
-                            // registered: shutdown must be able to unblock
-                            // every reader it is going to join. If the
-                            // clone fails (fd pressure), refuse the
-                            // connection instead of serving it unjoinably.
-                            let Ok(clone) = stream.try_clone() else {
-                                continue;
-                            };
-                            let id = state.next_conn.fetch_add(1, Ordering::Relaxed);
-                            state.conns.lock().unwrap().insert(id, clone);
-                            let db = Arc::clone(&db);
-                            let state = Arc::clone(&state);
-                            let handle = std::thread::Builder::new()
-                                .name("decibel-conn".into())
-                                .spawn(move || {
-                                    // Connection-level failures (peer reset,
-                                    // torn frame) end this client only; the
-                                    // session drop below rolls its
-                                    // transaction back either way.
-                                    let _ = serve_connection(db, stream, &state, read_timeout);
-                                    // Deregister on the way out so churn
-                                    // does not leak descriptors.
-                                    state.conns.lock().unwrap().remove(&id);
-                                })
-                                .expect("spawning connection thread");
-                            // Reap handles of finished workers (they are
-                            // done; dropping a finished handle just frees
-                            // it) so the vector tracks live connections,
-                            // not lifetime connection count.
-                            let mut workers = workers.lock().unwrap();
-                            workers.retain(|h| !h.is_finished());
-                            workers.push(handle);
-                        }
-                        Err(_) => {
-                            if state.shutdown.load(Ordering::SeqCst) {
-                                return;
-                            }
-                            // Persistent accept errors (EMFILE/ENFILE)
-                            // would otherwise busy-spin this thread; back
-                            // off and keep serving the clients we have.
-                            std::thread::sleep(Duration::from_millis(50));
-                        }
-                    }
-                })
-                .expect("spawning accept thread")
-        };
+        let db = Arc::clone(&self.db);
+        let addr = self.addr;
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::Builder::new()
+            .name("decibel-evloop".into())
+            .spawn(move || {
+                EventLoop::new(self).run();
+            })
+            .expect("spawning server event loop");
         ServerHandle {
-            db: self.db,
-            addr: self.addr,
-            state,
-            accept,
-            workers,
+            db,
+            addr,
+            shared,
+            thread,
         }
     }
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
-/// call [`ServerHandle::shutdown`] for the graceful flag → wakeup → join →
+/// call [`ServerHandle::shutdown`] for the graceful flag → wake → join →
 /// checkpoint sequence.
 pub struct ServerHandle {
     db: Arc<Database>,
     addr: SocketAddr,
-    state: Arc<ServerState>,
-    accept: JoinHandle<()>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Arc<Shared>,
+    thread: JoinHandle<()>,
 }
 
 impl ServerHandle {
@@ -210,178 +240,231 @@ impl ServerHandle {
         &self.db
     }
 
+    /// Connections currently registered with the event loop. Disconnects
+    /// are processed asynchronously, so tests poll this to assert churn
+    /// releases registrations.
+    pub fn live_connections(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
+    }
+
     /// Gracefully stops the server: no new connections, every live client
-    /// socket is shut down (their sessions drop, rolling back open
-    /// transactions and releasing branch locks), all threads are joined,
-    /// and the database is checkpointed via [`Database::flush`] so the
-    /// next [`Database::open`] replays an empty journal suffix.
+    /// socket closes (their sessions drop, rolling back open transactions
+    /// and releasing branch locks), the workers drain and join, and the
+    /// database is checkpointed via [`Database::flush`] so the next
+    /// [`Database::open`] replays an empty journal suffix.
     pub fn shutdown(self) -> Result<()> {
-        self.state.shutdown.store(true, Ordering::SeqCst);
-        // Wake the accept loop: it is parked in `accept()`, so hand it the
-        // connection it is waiting for.
-        let _ = TcpStream::connect(self.addr);
-        let _ = self.accept.join();
-        for (_, conn) in self.state.conns.lock().unwrap().drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
-        for handle in workers {
-            let _ = handle.join();
-        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.shared.waker.wake();
+        let _ = self.thread.join();
         // Every session is gone; checkpoint so the shutdown is durable and
         // cheap to reopen.
         self.db.flush()
     }
 }
 
-/// What one request produced: a single reply or a streamed scan.
-enum Outcome {
-    Reply(Reply),
-    Records(Vec<Record>),
-    Annotated(Vec<(Record, Vec<decibel_common::ids::BranchId>)>),
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+/// A blocking call dispatched off the loop. `session` is `Some` for
+/// session-surface requests (the connection gives its session up until
+/// the completion returns it) and `None` for database-surface ones.
+struct Job {
+    conn: usize,
+    generation: u64,
+    session: Option<Session>,
+    req: Request,
 }
 
-/// Serves one client: hello, then a request/response loop until the peer
-/// hangs up or shutdown closes the socket. The session — and with it any
-/// open transaction and its branch locks — lives exactly as long as this
-/// function.
-fn serve_connection(
-    db: Arc<Database>,
-    stream: TcpStream,
-    state: &ServerState,
-    read_timeout: Option<Duration>,
-) -> Result<()> {
-    stream
-        .set_nodelay(true)
-        .map_err(|e| DbError::io("setting TCP_NODELAY", e))?;
-    stream
-        .set_read_timeout(read_timeout)
-        .map_err(|e| DbError::io("setting connection read timeout", e))?;
-    let write_half = stream
-        .try_clone()
-        .map_err(|e| DbError::io("cloning connection socket", e))?;
-    let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(write_half);
-    let schema = db.schema();
-    let hello = Hello {
-        protocol: proto::PROTOCOL_VERSION,
-        schema: schema.clone(),
-        engine: db.engine_kind().name().to_string(),
-    };
-    write_frame(&mut writer, &hello.encode())?;
-    writer
-        .flush()
-        .map_err(|e| DbError::io("flushing hello", e))?;
+/// A finished blocking call: the (possibly returned) session plus the
+/// fully encoded response frames to append to the connection's write
+/// buffer.
+struct Done {
+    conn: usize,
+    generation: u64,
+    session: Option<Session>,
+    frames: Vec<u8>,
+}
 
-    let mut session = db.session();
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return Ok(()), // clean disconnect
-            // An idle socket trips the read timeout (surfaced as
-            // WouldBlock or TimedOut depending on the platform): roll the
-            // session's open transaction back so its branch locks free,
-            // tell the client why in a typed error frame (best effort —
-            // the peer may already be gone), and close.
-            Err(DbError::Io { source, .. })
-                if matches!(
-                    source.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                session.rollback();
-                let err = DbError::timeout(
-                    "connection idle past the server read timeout; transaction rolled back",
-                );
-                let _ = send(&mut writer, &schema, &Response::Err(err));
-                return Err(DbError::timeout("connection read timeout"));
-            }
-            Err(e) => return Err(e),
-        };
-        if state.shutdown.load(Ordering::SeqCst) {
-            return Ok(());
+struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    done_rx: Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn start(db: &Arc<Database>, schema: &Schema, shared: &Arc<Shared>) -> WorkerPool {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..WORKERS)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let done_tx = done_tx.clone();
+                let db = Arc::clone(db);
+                let schema = schema.clone();
+                let shared = Arc::clone(shared);
+                std::thread::Builder::new()
+                    .name(format!("decibel-worker-{i}"))
+                    .spawn(move || loop {
+                        // Contend only for the receiver, not for job
+                        // execution.
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // channel closed: shutdown
+                        };
+                        let mut session = job.session;
+                        let frames = respond_blocking(&db, &schema, session.as_mut(), job.req);
+                        // The loop may have exited (hard shutdown race);
+                        // a dead channel just drops the session, which
+                        // rolls back — exactly what a dropped connection
+                        // deserves.
+                        let _ = done_tx.send(Done {
+                            conn: job.conn,
+                            generation: job.generation,
+                            session,
+                            frames,
+                        });
+                        let _ = shared.waker.wake();
+                    })
+                    .expect("spawning server worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            done_rx,
+            handles,
         }
-        // A malformed body is the client's bug, not a broken stream: the
-        // framing layer already consumed the whole frame, so report the
-        // decode error and keep serving.
-        let outcome = Request::decode(&frame, &schema).and_then(|req| execute(&mut session, req));
-        match outcome {
-            Ok(Outcome::Reply(reply)) => {
-                send(&mut writer, &schema, &Response::Ok(reply))?;
-            }
-            Ok(Outcome::Records(rows)) => {
-                let total = rows.len() as u64;
-                for chunk in rows.chunks(proto::batch_rows(schema.record_size())) {
-                    send_unflushed(&mut writer, &schema, &Response::Batch(chunk.to_vec()))?;
-                }
-                send(&mut writer, &schema, &Response::Ok(Reply::Rows(total)))?;
-            }
-            Ok(Outcome::Annotated(rows)) => {
-                let total = rows.len() as u64;
-                for chunk in rows.chunks(proto::batch_rows(schema.record_size())) {
-                    send_unflushed(
-                        &mut writer,
-                        &schema,
-                        &Response::AnnotatedBatch(chunk.to_vec()),
-                    )?;
-                }
-                send(&mut writer, &schema, &Response::Ok(Reply::Rows(total)))?;
-            }
-            Err(err) => {
-                send(&mut writer, &schema, &Response::Err(err))?;
-            }
+    }
+
+    fn dispatch(&self, job: Job) {
+        // Send cannot fail while the pool lives (tx is dropped only in
+        // `join`, after the loop stops dispatching).
+        self.tx
+            .as_ref()
+            .expect("worker pool already joined")
+            .send(job)
+            .expect("worker pool hung up");
+    }
+
+    /// Closes the job channel and joins every worker. Queued jobs finish
+    /// first (a commit already accepted should hit the journal before the
+    /// shutdown checkpoint); their completions are dropped by the caller,
+    /// rolling back any returned session.
+    fn join(&mut self) {
+        self.tx = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }
 
-fn send_unflushed(w: &mut impl Write, schema: &Schema, resp: &Response) -> Result<()> {
-    write_frame(w, &resp.encode(schema)?)
+/// Executes one blocking request and encodes its complete response
+/// (error frames included — every failure here is an *application* error
+/// shipped to the client; the connection stays up).
+fn respond_blocking(
+    db: &Arc<Database>,
+    schema: &Schema,
+    session: Option<&mut Session>,
+    req: Request,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    respond_blocking_into(&mut out, db, schema, session, req);
+    out
 }
 
-fn send(w: &mut impl Write, schema: &Schema, resp: &Response) -> Result<()> {
-    send_unflushed(w, schema, resp)?;
-    w.flush().map_err(|e| DbError::io("flushing response", e))
+/// [`respond_blocking`], appending to an existing buffer — the inline
+/// fast path encodes straight into the connection's write buffer.
+fn respond_blocking_into(
+    out: &mut Vec<u8>,
+    db: &Arc<Database>,
+    schema: &Schema,
+    session: Option<&mut Session>,
+    req: Request,
+) {
+    let start = out.len();
+    let result = execute_blocking(db, session, req);
+    let enc = match result {
+        Ok(Replies::One(reply)) => queue_response(out, schema, &Response::Ok(reply)),
+        Ok(Replies::Annotated(rows)) => (|| {
+            let total = rows.len() as u64;
+            for chunk in rows.chunks(proto::batch_rows(schema.record_size())) {
+                queue_response(out, schema, &Response::AnnotatedBatch(chunk.to_vec()))?;
+            }
+            queue_response(out, schema, &Response::Ok(Reply::Rows(total)))
+        })(),
+        Err(err) => queue_response(out, schema, &Response::Err(err)),
+    };
+    if let Err(err) = enc {
+        // Response encoding failed (schema-mismatched record out of the
+        // engine — effectively unreachable). Replace the partial output
+        // with one well-formed error frame.
+        out.truncate(start);
+        let _ = queue_response(out, schema, &Response::Err(err));
+    }
 }
 
-/// Maps one request onto the session / database surface. Errors returned
-/// here are *application* errors, shipped to the client as typed error
-/// frames; the connection stays up.
-fn execute(session: &mut Session, req: Request) -> Result<Outcome> {
-    let db = Arc::clone(session.database());
+/// What a blocking request produces.
+enum Replies {
+    One(Reply),
+    /// The materializing parallel multi-scan: worker-side because the
+    /// engine's work-stealing path wants its own threads and returns the
+    /// full result anyway.
+    Annotated(
+        Vec<(
+            decibel_common::record::Record,
+            Vec<decibel_common::ids::BranchId>,
+        )>,
+    ),
+}
+
+fn need_session() -> DbError {
+    // Unreachable by construction: the loop classifies requests before
+    // dispatch and only session-surface jobs carry the session.
+    DbError::protocol("internal: session-surface request dispatched without a session")
+}
+
+/// Maps one blocking request onto the session / database surface — the
+/// same one-for-one mapping the thread-per-client server used.
+fn execute_blocking(
+    db: &Arc<Database>,
+    session: Option<&mut Session>,
+    req: Request,
+) -> Result<Replies> {
+    use Replies::One;
+    if let Some(session) = session {
+        return Ok(One(match req {
+            Request::CheckoutBranch { name } => Reply::Branch(session.checkout_branch(&name)?),
+            Request::CheckoutCommit { commit } => {
+                session.checkout_commit(commit)?;
+                Reply::Unit
+            }
+            Request::Branch { name } => Reply::Branch(session.branch(&name)?),
+            Request::Begin => {
+                session.begin()?;
+                Reply::Unit
+            }
+            Request::Insert { record } => {
+                session.insert(record)?;
+                Reply::Unit
+            }
+            Request::Update { record } => {
+                session.update(record)?;
+                Reply::Unit
+            }
+            Request::Delete { key } => Reply::Bool(session.delete(key)?),
+            Request::Get { key } => Reply::MaybeRecord(session.get(key)?),
+            Request::Commit => Reply::Commit(session.commit()?),
+            Request::Rollback => {
+                session.rollback();
+                Reply::Unit
+            }
+            _ => return Err(need_session()),
+        }));
+    }
     Ok(match req {
-        Request::CheckoutBranch { name } => {
-            Outcome::Reply(Reply::Branch(session.checkout_branch(&name)?))
-        }
-        Request::CheckoutCommit { commit } => {
-            session.checkout_commit(commit)?;
-            Outcome::Reply(Reply::Unit)
-        }
-        Request::Branch { name } => Outcome::Reply(Reply::Branch(session.branch(&name)?)),
-        Request::LookupBranch { name } => Outcome::Reply(Reply::Branch(db.branch_id(&name)?)),
-        Request::Begin => {
-            session.begin()?;
-            Outcome::Reply(Reply::Unit)
-        }
-        Request::Insert { record } => {
-            session.insert(record)?;
-            Outcome::Reply(Reply::Unit)
-        }
-        Request::Update { record } => {
-            session.update(record)?;
-            Outcome::Reply(Reply::Unit)
-        }
-        Request::Delete { key } => Outcome::Reply(Reply::Bool(session.delete(key)?)),
-        Request::Get { key } => Outcome::Reply(Reply::MaybeRecord(session.get(key)?)),
-        Request::Commit => Outcome::Reply(Reply::Commit(session.commit()?)),
-        Request::Rollback => {
-            session.rollback();
-            Outcome::Reply(Reply::Unit)
-        }
-        Request::ScanSession => Outcome::Records(session.scan_collect()?),
-        Request::Collect { version, predicate } => {
-            Outcome::Records(db.read(version).filter(predicate).collect()?)
-        }
-        Request::Count { version, predicate } => Outcome::Reply(Reply::Scalar(
+        Request::LookupBranch { name } => One(Reply::Branch(db.branch_id(&name)?)),
+        Request::Count { version, predicate } => One(Reply::Scalar(
             db.read(version).filter(predicate).count()? as f64,
         )),
         Request::Aggregate {
@@ -389,39 +472,792 @@ fn execute(session: &mut Session, req: Request) -> Result<Outcome> {
             column,
             agg,
             predicate,
-        } => Outcome::Reply(Reply::Scalar(
+        } => One(Reply::Scalar(
             db.read(version).filter(predicate).aggregate(column, agg)?,
         )),
         Request::MultiScan {
             branches,
             predicate,
             parallel,
-        } => Outcome::Annotated(
+        } => Replies::Annotated(
             db.read_branches(&branches)
                 .filter(predicate)
                 .parallel(parallel)
                 .annotated()?,
         ),
-        Request::Merge { into, from, policy } => {
-            Outcome::Reply(Reply::Merge(db.merge(into, from, policy)?))
-        }
+        Request::Merge { into, from, policy } => One(Reply::Merge(db.merge(into, from, policy)?)),
         Request::Flush => {
             db.flush()?;
-            Outcome::Reply(Reply::Unit)
+            One(Reply::Unit)
         }
+        _ => return Err(need_session()),
     })
+}
+
+/// Whether a request's blocking call runs on the session surface (the
+/// worker takes the connection's session along).
+fn takes_session(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::CheckoutBranch { .. }
+            | Request::CheckoutCommit { .. }
+            | Request::Branch { .. }
+            | Request::Begin
+            | Request::Insert { .. }
+            | Request::Update { .. }
+            | Request::Delete { .. }
+            | Request::Get { .. }
+            | Request::Commit
+            | Request::Rollback
+    )
+}
+
+/// Encodes `resp` as one frame appended to `out`.
+fn queue_response(out: &mut Vec<u8>, schema: &Schema, resp: &Response) -> Result<()> {
+    write_frame(out, &resp.encode(schema)?)
+}
+
+/// Writes as much buffered output as the socket accepts right now.
+/// `Err(())` is a fatal socket error (peer gone): close the connection.
+/// On `Ok`, the drain state is whatever `out_pos` vs `outbuf` says.
+fn flush_buffer(
+    stream: &mut TcpStream,
+    outbuf: &mut Vec<u8>,
+    out_pos: &mut usize,
+) -> std::result::Result<(), ()> {
+    while *out_pos < outbuf.len() {
+        match stream.write(&outbuf[*out_pos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => *out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    if *out_pos == outbuf.len() {
+        outbuf.clear();
+        *out_pos = 0;
+    } else if *out_pos >= proto::SCAN_BATCH_BYTES {
+        // Partial drain of a large buffer: reclaim the sent prefix so a
+        // long stream to a slow client does not grow the buffer.
+        outbuf.drain(..*out_pos);
+        *out_pos = 0;
+    }
+    Ok(())
+}
+
+/// Constant-time token comparison: the fold visits every byte of both
+/// strings regardless of where (or whether) they differ, so response
+/// timing does not leak a matching prefix length.
+fn token_matches(expected: &str, presented: &str) -> bool {
+    let (a, b) = (expected.as_bytes(), presented.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= (x ^ y) as usize;
+    }
+    diff == 0
+}
+
+// ---------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------
+
+/// An in-flight streamed scan: the resumable cursor whose next chunk is
+/// produced when — and only when — the write buffer has drained.
+enum Streaming {
+    Records(ScanCursor),
+    Annotated(MultiScanCursor),
+}
+
+/// What a connection is doing between events.
+enum Active {
+    /// Nothing in flight; the next queued request may start.
+    Idle,
+    /// A chunked scan is streaming; `session` stays on the connection.
+    Streaming(Streaming),
+    /// A worker owns the request (and, for session ops, the session);
+    /// completion arrives through the done channel.
+    Worker,
+}
+
+struct Connection {
+    stream: TcpStream,
+    generation: u64,
+    decoder: FrameDecoder,
+    /// Decoded request frames not yet started (client pipelining).
+    pending: VecDeque<Vec<u8>>,
+    /// Write buffer: at most ~one scan chunk plus small replies.
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    session: Option<Session>,
+    active: Active,
+    interest: Interest,
+    authed: bool,
+    /// Flush the write buffer, then close (auth rejection path).
+    closing: bool,
+    last_activity: Instant,
+}
+
+impl Connection {
+    fn is_busy(&self) -> bool {
+        !matches!(self.active, Active::Idle)
+            || !self.pending.is_empty()
+            || self.out_pos < self.outbuf.len()
+    }
+
+    fn desired_interest(&self) -> Interest {
+        let mut want = Interest::NONE;
+        // Stop reading while the pipeline queue is full (or while
+        // draining a rejected connection): bytes back up into the kernel
+        // buffer and TCP flow control pushes back on the sender.
+        if self.pending.len() < MAX_PENDING && !self.closing {
+            want = want | Interest::READABLE;
+        }
+        if self.out_pos < self.outbuf.len() {
+            want = want | Interest::WRITABLE;
+        }
+        want
+    }
+}
+
+/// Outcome of pumping a connection: keep it, or close (dropping the
+/// session, which rolls back).
+#[derive(PartialEq)]
+enum Disposition {
+    Keep,
+    Close,
+}
+
+struct EventLoop {
+    poll: Poll,
+    listener: TcpListener,
+    db: Arc<Database>,
+    schema: Schema,
+    hello_frame: Vec<u8>,
+    batch_rows: usize,
+    read_timeout: Option<Duration>,
+    auth_token: Option<String>,
+    shared: Arc<Shared>,
+    workers: WorkerPool,
+    conns: Vec<Option<Connection>>,
+    free: Vec<usize>,
+    next_generation: u64,
+    /// Deadline wheel: `(deadline, slot, generation)` min-heap with lazy
+    /// deletion — one live entry per connection, re-armed on pop.
+    deadlines: BinaryHeap<Reverse<(Instant, usize, u64)>>,
+    scratch: Vec<u8>,
+}
+
+impl EventLoop {
+    fn new(server: Server) -> EventLoop {
+        let schema = server.db.schema();
+        let hello = Hello {
+            protocol: proto::PROTOCOL_VERSION,
+            schema: schema.clone(),
+            engine: server.db.engine_kind().name().to_string(),
+        };
+        let mut hello_frame = Vec::new();
+        write_frame(&mut hello_frame, &hello.encode()).expect("encoding hello");
+        let workers = WorkerPool::start(&server.db, &schema, &server.shared);
+        EventLoop {
+            poll: server.poll,
+            listener: server.listener,
+            batch_rows: proto::batch_rows(schema.record_size()),
+            db: server.db,
+            schema,
+            hello_frame,
+            read_timeout: server.read_timeout,
+            auth_token: server.auth_token,
+            shared: server.shared,
+            workers,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+            deadlines: BinaryHeap::new(),
+            scratch: vec![0u8; READ_CHUNK],
+        }
+    }
+
+    fn run(mut self) {
+        let mut events = Events::with_capacity(256);
+        loop {
+            // Check the flag *before* blocking, not only after poll
+            // returns: a shutdown wake that lands between the post-poll
+            // check and this iteration's `waker.drain()` is silently
+            // consumed by that drain, and a post-poll check alone would
+            // then sleep forever. `shutdown()` stores the flag before
+            // waking, so any wake consumed by a previous iteration's
+            // drain implies the store is visible to this load.
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let timeout = self.next_poll_timeout();
+            if self.poll.poll(&mut events, timeout).is_err() {
+                // Only unrecoverable epoll failures land here (EINTR is
+                // retried inside poll); nothing to serve without a
+                // selector.
+                break;
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // Collect first: handling may close connections and reuse
+            // slots, and a slot must not see a stale event after reuse.
+            let fired: Vec<_> = events.iter().collect();
+            for ev in fired {
+                match ev.token() {
+                    LISTENER => self.accept_ready(),
+                    WAKER => self.shared.waker.drain(),
+                    Token(t) => {
+                        let slot = t - CONN_BASE;
+                        self.connection_ready(slot, ev.is_readable(), ev.is_writable());
+                    }
+                }
+            }
+            self.drain_completions();
+            self.expire_idle();
+        }
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        // Order matters: close every connection first (their sessions
+        // roll back and release branch locks), then let the workers
+        // finish queued jobs — a commit the server already accepted
+        // deserves to reach the journal before the shutdown checkpoint —
+        // and finally drop their completions (returned sessions roll
+        // back on drop).
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.close(slot);
+            }
+        }
+        self.workers.join();
+        while self.workers.done_rx.try_recv().is_ok() {}
+    }
+
+    fn next_poll_timeout(&mut self) -> Option<Duration> {
+        self.read_timeout?;
+        let now = Instant::now();
+        self.deadlines
+            .peek()
+            .map(|Reverse((when, _, _))| when.saturating_duration_since(now))
+    }
+
+    // -- accept ------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (ECONNABORTED, EMFILE): the
+                // listener stays registered; level-triggered epoll
+                // re-reports pending connections on the next poll, so
+                // returning here cannot lose an accept.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        // Request/response round trips are latency-bound; never Nagle
+        // them. A failure here means the socket is already dead.
+        if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // A generous send buffer lets a multi-chunk scan burst land in
+        // kernel space in one lock acquisition instead of bouncing the
+        // producer through WouldBlock/resume cycles (each resume re-walks
+        // the scan prefix). Best-effort: the kernel clamps to wmem_max,
+        // and backpressure semantics don't depend on the size.
+        {
+            use std::os::fd::AsRawFd;
+            let _ = decibel_netio::set_send_buffer_size(stream.as_raw_fd(), 4 << 20);
+        }
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let mut conn = Connection {
+            stream,
+            generation,
+            decoder: FrameDecoder::new(),
+            pending: VecDeque::new(),
+            outbuf: self.hello_frame.clone(),
+            out_pos: 0,
+            session: Some(self.db.session()),
+            active: Active::Idle,
+            interest: Interest::NONE,
+            authed: self.auth_token.is_none(),
+            closing: false,
+            last_activity: Instant::now(),
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        let token = Token(slot + CONN_BASE);
+        conn.interest = conn.desired_interest();
+        if self
+            .poll
+            .register(&conn.stream, token, conn.interest, Trigger::Level)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.conns[slot] = Some(conn);
+        self.shared.live.fetch_add(1, Ordering::SeqCst);
+        if let Some(timeout) = self.read_timeout {
+            let deadline = Instant::now() + timeout;
+            self.deadlines.push(Reverse((deadline, slot, generation)));
+        }
+        // The hello usually fits the fresh socket buffer; push it now
+        // rather than waiting a poll cycle for the writable event.
+        if self.pump(slot) == Disposition::Close {
+            self.close(slot);
+        }
+    }
+
+    // -- per-connection event handling -------------------------------
+
+    fn connection_ready(&mut self, slot: usize, readable: bool, _writable: bool) {
+        if self.conns.get(slot).is_none_or(Option::is_none) {
+            return; // closed earlier this batch; stale event
+        }
+        if readable && self.read_ready(slot) == Disposition::Close {
+            self.close(slot);
+            return;
+        }
+        // Writability is re-checked by pump itself (it writes until
+        // WouldBlock), so both paths converge here.
+        if self.pump(slot) == Disposition::Close {
+            self.close(slot);
+        }
+    }
+
+    /// Drains the socket into the frame decoder (stopping early if the
+    /// pipeline queue fills) and queues decoded frames.
+    fn read_ready(&mut self, slot: usize) -> Disposition {
+        let conn = self.conns[slot].as_mut().unwrap();
+        loop {
+            if conn.pending.len() >= MAX_PENDING || conn.closing {
+                return Disposition::Keep; // backpressure: leave bytes in the kernel
+            }
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // Peer closed. Anything mid-frame or mid-request dies
+                    // with the connection (the session rolls back); a
+                    // clean between-frames EOF is just a disconnect.
+                    return Disposition::Close;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    conn.decoder.feed(&self.scratch[..n]);
+                    loop {
+                        if conn.pending.len() >= MAX_PENDING {
+                            break;
+                        }
+                        match conn.decoder.next_frame() {
+                            Ok(Some(frame)) => conn.pending.push_back(frame),
+                            Ok(None) => break,
+                            // Broken framing is unrecoverable: close.
+                            Err(_) => return Disposition::Close,
+                        }
+                    }
+                    if n < self.scratch.len() {
+                        // A short read means the kernel buffer is drained;
+                        // skip the syscall that would confirm WouldBlock.
+                        // (Level-triggered: anything racing in after this
+                        // read re-arms the readable event anyway.)
+                        return Disposition::Keep;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Disposition::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Disposition::Close,
+            }
+        }
+    }
+
+    /// Advances a connection's state machine as far as it will go without
+    /// blocking: flush the write buffer; produce scan chunks while the
+    /// unsent backlog is under [`STREAM_AHEAD`]; start the next queued
+    /// request once the buffer fully drains; repeat. This is the single
+    /// place the write-gating invariant lives: the write buffer never
+    /// holds more than the stream-ahead cap of a scan, or ~one response
+    /// otherwise.
+    fn pump(&mut self, slot: usize) -> Disposition {
+        loop {
+            if self.flush_writes(slot) == Disposition::Close {
+                return Disposition::Close;
+            }
+            let conn = self.conns[slot].as_mut().unwrap();
+            let backlog = conn.outbuf.len() - conn.out_pos;
+            if conn.closing {
+                if backlog == 0 {
+                    return Disposition::Close; // rejection fully flushed
+                }
+                break; // keep draining the rejection
+            }
+            match &mut conn.active {
+                Active::Worker => break, // completion will re-pump
+                Active::Streaming(_) => {
+                    if backlog >= STREAM_AHEAD {
+                        break; // buffered far enough ahead: wait for writable
+                    }
+                    if self.produce_chunks(slot) == Disposition::Close {
+                        return Disposition::Close;
+                    }
+                }
+                Active::Idle => {
+                    if backlog > 0 {
+                        break; // finish the previous response first
+                    }
+                    // Reads may have stopped early with frames still in
+                    // the decoder; surface them now that there is room.
+                    while conn.pending.len() < MAX_PENDING {
+                        match conn.decoder.next_frame() {
+                            Ok(Some(frame)) => conn.pending.push_back(frame),
+                            Ok(None) => break,
+                            Err(_) => return Disposition::Close,
+                        }
+                    }
+                    match conn.pending.pop_front() {
+                        Some(frame) => {
+                            if self.start_request(slot, frame) == Disposition::Close {
+                                return Disposition::Close;
+                            }
+                        }
+                        None => break, // fully idle
+                    }
+                }
+            }
+        }
+        self.update_interest(slot);
+        Disposition::Keep
+    }
+
+    fn flush_writes(&mut self, slot: usize) -> Disposition {
+        let conn = self.conns[slot].as_mut().unwrap();
+        match flush_buffer(&mut conn.stream, &mut conn.outbuf, &mut conn.out_pos) {
+            Ok(()) => Disposition::Keep,
+            Err(()) => Disposition::Close,
+        }
+    }
+
+    /// Streams chunks of the in-flight scan into the socket via the
+    /// cursor's single-lock-acquisition fast path: the sink encodes each
+    /// chunk into the write buffer and flushes as much as the socket
+    /// accepts, and production continues while the unsent backlog stays
+    /// under [`STREAM_AHEAD`]. A backpressured client stops the run at
+    /// that cap — releasing the store locks and pinning a bounded handful
+    /// of chunks — while a fast reader amortizes the cursor's O(prefix)
+    /// resume skip over [`CHUNKS_PER_LOCK`] chunks instead of paying it
+    /// per chunk.
+    fn produce_chunks(&mut self, slot: usize) -> Disposition {
+        let batch_rows = self.batch_rows;
+        let schema = &self.schema;
+        let conn = self.conns[slot].as_mut().unwrap();
+        let mut active = std::mem::replace(&mut conn.active, Active::Idle);
+        let Active::Streaming(streaming) = &mut active else {
+            unreachable!("produce_chunks outside a stream");
+        };
+        let mut dead = false;
+        let step: Result<bool> = {
+            let stream = &mut conn.stream;
+            let outbuf = &mut conn.outbuf;
+            let out_pos = &mut conn.out_pos;
+            let dead = &mut dead;
+            match streaming {
+                Streaming::Records(cursor) => {
+                    cursor.for_each_chunk(batch_rows, CHUNKS_PER_LOCK, |rows| {
+                        queue_response(outbuf, schema, &Response::Batch(rows))?;
+                        if flush_buffer(stream, outbuf, out_pos).is_err() {
+                            *dead = true;
+                            return Ok(false);
+                        }
+                        Ok(outbuf.len() - *out_pos < STREAM_AHEAD)
+                    })
+                }
+                Streaming::Annotated(cursor) => {
+                    cursor.for_each_chunk(batch_rows, CHUNKS_PER_LOCK, |rows| {
+                        queue_response(outbuf, schema, &Response::AnnotatedBatch(rows))?;
+                        if flush_buffer(stream, outbuf, out_pos).is_err() {
+                            *dead = true;
+                            return Ok(false);
+                        }
+                        Ok(outbuf.len() - *out_pos < STREAM_AHEAD)
+                    })
+                }
+            }
+        };
+        if dead {
+            return Disposition::Close;
+        }
+        let terminal = match step {
+            Ok(true) => {
+                let emitted = match &*streaming {
+                    Streaming::Records(c) => c.emitted(),
+                    Streaming::Annotated(c) => c.emitted(),
+                };
+                Some(Response::Ok(Reply::Rows(emitted)))
+            }
+            // Not exhausted: socket backpressure or the chunk budget ran
+            // out. Park the cursor; pump resumes it when the buffer
+            // drains.
+            Ok(false) => {
+                conn.active = active;
+                None
+            }
+            // A scan failing mid-stream terminates it with a typed error
+            // frame; the client's scan terminal surfaces it. The
+            // connection stays up.
+            Err(err) => Some(Response::Err(err)),
+        };
+        if let Some(response) = terminal {
+            if queue_response(&mut conn.outbuf, schema, &response).is_err() {
+                return Disposition::Close;
+            }
+        }
+        Disposition::Keep
+    }
+
+    /// Decodes and launches one queued request. Runs with `active` Idle
+    /// and an empty write buffer (pump's invariant).
+    fn start_request(&mut self, slot: usize, frame: Vec<u8>) -> Disposition {
+        let conn = self.conns[slot].as_mut().unwrap();
+        let req = match Request::decode(&frame, &self.schema) {
+            Ok(req) => req,
+            Err(err) => {
+                // A malformed body is the client's bug, not a broken
+                // stream: the framing layer already isolated the frame,
+                // so report the decode error and keep serving.
+                if queue_response(&mut conn.outbuf, &self.schema, &Response::Err(err)).is_err() {
+                    return Disposition::Close;
+                }
+                return Disposition::Keep;
+            }
+        };
+        // Authentication gate: on a token-protected server the first
+        // request must present the token; everything else — including a
+        // wrong token — is rejected with a typed error and a close (after
+        // the error frame drains).
+        if let Request::Auth { token } = &req {
+            let ok = match &self.auth_token {
+                Some(expected) => token_matches(expected, token),
+                None => true, // no-auth server: accept and ignore
+            };
+            let response = if ok {
+                conn.authed = true;
+                Response::Ok(Reply::Unit)
+            } else {
+                conn.closing = true;
+                Response::Err(DbError::AuthFailed)
+            };
+            if queue_response(&mut conn.outbuf, &self.schema, &response).is_err() {
+                return Disposition::Close;
+            }
+            return Disposition::Keep;
+        }
+        if !conn.authed {
+            conn.closing = true;
+            let resp = Response::Err(DbError::AuthFailed);
+            if queue_response(&mut conn.outbuf, &self.schema, &resp).is_err() {
+                return Disposition::Close;
+            }
+            return Disposition::Keep;
+        }
+        // Inline fast path: inside an open transaction the session already
+        // holds the branch's exclusive 2PL lock, so writes and reads on it
+        // cannot block on lock acquisition (and rollback only releases
+        // locks). Running them on the loop skips the worker round trip —
+        // channel, mutex, eventfd wake — which otherwise dominates the
+        // latency of these microsecond-scale calls.
+        let inline = match &req {
+            Request::Rollback => true,
+            Request::Insert { .. }
+            | Request::Update { .. }
+            | Request::Delete { .. }
+            | Request::Get { .. } => conn.session.as_ref().is_some_and(|s| s.in_transaction()),
+            _ => false,
+        };
+        if inline {
+            respond_blocking_into(
+                &mut conn.outbuf,
+                &self.db,
+                &self.schema,
+                conn.session.as_mut(),
+                req,
+            );
+            return Disposition::Keep;
+        }
+        match req {
+            // Streamed scans run on the loop: the cursor snapshots what it
+            // needs (session overlay clone / version + predicate) and
+            // holds locks only inside the cursor's chunk production.
+            Request::ScanSession => {
+                let cursor = conn
+                    .session
+                    .as_ref()
+                    .expect("session present while idle")
+                    .chunked_scan();
+                conn.active = Active::Streaming(Streaming::Records(cursor));
+            }
+            Request::Collect { version, predicate } => {
+                conn.active =
+                    Active::Streaming(Streaming::Records(self.db.chunked_scan(version, predicate)));
+            }
+            Request::MultiScan {
+                branches,
+                predicate,
+                parallel,
+            } if parallel <= 1 => {
+                conn.active = Active::Streaming(Streaming::Annotated(
+                    self.db.chunked_multi_scan(branches, predicate),
+                ));
+            }
+            // Everything that can block — 2PL acquisition, commit fsync,
+            // merge, flush, the materializing parallel scan — goes to the
+            // worker pool; session ops take the session along.
+            req => {
+                let session = if takes_session(&req) {
+                    Some(conn.session.take().expect("session present while idle"))
+                } else {
+                    None
+                };
+                let job = Job {
+                    conn: slot,
+                    generation: conn.generation,
+                    session,
+                    req,
+                };
+                conn.active = Active::Worker;
+                self.workers.dispatch(job);
+            }
+        }
+        Disposition::Keep
+    }
+
+    fn update_interest(&mut self, slot: usize) {
+        let conn = self.conns[slot].as_mut().unwrap();
+        let want = conn.desired_interest();
+        if want != conn.interest {
+            let token = Token(slot + CONN_BASE);
+            if self
+                .poll
+                .reregister(&conn.stream, token, want, Trigger::Level)
+                .is_ok()
+            {
+                conn.interest = want;
+            }
+        }
+    }
+
+    // -- worker completions ------------------------------------------
+
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.workers.done_rx.try_recv() {
+            let alive = self
+                .conns
+                .get_mut(done.conn)
+                .and_then(Option::as_mut)
+                .filter(|c| c.generation == done.generation);
+            let Some(conn) = alive else {
+                // The connection died while its call ran; dropping `done`
+                // drops the returned session, rolling back.
+                continue;
+            };
+            if let Some(session) = done.session {
+                conn.session = Some(session);
+            }
+            conn.outbuf.extend_from_slice(&done.frames);
+            conn.active = Active::Idle;
+            if self.pump(done.conn) == Disposition::Close {
+                self.close(done.conn);
+            }
+        }
+    }
+
+    // -- idle timeout -------------------------------------------------
+
+    fn expire_idle(&mut self) {
+        let Some(timeout) = self.read_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        while let Some(&Reverse((when, slot, generation))) = self.deadlines.peek() {
+            if when > now {
+                break;
+            }
+            self.deadlines.pop();
+            let Some(conn) = self
+                .conns
+                .get_mut(slot)
+                .and_then(Option::as_mut)
+                .filter(|c| c.generation == generation)
+            else {
+                continue; // lazy deletion: the connection is gone
+            };
+            let idle_deadline = conn.last_activity + timeout;
+            if idle_deadline > now || conn.is_busy() {
+                // Not actually idle: activity since arming, or a request
+                // in flight (slow readers draining a scan are busy, not
+                // idle). Re-arm.
+                let rearm = if conn.is_busy() {
+                    now + timeout
+                } else {
+                    idle_deadline
+                };
+                self.deadlines.push(Reverse((rearm, slot, generation)));
+                continue;
+            }
+            // Idle past the limit: roll the transaction back so its
+            // branch locks free, tell the client why in a typed error
+            // frame (best effort — the peer may be gone), and close.
+            if let Some(session) = conn.session.as_mut() {
+                session.rollback();
+            }
+            let err = DbError::timeout(
+                "connection idle past the server read timeout; transaction rolled back",
+            );
+            let _ = queue_response(&mut conn.outbuf, &self.schema, &Response::Err(err));
+            let _ = self.flush_writes(slot);
+            self.close(slot);
+        }
+    }
+
+    // -- lifecycle ----------------------------------------------------
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poll.deregister(&conn.stream);
+            self.free.push(slot);
+            self.shared.live.fetch_sub(1, Ordering::SeqCst);
+            // `conn` drops here: socket closes; the session (if not out
+            // with a worker) rolls back. A session that *is* out with a
+            // worker rolls back when its completion is dropped.
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use decibel_common::ids::BranchId;
+    use decibel_common::record::Record;
     use decibel_common::schema::ColumnType;
     use decibel_core::EngineKind;
     use decibel_pagestore::StoreConfig;
+    use decibel_wire::frame::read_frame;
     use decibel_wire::Client;
 
-    fn serve() -> (tempfile::TempDir, ServerHandle) {
+    fn serve_with(configure: impl FnOnce(Server) -> Server) -> (tempfile::TempDir, ServerHandle) {
         let dir = tempfile::tempdir().unwrap();
         let db = Database::create(
             dir.path().join("db"),
@@ -430,8 +1266,12 @@ mod tests {
             &StoreConfig::test_default(),
         )
         .unwrap();
-        let handle = Server::bind(db, "127.0.0.1:0").unwrap().spawn();
-        (dir, handle)
+        let server = configure(Server::bind(db, "127.0.0.1:0").unwrap());
+        (dir, server.spawn())
+    }
+
+    fn serve() -> (tempfile::TempDir, ServerHandle) {
+        serve_with(|s| s)
     }
 
     #[test]
@@ -476,20 +1316,21 @@ mod tests {
 
     #[test]
     fn connection_churn_releases_registrations() {
-        // Regression: the conns registry must track *live* connections,
-        // not lifetime connection count — otherwise every past client
-        // leaks a duplicated descriptor until the process hits EMFILE.
+        // Regression: the live-connection gauge must track *live*
+        // connections, not lifetime connection count — otherwise every
+        // past client leaks a registered descriptor until the process
+        // hits EMFILE.
         let (_d, handle) = serve();
         for k in 0..20u64 {
             let mut c = Client::connect(handle.local_addr()).unwrap();
             c.insert(Record::new(1000 + k, vec![k, k])).unwrap();
             c.commit().unwrap();
         }
-        // Disconnects are processed asynchronously; wait for the workers
-        // to deregister themselves.
+        // Disconnects are processed asynchronously; wait for the loop to
+        // deregister them.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         loop {
-            let live = handle.state.conns.lock().unwrap().len();
+            let live = handle.live_connections();
             if live == 0 {
                 break;
             }
@@ -546,5 +1387,86 @@ mod tests {
         let err = client.checkout_branch("nope").unwrap_err();
         assert!(matches!(err, DbError::UnknownBranch(_)), "{err}");
         handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        // The state machine decodes the next request while the previous
+        // reply drains; send a burst of frames in one write and expect
+        // every reply, in order, without interleaving.
+        let (_d, handle) = serve();
+        let schema = handle.database().schema();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let hello = read_frame(&mut stream).unwrap().unwrap();
+        Hello::decode(&hello).unwrap();
+        let mut burst = Vec::new();
+        for k in 0..8u64 {
+            let req = Request::Insert {
+                record: Record::new(k, vec![k, k]),
+            };
+            write_frame(&mut burst, &req.encode(&schema).unwrap()).unwrap();
+        }
+        write_frame(&mut burst, &Request::Commit.encode(&schema).unwrap()).unwrap();
+        stream.write_all(&burst).unwrap();
+        for _ in 0..8 {
+            let frame = read_frame(&mut stream).unwrap().unwrap();
+            match Response::decode(&frame, &schema).unwrap() {
+                Response::Ok(Reply::Unit) => {}
+                other => panic!("expected unit ack, got {other:?}"),
+            }
+        }
+        let frame = read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&frame, &schema).unwrap(),
+            Response::Ok(Reply::Commit(_))
+        ));
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn auth_token_gates_every_request() {
+        let (_d, handle) = serve_with(|s| s.with_auth_token(Some("open sesame".into())));
+        let addr = handle.local_addr();
+
+        // Right token: full service.
+        let mut ok = Client::connect_with_token(addr, "open sesame").unwrap();
+        ok.insert(Record::new(1, vec![1, 1])).unwrap();
+        ok.commit().unwrap();
+
+        // Wrong token: typed rejection.
+        let err = Client::connect_with_token(addr, "open sesamee")
+            .err()
+            .unwrap();
+        assert!(matches!(err, DbError::AuthFailed), "{err}");
+
+        // No token at all: the first real request is rejected and the
+        // connection closes without serving it.
+        let mut anon = Client::connect(addr).unwrap();
+        let err = anon.get(1).unwrap_err();
+        assert!(matches!(err, DbError::AuthFailed), "{err}");
+        assert!(anon.get(1).is_err(), "connection must be closed");
+
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn no_auth_server_accepts_and_ignores_tokens() {
+        let (_d, handle) = serve();
+        let mut client = Client::connect_with_token(handle.local_addr(), "whatever").unwrap();
+        client.insert(Record::new(9, vec![9, 9])).unwrap();
+        client.commit().unwrap();
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn constant_time_compare_is_exact() {
+        assert!(token_matches("", ""));
+        assert!(token_matches("abc", "abc"));
+        assert!(!token_matches("abc", "abd"));
+        assert!(!token_matches("abc", "ab"));
+        assert!(!token_matches("ab", "abc"));
+        assert!(!token_matches("abc", ""));
+        assert!(!token_matches("", "abc"));
     }
 }

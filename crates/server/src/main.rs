@@ -1,11 +1,12 @@
 //! The `decibel-server` binary.
 //!
 //! ```text
-//! decibel-server --dir PATH [--listen ADDR] [--create ENGINE COLS u32|u64] [--fsync]
+//! decibel-server --dir PATH [--listen ADDR] [--create ENGINE COLS u32|u64]
+//!                [--fsync] [--auth-token TOKEN]
 //! ```
 //!
 //! Opens (or, with `--create`, initializes) a database directory and
-//! serves it over TCP, thread-per-client, until SIGTERM/SIGINT. The
+//! serves it over TCP on one event-loop thread, until SIGTERM/SIGINT. The
 //! signal handler only stores an atomic flag — safe in signal context —
 //! and the main thread runs the graceful shutdown: stop accepting, close
 //! client sockets (their sessions roll back), join every thread, and
@@ -51,7 +52,7 @@ fn install_signal_handlers() {}
 fn usage() -> ! {
     eprintln!(
         "usage: decibel-server --dir PATH [--listen ADDR] \
-         [--create ENGINE COLS u32|u64] [--fsync]\n\
+         [--create ENGINE COLS u32|u64] [--fsync] [--auth-token TOKEN]\n\
          engines: tuple_first_branch tuple_first_tuple version_first hybrid\n\
          default listen address: {DEFAULT_LISTEN}"
     );
@@ -63,6 +64,7 @@ struct Args {
     listen: String,
     create: Option<(EngineKind, Schema)>,
     fsync: bool,
+    auth_token: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +73,7 @@ fn parse_args() -> Args {
     let mut listen = DEFAULT_LISTEN.to_string();
     let mut create = None;
     let mut fsync = false;
+    let mut auth_token = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -100,6 +103,10 @@ fn parse_args() -> Args {
                 i += 3;
             }
             "--fsync" => fsync = true,
+            "--auth-token" => {
+                i += 1;
+                auth_token = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -111,6 +118,7 @@ fn parse_args() -> Args {
         listen,
         create,
         fsync,
+        auth_token,
     }
 }
 
@@ -135,7 +143,7 @@ fn main() {
     }
     install_signal_handlers();
     let handle = Server::bind(db, args.listen.as_str())
-        .map(Server::spawn)
+        .map(|s| s.with_auth_token(args.auth_token.clone()).spawn())
         .unwrap_or_else(|e| {
             eprintln!("decibel-server: listening on {}: {e}", args.listen);
             std::process::exit(1);

@@ -64,6 +64,19 @@ impl Client {
         })
     }
 
+    /// Connects, performs the hello handshake, and presents a shared-secret
+    /// token as the first request. Works against any server: a
+    /// token-protected server demands exactly this before serving anything
+    /// (rejecting with [`DbError::AuthFailed`] on mismatch), and a server
+    /// without a token accepts the frame and ignores the secret.
+    pub fn connect_with_token(addr: impl ToSocketAddrs, token: &str) -> Result<Client> {
+        let mut client = Client::connect(addr)?;
+        client.expect_unit(&Request::Auth {
+            token: token.into(),
+        })?;
+        Ok(client)
+    }
+
     /// The relation's schema, as announced by the server.
     pub fn schema(&self) -> &Schema {
         &self.hello.schema

@@ -72,6 +72,86 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// The blocking [`read_frame`] pulls bytes on demand; a readiness-driven
+/// server instead gets bytes whenever the socket happens to deliver them
+/// and must resume mid-frame. `FrameDecoder` accepts arbitrary byte
+/// slices via [`FrameDecoder::feed`] and yields complete frames via
+/// [`FrameDecoder::next_frame`] — a partial length prefix or a partial
+/// payload simply waits for the next `feed`. Limits match the blocking
+/// reader exactly: varint prefixes past 28 bits of shift and payloads
+/// past [`MAX_FRAME`] are protocol errors.
+///
+/// Pipelining falls out for free: if a client sends several requests
+/// back-to-back, one `feed` of the socket's bytes yields them all through
+/// repeated `next_frame` calls.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames; compacted
+    /// opportunistically so slow trickles don't grow the buffer forever.
+    consumed: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes received from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `consumed` is dead.
+        if self.consumed > 0 && (self.consumed >= 4096 || self.consumed == self.buf.len()) {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as a frame — nonzero after EOF
+    /// means the peer died mid-message.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Yields the next complete frame's payload, or `Ok(None)` if more
+    /// bytes are needed. Errors are terminal for the stream: the buffer
+    /// contents are garbage once the framing is broken.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        let avail = &self.buf[self.consumed..];
+        let mut len: u64 = 0;
+        let mut shift = 0u32;
+        let mut idx = 0usize;
+        loop {
+            let Some(&byte) = avail.get(idx) else {
+                return Ok(None); // partial length prefix: wait for more
+            };
+            idx += 1;
+            len |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 28 {
+                return Err(DbError::protocol("frame length varint too long"));
+            }
+        }
+        let len = len as usize;
+        if len > MAX_FRAME {
+            return Err(DbError::protocol(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+            )));
+        }
+        if avail.len() - idx < len {
+            return Ok(None); // partial payload: wait for more
+        }
+        let payload = avail[idx..idx + len].to_vec();
+        self.consumed += idx + len;
+        Ok(Some(payload))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +214,73 @@ mod tests {
         varint::write_u64(&mut huge, u64::MAX);
         let mut cursor = &huge[..];
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn incremental_decoder_resumes_across_arbitrary_splits() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"first").unwrap();
+        write_frame(&mut stream, &[7u8; 300]).unwrap(); // two-byte prefix
+        write_frame(&mut stream, b"").unwrap();
+
+        // Every possible split point of the byte stream must decode the
+        // same three frames — partial prefixes and partial payloads alike.
+        for split in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            dec.feed(&stream[..split]);
+            let mut frames = Vec::new();
+            while let Some(f) = dec.next_frame().unwrap() {
+                frames.push(f);
+            }
+            dec.feed(&stream[split..]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                frames.push(f);
+            }
+            assert_eq!(frames.len(), 3, "split at {split}");
+            assert_eq!(frames[0], b"first");
+            assert_eq!(frames[1], vec![7u8; 300]);
+            assert_eq!(frames[2], b"");
+            assert_eq!(dec.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_yields_pipelined_frames_from_one_feed() {
+        let mut stream = Vec::new();
+        for i in 0..5u8 {
+            write_frame(&mut stream, &[i]).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        for i in 0..5u8 {
+            assert_eq!(dec.next_frame().unwrap().unwrap(), vec![i]);
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn incremental_decoder_enforces_limits() {
+        let mut dec = FrameDecoder::new();
+        let mut prefix = Vec::new();
+        varint::write_u64(&mut prefix, (MAX_FRAME as u64) + 1);
+        dec.feed(&prefix);
+        assert!(dec.next_frame().is_err());
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80]); // runaway varint
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn incremental_decoder_tracks_pending_bytes() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"payload").unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream[..3]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending(), 3); // torn mid-frame: bytes left behind
+        dec.feed(&stream[3..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"payload");
+        assert_eq!(dec.pending(), 0); // clean boundary
     }
 }

@@ -12,9 +12,15 @@
 //! # Conversation shape
 //!
 //! On connect the server sends one [`Hello`] frame (magic, protocol
-//! version, relation schema, engine name); the client answers nothing.
-//! Thereafter the client sends one request frame at a time and reads
-//! frames until a terminal status:
+//! version, relation schema, engine name); the client answers nothing —
+//! unless the server was started with a shared-secret token, in which
+//! case the client's *first* request frame must be [`Request::Auth`]
+//! carrying the token (any other first frame, or a wrong token, earns a
+//! typed [`ErrorCode::AuthFailed`] error frame and a close). A server
+//! without a token answers a stray `Auth` with OK, so clients may always
+//! send one. Thereafter the client sends request frames (it may pipeline
+//! several without waiting) and reads frames until a terminal status per
+//! request:
 //!
 //! * [`STATUS_OK`] — the request succeeded; the body is the typed
 //!   [`Reply`] for that opcode;
@@ -25,7 +31,11 @@
 //!   output (plain records / branch-annotated records). Scans stream any
 //!   number of batch frames — each holding up to [`SCAN_BATCH_BYTES`] of
 //!   record images, never one row per frame — followed by an OK frame
-//!   with the total row count.
+//!   with the total row count. Batch boundaries are *flow-controlled*,
+//!   not result-sized: the server produces the next chunk only after the
+//!   previous one drains into the socket, so a slow reader pins O(chunk)
+//!   server memory, and chunk row counts are an implementation detail a
+//!   client must not rely on (only the terminal total is contractual).
 
 use decibel_common::error::{DbError, ErrorCode, Result};
 use decibel_common::ids::{BranchId, CommitId};
@@ -71,6 +81,7 @@ const OP_AGGREGATE: u8 = 15;
 const OP_MULTI_SCAN: u8 = 16;
 const OP_MERGE: u8 = 17;
 const OP_FLUSH: u8 = 18;
+const OP_AUTH: u8 = 19;
 
 /// Response status tags (first byte of a response frame).
 pub const STATUS_OK: u8 = 0;
@@ -194,6 +205,13 @@ pub enum Request {
     },
     /// [`Database::flush`](decibel_core::Database::flush): checkpoint.
     Flush,
+    /// Present the shared-secret token. Must be the first request on a
+    /// connection to a token-protected server; a no-auth server answers
+    /// OK and ignores the token.
+    Auth {
+        /// The shared secret, compared in constant time server-side.
+        token: String,
+    },
 }
 
 /// The typed body of a [`STATUS_OK`] frame.
@@ -565,6 +583,10 @@ impl Request {
                 write_policy(&mut out, *policy);
             }
             Request::Flush => out.push(OP_FLUSH),
+            Request::Auth { token } => {
+                out.push(OP_AUTH);
+                out.extend_from_slice(token.as_bytes());
+            }
         }
         Ok(out)
     }
@@ -639,6 +661,9 @@ impl Request {
                 policy: read_policy(buf, &mut pos)?,
             },
             OP_FLUSH => Request::Flush,
+            OP_AUTH => Request::Auth {
+                token: read_rest_utf8(buf, pos)?,
+            },
             _ => return Err(bad(format!("unknown request opcode {op}"))),
         };
         Ok(req)
@@ -670,6 +695,7 @@ pub fn encode_error(err: &DbError) -> Vec<u8> {
         DbError::Protocol { detail } => (0, 0, detail.clone()),
         DbError::Invalid(msg) => (0, 0, msg.clone()),
         DbError::Timeout { what } => (0, 0, what.clone()),
+        DbError::AuthFailed => (0, 0, String::new()),
     };
     let mut out = Vec::with_capacity(8 + detail.len());
     varint::write_u64(&mut out, err.code().as_u16() as u64);
@@ -714,6 +740,7 @@ pub fn decode_error(buf: &[u8]) -> Result<DbError> {
         ErrorCode::Protocol => DbError::Protocol { detail },
         ErrorCode::Invalid => DbError::Invalid(detail),
         ErrorCode::Timeout => DbError::Timeout { what: detail },
+        ErrorCode::AuthFailed => DbError::AuthFailed,
     })
 }
 
@@ -993,6 +1020,9 @@ mod tests {
                 policy: MergePolicy::ThreeWay { prefer_left: true },
             },
             Request::Flush,
+            Request::Auth {
+                token: "s3cr3t-τ".into(),
+            },
         ];
         for req in requests {
             let bytes = req.encode(&s).unwrap();
@@ -1079,6 +1109,7 @@ mod tests {
             DbError::JournalDiverged,
             DbError::protocol("junk"),
             DbError::Invalid("other".into()),
+            DbError::AuthFailed,
         ];
         for err in errors {
             let back = decode_error(&encode_error(&err)).unwrap();

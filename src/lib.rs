@@ -74,17 +74,21 @@
 //! | [`vgraph`] | the version graph (commits, branches, LCA) |
 //! | [`core`] | the three engines + database/session/query API |
 //! | [`wire`] | the TCP wire protocol + blocking [`Client`] |
-//! | [`server`] | the thread-per-client server behind `decibel-server` |
+//! | [`netio`] | zero-dep readiness layer: epoll poll/registry, wakers |
+//! | [`server`] | the event-loop server behind `decibel-server` |
 //! | [`gitlike`] | the git baseline (SHA-1, objects, packfiles, repack) |
 //!
 //! ## Serving over TCP
 //!
 //! The same database can be served to remote sessions: `decibel-server`
-//! (or an in-process [`server::Server`]) accepts connections
-//! thread-per-client, each holding one `Session`, and [`Client`] mirrors
-//! the session + query-builder surface over the socket. See the crate
-//! docs of [`wire`] for the frame format and `examples/client_server.rs`
-//! for a runnable tour.
+//! (or an in-process [`server::Server`]) multiplexes every connection —
+//! each holding one `Session` — onto a single event-loop thread over the
+//! [`netio`] readiness layer, streaming scans in bounded chunks and
+//! parking blocking calls (commit, merge, flush) on a small worker pool.
+//! [`Client`] mirrors the session + query-builder surface over the
+//! socket. See the crate docs of [`wire`] for the frame format,
+//! [`server`] for the event-loop architecture, and
+//! `examples/client_server.rs` for a runnable tour.
 //!
 //! The benchmark harness lives in the `decibel-bench` crate
 //! (`cargo run -p decibel-bench --release -- all`); every table and figure
@@ -95,6 +99,7 @@
 pub use decibel_bitmap as bitmap;
 pub use decibel_common as common;
 pub use decibel_core as core;
+pub use decibel_netio as netio;
 pub use decibel_pagestore as pagestore;
 pub use decibel_server as server;
 pub use decibel_vgraph as vgraph;
