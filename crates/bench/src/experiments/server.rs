@@ -362,6 +362,7 @@ fn start_stalled_scan(addr: std::net::SocketAddr) -> Result<std::net::TcpStream>
     let req = Request::Collect {
         version: BranchId::MASTER.into(),
         predicate: Predicate::True,
+        projection: decibel_common::Projection::All,
     };
     let mut buf = Vec::new();
     write_frame(&mut buf, &req.encode(&hello.schema)?)?;
@@ -370,7 +371,7 @@ fn start_stalled_scan(addr: std::net::SocketAddr) -> Result<std::net::TcpStream>
         .map_err(|e| DbError::io("sending stalled scan request", e))?;
     let frame = read_frame(&mut stream)?.ok_or_else(|| DbError::protocol("no first chunk"))?;
     match Response::decode(&frame, &hello.schema)? {
-        Response::Batch(_) => Ok(stream),
+        Response::Batch(..) => Ok(stream),
         other => Err(DbError::protocol(format!(
             "expected a batch, got {other:?}"
         ))),

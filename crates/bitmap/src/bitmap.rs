@@ -257,6 +257,27 @@ impl Bitmap {
         }
     }
 
+    /// Refines the bitmap in place by ANDing each nonzero word with the
+    /// mask `f(base_bit, word)` returns — the fusion point between
+    /// page-level predicate evaluation and liveness: the evaluator builds a
+    /// 64-slot match word from pinned page bytes and this folds it straight
+    /// into the liveness word, so filtering stays branch-free and
+    /// word-batched. `f` sees only the currently set bits (its result is
+    /// intersected, never unioned) and its first error aborts the walk.
+    pub fn try_retain_words<E>(
+        &mut self,
+        mut f: impl FnMut(u64, u64) -> std::result::Result<u64, E>,
+    ) -> std::result::Result<(), E> {
+        let n = self.num_words().min(self.words.len());
+        for wi in 0..n {
+            let w = self.words[wi];
+            if w != 0 {
+                self.words[wi] = w & f(wi as u64 * 64, w)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Rebuilds from raw words and a logical length. Bits at or past `len`
     /// are cleared to maintain the invariant word-batched readers rely on.
     pub fn from_words(words: Vec<u64>, len: u64) -> Bitmap {
@@ -535,6 +556,29 @@ mod tests {
         assert_eq!(b.word(0), 0);
         assert_eq!(b.word(99), 0);
         assert_eq!(b.num_words(), 2);
+    }
+
+    #[test]
+    fn try_retain_words_intersects_and_skips_zero_words() {
+        let (a, _) = ragged_pair(); // bits 0,5,63,64,130,300
+        let mut b = a.clone();
+        let mut seen = Vec::new();
+        b.try_retain_words::<()>(|base, w| {
+            seen.push((base, w));
+            // Keep only even bit positions.
+            Ok(0x5555_5555_5555_5555)
+        })
+        .unwrap();
+        let evens: Vec<u64> = a.iter_ones().filter(|i| i % 2 == 0).collect();
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), evens);
+        // Zero words (word 3) are never visited.
+        assert_eq!(
+            seen.iter().map(|&(base, _)| base).collect::<Vec<_>>(),
+            vec![0, 64, 128, 256]
+        );
+        // Errors abort and surface.
+        let mut c = a.clone();
+        assert_eq!(c.try_retain_words(|_, _| Err("boom")), Err("boom"));
     }
 
     #[test]

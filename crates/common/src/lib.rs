@@ -26,6 +26,7 @@ pub mod error;
 pub mod fsio;
 pub mod hash;
 pub mod ids;
+pub mod projection;
 pub mod record;
 pub mod rng;
 pub mod schema;
@@ -34,6 +35,7 @@ pub mod varint;
 pub use env::{std_env, DiskEnv, DiskFile, FaultEnv, OpenMode, StdEnv};
 pub use error::{DbError, ErrorCode, Result};
 pub use ids::{BranchId, CommitId, RecordIdx, SegmentId};
+pub use projection::Projection;
 pub use record::Record;
 pub use rng::DetRng;
 pub use schema::{ColumnType, Schema};

@@ -1,0 +1,210 @@
+//! Column projections: the set of data columns a scan materializes.
+//!
+//! Records are fixed-width ([`Schema::record_size`]), so every column of
+//! every slot sits at a statically known byte offset
+//! ([`Schema::col_offset`]). A [`Projection`] names the column subset a
+//! query actually needs; the scan pipeline uses it to decode only those
+//! columns ([`Record::read_projected`]) and the wire protocol uses it to
+//! ship only those bytes ([`Record::write_projected_image`]).
+//!
+//! # Semantics
+//!
+//! A projected [`Record`] keeps the schema's full arity: non-projected
+//! fields read as `0`. This keeps one record type (and one fixed arity
+//! invariant) flowing through the whole system — equality between a
+//! projected scan and a full scan is checked by projecting the full rows
+//! with [`Record::project`], which zeroes the same fields.
+
+use crate::error::{DbError, Result};
+use crate::record::Record;
+use crate::schema::{Schema, KEY_BYTES, RECORD_HEADER_BYTES};
+
+/// The column subset a scan decodes and returns.
+///
+/// Construct with [`Projection::all`] (every column — the default) or
+/// [`Projection::of`] (an explicit subset; order and duplicates are
+/// normalized away). Validate against a schema with
+/// [`Projection::validate`] before use on untrusted input (the wire
+/// protocol does this server-side and reports unknown columns as typed
+/// [`DbError::Invalid`] errors).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub enum Projection {
+    /// Decode every data column (whole-record scans).
+    #[default]
+    All,
+    /// Decode exactly these data columns (sorted, deduplicated).
+    /// Non-projected fields of the resulting records read as `0`.
+    Columns(Vec<usize>),
+}
+
+impl Projection {
+    /// The whole-record projection.
+    pub fn all() -> Projection {
+        Projection::All
+    }
+
+    /// A projection of exactly `cols` (sorted and deduplicated).
+    pub fn of(cols: &[usize]) -> Projection {
+        let mut cols = cols.to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        Projection::Columns(cols)
+    }
+
+    /// Whether this projection decodes every column.
+    #[inline]
+    pub fn is_all(&self) -> bool {
+        matches!(self, Projection::All)
+    }
+
+    /// Whether data column `col` is materialized.
+    #[inline]
+    pub fn contains(&self, col: usize) -> bool {
+        match self {
+            Projection::All => true,
+            Projection::Columns(cols) => cols.binary_search(&col).is_ok(),
+        }
+    }
+
+    /// The explicit column list, or `None` for [`Projection::All`].
+    pub fn columns(&self) -> Option<&[usize]> {
+        match self {
+            Projection::All => None,
+            Projection::Columns(cols) => Some(cols),
+        }
+    }
+
+    /// Number of columns shipped under `schema`.
+    pub fn num_columns(&self, schema: &Schema) -> usize {
+        match self {
+            Projection::All => schema.num_columns(),
+            Projection::Columns(cols) => cols.len(),
+        }
+    }
+
+    /// Rejects columns outside `schema` with a typed [`DbError::Invalid`]
+    /// (the error a remote `.select(&[..])` with an unknown column gets
+    /// back across the wire).
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        if let Projection::Columns(cols) = self {
+            for &c in cols {
+                if c >= schema.num_columns() {
+                    return Err(DbError::Invalid(format!(
+                        "projection column {c} out of range (schema has {} columns)",
+                        schema.num_columns()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The smallest projection containing both `self` and `other` — the
+    /// planner's "required column set" combinator (projected columns ∪
+    /// predicate columns when a predicate cannot be pushed to page level).
+    pub fn union(&self, other: &Projection) -> Projection {
+        match (self, other) {
+            (Projection::All, _) | (_, Projection::All) => Projection::All,
+            (Projection::Columns(a), Projection::Columns(b)) => {
+                let mut cols = a.clone();
+                cols.extend_from_slice(b);
+                Projection::of(&cols)
+            }
+        }
+    }
+
+    /// Builder-style accumulation for `.select(&cols)` chains: the first
+    /// select on [`Projection::All`] narrows to exactly `cols`; selecting
+    /// again *adds* columns (selections union).
+    pub fn narrow(&self, cols: &[usize]) -> Projection {
+        match self {
+            Projection::All => Projection::of(cols),
+            Projection::Columns(_) => self.union(&Projection::of(cols)),
+        }
+    }
+
+    /// Serialized size of one projected record image under `schema`:
+    /// header + key + projected columns. Equals [`Schema::record_size`]
+    /// for [`Projection::All`].
+    pub fn image_size(&self, schema: &Schema) -> usize {
+        RECORD_HEADER_BYTES + KEY_BYTES + self.num_columns(schema) * schema.column_type().width()
+    }
+}
+
+impl Record {
+    /// Zeroes every non-projected field in place — the reference
+    /// definition of projection the projected decode paths must match.
+    pub fn project(&mut self, projection: &Projection) {
+        if let Projection::Columns(cols) = projection {
+            let mut keep = cols.iter().copied().peekable();
+            for (i, f) in self.fields_mut().iter_mut().enumerate() {
+                if keep.peek() == Some(&i) {
+                    keep.next();
+                } else {
+                    *f = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    #[test]
+    fn of_normalizes() {
+        assert_eq!(
+            Projection::of(&[3, 1, 3, 0]),
+            Projection::Columns(vec![0, 1, 3])
+        );
+        assert!(Projection::of(&[2]).contains(2));
+        assert!(!Projection::of(&[2]).contains(1));
+        assert!(Projection::all().contains(99));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let s = Schema::new(4, ColumnType::U32);
+        assert!(Projection::of(&[0, 3]).validate(&s).is_ok());
+        assert!(Projection::all().validate(&s).is_ok());
+        let err = Projection::of(&[4]).validate(&s).unwrap_err();
+        assert!(matches!(err, DbError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn union_is_set_union() {
+        let a = Projection::of(&[0, 2]);
+        let b = Projection::of(&[2, 3]);
+        assert_eq!(a.union(&b), Projection::of(&[0, 2, 3]));
+        assert_eq!(a.union(&Projection::All), Projection::All);
+    }
+
+    #[test]
+    fn narrow_accumulates_selections() {
+        assert_eq!(Projection::All.narrow(&[2, 0]), Projection::of(&[0, 2]));
+        assert_eq!(
+            Projection::of(&[0]).narrow(&[3]),
+            Projection::of(&[0, 3]),
+            "second select adds columns"
+        );
+    }
+
+    #[test]
+    fn image_size_tracks_subset() {
+        let s = Schema::new(12, ColumnType::U32);
+        assert_eq!(Projection::all().image_size(&s), s.record_size());
+        assert_eq!(Projection::of(&[1, 7]).image_size(&s), 1 + 8 + 2 * 4);
+    }
+
+    #[test]
+    fn project_zeroes_the_complement() {
+        let mut r = Record::new(5, vec![10, 20, 30, 40]);
+        r.project(&Projection::of(&[1, 3]));
+        assert_eq!(r.fields(), &[0, 20, 0, 40]);
+        let mut r = Record::new(5, vec![10, 20]);
+        r.project(&Projection::All);
+        assert_eq!(r.fields(), &[10, 20]);
+    }
+}

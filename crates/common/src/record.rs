@@ -9,6 +9,7 @@
 //! carries a one-byte header whose bit 0 marks tombstones.
 
 use crate::error::{DbError, Result};
+use crate::projection::Projection;
 use crate::schema::{ColumnType, Schema, KEY_BYTES, RECORD_HEADER_BYTES};
 
 /// Header flag bit marking a delete tombstone.
@@ -68,6 +69,12 @@ impl Record {
     /// never mutate stored records in place).
     pub fn set_field(&mut self, i: usize, v: u64) {
         self.fields[i] = v;
+    }
+
+    /// Mutable access to the data fields (projection support).
+    #[inline]
+    pub(crate) fn fields_mut(&mut self) -> &mut [u64] {
+        &mut self.fields
     }
 
     /// Whether this record is a delete tombstone.
@@ -144,6 +151,109 @@ impl Record {
             }
         }
         debug_assert_eq!(fields.len(), schema.num_columns());
+        Ok(Record {
+            key,
+            fields,
+            tombstone,
+        })
+    }
+
+    /// Deserializes only the projected columns from a full-width slot;
+    /// non-projected fields read as `0`. Equivalent to
+    /// [`Record::read_from`] + [`Record::project`] without decoding the
+    /// skipped columns — the inner loop of a projected scan.
+    pub fn read_projected(schema: &Schema, buf: &[u8], projection: &Projection) -> Result<Record> {
+        let Projection::Columns(cols) = projection else {
+            return Record::read_from(schema, buf);
+        };
+        if buf.len() != schema.record_size() {
+            return Err(DbError::corrupt(format!(
+                "record slot is {} bytes, schema says {}",
+                buf.len(),
+                schema.record_size()
+            )));
+        }
+        let (key, tombstone) = Record::peek_key(buf);
+        let mut fields = vec![0u64; schema.num_columns()];
+        for &c in cols {
+            fields[c] = Record::read_raw_field(schema, buf, c);
+        }
+        Ok(Record {
+            key,
+            fields,
+            tombstone,
+        })
+    }
+
+    /// Reads data column `col` straight from a full-width slot without
+    /// decoding anything else. The caller guarantees `col` is in range and
+    /// `buf` is a whole slot ([`Schema::record_size`] bytes).
+    #[inline]
+    pub fn read_raw_field(schema: &Schema, buf: &[u8], col: usize) -> u64 {
+        let off = schema.col_offset(col);
+        match schema.column_type() {
+            ColumnType::U32 => u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as u64,
+            ColumnType::U64 => u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
+        }
+    }
+
+    /// Serializes the projected image — header + key + projected column
+    /// bytes in ascending column order ([`Projection::image_size`] bytes)
+    /// — appending to `out`. This is what scan batches ship on the wire:
+    /// a 2-of-12-column query moves 2 columns, not 12.
+    pub fn write_projected_image(
+        &self,
+        schema: &Schema,
+        projection: &Projection,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let Projection::Columns(cols) = projection else {
+            let start = out.len();
+            out.resize(start + schema.record_size(), 0);
+            return self.write_to(schema, &mut out[start..]);
+        };
+        schema.check_arity(self.fields.len())?;
+        out.push(if self.tombstone { FLAG_TOMBSTONE } else { 0 });
+        out.extend_from_slice(&self.key.to_le_bytes());
+        for &c in cols {
+            let v = self.fields[c];
+            match schema.column_type() {
+                ColumnType::U32 => out.extend_from_slice(&(v as u32).to_le_bytes()),
+                ColumnType::U64 => out.extend_from_slice(&v.to_le_bytes()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a projected image written by
+    /// [`Record::write_projected_image`]; non-projected fields read as
+    /// `0`. `buf` must be exactly [`Projection::image_size`] bytes.
+    pub fn read_projected_image(
+        schema: &Schema,
+        buf: &[u8],
+        projection: &Projection,
+    ) -> Result<Record> {
+        let Projection::Columns(cols) = projection else {
+            return Record::read_from(schema, buf);
+        };
+        if buf.len() != projection.image_size(schema) {
+            return Err(DbError::corrupt(format!(
+                "projected record image is {} bytes, projection says {}",
+                buf.len(),
+                projection.image_size(schema)
+            )));
+        }
+        let (key, tombstone) = Record::peek_key(buf);
+        let mut fields = vec![0u64; schema.num_columns()];
+        let mut off = RECORD_HEADER_BYTES + KEY_BYTES;
+        let width = schema.column_type().width();
+        for &c in cols {
+            fields[c] = match schema.column_type() {
+                ColumnType::U32 => u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as u64,
+                ColumnType::U64 => u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
+            };
+            off += width;
+        }
         Ok(Record {
             key,
             fields,
@@ -241,6 +351,55 @@ mod tests {
         let s = schema3();
         let err = Record::read_from(&s, &[0u8; 4]).unwrap_err();
         assert!(matches!(err, crate::error::DbError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn projected_decode_matches_decode_then_project() {
+        for ct in [ColumnType::U32, ColumnType::U64] {
+            let s = Schema::new(4, ct);
+            let r = Record::new(9, vec![11, 22, 33, 44]);
+            let slot = r.to_bytes(&s).unwrap();
+            for proj in [
+                Projection::all(),
+                Projection::of(&[]),
+                Projection::of(&[0]),
+                Projection::of(&[1, 3]),
+                Projection::of(&[0, 1, 2, 3]),
+            ] {
+                let fast = Record::read_projected(&s, &slot, &proj).unwrap();
+                let mut reference = Record::read_from(&s, &slot).unwrap();
+                reference.project(&proj);
+                assert_eq!(fast, reference, "{proj:?}");
+            }
+            assert_eq!(Record::read_raw_field(&s, &slot, 2), 33);
+        }
+    }
+
+    #[test]
+    fn projected_image_round_trips() {
+        let s = Schema::new(4, ColumnType::U32);
+        let r = Record::new(77, vec![1, 2, 3, 4]);
+        let proj = Projection::of(&[1, 3]);
+        let mut img = Vec::new();
+        r.write_projected_image(&s, &proj, &mut img).unwrap();
+        assert_eq!(img.len(), proj.image_size(&s));
+        let back = Record::read_projected_image(&s, &img, &proj).unwrap();
+        assert_eq!(back.key(), 77);
+        assert_eq!(back.fields(), &[0, 2, 0, 4]);
+        // The All projection is byte-identical to the full image.
+        let mut full = Vec::new();
+        r.write_projected_image(&s, &Projection::All, &mut full)
+            .unwrap();
+        assert_eq!(full, r.to_bytes(&s).unwrap());
+        // Tombstone flag survives the projected form.
+        let t = Record::tombstone(5, &s);
+        let mut img = Vec::new();
+        t.write_projected_image(&s, &proj, &mut img).unwrap();
+        assert!(Record::read_projected_image(&s, &img, &proj)
+            .unwrap()
+            .is_tombstone());
+        // A truncated image is corrupt, not a short record.
+        assert!(Record::read_projected_image(&s, &img[..img.len() - 1], &proj).is_err());
     }
 
     #[test]

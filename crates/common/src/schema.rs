@@ -84,6 +84,16 @@ impl Schema {
         RECORD_HEADER_BYTES + KEY_BYTES + self.num_columns * self.column_type.width()
     }
 
+    /// Byte offset of data column `col` inside a serialized record slot.
+    /// Fixed-width columns make this pure arithmetic, which is what lets
+    /// scans read a single column's bytes straight off a pinned page
+    /// without decoding the record around it.
+    #[inline]
+    pub fn col_offset(&self, col: usize) -> usize {
+        debug_assert!(col < self.num_columns);
+        RECORD_HEADER_BYTES + KEY_BYTES + col * self.column_type.width()
+    }
+
     /// Validates that a value vector matches this schema.
     pub fn check_arity(&self, num_fields: usize) -> Result<()> {
         if num_fields != self.num_columns {
@@ -111,6 +121,18 @@ mod tests {
     fn record_size_tracks_column_type() {
         assert_eq!(Schema::new(10, ColumnType::U32).record_size(), 1 + 8 + 40);
         assert_eq!(Schema::new(10, ColumnType::U64).record_size(), 1 + 8 + 80);
+    }
+
+    #[test]
+    fn col_offsets_tile_the_record() {
+        for ct in [ColumnType::U32, ColumnType::U64] {
+            let s = Schema::new(5, ct);
+            assert_eq!(s.col_offset(0), RECORD_HEADER_BYTES + KEY_BYTES);
+            for c in 0..4 {
+                assert_eq!(s.col_offset(c + 1) - s.col_offset(c), ct.width());
+            }
+            assert_eq!(s.col_offset(4) + ct.width(), s.record_size());
+        }
     }
 
     #[test]

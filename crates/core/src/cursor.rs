@@ -35,18 +35,22 @@
 //! transaction overlay, exactly like
 //! [`Session::scan_with`](crate::session::Session::scan_with).
 //!
-//! The skip-count resume is O(prefix) per lock acquisition — quadratic
-//! over a full scan if every chunk paid it. [`ScanCursor::for_each_chunk`]
-//! amortizes it away for consumers that are keeping up: it streams many
-//! chunks into a sink under a *single* acquisition and releases the locks
-//! the moment the sink reports backpressure (or a chunk budget runs out),
-//! so a fast reader pays the skip once per batch-of-chunks while a slow
-//! reader still never parks a lock. Skipping itself is a raw iterator
-//! walk with no predicate evaluation or cloning, and chunks are large
-//! (the wire layer sizes them at ~256 KiB), so residual skip cost stays
-//! dominated by the emitting pass. A per-engine `scan_from(offset)` fast
-//! path can still slot in under this API unchanged if profiles ever say
-//! otherwise.
+//! # Resumption cost
+//!
+//! Resumption rides the engines' scan-pipeline *resume tokens*
+//! ([`VersionedStore::scan_pipeline`](crate::store::VersionedStore::scan_pipeline)):
+//! the cursor remembers the token of the last delivered row and passes it
+//! back as `from` on the next acquisition. For the bitmap engines
+//! (tuple-first, hybrid) that re-entry is O(1) — a word offset or a
+//! `(segment, slot)` pair — not an O(prefix) iterator walk; version-first
+//! replays the prefix with key peeks only (it must rebuild its shadowing
+//! set; there is no bitmap to jump through). The pipeline also pushes the
+//! cursor's predicate down to page bytes and decodes only the projected
+//! columns, so a filtered chunked scan never materializes non-qualifying
+//! or non-projected data. [`ScanCursor::for_each_chunk`] additionally
+//! amortizes lock acquisition and scan re-planning across many chunks for
+//! consumers that are keeping up, releasing everything the moment the
+//! sink reports backpressure (or a chunk budget runs out).
 
 use std::sync::Arc;
 
@@ -56,6 +60,7 @@ use decibel_common::ids::BranchId;
 use decibel_common::record::Record;
 
 use crate::db::Database;
+use crate::query::plan::ScanPlan;
 use crate::query::Predicate;
 use crate::types::VersionRef;
 
@@ -75,24 +80,27 @@ fn shard_branches(version: VersionRef) -> Vec<BranchId> {
 pub struct ScanCursor {
     db: Arc<Database>,
     version: VersionRef,
-    predicate: Predicate,
+    /// Predicate + projection, lowered per acquisition into the engine's
+    /// scan pipeline (page-level predicate, projected decode).
+    plan: ScanPlan,
     /// Keys shadowed by the session overlay (skipped in the base scan).
     overlay: FxHashMap<u64, Option<Record>>,
     /// Overlay live values, appended after the base scan — the same order
     /// contract as `Session::scan_with` (none).
     pending: Vec<Record>,
     pending_pos: usize,
-    /// Raw base-iterator items visited so far (pre-filter): the resume
-    /// point.
-    consumed: u64,
+    /// Resume token of the last delivered base row (`0` = start): passed
+    /// back to [`VersionedStore::scan_pipeline`](crate::store::VersionedStore::scan_pipeline)
+    /// on the next acquisition.
+    resume: u64,
     base_done: bool,
     done: bool,
     emitted: u64,
 }
 
 impl ScanCursor {
-    pub(crate) fn new(db: Arc<Database>, version: VersionRef, predicate: Predicate) -> ScanCursor {
-        ScanCursor::with_overlay_and_predicate(db, version, FxHashMap::default(), predicate)
+    pub(crate) fn new(db: Arc<Database>, version: VersionRef, plan: ScanPlan) -> ScanCursor {
+        ScanCursor::with_overlay_and_plan(db, version, FxHashMap::default(), plan)
     }
 
     pub(crate) fn with_overlay(
@@ -100,24 +108,29 @@ impl ScanCursor {
         version: VersionRef,
         overlay: FxHashMap<u64, Option<Record>>,
     ) -> ScanCursor {
-        ScanCursor::with_overlay_and_predicate(db, version, overlay, Predicate::True)
+        ScanCursor::with_overlay_and_plan(
+            db,
+            version,
+            overlay,
+            ScanPlan::filter_only(Predicate::True),
+        )
     }
 
-    fn with_overlay_and_predicate(
+    fn with_overlay_and_plan(
         db: Arc<Database>,
         version: VersionRef,
         overlay: FxHashMap<u64, Option<Record>>,
-        predicate: Predicate,
+        plan: ScanPlan,
     ) -> ScanCursor {
         let pending = overlay.values().flatten().cloned().collect();
         ScanCursor {
             db,
             version,
-            predicate,
+            plan,
             overlay,
             pending,
             pending_pos: 0,
-            consumed: 0,
+            resume: 0,
             base_done: false,
             done: false,
             emitted: 0,
@@ -142,10 +155,11 @@ impl ScanCursor {
     /// consumer is backpressured). Returns `Ok(true)` once the scan is
     /// exhausted, `Ok(false)` if more remains.
     ///
-    /// This is the amortization path for consumers draining at speed: the
-    /// O(prefix) skip is paid once per call instead of once per chunk.
-    /// The memory contract is the sink's to keep — the cursor hands over
-    /// one chunk at a time and holds nothing across sink calls.
+    /// This is the amortization path for consumers draining at speed:
+    /// lock acquisition and scan planning are paid once per call instead
+    /// of once per chunk. The memory contract is the sink's to keep — the
+    /// cursor hands over one chunk at a time and holds nothing across
+    /// sink calls.
     pub fn for_each_chunk(
         &mut self,
         max_rows: usize,
@@ -160,12 +174,9 @@ impl ScanCursor {
         if !self.base_done {
             let store = self.db.store.read();
             let _shards = self.db.shards.read_many(&shard_branches(self.version));
-            let mut iter = store.scan(self.version)?;
-            for _ in 0..self.consumed {
-                if iter.next().transpose()?.is_none() {
-                    break; // cannot happen while storage is append-only
-                }
-            }
+            // The pipeline filters, projects, and resumes from the token
+            // inside the engine; only overlay shadowing remains here.
+            let mut iter = store.scan_pipeline(self.version, &self.plan, self.resume)?;
             // Hoisted: sessions without writes (and every database-level
             // scan) have an empty overlay, and hashing every key against
             // an empty map is measurable at scan rates.
@@ -175,11 +186,9 @@ impl ScanCursor {
                 while out.len() < max_rows {
                     match iter.next() {
                         Some(item) => {
-                            let rec = item?;
-                            self.consumed += 1;
-                            if (overlay_empty || !self.overlay.contains_key(&rec.key()))
-                                && self.predicate.eval(&rec)
-                            {
+                            let (token, rec) = item?;
+                            self.resume = token;
+                            if overlay_empty || !self.overlay.contains_key(&rec.key()) {
                                 out.push(rec);
                             }
                         }
@@ -213,8 +222,10 @@ impl ScanCursor {
             while out.len() < max_rows && self.pending_pos < self.pending.len() {
                 let rec = &self.pending[self.pending_pos];
                 self.pending_pos += 1;
-                if self.predicate.eval(rec) {
-                    out.push(rec.clone());
+                // Overlay rows never touched the engine pipeline: apply
+                // the same predicate + projection here.
+                if let Some(rec) = self.plan.apply(rec.clone()) {
+                    out.push(rec);
                 }
             }
             if out.is_empty() {
@@ -256,8 +267,11 @@ pub type AnnotatedChunk = Vec<(Record, Vec<BranchId>)>;
 pub struct MultiScanCursor {
     db: Arc<Database>,
     branches: Vec<BranchId>,
-    predicate: Predicate,
-    consumed: u64,
+    /// Predicate + projection lowered into the engines' multi-scan
+    /// pipeline per acquisition.
+    plan: ScanPlan,
+    /// Resume token of the last delivered row (`0` = start).
+    resume: u64,
     done: bool,
     emitted: u64,
 }
@@ -266,13 +280,13 @@ impl MultiScanCursor {
     pub(crate) fn new(
         db: Arc<Database>,
         branches: Vec<BranchId>,
-        predicate: Predicate,
+        plan: ScanPlan,
     ) -> MultiScanCursor {
         MultiScanCursor {
             db,
             branches,
-            predicate,
-            consumed: 0,
+            plan,
+            resume: 0,
             done: false,
             emitted: 0,
         }
@@ -305,20 +319,15 @@ impl MultiScanCursor {
         let mut chunks = 0usize;
         let store = self.db.store.read();
         let _shards = self.db.shards.read_many(&self.branches);
-        let mut iter = store.multi_scan(&self.branches)?;
-        for _ in 0..self.consumed {
-            if iter.next().transpose()?.is_none() {
-                break;
-            }
-        }
+        let mut iter = store.multi_scan_pipeline(&self.branches, &self.plan, self.resume)?;
         while !self.done && chunks < max_chunks {
             let mut out = Vec::new();
             while out.len() < max_rows {
                 match iter.next() {
                     Some(item) => {
-                        let (rec, live) = item?;
-                        self.consumed += 1;
-                        if !live.is_empty() && self.predicate.eval(&rec) {
+                        let (token, rec, live) = item?;
+                        self.resume = token;
+                        if !live.is_empty() {
                             out.push((rec, live));
                         }
                     }

@@ -85,6 +85,7 @@ use decibel_common::error::{DbError, Result};
 use decibel_common::fsio::sync_parent_dir_in;
 use decibel_common::ids::{BranchId, CommitId};
 use decibel_common::schema::{ColumnType, Schema};
+use decibel_common::Projection;
 use decibel_pagestore::{LockManager, LockMode, StoreConfig, Wal};
 use parking_lot::{Mutex, RwLock};
 
@@ -95,6 +96,7 @@ use crate::engine::{
 };
 use crate::journal;
 use crate::query::build::{BranchSel, MultiReadBuilder, ReadBuilder};
+use crate::query::plan::ScanPlan;
 use crate::query::{execute, Predicate, Query, QueryOutput};
 use crate::session::Session;
 use crate::shard::{SessionOp, ShardSet};
@@ -430,13 +432,31 @@ impl Database {
     /// re-acquires the store + shard read locks, emits up to the requested
     /// rows, and releases them — O(chunk) memory and zero lock time
     /// between chunks, at read-committed-per-chunk consistency (see
-    /// [`crate::cursor`]).
+    /// [`crate::cursor`]). Scans run through the engine's projected
+    /// pipeline: rows resume O(1) from engine tokens, the predicate is
+    /// pushed to page level where it lowers, and only the projected
+    /// columns are decoded.
     pub fn chunked_scan(
         self: &Arc<Self>,
         version: impl Into<VersionRef>,
         predicate: Predicate,
     ) -> ScanCursor {
-        ScanCursor::new(Arc::clone(self), version.into(), predicate)
+        self.chunked_scan_projected(version, predicate, Projection::All)
+    }
+
+    /// [`Database::chunked_scan`] with an explicit column projection
+    /// (non-projected fields of the streamed records read `0`).
+    pub fn chunked_scan_projected(
+        self: &Arc<Self>,
+        version: impl Into<VersionRef>,
+        predicate: Predicate,
+        projection: Projection,
+    ) -> ScanCursor {
+        ScanCursor::new(
+            Arc::clone(self),
+            version.into(),
+            ScanPlan::new(predicate, projection),
+        )
     }
 
     /// Opens a resumable chunked multi-branch annotated scan — the
@@ -447,7 +467,21 @@ impl Database {
         branches: Vec<BranchId>,
         predicate: Predicate,
     ) -> MultiScanCursor {
-        MultiScanCursor::new(Arc::clone(self), branches, predicate)
+        self.chunked_multi_scan_projected(branches, predicate, Projection::All)
+    }
+
+    /// [`Database::chunked_multi_scan`] with an explicit column projection.
+    pub fn chunked_multi_scan_projected(
+        self: &Arc<Self>,
+        branches: Vec<BranchId>,
+        predicate: Predicate,
+        projection: Projection,
+    ) -> MultiScanCursor {
+        MultiScanCursor::new(
+            Arc::clone(self),
+            branches,
+            ScanPlan::new(predicate, projection),
+        )
     }
 
     /// Runs a declarative query plan under the shared store lock, plus
@@ -993,6 +1027,7 @@ mod tests {
             .query(&Query::ScanVersion {
                 version: VersionRef::Branch(BranchId::MASTER),
                 predicate: Predicate::ColGe(0, 3),
+                projection: decibel_common::Projection::all(),
             })
             .unwrap();
         assert_eq!(out.len(), 2);

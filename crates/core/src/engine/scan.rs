@@ -7,10 +7,33 @@
 //! per scan, with records decoded directly from the pinned page.
 
 use decibel_bitmap::Bitmap;
-use decibel_common::ids::{BranchId, RecordIdx};
+use decibel_common::ids::{BranchId, RecordIdx, SegmentId};
+use decibel_common::projection::Projection;
 use decibel_common::record::Record;
 use decibel_common::Result;
 use decibel_pagestore::{HeapFile, PinnedCursor};
+
+use crate::query::plan::PagePredicate;
+
+/// Bits of a segmented resume token holding the `slot + 1` part; the
+/// segment id occupies the bits above. 2^40 slots per segment is far
+/// beyond any heap the segmented engines address, so the packing is
+/// lossless in practice (and `debug_assert`ed).
+pub(crate) const SEG_SLOT_BITS: u32 = 40;
+pub(crate) const SEG_SLOT_MASK: u64 = (1 << SEG_SLOT_BITS) - 1;
+
+/// Packs a `(segment, slot)` scan position into an opaque resume token.
+#[inline]
+pub(crate) fn seg_token(seg: SegmentId, slot: u64) -> u64 {
+    debug_assert!(slot < SEG_SLOT_MASK);
+    ((seg.raw() as u64) << SEG_SLOT_BITS) | (slot + 1)
+}
+
+/// Splits a resume token into (first segment id, first slot within it).
+#[inline]
+pub(crate) fn seg_resume(from: u64) -> (u32, u64) {
+    ((from >> SEG_SLOT_BITS) as u32, from & SEG_SLOT_MASK)
+}
 
 /// Streams the records whose slots are set in a liveness bitmap. The
 /// bitmap is consumed a 64-bit word per step; within a word, set bits are
@@ -63,6 +86,166 @@ impl Iterator for BitmapScan<'_> {
         let idx = self.base + self.cur.trailing_zeros() as u64;
         self.cur &= self.cur - 1;
         Some(self.cursor.read(idx).map(|r| (RecordIdx(idx), r)))
+    }
+}
+
+/// The projected, predicate-pushed variant of [`BitmapScan`]: the scan
+/// pipeline's workhorse for tuple-first and hybrid scans.
+///
+/// Liveness words are refined *lazily*, one 64-slot chunk at a time: when
+/// the scan advances to the next nonzero liveness word it runs the lowered
+/// predicate against the pinned page bytes of just that chunk
+/// ([`PagePredicate::eval_word`]) and walks the resulting match word — so
+/// filtering never materializes a record, chunks the stream has not
+/// reached cost nothing (flow-controlled cursors stop mid-bitmap), and
+/// matching rows decode only their projected columns
+/// ([`PinnedCursor::read_projected`]).
+///
+/// `from` makes resumption O(1): the scan starts at the liveness word
+/// containing slot `from` with the lower bits of that word masked off, so
+/// a cursor that stopped after yielding slot `i` resumes at `from = i + 1`
+/// without re-walking (or re-filtering) the prefix.
+pub struct PipelineScan<'a> {
+    cursor: PinnedCursor<'a>,
+    bm: Bitmap,
+    pred: Option<PagePredicate>,
+    projection: Projection,
+    word_idx: usize,
+    /// Word containing `from`; its sub-`from` bits are masked out.
+    start_word: usize,
+    start_mask: u64,
+    base: u64,
+    cur: u64,
+    done: bool,
+}
+
+impl<'a> PipelineScan<'a> {
+    /// Creates a pipeline scan over `heap` restricted to set bits of `bm`
+    /// at or past slot `from`, filtering chunks through `pred` (`None`
+    /// means no filtering) and decoding only `projection`'s columns.
+    pub fn new(
+        heap: &'a HeapFile,
+        bm: Bitmap,
+        pred: Option<PagePredicate>,
+        projection: Projection,
+        from: u64,
+    ) -> Self {
+        PipelineScan {
+            cursor: heap.pinned_cursor(),
+            bm,
+            pred,
+            projection,
+            word_idx: (from / 64) as usize,
+            start_word: (from / 64) as usize,
+            start_mask: u64::MAX << (from % 64),
+            base: 0,
+            cur: 0,
+            done: false,
+        }
+    }
+
+    /// Advances to the next chunk with a candidate, filling `cur` with its
+    /// match word. Returns `false` at end of bitmap, `Err` on IO failure.
+    fn advance_chunk(&mut self) -> Result<bool> {
+        while self.cur == 0 {
+            if self.word_idx >= self.bm.num_words() {
+                return Ok(false);
+            }
+            let mut w = self.bm.word(self.word_idx);
+            if self.word_idx == self.start_word {
+                w &= self.start_mask;
+            }
+            if w != 0 {
+                self.base = self.word_idx as u64 * 64;
+                self.cur = match &self.pred {
+                    Some(p) => p.eval_word(&mut self.cursor, self.base, w)?,
+                    None => w,
+                };
+            }
+            self.word_idx += 1;
+        }
+        Ok(true)
+    }
+}
+
+impl Iterator for PipelineScan<'_> {
+    /// `(slot index, projected record)`; the slot index is the engine's
+    /// O(1) resume position (pass `idx + 1` as `from` to continue after).
+    type Item = Result<(u64, Record)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.advance_chunk() {
+            Ok(false) => {
+                self.done = true;
+                return None;
+            }
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e));
+            }
+            Ok(true) => {}
+        }
+        let idx = self.base + self.cur.trailing_zeros() as u64;
+        self.cur &= self.cur - 1;
+        Some(
+            self.cursor
+                .read_projected(idx, &self.projection)
+                .map(|r| (idx, r)),
+        )
+    }
+}
+
+/// The projected, predicate-pushed variant of [`AnnotatedScan`]: like
+/// [`PipelineScan`] but annotating each row with the branches whose
+/// liveness column has its bit set, from per-chunk cached column words.
+pub struct PipelineAnnotatedScan<'a> {
+    inner: PipelineScan<'a>,
+    cols: Vec<(BranchId, Bitmap)>,
+    col_words: Vec<u64>,
+    /// Word index the cached `col_words` belong to (`usize::MAX` = none).
+    cached_word: usize,
+}
+
+impl<'a> PipelineAnnotatedScan<'a> {
+    /// Creates a scan over `heap` driven by `union` from slot `from`,
+    /// filtering through `pred` and annotating from the per-branch `cols`.
+    pub fn new(
+        heap: &'a HeapFile,
+        union: Bitmap,
+        cols: Vec<(BranchId, Bitmap)>,
+        pred: Option<PagePredicate>,
+        projection: Projection,
+        from: u64,
+    ) -> Self {
+        PipelineAnnotatedScan {
+            inner: PipelineScan::new(heap, union, pred, projection, from),
+            col_words: vec![0; cols.len()],
+            cols,
+            cached_word: usize::MAX,
+        }
+    }
+}
+
+impl Iterator for PipelineAnnotatedScan<'_> {
+    /// `(slot index, projected record, containing branches)`.
+    type Item = Result<(u64, Record, Vec<BranchId>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        Some(item.map(|(idx, rec)| {
+            let wi = (idx / 64) as usize;
+            if wi != self.cached_word {
+                for (j, (_, col)) in self.cols.iter().enumerate() {
+                    self.col_words[j] = col.word(wi);
+                }
+                self.cached_word = wi;
+            }
+            let live = live_branches(&self.cols, &self.col_words, (idx % 64) as u32);
+            (idx, rec, live)
+        }))
     }
 }
 
@@ -333,6 +516,90 @@ mod tests {
             .collect::<Result<_>>()
             .unwrap();
         assert_eq!(out, streamed);
+    }
+
+    #[test]
+    fn pipeline_scan_matches_filter_then_project() {
+        use crate::query::Predicate;
+        use decibel_common::Projection;
+        let (_d, _p, heap, union, _cols) = annotated_fixture();
+        let pred = Predicate::ColMod(0, 5, 0).and(Predicate::KeyRange(10, 120));
+        let pp = PagePredicate::lower(&pred).unwrap();
+        let proj = Projection::of(&[1]);
+        let got: Vec<(u64, Record)> =
+            PipelineScan::new(&heap, union.clone(), Some(pp), proj.clone(), 0)
+                .collect::<Result<_>>()
+                .unwrap();
+        let expect: Vec<(u64, Record)> = BitmapScan::new(&heap, union)
+            .map(|r| r.unwrap())
+            .filter(|(_, rec)| pred.eval(rec))
+            .map(|(idx, mut rec)| {
+                rec.project(&proj);
+                (idx.raw(), rec)
+            })
+            .collect();
+        assert_eq!(got, expect);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn pipeline_scan_resumes_in_place_from_any_position() {
+        use crate::query::Predicate;
+        use decibel_common::Projection;
+        let (_d, _p, heap, union, _cols) = annotated_fixture();
+        let pred = Predicate::ColMod(0, 3, 1);
+        let all: Vec<(u64, Record)> = PipelineScan::new(
+            &heap,
+            union.clone(),
+            PagePredicate::lower(&pred),
+            Projection::All,
+            0,
+        )
+        .collect::<Result<_>>()
+        .unwrap();
+        // Resuming at idx+1 after any yielded row returns exactly the rest.
+        for cut in 0..all.len() {
+            let from = all[cut].0 + 1;
+            let rest: Vec<(u64, Record)> = PipelineScan::new(
+                &heap,
+                union.clone(),
+                PagePredicate::lower(&pred),
+                Projection::All,
+                from,
+            )
+            .collect::<Result<_>>()
+            .unwrap();
+            assert_eq!(rest, all[cut + 1..], "resume after row {cut}");
+        }
+    }
+
+    #[test]
+    fn pipeline_annotated_matches_annotated_scan() {
+        use crate::query::Predicate;
+        use decibel_common::Projection;
+        let (_d, _p, heap, union, cols) = annotated_fixture();
+        let pred = Predicate::KeyRange(20, 130);
+        let proj = Projection::of(&[0, 2]);
+        let got: Vec<(u64, Record, Vec<BranchId>)> = PipelineAnnotatedScan::new(
+            &heap,
+            union.clone(),
+            cols.clone(),
+            PagePredicate::lower(&pred),
+            proj.clone(),
+            0,
+        )
+        .collect::<Result<_>>()
+        .unwrap();
+        let expect: Vec<(u64, Record, Vec<BranchId>)> = AnnotatedScan::new(&heap, union, cols)
+            .map(|r| r.unwrap())
+            .filter(|(_, rec, _)| pred.eval(rec))
+            .map(|(idx, mut rec, live)| {
+                rec.project(&proj);
+                (idx.raw(), rec, live)
+            })
+            .collect();
+        assert_eq!(got, expect);
+        assert!(!got.is_empty());
     }
 
     #[test]

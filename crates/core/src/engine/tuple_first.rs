@@ -37,13 +37,14 @@ use decibel_vgraph::VersionGraph;
 use parking_lot::{Mutex, RwLock};
 
 use crate::checkpoint;
-use crate::engine::scan::{AnnotatedScan, BitmapScan};
+use crate::engine::scan::{AnnotatedScan, BitmapScan, PipelineAnnotatedScan, PipelineScan};
 use crate::merge::{plan_merge, ChangeSet, MergeAction};
+use crate::query::plan::ScanPlan;
 use crate::shard::PreparedCommit;
 use crate::store::VersionedStore;
 use crate::types::{
-    AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,
-    VersionRef,
+    AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, PosAnnotatedIter,
+    PosRecordIter, RecordIter, StoreStats, VersionRef,
 };
 
 /// Maps an index orientation to its [`EngineKind`] label.
@@ -494,6 +495,59 @@ impl<I: IndexOrientation> VersionedStore for TupleFirstEngine<I> {
             AnnotatedScan::new(&self.heap, union, columns)
                 .map(|item| item.map(|(_, rec, live)| (rec, live))),
         ))
+    }
+
+    fn scan_pipeline(
+        &self,
+        version: VersionRef,
+        plan: &ScanPlan,
+        from: u64,
+    ) -> Result<PosRecordIter<'_>> {
+        // Resume tokens are heap slot indexes + 1: the pipeline scan
+        // restarts at the liveness word containing `from` (O(1)), so
+        // flow-controlled cursors never re-walk the consumed prefix.
+        let bm = self.version_bitmap(version)?;
+        let low = plan.lower();
+        let scan = PipelineScan::new(&self.heap, bm, low.pred, low.projection, from);
+        match low.residual {
+            None => Ok(Box::new(scan.map(|r| r.map(|(idx, rec)| (idx + 1, rec))))),
+            Some(res) => Ok(Box::new(scan.filter_map(move |r| match r {
+                Ok((idx, rec)) => res.apply(rec).map(|rec| Ok((idx + 1, rec))),
+                Err(e) => Some(Err(e)),
+            }))),
+        }
+    }
+
+    fn multi_scan_pipeline(
+        &self,
+        branches: &[BranchId],
+        plan: &ScanPlan,
+        from: u64,
+    ) -> Result<PosAnnotatedIter<'_>> {
+        let graph = self.graph.read();
+        let index = self.index.read();
+        let mut union = Bitmap::zeros(index.num_rows());
+        let mut columns = Vec::with_capacity(branches.len());
+        for &b in branches {
+            graph.branch(b)?;
+            let col = index.branch_bitmap(b);
+            union.or_assign(&col);
+            columns.push((b, col));
+        }
+        drop(index);
+        drop(graph);
+        let low = plan.lower();
+        let scan =
+            PipelineAnnotatedScan::new(&self.heap, union, columns, low.pred, low.projection, from);
+        match low.residual {
+            None => Ok(Box::new(
+                scan.map(|r| r.map(|(idx, rec, live)| (idx + 1, rec, live))),
+            )),
+            Some(res) => Ok(Box::new(scan.filter_map(move |r| match r {
+                Ok((idx, rec, live)) => res.apply(rec).map(|rec| Ok((idx + 1, rec, live))),
+                Err(e) => Some(Err(e)),
+            }))),
+        }
     }
 
     fn diff(&self, left: VersionRef, right: VersionRef) -> Result<DiffResult> {

@@ -38,18 +38,19 @@ use decibel_common::ids::{BranchId, CommitId, RecordIdx, SegmentId};
 use decibel_common::record::Record;
 use decibel_common::schema::Schema;
 use decibel_common::varint;
-use decibel_pagestore::{BufferPool, HeapFile, StoreConfig};
+use decibel_pagestore::{BufferPool, HeapFile, PinnedCursor, StoreConfig};
 use decibel_vgraph::VersionGraph;
 use parking_lot::RwLock;
 
 use crate::checkpoint;
-use crate::engine::scan::BitmapScan;
+use crate::engine::scan::{seg_resume, seg_token, BitmapScan, PipelineScan};
 use crate::merge::{plan_merge, ChangeSet, MergeAction};
+use crate::query::plan::{LoweredPlan, ScanPlan};
 use crate::shard::PreparedCommit;
 use crate::store::VersionedStore;
 use crate::types::{
-    AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, RecordIter, StoreStats,
-    VersionRef,
+    AnnotatedIter, DiffResult, EngineKind, MergePolicy, MergeResult, PosAnnotatedIter,
+    PosRecordIter, RecordIter, StoreStats, VersionRef,
 };
 
 /// One segment file: a heap of appended records plus branch points into its
@@ -481,6 +482,64 @@ impl VersionFirstEngine {
         self.seg(loc.0).heap.get(RecordIdx(loc.1))
     }
 
+    /// Pass 1 of §3.3's multi-branch scan: per-segment key tables (one
+    /// sequential read per unique segment) + in-memory per-branch
+    /// resolution into per-segment winner maps. Returns, in ascending
+    /// segment order, each segment's winner-liveness bitmap plus the
+    /// `slot → branches` annotation map pass 2 emits from.
+    #[allow(clippy::type_complexity)]
+    fn multi_scan_winners(
+        &self,
+        branches: &[BranchId],
+    ) -> Result<Vec<(SegmentId, Bitmap, FxHashMap<u64, Vec<BranchId>>)>> {
+        let mut orders = Vec::with_capacity(branches.len());
+        let mut max_bound: FxHashMap<SegmentId, u64> = FxHashMap::default();
+        for &b in branches {
+            let order = self.scan_order(self.head_ref(b)?);
+            for &(seg, _, hi) in &order {
+                let e = max_bound.entry(seg).or_insert(0);
+                *e = (*e).max(hi);
+            }
+            orders.push((b, order));
+        }
+        let mut tables: FxHashMap<SegmentId, Vec<(u64, bool)>> = FxHashMap::default();
+        for (&seg, &bound) in &max_bound {
+            tables.insert(seg, self.segment_keys(seg, bound)?);
+        }
+        let mut winners: FxHashMap<SegmentId, FxHashMap<u64, Vec<BranchId>>> = FxHashMap::default();
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for (b, order) in &orders {
+            seen.clear();
+            for &(seg, lo, hi) in order {
+                let table = &tables[&seg];
+                let upto = hi.min(table.len() as u64);
+                for slot in (lo..upto).rev() {
+                    let (key, tombstone) = table[slot as usize];
+                    if seen.insert(key) && !tombstone {
+                        winners
+                            .entry(seg)
+                            .or_default()
+                            .entry(slot)
+                            .or_default()
+                            .push(*b);
+                    }
+                }
+            }
+        }
+        let mut segs: Vec<(SegmentId, Bitmap, FxHashMap<u64, Vec<BranchId>>)> = winners
+            .into_iter()
+            .map(|(seg, slots)| {
+                let mut bm = Bitmap::new();
+                for &slot in slots.keys() {
+                    bm.set(slot, true);
+                }
+                (seg, bm, slots)
+            })
+            .collect();
+        segs.sort_by_key(|(seg, _, _)| *seg);
+        Ok(segs)
+    }
+
     /// Appends to a branch's head segment. Safe from concurrent threads on
     /// *different* branches: each branch's head segment heap is distinct,
     /// and the heap tail latch covers the append itself.
@@ -640,61 +699,57 @@ impl VersionedStore for VersionFirstEngine {
     }
 
     fn multi_scan(&self, branches: &[BranchId]) -> Result<AnnotatedIter<'_>> {
-        // §3.3's two-pass algorithm. Pass 1: per-segment key tables (one
-        // sequential read per unique segment) + in-memory per-branch
-        // resolution into a winners map. Pass 2: emit records in
-        // (segment, slot) order — the paper's record-id-ordered priority
-        // queue — reading each segment once more.
-        let mut orders = Vec::with_capacity(branches.len());
-        let mut max_bound: FxHashMap<SegmentId, u64> = FxHashMap::default();
-        for &b in branches {
-            let order = self.scan_order(self.head_ref(b)?);
-            for &(seg, _, hi) in &order {
-                let e = max_bound.entry(seg).or_insert(0);
-                *e = (*e).max(hi);
-            }
-            orders.push((b, order));
-        }
-        let mut tables: FxHashMap<SegmentId, Vec<(u64, bool)>> = FxHashMap::default();
-        for (&seg, &bound) in &max_bound {
-            tables.insert(seg, self.segment_keys(seg, bound)?);
-        }
-        let mut winners: FxHashMap<SegmentId, FxHashMap<u64, Vec<BranchId>>> = FxHashMap::default();
-        let mut seen: FxHashSet<u64> = FxHashSet::default();
-        for (b, order) in &orders {
-            seen.clear();
-            for &(seg, lo, hi) in order {
-                let table = &tables[&seg];
-                let upto = hi.min(table.len() as u64);
-                for slot in (lo..upto).rev() {
-                    let (key, tombstone) = table[slot as usize];
-                    if seen.insert(key) && !tombstone {
-                        winners
-                            .entry(seg)
-                            .or_default()
-                            .entry(slot)
-                            .or_default()
-                            .push(*b);
-                    }
-                }
-            }
-        }
-        // Pass 2 state: per segment, a liveness bitmap + slot annotations.
-        let mut segs: Vec<(SegmentId, Bitmap, FxHashMap<u64, Vec<BranchId>>)> = winners
-            .into_iter()
-            .map(|(seg, slots)| {
-                let mut bm = Bitmap::new();
-                for &slot in slots.keys() {
-                    bm.set(slot, true);
-                }
-                (seg, bm, slots)
-            })
-            .collect();
-        segs.sort_by_key(|(seg, _, _)| *seg);
+        // §3.3's two-pass algorithm. Pass 1 ([`multi_scan_winners`]) builds
+        // per-segment winner maps; pass 2 emits records in (segment, slot)
+        // order — the paper's record-id-ordered priority queue — reading
+        // each segment once more.
         Ok(Box::new(VfMultiScan {
+            engine: self,
+            segs: self.multi_scan_winners(branches)?,
+            pos: 0,
+            inner: None,
+        }))
+    }
+
+    fn scan_pipeline(
+        &self,
+        version: VersionRef,
+        plan: &ScanPlan,
+        from: u64,
+    ) -> Result<PosRecordIter<'_>> {
+        let start = self.resolve(version)?;
+        Ok(Box::new(VfPipelineScan {
+            engine: self,
+            order: self.scan_order(start),
+            next_portion: 0,
+            cur: None,
+            low: plan.lower(),
+            emitted: FxHashSet::default(),
+            visited: 0,
+            from,
+        }))
+    }
+
+    fn multi_scan_pipeline(
+        &self,
+        branches: &[BranchId],
+        plan: &ScanPlan,
+        from: u64,
+    ) -> Result<PosAnnotatedIter<'_>> {
+        // Pass 1 (the shadowing resolution) cannot be narrowed by the
+        // predicate — a failing row still shadows older copies of its key —
+        // so it always runs in full; the pushdown accelerates pass 2, where
+        // winning slots are predicate-checked against pinned page bytes and
+        // only survivors decode their projected columns.
+        let mut segs = self.multi_scan_winners(branches)?;
+        let resume = seg_resume(from);
+        segs.retain(|(s, _, _)| s.raw() >= resume.0);
+        Ok(Box::new(VfPipelineAnnotatedScan {
             engine: self,
             segs,
             pos: 0,
+            low: plan.lower(),
+            resume,
             inner: None,
         }))
     }
@@ -957,6 +1012,137 @@ impl Iterator for VfMultiScan<'_> {
             let (seg, bm, _) = self.segs.get(self.pos)?;
             self.pos += 1;
             self.inner = Some(BitmapScan::new(&self.engine.seg(*seg).heap, bm.clone()));
+        }
+    }
+}
+
+/// Pipeline variant of [`VfScan`]: the emitted-set walk driven by key
+/// peeks, with the lowered predicate evaluated per-slot against pinned
+/// page bytes and only passing rows materialized under the projection.
+///
+/// Version-first has no bitmap, so its resume tokens count *raw slots
+/// walked*: resuming replays the token's prefix with key peeks only — no
+/// field decode, no predicate work — to rebuild the shadowing set
+/// (O(prefix) metadata reads; the engines with liveness bitmaps resume in
+/// O(1) instead). Rows skipped during replay still enter the emitted set:
+/// a predicate-failing or already-delivered copy must keep shadowing older
+/// copies of its key.
+struct VfPipelineScan<'a> {
+    engine: &'a VersionFirstEngine,
+    order: Vec<(SegmentId, u64, u64)>,
+    next_portion: usize,
+    /// Current portion: `(cursor, lo, next)` — slots `[lo, next)` remain,
+    /// visited in descending order.
+    cur: Option<(PinnedCursor<'a>, u64, u64)>,
+    low: LoweredPlan,
+    emitted: FxHashSet<u64>,
+    /// Raw slots walked so far; the resume token of an emitted row.
+    visited: u64,
+    from: u64,
+}
+
+impl Iterator for VfPipelineScan<'_> {
+    type Item = Result<(u64, Record)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((cursor, lo, next)) = &mut self.cur {
+                while *next > *lo {
+                    *next -= 1;
+                    let slot = *next;
+                    self.visited += 1;
+                    let (key, tombstone) = match cursor.peek_key(slot) {
+                        Ok(kt) => kt,
+                        Err(e) => return Some(Err(e)),
+                    };
+                    if !self.emitted.insert(key) || tombstone || self.visited <= self.from {
+                        continue;
+                    }
+                    if let Some(pred) = &self.low.pred {
+                        match pred.eval_slot(cursor, slot) {
+                            Ok(true) => {}
+                            Ok(false) => continue,
+                            Err(e) => return Some(Err(e)),
+                        }
+                    }
+                    let rec = match cursor.read_projected(slot, &self.low.projection) {
+                        Ok(rec) => rec,
+                        Err(e) => return Some(Err(e)),
+                    };
+                    let rec = match &self.low.residual {
+                        Some(res) => match res.apply(rec) {
+                            Some(rec) => rec,
+                            None => continue,
+                        },
+                        None => rec,
+                    };
+                    return Some(Ok((self.visited, rec)));
+                }
+                self.cur = None;
+            }
+            let &(seg, lo, hi) = self.order.get(self.next_portion)?;
+            self.next_portion += 1;
+            let heap = &self.engine.seg(seg).heap;
+            let hi = hi.min(heap.len()).max(lo);
+            self.cur = Some((heap.pinned_cursor(), lo, hi));
+        }
+    }
+}
+
+/// Pipeline variant of [`VfMultiScan`]: pass 2 routes each segment's
+/// winner bitmap through a [`PipelineScan`] (lazy per-word predicate
+/// fusion + projected decode) and annotates survivors from the winner
+/// map. Tokens are `(segment, slot)`-packed, so pass 2 resumes mid-heap;
+/// pass 1 always reruns in full (see
+/// [`VersionFirstEngine::multi_scan_pipeline`](VersionedStore::multi_scan_pipeline)).
+struct VfPipelineAnnotatedScan<'a> {
+    engine: &'a VersionFirstEngine,
+    segs: Vec<(SegmentId, Bitmap, FxHashMap<u64, Vec<BranchId>>)>,
+    pos: usize,
+    low: LoweredPlan,
+    resume: (u32, u64),
+    inner: Option<PipelineScan<'a>>,
+}
+
+impl Iterator for VfPipelineAnnotatedScan<'_> {
+    type Item = Result<(u64, Record, Vec<BranchId>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(scan) = &mut self.inner {
+                for item in scan.by_ref() {
+                    let (seg, _, slots) = &self.segs[self.pos - 1];
+                    match item {
+                        Ok((idx, rec)) => {
+                            let rec = match &self.low.residual {
+                                Some(res) => match res.apply(rec) {
+                                    Some(rec) => rec,
+                                    None => continue,
+                                },
+                                None => rec,
+                            };
+                            let branches = slots.get(&idx).cloned().unwrap_or_default();
+                            return Some(Ok((seg_token(*seg, idx), rec, branches)));
+                        }
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+                self.inner = None;
+            }
+            let (seg, bm, _) = self.segs.get(self.pos)?;
+            self.pos += 1;
+            let start = if seg.raw() == self.resume.0 {
+                self.resume.1
+            } else {
+                0
+            };
+            self.inner = Some(PipelineScan::new(
+                &self.engine.seg(*seg).heap,
+                bm.clone(),
+                self.low.pred.clone(),
+                self.low.projection.clone(),
+                start,
+            ));
         }
     }
 }

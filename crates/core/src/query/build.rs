@@ -63,7 +63,7 @@
 
 use decibel_common::ids::BranchId;
 use decibel_common::record::Record;
-use decibel_common::Result;
+use decibel_common::{Projection, Result};
 
 use crate::db::Database;
 use crate::query::{execute, AggKind, Predicate, Query, QueryOutput};
@@ -89,6 +89,7 @@ pub struct ReadBuilder<'a> {
     db: &'a Database,
     version: VersionRef,
     predicate: Predicate,
+    projection: Projection,
 }
 
 impl<'a> ReadBuilder<'a> {
@@ -97,6 +98,7 @@ impl<'a> ReadBuilder<'a> {
             db,
             version,
             predicate: Predicate::True,
+            projection: Projection::All,
         }
     }
 
@@ -106,11 +108,24 @@ impl<'a> ReadBuilder<'a> {
         self
     }
 
+    /// Restricts [`collect`](ReadBuilder::collect) to the given data
+    /// columns: the scan decodes only those columns from page bytes, and
+    /// non-projected fields of the returned records read `0`. Chained
+    /// selects union. Filters still see every column (the predicate runs
+    /// against raw page bytes before materialization); an out-of-range
+    /// column fails the terminal with
+    /// [`DbError::Invalid`](decibel_common::DbError::Invalid).
+    pub fn select(mut self, cols: &[usize]) -> Self {
+        self.projection = self.projection.narrow(cols);
+        self
+    }
+
     /// The internal plan this builder executes (the benchmark's Q1 shape).
     pub fn plan(self) -> Query {
         Query::ScanVersion {
             version: self.version,
             predicate: self.predicate,
+            projection: self.projection,
         }
     }
 
@@ -204,6 +219,7 @@ pub struct MultiReadBuilder<'a> {
     sel: BranchSel,
     predicate: Predicate,
     parallel: usize,
+    projection: Projection,
 }
 
 impl<'a> MultiReadBuilder<'a> {
@@ -213,12 +229,22 @@ impl<'a> MultiReadBuilder<'a> {
             sel,
             predicate: Predicate::True,
             parallel: 1,
+            projection: Projection::All,
         }
     }
 
     /// Adds a row filter (chained filters are ANDed).
     pub fn filter(mut self, predicate: Predicate) -> Self {
         self.predicate = and(self.predicate, predicate);
+        self
+    }
+
+    /// Restricts [`annotated`](MultiReadBuilder::annotated) to the given
+    /// data columns — same semantics as
+    /// [`ReadBuilder::select`](ReadBuilder::select). Branch annotations
+    /// are computed before projection and are unaffected by it.
+    pub fn select(mut self, cols: &[usize]) -> Self {
+        self.projection = self.projection.narrow(cols);
         self
     }
 
@@ -239,6 +265,7 @@ impl<'a> MultiReadBuilder<'a> {
             sel,
             predicate,
             parallel,
+            projection,
         } = self;
         db.with_store(|store| {
             let branches = resolve(store, &sel);
@@ -246,6 +273,7 @@ impl<'a> MultiReadBuilder<'a> {
                 branches,
                 predicate,
                 parallel,
+                projection,
             };
             match execute(store, &q)? {
                 QueryOutput::Annotated(rows) => Ok(rows),
@@ -255,19 +283,20 @@ impl<'a> MultiReadBuilder<'a> {
     }
 
     /// Counts the qualifying (record, branch-set) rows by streaming the
-    /// sequential scan — nothing is materialized, so the
-    /// [`parallel`](MultiReadBuilder::parallel) hint (which exists to
-    /// parallelize materialization) does not apply here.
+    /// sequential scan with an empty projection (rows are counted, never
+    /// decoded) — the [`parallel`](MultiReadBuilder::parallel) hint (which
+    /// exists to parallelize materialization) does not apply here.
     pub fn count(self) -> Result<u64> {
         let MultiReadBuilder {
             db, sel, predicate, ..
         } = self;
         db.with_store(|store| {
             let branches = resolve(store, &sel);
+            let plan = crate::query::plan::ScanPlan::new(predicate, Projection::of(&[]));
             let mut n = 0u64;
-            for item in store.multi_scan(&branches)? {
-                let (rec, live) = item?;
-                if !live.is_empty() && predicate.eval(&rec) {
+            for item in store.multi_scan_pipeline(&branches, &plan, 0)? {
+                let (_, _, live) = item?;
+                if !live.is_empty() {
                     n += 1;
                 }
             }

@@ -3,8 +3,9 @@
 use decibel_common::hash::FxHashMap;
 use decibel_common::ids::BranchId;
 use decibel_common::record::Record;
-use decibel_common::{DbError, Result};
+use decibel_common::{DbError, Projection, Result};
 
+use crate::query::plan::ScanPlan;
 use crate::query::{AggKind, Query};
 use crate::store::VersionedStore;
 
@@ -47,15 +48,26 @@ impl QueryOutput {
 }
 
 /// Executes a query against a store.
+///
+/// Scan-shaped queries (`ScanVersion`, `HeadScan`, `MultiBranchScan`,
+/// `Aggregate`) route through the planned pipeline
+/// ([`VersionedStore::scan_pipeline`]): fixed-width predicates are
+/// evaluated against pinned page bytes and only the projected column set
+/// is decoded. Aggregates project just the aggregated column (nothing at
+/// all for `Count`).
 pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput> {
     match query {
-        Query::ScanVersion { version, predicate } => {
+        Query::ScanVersion {
+            version,
+            predicate,
+            projection,
+        } => {
+            projection.validate(store.schema())?;
+            let plan = ScanPlan::new(predicate.clone(), projection.clone());
             let mut out = Vec::new();
-            for item in store.scan(*version)? {
-                let rec = item?;
-                if predicate.eval(&rec) {
-                    out.push(rec);
-                }
+            for item in store.scan_pipeline(*version, &plan, 0)? {
+                let (_, rec) = item?;
+                out.push(rec);
             }
             Ok(QueryOutput::Records(out))
         }
@@ -90,17 +102,20 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
         Query::HeadScan {
             predicate,
             active_only,
+            projection,
         } => {
+            projection.validate(store.schema())?;
             let branches: Vec<BranchId> = store
                 .graph()
                 .heads(*active_only)
                 .into_iter()
                 .map(|(b, _)| b)
                 .collect();
+            let plan = ScanPlan::new(predicate.clone(), projection.clone());
             let mut out = Vec::new();
-            for item in store.multi_scan(&branches)? {
-                let (rec, live) = item?;
-                if !live.is_empty() && predicate.eval(&rec) {
+            for item in store.multi_scan_pipeline(&branches, &plan, 0)? {
+                let (_, rec, live) = item?;
+                if !live.is_empty() {
                     out.push((rec, live));
                 }
             }
@@ -110,22 +125,28 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
             branches,
             predicate,
             parallel,
+            projection,
         } => {
+            projection.validate(store.schema())?;
             if *parallel > 1 {
                 // Fan the scan out over the engine's parallel path (the
                 // hybrid engine's work-stealing per-segment scan; other
                 // engines fall back to a materialized sequential scan).
+                // This path decodes whole records; filter + project after.
+                let plan = ScanPlan::new(predicate.clone(), projection.clone());
                 let rows = store.par_multi_scan(branches, *parallel)?;
                 return Ok(QueryOutput::Annotated(
                     rows.into_iter()
-                        .filter(|(rec, live)| !live.is_empty() && predicate.eval(rec))
+                        .filter(|(_, live)| !live.is_empty())
+                        .filter_map(|(rec, live)| plan.apply(rec).map(|rec| (rec, live)))
                         .collect(),
                 ));
             }
+            let plan = ScanPlan::new(predicate.clone(), projection.clone());
             let mut out = Vec::new();
-            for item in store.multi_scan(branches)? {
-                let (rec, live) = item?;
-                if !live.is_empty() && predicate.eval(&rec) {
+            for item in store.multi_scan_pipeline(branches, &plan, 0)? {
+                let (_, rec, live) = item?;
+                if !live.is_empty() {
                     out.push((rec, live));
                 }
             }
@@ -137,22 +158,28 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
             agg,
             predicate,
         } => {
+            // Decode only the aggregated column — nothing at all for a
+            // bare count (the predicate still sees every column through
+            // the page-level evaluator).
+            let projection = if *agg == AggKind::Count {
+                Projection::of(&[])
+            } else {
+                if *column >= store.schema().num_columns() {
+                    return Err(DbError::Invalid(format!(
+                        "aggregate column {column} out of range"
+                    )));
+                }
+                Projection::of(&[*column])
+            };
+            let plan = ScanPlan::new(predicate.clone(), projection);
             let mut count = 0u64;
             let mut sum = 0f64;
             let mut min = f64::INFINITY;
             let mut max = f64::NEG_INFINITY;
-            for item in store.scan(*version)? {
-                let rec = item?;
-                if !predicate.eval(&rec) {
-                    continue;
-                }
+            for item in store.scan_pipeline(*version, &plan, 0)? {
+                let (_, rec) = item?;
                 count += 1;
                 if *agg != AggKind::Count {
-                    if *column >= rec.fields().len() {
-                        return Err(DbError::Invalid(format!(
-                            "aggregate column {column} out of range"
-                        )));
-                    }
                     let v = rec.field(*column) as f64;
                     sum += v;
                     min = min.min(v);
@@ -225,6 +252,7 @@ mod tests {
             &Query::ScanVersion {
                 version: VersionRef::Branch(BranchId::MASTER),
                 predicate: Predicate::ColEq(1, 0),
+                projection: Projection::all(),
             },
         )
         .unwrap();
@@ -281,6 +309,7 @@ mod tests {
             &Query::HeadScan {
                 predicate: Predicate::True,
                 active_only: true,
+                projection: Projection::all(),
             },
         )
         .unwrap();

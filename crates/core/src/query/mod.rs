@@ -24,13 +24,16 @@
 
 pub mod build;
 pub mod exec;
+pub mod plan;
 pub mod predicate;
 
 pub use build::{MultiReadBuilder, ReadBuilder};
 pub use exec::{execute, QueryOutput};
+pub use plan::{PagePredicate, ScanPlan};
 pub use predicate::Predicate;
 
 use decibel_common::ids::BranchId;
+use decibel_common::Projection;
 
 use crate::types::VersionRef;
 
@@ -52,12 +55,14 @@ pub enum AggKind {
 /// A declarative query against a versioned store.
 #[derive(Debug, Clone)]
 pub enum Query {
-    /// `SELECT * FROM R WHERE R.Version = v AND <predicate>`.
+    /// `SELECT <projection> FROM R WHERE R.Version = v AND <predicate>`.
     ScanVersion {
         /// The version to scan.
         version: VersionRef,
         /// Row filter.
         predicate: Predicate,
+        /// Columns to materialize (non-projected fields read `0`).
+        projection: Projection,
     },
     /// `SELECT * FROM R WHERE Version = left AND id NOT IN (SELECT id FROM
     /// R WHERE Version = right)` — by record copy, as the engines diff.
@@ -85,6 +90,8 @@ pub enum Query {
         predicate: Predicate,
         /// Restrict to non-retired branches.
         active_only: bool,
+        /// Columns to materialize (non-projected fields read `0`).
+        projection: Projection,
     },
     /// A single aggregate over one version.
     Aggregate {
@@ -109,5 +116,7 @@ pub enum Query {
         /// with this many workers; ≤ 1 streams sequentially. Results are
         /// identical either way.
         parallel: usize,
+        /// Columns to materialize (non-projected fields read `0`).
+        projection: Projection,
     },
 }

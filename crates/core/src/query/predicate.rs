@@ -35,7 +35,33 @@ pub enum Predicate {
     Not(Box<Predicate>),
 }
 
+impl Default for Predicate {
+    /// The vacuous filter.
+    fn default() -> Self {
+        Predicate::True
+    }
+}
+
 impl Predicate {
+    /// Collects the data-column indexes the predicate reads into `out`
+    /// (key comparisons contribute nothing) — the planner's input for
+    /// computing a scan's required column set.
+    pub fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Predicate::True | Predicate::KeyEq(_) | Predicate::KeyRange(_, _) => {}
+            Predicate::ColEq(c, _)
+            | Predicate::ColNe(c, _)
+            | Predicate::ColLt(c, _)
+            | Predicate::ColGe(c, _)
+            | Predicate::ColMod(c, _, _) => out.push(*c),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(a) => a.collect_columns(out),
+        }
+    }
+
     /// Evaluates the predicate against a record.
     pub fn eval(&self, r: &Record) -> bool {
         match self {

@@ -35,6 +35,18 @@ pub type RecordIter<'a> = Box<dyn Iterator<Item = Result<Record>> + 'a>;
 /// annotated with their active branches", §4.3).
 pub type AnnotatedIter<'a> = Box<dyn Iterator<Item = Result<(Record, Vec<BranchId>)>> + 'a>;
 
+/// Iterator returned by the planned scan pipeline
+/// ([`VersionedStore::scan_pipeline`](crate::store::VersionedStore::scan_pipeline)):
+/// each record is paired with an engine-opaque *resume token* — pass a
+/// yielded token back as the pipeline's `from` argument to continue the
+/// scan immediately after that row (O(1) for the bitmap engines, key-peeks
+/// only for version-first).
+pub type PosRecordIter<'a> = Box<dyn Iterator<Item = Result<(u64, Record)>> + 'a>;
+
+/// Resume-token-annotated variant of [`AnnotatedIter`] returned by
+/// [`VersionedStore::multi_scan_pipeline`](crate::store::VersionedStore::multi_scan_pipeline).
+pub type PosAnnotatedIter<'a> = Box<dyn Iterator<Item = Result<(u64, Record, Vec<BranchId>)>> + 'a>;
+
 /// Result of a [`diff`](crate::store::VersionedStore::diff): the paper's two
 /// "temporary tables" (§2.2.3 Difference).
 #[derive(Debug, Clone, Default)]

@@ -74,6 +74,7 @@ use std::time::{Duration, Instant};
 
 use decibel_common::error::{DbError, Result};
 use decibel_common::schema::Schema;
+use decibel_common::Projection;
 use decibel_core::cursor::{MultiScanCursor, ScanCursor};
 use decibel_core::{Database, Session};
 use decibel_netio::{Events, Interest, Poll, Token, Trigger, Waker};
@@ -386,10 +387,14 @@ fn respond_blocking_into(
     let result = execute_blocking(db, session, req);
     let enc = match result {
         Ok(Replies::One(reply)) => queue_response(out, schema, &Response::Ok(reply)),
-        Ok(Replies::Annotated(rows)) => (|| {
+        Ok(Replies::Annotated(projection, rows)) => (|| {
             let total = rows.len() as u64;
-            for chunk in rows.chunks(proto::batch_rows(schema.record_size())) {
-                queue_response(out, schema, &Response::AnnotatedBatch(chunk.to_vec()))?;
+            for chunk in rows.chunks(proto::batch_rows(projection.image_size(schema))) {
+                queue_response(
+                    out,
+                    schema,
+                    &Response::AnnotatedBatch(projection.clone(), chunk.to_vec()),
+                )?;
             }
             queue_response(out, schema, &Response::Ok(Reply::Rows(total)))
         })(),
@@ -409,8 +414,10 @@ enum Replies {
     One(Reply),
     /// The materializing parallel multi-scan: worker-side because the
     /// engine's work-stealing path wants its own threads and returns the
-    /// full result anyway.
+    /// full result anyway. Carries the projection its rows were narrowed
+    /// to, so the batch frames ship only those columns.
     Annotated(
+        Projection,
         Vec<(
             decibel_common::record::Record,
             Vec<decibel_common::ids::BranchId>,
@@ -479,12 +486,17 @@ fn execute_blocking(
             branches,
             predicate,
             parallel,
-        } => Replies::Annotated(
-            db.read_branches(&branches)
+            projection,
+        } => {
+            let mut builder = db
+                .read_branches(&branches)
                 .filter(predicate)
-                .parallel(parallel)
-                .annotated()?,
-        ),
+                .parallel(parallel);
+            if let Some(cols) = projection.columns() {
+                builder = builder.select(cols);
+            }
+            Replies::Annotated(projection, builder.annotated()?)
+        }
         Request::Merge { into, from, policy } => One(Reply::Merge(db.merge(into, from, policy)?)),
         Request::Flush => {
             db.flush()?;
@@ -565,10 +577,20 @@ fn token_matches(expected: &str, presented: &str) -> bool {
 // ---------------------------------------------------------------------
 
 /// An in-flight streamed scan: the resumable cursor whose next chunk is
-/// produced when — and only when — the write buffer has drained.
+/// produced when — and only when — the write buffer has drained, plus
+/// the projection its batch frames are encoded under and the rows per
+/// batch that projection's image size buys within
+/// [`proto::SCAN_BATCH_BYTES`] (a 2-of-12-column scan packs ~6× the rows
+/// of a whole-record one into each frame).
+struct Stream<C> {
+    cursor: C,
+    projection: Projection,
+    rows_per_batch: usize,
+}
+
 enum Streaming {
-    Records(ScanCursor),
-    Annotated(MultiScanCursor),
+    Records(Stream<ScanCursor>),
+    Annotated(Stream<MultiScanCursor>),
 }
 
 /// What a connection is doing between events.
@@ -636,7 +658,6 @@ struct EventLoop {
     db: Arc<Database>,
     schema: Schema,
     hello_frame: Vec<u8>,
-    batch_rows: usize,
     read_timeout: Option<Duration>,
     auth_token: Option<String>,
     shared: Arc<Shared>,
@@ -664,7 +685,6 @@ impl EventLoop {
         EventLoop {
             poll: server.poll,
             listener: server.listener,
-            batch_rows: proto::batch_rows(schema.record_size()),
             db: server.db,
             schema,
             hello_frame,
@@ -961,7 +981,6 @@ impl EventLoop {
     /// resume skip over [`CHUNKS_PER_LOCK`] chunks instead of paying it
     /// per chunk.
     fn produce_chunks(&mut self, slot: usize) -> Disposition {
-        let batch_rows = self.batch_rows;
         let schema = &self.schema;
         let conn = self.conns[slot].as_mut().unwrap();
         let mut active = std::mem::replace(&mut conn.active, Active::Idle);
@@ -975,25 +994,31 @@ impl EventLoop {
             let out_pos = &mut conn.out_pos;
             let dead = &mut dead;
             match streaming {
-                Streaming::Records(cursor) => {
-                    cursor.for_each_chunk(batch_rows, CHUNKS_PER_LOCK, |rows| {
-                        queue_response(outbuf, schema, &Response::Batch(rows))?;
-                        if flush_buffer(stream, outbuf, out_pos).is_err() {
-                            *dead = true;
-                            return Ok(false);
-                        }
-                        Ok(outbuf.len() - *out_pos < STREAM_AHEAD)
-                    })
+                Streaming::Records(s) => {
+                    let projection = &s.projection;
+                    s.cursor
+                        .for_each_chunk(s.rows_per_batch, CHUNKS_PER_LOCK, |rows| {
+                            let resp = Response::Batch(projection.clone(), rows);
+                            queue_response(outbuf, schema, &resp)?;
+                            if flush_buffer(stream, outbuf, out_pos).is_err() {
+                                *dead = true;
+                                return Ok(false);
+                            }
+                            Ok(outbuf.len() - *out_pos < STREAM_AHEAD)
+                        })
                 }
-                Streaming::Annotated(cursor) => {
-                    cursor.for_each_chunk(batch_rows, CHUNKS_PER_LOCK, |rows| {
-                        queue_response(outbuf, schema, &Response::AnnotatedBatch(rows))?;
-                        if flush_buffer(stream, outbuf, out_pos).is_err() {
-                            *dead = true;
-                            return Ok(false);
-                        }
-                        Ok(outbuf.len() - *out_pos < STREAM_AHEAD)
-                    })
+                Streaming::Annotated(s) => {
+                    let projection = &s.projection;
+                    s.cursor
+                        .for_each_chunk(s.rows_per_batch, CHUNKS_PER_LOCK, |rows| {
+                            let resp = Response::AnnotatedBatch(projection.clone(), rows);
+                            queue_response(outbuf, schema, &resp)?;
+                            if flush_buffer(stream, outbuf, out_pos).is_err() {
+                                *dead = true;
+                                return Ok(false);
+                            }
+                            Ok(outbuf.len() - *out_pos < STREAM_AHEAD)
+                        })
                 }
             }
         };
@@ -1003,8 +1028,8 @@ impl EventLoop {
         let terminal = match step {
             Ok(true) => {
                 let emitted = match &*streaming {
-                    Streaming::Records(c) => c.emitted(),
-                    Streaming::Annotated(c) => c.emitted(),
+                    Streaming::Records(s) => s.cursor.emitted(),
+                    Streaming::Annotated(s) => s.cursor.emitted(),
                 };
                 Some(Response::Ok(Reply::Rows(emitted)))
             }
@@ -1097,6 +1122,17 @@ impl EventLoop {
             );
             return Disposition::Keep;
         }
+        // A scan-shaped request with an unknown projection column fails
+        // here — a typed error frame before any cursor opens or lock is
+        // taken — not halfway through a stream.
+        if let Request::Collect { projection, .. } | Request::MultiScan { projection, .. } = &req {
+            if let Err(err) = projection.validate(&self.schema) {
+                if queue_response(&mut conn.outbuf, &self.schema, &Response::Err(err)).is_err() {
+                    return Disposition::Close;
+                }
+                return Disposition::Keep;
+            }
+        }
         match req {
             // Streamed scans run on the loop: the cursor snapshots what it
             // needs (session overlay clone / version + predicate) and
@@ -1107,20 +1143,40 @@ impl EventLoop {
                     .as_ref()
                     .expect("session present while idle")
                     .chunked_scan();
-                conn.active = Active::Streaming(Streaming::Records(cursor));
+                conn.active = Active::Streaming(Streaming::Records(Stream {
+                    cursor,
+                    rows_per_batch: proto::batch_rows(self.schema.record_size()),
+                    projection: Projection::All,
+                }));
             }
-            Request::Collect { version, predicate } => {
-                conn.active =
-                    Active::Streaming(Streaming::Records(self.db.chunked_scan(version, predicate)));
+            Request::Collect {
+                version,
+                predicate,
+                projection,
+            } => {
+                let cursor = self
+                    .db
+                    .chunked_scan_projected(version, predicate, projection.clone());
+                conn.active = Active::Streaming(Streaming::Records(Stream {
+                    cursor,
+                    rows_per_batch: proto::batch_rows(projection.image_size(&self.schema)),
+                    projection,
+                }));
             }
             Request::MultiScan {
                 branches,
                 predicate,
                 parallel,
+                projection,
             } if parallel <= 1 => {
-                conn.active = Active::Streaming(Streaming::Annotated(
-                    self.db.chunked_multi_scan(branches, predicate),
-                ));
+                let cursor =
+                    self.db
+                        .chunked_multi_scan_projected(branches, predicate, projection.clone());
+                conn.active = Active::Streaming(Streaming::Annotated(Stream {
+                    cursor,
+                    rows_per_batch: proto::batch_rows(projection.image_size(&self.schema)),
+                    projection,
+                }));
             }
             // Everything that can block — 2PL acquisition, commit fsync,
             // merge, flush, the materializing parallel scan — goes to the

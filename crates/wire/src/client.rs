@@ -28,6 +28,7 @@ use decibel_common::error::{DbError, Result};
 use decibel_common::ids::{BranchId, CommitId};
 use decibel_common::record::Record;
 use decibel_common::schema::Schema;
+use decibel_common::Projection;
 use decibel_core::query::{AggKind, Predicate};
 use decibel_core::types::{MergePolicy, MergeResult, VersionRef};
 
@@ -107,7 +108,7 @@ impl Client {
         match self.next_response()? {
             Response::Ok(reply) => Ok(reply),
             Response::Err(err) => Err(err),
-            Response::Batch(_) | Response::AnnotatedBatch(_) => Err(DbError::protocol(
+            Response::Batch(..) | Response::AnnotatedBatch(..) => Err(DbError::protocol(
                 "unexpected batch frame for a non-scan request",
             )),
         }
@@ -119,7 +120,7 @@ impl Client {
         let mut rows = Vec::new();
         loop {
             match self.next_response()? {
-                Response::Batch(mut batch) => rows.append(&mut batch),
+                Response::Batch(_, mut batch) => rows.append(&mut batch),
                 Response::Ok(Reply::Rows(total)) => {
                     if total != rows.len() as u64 {
                         return Err(DbError::protocol(format!(
@@ -135,7 +136,7 @@ impl Client {
                     )))
                 }
                 Response::Err(err) => return Err(err),
-                Response::AnnotatedBatch(_) => {
+                Response::AnnotatedBatch(..) => {
                     return Err(DbError::protocol("annotated batch in a record scan"))
                 }
             }
@@ -148,7 +149,7 @@ impl Client {
         let mut rows = Vec::new();
         loop {
             match self.next_response()? {
-                Response::AnnotatedBatch(mut batch) => rows.append(&mut batch),
+                Response::AnnotatedBatch(_, mut batch) => rows.append(&mut batch),
                 Response::Ok(Reply::Rows(total)) => {
                     if total != rows.len() as u64 {
                         return Err(DbError::protocol(format!(
@@ -164,7 +165,7 @@ impl Client {
                     )))
                 }
                 Response::Err(err) => return Err(err),
-                Response::Batch(_) => {
+                Response::Batch(..) => {
                     return Err(DbError::protocol("record batch in an annotated scan"))
                 }
             }
@@ -297,6 +298,7 @@ impl Client {
             client: self,
             version: version.into(),
             predicate: Predicate::True,
+            projection: Projection::All,
         }
     }
 
@@ -308,6 +310,7 @@ impl Client {
             branches: branches.to_vec(),
             predicate: Predicate::True,
             parallel: 1,
+            projection: Projection::All,
         }
     }
 }
@@ -327,6 +330,7 @@ pub struct RemoteReadBuilder<'a> {
     client: &'a mut Client,
     version: VersionRef,
     predicate: Predicate,
+    projection: Projection,
 }
 
 impl RemoteReadBuilder<'_> {
@@ -336,11 +340,22 @@ impl RemoteReadBuilder<'_> {
         self
     }
 
+    /// Ships only these data columns across the wire (non-selected fields
+    /// of the returned records read `0`); chained selects union. Filters
+    /// still see every column — they run server-side, against page bytes.
+    /// An out-of-range column fails the terminal with a typed
+    /// [`DbError::Invalid`] from the server, before the scan starts.
+    pub fn select(mut self, cols: &[usize]) -> Self {
+        self.projection = self.projection.narrow(cols);
+        self
+    }
+
     /// Materializes the qualifying records.
     pub fn collect(self) -> Result<Vec<Record>> {
         self.client.call_scan(&Request::Collect {
             version: self.version,
             predicate: self.predicate,
+            projection: self.projection,
         })
     }
 
@@ -381,6 +396,7 @@ pub struct RemoteMultiReadBuilder<'a> {
     branches: Vec<BranchId>,
     predicate: Predicate,
     parallel: usize,
+    projection: Projection,
 }
 
 impl RemoteMultiReadBuilder<'_> {
@@ -396,12 +412,21 @@ impl RemoteMultiReadBuilder<'_> {
         self
     }
 
+    /// Ships only these data columns across the wire (chained selects
+    /// union); branch annotations are computed before projection, so the
+    /// liveness sets are unaffected.
+    pub fn select(mut self, cols: &[usize]) -> Self {
+        self.projection = self.projection.narrow(cols);
+        self
+    }
+
     /// Materializes the annotated multi-branch scan, streamed in batches.
     pub fn annotated(self) -> Result<Vec<(Record, Vec<BranchId>)>> {
         self.client.call_annotated(&Request::MultiScan {
             branches: self.branches,
             predicate: self.predicate,
             parallel: self.parallel,
+            projection: self.projection,
         })
     }
 }

@@ -36,19 +36,31 @@
 //!   previous one drains into the socket, so a slow reader pins O(chunk)
 //!   server memory, and chunk row counts are an implementation detail a
 //!   client must not rely on (only the terminal total is contractual).
+//!
+//! # Projected batches
+//!
+//! Scan-shaped requests carry a [`Projection`]; batch frames are
+//! self-describing — each leads with the projection its record images
+//! were encoded under, so a 2-of-12-column `.select` ships 2 columns per
+//! row ([`Record::write_projected_image`]), not 12, and the client
+//! decodes without tracking per-request state. Non-projected fields of
+//! the decoded records read `0`, exactly like a local projected scan.
 
 use decibel_common::error::{DbError, ErrorCode, Result};
 use decibel_common::ids::{BranchId, CommitId};
 use decibel_common::record::Record;
 use decibel_common::schema::{ColumnType, Schema};
 use decibel_common::varint;
+use decibel_common::Projection;
 use decibel_core::query::{AggKind, Predicate};
 use decibel_core::types::{Conflict, MergePolicy, MergeResult, VersionRef};
 
 /// Protocol magic: the first bytes of the server's hello frame.
 pub const MAGIC: &[u8; 4] = b"DCBW";
-/// Protocol version carried in the hello frame.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol version carried in the hello frame. Version 2 added column
+/// projections: scan-shaped requests carry one and batch frames lead
+/// with the projection their record images were encoded under.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Target payload size of one scan batch frame. Batching rows (instead of
 /// a frame per row) is what lets the word-level scan pipeline's throughput
@@ -159,12 +171,16 @@ pub enum Request {
     /// session's view (base version + transaction overlay), streamed in
     /// batches.
     ScanSession,
-    /// `db.read(version).filter(predicate).collect()`, streamed in batches.
+    /// `db.read(version).select(&cols).filter(predicate).collect()`,
+    /// streamed in batches of projected record images.
     Collect {
         /// Version to scan.
         version: VersionRef,
         /// Row filter.
         predicate: Predicate,
+        /// Columns to ship (validated server-side; unknown columns earn
+        /// a typed [`DbError::Invalid`] before the scan starts).
+        projection: Projection,
     },
     /// `db.read(version).filter(predicate).count()`.
     Count {
@@ -193,6 +209,8 @@ pub enum Request {
         predicate: Predicate,
         /// Intra-query parallelism hint (≤ 1 = sequential).
         parallel: usize,
+        /// Columns to ship (validated server-side).
+        projection: Projection,
     },
     /// [`Database::merge`](decibel_core::Database::merge).
     Merge {
@@ -242,10 +260,11 @@ pub enum Response {
     Ok(Reply),
     /// Terminal failure (decoded back into a typed [`DbError`]).
     Err(DbError),
-    /// Non-terminal record batch.
-    Batch(Vec<Record>),
-    /// Non-terminal annotated batch.
-    AnnotatedBatch(Vec<(Record, Vec<BranchId>)>),
+    /// Non-terminal record batch: the projection its images were encoded
+    /// under, plus the rows (non-projected fields decode as `0`).
+    Batch(Projection, Vec<Record>),
+    /// Non-terminal annotated batch, projected the same way.
+    AnnotatedBatch(Projection, Vec<(Record, Vec<BranchId>)>),
 }
 
 fn bad(what: impl Into<String>) -> DbError {
@@ -284,6 +303,59 @@ fn read_record(buf: &[u8], pos: &mut usize, schema: &Schema) -> Result<Record> {
     let rec = Record::read_from(schema, &buf[*pos..end])?;
     *pos = end;
     Ok(rec)
+}
+
+fn read_projected_record(
+    buf: &[u8],
+    pos: &mut usize,
+    schema: &Schema,
+    projection: &Projection,
+) -> Result<Record> {
+    let size = projection.image_size(schema);
+    let end = pos
+        .checked_add(size)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| bad("truncated projected record image"))?;
+    let rec = Record::read_projected_image(schema, &buf[*pos..end], projection)?;
+    *pos = end;
+    Ok(rec)
+}
+
+/// `[tag]` — 0 is [`Projection::All`]; 1 is followed by
+/// `[varint n][n × varint column]`.
+fn write_projection(out: &mut Vec<u8>, p: &Projection) {
+    match p {
+        Projection::All => out.push(0),
+        Projection::Columns(cols) => {
+            out.push(1);
+            varint::write_u64(out, cols.len() as u64);
+            for &c in cols {
+                varint::write_u64(out, c as u64);
+            }
+        }
+    }
+}
+
+fn read_projection(buf: &[u8], pos: &mut usize) -> Result<Projection> {
+    match read_u8(buf, pos)? {
+        0 => Ok(Projection::All),
+        1 => {
+            let n = read_u64(buf, pos)? as usize;
+            if n > buf.len() {
+                // Each column costs ≥ 1 encoded byte; a count beyond the
+                // payload length is corruption, not a wide projection.
+                return Err(bad("projection column count exceeds payload"));
+            }
+            let mut cols = Vec::with_capacity(n);
+            for _ in 0..n {
+                cols.push(read_u64(buf, pos)? as usize);
+            }
+            // Re-normalize: the wire is untrusted, and every consumer
+            // relies on the sorted/deduplicated invariant.
+            Ok(Projection::of(&cols))
+        }
+        _ => Err(bad("unknown projection tag")),
+    }
 }
 
 /// `[tag][varint id]` — tag 0 names a branch head, 1 a commit.
@@ -541,10 +613,15 @@ impl Request {
             Request::Commit => out.push(OP_COMMIT),
             Request::Rollback => out.push(OP_ROLLBACK),
             Request::ScanSession => out.push(OP_SCAN_SESSION),
-            Request::Collect { version, predicate } => {
+            Request::Collect {
+                version,
+                predicate,
+                projection,
+            } => {
                 out.push(OP_COLLECT);
                 write_version(&mut out, *version);
                 write_predicate(&mut out, predicate);
+                write_projection(&mut out, projection);
             }
             Request::Count { version, predicate } => {
                 out.push(OP_COUNT);
@@ -567,6 +644,7 @@ impl Request {
                 branches,
                 predicate,
                 parallel,
+                projection,
             } => {
                 out.push(OP_MULTI_SCAN);
                 varint::write_u64(&mut out, branches.len() as u64);
@@ -575,6 +653,7 @@ impl Request {
                 }
                 varint::write_u64(&mut out, *parallel as u64);
                 write_predicate(&mut out, predicate);
+                write_projection(&mut out, projection);
             }
             Request::Merge { into, from, policy } => {
                 out.push(OP_MERGE);
@@ -627,6 +706,7 @@ impl Request {
             OP_COLLECT => Request::Collect {
                 version: read_version(buf, &mut pos)?,
                 predicate: read_predicate(buf, &mut pos, 0)?,
+                projection: read_projection(buf, &mut pos)?,
             },
             OP_COUNT => Request::Count {
                 version: read_version(buf, &mut pos)?,
@@ -653,6 +733,7 @@ impl Request {
                     branches,
                     parallel: read_u64(buf, &mut pos)? as usize,
                     predicate: read_predicate(buf, &mut pos, 0)?,
+                    projection: read_projection(buf, &mut pos)?,
                 }
             }
             OP_MERGE => Request::Merge {
@@ -852,20 +933,22 @@ impl Response {
                 out.push(STATUS_ERR);
                 out.extend_from_slice(&encode_error(err));
             }
-            Response::Batch(records) => {
-                out.reserve(records.len() * schema.record_size());
+            Response::Batch(projection, records) => {
+                out.reserve(records.len() * projection.image_size(schema));
                 out.push(STATUS_BATCH);
+                write_projection(&mut out, projection);
                 varint::write_u64(&mut out, records.len() as u64);
                 for r in records {
-                    write_record(&mut out, r, schema)?;
+                    r.write_projected_image(schema, projection, &mut out)?;
                 }
             }
-            Response::AnnotatedBatch(rows) => {
-                out.reserve(rows.len() * (schema.record_size() + 4));
+            Response::AnnotatedBatch(projection, rows) => {
+                out.reserve(rows.len() * (projection.image_size(schema) + 4));
                 out.push(STATUS_ABATCH);
+                write_projection(&mut out, projection);
                 varint::write_u64(&mut out, rows.len() as u64);
                 for (r, branches) in rows {
-                    write_record(&mut out, r, schema)?;
+                    r.write_projected_image(schema, projection, &mut out)?;
                     varint::write_u64(&mut out, branches.len() as u64);
                     for b in branches {
                         varint::write_u64(&mut out, b.raw() as u64);
@@ -906,24 +989,26 @@ impl Response {
             }
             STATUS_ERR => Ok(Response::Err(decode_error(&buf[pos..])?)),
             STATUS_BATCH => {
+                let projection = read_projection(buf, &mut pos)?;
                 let n = read_u64(buf, &mut pos)? as usize;
-                if n.saturating_mul(schema.record_size()) > buf.len() {
+                if n.saturating_mul(projection.image_size(schema)) > buf.len() {
                     return Err(bad("batch row count exceeds payload"));
                 }
                 let mut records = Vec::with_capacity(n);
                 for _ in 0..n {
-                    records.push(read_record(buf, &mut pos, schema)?);
+                    records.push(read_projected_record(buf, &mut pos, schema, &projection)?);
                 }
-                Ok(Response::Batch(records))
+                Ok(Response::Batch(projection, records))
             }
             STATUS_ABATCH => {
+                let projection = read_projection(buf, &mut pos)?;
                 let n = read_u64(buf, &mut pos)? as usize;
-                if n.saturating_mul(schema.record_size()) > buf.len() {
+                if n.saturating_mul(projection.image_size(schema)) > buf.len() {
                     return Err(bad("annotated row count exceeds payload"));
                 }
                 let mut rows = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let rec = read_record(buf, &mut pos, schema)?;
+                    let rec = read_projected_record(buf, &mut pos, schema, &projection)?;
                     let k = read_u64(buf, &mut pos)? as usize;
                     if k > buf.len() {
                         return Err(bad("branch annotation count exceeds payload"));
@@ -934,7 +1019,7 @@ impl Response {
                     }
                     rows.push((rec, branches));
                 }
-                Ok(Response::AnnotatedBatch(rows))
+                Ok(Response::AnnotatedBatch(projection, rows))
             }
             other => Err(bad(format!("unknown response status {other}"))),
         }
@@ -998,6 +1083,7 @@ mod tests {
             Request::Collect {
                 version: VersionRef::Branch(BranchId(3)),
                 predicate: Predicate::ColGe(1, 5).and(Predicate::KeyRange(2, 9).not()),
+                projection: Projection::of(&[0, 2]),
             },
             Request::Count {
                 version: VersionRef::Commit(CommitId(4)),
@@ -1013,6 +1099,7 @@ mod tests {
                 branches: vec![BranchId(0), BranchId(5), BranchId(u32::MAX)],
                 predicate: Predicate::ColEq(0, 1).or(Predicate::KeyEq(2)),
                 parallel: 8,
+                projection: Projection::all(),
             },
             Request::Merge {
                 into: BranchId(1),
@@ -1066,10 +1153,13 @@ mod tests {
     #[test]
     fn batches_round_trip() {
         let s = schema();
-        let batch = Response::Batch((0..100).map(rec).collect());
+        let batch = Response::Batch(Projection::all(), (0..100).map(rec).collect());
         let bytes = batch.encode(&s).unwrap();
         match Response::decode(&bytes, &s).unwrap() {
-            Response::Batch(rows) => assert_eq!(rows, (0..100).map(rec).collect::<Vec<_>>()),
+            Response::Batch(p, rows) => {
+                assert!(p.is_all());
+                assert_eq!(rows, (0..100).map(rec).collect::<Vec<_>>());
+            }
             other => panic!("expected Batch, got {other:?}"),
         }
 
@@ -1078,10 +1168,42 @@ mod tests {
             (rec(2), vec![BranchId(0), BranchId(3)]),
             (rec(3), vec![]),
         ];
-        let bytes = Response::AnnotatedBatch(rows.clone()).encode(&s).unwrap();
+        let bytes = Response::AnnotatedBatch(Projection::all(), rows.clone())
+            .encode(&s)
+            .unwrap();
         match Response::decode(&bytes, &s).unwrap() {
-            Response::AnnotatedBatch(back) => assert_eq!(back, rows),
+            Response::AnnotatedBatch(_, back) => assert_eq!(back, rows),
             other => panic!("expected AnnotatedBatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projected_batches_ship_only_selected_columns() {
+        let s = schema();
+        let p = Projection::of(&[1]);
+        let rows: Vec<Record> = (0..50).map(rec).collect();
+        let bytes = Response::Batch(p.clone(), rows.clone()).encode(&s).unwrap();
+        let full = Response::Batch(Projection::all(), rows.clone())
+            .encode(&s)
+            .unwrap();
+        // 1-of-3 columns: the projected frame drops two 4-byte fields per
+        // row relative to the whole-record frame, and pays 2 extra bytes
+        // once for its column list ([1][n=1][col=1] vs [0]).
+        assert_eq!(full.len() - bytes.len(), 50 * 2 * 4 - 2);
+        match Response::decode(&bytes, &s).unwrap() {
+            Response::Batch(back_p, back) => {
+                assert_eq!(back_p, p);
+                let expect: Vec<Record> = rows
+                    .iter()
+                    .map(|r| {
+                        let mut r = r.clone();
+                        r.project(&p);
+                        r
+                    })
+                    .collect();
+                assert_eq!(back, expect, "non-projected fields decode as 0");
+            }
+            other => panic!("expected Batch, got {other:?}"),
         }
     }
 
@@ -1140,11 +1262,17 @@ mod tests {
     fn hostile_counts_are_rejected() {
         let s = schema();
         // A batch claiming 2^40 rows in a tiny payload must fail fast.
-        let mut buf = vec![STATUS_BATCH];
+        // (The leading 0 is the Projection::All tag.)
+        let mut buf = vec![STATUS_BATCH, 0];
         varint::write_u64(&mut buf, 1 << 40);
         assert!(Response::decode(&buf, &s).is_err());
 
-        let mut buf = vec![STATUS_ABATCH];
+        let mut buf = vec![STATUS_ABATCH, 0];
+        varint::write_u64(&mut buf, 1 << 40);
+        assert!(Response::decode(&buf, &s).is_err());
+
+        // A projection claiming 2^40 columns must fail the same way.
+        let mut buf = vec![STATUS_BATCH, 1];
         varint::write_u64(&mut buf, 1 << 40);
         assert!(Response::decode(&buf, &s).is_err());
     }

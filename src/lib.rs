@@ -106,6 +106,6 @@ pub use decibel_vgraph as vgraph;
 pub use decibel_wire as wire;
 pub use gitlike;
 
-pub use decibel_common::{DbError, ErrorCode, Result};
+pub use decibel_common::{DbError, ErrorCode, Projection, Result};
 pub use decibel_core::{Database, EngineKind, MergePolicy, Session, VersionRef, VersionedStore};
 pub use decibel_wire::Client;

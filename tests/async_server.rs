@@ -82,13 +82,14 @@ fn start_stalled_scan(addr: SocketAddr, schema: &Schema) -> TcpStream {
     let req = Request::Collect {
         version: BranchId::MASTER.into(),
         predicate: Predicate::True,
+        projection: decibel::Projection::All,
     };
     let mut buf = Vec::new();
     write_frame(&mut buf, &req.encode(schema).unwrap()).unwrap();
     stream.write_all(&buf).unwrap();
     let frame = read_frame(&mut stream).unwrap().unwrap();
     match Response::decode(&frame, schema).unwrap() {
-        Response::Batch(batch) => assert!(!batch.is_empty(), "first chunk must carry rows"),
+        Response::Batch(_, batch) => assert!(!batch.is_empty(), "first chunk must carry rows"),
         other => panic!("expected a batch frame, got {other:?}"),
     }
     stream
@@ -101,7 +102,7 @@ fn drain_scan(stream: &mut TcpStream, schema: &Schema, already: u64) -> u64 {
     loop {
         let frame = read_frame(stream).unwrap().unwrap();
         match Response::decode(&frame, schema).unwrap() {
-            Response::Batch(batch) => rows += batch.len() as u64,
+            Response::Batch(_, batch) => rows += batch.len() as u64,
             Response::Ok(Reply::Rows(total)) => {
                 assert_eq!(total, rows, "terminal row count disagrees with batches");
                 return rows;

@@ -450,6 +450,86 @@ fn idle_connection_times_out_typed_and_rolls_back() {
     handle.shutdown().unwrap();
 }
 
+/// Remote projected scans: `.select()` on the client builder round-trips
+/// through the wire — the server streams only the chosen columns, the
+/// decoded rows equal a local full scan with [`Record::project`] applied,
+/// and an unknown column comes back as a typed [`DbError::Invalid`]
+/// without killing the connection.
+#[test]
+fn remote_projected_scans_round_trip_and_reject_unknown_columns() {
+    const COLS: usize = 12;
+    let wide = |k: u64| Record::new(k, (0..COLS as u64).map(|c| k * 10 + c).collect());
+
+    let dir = tempfile::tempdir().unwrap();
+    let db = Database::create(
+        dir.path().join("db"),
+        EngineKind::Hybrid,
+        Schema::new(COLS, ColumnType::U32),
+        &StoreConfig::test_default(),
+    )
+    .unwrap();
+    let handle = Server::bind(db, "127.0.0.1:0").unwrap().spawn();
+    let db = Arc::clone(handle.database());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    for k in 0..200u64 {
+        client.insert(wide(k)).unwrap();
+    }
+    client.commit().unwrap();
+    let dev = client.branch("dev").unwrap();
+    client.insert(wide(900)).unwrap();
+    client.commit().unwrap();
+
+    // Projected + filtered remote collect equals the local full decode
+    // with the same filter, then `project` — the reference semantics.
+    let pred = Predicate::ColMod(1, 3, 0);
+    let remote = client
+        .read(dev)
+        .select(&[0, 5])
+        .filter(pred.clone())
+        .collect()
+        .unwrap();
+    let mut expected = db.read(dev).filter(pred.clone()).collect().unwrap();
+    for r in &mut expected {
+        r.project(&decibel::Projection::of(&[0, 5]));
+    }
+    assert_eq!(remote, expected);
+    assert!(!remote.is_empty());
+    // Non-selected columns arrive zeroed; selected ones survive.
+    for r in &remote {
+        assert_eq!(r.field(0), r.key() * 10);
+        assert_eq!(r.field(5), r.key() * 10 + 5);
+        assert_eq!(r.field(7), 0);
+    }
+
+    // Same through the multi-branch annotated path.
+    let branches = [BranchId::MASTER, dev];
+    let remote = client
+        .read_branches(&branches)
+        .select(&[2])
+        .filter(pred.clone())
+        .annotated()
+        .unwrap();
+    let mut expected = db
+        .read_branches(&branches)
+        .filter(pred)
+        .annotated()
+        .unwrap();
+    for (r, _) in &mut expected {
+        r.project(&decibel::Projection::of(&[2]));
+    }
+    assert_eq!(remote, expected);
+
+    // Unknown column: typed error over the wire, connection stays up.
+    let err = client.read(dev).select(&[COLS]).collect().unwrap_err();
+    assert!(
+        matches!(err, DbError::Invalid(_)),
+        "expected typed Invalid, got {err:?}"
+    );
+    assert_eq!(client.read(dev).count().unwrap(), 201);
+    handle.shutdown().unwrap();
+}
+
 /// The same client/server flow works for every engine kind.
 #[test]
 fn every_engine_serves() {

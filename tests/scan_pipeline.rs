@@ -1,14 +1,18 @@
 //! Properties of the word-level scan pipeline, exercised through the
 //! public `Database` API: the parallel multi-branch scan must be
-//! indistinguishable from the sequential one for any thread count, and the
+//! indistinguishable from the sequential one for any thread count, the
 //! streaming annotated scan must agree with first principles (per-row
-//! bitmap probes).
+//! bitmap probes), and — for every engine — a projected scan with the
+//! predicate pushed to page level must equal decoding everything, then
+//! filtering, then projecting.
 
 use std::sync::Arc;
 
 use decibel::common::ids::BranchId;
 use decibel::common::record::Record;
 use decibel::common::schema::{ColumnType, Schema};
+use decibel::common::Projection;
+use decibel::core::query::Predicate;
 use decibel::core::{Database, EngineKind};
 use decibel::pagestore::StoreConfig;
 use proptest::prelude::*;
@@ -43,12 +47,17 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 /// from a rotating parent on `Op::Branch`. Returns the database and every
 /// branch head.
 fn build(ops: &[Op]) -> (tempfile::TempDir, Arc<Database>, Vec<BranchId>) {
+    build_with(EngineKind::Hybrid, ops)
+}
+
+/// [`build`] under an explicit engine.
+fn build_with(kind: EngineKind, ops: &[Op]) -> (tempfile::TempDir, Arc<Database>, Vec<BranchId>) {
     let dir = tempfile::tempdir().unwrap();
     let schema = Schema::new(COLS, ColumnType::U32);
     // Tiny pages: scans cross many page boundaries.
     let mut cfg = StoreConfig::test_default();
     cfg.page_size = 512;
-    let db = Database::create(dir.path().join("hy"), EngineKind::Hybrid, schema, &cfg).unwrap();
+    let db = Database::create(dir.path().join("db"), kind, schema, &cfg).unwrap();
     let branches = db.with_store_mut(|eng| {
         let mut branches = vec![BranchId::MASTER];
         for (i, op) in ops.iter().enumerate() {
@@ -83,8 +92,132 @@ fn build(ops: &[Op]) -> (tempfile::TempDir, Arc<Database>, Vec<BranchId>) {
     (dir, db, branches)
 }
 
+/// Arbitrary leaf comparison over the key or one of the `COLS` data
+/// columns. `ColMod` divisors are always nonzero (`Predicate::eval`
+/// divides by the modulus; zero is not a scannable predicate).
+fn leaf_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        1 => Just(Predicate::True),
+        2 => (0u64..600).prop_map(Predicate::KeyEq),
+        2 => (0u64..600, 0u64..600)
+            .prop_map(|(a, b)| Predicate::KeyRange(a.min(b), a.max(b))),
+        2 => (0..COLS, 0u64..1800).prop_map(|(c, v)| Predicate::ColEq(c, v)),
+        2 => (0..COLS, 0u64..1800).prop_map(|(c, v)| Predicate::ColNe(c, v)),
+        2 => (0..COLS, 0u64..1800).prop_map(|(c, v)| Predicate::ColLt(c, v)),
+        2 => (0..COLS, 0u64..1800).prop_map(|(c, v)| Predicate::ColGe(c, v)),
+        2 => (0..COLS, 1u64..16, 0u64..20)
+            .prop_map(|(c, m, r)| Predicate::ColMod(c, m, r)),
+    ]
+}
+
+/// Leaves combined with up to three levels of and/or/not — enough depth
+/// to exercise word-level fusion of every combinator shape.
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        4 => leaf_predicate(),
+        2 => (leaf_predicate(), leaf_predicate())
+            .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
+        2 => (leaf_predicate(), leaf_predicate())
+            .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
+        1 => leaf_predicate().prop_map(|a| Predicate::Not(Box::new(a))),
+        1 => (leaf_predicate(), leaf_predicate(), leaf_predicate())
+            .prop_map(|(a, b, c)| {
+                let not_c = Predicate::Not(Box::new(c));
+                let or = Predicate::Or(Box::new(b), Box::new(not_c));
+                Predicate::And(Box::new(a), Box::new(or))
+            }),
+    ]
+}
+
+/// `None` means "no `.select()` call" (scan all columns); `Some(cols)`
+/// is an arbitrary — possibly empty, possibly duplicated — column list.
+fn projection_strategy() -> impl Strategy<Value = Option<Vec<usize>>> {
+    prop_oneof![
+        1 => Just(None),
+        2 => proptest::collection::vec(0..COLS, 0..COLS + 1).prop_map(Some),
+    ]
+}
+
+const ALL_ENGINES: [EngineKind; 4] = [
+    EngineKind::TupleFirstBranch,
+    EngineKind::TupleFirstTuple,
+    EngineKind::VersionFirst,
+    EngineKind::Hybrid,
+];
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The tentpole equivalence: on every engine, a projected scan with
+    /// the predicate pushed down to page level returns exactly what the
+    /// reference pipeline — decode every record in full, filter with
+    /// `Predicate::eval`, then `Record::project` — produces, in the same
+    /// order, for arbitrary workloads, branch topologies, predicates, and
+    /// column subsets.
+    #[test]
+    fn projected_scan_matches_full_decode(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        pred in predicate_strategy(),
+        cols in projection_strategy())
+    {
+        let projection = match &cols {
+            Some(c) => Projection::of(c),
+            None => Projection::All,
+        };
+        for kind in ALL_ENGINES {
+            let (_d, db, branches) = build_with(kind, &ops);
+            for &b in &branches {
+                let mut expected: Vec<Record> = db.with_store(|s| {
+                    s.scan(b.into())
+                        .unwrap()
+                        .collect::<decibel::Result<Vec<_>>>()
+                        .unwrap()
+                });
+                expected.retain(|r| pred.eval(r));
+                for r in &mut expected {
+                    r.project(&projection);
+                }
+                let mut q = db.read(b).filter(pred.clone());
+                if let Some(c) = &cols {
+                    q = q.select(c);
+                }
+                let actual = q.collect().unwrap();
+                prop_assert_eq!(actual, expected,
+                    "engine {:?}, branch {:?}", kind, b);
+            }
+        }
+    }
+
+    /// Same equivalence through the multi-branch annotated scan: filtering
+    /// and projecting the full annotated output by hand must match pushing
+    /// the predicate and projection into the scan itself. Annotations are
+    /// liveness, so they are untouched by projection and only pruned —
+    /// never rewritten — by the predicate.
+    #[test]
+    fn projected_multi_scan_matches_full_decode(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        pred in predicate_strategy(),
+        cols in projection_strategy())
+    {
+        let projection = match &cols {
+            Some(c) => Projection::of(c),
+            None => Projection::All,
+        };
+        for kind in ALL_ENGINES {
+            let (_d, db, branches) = build_with(kind, &ops);
+            let mut expected = db.read_branches(&branches).annotated().unwrap();
+            expected.retain(|(r, _)| pred.eval(r));
+            for (r, _) in &mut expected {
+                r.project(&projection);
+            }
+            let mut q = db.read_branches(&branches).filter(pred.clone());
+            if let Some(c) = &cols {
+                q = q.select(c);
+            }
+            let actual = q.annotated().unwrap();
+            prop_assert_eq!(actual, expected, "engine {:?}", kind);
+        }
+    }
 
     /// The parallel multi-branch scan returns byte-identical results to
     /// the sequential one — same records, same order, same branch

@@ -215,6 +215,7 @@ fn query_layer_matches_store_api() {
             &Query::ScanVersion {
                 version: VersionRef::Branch(BranchId::MASTER),
                 predicate: Predicate::True,
+                projection: decibel_common::Projection::all(),
             },
         )
         .unwrap()

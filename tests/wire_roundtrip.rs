@@ -7,7 +7,7 @@
 use decibel::common::ids::{BranchId, CommitId};
 use decibel::common::record::Record;
 use decibel::common::schema::{ColumnType, Schema};
-use decibel::common::{DbError, DetRng};
+use decibel::common::{DbError, DetRng, Projection};
 use decibel::core::query::{AggKind, Predicate};
 use decibel::core::types::{Conflict, MergePolicy, MergeResult, VersionRef};
 use decibel::wire::frame::{read_frame, write_frame};
@@ -67,6 +67,19 @@ fn rng_name(rng: &mut DetRng) -> String {
         .collect()
 }
 
+/// An arbitrary projection: All half the time, otherwise a random column
+/// subset (possibly empty — a count-style scan ships header + key only).
+fn rng_projection(rng: &mut DetRng, schema: &Schema) -> Projection {
+    if rng.chance(1, 2) {
+        Projection::All
+    } else {
+        let cols: Vec<usize> = (0..rng.below_usize(schema.num_columns() + 1))
+            .map(|_| rng.below_usize(schema.num_columns()))
+            .collect();
+        Projection::of(&cols)
+    }
+}
+
 fn rng_version(rng: &mut DetRng) -> VersionRef {
     if rng.chance(1, 2) {
         VersionRef::Branch(BranchId(rng.next_u32()))
@@ -118,6 +131,7 @@ fn all_requests(rng: &mut DetRng, schema: &Schema) -> Vec<Request> {
         Request::Collect {
             version: rng_version(rng),
             predicate: rng_predicate(rng, 0),
+            projection: rng_projection(rng, schema),
         },
         Request::Count {
             version: rng_version(rng),
@@ -141,6 +155,7 @@ fn all_requests(rng: &mut DetRng, schema: &Schema) -> Vec<Request> {
                 .collect(),
             predicate: rng_predicate(rng, 0),
             parallel: rng.below_usize(64),
+            projection: rng_projection(rng, schema),
         },
         Request::Merge {
             into: BranchId(rng.next_u32()),
@@ -245,15 +260,26 @@ proptest! {
         }
     }
 
-    /// Record batches of arbitrary size round-trip.
+    /// Record batches of arbitrary size round-trip under an arbitrary
+    /// projection: what comes back is exactly the input projected
+    /// ([`Record::project`] — non-projected fields read `0`).
     #[test]
     fn batch_frames_round_trip(seed in any::<u64>(), cols in 0usize..32, wide in any::<bool>(), n in 0usize..300) {
         let schema = schema_from(cols, wide);
         let mut rng = DetRng::seed_from_u64(seed);
+        let projection = rng_projection(&mut rng, &schema);
         let rows: Vec<Record> = (0..n).map(|_| rng_record(&mut rng, &schema)).collect();
-        let bytes = Response::Batch(rows.clone()).encode(&schema).unwrap();
+        let expect: Vec<Record> = rows.iter().map(|r| {
+            let mut r = r.clone();
+            r.project(&projection);
+            r
+        }).collect();
+        let bytes = Response::Batch(projection.clone(), rows).encode(&schema).unwrap();
         match Response::decode(&bytes, &schema).unwrap() {
-            Response::Batch(back) => prop_assert_eq!(back, rows),
+            Response::Batch(back_p, back) => {
+                prop_assert_eq!(back_p, projection);
+                prop_assert_eq!(back, expect);
+            }
             other => prop_assert!(false, "expected Batch, got {:?}", other),
         }
     }
@@ -263,6 +289,7 @@ proptest! {
     fn annotated_frames_round_trip(seed in any::<u64>(), cols in 0usize..32, n in 0usize..200) {
         let schema = schema_from(cols, false);
         let mut rng = DetRng::seed_from_u64(seed);
+        let projection = rng_projection(&mut rng, &schema);
         let rows: Vec<(Record, Vec<BranchId>)> = (0..n)
             .map(|_| {
                 let rec = rng_record(&mut rng, &schema);
@@ -270,9 +297,17 @@ proptest! {
                 (rec, branches)
             })
             .collect();
-        let bytes = Response::AnnotatedBatch(rows.clone()).encode(&schema).unwrap();
+        let expect: Vec<(Record, Vec<BranchId>)> = rows.iter().map(|(r, b)| {
+            let mut r = r.clone();
+            r.project(&projection);
+            (r, b.clone())
+        }).collect();
+        let bytes = Response::AnnotatedBatch(projection.clone(), rows).encode(&schema).unwrap();
         match Response::decode(&bytes, &schema).unwrap() {
-            Response::AnnotatedBatch(back) => prop_assert_eq!(back, rows),
+            Response::AnnotatedBatch(back_p, back) => {
+                prop_assert_eq!(back_p, projection);
+                prop_assert_eq!(back, expect);
+            }
             other => prop_assert!(false, "expected AnnotatedBatch, got {:?}", other),
         }
     }
