@@ -29,10 +29,11 @@ use decibel_common::record::Record;
 use decibel_common::schema::{ColumnType, Schema};
 use decibel_common::Result;
 use decibel_core::{Database, EngineKind, JournalStats, VersionRef};
+use decibel_obs::Snapshot;
 use decibel_pagestore::StoreConfig;
 
 use crate::experiments::Ctx;
-use crate::report::Table;
+use crate::report::{metrics_artifact, Table};
 
 /// Concurrent writer sessions (one branch each).
 const WRITERS: u64 = 4;
@@ -110,6 +111,9 @@ struct Cell {
     rows: u64,
     best_ms: f64,
     stats: JournalStats,
+    /// Full registry delta of the best run — the snapshot movement that
+    /// rides alongside the timing row in the metrics artifact.
+    delta: Snapshot,
 }
 
 fn measure(
@@ -120,12 +124,14 @@ fn measure(
 ) -> Result<Cell> {
     let mut best = f64::INFINITY;
     let mut stats = None;
+    let mut delta = None;
     for _ in 0..repeats.max(1) {
         let (_dir, db) = build_db()?;
         // Counter baseline: exclude the (serial) setup commits from the
         // reported flush/txn counts. The concurrency high-water mark needs
         // no correction — setup is single-threaded.
         let before = db.journal_stats();
+        let before_snap = db.metrics().snapshot();
         let start = Instant::now();
         run(&db)?;
         let ms = start.elapsed().as_secs_f64() * 1e3;
@@ -138,6 +144,7 @@ fn measure(
                 grouped_txns: after.grouped_txns - before.grouped_txns,
                 max_concurrent_commits: after.max_concurrent_commits,
             });
+            delta = Some(db.metrics().snapshot().diff(&before_snap));
         }
     }
     Ok(Cell {
@@ -146,6 +153,7 @@ fn measure(
         rows: WRITERS * commits * ROWS_PER_COMMIT,
         best_ms: best,
         stats: stats.expect("at least one repeat"),
+        delta: delta.expect("at least one repeat"),
     })
 }
 
@@ -202,5 +210,12 @@ pub fn commit(ctx: &Ctx) -> Result<Table> {
             s.max_concurrent_commits.to_string(),
         ]);
     }
+    let deltas: Vec<(String, Snapshot)> = [&serialized, &disjoint]
+        .iter()
+        .map(|c| (c.name.to_string(), c.delta.clone()))
+        .collect();
+    // Each repeat uses a fresh database, so the best disjoint run's delta
+    // doubles as the cumulative view of that run.
+    table.attach_metrics(metrics_artifact(&deltas, &disjoint.delta));
     Ok(table)
 }

@@ -44,11 +44,12 @@ use decibel_common::Projection;
 use decibel_common::Result;
 use decibel_core::query::Predicate;
 use decibel_core::{Database, EngineKind};
+use decibel_obs::Snapshot;
 use decibel_pagestore::StoreConfig;
 
 use crate::experiments::Ctx;
 use crate::queries::q1;
-use crate::report::Table;
+use crate::report::{metrics_artifact, Table};
 
 /// Branches forked from master (each inheriting the full base relation).
 const BRANCHES: u64 = 32;
@@ -141,6 +142,15 @@ fn build_recovery_db(
     Ok(())
 }
 
+/// Records the registry movement the last measured block caused — the
+/// snapshot delta that rides alongside its timing row in the metrics
+/// artifact — and advances the baseline mark.
+fn record_delta(db: &Database, name: &str, mark: &mut Snapshot, out: &mut Vec<(String, Snapshot)>) {
+    let now = db.metrics().snapshot();
+    out.push((name.to_string(), now.diff(mark)));
+    *mark = now;
+}
+
 /// Times `f` `repeats` times and returns the best wall time in ms with the
 /// (identical across runs) row count.
 fn best_of(repeats: usize, mut f: impl FnMut() -> Result<u64>) -> Result<(u64, f64)> {
@@ -163,11 +173,16 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
     let (_dir, db, heads) = build_db(ctx.scale)?;
     let repeats = ctx.repeats.max(3);
     let mut rows = Vec::new();
+    // Per-row registry deltas for the metrics artifact: what each measured
+    // block did to the counters, not just how long it took.
+    let mut deltas: Vec<(String, Snapshot)> = Vec::new();
+    let mut mark = db.metrics().snapshot();
 
     // Single-branch scan, cold: I/O-path sanity row.
     let (n, ms) = best_of(repeats, || {
         db.with_store(|store| Ok(q1(store, BranchId::MASTER.into(), true)?.rows))
     })?;
+    record_delta(&db, "q1_master_cold", &mut mark, &mut deltas);
     rows.push(Row {
         name: "q1_master_cold",
         rows: n,
@@ -187,6 +202,7 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
             Ok(annotations)
         })
     })?;
+    record_delta(&db, "multi_scan_warm", &mut mark, &mut deltas);
     rows.push(Row {
         name: "multi_scan_warm",
         rows: n,
@@ -204,6 +220,7 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
             .map(|(_, live)| live.len() as u64)
             .sum())
     })?;
+    record_delta(&db, "par_multi_scan_warm", &mut mark, &mut deltas);
     rows.push(Row {
         name: "par_multi_scan_warm",
         rows: n,
@@ -230,6 +247,7 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
             Ok(out.len() as u64)
         })
     })?;
+    record_delta(&db, "q_selective_full_decode", &mut mark, &mut deltas);
     rows.push(Row {
         name: "q_selective_full_decode",
         rows: n,
@@ -243,6 +261,7 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
             .collect()?
             .len() as u64)
     })?;
+    record_delta(&db, "q_selective_projected", &mut mark, &mut deltas);
     rows.push(Row {
         name: "q_selective_projected",
         rows: n,
@@ -259,6 +278,7 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
         }
         Ok(scanned)
     })?;
+    record_delta(&db, "serialized_read_k4", &mut mark, &mut deltas);
     rows.push(Row {
         name: "serialized_read_k4",
         rows: n,
@@ -282,6 +302,7 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
         }
         Ok(scanned)
     })?;
+    record_delta(&db, "concurrent_read_k4", &mut mark, &mut deltas);
     rows.push(Row {
         name: "concurrent_read_k4",
         rows: n,
@@ -303,12 +324,15 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
         assert_eq!(db.replayed_on_open(), txns, "cold open replays all txns");
         Ok(txns * rows_per_txn)
     })?;
+    // The recovery rows reopen fresh databases with their own registries,
+    // so their deltas come from the reopened instance (where the
+    // checkpoint-family recovery counters live), not the smoke database.
+    let verify_db = Database::open(&cold_path, &StoreConfig::bench_default())?;
     assert_eq!(
-        Database::open(&cold_path, &StoreConfig::bench_default())?
-            .read(BranchId::MASTER)
-            .count()?,
+        verify_db.read(BranchId::MASTER).count()?,
         txns * rows_per_txn
     );
+    deltas.push(("open_cold".to_string(), verify_db.metrics().snapshot()));
     rows.push(Row {
         name: "open_cold",
         rows: n,
@@ -321,12 +345,15 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
         assert_eq!(db.replayed_on_open(), 0, "checkpoint covers the history");
         Ok(txns * rows_per_txn)
     })?;
+    let verify_db = Database::open(&ckpt_path, &StoreConfig::bench_default())?;
     assert_eq!(
-        Database::open(&ckpt_path, &StoreConfig::bench_default())?
-            .read(BranchId::MASTER)
-            .count()?,
+        verify_db.read(BranchId::MASTER).count()?,
         txns * rows_per_txn
     );
+    deltas.push((
+        "open_checkpointed".to_string(),
+        verify_db.metrics().snapshot(),
+    ));
     rows.push(Row {
         name: "open_checkpointed",
         rows: n,
@@ -350,5 +377,6 @@ pub fn smoke(ctx: &Ctx) -> Result<Table> {
             format!("{:.0}", r.throughput()),
         ]);
     }
+    table.attach_metrics(metrics_artifact(&deltas, &db.metrics().snapshot()));
     Ok(table)
 }

@@ -13,7 +13,10 @@
 //!
 //! `smoke` is the seconds-scale multi-branch scan microbenchmark CI runs
 //! on every PR; `--json DIR` writes each experiment's table as
-//! `DIR/<name>.json` (the format `BENCH_scan.json` records).
+//! `DIR/<name>.json` (the format `BENCH_scan.json` records). Experiments
+//! that attach metric-registry deltas (smoke, commit) also write
+//! `DIR/<name>_metrics.json` — per-row snapshot deltas plus the run's
+//! cumulative snapshot, the CI metrics artifact.
 
 use decibel_bench::experiments::{self, Ctx};
 use decibel_bench::report::Table;
@@ -124,6 +127,13 @@ fn main() {
                     }) {
                         eprintln!("writing {name}.json failed: {e}");
                         std::process::exit(1);
+                    }
+                    if let Some(metrics) = table.metrics_json() {
+                        let path = dir.join(format!("{name}_metrics.json"));
+                        if let Err(e) = std::fs::write(&path, metrics) {
+                            eprintln!("writing {name}_metrics.json failed: {e}");
+                            std::process::exit(1);
+                        }
                     }
                 }
                 eprintln!(

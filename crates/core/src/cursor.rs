@@ -122,6 +122,9 @@ impl ScanCursor {
         overlay: FxHashMap<u64, Option<Record>>,
         plan: ScanPlan,
     ) -> ScanCursor {
+        db.scan_metrics.queries.inc();
+        db.scan_metrics
+            .plan_lowered(plan.page_predicate().is_some());
         let pending = overlay.values().flatten().cloned().collect();
         ScanCursor {
             db,
@@ -183,11 +186,15 @@ impl ScanCursor {
             let overlay_empty = self.overlay.is_empty();
             while !self.base_done && chunks < max_chunks {
                 let mut out = Vec::new();
+                // Per-chunk tally, flushed to the shared counters once per
+                // chunk — never a shared atomic per row.
+                let mut seen = 0u64;
                 while out.len() < max_rows {
                     match iter.next() {
                         Some(item) => {
                             let (token, rec) = item?;
                             self.resume = token;
+                            seen += 1;
                             if overlay_empty || !self.overlay.contains_key(&rec.key()) {
                                 out.push(rec);
                             }
@@ -198,10 +205,12 @@ impl ScanCursor {
                         }
                     }
                 }
+                self.db.scan_metrics.rows_scanned.add(seen);
                 if out.is_empty() {
                     break; // base exhausted with nothing gathered
                 }
                 self.emitted += out.len() as u64;
+                self.db.scan_metrics.rows_emitted.add(out.len() as u64);
                 chunks += 1;
                 if !sink(out)? {
                     // Backpressure: the guards drop as we return. (The
@@ -219,6 +228,7 @@ impl ScanCursor {
         }
         while self.pending_pos < self.pending.len() && chunks < max_chunks {
             let mut out = Vec::new();
+            let chunk_start = self.pending_pos;
             while out.len() < max_rows && self.pending_pos < self.pending.len() {
                 let rec = &self.pending[self.pending_pos];
                 self.pending_pos += 1;
@@ -228,10 +238,15 @@ impl ScanCursor {
                     out.push(rec);
                 }
             }
+            self.db
+                .scan_metrics
+                .rows_scanned
+                .add((self.pending_pos - chunk_start) as u64);
             if out.is_empty() {
                 break;
             }
             self.emitted += out.len() as u64;
+            self.db.scan_metrics.rows_emitted.add(out.len() as u64);
             chunks += 1;
             if !sink(out)? {
                 return Ok(self.finished());
@@ -282,6 +297,9 @@ impl MultiScanCursor {
         branches: Vec<BranchId>,
         plan: ScanPlan,
     ) -> MultiScanCursor {
+        db.scan_metrics.queries.inc();
+        db.scan_metrics
+            .plan_lowered(plan.page_predicate().is_some());
         MultiScanCursor {
             db,
             branches,
@@ -322,11 +340,14 @@ impl MultiScanCursor {
         let mut iter = store.multi_scan_pipeline(&self.branches, &self.plan, self.resume)?;
         while !self.done && chunks < max_chunks {
             let mut out = Vec::new();
+            // Per-chunk tally, flushed once per chunk (see `ScanCursor`).
+            let mut seen = 0u64;
             while out.len() < max_rows {
                 match iter.next() {
                     Some(item) => {
                         let (token, rec, live) = item?;
                         self.resume = token;
+                        seen += 1;
                         if !live.is_empty() {
                             out.push((rec, live));
                         }
@@ -337,10 +358,12 @@ impl MultiScanCursor {
                     }
                 }
             }
+            self.db.scan_metrics.rows_scanned.add(seen);
             if out.is_empty() {
                 break;
             }
             self.emitted += out.len() as u64;
+            self.db.scan_metrics.rows_emitted.add(out.len() as u64);
             chunks += 1;
             if !sink(out)? {
                 return Ok(self.done);

@@ -78,7 +78,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use decibel_common::env::DiskEnv;
 use decibel_common::error::{DbError, Result};
@@ -86,6 +86,7 @@ use decibel_common::fsio::sync_parent_dir_in;
 use decibel_common::ids::{BranchId, CommitId};
 use decibel_common::schema::{ColumnType, Schema};
 use decibel_common::Projection;
+use decibel_obs::{family, Counter, Gauge, Histogram, Registry};
 use decibel_pagestore::{LockManager, LockMode, StoreConfig, Wal};
 use parking_lot::{Mutex, RwLock};
 
@@ -97,7 +98,7 @@ use crate::engine::{
 use crate::journal;
 use crate::query::build::{BranchSel, MultiReadBuilder, ReadBuilder};
 use crate::query::plan::ScanPlan;
-use crate::query::{execute, Predicate, Query, QueryOutput};
+use crate::query::{execute_metered, Predicate, Query, QueryOutput, ScanMetrics};
 use crate::session::Session;
 use crate::shard::{SessionOp, ShardSet};
 use crate::store::VersionedStore;
@@ -131,13 +132,18 @@ pub struct Database {
     /// The global sequencing mutex (level 4): id allocation + journal
     /// append + graph stamp + WAL seal, and nothing slower.
     seq: Mutex<()>,
-    /// Commits currently inside their critical section (gauge), and the
-    /// high-water mark of that gauge — the observable proof that disjoint
-    /// branches overlap (see [`Database::journal_stats`]).
-    in_commit: AtomicU64,
-    max_concurrent_commits: AtomicU64,
-    /// Transactions committed through the sharded group-commit path.
-    grouped_txns: AtomicU64,
+    /// The metrics registry the whole stack registers its instruments
+    /// with — adopted from [`StoreConfig::metrics`], so the buffer pool,
+    /// heap files, and WAL of this database's engine share it. Exposed
+    /// through [`Database::metrics`].
+    metrics: Registry,
+    /// Commit- and checkpoint-family instruments (see [`CoreMetrics`]).
+    obs: CoreMetrics,
+    /// Scan-family instruments, shared with the chunked cursors.
+    pub(crate) scan_metrics: ScanMetrics,
+    /// `DECIBEL_SLOW_MS` threshold parsed once at create/open: operations
+    /// slower than this log a one-line summary to stderr.
+    slow: Option<Duration>,
     /// False once the store diverged from the journal — a commit marker
     /// failed to persist, or an apply failed after mutating the store —
     /// so further journaled writes are refused (see
@@ -196,7 +202,8 @@ impl Database {
         }
         write_manifest(env.as_ref(), &dir, kind, &schema)?;
         let store = Self::build_store(kind, data, schema, config)?;
-        let wal = Wal::open_in(env.as_ref(), wal_path, config.fsync)?;
+        let metrics = config.metrics.clone();
+        let wal = Wal::open_in_metered(env.as_ref(), wal_path, config.fsync, &metrics)?;
         Ok(Arc::new(Database {
             store: RwLock::new(store),
             locks: Arc::new(LockManager::new(Duration::from_secs(2))),
@@ -204,9 +211,10 @@ impl Database {
             next_txn: AtomicU64::new(1),
             shards: ShardSet::new(),
             seq: Mutex::new(()),
-            in_commit: AtomicU64::new(0),
-            max_concurrent_commits: AtomicU64::new(0),
-            grouped_txns: AtomicU64::new(0),
+            obs: CoreMetrics::register(&metrics),
+            scan_metrics: ScanMetrics::register(&metrics),
+            metrics,
+            slow: slow_threshold(),
             journal_intact: AtomicBool::new(true),
             fsync: config.fsync,
             env,
@@ -319,6 +327,7 @@ impl Database {
             }
         };
         let suffix = &recovery.txns[replay_from..];
+        let replay_started = Instant::now();
         let replayed = journal::replay(store.as_mut(), suffix)?;
         store.flush()?;
         // Compact the log down to exactly the uncovered committed suffix.
@@ -334,7 +343,11 @@ impl Database {
         // Belt and braces: allocate past every id the log ever saw
         // (committed or orphaned) and past the checkpoint watermark.
         let next_txn = recovery.max_txn.max(watermark) + 1;
-        let wal = Wal::open_in(env.as_ref(), &wal_path, config.fsync)?;
+        let metrics = config.metrics.clone();
+        let wal = Wal::open_in_metered(env.as_ref(), &wal_path, config.fsync, &metrics)?;
+        let obs = CoreMetrics::register(&metrics);
+        obs.recovery_us.record_duration(replay_started.elapsed());
+        obs.replayed_txns.add(replayed);
         Ok(Arc::new(Database {
             store: RwLock::new(store),
             locks: Arc::new(LockManager::new(Duration::from_secs(2))),
@@ -342,9 +355,10 @@ impl Database {
             next_txn: AtomicU64::new(next_txn),
             shards: ShardSet::new(),
             seq: Mutex::new(()),
-            in_commit: AtomicU64::new(0),
-            max_concurrent_commits: AtomicU64::new(0),
-            grouped_txns: AtomicU64::new(0),
+            obs,
+            scan_metrics: ScanMetrics::register(&metrics),
+            metrics,
+            slow: slow_threshold(),
             journal_intact: AtomicBool::new(true),
             fsync: config.fsync,
             env,
@@ -494,10 +508,13 @@ impl Database {
     /// / [`Database::read_heads`]) produce these plans; use `query` directly
     /// when you already hold a [`Query`] value.
     pub fn query(&self, query: &Query) -> Result<QueryOutput> {
+        let started = Instant::now();
         let store = self.store.read();
         let branches = Self::query_branches(store.as_ref(), query);
         let _shards = self.shards.read_many(&branches);
-        execute(store.as_ref(), query)
+        let out = execute_metered(store.as_ref(), query, &self.scan_metrics)?;
+        self.note_slow("query", started.elapsed(), || format!("rows={}", out.len()));
+        Ok(out)
     }
 
     /// The branch heads a query plan reads — the shards [`Database::query`]
@@ -642,10 +659,22 @@ impl Database {
         entries: &[Vec<u8>],
         ops: &[SessionOp],
     ) -> Result<CommitId> {
+        let span = self.obs.commit_us.start();
         let store = self.store.read();
         self.journal_writable()?;
-        let shard = self.shards.write(branch);
-        let gauge = CommitGauge::enter(self);
+        // Probe the shard without blocking first, purely so contended
+        // acquisitions are countable; the blocking fallback is the same
+        // lock, and `lock_wait_us` covers both outcomes.
+        let wait = Instant::now();
+        let shard = match self.shards.try_write(branch) {
+            Some(guard) => guard,
+            None => {
+                self.obs.shard_contention.inc();
+                self.shards.write(branch)
+            }
+        };
+        self.obs.lock_wait_us.record_duration(wait.elapsed());
+        let gauge = self.obs.in_flight.enter();
         // 1. Apply the buffered writes to the branch's working state. The
         // ops were pre-validated under the exclusive branch lock, so a
         // failure here after the first mutation is divergence, not a clean
@@ -699,10 +728,14 @@ impl Database {
         drop(gauge);
         drop(shard);
         drop(store);
-        self.grouped_txns.fetch_add(1, Ordering::Relaxed);
+        self.obs.grouped_txns.inc();
         self.wal.sync(ticket).inspect_err(|_| {
             self.journal_intact.store(false, Ordering::Release);
         })?;
+        let elapsed = span.finish();
+        self.note_slow("commit", elapsed, || {
+            format!("branch={} entries={}", branch.raw(), entries.len())
+        });
         Ok(cid)
     }
 
@@ -710,11 +743,46 @@ impl Database {
     /// (see [`JournalStats`]). The benchmark's commit workload reads these
     /// to show k disjoint writers sharing fsyncs; tests read them to prove
     /// disjoint-branch commits really overlap.
+    ///
+    /// A thin compatibility view over [`Database::metrics`]: the same
+    /// values live in the registry as `wal/flushes`, `commit/grouped_txns`,
+    /// and the max of the `commit/in_flight` gauge.
     pub fn journal_stats(&self) -> JournalStats {
         JournalStats {
             wal_flushes: self.wal.flush_count(),
-            grouped_txns: self.grouped_txns.load(Ordering::Relaxed),
-            max_concurrent_commits: self.max_concurrent_commits.load(Ordering::Relaxed),
+            grouped_txns: self.obs.grouped_txns.value(),
+            max_concurrent_commits: self.obs.in_flight.max(),
+        }
+    }
+
+    /// The metrics registry every layer of this database registers its
+    /// instruments with: buffer pool and heap files (`pool`, part of
+    /// `scan`), WAL (`wal`), the commit and checkpoint paths (`commit`,
+    /// `checkpoint`), and the query layer (`scan`). Call
+    /// [`Registry::snapshot`](decibel_obs::Registry::snapshot) for a
+    /// consistent point-in-time reading, and
+    /// [`Snapshot::diff`](decibel_obs::Snapshot::diff) to measure an
+    /// interval.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Logs a one-line summary to stderr when `elapsed` crosses the
+    /// `DECIBEL_SLOW_MS` threshold (no-op unless the variable was set at
+    /// create/open time). `detail` is only rendered on the slow path.
+    fn note_slow(&self, op: &str, elapsed: Duration, detail: impl FnOnce() -> String) {
+        if let Some(threshold) = self.slow {
+            if elapsed >= threshold {
+                let detail = detail();
+                if detail.is_empty() {
+                    eprintln!("[decibel slow] {op} took {}ms", elapsed.as_millis());
+                } else {
+                    eprintln!(
+                        "[decibel slow] {op} took {}ms ({detail})",
+                        elapsed.as_millis()
+                    );
+                }
+            }
         }
     }
 
@@ -859,6 +927,7 @@ impl Database {
     /// [`Database::journaled`]): checkpointing would promote the diverged
     /// state to durable truth; reopen the directory instead.
     pub fn flush(&self) -> Result<()> {
+        let span = self.obs.checkpoint_us.start();
         let mut store = self.store.write();
         // Quiesce the commit shards in fixed index order. Committers hold
         // the store lock in shared mode across their whole critical
@@ -882,8 +951,58 @@ impl Database {
             },
             self.fsync,
         )?;
-        self.wal.truncate()
+        self.wal.truncate()?;
+        self.obs.checkpoints.inc();
+        let elapsed = span.finish();
+        self.note_slow("checkpoint", elapsed, String::new);
+        Ok(())
     }
+}
+
+/// The commit- and checkpoint-family instruments a [`Database`] owns,
+/// bound once at create/open so the hot paths touch plain atomics.
+///
+/// * `commit/grouped_txns`, `commit/shard_contention` — counters;
+/// * `commit/in_flight` — gauge whose max is the concurrency high-water
+///   mark ([`JournalStats::max_concurrent_commits`]);
+/// * `commit/lock_wait_us`, `commit/commit_us` — latency histograms;
+/// * `checkpoint/checkpoints`, `checkpoint/replayed_txns` — counters;
+/// * `checkpoint/checkpoint_us`, `checkpoint/recovery_us` — durations.
+struct CoreMetrics {
+    grouped_txns: Counter,
+    shard_contention: Counter,
+    in_flight: Gauge,
+    lock_wait_us: Histogram,
+    commit_us: Histogram,
+    checkpoints: Counter,
+    replayed_txns: Counter,
+    checkpoint_us: Histogram,
+    recovery_us: Histogram,
+}
+
+impl CoreMetrics {
+    fn register(metrics: &Registry) -> CoreMetrics {
+        CoreMetrics {
+            grouped_txns: metrics.counter(family::COMMIT, "grouped_txns"),
+            shard_contention: metrics.counter(family::COMMIT, "shard_contention"),
+            in_flight: metrics.gauge(family::COMMIT, "in_flight"),
+            lock_wait_us: metrics.histogram(family::COMMIT, "lock_wait_us"),
+            commit_us: metrics.histogram(family::COMMIT, "commit_us"),
+            checkpoints: metrics.counter(family::CHECKPOINT, "checkpoints"),
+            replayed_txns: metrics.counter(family::CHECKPOINT, "replayed_txns"),
+            checkpoint_us: metrics.histogram(family::CHECKPOINT, "checkpoint_us"),
+            recovery_us: metrics.histogram(family::CHECKPOINT, "recovery_us"),
+        }
+    }
+}
+
+/// Parses `DECIBEL_SLOW_MS` once (at create/open). Unset, empty, or
+/// unparsable values disable slow-operation logging.
+fn slow_threshold() -> Option<Duration> {
+    std::env::var("DECIBEL_SLOW_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
 }
 
 /// Commit-path concurrency and fsync-grouping counters, from
@@ -895,6 +1014,10 @@ impl Database {
 /// `max_concurrent_commits` is the high-water mark of commits observed
 /// inside their shard critical sections simultaneously; it exceeds 1 only
 /// when disjoint-branch commits truly overlapped.
+///
+/// All three values are views over the database's metrics registry
+/// ([`Database::metrics`]); this struct predates it and is kept as the
+/// stable, typed summary the benchmark harness prints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JournalStats {
     /// WAL buffer flushes (each one group-write + at most one fsync).
@@ -904,28 +1027,6 @@ pub struct JournalStats {
     /// High-water mark of commits concurrently inside the sharded
     /// critical section (apply + prepare + sequence).
     pub max_concurrent_commits: u64,
-}
-
-/// RAII tracker for [`JournalStats::max_concurrent_commits`]: bumps the
-/// in-flight commit gauge on entry (just after the shard lock is taken)
-/// and drops it before the group fsync wait, so the gauge counts critical
-/// sections, not durability waits.
-struct CommitGauge<'a> {
-    db: &'a Database,
-}
-
-impl<'a> CommitGauge<'a> {
-    fn enter(db: &'a Database) -> CommitGauge<'a> {
-        let now = db.in_commit.fetch_add(1, Ordering::AcqRel) + 1;
-        db.max_concurrent_commits.fetch_max(now, Ordering::AcqRel);
-        CommitGauge { db }
-    }
-}
-
-impl Drop for CommitGauge<'_> {
-    fn drop(&mut self) {
-        self.db.in_commit.fetch_sub(1, Ordering::AcqRel);
-    }
 }
 
 /// Removes any stale engine data under `dir` (the data directory is

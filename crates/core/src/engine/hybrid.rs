@@ -119,11 +119,7 @@ impl HybridEngine {
             .env
             .create_dir_all(&dir)
             .map_err(|e| DbError::io("creating engine directory", e))?;
-        let pool = Arc::new(BufferPool::with_env(
-            Arc::clone(&config.env),
-            config.page_size,
-            config.pool_pages,
-        ));
+        let pool = Arc::new(BufferPool::for_store(config));
         let mut engine = HybridEngine {
             dir,
             schema,
@@ -171,11 +167,7 @@ impl HybridEngine {
         payload: &[u8],
     ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let pool = Arc::new(BufferPool::with_env(
-            Arc::clone(&config.env),
-            config.page_size,
-            config.pool_pages,
-        ));
+        let pool = Arc::new(BufferPool::for_store(config));
         let corrupt = |what: &str| DbError::corrupt(format!("hybrid checkpoint: {what}"));
         let mut pos = 0usize;
         let graph = VersionGraph::from_bytes(checkpoint::read_slice(payload, &mut pos)?)?;

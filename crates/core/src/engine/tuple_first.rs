@@ -108,11 +108,7 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
             .env
             .create_dir_all(&dir)
             .map_err(|e| DbError::io("creating engine directory", e))?;
-        let pool = Arc::new(BufferPool::with_env(
-            Arc::clone(&config.env),
-            config.page_size,
-            config.pool_pages,
-        ));
+        let pool = Arc::new(BufferPool::for_store(config));
         let heap = HeapFile::create(Arc::clone(&pool), dir.join("heap.dat"), schema.clone())?;
         let mut index = I::default();
         index.add_branch(BranchId::MASTER, None);
@@ -152,11 +148,7 @@ impl<I: IndexOrientation> TupleFirstEngine<I> {
         payload: &[u8],
     ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let pool = Arc::new(BufferPool::with_env(
-            Arc::clone(&config.env),
-            config.page_size,
-            config.pool_pages,
-        ));
+        let pool = Arc::new(BufferPool::for_store(config));
         let mut pos = 0usize;
         let graph = VersionGraph::from_bytes(checkpoint::read_slice(payload, &mut pos)?)?;
         let heap_len = varint::read_u64(payload, &mut pos)?;

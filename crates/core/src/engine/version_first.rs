@@ -97,11 +97,7 @@ impl VersionFirstEngine {
             .env
             .create_dir_all(&dir)
             .map_err(|e| DbError::io("creating engine directory", e))?;
-        let pool = Arc::new(BufferPool::with_env(
-            Arc::clone(&config.env),
-            config.page_size,
-            config.pool_pages,
-        ));
+        let pool = Arc::new(BufferPool::for_store(config));
         let mut engine = VersionFirstEngine {
             dir,
             schema,
@@ -131,11 +127,7 @@ impl VersionFirstEngine {
         payload: &[u8],
     ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let pool = Arc::new(BufferPool::with_env(
-            Arc::clone(&config.env),
-            config.page_size,
-            config.pool_pages,
-        ));
+        let pool = Arc::new(BufferPool::for_store(config));
         let mut pos = 0usize;
         let graph = VersionGraph::from_bytes(checkpoint::read_slice(payload, &mut pos)?)?;
         let n_segments = varint::read_u64(payload, &mut pos)? as usize;

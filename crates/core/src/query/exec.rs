@@ -4,10 +4,80 @@ use decibel_common::hash::FxHashMap;
 use decibel_common::ids::BranchId;
 use decibel_common::record::Record;
 use decibel_common::{DbError, Projection, Result};
+use decibel_obs::{family, Counter, Histogram, Registry};
 
 use crate::query::plan::ScanPlan;
 use crate::query::{AggKind, Query};
 use crate::store::VersionedStore;
+
+/// Read-path instruments (the `scan` metric family), shared by the
+/// materializing executor and the chunked cursors.
+///
+/// `rows_scanned` counts rows the engine pipelines yielded to the query
+/// layer (candidates that survived page-level filtering, including rows a
+/// later liveness/overlay check drops); `rows_emitted` counts rows actually
+/// returned to the caller. Their ratio is the post-pipeline selectivity;
+/// `selectivity_pct` records it per materialized query. Counting happens in
+/// per-query locals and is flushed to the shared counters once per query
+/// (or once per cursor chunk), so the per-row cost is a register increment.
+#[derive(Clone)]
+pub struct ScanMetrics {
+    pub(crate) queries: Counter,
+    pub(crate) rows_scanned: Counter,
+    pub(crate) rows_emitted: Counter,
+    pub(crate) plans_pushdown: Counter,
+    pub(crate) plans_full_decode: Counter,
+    pub(crate) query_us: Histogram,
+    pub(crate) selectivity_pct: Histogram,
+}
+
+impl ScanMetrics {
+    /// Registers the scan-family instruments in `metrics`.
+    pub fn register(metrics: &Registry) -> ScanMetrics {
+        ScanMetrics {
+            queries: metrics.counter(family::SCAN, "queries"),
+            rows_scanned: metrics.counter(family::SCAN, "rows_scanned"),
+            rows_emitted: metrics.counter(family::SCAN, "rows_emitted"),
+            plans_pushdown: metrics.counter(family::SCAN, "plans_pushdown"),
+            plans_full_decode: metrics.counter(family::SCAN, "plans_full_decode"),
+            query_us: metrics.histogram(family::SCAN, "query_us"),
+            selectivity_pct: metrics.histogram(family::SCAN, "selectivity_pct"),
+        }
+    }
+
+    /// Instruments bound to no registry — for callers executing queries
+    /// outside a [`Database`](crate::db::Database) (engine-level tests,
+    /// the benchmark's raw-store harness).
+    pub fn detached() -> ScanMetrics {
+        ScanMetrics {
+            queries: Counter::detached(),
+            rows_scanned: Counter::detached(),
+            rows_emitted: Counter::detached(),
+            plans_pushdown: Counter::detached(),
+            plans_full_decode: Counter::detached(),
+            query_us: Histogram::detached(),
+            selectivity_pct: Histogram::detached(),
+        }
+    }
+
+    /// Records which way a scan plan lowered (once per scan, at planning).
+    pub(crate) fn plan_lowered(&self, pushdown: bool) {
+        if pushdown {
+            self.plans_pushdown.inc();
+        } else {
+            self.plans_full_decode.inc();
+        }
+    }
+
+    /// Flushes one query's row tallies into the shared counters.
+    fn finish_rows(&self, scanned: u64, emitted: u64) {
+        self.rows_scanned.add(scanned);
+        self.rows_emitted.add(emitted);
+        if let Some(pct) = (emitted * 100).checked_div(scanned) {
+            self.selectivity_pct.record(pct);
+        }
+    }
+}
 
 /// The result of executing a [`Query`].
 #[derive(Debug, Clone)]
@@ -56,7 +126,21 @@ impl QueryOutput {
 /// is decoded. Aggregates project just the aggregated column (nothing at
 /// all for `Count`).
 pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput> {
-    match query {
+    execute_metered(store, query, &ScanMetrics::detached())
+}
+
+/// [`execute`] with row/plan/latency tallies recorded in `m` — the path
+/// behind [`Database::query`](crate::db::Database::query). Tallies are
+/// accumulated in locals and flushed once per query.
+pub fn execute_metered(
+    store: &dyn VersionedStore,
+    query: &Query,
+    m: &ScanMetrics,
+) -> Result<QueryOutput> {
+    m.queries.inc();
+    let span = m.query_us.start();
+    let mut scanned = 0u64;
+    let out = match query {
         Query::ScanVersion {
             version,
             predicate,
@@ -64,15 +148,17 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
         } => {
             projection.validate(store.schema())?;
             let plan = ScanPlan::new(predicate.clone(), projection.clone());
+            m.plan_lowered(plan.page_predicate().is_some());
             let mut out = Vec::new();
             for item in store.scan_pipeline(*version, &plan, 0)? {
                 let (_, rec) = item?;
+                scanned += 1;
                 out.push(rec);
             }
-            Ok(QueryOutput::Records(out))
+            QueryOutput::Records(out)
         }
         Query::PositiveDiff { left, right } => {
-            Ok(QueryOutput::Records(store.diff(*left, *right)?.left_only))
+            QueryOutput::Records(store.diff(*left, *right)?.left_only)
         }
         Query::VersionJoin {
             left,
@@ -86,18 +172,20 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
             let mut build: FxHashMap<u64, Record> = FxHashMap::default();
             for item in store.scan(*right)? {
                 let rec = item?;
+                scanned += 1;
                 build.insert(rec.key(), rec);
             }
             let mut out = Vec::new();
             for item in store.scan(*left)? {
                 let rec = item?;
+                scanned += 1;
                 if predicate.eval(&rec) {
                     if let Some(other) = build.get(&rec.key()) {
                         out.push((rec, other.clone()));
                     }
                 }
             }
-            Ok(QueryOutput::Joined(out))
+            QueryOutput::Joined(out)
         }
         Query::HeadScan {
             predicate,
@@ -112,14 +200,16 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
                 .map(|(b, _)| b)
                 .collect();
             let plan = ScanPlan::new(predicate.clone(), projection.clone());
+            m.plan_lowered(plan.page_predicate().is_some());
             let mut out = Vec::new();
             for item in store.multi_scan_pipeline(&branches, &plan, 0)? {
                 let (_, rec, live) = item?;
+                scanned += 1;
                 if !live.is_empty() {
                     out.push((rec, live));
                 }
             }
-            Ok(QueryOutput::Annotated(out))
+            QueryOutput::Annotated(out)
         }
         Query::MultiBranchScan {
             branches,
@@ -128,29 +218,33 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
             projection,
         } => {
             projection.validate(store.schema())?;
+            let plan = ScanPlan::new(predicate.clone(), projection.clone());
             if *parallel > 1 {
                 // Fan the scan out over the engine's parallel path (the
                 // hybrid engine's work-stealing per-segment scan; other
                 // engines fall back to a materialized sequential scan).
                 // This path decodes whole records; filter + project after.
-                let plan = ScanPlan::new(predicate.clone(), projection.clone());
+                m.plan_lowered(false);
                 let rows = store.par_multi_scan(branches, *parallel)?;
-                return Ok(QueryOutput::Annotated(
+                scanned += rows.len() as u64;
+                QueryOutput::Annotated(
                     rows.into_iter()
                         .filter(|(_, live)| !live.is_empty())
                         .filter_map(|(rec, live)| plan.apply(rec).map(|rec| (rec, live)))
                         .collect(),
-                ));
-            }
-            let plan = ScanPlan::new(predicate.clone(), projection.clone());
-            let mut out = Vec::new();
-            for item in store.multi_scan_pipeline(branches, &plan, 0)? {
-                let (_, rec, live) = item?;
-                if !live.is_empty() {
-                    out.push((rec, live));
+                )
+            } else {
+                m.plan_lowered(plan.page_predicate().is_some());
+                let mut out = Vec::new();
+                for item in store.multi_scan_pipeline(branches, &plan, 0)? {
+                    let (_, rec, live) = item?;
+                    scanned += 1;
+                    if !live.is_empty() {
+                        out.push((rec, live));
+                    }
                 }
+                QueryOutput::Annotated(out)
             }
-            Ok(QueryOutput::Annotated(out))
         }
         Query::Aggregate {
             version,
@@ -172,6 +266,7 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
                 Projection::of(&[*column])
             };
             let plan = ScanPlan::new(predicate.clone(), projection);
+            m.plan_lowered(plan.page_predicate().is_some());
             let mut count = 0u64;
             let mut sum = 0f64;
             let mut min = f64::INFINITY;
@@ -186,6 +281,7 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
                     max = max.max(v);
                 }
             }
+            scanned += count;
             let value = match agg {
                 AggKind::Count => count as f64,
                 AggKind::Sum => sum,
@@ -211,9 +307,12 @@ pub fn execute(store: &dyn VersionedStore, query: &Query) -> Result<QueryOutput>
                     }
                 }
             };
-            Ok(QueryOutput::Scalar(value))
+            QueryOutput::Scalar(value)
         }
-    }
+    };
+    span.finish();
+    m.finish_rows(scanned, out.len() as u64);
+    Ok(out)
 }
 
 #[cfg(test)]

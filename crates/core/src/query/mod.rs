@@ -28,7 +28,7 @@ pub mod plan;
 pub mod predicate;
 
 pub use build::{MultiReadBuilder, ReadBuilder};
-pub use exec::{execute, QueryOutput};
+pub use exec::{execute, execute_metered, QueryOutput, ScanMetrics};
 pub use plan::{PagePredicate, ScanPlan};
 pub use predicate::Predicate;
 

@@ -64,6 +64,13 @@ impl ShardSet {
         self.locks[self.shard_of(branch)].write()
     }
 
+    /// Non-blocking [`ShardSet::write`]: `None` when the shard is
+    /// currently held. The commit path probes with this first so it can
+    /// count contended acquisitions before falling back to blocking.
+    pub fn try_write(&self, branch: BranchId) -> Option<RwLockWriteGuard<'_, ()>> {
+        self.locks[self.shard_of(branch)].try_write()
+    }
+
     /// Shared lock for `branch`'s shard: held by readers that need a
     /// commit-free snapshot of the branch head (non-session queries).
     pub fn read(&self, branch: BranchId) -> RwLockReadGuard<'_, ()> {

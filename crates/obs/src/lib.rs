@@ -1,0 +1,1085 @@
+//! Zero-dependency metrics for the Decibel reproduction: lock-free
+//! counters, gauges, and log₂-bucketed latency histograms behind a
+//! [`Registry`] handle, with cheap [`Span`] timers and a structured,
+//! serializable, diffable [`Snapshot`] API.
+//!
+//! Decibel's evaluation (§6 of the paper) hinges on understanding *where*
+//! time and space go per versioning strategy — page fetches, commit
+//! fsyncs, scan selectivity. This crate is the measurement substrate:
+//! every hot layer registers its instruments once at construction and
+//! updates them with relaxed atomic operations (one `fetch_add` per
+//! event; never a lock, never an allocation), so instrumentation stays in
+//! the noise even on microsecond-scale paths.
+//!
+//! # Design
+//!
+//! * **No globals.** A [`Registry`] is a cheap cloneable handle
+//!   (`Arc`-backed); the database owns one, the server owns a second.
+//!   Components receive a registry (usually via their config) and
+//!   register instruments under a `(family, name)` key. Registering the
+//!   same key twice rebinds to the *same* underlying cell, so
+//!   independently constructed components (e.g. four engine heaps over
+//!   one buffer pool) share one metric.
+//! * **Detached instruments.** Every instrument type has a
+//!   [`Counter::detached`]-style constructor producing a cell bound to no
+//!   registry — components can always hold a real instrument and update
+//!   it unconditionally, with no `Option` in the hot path. Construction
+//!   chooses whether the numbers are observable.
+//! * **Histograms are log₂-bucketed.** Bucket *i* counts values whose bit
+//!   length is *i* (bucket 0 holds zeros), so 64 fixed buckets cover the
+//!   full `u64` range with ≤ 2× relative error, three `fetch_add`s per
+//!   observation, and no configuration. Values are conventionally
+//!   microseconds.
+//! * **Snapshots are torn-read-safe.** [`Registry::snapshot`] reads every
+//!   cell with relaxed loads while writers keep writing: it never blocks
+//!   a hot path and never panics; each value is a plausible recent value
+//!   of its cell (cross-metric invariants like `hits + misses ==
+//!   lookups` hold exactly only when the system is quiescent).
+//!
+//! # Example
+//!
+//! ```
+//! use decibel_obs::{family, Registry};
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter(family::POOL, "hits");
+//! let latency = registry.histogram(family::COMMIT, "commit_us");
+//!
+//! hits.inc();
+//! let span = latency.start();
+//! // ... critical section ...
+//! span.finish();
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter(family::POOL, "hits"), 1);
+//! let bytes = snap.encode();
+//! let back = decibel_obs::Snapshot::decode(&bytes).unwrap();
+//! assert_eq!(back, snap);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The canonical metric families. Every instrument in the workspace
+/// registers under one of these so a [`Snapshot`] partitions cleanly by
+/// subsystem.
+pub mod family {
+    /// Buffer pool and heap-file page IO (pagestore).
+    pub const POOL: &str = "pool";
+    /// Write-ahead log: group commit, fsyncs, poison events.
+    pub const WAL: &str = "wal";
+    /// The commit path: latency, lock waits, concurrency.
+    pub const COMMIT: &str = "commit";
+    /// The scan/query path: rows, plans, selectivity.
+    pub const SCAN: &str = "scan";
+    /// Checkpoint and recovery.
+    pub const CHECKPOINT: &str = "checkpoint";
+    /// The network server event loop.
+    pub const SERVER: &str = "server";
+
+    /// All six families, in snapshot order.
+    pub const ALL: [&str; 6] = [CHECKPOINT, COMMIT, POOL, SCAN, SERVER, WAL];
+}
+
+// ---------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------
+
+/// A monotonically increasing event count. Cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter bound to no registry: updates are real (shared across
+    /// clones) but invisible to any snapshot.
+    pub fn detached() -> Counter {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current count.
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+struct GaugeCell {
+    current: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A current-level instrument (queue depth, in-flight operations) that
+/// also tracks its high-water mark. Cloning shares the cell.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<GaugeCell>,
+}
+
+impl Gauge {
+    /// A gauge bound to no registry.
+    pub fn detached() -> Gauge {
+        Gauge {
+            cell: Arc::new(GaugeCell {
+                current: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Raises the level by one, updating the high-water mark. Returns the
+    /// new level.
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        let v = self.cell.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.cell.max.fetch_max(v, Ordering::Relaxed);
+        v
+    }
+
+    /// Lowers the level by one (saturating: a spurious extra `dec` clamps
+    /// at zero instead of wrapping).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .cell
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Sets the level outright, updating the high-water mark.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.current.store(v, Ordering::Relaxed);
+        self.cell.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records `v` into the high-water mark without touching the level
+    /// (for sampled maxima like per-pump queue depth).
+    #[inline]
+    pub fn observe_max(&self, v: u64) {
+        self.cell.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn value(&self) -> u64 {
+        self.cell.current.load(Ordering::Relaxed)
+    }
+
+    /// The high-water mark.
+    pub fn max(&self) -> u64 {
+        self.cell.max.load(Ordering::Relaxed)
+    }
+
+    /// RAII level: `inc` now, `dec` when the guard drops.
+    pub fn enter(&self) -> GaugeGuard {
+        self.inc();
+        GaugeGuard {
+            gauge: self.clone(),
+        }
+    }
+}
+
+/// Guard returned by [`Gauge::enter`]; lowers the gauge on drop.
+pub struct GaugeGuard {
+    gauge: Gauge,
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge.dec();
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts values of bit length
+/// `i`, so 64 buckets (+ the zero bucket) cover all of `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+struct HistCell {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log₂-bucketed histogram (values conventionally microseconds).
+/// Cloning shares the cell.
+#[derive(Clone)]
+pub struct Histogram {
+    cell: Arc<HistCell>,
+}
+
+/// The bucket a value lands in: its bit length (0 for 0).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold (its inclusive upper bound).
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A histogram bound to no registry.
+    pub fn detached() -> Histogram {
+        Histogram {
+            cell: Arc::new(HistCell {
+                buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.cell.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.cell.count.fetch_add(1, Ordering::Relaxed);
+        self.cell.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Starts a [`Span`] that records its elapsed microseconds into this
+    /// histogram when finished (or dropped).
+    #[inline]
+    pub fn start(&self) -> Span {
+        Span {
+            hist: self.clone(),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+}
+
+/// A cheap RAII timer over a [`Histogram`]: one `Instant::now()` at each
+/// end, three relaxed `fetch_add`s to record.
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl Span {
+    /// Time elapsed since the span started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Ends the span now, recording and returning its duration.
+    pub fn finish(mut self) -> Duration {
+        self.armed = false;
+        let d = self.start.elapsed();
+        self.hist.record_duration(d);
+        d
+    }
+
+    /// Ends the span without recording (for cancelled operations).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A handle to a set of registered instruments. Cloning shares the set;
+/// there are no global registries — the database owns one, the server
+/// owns another, and tests make their own.
+///
+/// Registration takes a lock (it happens once, at component
+/// construction); instrument updates never do.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<(String, String), Slot>>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.inner.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or rebinds to) the counter `family/name`.
+    ///
+    /// # Panics
+    ///
+    /// If the key is already registered as a different instrument kind.
+    pub fn counter(&self, family: &str, name: &str) -> Counter {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry((family.to_string(), name.to_string()))
+            .or_insert_with(|| Slot::Counter(Counter::detached()))
+        {
+            Slot::Counter(c) => c.clone(),
+            _ => panic!("metric {family}/{name} already registered as a non-counter"),
+        }
+    }
+
+    /// Registers (or rebinds to) the gauge `family/name`.
+    ///
+    /// # Panics
+    ///
+    /// If the key is already registered as a different instrument kind.
+    pub fn gauge(&self, family: &str, name: &str) -> Gauge {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry((family.to_string(), name.to_string()))
+            .or_insert_with(|| Slot::Gauge(Gauge::detached()))
+        {
+            Slot::Gauge(g) => g.clone(),
+            _ => panic!("metric {family}/{name} already registered as a non-gauge"),
+        }
+    }
+
+    /// Registers (or rebinds to) the histogram `family/name`.
+    ///
+    /// # Panics
+    ///
+    /// If the key is already registered as a different instrument kind.
+    pub fn histogram(&self, family: &str, name: &str) -> Histogram {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry((family.to_string(), name.to_string()))
+            .or_insert_with(|| Slot::Histogram(Histogram::detached()))
+        {
+            Slot::Histogram(h) => h.clone(),
+            _ => panic!("metric {family}/{name} already registered as a non-histogram"),
+        }
+    }
+
+    /// A point-in-time reading of every registered instrument, sorted by
+    /// `(family, name)`. Never blocks instrument updates; see the crate
+    /// docs for the torn-read contract.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().unwrap();
+        let entries = map
+            .iter()
+            .map(|((family, name), slot)| Entry {
+                family: family.clone(),
+                name: name.clone(),
+                value: match slot {
+                    Slot::Counter(c) => Value::Counter(c.value()),
+                    Slot::Gauge(g) => Value::Gauge {
+                        current: g.value(),
+                        max: g.max(),
+                    },
+                    Slot::Histogram(h) => {
+                        let mut buckets = Vec::new();
+                        for (i, b) in h.cell.buckets.iter().enumerate() {
+                            let n = b.load(Ordering::Relaxed);
+                            if n != 0 {
+                                buckets.push((i as u8, n));
+                            }
+                        }
+                        Value::Histogram(HistogramSummary {
+                            count: h.cell.count.load(Ordering::Relaxed),
+                            sum: h.cell.sum.load(Ordering::Relaxed),
+                            buckets,
+                        })
+                    }
+                },
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+/// A histogram's state inside a [`Snapshot`]: total count, value sum, and
+/// the non-empty log₂ buckets as `(bucket index, count)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values (µs for latency histograms).
+    pub sum: u64,
+    /// Sparse non-empty buckets, ascending by index. Bucket `i` counts
+    /// values of bit length `i` (upper bound `2^i - 1`; bucket 0 is
+    /// zeros).
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSummary {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the inclusive
+    /// upper bound of the bucket the quantile falls in.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_bound(i as usize);
+            }
+        }
+        bucket_bound(self.buckets.last().map_or(0, |&(i, _)| i as usize))
+    }
+}
+
+/// One metric's value inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// A monotone event count.
+    Counter(u64),
+    /// A level plus its high-water mark.
+    Gauge {
+        /// Level at snapshot time.
+        current: u64,
+        /// High-water mark since construction.
+        max: u64,
+    },
+    /// A latency/size distribution.
+    Histogram(HistogramSummary),
+}
+
+impl Value {
+    /// Short kind name ("counter" / "gauge" / "histogram"), used by the
+    /// schema artifact and JSON output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Counter(_) => "counter",
+            Value::Gauge { .. } => "gauge",
+            Value::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One `(family, name, value)` row of a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// The metric family (one of [`family::ALL`] in this workspace).
+    pub family: String,
+    /// The metric name, unique within its family.
+    pub name: String,
+    /// The observed value.
+    pub value: Value,
+}
+
+/// Decoding a snapshot from bytes failed (truncated or corrupt input, or
+/// a future format version).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Snapshot binary format version (leading byte of [`Snapshot::encode`]).
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// A point-in-time reading of a [`Registry`]: an ordered list of
+/// [`Entry`] rows. Serializable (own compact binary codec + JSON),
+/// diffable, and mergeable — the units benches and the wire protocol
+/// traffic in.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    entries: Vec<Entry>,
+}
+
+impl Snapshot {
+    /// A snapshot with no entries.
+    pub fn empty() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// The entries, sorted by `(family, name)`.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Looks up one metric's value.
+    pub fn get(&self, family: &str, name: &str) -> Option<&Value> {
+        self.entries
+            .binary_search_by(|e| (e.family.as_str(), e.name.as_str()).cmp(&(family, name)))
+            .ok()
+            .map(|i| &self.entries[i].value)
+    }
+
+    /// A counter's value (0 when absent or not a counter).
+    pub fn counter(&self, family: &str, name: &str) -> u64 {
+        match self.get(family, name) {
+            Some(Value::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// A gauge's `(current, max)` (zeros when absent or not a gauge).
+    pub fn gauge(&self, family: &str, name: &str) -> (u64, u64) {
+        match self.get(family, name) {
+            Some(Value::Gauge { current, max }) => (*current, *max),
+            _ => (0, 0),
+        }
+    }
+
+    /// A histogram's summary, if present.
+    pub fn histogram(&self, family: &str, name: &str) -> Option<&HistogramSummary> {
+        match self.get(family, name) {
+            Some(Value::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The distinct families present, in order.
+    pub fn families(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            if out.last() != Some(&e.family.as_str()) {
+                out.push(&e.family);
+            }
+        }
+        out
+    }
+
+    /// What happened between `baseline` and `self`: counters and
+    /// histograms subtract (saturating — a metric reset mid-flight clamps
+    /// at zero rather than wrapping); gauges keep `self`'s reading (a
+    /// level is not a rate). Entries absent from `baseline` pass through;
+    /// entries only in `baseline` are dropped.
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let value = match (&e.value, baseline.get(&e.family, &e.name)) {
+                    (Value::Counter(now), Some(Value::Counter(then))) => {
+                        Value::Counter(now.saturating_sub(*then))
+                    }
+                    (Value::Histogram(now), Some(Value::Histogram(then))) => {
+                        let mut buckets = Vec::with_capacity(now.buckets.len());
+                        for &(i, n) in &now.buckets {
+                            let prior = then
+                                .buckets
+                                .iter()
+                                .find(|&&(j, _)| j == i)
+                                .map_or(0, |&(_, m)| m);
+                            let d = n.saturating_sub(prior);
+                            if d != 0 {
+                                buckets.push((i, d));
+                            }
+                        }
+                        Value::Histogram(HistogramSummary {
+                            count: now.count.saturating_sub(then.count),
+                            sum: now.sum.saturating_sub(then.sum),
+                            buckets,
+                        })
+                    }
+                    (v, _) => v.clone(),
+                };
+                Entry {
+                    family: e.family.clone(),
+                    name: e.name.clone(),
+                    value,
+                }
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// The union of two snapshots (e.g. a database's and a server's).
+    /// On a key collision, counters and histograms add and gauges take
+    /// the larger level/mark; in this workspace the two registries use
+    /// disjoint families, so collisions are the degenerate case.
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut merged: BTreeMap<(String, String), Value> = BTreeMap::new();
+        for e in self.entries.iter().chain(&other.entries) {
+            merged
+                .entry((e.family.clone(), e.name.clone()))
+                .and_modify(|v| *v = combine(v, &e.value))
+                .or_insert_with(|| e.value.clone());
+        }
+        Snapshot {
+            entries: merged
+                .into_iter()
+                .map(|((family, name), value)| Entry {
+                    family,
+                    name,
+                    value,
+                })
+                .collect(),
+        }
+    }
+
+    /// Encodes the snapshot into the compact binary form
+    /// [`Snapshot::decode`] reads (version byte, then varint-framed
+    /// entries). This is what rides inside a wire `OP_STATS` reply.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.entries.len() * 16);
+        out.push(SNAPSHOT_VERSION);
+        write_varint(&mut out, self.entries.len() as u64);
+        for e in &self.entries {
+            write_str(&mut out, &e.family);
+            write_str(&mut out, &e.name);
+            match &e.value {
+                Value::Counter(v) => {
+                    out.push(0);
+                    write_varint(&mut out, *v);
+                }
+                Value::Gauge { current, max } => {
+                    out.push(1);
+                    write_varint(&mut out, *current);
+                    write_varint(&mut out, *max);
+                }
+                Value::Histogram(h) => {
+                    out.push(2);
+                    write_varint(&mut out, h.count);
+                    write_varint(&mut out, h.sum);
+                    write_varint(&mut out, h.buckets.len() as u64);
+                    for &(i, n) in &h.buckets {
+                        out.push(i);
+                        write_varint(&mut out, n);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes bytes written by [`Snapshot::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Snapshot, DecodeError> {
+        let mut pos = 0usize;
+        let version = read_byte(buf, &mut pos)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(DecodeError(format!(
+                "unsupported snapshot version {version} (want {SNAPSHOT_VERSION})"
+            )));
+        }
+        let n = read_varint(buf, &mut pos)? as usize;
+        if n > buf.len() {
+            // Each entry costs several bytes; a count beyond the payload
+            // length is corruption, not a big snapshot.
+            return Err(DecodeError("entry count exceeds payload".into()));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let family = read_str(buf, &mut pos)?;
+            let name = read_str(buf, &mut pos)?;
+            let value = match read_byte(buf, &mut pos)? {
+                0 => Value::Counter(read_varint(buf, &mut pos)?),
+                1 => Value::Gauge {
+                    current: read_varint(buf, &mut pos)?,
+                    max: read_varint(buf, &mut pos)?,
+                },
+                2 => {
+                    let count = read_varint(buf, &mut pos)?;
+                    let sum = read_varint(buf, &mut pos)?;
+                    let nb = read_varint(buf, &mut pos)? as usize;
+                    if nb > HIST_BUCKETS {
+                        return Err(DecodeError("histogram bucket count out of range".into()));
+                    }
+                    let mut buckets = Vec::with_capacity(nb);
+                    for _ in 0..nb {
+                        let i = read_byte(buf, &mut pos)?;
+                        if i as usize >= HIST_BUCKETS {
+                            return Err(DecodeError("histogram bucket index out of range".into()));
+                        }
+                        buckets.push((i, read_varint(buf, &mut pos)?));
+                    }
+                    Value::Histogram(HistogramSummary {
+                        count,
+                        sum,
+                        buckets,
+                    })
+                }
+                t => return Err(DecodeError(format!("unknown value tag {t}"))),
+            };
+            entries.push(Entry {
+                family,
+                name,
+                value,
+            });
+        }
+        // Re-sort: the wire is untrusted and `get` relies on the order.
+        entries.sort_by(|a, b| (&a.family, &a.name).cmp(&(&b.family, &b.name)));
+        Ok(Snapshot { entries })
+    }
+
+    /// Renders the snapshot as a JSON object keyed by family, then
+    /// metric name. Counters render as numbers, gauges as
+    /// `{"current":..,"max":..}`, histograms as
+    /// `{"count":..,"sum_us":..,"p50_us":..,"p99_us":..}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first_family = true;
+        let mut i = 0;
+        while i < self.entries.len() {
+            let fam = &self.entries[i].family;
+            if !first_family {
+                out.push(',');
+            }
+            first_family = false;
+            out.push_str(&format!("{:?}:{{", fam));
+            let mut first = true;
+            while i < self.entries.len() && self.entries[i].family == *fam {
+                let e = &self.entries[i];
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("{:?}:", e.name));
+                match &e.value {
+                    Value::Counter(v) => out.push_str(&v.to_string()),
+                    Value::Gauge { current, max } => {
+                        out.push_str(&format!("{{\"current\":{current},\"max\":{max}}}"))
+                    }
+                    Value::Histogram(h) => out.push_str(&format!(
+                        "{{\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                        h.count,
+                        h.sum,
+                        h.quantile(0.5),
+                        h.quantile(0.99)
+                    )),
+                }
+                i += 1;
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// The snapshot's schema: sorted `(family, name, kind)` triples. The
+    /// CI golden-file check asserts this list only ever grows.
+    pub fn schema(&self) -> Vec<(String, String, &'static str)> {
+        self.entries
+            .iter()
+            .map(|e| (e.family.clone(), e.name.clone(), e.value.kind()))
+            .collect()
+    }
+}
+
+fn combine(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Counter(x), Value::Counter(y)) => Value::Counter(x.saturating_add(*y)),
+        (
+            Value::Gauge { current, max },
+            Value::Gauge {
+                current: c2,
+                max: m2,
+            },
+        ) => Value::Gauge {
+            current: (*current).max(*c2),
+            max: (*max).max(*m2),
+        },
+        (Value::Histogram(x), Value::Histogram(y)) => {
+            let mut buckets: BTreeMap<u8, u64> = x.buckets.iter().copied().collect();
+            for &(i, n) in &y.buckets {
+                *buckets.entry(i).or_insert(0) += n;
+            }
+            Value::Histogram(HistogramSummary {
+                count: x.count + y.count,
+                sum: x.sum.saturating_add(y.sum),
+                buckets: buckets.into_iter().collect(),
+            })
+        }
+        // Mismatched kinds under one key only happen across foreign
+        // snapshots; keep the left operand rather than inventing data.
+        (a, _) => a.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Varint codec (LEB128) — the crate is dependency-free by design, so it
+// carries its own five lines of varint rather than importing one.
+// ---------------------------------------------------------------------
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = read_byte(buf, pos)?;
+        if shift >= 64 {
+            return Err(DecodeError("varint overflows u64".into()));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn read_byte(buf: &[u8], pos: &mut usize) -> Result<u8, DecodeError> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| DecodeError("truncated input".into()))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(buf: &[u8], pos: &mut usize) -> Result<String, DecodeError> {
+    let len = read_varint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| DecodeError("truncated string".into()))?;
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| DecodeError("string is not UTF-8".into()))?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_count() {
+        let r = Registry::new();
+        let c = r.counter(family::POOL, "hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        // Re-registration rebinds to the same cell.
+        assert_eq!(r.counter(family::POOL, "hits").value(), 5);
+
+        let g = r.gauge(family::SERVER, "conns_live");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.value(), 1);
+        assert_eq!(g.max(), 2);
+        {
+            let _in = g.enter();
+            assert_eq!(g.value(), 2);
+        }
+        assert_eq!(g.value(), 1);
+        // A spurious extra dec saturates at zero instead of wrapping.
+        g.dec();
+        g.dec();
+        assert_eq!(g.value(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::detached();
+        for v in [0u64, 1, 2, 3, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1000), 10);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(10), 1023);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn span_records_on_finish_and_drop() {
+        let r = Registry::new();
+        let h = r.histogram(family::COMMIT, "commit_us");
+        h.start().finish();
+        {
+            let _span = h.start(); // recorded on drop
+        }
+        h.start().cancel(); // not recorded
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_lookup_diff_and_quantiles() {
+        let r = Registry::new();
+        let c = r.counter(family::WAL, "fsyncs");
+        let h = r.histogram(family::WAL, "flush_us");
+        c.add(10);
+        for v in [3u64, 5, 100, 900] {
+            h.record(v);
+        }
+        let base = r.snapshot();
+        c.add(7);
+        h.record(70);
+        let now = r.snapshot();
+        let d = now.diff(&base);
+        assert_eq!(d.counter(family::WAL, "fsyncs"), 7);
+        let hist = d.histogram(family::WAL, "flush_us").unwrap();
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.sum, 70);
+        assert_eq!(hist.quantile(0.5), 127); // bucket of 70 = [64, 127]
+        let full = now.histogram(family::WAL, "flush_us").unwrap();
+        assert_eq!(full.quantile(1.0), 1023);
+        assert!(full.mean() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_encode_decode_round_trips() {
+        let r = Registry::new();
+        r.counter(family::POOL, "hits").add(123456789);
+        r.gauge(family::SERVER, "conns_live").set(42);
+        let h = r.histogram(family::SCAN, "query_us");
+        for v in 0..100u64 {
+            h.record(v * v);
+        }
+        let snap = r.snapshot();
+        let bytes = snap.encode();
+        assert_eq!(Snapshot::decode(&bytes).unwrap(), snap);
+        // Truncations never panic, always error.
+        for cut in 0..bytes.len() {
+            assert!(Snapshot::decode(&bytes[..cut]).is_err());
+        }
+        // Future version byte is rejected.
+        let mut future = bytes.clone();
+        future[0] = SNAPSHOT_VERSION + 1;
+        assert!(Snapshot::decode(&future).is_err());
+    }
+
+    #[test]
+    fn merge_unions_disjoint_families() {
+        let a = Registry::new();
+        a.counter(family::POOL, "hits").add(3);
+        let b = Registry::new();
+        b.gauge(family::SERVER, "conns_live").set(2);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.counter(family::POOL, "hits"), 3);
+        assert_eq!(m.gauge(family::SERVER, "conns_live"), (2, 2));
+        assert_eq!(m.families(), vec![family::POOL, family::SERVER]);
+    }
+
+    #[test]
+    fn json_is_family_keyed() {
+        let r = Registry::new();
+        r.counter(family::POOL, "hits").add(3);
+        r.histogram(family::COMMIT, "commit_us").record(5);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"pool\":{\"hits\":3}"));
+        assert!(json.contains("\"commit\":{\"commit_us\":{\"count\":1"));
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_writers_is_sane() {
+        let r = Registry::new();
+        let c = r.counter(family::COMMIT, "txns");
+        let h = r.histogram(family::COMMIT, "commit_us");
+        let stop = Arc::new(AtomicU64::new(0));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let (c, h, stop) = (c.clone(), h.clone(), Arc::clone(&stop));
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        c.inc();
+                        h.record(n % 1000);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        // Counters only move forward between snapshots, and decode of an
+        // in-flight encode is always well-formed.
+        let mut last = 0u64;
+        for _ in 0..50 {
+            let snap = r.snapshot();
+            let now = snap.counter(family::COMMIT, "txns");
+            assert!(now >= last);
+            last = now;
+            assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+        }
+        stop.store(1, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(family::COMMIT, "txns"), total);
+        assert_eq!(
+            snap.histogram(family::COMMIT, "commit_us").unwrap().count,
+            total
+        );
+    }
+}

@@ -15,7 +15,10 @@ use std::sync::Arc;
 use decibel_common::env::{DiskEnv, DiskFile, StdEnv};
 use decibel_common::error::{IoResultExt, Result};
 use decibel_common::hash::FxHashMap;
+use decibel_obs::{family, Counter, Registry};
 use parking_lot::Mutex;
+
+use crate::config::StoreConfig;
 
 /// Identifies a file registered with the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,6 +60,11 @@ pub struct BufferPool {
     capacity: usize,
     clock: AtomicU64,
     env: Arc<dyn DiskEnv>,
+    registry: Registry,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    crc_verifies: Counter,
     inner: Mutex<PoolInner>,
 }
 
@@ -71,18 +79,55 @@ impl BufferPool {
     /// attached to the pool open their backing files through it, so a
     /// store's entire IO stream can be redirected at fault injection.
     pub fn with_env(env: Arc<dyn DiskEnv>, page_size: usize, capacity: usize) -> Self {
+        Self::with_env_metered(env, page_size, capacity, Registry::new())
+    }
+
+    /// A pool configured exactly as `config` says: its environment, page
+    /// geometry, capacity, and metrics registry. The constructor every
+    /// engine uses.
+    pub fn for_store(config: &StoreConfig) -> Self {
+        Self::with_env_metered(
+            Arc::clone(&config.env),
+            config.page_size,
+            config.pool_pages,
+            config.metrics.clone(),
+        )
+    }
+
+    /// [`BufferPool::with_env`] registering the pool's counters (and its
+    /// heap files' — see [`BufferPool::registry`]) with `registry` under
+    /// the [`family::POOL`] family.
+    pub fn with_env_metered(
+        env: Arc<dyn DiskEnv>,
+        page_size: usize,
+        capacity: usize,
+        registry: Registry,
+    ) -> Self {
         assert!(capacity > 0, "pool needs at least one frame");
         BufferPool {
             page_size,
             capacity,
             clock: AtomicU64::new(0),
             env,
+            hits: registry.counter(family::POOL, "hits"),
+            misses: registry.counter(family::POOL, "misses"),
+            evictions: registry.counter(family::POOL, "evictions"),
+            crc_verifies: registry.counter(family::POOL, "crc_verifies"),
+            registry,
             inner: Mutex::new(PoolInner {
                 frames: FxHashMap::default(),
                 files: Vec::new(),
                 stats: PoolStats::default(),
             }),
         }
+    }
+
+    /// The registry this pool's counters live in. Heap files attached to
+    /// the pool register their own instruments here, so one registry
+    /// covers a store's whole physical layer.
+    #[inline]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Bytes per page.
@@ -137,6 +182,7 @@ impl BufferPool {
                     frame.last_used = now;
                     let data = Arc::clone(&frame.data);
                     inner.stats.hits += 1;
+                    self.hits.inc();
                     if data.len() == valid_len {
                         return Ok(data);
                     }
@@ -155,16 +201,19 @@ impl BufferPool {
             .read_exact_at(&mut buf, page_no * self.page_size as u64)
             .ctx("reading page from heap file")?;
         if let Some(check) = verify {
+            self.crc_verifies.inc();
             check(&buf)?;
         }
         let data = Arc::new(buf);
         let mut inner = self.inner.lock();
         inner.stats.misses += 1;
+        self.misses.inc();
         if inner.frames.len() >= self.capacity {
             // Evict the least recently used frame.
             if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.last_used) {
                 inner.frames.remove(&victim);
                 inner.stats.evictions += 1;
+                self.evictions.inc();
             }
         }
         inner.frames.insert(
@@ -186,6 +235,7 @@ impl BufferPool {
             if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.last_used) {
                 inner.frames.remove(&victim);
                 inner.stats.evictions += 1;
+                self.evictions.inc();
             }
         }
         inner.frames.insert(

@@ -4,6 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use decibel_common::env::{DiskEnv, StdEnv};
+use decibel_obs::Registry;
 
 /// Bytes reserved at the end of every *full* heap page for its CRC-32.
 ///
@@ -52,6 +53,11 @@ pub struct StoreConfig {
     /// Disk IO environment every file of the store is opened through:
     /// [`StdEnv`] in production, a `FaultEnv` under fault injection.
     pub env: Arc<dyn DiskEnv>,
+    /// Metrics registry the store's components (buffer pool, heap files,
+    /// WAL) register their instruments with. Each constructor makes a
+    /// fresh one; `Database` adopts it so `Database::metrics()` sees the
+    /// whole stack.
+    pub metrics: Registry,
 }
 
 impl fmt::Debug for StoreConfig {
@@ -61,6 +67,7 @@ impl fmt::Debug for StoreConfig {
             .field("pool_pages", &self.pool_pages)
             .field("cold_scans", &self.cold_scans)
             .field("fsync", &self.fsync)
+            .field("metrics", &self.metrics)
             .finish_non_exhaustive()
     }
 }
@@ -74,6 +81,7 @@ impl StoreConfig {
             cold_scans: true,
             fsync: false,
             env: Arc::new(StdEnv),
+            metrics: Registry::new(),
         }
     }
 
@@ -86,6 +94,7 @@ impl StoreConfig {
             cold_scans: false,
             fsync: false,
             env: Arc::new(StdEnv),
+            metrics: Registry::new(),
         }
     }
 
@@ -98,6 +107,7 @@ impl StoreConfig {
             cold_scans: true,
             fsync: false,
             env: Arc::new(StdEnv),
+            metrics: Registry::new(),
         }
     }
 

@@ -29,13 +29,13 @@
 //! section so seal order equals transaction-id order.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use decibel_common::env::{DiskEnv, DiskFile, OpenMode, StdEnv};
 use decibel_common::error::{DbError, IoResultExt, Result};
 use decibel_common::fsio::sync_parent_dir_in;
 use decibel_common::varint;
+use decibel_obs::{family, Counter, Histogram, Registry};
 use parking_lot::{Condvar, Mutex};
 
 /// Entry kinds in the log.
@@ -96,7 +96,15 @@ pub struct Wal {
     path: PathBuf,
     fsync: bool,
     /// Number of physical flush batches (one per group, not per txn).
-    flushes: AtomicU64,
+    flushes: Counter,
+    /// Number of `fsync` calls actually issued (zero when fsync is off).
+    fsyncs: Counter,
+    /// Number of times a failed group flush poisoned the log.
+    poisons: Counter,
+    /// Seals covered per group flush (group-commit batching factor).
+    group_txns: Histogram,
+    /// Wall time of each group flush (write + optional fsync), in µs.
+    flush_us: Histogram,
 }
 
 /// A transaction recovered from the log: its id and payload entries in
@@ -139,6 +147,17 @@ impl Wal {
 
     /// [`Wal::open`] through an explicit [`DiskEnv`].
     pub fn open_in(env: &dyn DiskEnv, path: impl AsRef<Path>, fsync: bool) -> Result<Wal> {
+        Self::open_in_metered(env, path, fsync, &Registry::new())
+    }
+
+    /// [`Wal::open_in`] with its instruments registered in `metrics` (under
+    /// the `wal` family) instead of a private throwaway registry.
+    pub fn open_in_metered(
+        env: &dyn DiskEnv,
+        path: impl AsRef<Path>,
+        fsync: bool,
+        metrics: &Registry,
+    ) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
         let file = env.open(&path, OpenMode::ReadWrite).ctx("opening WAL")?;
         let offset = file.len().ctx("stat WAL")?;
@@ -156,7 +175,11 @@ impl Wal {
             cv: Condvar::new(),
             path,
             fsync,
-            flushes: AtomicU64::new(0),
+            flushes: metrics.counter(family::WAL, "flushes"),
+            fsyncs: metrics.counter(family::WAL, "fsyncs"),
+            poisons: metrics.counter(family::WAL, "poisons"),
+            group_txns: metrics.histogram(family::WAL, "group_txns"),
+            flush_us: metrics.histogram(family::WAL, "flush_us"),
         })
     }
 
@@ -233,10 +256,12 @@ impl Wal {
             let sealed = buf.sealed_len;
             let batch: Vec<u8> = buf.pending.drain(..sealed).collect();
             let batch_ticket = buf.sealed_ticket;
+            let group = batch_ticket.saturating_sub(buf.durable_ticket);
             buf.drained += batch.len() as u64;
             buf.sealed_len = 0;
             drop(buf);
 
+            let span = self.flush_us.start();
             let write_result = (|| -> Result<()> {
                 let mut wf = self.file.lock();
                 let off = wf.offset;
@@ -244,10 +269,13 @@ impl Wal {
                 wf.offset += batch.len() as u64;
                 if self.fsync {
                     wf.file.sync_data().ctx("fsyncing WAL")?;
+                    self.fsyncs.inc();
                 }
                 Ok(())
             })();
-            self.flushes.fetch_add(1, Ordering::Relaxed);
+            span.finish();
+            self.flushes.inc();
+            self.group_txns.record(group);
 
             buf = self.buf.lock();
             buf.syncing = false;
@@ -262,6 +290,7 @@ impl Wal {
                     // Poison with the real cause and wake every follower:
                     // their seals rode in the failed batch, so they must
                     // surface this error, not block on the condvar forever.
+                    self.poisons.inc();
                     buf.failed = Some(e.to_string());
                     self.cv.notify_all();
                     return Err(e);
@@ -281,7 +310,7 @@ impl Wal {
     /// commit this counts one per *group*, so it grows slower than the
     /// number of committed transactions under concurrency.
     pub fn flush_count(&self) -> u64 {
-        self.flushes.load(Ordering::Relaxed)
+        self.flushes.value()
     }
 
     /// Discards buffered entries that are not yet sealed. Sealed bytes

@@ -78,6 +78,7 @@ use decibel_common::Projection;
 use decibel_core::cursor::{MultiScanCursor, ScanCursor};
 use decibel_core::{Database, Session};
 use decibel_netio::{Events, Interest, Poll, Token, Trigger, Waker};
+use decibel_obs::{family, Counter, Gauge, Histogram, Registry, Snapshot};
 use decibel_wire::frame::{write_frame, FrameDecoder};
 use decibel_wire::proto::{self, Hello, Reply, Request, Response};
 
@@ -136,6 +137,53 @@ struct Shared {
     /// loop. Observable via [`ServerHandle::live_connections`] so tests
     /// can assert churn deregisters cleanly (no fd leak).
     live: AtomicUsize,
+    /// The event loop's own metric registry (`server` family). Kept in
+    /// the shared state so [`ServerHandle::metrics`] can snapshot it
+    /// without talking to the loop thread.
+    metrics: Registry,
+}
+
+/// The event loop's instruments, all under [`family::SERVER`]. Bound once
+/// at loop start; the hot paths touch pre-resolved cells, never the
+/// registry map.
+struct ServerMetrics {
+    /// Connections ever admitted (the live count is the gauge below).
+    conns_total: Counter,
+    /// Request frames launched, inline fast-path and worker-bound alike.
+    requests: Counter,
+    /// Times a streaming scan parked: socket backpressure or the
+    /// per-lock chunk budget ran out and the cursor released its locks.
+    stream_parks: Counter,
+    /// Currently registered connections; its max is the concurrency
+    /// high-water mark.
+    conns_live: Gauge,
+    /// High-water mark of decoded-but-unstarted requests on any one
+    /// connection (caps at [`MAX_PENDING`] by construction).
+    pipeline_depth: Gauge,
+    /// High-water mark of unsent write-buffer bytes on any one
+    /// connection (the stream-ahead cap bounds it during scans).
+    backlog_bytes: Gauge,
+    /// Worker-pool jobs in flight; its max against [`WORKERS`] shows
+    /// pool saturation.
+    workers_busy: Gauge,
+    /// Wall time spent blocked in epoll per loop iteration — the loop's
+    /// idle time, not its work time.
+    poll_us: Histogram,
+}
+
+impl ServerMetrics {
+    fn register(registry: &Registry) -> ServerMetrics {
+        ServerMetrics {
+            conns_total: registry.counter(family::SERVER, "conns_total"),
+            requests: registry.counter(family::SERVER, "requests"),
+            stream_parks: registry.counter(family::SERVER, "stream_parks"),
+            conns_live: registry.gauge(family::SERVER, "conns_live"),
+            pipeline_depth: registry.gauge(family::SERVER, "pipeline_depth"),
+            backlog_bytes: registry.gauge(family::SERVER, "backlog_bytes"),
+            workers_busy: registry.gauge(family::SERVER, "workers_busy"),
+            poll_us: registry.histogram(family::SERVER, "poll_us"),
+        }
+    }
 }
 
 impl Server {
@@ -167,6 +215,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 waker,
                 live: AtomicUsize::new(0),
+                metrics: Registry::new(),
             }),
         })
     }
@@ -246,6 +295,19 @@ impl ServerHandle {
     /// releases registrations.
     pub fn live_connections(&self) -> usize {
         self.shared.live.load(Ordering::SeqCst)
+    }
+
+    /// A point-in-time snapshot of every metric the server can see: the
+    /// database registry (`pool` / `wal` / `commit` / `scan` /
+    /// `checkpoint` families) merged with the event loop's own `server`
+    /// family — the same payload
+    /// [`Client::stats`](decibel_wire::Client::stats) receives over the
+    /// wire.
+    pub fn metrics(&self) -> Snapshot {
+        self.db
+            .metrics()
+            .snapshot()
+            .merge(&self.shared.metrics.snapshot())
     }
 
     /// Gracefully stops the server: no new connections, every live client
@@ -669,6 +731,7 @@ struct EventLoop {
     /// deletion — one live entry per connection, re-armed on pop.
     deadlines: BinaryHeap<Reverse<(Instant, usize, u64)>>,
     scratch: Vec<u8>,
+    obs: ServerMetrics,
 }
 
 impl EventLoop {
@@ -682,6 +745,7 @@ impl EventLoop {
         let mut hello_frame = Vec::new();
         write_frame(&mut hello_frame, &hello.encode()).expect("encoding hello");
         let workers = WorkerPool::start(&server.db, &schema, &server.shared);
+        let obs = ServerMetrics::register(&server.shared.metrics);
         EventLoop {
             poll: server.poll,
             listener: server.listener,
@@ -697,6 +761,7 @@ impl EventLoop {
             next_generation: 0,
             deadlines: BinaryHeap::new(),
             scratch: vec![0u8; READ_CHUNK],
+            obs,
         }
     }
 
@@ -714,7 +779,10 @@ impl EventLoop {
                 break;
             }
             let timeout = self.next_poll_timeout();
-            if self.poll.poll(&mut events, timeout).is_err() {
+            let span = self.obs.poll_us.start();
+            let polled = self.poll.poll(&mut events, timeout);
+            span.finish();
+            if polled.is_err() {
                 // Only unrecoverable epoll failures land here (EINTR is
                 // retried inside poll); nothing to serve without a
                 // selector.
@@ -833,6 +901,8 @@ impl EventLoop {
         }
         self.conns[slot] = Some(conn);
         self.shared.live.fetch_add(1, Ordering::SeqCst);
+        self.obs.conns_total.inc();
+        self.obs.conns_live.inc();
         if let Some(timeout) = self.read_timeout {
             let deadline = Instant::now() + timeout;
             self.deadlines.push(Reverse((deadline, slot, generation)));
@@ -890,6 +960,9 @@ impl EventLoop {
                             Err(_) => return Disposition::Close,
                         }
                     }
+                    self.obs
+                        .pipeline_depth
+                        .observe_max(conn.pending.len() as u64);
                     if n < self.scratch.len() {
                         // A short read means the kernel buffer is drained;
                         // skip the syscall that would confirm WouldBlock.
@@ -919,6 +992,7 @@ impl EventLoop {
             }
             let conn = self.conns[slot].as_mut().unwrap();
             let backlog = conn.outbuf.len() - conn.out_pos;
+            self.obs.backlog_bytes.observe_max(backlog as u64);
             if conn.closing {
                 if backlog == 0 {
                     return Disposition::Close; // rejection fully flushed
@@ -1037,6 +1111,7 @@ impl EventLoop {
             // out. Park the cursor; pump resumes it when the buffer
             // drains.
             Ok(false) => {
+                self.obs.stream_parks.inc();
                 conn.active = active;
                 None
             }
@@ -1069,6 +1144,7 @@ impl EventLoop {
                 return Disposition::Keep;
             }
         };
+        self.obs.requests.inc();
         // Authentication gate: on a token-protected server the first
         // request must present the token; everything else — including a
         // wrong token — is rejected with a typed error and a close (after
@@ -1093,6 +1169,22 @@ impl EventLoop {
         if !conn.authed {
             conn.closing = true;
             let resp = Response::Err(DbError::AuthFailed);
+            if queue_response(&mut conn.outbuf, &self.schema, &resp).is_err() {
+                return Disposition::Close;
+            }
+            return Disposition::Keep;
+        }
+        // Stats is answered on the loop: snapshotting two registries is a
+        // handful of relaxed atomic loads, cheaper than a worker round
+        // trip. The reply merges the database's families with the event
+        // loop's own `server` family.
+        if matches!(req, Request::Stats) {
+            let snap = self
+                .db
+                .metrics()
+                .snapshot()
+                .merge(&self.shared.metrics.snapshot());
+            let resp = Response::Ok(Reply::Stats(snap));
             if queue_response(&mut conn.outbuf, &self.schema, &resp).is_err() {
                 return Disposition::Close;
             }
@@ -1194,6 +1286,7 @@ impl EventLoop {
                     req,
                 };
                 conn.active = Active::Worker;
+                self.obs.workers_busy.inc();
                 self.workers.dispatch(job);
             }
         }
@@ -1219,6 +1312,9 @@ impl EventLoop {
 
     fn drain_completions(&mut self) {
         while let Ok(done) = self.workers.done_rx.try_recv() {
+            // Every completion frees a worker, whether or not its
+            // connection survived the call.
+            self.obs.workers_busy.dec();
             let alive = self
                 .conns
                 .get_mut(done.conn)
@@ -1295,6 +1391,7 @@ impl EventLoop {
             let _ = self.poll.deregister(&conn.stream);
             self.free.push(slot);
             self.shared.live.fetch_sub(1, Ordering::SeqCst);
+            self.obs.conns_live.dec();
             // `conn` drops here: socket closes; the session (if not out
             // with a worker) rolls back. A session that *is* out with a
             // worker rolls back when its completion is dropped.
@@ -1442,6 +1539,34 @@ mod tests {
         assert!(matches!(err, DbError::DuplicateKey { key: 1 }), "{err}");
         let err = client.checkout_branch("nope").unwrap_err();
         assert!(matches!(err, DbError::UnknownBranch(_)), "{err}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stats_merge_database_and_server_families() {
+        let (_d, handle) = serve();
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        for k in 0..50u64 {
+            client.insert(Record::new(k, vec![k, k])).unwrap();
+        }
+        client.commit().unwrap();
+        assert_eq!(client.scan_collect().unwrap().len(), 50);
+        let snap = client.stats().unwrap();
+        // Database-side families crossed the wire...
+        assert_eq!(snap.counter("commit", "grouped_txns"), 1);
+        assert!(snap.histogram("commit", "commit_us").unwrap().count >= 1);
+        assert!(snap.counter("scan", "rows_scanned") >= 50);
+        // ...merged with the event loop's own family.
+        assert!(snap.counter("server", "conns_total") >= 1);
+        let (live, live_max) = snap.gauge("server", "conns_live");
+        assert_eq!(live, 1);
+        assert!(live_max >= 1);
+        // 50 inserts + commit + scan + stats, at least.
+        assert!(snap.counter("server", "requests") >= 53);
+        // The handle-side snapshot sees the same registries in-process.
+        let local = handle.metrics();
+        assert!(local.counter("server", "requests") >= snap.counter("server", "requests"));
+        assert_eq!(local.counter("commit", "grouped_txns"), 1);
         handle.shutdown().unwrap();
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! decibel-server --dir PATH [--listen ADDR] [--create ENGINE COLS u32|u64]
-//!                [--fsync] [--auth-token TOKEN]
+//!                [--fsync] [--auth-token TOKEN] [--stats-interval SECS]
 //! ```
 //!
 //! Opens (or, with `--create`, initializes) a database directory and
@@ -13,7 +13,7 @@
 //! checkpoint via `Database::flush` so the next open replays nothing.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use decibel_common::schema::{ColumnType, Schema};
 use decibel_core::{Database, EngineKind};
@@ -52,9 +52,11 @@ fn install_signal_handlers() {}
 fn usage() -> ! {
     eprintln!(
         "usage: decibel-server --dir PATH [--listen ADDR] \
-         [--create ENGINE COLS u32|u64] [--fsync] [--auth-token TOKEN]\n\
+         [--create ENGINE COLS u32|u64] [--fsync] [--auth-token TOKEN] \
+         [--stats-interval SECS]\n\
          engines: tuple_first_branch tuple_first_tuple version_first hybrid\n\
-         default listen address: {DEFAULT_LISTEN}"
+         default listen address: {DEFAULT_LISTEN}\n\
+         --stats-interval N logs a JSON metrics delta to stderr every N seconds"
     );
     std::process::exit(2);
 }
@@ -65,6 +67,7 @@ struct Args {
     create: Option<(EngineKind, Schema)>,
     fsync: bool,
     auth_token: Option<String>,
+    stats_interval: Option<Duration>,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +77,7 @@ fn parse_args() -> Args {
     let mut create = None;
     let mut fsync = false;
     let mut auth_token = None;
+    let mut stats_interval = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -107,6 +111,15 @@ fn parse_args() -> Args {
                 i += 1;
                 auth_token = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--stats-interval" => {
+                i += 1;
+                let secs: u64 = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&s| s > 0)
+                    .unwrap_or_else(|| usage());
+                stats_interval = Some(Duration::from_secs(secs));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -119,6 +132,7 @@ fn parse_args() -> Args {
         create,
         fsync,
         auth_token,
+        stats_interval,
     }
 }
 
@@ -153,8 +167,22 @@ fn main() {
         args.dir.display(),
         handle.local_addr()
     );
+    // Periodic stats: log the JSON *delta* since the previous report, so
+    // each line reads as "what happened in the last interval" rather than
+    // ever-growing lifetime totals.
+    let mut baseline = args.stats_interval.map(|_| handle.metrics());
+    let mut next_report = args.stats_interval.map(|ivl| Instant::now() + ivl);
     while !SHUTDOWN.load(Ordering::SeqCst) {
         std::thread::park_timeout(Duration::from_millis(50));
+        if let (Some(ivl), Some(due)) = (args.stats_interval, next_report) {
+            if Instant::now() >= due {
+                let now = handle.metrics();
+                let delta = now.diff(baseline.as_ref().unwrap());
+                eprintln!("decibel-server: stats {}", delta.to_json());
+                baseline = Some(now);
+                next_report = Some(due + ivl);
+            }
+        }
     }
     eprintln!("decibel-server: shutting down (checkpointing)");
     if let Err(e) = handle.shutdown() {

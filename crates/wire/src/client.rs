@@ -286,6 +286,21 @@ impl Client {
         self.expect_unit(&Request::Flush)
     }
 
+    /// Fetches a point-in-time metrics snapshot: the remote database's
+    /// registry (`pool`, `wal`, `commit`, `scan`, `checkpoint` families)
+    /// merged with the server's own event-loop instruments (`server`).
+    /// Take two snapshots and [`Snapshot::diff`](decibel_obs::Snapshot::diff)
+    /// them to measure an interval. A pre-stats server answers the unknown
+    /// opcode with a typed protocol error and keeps the connection usable.
+    pub fn stats(&mut self) -> Result<decibel_obs::Snapshot> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(snap) => Ok(snap),
+            other => Err(DbError::protocol(format!(
+                "expected a stats snapshot, got {other:?}"
+            ))),
+        }
+    }
+
     // ----------------------------------------------------------------
     // Fluent read surface
     // ----------------------------------------------------------------

@@ -54,6 +54,7 @@ use decibel_common::varint;
 use decibel_common::Projection;
 use decibel_core::query::{AggKind, Predicate};
 use decibel_core::types::{Conflict, MergePolicy, MergeResult, VersionRef};
+use decibel_obs::Snapshot;
 
 /// Protocol magic: the first bytes of the server's hello frame.
 pub const MAGIC: &[u8; 4] = b"DCBW";
@@ -94,6 +95,7 @@ const OP_MULTI_SCAN: u8 = 16;
 const OP_MERGE: u8 = 17;
 const OP_FLUSH: u8 = 18;
 const OP_AUTH: u8 = 19;
+const OP_STATS: u8 = 20;
 
 /// Response status tags (first byte of a response frame).
 pub const STATUS_OK: u8 = 0;
@@ -230,6 +232,13 @@ pub enum Request {
         /// The shared secret, compared in constant time server-side.
         token: String,
     },
+    /// Fetch a point-in-time metrics snapshot covering every family the
+    /// server tracks: the database's registry (pool, WAL, commit, scan,
+    /// checkpoint) merged with the event loop's own (server). Added after
+    /// protocol version 2 shipped; an older server answers the unknown
+    /// opcode with a typed [`ErrorCode::Protocol`] error frame and keeps
+    /// the connection alive, so probing is safe.
+    Stats,
 }
 
 /// The typed body of a [`STATUS_OK`] frame.
@@ -251,6 +260,8 @@ pub enum Reply {
     Scalar(f64),
     /// A merge outcome.
     Merge(MergeResult),
+    /// A metrics snapshot (stats).
+    Stats(Snapshot),
 }
 
 /// One server→client frame.
@@ -666,6 +677,7 @@ impl Request {
                 out.push(OP_AUTH);
                 out.extend_from_slice(token.as_bytes());
             }
+            Request::Stats => out.push(OP_STATS),
         }
         Ok(out)
     }
@@ -745,6 +757,7 @@ impl Request {
             OP_AUTH => Request::Auth {
                 token: read_rest_utf8(buf, pos)?,
             },
+            OP_STATS => Request::Stats,
             _ => return Err(bad(format!("unknown request opcode {op}"))),
         };
         Ok(req)
@@ -883,6 +896,7 @@ const R_MAYBE_RECORD: u8 = 4;
 const R_ROWS: u8 = 5;
 const R_SCALAR: u8 = 6;
 const R_MERGE: u8 = 7;
+const R_STATS: u8 = 8;
 
 impl Response {
     /// Encodes this response into a frame payload.
@@ -926,6 +940,10 @@ impl Response {
                     Reply::Merge(m) => {
                         out.push(R_MERGE);
                         write_merge_result(&mut out, m);
+                    }
+                    Reply::Stats(snap) => {
+                        out.push(R_STATS);
+                        out.extend_from_slice(&snap.encode());
                     }
                 }
             }
@@ -983,6 +1001,10 @@ impl Response {
                         Reply::Scalar(f64::from_le_bytes(buf[pos..end].try_into().unwrap()))
                     }
                     R_MERGE => Reply::Merge(read_merge_result(buf, &mut pos)?),
+                    R_STATS => Reply::Stats(
+                        Snapshot::decode(&buf[pos..])
+                            .map_err(|e| bad(format!("bad stats snapshot: {e}")))?,
+                    ),
                     other => return Err(bad(format!("unknown reply tag {other}"))),
                 };
                 Ok(Response::Ok(reply))
@@ -1110,6 +1132,7 @@ mod tests {
             Request::Auth {
                 token: "s3cr3t-τ".into(),
             },
+            Request::Stats,
         ];
         for req in requests {
             let bytes = req.encode(&s).unwrap();
@@ -1139,6 +1162,13 @@ mod tests {
                 }],
                 records_changed: 3,
                 bytes_compared: 999,
+            }),
+            Reply::Stats({
+                let reg = decibel_obs::Registry::new();
+                reg.counter("wal", "flushes").add(7);
+                reg.gauge("server", "conns_live").set(3);
+                reg.histogram("commit", "commit_us").record(1800);
+                reg.snapshot()
             }),
         ];
         for reply in replies {

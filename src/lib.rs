@@ -100,6 +100,7 @@ pub use decibel_bitmap as bitmap;
 pub use decibel_common as common;
 pub use decibel_core as core;
 pub use decibel_netio as netio;
+pub use decibel_obs as obs;
 pub use decibel_pagestore as pagestore;
 pub use decibel_server as server;
 pub use decibel_vgraph as vgraph;
